@@ -1,0 +1,74 @@
+//! Criterion benches: throughput of the cost model — full schedule cost
+//! evaluation, validity checking, and the incremental move evaluation the
+//! hill climbing relies on (ablation of "incremental vs recompute", cf.
+//! DESIGN.md §6).
+
+use bsp_model::Machine;
+use bsp_sched::hill_climb::HcState;
+use bsp_sched::init::SourceScheduler;
+use bsp_sched::Scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dag_gen::fine::{cg, IterConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (bsp_model::Dag, Machine, bsp_model::BspSchedule) {
+    let dag = cg(&IterConfig { n: 40, density: 0.15, iterations: 3, seed: 9 });
+    let machine = Machine::numa_binary_tree(8, 2, 5, 3);
+    let sched = SourceScheduler.schedule(&dag, &machine);
+    (dag, machine, sched)
+}
+
+fn bench_cost_and_validity(c: &mut Criterion) {
+    let (dag, machine, sched) = setup();
+    let mut group = c.benchmark_group("cost_model");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400));
+    group.bench_function(BenchmarkId::new("total_cost", dag.n()), |b| {
+        b.iter(|| black_box(sched.cost(&dag, &machine)))
+    });
+    group.bench_function(BenchmarkId::new("cost_breakdown", dag.n()), |b| {
+        b.iter(|| black_box(sched.cost_breakdown(&dag, &machine)))
+    });
+    group.bench_function(BenchmarkId::new("validate", dag.n()), |b| {
+        b.iter(|| black_box(sched.validate(&dag, &machine).is_ok()))
+    });
+    group.finish();
+}
+
+fn bench_incremental_vs_recompute(c: &mut Criterion) {
+    let (dag, machine, sched) = setup();
+    let mut group = c.benchmark_group("move_evaluation");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400));
+
+    // Incremental: apply + revert a move through HcState.
+    group.bench_function("incremental_apply_revert", |b| {
+        let mut state = HcState::new(&dag, &machine, sched.assignment.clone());
+        let v = dag.n() / 2;
+        let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
+        let p_new = (p_old + 1) % machine.p();
+        b.iter(|| {
+            if state.move_is_valid(v, p_new, s_old) {
+                let d1 = state.apply_move(v, p_new, s_old);
+                let d2 = state.apply_move(v, p_old, s_old);
+                black_box(d1 + d2)
+            } else {
+                black_box(0)
+            }
+        })
+    });
+
+    // Naive: recompute the full schedule cost after cloning and mutating.
+    group.bench_function("naive_full_recompute", |b| {
+        let v = dag.n() / 2;
+        b.iter(|| {
+            let mut alt = sched.clone();
+            alt.assignment.proc[v] = (alt.assignment.proc[v] + 1) % machine.p();
+            alt.relax_to_lazy(&dag);
+            black_box(alt.cost(&dag, &machine))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_and_validity, bench_incremental_vs_recompute);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches: the `micro-ilp` solver and the ILP-based scheduling
+//! formulations (the CBC stand-in, DESIGN.md substitution #1).
+
+use bsp_model::Machine;
+use bsp_sched::ilp::{ilp_cs_improve, ilp_full_schedule, ilp_part_improve, IlpConfig};
+use bsp_sched::init::SourceScheduler;
+use bsp_sched::Scheduler;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dag_gen::fine::{spmv, SpmvConfig};
+use micro_ilp::{MipConfig, Model};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A small pure-ILP assignment problem: assign 8 items to 4 slots minimizing
+/// a synthetic cost, with at most 2 items per slot.
+fn assignment_model() -> Model {
+    let items = 8;
+    let slots = 4;
+    let mut model = Model::new();
+    let mut vars = Vec::new();
+    for i in 0..items {
+        let mut row = Vec::new();
+        for s in 0..slots {
+            let cost = ((i * 7 + s * 3) % 11) as f64;
+            row.push(model.add_binary(format!("x_{i}_{s}"), cost));
+        }
+        model.add_eq(
+            format!("assign_{i}"),
+            row.iter().map(|&v| (v, 1.0)).collect(),
+            1.0,
+        );
+        vars.push(row);
+    }
+    for s in 0..slots {
+        model.add_le(
+            format!("cap_{s}"),
+            vars.iter().map(|row| (row[s], 1.0)).collect(),
+            2.0,
+        );
+    }
+    model
+}
+
+fn bench_micro_ilp_solver(c: &mut Criterion) {
+    let model = assignment_model();
+    let config = MipConfig::with_time_limit(Duration::from_secs(5));
+    let mut group = c.benchmark_group("micro_ilp");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    group.bench_function("assignment_8x4", |b| {
+        b.iter(|| black_box(micro_ilp::solve_mip(&model, &config, None)))
+    });
+    group.finish();
+}
+
+fn bench_scheduling_ilps(c: &mut Criterion) {
+    let dag = spmv(&SpmvConfig { n: 12, density: 0.3, seed: 3 });
+    let machine = Machine::uniform(4, 3, 5);
+    let warm = SourceScheduler.schedule(&dag, &machine);
+    let config = IlpConfig::fast();
+
+    let mut group = c.benchmark_group("scheduling_ilps");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    group.bench_function("ilp_full_warm_started", |b| {
+        b.iter(|| {
+            black_box(ilp_full_schedule(
+                &dag,
+                &machine,
+                warm.assignment.num_supersteps(),
+                &config,
+                Some(&warm),
+            ))
+        })
+    });
+    group.bench_function("ilp_part_sweep", |b| {
+        b.iter(|| {
+            let mut sched = warm.clone();
+            black_box(ilp_part_improve(&dag, &machine, &mut sched, &config, None))
+        })
+    });
+    group.bench_function("ilp_cs", |b| {
+        b.iter(|| {
+            let mut sched = warm.clone();
+            black_box(ilp_cs_improve(&dag, &machine, &mut sched, &config))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro_ilp_solver, bench_scheduling_ilps);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches: wall-clock cost of the individual schedulers on
+//! representative instances (the "running time" discussion of §8).
+
+use bsp_model::Machine;
+use bsp_sched::baselines::{BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler};
+use bsp_sched::hill_climb::{hc_improve, HillClimbConfig};
+use bsp_sched::init::{BspgScheduler, SourceScheduler};
+use bsp_sched::Scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn instances() -> Vec<(&'static str, bsp_model::Dag)> {
+    vec![
+        ("spmv-small", spmv(&SpmvConfig { n: 40, density: 0.2, seed: 1 })),
+        (
+            "cg-medium",
+            cg(&IterConfig { n: 40, density: 0.15, iterations: 3, seed: 2 }),
+        ),
+    ]
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let machine = Machine::uniform(8, 3, 5);
+    let mut group = c.benchmark_group("baselines");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    for (name, dag) in instances() {
+        for scheduler in [
+            &CilkScheduler::default() as &dyn Scheduler,
+            &HDaggScheduler::default(),
+            &BlEstScheduler,
+            &EtfScheduler,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.name(), name),
+                &dag,
+                |b, dag| b.iter(|| black_box(scheduler.schedule(dag, &machine))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_initializers(c: &mut Criterion) {
+    let machine = Machine::uniform(8, 3, 5);
+    let mut group = c.benchmark_group("initializers");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    for (name, dag) in instances() {
+        for scheduler in [&BspgScheduler as &dyn Scheduler, &SourceScheduler] {
+            group.bench_with_input(
+                BenchmarkId::new(scheduler.name(), name),
+                &dag,
+                |b, dag| b.iter(|| black_box(scheduler.schedule(dag, &machine))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hill_climbing(c: &mut Criterion) {
+    let machine = Machine::uniform(8, 3, 5);
+    let config = HillClimbConfig {
+        time_limit: Duration::from_secs(10),
+        max_steps: 200,
+    };
+    let mut group = c.benchmark_group("hill_climbing");
+    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    for (name, dag) in instances() {
+        group.bench_with_input(BenchmarkId::new("HC-200-steps", name), &dag, |b, dag| {
+            b.iter_batched(
+                || SourceScheduler.schedule(dag, &machine),
+                |mut sched| {
+                    hc_improve(dag, &machine, &mut sched, &config);
+                    black_box(sched)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_baselines,
+    bench_initializers,
+    bench_hill_climbing
+);
+criterion_main!(benches);

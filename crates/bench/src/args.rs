@@ -1,0 +1,118 @@
+//! A minimal command-line flag parser for the experiment binaries.
+//!
+//! The binaries only need a handful of flags (`--scale smoke|reduced|full`,
+//! `--seed N`, plus a few boolean switches such as `--detailed` or
+//! `--stages`), so a dependency-free parser keeps the harness self-contained.
+
+use crate::instances::Scale;
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    flags: BTreeMap<String, Option<String>>,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args()` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list; `--key value` and `--key=value` are
+    /// both accepted, and a `--key` followed by another flag (or nothing) is a
+    /// boolean switch.
+    pub fn parse<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut flags = BTreeMap::new();
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some((key, value)) = stripped.split_once('=') {
+                    flags.insert(key.to_string(), Some(value.to_string()));
+                } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    flags.insert(stripped.to_string(), Some(args[i + 1].clone()));
+                    i += 1;
+                } else {
+                    flags.insert(stripped.to_string(), None);
+                }
+            }
+            i += 1;
+        }
+        CliArgs { flags }
+    }
+
+    /// `true` if the boolean switch `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// The value of `--name value`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// The value of `--name` parsed as `u64`, or `default`.
+    pub fn u64_or(&self, name: &str, default: u64) -> u64 {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The value of `--name` parsed as `usize`, or `default`.
+    pub fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The experiment scale selected with `--scale smoke|reduced|full`
+    /// (default: smoke).
+    pub fn scale(&self) -> Scale {
+        match self.value("scale") {
+            Some("full") => Scale::Full,
+            Some("reduced") => Scale::Reduced,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// The RNG seed selected with `--seed N` (default 2024, the paper's year).
+    pub fn seed(&self) -> u64 {
+        self.u64_or("seed", 2024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_switches_values_and_equals_forms() {
+        let args = CliArgs::parse(["--detailed", "--seed", "7", "--scale=reduced"]);
+        assert!(args.flag("detailed"));
+        assert!(!args.flag("stages"));
+        assert_eq!(args.seed(), 7);
+        assert_eq!(args.scale(), Scale::Reduced);
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_are_missing() {
+        let args = CliArgs::parse(Vec::<String>::new());
+        assert_eq!(args.seed(), 2024);
+        assert_eq!(args.scale(), Scale::Smoke);
+        assert_eq!(args.usize_or("procs", 8), 8);
+    }
+
+    #[test]
+    fn boolean_switch_before_another_flag_takes_no_value() {
+        let args = CliArgs::parse(["--stages", "--seed", "3"]);
+        assert!(args.flag("stages"));
+        assert_eq!(args.value("stages"), None);
+        assert_eq!(args.seed(), 3);
+    }
+}

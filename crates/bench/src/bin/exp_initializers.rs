@@ -1,0 +1,151 @@
+//! Regenerates the training-set initializer comparison of Appendix C.1:
+//!
+//! * **Table 4** — how often each initialization heuristic (`BSPg`, `Source`,
+//!   `ILPinit`) produces the best schedule on the *spmv* training DAGs,
+//!   separated by P.
+//! * **Table 5** — the same counts on the remaining training DAGs
+//!   (`exp`/`cg`/`kNN`), separated by P and DAG size.
+//!
+//! Usage: `cargo run -p bsp-bench --release --bin exp_initializers --
+//!         [--scale smoke|reduced|full] [--seed N]`
+
+use bsp_bench::{scaled_dataset, CliArgs, Table};
+use bsp_model::Machine;
+use bsp_sched::ilp::IlpInitScheduler;
+use bsp_sched::init::{BspgScheduler, SourceScheduler};
+use bsp_sched::Scheduler;
+use dag_gen::dataset::DatasetKind;
+use rayon::prelude::*;
+
+const PROCS: [usize; 3] = [4, 8, 16];
+const GS: [u64; 3] = [1, 3, 5];
+const LATENCY: u64 = 5;
+const INITIALIZERS: [&str; 3] = ["BSPg", "Source", "ILPinit"];
+
+/// Size buckets used by Table 5 (node-count upper bounds, paper-style).
+const SIZE_BUCKETS: [(usize, &str); 3] = [
+    (120, "n <= 120"),
+    (350, "n in (120, 350]"),
+    (usize::MAX, "n > 350"),
+];
+
+#[derive(Debug, Clone)]
+struct Win {
+    is_spmv: bool,
+    p: usize,
+    nodes: usize,
+    winner: &'static str,
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+    println!(
+        "# Experiment: initializer comparison on the training set (Tables 4/5) — scale={}, seed={seed}",
+        scale.name()
+    );
+
+    let instances = scaled_dataset(DatasetKind::Training, scale, seed);
+    let ilp_config = scale.pipeline_config().ilp;
+
+    let runs: Vec<(String, usize, u64)> = instances
+        .iter()
+        .flat_map(|inst| {
+            PROCS
+                .iter()
+                .flat_map(move |&p| GS.iter().map(move |&g| (inst.name.clone(), p, g)))
+        })
+        .collect();
+
+    let wins: Vec<Win> = runs
+        .par_iter()
+        .map(|(name, p, g)| {
+            let inst = instances
+                .iter()
+                .find(|i| &i.name == name)
+                .expect("run built from instances");
+            let machine = Machine::uniform(*p, *g, LATENCY);
+            let dag = &inst.dag;
+            let costs = [
+                BspgScheduler.schedule(dag, &machine).cost(dag, &machine),
+                SourceScheduler.schedule(dag, &machine).cost(dag, &machine),
+                IlpInitScheduler::new(ilp_config.clone())
+                    .schedule(dag, &machine)
+                    .cost(dag, &machine),
+            ];
+            let best = costs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .expect("three initializers");
+            Win {
+                is_spmv: name.contains("spmv"),
+                p: *p,
+                nodes: dag.n(),
+                winner: INITIALIZERS[best],
+            }
+        })
+        .collect();
+
+    println!("\n{} runs evaluated ({} instances × P × g).", wins.len(), instances.len());
+    let overall: Vec<String> = INITIALIZERS
+        .iter()
+        .map(|init| {
+            format!(
+                "{init}: {}",
+                wins.iter().filter(|w| w.winner == *init).count()
+            )
+        })
+        .collect();
+    println!("Overall best-initializer counts: {} (paper: BSPg 44, Source 20, ILPinit 26)\n", overall.join(", "));
+
+    print_table4(&wins);
+    print_table5(&wins);
+}
+
+fn count(wins: &[Win], init: &str, filter: impl Fn(&Win) -> bool) -> usize {
+    wins.iter()
+        .filter(|w| w.winner == init && filter(w))
+        .count()
+}
+
+fn print_table4(wins: &[Win]) {
+    let mut table = Table::new(
+        "Table 4: best initializer counts on spmv training DAGs",
+        ["initializer", "P = 4", "P = 8", "P = 16"],
+    );
+    for init in INITIALIZERS {
+        let mut row = vec![init.to_string()];
+        for p in PROCS {
+            row.push(count(wins, init, |w| w.is_spmv && w.p == p).to_string());
+        }
+        table.add_row(row);
+    }
+    table.print();
+}
+
+fn print_table5(wins: &[Win]) {
+    let mut table = Table::new(
+        "Table 5: best initializer counts on exp/cg/kNN training DAGs, by size bucket",
+        ["size", "initializer", "P = 4", "P = 8", "P = 16"],
+    );
+    let mut lower = 0usize;
+    for (upper, label) in SIZE_BUCKETS {
+        for init in INITIALIZERS {
+            let mut row = vec![label.to_string(), init.to_string()];
+            for p in PROCS {
+                row.push(
+                    count(wins, init, |w| {
+                        !w.is_spmv && w.p == p && w.nodes > lower && w.nodes <= upper
+                    })
+                    .to_string(),
+                );
+            }
+            table.add_row(row);
+        }
+        lower = upper;
+    }
+    table.print();
+}

@@ -1,0 +1,189 @@
+//! Regenerates the multilevel-scheduling experiments of §7.3:
+//!
+//! * **Table 3** — multilevel (`C_opt`) reduction vs `Cilk` / `HDagg` for
+//!   P ∈ {8, 16}, Δ ∈ {2, 3, 4}.
+//! * **Table 13** (`--coarsening-sweep`) — the same, split into the
+//!   single-ratio variants `C15`, `C30` and the best-of-both `C_opt`.
+//! * **Table 14** (`--coarsening-sweep`) — the cost ratio of the multilevel
+//!   variants to our base scheduler.
+//! * The §7.3 count of instances where only the multilevel scheduler beats
+//!   the trivial single-processor schedule.
+//!
+//! As in the paper, the *tiny* dataset is excluded (it cannot be meaningfully
+//! coarsened).
+//!
+//! Usage: `cargo run -p bsp-bench --release --bin exp_multilevel --
+//!         [--scale smoke|reduced|full] [--seed N] [--coarsening-sweep]`
+
+use bsp_bench::stats::Aggregate;
+use bsp_bench::table::pct_pair;
+use bsp_bench::{scaled_dataset, CliArgs, Table};
+use bsp_model::Machine;
+use bsp_sched::baselines::{CilkScheduler, HDaggScheduler, TrivialScheduler};
+use bsp_sched::multilevel::MultilevelScheduler;
+use bsp_sched::pipeline::Pipeline;
+use bsp_sched::Scheduler;
+use dag_gen::dataset::DatasetKind;
+use rayon::prelude::*;
+
+const PROCS: [usize; 2] = [8, 16];
+const DELTAS: [u64; 3] = [2, 3, 4];
+const G: u64 = 1;
+const LATENCY: u64 = 5;
+const DATASETS: [DatasetKind; 3] = [DatasetKind::Small, DatasetKind::Medium, DatasetKind::Large];
+const COLUMNS: [&str; 7] = ["cilk", "hdagg", "trivial", "base", "c15", "c30", "copt"];
+
+struct Cell {
+    p: usize,
+    delta: u64,
+    agg: Aggregate,
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+
+    println!(
+        "# Experiment: multilevel under NUMA (Tables 3/13/14) — scale={}, seed={seed}, g={G}, l={LATENCY}",
+        scale.name()
+    );
+
+    let pipeline = Pipeline::new(scale.pipeline_config());
+    let ml_config = scale.multilevel_config();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut base_not_better_than_trivial = 0usize;
+    let mut ml_not_better_than_trivial = 0usize;
+    let mut total_instances = 0usize;
+
+    for p in PROCS {
+        for delta in DELTAS {
+            let machine = Machine::numa_binary_tree(p, G, LATENCY, delta);
+            let mut agg = Aggregate::new(COLUMNS);
+            for dataset in DATASETS {
+                let instances = scaled_dataset(dataset, scale, seed);
+                let rows: Vec<[u64; 7]> = instances
+                    .par_iter()
+                    .map(|inst| {
+                        let dag = &inst.dag;
+                        let cilk = CilkScheduler::default()
+                            .schedule(dag, &machine)
+                            .cost(dag, &machine);
+                        let hdagg = HDaggScheduler::default()
+                            .schedule(dag, &machine)
+                            .cost(dag, &machine);
+                        let trivial = TrivialScheduler
+                            .schedule(dag, &machine)
+                            .cost(dag, &machine);
+                        let base = pipeline.run(dag, &machine).cost(dag, &machine);
+                        let report =
+                            MultilevelScheduler::new(ml_config.clone()).run_report(dag, &machine);
+                        let cost_for = |ratio: f64| {
+                            report
+                                .ratio_outcomes
+                                .iter()
+                                .find(|o| (o.ratio - ratio).abs() < 1e-9)
+                                .map(|o| o.cost)
+                                .unwrap_or(report.final_cost)
+                        };
+                        let c15 = cost_for(0.15);
+                        let c30 = cost_for(0.3);
+                        let copt = report.final_cost;
+                        [cilk, hdagg, trivial, base, c15, c30, copt]
+                    })
+                    .collect();
+                for row in rows {
+                    agg.push(&row);
+                }
+                eprintln!(
+                    "  done dataset={} P={p} delta={delta} ({} instances)",
+                    dataset.name(),
+                    instances.len()
+                );
+            }
+            total_instances += agg.len();
+            base_not_better_than_trivial += agg.len() - agg.wins("base", "trivial");
+            ml_not_better_than_trivial += agg.len() - agg.wins("copt", "trivial");
+            cells.push(Cell { p, delta, agg });
+        }
+    }
+
+    print_table3(&cells);
+    if args.flag("coarsening-sweep") {
+        print_table13(&cells);
+        print_table14(&cells);
+    }
+    println!(
+        "§7.3 trivial-schedule comparison: base scheduler fails to beat the trivial schedule on \
+         {base_not_better_than_trivial}/{total_instances} runs; the multilevel scheduler fails on \
+         {ml_not_better_than_trivial}/{total_instances} (paper: 114/396 vs 8/396)."
+    );
+}
+
+fn print_table3(cells: &[Cell]) {
+    let mut table = Table::new(
+        "\nTable 3: multilevel (C_opt) reduction vs Cilk / HDagg",
+        ["P \\ Δ", "Δ = 2", "Δ = 3", "Δ = 4"],
+    );
+    for p in PROCS {
+        let mut row = vec![format!("P = {p}")];
+        for delta in DELTAS {
+            let cell = cells
+                .iter()
+                .find(|c| c.p == p && c.delta == delta)
+                .expect("cell computed above");
+            row.push(pct_pair(
+                cell.agg.reduction("copt", "cilk"),
+                cell.agg.reduction("copt", "hdagg"),
+            ));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}
+
+fn print_table13(cells: &[Cell]) {
+    let mut table = Table::new(
+        "Table 13: multilevel reduction vs Cilk / HDagg per coarsening variant",
+        ["variant", "P", "Δ = 2", "Δ = 3", "Δ = 4"],
+    );
+    for (variant, col) in [("C15", "c15"), ("C30", "c30"), ("C_opt", "copt")] {
+        for p in PROCS {
+            let mut row = vec![variant.to_string(), format!("{p}")];
+            for delta in DELTAS {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.p == p && c.delta == delta)
+                    .expect("cell computed above");
+                row.push(pct_pair(
+                    cell.agg.reduction(col, "cilk"),
+                    cell.agg.reduction(col, "hdagg"),
+                ));
+            }
+            table.add_row(row);
+        }
+    }
+    table.print();
+}
+
+fn print_table14(cells: &[Cell]) {
+    let mut table = Table::new(
+        "Table 14: cost ratio of the multilevel variants to the base scheduler (<1 = multilevel better)",
+        ["variant", "P", "Δ = 2", "Δ = 3", "Δ = 4"],
+    );
+    for (variant, col) in [("C15", "c15"), ("C30", "c30"), ("C_opt", "copt")] {
+        for p in PROCS {
+            let mut row = vec![variant.to_string(), format!("{p}")];
+            for delta in DELTAS {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.p == p && c.delta == delta)
+                    .expect("cell computed above");
+                row.push(format!("{:.3}", cell.agg.ratio(col, "base")));
+            }
+            table.add_row(row);
+        }
+    }
+    table.print();
+}

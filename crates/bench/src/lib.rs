@@ -1,0 +1,28 @@
+//! # bsp-bench
+//!
+//! Experiment harness for the Rust reproduction of *"Efficient Multi-Processor
+//! Scheduling in Increasingly Realistic Models"* (SPAA 2024).
+//!
+//! The library provides the shared plumbing used by the experiment binaries in
+//! `src/bin/` (one per paper table/figure, see `DESIGN.md` §4):
+//!
+//! * [`args`] — a tiny command-line flag parser (`--scale`, `--seed`, …).
+//! * [`instances`] — scaled versions of the paper's datasets so the
+//!   experiments run anywhere from seconds (smoke) to hours (full).
+//! * [`eval`] — evaluates every scheduler of the paper on one instance and
+//!   returns the per-algorithm costs.
+//! * [`stats`] — geometric-mean aggregation of cost ratios and the
+//!   "% reduction vs baseline" quantities the paper reports.
+//! * [`table`] — plain-text table rendering for the binaries' output.
+
+pub mod args;
+pub mod eval;
+pub mod instances;
+pub mod stats;
+pub mod table;
+
+pub use args::CliArgs;
+pub use eval::{AlgoCosts, EvalOptions, InstanceResult};
+pub use instances::{scaled_dataset, Scale};
+pub use stats::{geo_mean, geo_mean_ratio, reduction_pct, Aggregate};
+pub use table::Table;

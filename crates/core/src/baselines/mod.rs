@@ -1,0 +1,20 @@
+//! Baseline schedulers the paper compares against (§4.1).
+//!
+//! * [`CilkScheduler`] — the work-stealing heuristic representing practical
+//!   parallel runtimes.
+//! * [`BlEstScheduler`] / [`EtfScheduler`] — list schedulers extended with
+//!   communication volume (the strongest classical baselines per [27]).
+//! * [`HDaggScheduler`] — the wavefront-aggregation scheduler of Zarebavani et
+//!   al., the strongest academic baseline.
+//! * [`TrivialScheduler`] — everything on one processor in one superstep; the
+//!   sanity baseline the multilevel section (§7.3) measures against.
+
+mod cilk;
+mod hdagg;
+mod list;
+mod trivial;
+
+pub use cilk::CilkScheduler;
+pub use hdagg::HDaggScheduler;
+pub use list::{BlEstScheduler, EtfScheduler};
+pub use trivial::TrivialScheduler;

@@ -1,0 +1,36 @@
+//! The trivial schedule: all nodes on processor 0 in superstep 0.
+
+use crate::Scheduler;
+use bsp_model::{BspSchedule, Dag, Machine};
+
+/// Assigns every node to processor 0 in a single superstep.
+///
+/// Its cost is `Σ w(v) + ℓ`; §7.3 of the paper uses it as the bar that any
+/// non-trivial schedule has to clear in communication-dominated settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrivialScheduler;
+
+impl Scheduler for TrivialScheduler {
+    fn name(&self) -> &'static str {
+        "Trivial"
+    }
+
+    fn schedule(&self, dag: &Dag, _machine: &Machine) -> BspSchedule {
+        BspSchedule::trivial(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_schedule_is_valid_and_sequential() {
+        let dag = Dag::from_edge_list_unit_weights(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let machine = Machine::uniform(4, 3, 7);
+        let sched = TrivialScheduler.schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert_eq!(sched.cost(&dag, &machine), 5 + 7);
+        assert_eq!(sched.num_supersteps(), 1);
+    }
+}

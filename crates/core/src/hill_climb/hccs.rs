@@ -1,0 +1,232 @@
+//! The `HCcs` hill climbing over communication schedules (§4.3).
+//!
+//! The assignment `(π, τ)` is fixed; only the superstep in which each required
+//! value transfer happens is optimized.  Every requirement (value of `v` must
+//! reach processor `q`) may be scheduled in any communication phase between
+//! `τ(v)` and the superstep before the value is first used on `q`; the search
+//! greedily moves single transfers to the phase that lowers the maximum
+//! `h`-relation cost, until a local minimum or the time limit is reached.
+//! Like the paper, transfers are always sent directly from `π(v)`.
+
+use super::{HillClimbConfig, HillClimbOutcome};
+use bsp_model::{BspSchedule, CommSchedule, CommStep, Dag, Machine};
+use std::time::Instant;
+
+struct CsState<'a> {
+    machine: &'a Machine,
+    /// For each requirement: (weighted volume, source proc, target proc,
+    /// earliest step, latest step, current step).
+    reqs: Vec<(u64, usize, usize, usize, usize, usize)>,
+    send: Vec<Vec<u64>>,
+    recv: Vec<Vec<u64>>,
+}
+
+impl<'a> CsState<'a> {
+    fn comm_cost(&self, s: usize) -> u64 {
+        (0..self.machine.p())
+            .map(|q| self.send[s][q].max(self.recv[s][q]))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Moves requirement `i` to communication phase `s_new`, returning the
+    /// change in the total h-relation cost (unscaled by `g`).
+    fn apply(&mut self, i: usize, s_new: usize) -> i64 {
+        let (w, from, to, _, _, s_old) = self.reqs[i];
+        if s_new == s_old {
+            return 0;
+        }
+        let before = self.comm_cost(s_old) + self.comm_cost(s_new);
+        self.send[s_old][from] -= w;
+        self.recv[s_old][to] -= w;
+        self.send[s_new][from] += w;
+        self.recv[s_new][to] += w;
+        self.reqs[i].5 = s_new;
+        let after = self.comm_cost(s_old) + self.comm_cost(s_new);
+        after as i64 - before as i64
+    }
+}
+
+/// Optimizes the communication schedule of `schedule` in place; `π` and `τ`
+/// are left untouched.  Returns the outcome statistics (costs are full
+/// schedule costs, so they are comparable with [`super::hc_improve`]).
+pub fn hccs_improve(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    config: &HillClimbConfig,
+) -> HillClimbOutcome {
+    let start = Instant::now();
+    let initial_cost = schedule.cost(dag, machine);
+    let requirements = CommSchedule::requirements(dag, &schedule.assignment);
+    if requirements.is_empty() {
+        return HillClimbOutcome {
+            steps: 0,
+            initial_cost,
+            final_cost: initial_cost,
+            reached_local_minimum: true,
+        };
+    }
+
+    // Where does the existing schedule place each requirement?  (Fall back to
+    // the lazy placement if the transfer is missing, e.g. for a fresh lazy
+    // schedule they coincide anyway.)
+    let existing: std::collections::HashMap<(usize, usize, usize), usize> = schedule
+        .comm
+        .steps()
+        .iter()
+        .map(|cs| ((cs.node, cs.from, cs.to), cs.step))
+        .collect();
+
+    let num_steps = schedule.num_supersteps().max(1);
+    let p = machine.p();
+    let mut state = CsState {
+        machine,
+        reqs: Vec::with_capacity(requirements.len()),
+        send: vec![vec![0; p]; num_steps],
+        recv: vec![vec![0; p]; num_steps],
+    };
+    for r in &requirements {
+        let earliest = r.earliest_step();
+        let latest = r.latest_step();
+        let current = existing
+            .get(&(r.node, r.source, r.target))
+            .copied()
+            .filter(|&s| s >= earliest && s <= latest)
+            .unwrap_or(latest);
+        let w = dag.comm(r.node) * machine.lambda(r.source, r.target);
+        state.send[current][r.source] += w;
+        state.recv[current][r.target] += w;
+        state
+            .reqs
+            .push((w, r.source, r.target, earliest, latest, current));
+    }
+
+    let mut steps = 0usize;
+    let mut reached_local_minimum = false;
+    'outer: loop {
+        let mut improved = false;
+        for i in 0..state.reqs.len() {
+            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+                break 'outer;
+            }
+            let (_, _, _, earliest, latest, current) = state.reqs[i];
+            for s_new in earliest..=latest {
+                if s_new == current {
+                    continue;
+                }
+                let delta = state.apply(i, s_new);
+                if delta < 0 {
+                    steps += 1;
+                    improved = true;
+                    break;
+                }
+                state.apply(i, current);
+            }
+        }
+        if !improved {
+            reached_local_minimum = true;
+            break;
+        }
+    }
+
+    // Materialize the optimized communication schedule.
+    let comm_steps: Vec<CommStep> = requirements
+        .iter()
+        .zip(&state.reqs)
+        .map(|(r, &(_, _, _, _, _, step))| CommStep {
+            node: r.node,
+            from: r.source,
+            to: r.target,
+            step,
+        })
+        .collect();
+    schedule.comm = CommSchedule::from_steps(comm_steps);
+    let final_cost = schedule.cost(dag, machine);
+    HillClimbOutcome {
+        steps,
+        initial_cost,
+        final_cost,
+        reached_local_minimum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_model::Assignment;
+
+    /// Processor 0 must send the value of node 0 to processor 1 in phase 0
+    /// (it is needed in superstep 1), and processor 1 must send the value of
+    /// node 1 to processor 0 before superstep 2.  The lazy schedule puts the
+    /// second transfer in phase 1 and pays an h-relation in both phases;
+    /// moving it into phase 0 (where it overlaps with the opposite-direction
+    /// transfer) removes one h-relation entirely.
+    fn spreading_example() -> (Dag, Machine, BspSchedule) {
+        let dag = Dag::from_edges(
+            4,
+            &[(0, 2), (1, 3)],
+            vec![1, 1, 1, 1],
+            vec![10, 10, 1, 1],
+        )
+        .unwrap();
+        let machine = Machine::uniform(2, 2, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1, 1, 0],
+            superstep: vec![0, 0, 1, 2],
+        };
+        let sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        (dag, machine, sched)
+    }
+
+    #[test]
+    fn hccs_overlaps_communication_phases_when_it_pays_off() {
+        let (dag, machine, mut sched) = spreading_example();
+        let before = sched.cost(&dag, &machine);
+        let outcome = hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(outcome.final_cost < before, "no improvement over {before}");
+        assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
+        // Both transfers now share phase 0 (the second one moved forward).
+        let steps: Vec<usize> = sched.comm.steps().iter().map(|s| s.step).collect();
+        assert_eq!(steps, vec![0, 0]);
+    }
+
+    #[test]
+    fn hccs_is_a_no_op_without_communication() {
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let mut sched = BspSchedule::trivial(&dag);
+        let outcome = hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert_eq!(outcome.steps, 0);
+        assert!(outcome.reached_local_minimum);
+        assert_eq!(outcome.initial_cost, outcome.final_cost);
+    }
+
+    #[test]
+    fn hccs_never_invalidates_or_worsens() {
+        let (dag, machine, mut sched) = spreading_example();
+        let before = sched.cost(&dag, &machine);
+        for _ in 0..3 {
+            let outcome =
+                hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+            assert!(sched.validate(&dag, &machine).is_ok());
+            assert!(outcome.final_cost <= before);
+        }
+    }
+
+    #[test]
+    fn numa_weights_influence_the_h_relation() {
+        let (dag, _machine, _) = spreading_example();
+        let machine = Machine::numa_binary_tree(4, 1, 1, 4);
+        let assignment = Assignment {
+            proc: vec![0, 1, 3, 3],
+            superstep: vec![0, 0, 2, 2],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let before = sched.cost(&dag, &machine);
+        let outcome = hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(outcome.final_cost <= before);
+    }
+}

@@ -1,0 +1,235 @@
+//! Hill-climbing local search (§4.3 of the paper).
+//!
+//! * [`hc_improve`] — the `HC` search over node moves: a node is moved to a
+//!   different processor in the same superstep, or to any processor in the
+//!   previous/next superstep, whenever that lowers the total cost.  It works
+//!   on *lazy* communication schedules and keeps incremental per-superstep
+//!   work/send/receive tallies so a candidate move is evaluated without
+//!   touching unaffected supersteps.
+//! * [`hccs_improve`] — the `HCcs` search over the communication schedule `Γ`
+//!   alone (`π`, `τ` fixed): each required transfer may happen in any
+//!   communication phase between the superstep where the value is computed and
+//!   the superstep before it is first needed.
+//!
+//! Both searches use the greedy first-improvement rule the paper selected
+//! after its preliminary experiments, and stop at a local minimum or when the
+//! time limit expires.
+
+mod hccs;
+mod state;
+
+pub use hccs::hccs_improve;
+pub use state::HcState;
+
+use bsp_model::{BspSchedule, Dag, Machine};
+use std::time::{Duration, Instant};
+
+/// Configuration shared by the `HC` and `HCcs` local searches.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimbConfig {
+    /// Wall-clock limit for the search.
+    pub time_limit: Duration,
+    /// Upper bound on the number of accepted improvement steps
+    /// (`usize::MAX` = unlimited); the multilevel refinement phases use this.
+    pub max_steps: usize,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig {
+            time_limit: Duration::from_secs(5),
+            max_steps: usize::MAX,
+        }
+    }
+}
+
+impl HillClimbConfig {
+    /// A configuration with the given time limit.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        HillClimbConfig {
+            time_limit,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration limited to `max_steps` accepted improvements.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        HillClimbConfig {
+            max_steps,
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics returned by a hill-climbing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HillClimbOutcome {
+    /// Number of accepted improvement steps.
+    pub steps: usize,
+    /// Cost before the search.
+    pub initial_cost: u64,
+    /// Cost after the search.
+    pub final_cost: u64,
+    /// `true` if the search stopped because it reached a local minimum (rather
+    /// than the time or step limit).
+    pub reached_local_minimum: bool,
+}
+
+/// Improves `schedule` in place with the `HC` node-move hill climbing.
+///
+/// The schedule's communication part is replaced by the lazy schedule of its
+/// assignment (HC is defined on lazy schedules, Appendix A); run
+/// [`hccs_improve`] afterwards to optimize the communication schedule.
+pub fn hc_improve(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    config: &HillClimbConfig,
+) -> HillClimbOutcome {
+    schedule.relax_to_lazy(dag);
+    let start = Instant::now();
+    let mut state = HcState::new(dag, machine, schedule.assignment.clone());
+    let initial_cost = state.total_cost();
+    let mut steps = 0usize;
+    let mut reached_local_minimum = false;
+
+    'outer: loop {
+        let mut improved_this_pass = false;
+        for v in 0..dag.n() {
+            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+                break 'outer;
+            }
+            let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
+            let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
+            for &s_new in &s_candidates {
+                if s_new == usize::MAX {
+                    continue; // wrapped below superstep 0
+                }
+                let mut accepted = false;
+                for p_new in 0..machine.p() {
+                    if p_new == p_old && s_new == s_old {
+                        continue;
+                    }
+                    if !state.move_is_valid(v, p_new, s_new) {
+                        continue;
+                    }
+                    let delta = state.apply_move(v, p_new, s_new);
+                    if delta < 0 {
+                        steps += 1;
+                        improved_this_pass = true;
+                        accepted = true;
+                        break;
+                    }
+                    // Revert (the inverse move restores the previous state).
+                    state.apply_move(v, p_old, s_old);
+                }
+                if accepted {
+                    break;
+                }
+            }
+        }
+        if !improved_this_pass {
+            reached_local_minimum = true;
+            break;
+        }
+    }
+
+    schedule.assignment = state.into_assignment();
+    schedule.relax_to_lazy(dag);
+    schedule.normalize(dag);
+    let final_cost = schedule.cost(dag, machine);
+    HillClimbOutcome {
+        steps,
+        initial_cost,
+        final_cost,
+        reached_local_minimum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::CilkScheduler;
+    use crate::init::{BspgScheduler, SourceScheduler};
+    use crate::Scheduler;
+    use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+
+    #[test]
+    fn hc_never_increases_cost_and_keeps_validity() {
+        let dag = spmv(&SpmvConfig { n: 16, density: 0.25, seed: 3 });
+        let machine = Machine::uniform(4, 3, 5);
+        for scheduler in [
+            &BspgScheduler as &dyn Scheduler,
+            &SourceScheduler as &dyn Scheduler,
+        ] {
+            let mut sched = scheduler.schedule(&dag, &machine);
+            let before = sched.cost(&dag, &machine);
+            let outcome = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+            assert!(sched.validate(&dag, &machine).is_ok());
+            assert!(outcome.final_cost <= before);
+            assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
+        }
+    }
+
+    #[test]
+    fn hc_improves_a_deliberately_bad_schedule() {
+        // Spread a chain across processors: HC should pull it back together.
+        let dag = Dag::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            vec![1; 6],
+            vec![20; 6],
+        )
+        .unwrap();
+        let machine = Machine::uniform(3, 2, 3);
+        let assignment = bsp_model::Assignment {
+            proc: vec![0, 1, 2, 0, 1, 2],
+            superstep: vec![0, 1, 2, 3, 4, 5],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let before = sched.cost(&dag, &machine);
+        let outcome = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(
+            outcome.final_cost < before,
+            "expected improvement from {before}, got {}",
+            outcome.final_cost
+        );
+        assert!(outcome.steps > 0);
+    }
+
+    #[test]
+    fn hc_respects_the_step_limit() {
+        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 1, seed: 1 });
+        let machine = Machine::uniform(4, 5, 5);
+        let mut sched = CilkScheduler::default().schedule(&dag, &machine);
+        let outcome = hc_improve(
+            &dag,
+            &machine,
+            &mut sched,
+            &HillClimbConfig::with_max_steps(1),
+        );
+        assert!(outcome.steps <= 1);
+        assert!(sched.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn hc_reaches_a_local_minimum_on_small_instances() {
+        let dag = spmv(&SpmvConfig { n: 8, density: 0.3, seed: 5 });
+        let machine = Machine::uniform(2, 1, 2);
+        let mut sched = BspgScheduler.schedule(&dag, &machine);
+        let outcome = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert!(outcome.reached_local_minimum);
+    }
+
+    #[test]
+    fn hc_works_under_numa_machines() {
+        let dag = cg(&IterConfig { n: 6, density: 0.3, iterations: 1, seed: 2 });
+        let machine = Machine::numa_binary_tree(8, 1, 5, 3);
+        let mut sched = CilkScheduler::default().schedule(&dag, &machine);
+        let before = sched.cost(&dag, &machine);
+        let outcome = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(outcome.final_cost <= before);
+    }
+}

@@ -1,0 +1,217 @@
+//! `ILPcs`: the communication-scheduling sub-problem as an ILP (§4.4).
+//!
+//! The assignment `(π, τ)` is fixed; each required transfer (the value of `v`
+//! from `π(v)` to a processor `q` that uses it) gets one binary variable per
+//! admissible communication phase, and the per-superstep `h`-relation costs
+//! are minimized globally.  Because the degrees of freedom are small, this ILP
+//! is applicable to much larger DAGs than `ILPfull`/`ILPpart`.
+
+use super::IlpConfig;
+use bsp_model::{BspSchedule, CommSchedule, CommStep, Dag, Machine};
+use micro_ilp::{Model, MipConfig, VarId};
+
+/// Optimizes the communication schedule of `schedule` with an ILP; keeps the
+/// original schedule whenever the ILP does not find something strictly better.
+/// Returns `true` if the schedule was improved.
+pub fn ilp_cs_improve(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    config: &IlpConfig,
+) -> bool {
+    let requirements = CommSchedule::requirements(dag, &schedule.assignment);
+    if requirements.is_empty() {
+        return false;
+    }
+    let num_steps = schedule.num_supersteps().max(1);
+    let p = machine.p();
+    let g = machine.g() as f64;
+
+    // The dense-tableau simplex of `micro-ilp` needs O((vars + constraints)^2)
+    // memory, so unlike CBC it cannot take the communication-scheduling ILP of
+    // arbitrarily large instances.  Skip the ILP when the model would exceed
+    // the same variable budget that gates `ILPfull`.
+    let estimated_vars: usize = requirements
+        .iter()
+        .map(|r| r.latest_step() - r.earliest_step() + 1)
+        .sum::<usize>()
+        + num_steps;
+    if estimated_vars > config.full_max_variables {
+        return false;
+    }
+
+    let mut model = Model::new();
+    // x[r][s - earliest] = transfer r happens in phase s.
+    let mut choice: Vec<Vec<VarId>> = Vec::with_capacity(requirements.len());
+    for (i, r) in requirements.iter().enumerate() {
+        let vars: Vec<VarId> = (r.earliest_step()..=r.latest_step())
+            .map(|s| model.add_binary(format!("x_{i}_{s}"), 0.0))
+            .collect();
+        model.add_eq(
+            format!("place_{i}"),
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            1.0,
+        );
+        choice.push(vars);
+    }
+    let h: Vec<VarId> = (0..num_steps)
+        .map(|s| model.add_continuous(format!("H_{s}"), 0.0, f64::INFINITY, g))
+        .collect();
+    for s in 0..num_steps {
+        for q in 0..p {
+            let mut send_terms = vec![(h[s], 1.0)];
+            let mut recv_terms = vec![(h[s], 1.0)];
+            for (i, r) in requirements.iter().enumerate() {
+                if s < r.earliest_step() || s > r.latest_step() {
+                    continue;
+                }
+                let var = choice[i][s - r.earliest_step()];
+                let w = (dag.comm(r.node) * machine.lambda(r.source, r.target)) as f64;
+                if r.source == q {
+                    send_terms.push((var, -w));
+                }
+                if r.target == q {
+                    recv_terms.push((var, -w));
+                }
+            }
+            if send_terms.len() > 1 {
+                model.add_ge(format!("send_{q}_{s}"), send_terms, 0.0);
+            }
+            if recv_terms.len() > 1 {
+                model.add_ge(format!("recv_{q}_{s}"), recv_terms, 0.0);
+            }
+        }
+    }
+
+    // Warm start from the existing communication schedule (or its lazy default).
+    let existing: std::collections::HashMap<(usize, usize, usize), usize> = schedule
+        .comm
+        .steps()
+        .iter()
+        .map(|cs| ((cs.node, cs.from, cs.to), cs.step))
+        .collect();
+    let mut warm = vec![0.0; model.num_vars()];
+    for (i, r) in requirements.iter().enumerate() {
+        let s = existing
+            .get(&(r.node, r.source, r.target))
+            .copied()
+            .filter(|&s| s >= r.earliest_step() && s <= r.latest_step())
+            .unwrap_or_else(|| r.latest_step());
+        warm[choice[i][s - r.earliest_step()].index()] = 1.0;
+    }
+    // Per-superstep h-relation of the warm start.
+    let mut send = vec![vec![0u64; p]; num_steps];
+    let mut recv = vec![vec![0u64; p]; num_steps];
+    for (i, r) in requirements.iter().enumerate() {
+        let s = (0..choice[i].len())
+            .find(|&k| warm[choice[i][k].index()] > 0.5)
+            .map(|k| k + r.earliest_step())
+            .expect("warm start places every transfer");
+        let w = dag.comm(r.node) * machine.lambda(r.source, r.target);
+        send[s][r.source] += w;
+        recv[s][r.target] += w;
+    }
+    for s in 0..num_steps {
+        let hmax = (0..p).map(|q| send[s][q].max(recv[s][q])).max().unwrap_or(0);
+        warm[h[s].index()] = hmax as f64;
+    }
+
+    let result = micro_ilp::solve_mip(
+        &model,
+        &MipConfig::with_time_limit(config.time_limit),
+        Some(&warm),
+    );
+    if !result.has_solution() {
+        return false;
+    }
+    // Build the candidate communication schedule.
+    let steps: Vec<CommStep> = requirements
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let k = (0..choice[i].len())
+                .find(|&k| result.values[choice[i][k].index()] > 0.5)
+                .unwrap_or(choice[i].len() - 1);
+            CommStep {
+                node: r.node,
+                from: r.source,
+                to: r.target,
+                step: r.earliest_step() + k,
+            }
+        })
+        .collect();
+    let mut candidate = schedule.clone();
+    candidate.comm = CommSchedule::from_steps(steps);
+    if candidate.validate(dag, machine).is_err() {
+        return false;
+    }
+    if candidate.cost(dag, machine) < schedule.cost(dag, machine) {
+        *schedule = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_model::Assignment;
+
+    #[test]
+    fn overlaps_opposite_transfers_like_hccs_but_globally() {
+        // Processor 0 sends the value of node 0 to processor 1 in phase 0;
+        // processor 1 must send the value of node 1 to processor 0 before
+        // superstep 2.  The lazy schedule uses phase 1 for the second transfer
+        // and pays two h-relations; the ILP moves it into phase 0 where it
+        // overlaps with the opposite-direction transfer.
+        let dag = Dag::from_edges(
+            4,
+            &[(0, 2), (1, 3)],
+            vec![1; 4],
+            vec![10, 10, 1, 1],
+        )
+        .unwrap();
+        let machine = Machine::uniform(2, 2, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1, 1, 0],
+            superstep: vec![0, 0, 1, 2],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let before = sched.cost(&dag, &machine);
+        let improved = ilp_cs_improve(&dag, &machine, &mut sched, &IlpConfig::fast());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(improved, "ILPcs should overlap the two transfers in phase 0");
+        assert!(sched.cost(&dag, &machine) < before);
+        assert!(sched.comm.steps().iter().all(|s| s.step == 0));
+    }
+
+    #[test]
+    fn no_communication_means_no_change() {
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let mut sched = BspSchedule::trivial(&dag);
+        assert!(!ilp_cs_improve(&dag, &machine, &mut sched, &IlpConfig::fast()));
+    }
+
+    #[test]
+    fn never_worsens_the_schedule() {
+        let dag = Dag::from_edges(
+            4,
+            &[(0, 2), (1, 3)],
+            vec![1; 4],
+            vec![5, 5, 1, 1],
+        )
+        .unwrap();
+        let machine = Machine::numa_binary_tree(4, 3, 2, 2);
+        let assignment = Assignment {
+            proc: vec![0, 1, 2, 3],
+            superstep: vec![0, 0, 2, 2],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let before = sched.cost(&dag, &machine);
+        ilp_cs_improve(&dag, &machine, &mut sched, &IlpConfig::fast());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(sched.cost(&dag, &machine) <= before);
+    }
+}

@@ -1,0 +1,413 @@
+//! `ILPfull`: the complete BSP + NUMA scheduling problem as one ILP
+//! (the "FS" formulation of arXiv:2303.05989, extended with NUMA weights).
+//!
+//! Variables (all binary unless noted):
+//!
+//! * `comp[v][p][s]` — node `v` is computed on processor `p` in superstep `s`;
+//! * `comm[v][p1][p2][s]` — the value of `v` is sent `p1 → p2` in the
+//!   communication phase of superstep `s` (`p1 ≠ p2`);
+//! * `used[s]` — superstep `s` exists (monotone: a used superstep cannot
+//!   follow an unused one);
+//! * `W[s]`, `H[s]` — continuous per-superstep work / `h`-relation costs.
+//!
+//! Objective: `Σ_s W[s] + g·H[s] + ℓ·used[s]`.
+
+use super::IlpConfig;
+use bsp_model::{Assignment, BspSchedule, CommSchedule, CommStep, Dag, Machine};
+use micro_ilp::{Model, MipConfig, VarId};
+
+/// Estimated number of ILP variables of the full formulation with `s_max`
+/// supersteps (the paper uses this estimate to decide whether `ILPfull` is
+/// worth attempting at all).
+pub fn estimate_full_variables(dag: &Dag, machine: &Machine, s_max: usize) -> usize {
+    let n = dag.n();
+    let p = machine.p();
+    n * p * s_max + n * p * p * s_max + 3 * s_max
+}
+
+struct FullVars {
+    comp: Vec<Vec<Vec<VarId>>>,          // [v][p][s]
+    comm: Vec<Vec<Vec<Vec<Option<VarId>>>>>, // [v][p1][p2][s], None on the diagonal
+    used: Vec<VarId>,                    // [s]
+}
+
+fn build_model(dag: &Dag, machine: &Machine, s_max: usize) -> (Model, FullVars) {
+    let n = dag.n();
+    let p = machine.p();
+    let g = machine.g() as f64;
+    let l = machine.latency() as f64;
+    let mut model = Model::new();
+
+    let comp: Vec<Vec<Vec<VarId>>> = (0..n)
+        .map(|v| {
+            (0..p)
+                .map(|q| {
+                    (0..s_max)
+                        .map(|s| model.add_binary(format!("comp_{v}_{q}_{s}"), 0.0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let comm: Vec<Vec<Vec<Vec<Option<VarId>>>>> = (0..n)
+        .map(|v| {
+            (0..p)
+                .map(|p1| {
+                    (0..p)
+                        .map(|p2| {
+                            (0..s_max)
+                                .map(|s| {
+                                    if p1 == p2 {
+                                        None
+                                    } else {
+                                        Some(model.add_binary(
+                                            format!("comm_{v}_{p1}_{p2}_{s}"),
+                                            0.0,
+                                        ))
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let work_cost: Vec<VarId> = (0..s_max)
+        .map(|s| model.add_continuous(format!("W_{s}"), 0.0, f64::INFINITY, 1.0))
+        .collect();
+    let h_cost: Vec<VarId> = (0..s_max)
+        .map(|s| model.add_continuous(format!("H_{s}"), 0.0, f64::INFINITY, g))
+        .collect();
+    let used: Vec<VarId> = (0..s_max)
+        .map(|s| model.add_binary(format!("used_{s}"), l))
+        .collect();
+
+    // Each node computed exactly once.
+    for v in 0..n {
+        let terms: Vec<(VarId, f64)> = (0..p)
+            .flat_map(|q| (0..s_max).map(move |s| (q, s)))
+            .map(|(q, s)| (comp[v][q][s], 1.0))
+            .collect();
+        model.add_eq(format!("once_{v}"), terms, 1.0);
+    }
+
+    // Precedence: comp[v][q][s] <= availability of u on q by superstep s.
+    for v in 0..n {
+        for &u in dag.predecessors(v) {
+            for q in 0..p {
+                for s in 0..s_max {
+                    let mut terms = vec![(comp[v][q][s], 1.0)];
+                    for s2 in 0..=s {
+                        terms.push((comp[u][q][s2], -1.0));
+                    }
+                    for s2 in 0..s {
+                        for p1 in 0..p {
+                            if let Some(var) = comm[u][p1][q][s2] {
+                                terms.push((var, -1.0));
+                            }
+                        }
+                    }
+                    model.add_le(format!("prec_{u}_{v}_{q}_{s}"), terms, 0.0);
+                }
+            }
+        }
+    }
+
+    // A value can only be sent from a processor where it is present.
+    for v in 0..n {
+        for p1 in 0..p {
+            for p2 in 0..p {
+                if p1 == p2 {
+                    continue;
+                }
+                for s in 0..s_max {
+                    let var = comm[v][p1][p2][s].expect("off-diagonal");
+                    let mut terms = vec![(var, 1.0)];
+                    for s2 in 0..=s {
+                        terms.push((comp[v][p1][s2], -1.0));
+                    }
+                    for s2 in 0..s {
+                        for p0 in 0..p {
+                            if let Some(prev) = comm[v][p0][p1][s2] {
+                                terms.push((prev, -1.0));
+                            }
+                        }
+                    }
+                    model.add_le(format!("src_{v}_{p1}_{p2}_{s}"), terms, 0.0);
+                }
+            }
+        }
+    }
+
+    // Work cost per superstep and processor.
+    for s in 0..s_max {
+        for q in 0..p {
+            let mut terms = vec![(work_cost[s], 1.0)];
+            for v in 0..n {
+                terms.push((comp[v][q][s], -(dag.work(v) as f64)));
+            }
+            model.add_ge(format!("work_{q}_{s}"), terms, 0.0);
+        }
+    }
+
+    // h-relation per superstep: send and receive of every processor.
+    for s in 0..s_max {
+        for q in 0..p {
+            let mut send_terms = vec![(h_cost[s], 1.0)];
+            let mut recv_terms = vec![(h_cost[s], 1.0)];
+            for v in 0..n {
+                for other in 0..p {
+                    if other == q {
+                        continue;
+                    }
+                    if let Some(var) = comm[v][q][other][s] {
+                        let w = (dag.comm(v) * machine.lambda(q, other)) as f64;
+                        send_terms.push((var, -w));
+                    }
+                    if let Some(var) = comm[v][other][q][s] {
+                        let w = (dag.comm(v) * machine.lambda(other, q)) as f64;
+                        recv_terms.push((var, -w));
+                    }
+                }
+            }
+            model.add_ge(format!("send_{q}_{s}"), send_terms, 0.0);
+            model.add_ge(format!("recv_{q}_{s}"), recv_terms, 0.0);
+        }
+    }
+
+    // Superstep usage: computation or communication in superstep s forces used[s];
+    // usage is monotone (used supersteps form a prefix) to cut symmetry.
+    let big = (dag.n() * machine.p()) as f64 + 1.0;
+    for s in 0..s_max {
+        let mut terms = vec![(used[s], big)];
+        for v in 0..n {
+            for q in 0..p {
+                terms.push((comp[v][q][s], -1.0));
+                for other in 0..p {
+                    if let Some(var) = comm[v][q][other][s] {
+                        terms.push((var, -1.0 / (dag.n() as f64 + 1.0)));
+                    }
+                }
+            }
+        }
+        model.add_ge(format!("used_{s}"), terms, 0.0);
+        if s + 1 < s_max {
+            model.add_ge(format!("used_mono_{s}"), vec![(used[s], 1.0), (used[s + 1], -1.0)], 0.0);
+        }
+    }
+
+    (
+        model,
+        FullVars {
+            comp,
+            comm,
+            used,
+        },
+    )
+}
+
+/// Builds a warm-start vector for the full model from an existing schedule.
+fn warm_start_vector(
+    model: &Model,
+    vars: &FullVars,
+    dag: &Dag,
+    machine: &Machine,
+    s_max: usize,
+    schedule: &BspSchedule,
+) -> Option<Vec<f64>> {
+    if schedule.num_supersteps() > s_max {
+        return None;
+    }
+    let mut values = vec![0.0; model.num_vars()];
+    for v in 0..dag.n() {
+        values[vars.comp[v][schedule.proc(v)][schedule.superstep(v)].index()] = 1.0;
+    }
+    for cs in schedule.comm.steps() {
+        let var = vars.comm[cs.node][cs.from][cs.to][cs.step]?;
+        values[var.index()] = 1.0;
+    }
+    // Work/communication cost and usage variables: set them to values
+    // consistent with the schedule (the model's variable layout is
+    // [comp][comm][W][H][used], in that order).
+    let breakdown = schedule.cost_breakdown(dag, machine);
+    let n = dag.n();
+    let p = machine.p();
+    let comp_count = n * p * s_max;
+    let comm_count = n * p * (p - 1) * s_max;
+    let w_base = comp_count + comm_count;
+    let h_base = w_base + s_max;
+    for s in 0..s_max {
+        let (w, h) = if s < breakdown.supersteps.len() {
+            (
+                breakdown.supersteps[s].work as f64,
+                breakdown.supersteps[s].comm as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        values[w_base + s] = w;
+        values[h_base + s] = h;
+        values[vars.used[s].index()] = if s < schedule.num_supersteps() { 1.0 } else { 0.0 };
+    }
+    Some(values)
+}
+
+/// Extracts a BSP schedule from a solved model.
+fn extract_schedule(
+    vars: &FullVars,
+    dag: &Dag,
+    machine: &Machine,
+    s_max: usize,
+    values: &[f64],
+) -> BspSchedule {
+    let n = dag.n();
+    let p = machine.p();
+    let mut proc = vec![0usize; n];
+    let mut superstep = vec![0usize; n];
+    for v in 0..n {
+        'search: for q in 0..p {
+            for s in 0..s_max {
+                if values[vars.comp[v][q][s].index()] > 0.5 {
+                    proc[v] = q;
+                    superstep[v] = s;
+                    break 'search;
+                }
+            }
+        }
+    }
+    let mut steps = Vec::new();
+    for v in 0..n {
+        for p1 in 0..p {
+            for p2 in 0..p {
+                if p1 == p2 {
+                    continue;
+                }
+                for s in 0..s_max {
+                    if let Some(var) = vars.comm[v][p1][p2][s] {
+                        if values[var.index()] > 0.5 {
+                            steps.push(CommStep { node: v, from: p1, to: p2, step: s });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut sched = BspSchedule {
+        assignment: Assignment { proc, superstep },
+        comm: CommSchedule::from_steps(steps),
+    };
+    // Drop redundant communication the ILP may have left in (it never helps
+    // the cost to keep it, but the extraction is simpler this way).
+    if sched.validate(dag, machine).is_err() {
+        sched.relax_to_lazy(dag);
+    }
+    sched.normalize(dag);
+    sched
+}
+
+/// Attempts to solve the whole scheduling problem as a single ILP, warm-started
+/// from `warm_start`.  Returns a schedule only if it is valid and at least as
+/// good as the warm start (or if no warm start was given).
+pub fn ilp_full_schedule(
+    dag: &Dag,
+    machine: &Machine,
+    max_supersteps: usize,
+    config: &IlpConfig,
+    warm_start: Option<&BspSchedule>,
+) -> Option<BspSchedule> {
+    let s_max = max_supersteps
+        .max(warm_start.map_or(1, |w| w.num_supersteps()))
+        .max(1);
+    if estimate_full_variables(dag, machine, s_max) > config.full_max_variables {
+        return None;
+    }
+    let (model, vars) = build_model(dag, machine, s_max);
+    let ws_vec = warm_start
+        .and_then(|w| warm_start_vector(&model, &vars, dag, machine, s_max, w));
+    let result = micro_ilp::solve_mip(
+        &model,
+        &MipConfig::with_time_limit(config.time_limit),
+        ws_vec.as_deref(),
+    );
+    if !result.has_solution() {
+        return None;
+    }
+    let sched = extract_schedule(&vars, dag, machine, s_max, &result.values);
+    if sched.validate(dag, machine).is_err() {
+        return None;
+    }
+    if let Some(ws) = warm_start {
+        if sched.cost(dag, machine) > ws.cost(dag, machine) {
+            return Some(ws.clone());
+        }
+    }
+    Some(sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::TrivialScheduler;
+    use crate::Scheduler;
+
+    #[test]
+    fn variable_estimate_matches_formula() {
+        let dag = Dag::from_edge_list_unit_weights(3, &[(0, 1), (1, 2)]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        assert_eq!(estimate_full_variables(&dag, &machine, 3), 3 * 2 * 3 + 3 * 4 * 3 + 9);
+    }
+
+    #[test]
+    fn warm_start_vector_is_feasible_for_the_model() {
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)], vec![2, 3, 4], vec![1, 1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 2);
+        let ws = TrivialScheduler.schedule(&dag, &machine);
+        let (model, vars) = build_model(&dag, &machine, 2);
+        let vec = warm_start_vector(&model, &vars, &dag, &machine, 2, &ws).unwrap();
+        assert!(model.is_feasible(&vec, 1e-6), "warm start not feasible");
+        // Its model objective equals the schedule cost.
+        assert!((model.objective_value(&vec) - ws.cost(&dag, &machine) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn finds_the_obvious_parallel_schedule_for_independent_nodes() {
+        // Two independent heavy nodes, two processors, no communication needed:
+        // optimal cost is w + l = 10 + 1.
+        let dag = Dag::from_edges(2, &[], vec![10, 10], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let config = IlpConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            ..IlpConfig::fast()
+        };
+        let trivial = TrivialScheduler.schedule(&dag, &machine);
+        let sched = ilp_full_schedule(&dag, &machine, 1, &config, Some(&trivial)).unwrap();
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert_eq!(sched.cost(&dag, &machine), 11);
+    }
+
+    #[test]
+    fn never_returns_something_worse_than_the_warm_start() {
+        let dag = Dag::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![1, 5, 5, 1],
+            vec![2, 2, 2, 2],
+        )
+        .unwrap();
+        let machine = Machine::uniform(2, 2, 3);
+        let ws = TrivialScheduler.schedule(&dag, &machine);
+        let config = IlpConfig::fast();
+        if let Some(sched) = ilp_full_schedule(&dag, &machine, 3, &config, Some(&ws)) {
+            assert!(sched.validate(&dag, &machine).is_ok());
+            assert!(sched.cost(&dag, &machine) <= ws.cost(&dag, &machine));
+        }
+    }
+
+    #[test]
+    fn refuses_oversized_instances() {
+        let dag = Dag::from_edge_list_unit_weights(200, &[]).unwrap();
+        let machine = Machine::uniform(8, 1, 1);
+        assert!(ilp_full_schedule(&dag, &machine, 10, &IlpConfig::fast(), None).is_none());
+    }
+}

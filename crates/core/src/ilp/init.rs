@@ -1,0 +1,146 @@
+//! `ILPinit`: ILP-based construction of an initial schedule (§4.2 / A.4).
+//!
+//! Nodes are processed in topological order in batches whose size is chosen so
+//! that the batch ILP stays within the configured variable budget (which, as
+//! in the paper, scales with `P²`).  Each batch starts out as one superstep on
+//! processor 0 and is then reorganized by the window ILP of
+//! [`crate::ilp::partial`], with all earlier batches fixed.
+//!
+//! Deviation from the paper (documented in `DESIGN.md`): the original
+//! `ILPinit` lets every batch spread over the next three supersteps; this
+//! implementation gives each batch a single superstep and lets the subsequent
+//! pipeline stages (`HC`, `ILPpart`) split or merge supersteps.  The batch
+//! size rule and the role in the pipeline (only attempted for small `P`) are
+//! unchanged.
+
+use super::partial::improve_window;
+use super::IlpConfig;
+use crate::Scheduler;
+use bsp_model::{Assignment, BspSchedule, Dag, Machine};
+
+/// The `ILPinit` initialization scheduler.
+#[derive(Debug, Clone)]
+pub struct IlpInitScheduler {
+    pub config: IlpConfig,
+}
+
+impl Default for IlpInitScheduler {
+    fn default() -> Self {
+        IlpInitScheduler {
+            config: IlpConfig::default(),
+        }
+    }
+}
+
+impl IlpInitScheduler {
+    /// Creates an `ILPinit` scheduler with the given ILP configuration.
+    pub fn new(config: IlpConfig) -> Self {
+        IlpInitScheduler { config }
+    }
+
+    /// Splits the nodes into topological batches within the variable budget.
+    fn batches(&self, dag: &Dag, machine: &Machine) -> Vec<Vec<usize>> {
+        let p2 = machine.p() * machine.p();
+        let max_batch = (self.config.init_variable_budget / p2.max(1)).max(1);
+        let order = dag
+            .topological_order()
+            .expect("Dag invariant: always acyclic");
+        order
+            .chunks(max_batch)
+            .map(|chunk| chunk.to_vec())
+            .collect()
+    }
+}
+
+impl Scheduler for IlpInitScheduler {
+    fn name(&self) -> &'static str {
+        "ILPinit"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> BspSchedule {
+        if dag.n() == 0 {
+            return BspSchedule::trivial(dag);
+        }
+        let batches = self.batches(dag, machine);
+        // Seed schedule: batch k lives in superstep k on processor 0.  This is
+        // valid because batches follow a topological order.
+        let mut proc = vec![0usize; dag.n()];
+        let mut superstep = vec![0usize; dag.n()];
+        for (k, batch) in batches.iter().enumerate() {
+            for &v in batch {
+                proc[v] = 0;
+                superstep[v] = k;
+            }
+        }
+        let mut sched =
+            BspSchedule::from_assignment_lazy(dag, Assignment { proc, superstep });
+        debug_assert!(sched.validate(dag, machine).is_ok());
+
+        // Reorganize each batch with the window ILP, front to back.  Because
+        // earlier improvements may merge supersteps, track the superstep of the
+        // batch's first node rather than the original index.
+        for batch in &batches {
+            let anchor = batch[0];
+            let s = sched.superstep(anchor);
+            improve_window(dag, machine, &mut sched, s, s, &self.config);
+        }
+        sched.normalize(dag);
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dag_gen::fine::{spmv, SpmvConfig};
+
+    #[test]
+    fn produces_valid_schedules() {
+        let dag = spmv(&SpmvConfig { n: 8, density: 0.3, seed: 6 });
+        let machine = Machine::uniform(2, 1, 3);
+        let sched = IlpInitScheduler::new(IlpConfig::fast()).schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn distributes_independent_work_across_processors() {
+        // Eight independent unit-work nodes: the per-batch ILP should spread
+        // them instead of leaving everything on processor 0.
+        let dag = Dag::from_edges(8, &[], vec![4; 8], vec![1; 8]).unwrap();
+        let machine = Machine::uniform(4, 1, 1);
+        let config = IlpConfig {
+            time_limit: std::time::Duration::from_secs(5),
+            ..IlpConfig::fast()
+        };
+        let sched = IlpInitScheduler::new(config).schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        let used: std::collections::HashSet<usize> =
+            sched.assignment.proc.iter().copied().collect();
+        assert!(used.len() >= 2, "ILPinit left everything on one processor");
+    }
+
+    #[test]
+    fn batch_sizes_scale_with_processor_count() {
+        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 7 });
+        let small = IlpInitScheduler::new(IlpConfig::fast());
+        let few = small.batches(&dag, &Machine::uniform(2, 1, 1));
+        let many = small.batches(&dag, &Machine::uniform(8, 1, 1));
+        assert!(few.len() <= many.len());
+        assert_eq!(few.iter().map(Vec::len).sum::<usize>(), dag.n());
+        assert_eq!(many.iter().map(Vec::len).sum::<usize>(), dag.n());
+    }
+
+    #[test]
+    fn handles_chains_without_panicking() {
+        let dag = Dag::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            vec![1; 6],
+            vec![2; 6],
+        )
+        .unwrap();
+        let machine = Machine::uniform(4, 2, 2);
+        let sched = IlpInitScheduler::new(IlpConfig::fast()).schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+    }
+}

@@ -1,0 +1,79 @@
+//! ILP-based scheduling methods (§4.4 of the paper).
+//!
+//! The BSP scheduling problem (or a sub-problem of it) is expressed as a 0/1
+//! integer linear program and handed to the [`micro_ilp`] branch-&-bound
+//! solver — the stand-in for the CBC solver used in the paper:
+//!
+//! * [`full`] — `ILPfull`: the complete scheduling problem as one ILP
+//!   (the "FS" formulation of arXiv:2303.05989), viable only for very small
+//!   DAGs.
+//! * [`partial`] — `ILPpart`: reorganizes the nodes of a window of consecutive
+//!   supersteps of an existing schedule, keeping the rest fixed; applied
+//!   repeatedly over disjoint windows.
+//! * [`comm`] — `ILPcs`: optimizes the communication schedule `Γ` alone.
+//! * [`init`] — `ILPinit`: builds an initial schedule by processing batches of
+//!   nodes in topological order, each batch solved as a small ILP.
+//!
+//! All methods are *anytime*: they are warm-started from the current schedule
+//! and only ever replace it when the full schedule cost improves.
+
+pub mod comm;
+pub mod full;
+pub mod init;
+pub mod partial;
+
+use std::time::Duration;
+
+/// Configuration of the ILP-based methods.
+///
+/// The paper's variable-count thresholds (20 000 for `ILPfull`, 4 000 per
+/// `ILPpart` window) assume CBC; the defaults here are lower because
+/// `micro-ilp` is a much simpler solver (see `DESIGN.md`).
+#[derive(Debug, Clone)]
+pub struct IlpConfig {
+    /// Time limit per individual ILP solve.
+    pub time_limit: Duration,
+    /// `ILPfull` is only attempted when its estimated variable count is below
+    /// this threshold (paper: 20 000).
+    pub full_max_variables: usize,
+    /// Target variable count of a single `ILPpart` window (paper: 4 000).
+    pub window_variable_budget: usize,
+    /// Target variable count of an `ILPinit` batch (paper: 2 000).
+    pub init_variable_budget: usize,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            time_limit: Duration::from_secs(5),
+            full_max_variables: 2_000,
+            window_variable_budget: 600,
+            init_variable_budget: 400,
+        }
+    }
+}
+
+impl IlpConfig {
+    /// A configuration with the given per-solve time limit.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        IlpConfig {
+            time_limit,
+            ..Default::default()
+        }
+    }
+
+    /// A very small configuration for unit tests and quick experiments.
+    pub fn fast() -> Self {
+        IlpConfig {
+            time_limit: Duration::from_millis(250),
+            full_max_variables: 600,
+            window_variable_budget: 250,
+            init_variable_budget: 200,
+        }
+    }
+}
+
+pub use comm::ilp_cs_improve;
+pub use full::{estimate_full_variables, ilp_full_schedule};
+pub use init::IlpInitScheduler;
+pub use partial::ilp_part_improve;

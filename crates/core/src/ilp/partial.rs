@@ -1,0 +1,676 @@
+//! `ILPpart`: iterative improvement of a schedule through partial ILPs over
+//! windows of consecutive supersteps (§4.4 and Appendix A.4).
+//!
+//! The supersteps of the current schedule are split, from back to front, into
+//! disjoint windows `[s1, s2]`; each window is grown until the estimated
+//! variable count `|V0| · |S0| · P²` exceeds the configured budget.  The nodes
+//! currently assigned to a window may be reassigned to any processor and any
+//! superstep inside the window; everything outside the window stays fixed.
+//! Values crossing the window boundary are handled as in the paper:
+//!
+//! * predecessors computed before the window are available on the processors
+//!   that already hold them; sending them to additional processors is allowed
+//!   through extra binaries charged to the communication phase right before
+//!   the window;
+//! * values needed after the window must be present on the target processor by
+//!   the end of the window;
+//! * unrelated transfers that merely pass through the window contribute
+//!   constant send/receive load.
+//!
+//! The candidate reassignment is adopted only when the *full* recomputed
+//! schedule cost improves, so `ILPpart` is monotone regardless of how coarse
+//! the window objective is.
+
+use super::IlpConfig;
+use bsp_model::{BspSchedule, Dag, Machine};
+use micro_ilp::{Model, MipConfig, VarId};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Splits the supersteps of `schedule` into windows (back to front) whose
+/// estimated variable count stays within `budget`.
+fn build_windows(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &BspSchedule,
+    budget: usize,
+) -> Vec<(usize, usize)> {
+    let num_steps = schedule.assignment.num_supersteps();
+    if num_steps == 0 {
+        return Vec::new();
+    }
+    let mut nodes_per_step = vec![0usize; num_steps];
+    for v in 0..dag.n() {
+        nodes_per_step[schedule.superstep(v)] += 1;
+    }
+    let p2 = machine.p() * machine.p();
+    let mut windows = Vec::new();
+    let mut s2 = num_steps as isize - 1;
+    while s2 >= 0 {
+        let mut s1 = s2;
+        let mut nodes = nodes_per_step[s2 as usize];
+        while s1 > 0 {
+            let extra = nodes_per_step[(s1 - 1) as usize];
+            let span = (s2 - s1 + 2) as usize;
+            if (nodes + extra) * span * p2 > budget {
+                break;
+            }
+            s1 -= 1;
+            nodes += extra;
+        }
+        windows.push((s1 as usize, s2 as usize));
+        s2 = s1 - 1;
+    }
+    windows
+}
+
+/// Tries to improve the nodes of the superstep window `[s1, s2]`; returns
+/// `true` if `schedule` was replaced by a strictly better one.
+pub fn improve_window(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    s1: usize,
+    s2: usize,
+    config: &IlpConfig,
+) -> bool {
+    let p = machine.p();
+    let g = machine.g() as f64;
+    let l = machine.latency() as f64;
+    let window: Vec<usize> = (s1..=s2).collect();
+    let v0: Vec<usize> = (0..dag.n())
+        .filter(|&v| (s1..=s2).contains(&schedule.superstep(v)))
+        .collect();
+    if v0.is_empty() {
+        return false;
+    }
+    let in_v0: HashSet<usize> = v0.iter().copied().collect();
+    let index_of: HashMap<usize, usize> = v0.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Availability of outside predecessors: proc -> already holds the value.
+    let mut available: HashMap<usize, HashSet<usize>> = HashMap::new();
+    let mut outside_preds: HashSet<usize> = HashSet::new();
+    for &v in &v0 {
+        for &u in dag.predecessors(v) {
+            if !in_v0.contains(&u) {
+                outside_preds.insert(u);
+            }
+        }
+    }
+    for &u in &outside_preds {
+        let mut set = HashSet::new();
+        set.insert(schedule.proc(u));
+        for cs in schedule.comm.steps() {
+            if cs.node == u && cs.step < s1 {
+                set.insert(cs.to);
+            }
+        }
+        available.insert(u, set);
+    }
+
+    // Constant communication load per (superstep, processor) from transfers
+    // whose source node is outside V0 and which still serve someone outside
+    // the window (they stay where they are).
+    let pre_phase = s1.checked_sub(1);
+    let mut const_send = vec![vec![0u64; p]; s2 + 1];
+    let mut const_recv = vec![vec![0u64; p]; s2 + 1];
+    for cs in schedule.comm.steps() {
+        if in_v0.contains(&cs.node) {
+            continue;
+        }
+        let lo = pre_phase.unwrap_or(s1);
+        if cs.step < lo || cs.step > s2 {
+            continue;
+        }
+        let serves_outside = dag.successors(cs.node).iter().any(|&w| {
+            !in_v0.contains(&w) && schedule.proc(w) == cs.to && schedule.superstep(w) > cs.step
+        });
+        if serves_outside {
+            let w = dag.comm(cs.node) * machine.lambda(cs.from, cs.to);
+            const_send[cs.step][cs.from] += w;
+            const_recv[cs.step][cs.to] += w;
+        }
+    }
+
+    // ---- Model construction ----------------------------------------------
+    let mut model = Model::new();
+    let comp: Vec<Vec<Vec<VarId>>> = v0
+        .iter()
+        .map(|&v| {
+            (0..p)
+                .map(|q| {
+                    window
+                        .iter()
+                        .map(|&s| model.add_binary(format!("comp_{v}_{q}_{s}"), 0.0))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    // Window communication variables for V0 values.
+    let comm: Vec<Vec<Vec<Vec<Option<VarId>>>>> = v0
+        .iter()
+        .map(|&v| {
+            (0..p)
+                .map(|p1| {
+                    (0..p)
+                        .map(|p2| {
+                            window
+                                .iter()
+                                .map(|&s| {
+                                    if p1 == p2 {
+                                        None
+                                    } else {
+                                        Some(model.add_binary(
+                                            format!("comm_{v}_{p1}_{p2}_{s}"),
+                                            0.0,
+                                        ))
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    // Pre-window transfers for outside predecessors: (pred, target proc) -> var.
+    let mut commpre: HashMap<(usize, usize), VarId> = HashMap::new();
+    if pre_phase.is_some() {
+        for &u in &outside_preds {
+            for q in 0..p {
+                if !available[&u].contains(&q) {
+                    commpre.insert(
+                        (u, q),
+                        model.add_binary(format!("pre_{u}_{q}"), 0.0),
+                    );
+                }
+            }
+        }
+    }
+    let work_cost: Vec<VarId> = window
+        .iter()
+        .map(|&s| model.add_continuous(format!("W_{s}"), 0.0, f64::INFINITY, 1.0))
+        .collect();
+    // h-relation variables for the window phases and (if present) the phase
+    // right before the window.
+    let mut h_cost: HashMap<usize, VarId> = HashMap::new();
+    for &s in &window {
+        h_cost.insert(s, model.add_continuous(format!("H_{s}"), 0.0, f64::INFINITY, g));
+    }
+    if let Some(pre) = pre_phase {
+        h_cost.insert(pre, model.add_continuous(format!("H_{pre}"), 0.0, f64::INFINITY, g));
+    }
+    let used: Vec<VarId> = window
+        .iter()
+        .map(|&s| model.add_binary(format!("used_{s}"), l))
+        .collect();
+
+    let widx = |s: usize| s - s1;
+
+    // Each window node computed exactly once.
+    for (i, &v) in v0.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = (0..p)
+            .flat_map(|q| window.iter().map(move |&s| (q, s)))
+            .map(|(q, s)| (comp[i][q][widx(s)], 1.0))
+            .collect();
+        model.add_eq(format!("once_{v}"), terms, 1.0);
+    }
+
+    // Precedence among window nodes.
+    for (i, &v) in v0.iter().enumerate() {
+        for &u in dag.predecessors(v) {
+            let Some(&j) = index_of.get(&u) else { continue };
+            for q in 0..p {
+                for &s in &window {
+                    let mut terms = vec![(comp[i][q][widx(s)], 1.0)];
+                    for &s2x in window.iter().filter(|&&x| x <= s) {
+                        terms.push((comp[j][q][widx(s2x)], -1.0));
+                    }
+                    for &s2x in window.iter().filter(|&&x| x < s) {
+                        for p1 in 0..p {
+                            if let Some(var) = comm[j][p1][q][widx(s2x)] {
+                                terms.push((var, -1.0));
+                            }
+                        }
+                    }
+                    model.add_le(format!("prec_{u}_{v}_{q}_{s}"), terms, 0.0);
+                }
+            }
+        }
+    }
+
+    // Precedence towards outside predecessors: v may sit on processor q only
+    // if the value of u is already there or is brought there by a pre-window
+    // transfer.
+    for (i, &v) in v0.iter().enumerate() {
+        for &u in dag.predecessors(v) {
+            if in_v0.contains(&u) {
+                continue;
+            }
+            for q in 0..p {
+                if available[&u].contains(&q) {
+                    continue;
+                }
+                let mut terms: Vec<(VarId, f64)> = window
+                    .iter()
+                    .map(|&s| (comp[i][q][widx(s)], 1.0))
+                    .collect();
+                match commpre.get(&(u, q)) {
+                    Some(&var) => {
+                        terms.push((var, -1.0));
+                        model.add_le(format!("ext_{u}_{v}_{q}"), terms, 0.0);
+                    }
+                    None => {
+                        // No pre-phase exists (window starts at superstep 0):
+                        // the placement is simply forbidden.
+                        model.add_le(format!("ext_{u}_{v}_{q}"), terms, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Window communication source availability.
+    for (i, &v) in v0.iter().enumerate() {
+        for p1 in 0..p {
+            for p2 in 0..p {
+                if p1 == p2 {
+                    continue;
+                }
+                for &s in &window {
+                    let var = comm[i][p1][p2][widx(s)].expect("off-diagonal");
+                    let mut terms = vec![(var, 1.0)];
+                    for &s2x in window.iter().filter(|&&x| x <= s) {
+                        terms.push((comp[i][p1][widx(s2x)], -1.0));
+                    }
+                    for &s2x in window.iter().filter(|&&x| x < s) {
+                        for p0 in 0..p {
+                            if let Some(prev) = comm[i][p0][p1][widx(s2x)] {
+                                terms.push((prev, -1.0));
+                            }
+                        }
+                    }
+                    model.add_le(format!("src_{v}_{p1}_{p2}_{s}"), terms, 0.0);
+                }
+            }
+        }
+    }
+
+    // Values needed after the window must be present on the consumer's
+    // processor by the end of the window.
+    for (i, &v) in v0.iter().enumerate() {
+        let mut targets: HashSet<usize> = HashSet::new();
+        for &w in dag.successors(v) {
+            if !in_v0.contains(&w) {
+                targets.insert(schedule.proc(w));
+            }
+        }
+        for q in targets {
+            let mut terms: Vec<(VarId, f64)> = window
+                .iter()
+                .map(|&s| (comp[i][q][widx(s)], 1.0))
+                .collect();
+            for &s in &window {
+                for p1 in 0..p {
+                    if let Some(var) = comm[i][p1][q][widx(s)] {
+                        terms.push((var, 1.0));
+                    }
+                }
+            }
+            model.add_ge(format!("after_{v}_{q}"), terms, 1.0);
+        }
+    }
+
+    // Work cost.
+    for &s in &window {
+        for q in 0..p {
+            let mut terms = vec![(work_cost[widx(s)], 1.0)];
+            for (i, &v) in v0.iter().enumerate() {
+                terms.push((comp[i][q][widx(s)], -(dag.work(v) as f64)));
+            }
+            model.add_ge(format!("work_{q}_{s}"), terms, 0.0);
+        }
+    }
+
+    // Communication cost (window phases).
+    for &s in &window {
+        for q in 0..p {
+            let mut send_terms = vec![(h_cost[&s], 1.0)];
+            let mut recv_terms = vec![(h_cost[&s], 1.0)];
+            for (i, &v) in v0.iter().enumerate() {
+                for other in 0..p {
+                    if other == q {
+                        continue;
+                    }
+                    if let Some(var) = comm[i][q][other][widx(s)] {
+                        send_terms.push((var, -((dag.comm(v) * machine.lambda(q, other)) as f64)));
+                    }
+                    if let Some(var) = comm[i][other][q][widx(s)] {
+                        recv_terms.push((var, -((dag.comm(v) * machine.lambda(other, q)) as f64)));
+                    }
+                }
+            }
+            model.add_ge(format!("send_{q}_{s}"), send_terms, const_send[s][q] as f64);
+            model.add_ge(format!("recv_{q}_{s}"), recv_terms, const_recv[s][q] as f64);
+        }
+    }
+    // Communication cost of the phase right before the window (pre-window
+    // transfers plus its constant load).
+    if let Some(pre) = pre_phase {
+        for q in 0..p {
+            let mut send_terms = vec![(h_cost[&pre], 1.0)];
+            let mut recv_terms = vec![(h_cost[&pre], 1.0)];
+            for (&(u, target), &var) in &commpre {
+                let w = (dag.comm(u) * machine.lambda(schedule.proc(u), target)) as f64;
+                if schedule.proc(u) == q {
+                    send_terms.push((var, -w));
+                }
+                if target == q {
+                    recv_terms.push((var, -w));
+                }
+            }
+            // Constant load of the pre-phase: every existing transfer scheduled
+            // there (none of them involve V0 reassignments' sources).
+            let mut cs_send = 0u64;
+            let mut cs_recv = 0u64;
+            for cs in schedule.comm.steps() {
+                if cs.step == pre && !in_v0.contains(&cs.node) {
+                    let w = dag.comm(cs.node) * machine.lambda(cs.from, cs.to);
+                    if cs.from == q {
+                        cs_send += w;
+                    }
+                    if cs.to == q {
+                        cs_recv += w;
+                    }
+                }
+            }
+            model.add_ge(format!("presend_{q}"), send_terms, cs_send as f64);
+            model.add_ge(format!("prerecv_{q}"), recv_terms, cs_recv as f64);
+        }
+    }
+
+    // Superstep usage (latency) within the window.
+    let big = (v0.len() + 1) as f64;
+    for &s in &window {
+        let mut terms = vec![(used[widx(s)], big)];
+        for (i, _) in v0.iter().enumerate() {
+            for q in 0..p {
+                terms.push((comp[i][q][widx(s)], -1.0));
+            }
+        }
+        model.add_ge(format!("used_{s}"), terms, 0.0);
+        // A superstep carrying constant communication load cannot be removed.
+        if (0..p).any(|q| const_send[s][q] > 0 || const_recv[s][q] > 0) {
+            model.add_ge(format!("used_forced_{s}"), vec![(used[widx(s)], 1.0)], 1.0);
+        }
+    }
+
+    // ---- Warm start ---------------------------------------------------------
+    let mut warm = vec![0.0; model.num_vars()];
+    for (i, &v) in v0.iter().enumerate() {
+        warm[comp[i][schedule.proc(v)][widx(schedule.superstep(v))].index()] = 1.0;
+    }
+    // Window transfers of V0 values: place each required transfer at the last
+    // phase before its first (current) consumer, clamped into the window.
+    for (i, &v) in v0.iter().enumerate() {
+        let pv = schedule.proc(v);
+        let mut needs: HashMap<usize, usize> = HashMap::new();
+        for &w in dag.successors(v) {
+            let q = schedule.proc(w);
+            if q != pv {
+                let due = if in_v0.contains(&w) {
+                    schedule.superstep(w).saturating_sub(1)
+                } else {
+                    s2
+                };
+                needs
+                    .entry(q)
+                    .and_modify(|x| *x = (*x).min(due))
+                    .or_insert(due);
+            }
+        }
+        for (q, due) in needs {
+            let phase = due.clamp(s1, s2);
+            if let Some(var) = comm[i][pv][q][widx(phase)] {
+                warm[var.index()] = 1.0;
+            }
+        }
+    }
+    // Pre-window transfers needed by the warm start.
+    for &v in &v0 {
+        for &u in dag.predecessors(v) {
+            if in_v0.contains(&u) {
+                continue;
+            }
+            let q = schedule.proc(v);
+            if !available[&u].contains(&q) {
+                if let Some(&var) = commpre.get(&(u, q)) {
+                    warm[var.index()] = 1.0;
+                }
+            }
+        }
+    }
+    // Derive consistent W / H / used values for the warm start by evaluating
+    // the constraint left-hand sides.
+    {
+        let mut work_acc = vec![vec![0u64; p]; s2 + 1];
+        for (i, &v) in v0.iter().enumerate() {
+            let _ = i;
+            work_acc[schedule.superstep(v)][schedule.proc(v)] += dag.work(v);
+        }
+        for &s in &window {
+            warm[work_cost[widx(s)].index()] =
+                work_acc[s].iter().copied().max().unwrap_or(0) as f64;
+            warm[used[widx(s)].index()] = 1.0;
+        }
+        let lo = pre_phase.unwrap_or(s1);
+        let mut send_acc = vec![vec![0f64; p]; s2 + 1];
+        let mut recv_acc = vec![vec![0f64; p]; s2 + 1];
+        for s in lo..=s2 {
+            for q in 0..p {
+                send_acc[s][q] = const_send.get(s).map_or(0, |r| r[q]) as f64;
+                recv_acc[s][q] = const_recv.get(s).map_or(0, |r| r[q]) as f64;
+            }
+        }
+        if let Some(pre) = pre_phase {
+            for cs in schedule.comm.steps() {
+                if cs.step == pre && !in_v0.contains(&cs.node) {
+                    let w = (dag.comm(cs.node) * machine.lambda(cs.from, cs.to)) as f64;
+                    send_acc[pre][cs.from] += w;
+                    recv_acc[pre][cs.to] += w;
+                }
+            }
+            for (&(u, target), &var) in &commpre {
+                if warm[var.index()] > 0.5 {
+                    let w = (dag.comm(u) * machine.lambda(schedule.proc(u), target)) as f64;
+                    send_acc[pre][schedule.proc(u)] += w;
+                    recv_acc[pre][target] += w;
+                }
+            }
+        }
+        for (i, &v) in v0.iter().enumerate() {
+            for p1 in 0..p {
+                for p2x in 0..p {
+                    if p1 == p2x {
+                        continue;
+                    }
+                    for &s in &window {
+                        if let Some(var) = comm[i][p1][p2x][widx(s)] {
+                            if warm[var.index()] > 0.5 {
+                                let w = (dag.comm(v) * machine.lambda(p1, p2x)) as f64;
+                                send_acc[s][p1] += w;
+                                recv_acc[s][p2x] += w;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (&s, &hvar) in &h_cost {
+            let hmax = (0..p)
+                .map(|q| send_acc[s][q].max(recv_acc[s][q]))
+                .fold(0.0f64, f64::max);
+            warm[hvar.index()] = hmax;
+        }
+    }
+    let warm = if model.is_feasible(&warm, 1e-5) { Some(warm) } else { None };
+
+    // A window is normally sized by `window_variable_budget`, but a single
+    // superstep with many nodes can still exceed it; the dense simplex cannot
+    // take such models, so skip the window rather than blow up memory.
+    if model.num_vars() > config.full_max_variables.max(4 * config.window_variable_budget) {
+        return false;
+    }
+
+    // ---- Solve and adopt if the real cost improves --------------------------
+    let result = micro_ilp::solve_mip(
+        &model,
+        &MipConfig::with_time_limit(config.time_limit),
+        warm.as_deref(),
+    );
+    if !result.has_solution() {
+        return false;
+    }
+    let mut candidate = schedule.clone();
+    for (i, &v) in v0.iter().enumerate() {
+        'hunt: for q in 0..p {
+            for &s in &window {
+                if result.values[comp[i][q][widx(s)].index()] > 0.5 {
+                    candidate.assignment.proc[v] = q;
+                    candidate.assignment.superstep[v] = s;
+                    break 'hunt;
+                }
+            }
+        }
+    }
+    candidate.relax_to_lazy(dag);
+    candidate.normalize(dag);
+    if candidate.validate(dag, machine).is_err() {
+        return false;
+    }
+    if candidate.cost(dag, machine) < schedule.cost(dag, machine) {
+        *schedule = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+/// Runs `ILPpart` over all windows of the current schedule (back to front).
+/// Returns the number of windows whose reassignment was adopted.
+pub fn ilp_part_improve(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    config: &IlpConfig,
+    deadline: Option<Instant>,
+) -> usize {
+    let windows = build_windows(dag, machine, schedule, config.window_variable_budget);
+    let mut improved = 0usize;
+    for (s1, s2) in windows {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        // The schedule may have been normalized (fewer supersteps) by a
+        // previous window; skip windows that fell off the end.
+        let current_steps = schedule.assignment.num_supersteps();
+        if s1 >= current_steps {
+            continue;
+        }
+        let s2 = s2.min(current_steps - 1);
+        if improve_window(dag, machine, schedule, s1, s2, config) {
+            improved += 1;
+        }
+    }
+    improved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SourceScheduler;
+    use crate::Scheduler;
+    use bsp_model::Assignment;
+    use dag_gen::fine::{spmv, SpmvConfig};
+
+    #[test]
+    fn windows_cover_all_supersteps_without_overlap() {
+        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 2 });
+        let machine = Machine::uniform(4, 1, 5);
+        let sched = SourceScheduler.schedule(&dag, &machine);
+        let windows = build_windows(&dag, &machine, &sched, 400);
+        let mut covered = vec![false; sched.assignment.num_supersteps()];
+        for (s1, s2) in &windows {
+            for s in *s1..=*s2 {
+                assert!(!covered[s], "superstep {s} covered twice");
+                covered[s] = true;
+            }
+        }
+        assert!(covered.into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn partial_ilp_never_worsens_the_schedule() {
+        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 4 });
+        let machine = Machine::uniform(2, 3, 5);
+        let mut sched = SourceScheduler.schedule(&dag, &machine);
+        let before = sched.cost(&dag, &machine);
+        ilp_part_improve(&dag, &machine, &mut sched, &IlpConfig::fast(), None);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(sched.cost(&dag, &machine) <= before);
+    }
+
+    #[test]
+    fn window_ilp_fixes_an_unbalanced_superstep() {
+        // Two independent heavy nodes crammed onto one processor in one
+        // superstep; the window ILP should spread them over both processors.
+        let dag = Dag::from_edges(2, &[], vec![10, 10], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 0],
+            superstep: vec![0, 0],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let improved = improve_window(
+            &dag,
+            &machine,
+            &mut sched,
+            0,
+            0,
+            &IlpConfig {
+                time_limit: std::time::Duration::from_secs(5),
+                ..IlpConfig::fast()
+            },
+        );
+        assert!(improved);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert_eq!(sched.cost(&dag, &machine), 10 + 1);
+        assert_ne!(sched.proc(0), sched.proc(1));
+    }
+
+    #[test]
+    fn respects_cross_window_dependencies() {
+        // A chain spanning three supersteps across two processors; improving
+        // the middle window must not break validity.
+        let dag = Dag::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4)],
+            vec![2; 5],
+            vec![3; 5],
+        )
+        .unwrap();
+        let machine = Machine::uniform(2, 2, 4);
+        let assignment = Assignment {
+            proc: vec![0, 1, 0, 1, 0],
+            superstep: vec![0, 1, 2, 3, 4],
+        };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        let before = sched.cost(&dag, &machine);
+        improve_window(&dag, &machine, &mut sched, 1, 3, &IlpConfig::fast());
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(sched.cost(&dag, &machine) <= before);
+    }
+}

@@ -1,0 +1,247 @@
+//! The `BSPg` greedy initialization heuristic (§4.2, Algorithm 1).
+//!
+//! `BSPg` simulates concrete start/finish times inside each superstep (like a
+//! classical list scheduler) but assigns nodes directly to supersteps.  A node
+//! may be given to a processor only if this does not force the current
+//! computation phase to end, i.e. all of its predecessors are already present
+//! on that processor (computed there, or computed in an earlier superstep).
+//! When at least half of the processors are idle and nothing further can be
+//! assigned without communication, the superstep is closed.
+//!
+//! Tie-breaking among assignable nodes uses the communication-saving score of
+//! the paper: for each predecessor `u` of a candidate `v` with `u` (or one of
+//! `u`'s direct successors) already on the target processor, the score grows
+//! by `c(u) / outdeg(u)`.
+
+use crate::Scheduler;
+use bsp_model::{Assignment, BspSchedule, Dag, Machine};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The `BSPg` greedy initializer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BspgScheduler;
+
+impl BspgScheduler {
+    /// Computes the `(π, τ)` assignment (the communication schedule is the
+    /// lazy one, added by [`Scheduler::schedule`]).
+    pub fn assignment(&self, dag: &Dag, machine: &Machine) -> Assignment {
+        let n = dag.n();
+        let p = machine.p();
+        let mut proc = vec![usize::MAX; n];
+        let mut superstep_of = vec![usize::MAX; n];
+        if n == 0 {
+            return Assignment { proc: vec![], superstep: vec![] };
+        }
+
+        let mut unfinished_preds: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+        // Nodes with all predecessors finished, not yet assigned.
+        let mut ready: BTreeSet<usize> = dag.sources().into_iter().collect();
+        // Nodes assignable to a specific processor within the current superstep.
+        let mut ready_proc: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); p];
+        // Nodes assignable to every processor within the current superstep.
+        let mut ready_all: BTreeSet<usize> = ready.clone();
+
+        let mut superstep = 0usize;
+        let mut end_step = false;
+        let mut free = vec![true; p];
+        // finish events of the current superstep: time -> nodes finishing then.
+        let mut finish_events: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        finish_events.insert(0, Vec::new());
+        let mut assigned = 0usize;
+
+        // Score of assigning `v` to processor `q` (higher is better).
+        let score = |v: usize, q: usize, proc: &[usize]| -> f64 {
+            let mut s = 0.0;
+            for &u in dag.predecessors(v) {
+                let u_here = proc[u] == q;
+                let succ_here = dag.successors(u).iter().any(|&w| proc[w] == q);
+                if u_here || succ_here {
+                    s += dag.comm(u) as f64 / dag.out_degree(u).max(1) as f64;
+                }
+            }
+            s
+        };
+
+        while assigned < n {
+            if end_step && finish_events.is_empty() {
+                // Start the next superstep.
+                for set in &mut ready_proc {
+                    set.clear();
+                }
+                ready_all = ready.clone();
+                superstep += 1;
+                end_step = false;
+                finish_events.insert(0, Vec::new());
+                free.iter_mut().for_each(|f| *f = true);
+            }
+
+            // Pop the earliest finish time of the current superstep.
+            let (t, finishing) = finish_events
+                .pop_first()
+                .expect("finish event queue cannot be empty here");
+
+            for &v in &finishing {
+                free[proc[v]] = true;
+                for &u in dag.successors(v) {
+                    unfinished_preds[u] -= 1;
+                    if unfinished_preds[u] == 0 {
+                        ready.insert(u);
+                        let assignable_here = dag.predecessors(u).iter().all(|&u0| {
+                            proc[u0] == proc[v] || superstep_of[u0] < superstep
+                        });
+                        if assignable_here {
+                            ready_proc[proc[v]].insert(u);
+                        }
+                    }
+                }
+            }
+
+            if !end_step {
+                loop {
+                    // A free processor that can still receive a node.
+                    let candidate = (0..p).find(|&q| {
+                        free[q] && (!ready_proc[q].is_empty() || !ready_all.is_empty())
+                    });
+                    let Some(q) = candidate else { break };
+                    let pool: Vec<usize> = if !ready_proc[q].is_empty() {
+                        ready_proc[q].iter().copied().collect()
+                    } else {
+                        ready_all.iter().copied().collect()
+                    };
+                    let v = pool
+                        .into_iter()
+                        .map(|v| (v, score(v, q, &proc)))
+                        .max_by(|a, b| {
+                            a.1.partial_cmp(&b.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(b.0.cmp(&a.0))
+                        })
+                        .map(|(v, _)| v)
+                        .expect("pool is non-empty");
+                    ready.remove(&v);
+                    ready_all.remove(&v);
+                    for set in &mut ready_proc {
+                        set.remove(&v);
+                    }
+                    proc[v] = q;
+                    superstep_of[v] = superstep;
+                    assigned += 1;
+                    finish_events.entry(t + dag.work(v)).or_default().push(v);
+                    free[q] = false;
+                }
+            }
+
+            // Close the computation phase when at least half the processors are
+            // idle and no node is assignable to every processor.
+            let idle = (0..p).filter(|&q| free[q]).count();
+            if ready_all.is_empty() && 2 * idle >= p {
+                end_step = true;
+            }
+        }
+
+        Assignment {
+            proc,
+            superstep: superstep_of,
+        }
+    }
+}
+
+impl Scheduler for BspgScheduler {
+    fn name(&self) -> &'static str {
+        "BSPg"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> BspSchedule {
+        if dag.n() == 0 {
+            return BspSchedule::trivial(dag);
+        }
+        let assignment = self.assignment(dag, machine);
+        let mut sched = BspSchedule::from_assignment_lazy(dag, assignment);
+        sched.normalize(dag);
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layered(levels: usize, width: usize) -> Dag {
+        let mut edges = Vec::new();
+        for l in 0..levels - 1 {
+            for i in 0..width {
+                for j in 0..width {
+                    if i == j || (i + 1) % width == j {
+                        edges.push((l * width + i, (l + 1) * width + j));
+                    }
+                }
+            }
+        }
+        let n = levels * width;
+        Dag::from_edges(n, &edges, vec![2; n], vec![1; n]).unwrap()
+    }
+
+    #[test]
+    fn produces_valid_schedules_on_layered_dags() {
+        let dag = layered(4, 6);
+        for p in [1, 2, 4, 8] {
+            let machine = Machine::uniform(p, 2, 5);
+            let sched = BspgScheduler.schedule(&dag, &machine);
+            assert!(sched.validate(&dag, &machine).is_ok(), "invalid for P={p}");
+        }
+    }
+
+    #[test]
+    fn all_nodes_are_assigned_exactly_once() {
+        let dag = layered(3, 5);
+        let machine = Machine::uniform(4, 1, 5);
+        let a = BspgScheduler.assignment(&dag, &machine);
+        assert_eq!(a.proc.len(), dag.n());
+        assert!(a.proc.iter().all(|&q| q < 4));
+        assert!(a.superstep.iter().all(|&s| s != usize::MAX));
+    }
+
+    #[test]
+    fn uses_parallelism_on_wide_dags() {
+        let dag = layered(2, 12);
+        let machine = Machine::uniform(4, 1, 1);
+        let sched = BspgScheduler.schedule(&dag, &machine);
+        let used: std::collections::HashSet<usize> =
+            sched.assignment.proc.iter().copied().collect();
+        assert!(used.len() > 1, "BSPg never used a second processor");
+        // It should comfortably beat the trivial sequential schedule here.
+        assert!(sched.cost(&dag, &machine) < BspSchedule::trivial(&dag).cost(&dag, &machine));
+    }
+
+    #[test]
+    fn chain_stays_on_one_processor_without_communication() {
+        // On a pure chain the paper's superstep-ending rule (close the phase
+        // once half the processors are starved) gives one superstep per node,
+        // but the high communication weights must keep every node on the same
+        // processor, so no communication is ever scheduled.
+        let dag = Dag::from_edges(
+            4,
+            &[(0, 1), (1, 2), (2, 3)],
+            vec![1; 4],
+            vec![10; 4],
+        )
+        .unwrap();
+        let machine = Machine::uniform(4, 3, 5);
+        let sched = BspgScheduler.schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        let procs: std::collections::HashSet<usize> =
+            sched.assignment.proc.iter().copied().collect();
+        assert_eq!(procs.len(), 1, "chain was split across processors");
+        assert!(sched.comm.is_empty());
+        assert!(sched.num_supersteps() <= dag.n());
+    }
+
+    #[test]
+    fn single_processor_machine_works() {
+        let dag = layered(3, 4);
+        let machine = Machine::uniform(1, 1, 5);
+        let sched = BspgScheduler.schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert_eq!(sched.num_supersteps(), 1);
+    }
+}

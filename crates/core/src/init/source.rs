@@ -1,0 +1,258 @@
+//! The `Source` layer-wise initialization heuristic (§4.2, Algorithm 2).
+//!
+//! Each iteration takes the current source nodes of the (remaining) DAG and
+//! turns them into one superstep.  The first superstep clusters sources that
+//! share a direct successor and distributes the clusters round-robin; later
+//! supersteps sort the sources by decreasing work weight and distribute them
+//! round-robin to balance the work.  After the round-robin pass, any direct
+//! successor whose predecessors all ended up on the same processor is pulled
+//! into the current superstep as well (avoiding unnecessary extra supersteps).
+
+use crate::Scheduler;
+use bsp_model::{Assignment, BspSchedule, Dag, Machine};
+
+/// The `Source` layer-wise initializer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceScheduler;
+
+impl SourceScheduler {
+    /// Computes the `(π, τ)` assignment.
+    pub fn assignment(&self, dag: &Dag, machine: &Machine) -> Assignment {
+        let n = dag.n();
+        let p = machine.p();
+        let mut proc = vec![usize::MAX; n];
+        let mut superstep_of = vec![usize::MAX; n];
+        if n == 0 {
+            return Assignment { proc: vec![], superstep: vec![] };
+        }
+
+        // Remaining in-degree in the "shrinking" DAG (assigned nodes removed).
+        let mut remaining_indeg: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
+        let mut assigned_count = 0usize;
+        let mut superstep = 0usize;
+
+        // Removes an assigned node from the remaining DAG.
+        fn remove_node(dag: &Dag, v: usize, remaining_indeg: &mut [usize]) {
+            for &w in dag.successors(v) {
+                remaining_indeg[w] = remaining_indeg[w].saturating_sub(1);
+            }
+        }
+
+        while assigned_count < n {
+            let sources: Vec<usize> = (0..n)
+                .filter(|&v| proc[v] == usize::MAX && remaining_indeg[v] == 0)
+                .collect();
+            debug_assert!(!sources.is_empty(), "no sources but unassigned nodes remain");
+            let mut next_proc = 0usize;
+
+            if superstep == 0 {
+                // Cluster sources that share a direct successor.
+                let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+                let mut clusters: Vec<Vec<usize>> = Vec::new();
+                for &v in &sources {
+                    if cluster_of[v].is_some() {
+                        continue;
+                    }
+                    // Does v share an out-neighbour with an already-clustered or
+                    // later source?
+                    let mut target_cluster: Option<usize> = None;
+                    'outer: for &succ in dag.successors(v) {
+                        for &u in dag.predecessors(succ) {
+                            if u != v && proc[u] == usize::MAX && remaining_indeg[u] == 0 {
+                                if let Some(c) = cluster_of[u] {
+                                    target_cluster = Some(c);
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    match target_cluster {
+                        Some(c) => {
+                            clusters[c].push(v);
+                            cluster_of[v] = Some(c);
+                        }
+                        None => {
+                            // Start a new cluster; pull in sharing partners that
+                            // are not yet clustered.
+                            let c = clusters.len();
+                            clusters.push(vec![v]);
+                            cluster_of[v] = Some(c);
+                            for &succ in dag.successors(v) {
+                                for &u in dag.predecessors(succ) {
+                                    if u != v
+                                        && proc[u] == usize::MAX
+                                        && remaining_indeg[u] == 0
+                                        && cluster_of[u].is_none()
+                                    {
+                                        clusters[c].push(u);
+                                        cluster_of[u] = Some(c);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for cluster in clusters {
+                    for v in cluster {
+                        proc[v] = next_proc;
+                        superstep_of[v] = superstep;
+                        assigned_count += 1;
+                        remove_node(dag, v, &mut remaining_indeg);
+                    }
+                    next_proc = (next_proc + 1) % p;
+                }
+            } else {
+                // Decreasing work weight, round-robin.
+                let mut order = sources.clone();
+                order.sort_by_key(|&v| (std::cmp::Reverse(dag.work(v)), v));
+                for v in order {
+                    proc[v] = next_proc;
+                    superstep_of[v] = superstep;
+                    assigned_count += 1;
+                    remove_node(dag, v, &mut remaining_indeg);
+                    next_proc = (next_proc + 1) % p;
+                }
+            }
+
+            // Pull in successors whose predecessors all live on one processor.
+            // (Iterate to a fixed point so chains of such nodes are absorbed.)
+            loop {
+                let mut pulled = false;
+                for u in 0..n {
+                    if proc[u] != usize::MAX || remaining_indeg[u] != 0 {
+                        continue;
+                    }
+                    let preds = dag.predecessors(u);
+                    if preds.is_empty() {
+                        continue;
+                    }
+                    let target = proc[preds[0]];
+                    if preds.iter().all(|&w| proc[w] == target) {
+                        proc[u] = target;
+                        superstep_of[u] = superstep;
+                        assigned_count += 1;
+                        remove_node(dag, u, &mut remaining_indeg);
+                        pulled = true;
+                    }
+                }
+                if !pulled {
+                    break;
+                }
+            }
+
+            superstep += 1;
+        }
+
+        Assignment {
+            proc,
+            superstep: superstep_of,
+        }
+    }
+}
+
+impl Scheduler for SourceScheduler {
+    fn name(&self) -> &'static str {
+        "Source"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> BspSchedule {
+        if dag.n() == 0 {
+            return BspSchedule::trivial(dag);
+        }
+        let assignment = self.assignment(dag, machine);
+        let mut sched = BspSchedule::from_assignment_lazy(dag, assignment);
+        sched.normalize(dag);
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmv_like() -> Dag {
+        // 4 vector sources, 4 matrix sources, 4 products, 2 sums.
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            edges.push((i, 8 + i)); // u_i -> t_i
+            edges.push((4 + i, 8 + i)); // a_i -> t_i
+        }
+        edges.push((8, 12));
+        edges.push((9, 12));
+        edges.push((10, 13));
+        edges.push((11, 13));
+        let n = 14;
+        Dag::from_edges(n, &edges, vec![1; n], vec![1; n]).unwrap()
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let dag = spmv_like();
+        for p in [1, 2, 4] {
+            let machine = Machine::uniform(p, 1, 5);
+            let sched = SourceScheduler.schedule(&dag, &machine);
+            assert!(sched.validate(&dag, &machine).is_ok(), "invalid for P={p}");
+        }
+    }
+
+    #[test]
+    fn all_nodes_assigned() {
+        let dag = spmv_like();
+        let machine = Machine::uniform(4, 1, 5);
+        let a = SourceScheduler.assignment(&dag, &machine);
+        assert!(a.proc.iter().all(|&q| q < 4));
+        assert!(a.superstep.iter().all(|&s| s != usize::MAX));
+    }
+
+    #[test]
+    fn first_superstep_clusters_sources_with_common_successor() {
+        let dag = spmv_like();
+        let machine = Machine::uniform(4, 1, 5);
+        let a = SourceScheduler.assignment(&dag, &machine);
+        // u_i and a_i share the product t_i, so they must land on one processor.
+        for i in 0..4 {
+            assert_eq!(a.proc[i], a.proc[4 + i], "sources of product {i} split");
+        }
+    }
+
+    #[test]
+    fn successors_with_local_predecessors_join_the_superstep() {
+        // Chain 0 -> 1 -> 2: everything can be absorbed into superstep 0.
+        let dag =
+            Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1; 3], vec![1; 3]).unwrap();
+        let machine = Machine::uniform(2, 1, 5);
+        let sched = SourceScheduler.schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        assert_eq!(sched.num_supersteps(), 1);
+    }
+
+    #[test]
+    fn round_robin_balances_later_supersteps() {
+        // 4 independent sources (nodes 0..4), a middle layer (4..8) absorbed
+        // into superstep 0, and a heavy layer (8..16) whose nodes each depend
+        // on two middle nodes living on *different* processors, so they cannot
+        // be absorbed and form superstep 1.
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            edges.push((i, 4 + i));
+        }
+        for j in 0..8 {
+            edges.push((4 + j % 4, 8 + j));
+            edges.push((4 + (j + 1) % 4, 8 + j));
+        }
+        let mut work = vec![1u64; 16];
+        for w in work.iter_mut().skip(8) {
+            *w = 10;
+        }
+        let dag = Dag::from_edges(16, &edges, work, vec![1; 16]).unwrap();
+        let machine = Machine::uniform(4, 1, 5);
+        let sched = SourceScheduler.schedule(&dag, &machine);
+        assert!(sched.validate(&dag, &machine).is_ok());
+        // The heavy layer is round-robined over all 4 processors in a later
+        // superstep.
+        let heavy_procs: std::collections::HashSet<usize> =
+            (8..16).map(|v| sched.proc(v)).collect();
+        assert_eq!(heavy_procs.len(), 4);
+        assert!((8..16).all(|v| sched.superstep(v) > 0));
+    }
+}

@@ -1,0 +1,54 @@
+//! # bsp-sched
+//!
+//! The scheduling algorithms of the paper *"Efficient Multi-Processor
+//! Scheduling in Increasingly Realistic Models"* (SPAA 2024), all operating on
+//! the BSP + NUMA model of the [`bsp_model`] crate:
+//!
+//! * [`baselines`] — `Cilk` work stealing, the `BL-EST` and `ETF` list
+//!   schedulers, the `HDagg` wavefront scheduler, and the trivial
+//!   single-processor schedule.
+//! * [`init`] — the `BSPg` and `Source` initialization heuristics.
+//! * [`hill_climb`] — the `HC` (node moves) and `HCcs` (communication
+//!   schedule) hill-climbing local searches.
+//! * [`ilp`] — the `ILPfull`, `ILPpart`, `ILPcs` and `ILPinit` formulations,
+//!   solved with the [`micro_ilp`] branch-&-bound solver.
+//! * [`multilevel`] — the coarsen–solve–refine multilevel scheduler.
+//! * [`pipeline`] — the combined framework of Figure 3 (and the multilevel
+//!   variant of Figure 4).
+
+pub mod baselines;
+pub mod hill_climb;
+pub mod ilp;
+pub mod init;
+pub mod multilevel;
+pub mod pipeline;
+
+use bsp_model::{BspSchedule, Dag, Machine};
+
+/// A scheduling algorithm: consumes a DAG and a machine description and
+/// produces a valid BSP schedule.
+pub trait Scheduler {
+    /// Short name used in experiment tables (e.g. `"Cilk"`, `"HDagg"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes a schedule.  Implementations must return a schedule that
+    /// passes [`BspSchedule::validate`] for the given inputs.
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> BspSchedule;
+}
+
+/// Convenience: runs a scheduler and returns `(cost, schedule)`.
+pub fn evaluate(
+    scheduler: &dyn Scheduler,
+    dag: &Dag,
+    machine: &Machine,
+) -> (u64, BspSchedule) {
+    let sched = scheduler.schedule(dag, machine);
+    let cost = sched.cost(dag, machine);
+    (cost, sched)
+}
+
+pub use baselines::{BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler};
+pub use hill_climb::{HillClimbConfig, hc_improve, hccs_improve};
+pub use init::{BspgScheduler, SourceScheduler};
+pub use multilevel::{MultilevelConfig, MultilevelScheduler};
+pub use pipeline::{Pipeline, PipelineConfig};

@@ -1,0 +1,387 @@
+//! Acyclicity-preserving DAG coarsening by iterative edge contraction
+//! (§4.5 and Appendix A.5 of the paper).
+//!
+//! Each contraction step merges the endpoints of one edge `(u, v)` into a
+//! single cluster.  An edge can only be contracted when there is no *other*
+//! directed path from `u` to `v`, otherwise the quotient graph would acquire a
+//! cycle.  We use the sufficient criterion the paper points out: for every
+//! non-sink cluster `u`, the out-neighbour with the smallest topological rank
+//! is always safely contractable.  Among these candidate edges we prefer small
+//! merged work weight `w(u) + w(v)` (the first third of the candidates sorted
+//! by it) and, within that prefix, the largest communication weight `c(u)` —
+//! exactly the paper's selection rule.
+
+use bsp_model::{Dag, DagBuilder, NodeId};
+use std::collections::BTreeSet;
+
+/// One contraction step: the cluster represented by `removed` was merged into
+/// the cluster represented by `kept`.  `moved` lists the original nodes that
+/// changed cluster, which is all the information needed to undo the step.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// Representative (original node id) of the surviving cluster.
+    pub kept: NodeId,
+    /// Representative of the cluster that was absorbed.
+    pub removed: NodeId,
+    /// Original nodes that moved from `removed`'s cluster into `kept`'s.
+    pub moved: Vec<NodeId>,
+}
+
+/// A clustering of the original DAG's nodes, produced by coarsening and
+/// gradually undone while uncoarsening.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `cluster_of[v]` is the representative of the cluster containing `v`.
+    cluster_of: Vec<NodeId>,
+    /// Members of each cluster, indexed by representative (empty otherwise).
+    members: Vec<Vec<NodeId>>,
+    /// `true` for nodes that currently represent a cluster.
+    active: Vec<bool>,
+    /// Number of clusters.
+    num_clusters: usize,
+    /// Contraction history, oldest first.
+    history: Vec<Contraction>,
+}
+
+impl Clustering {
+    /// The discrete clustering: every node is its own cluster.
+    pub fn identity(n: usize) -> Self {
+        Clustering {
+            cluster_of: (0..n).collect(),
+            members: (0..n).map(|v| vec![v]).collect(),
+            active: vec![true; n],
+            num_clusters: n,
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Number of recorded contraction steps not yet undone.
+    pub fn num_contractions(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Representative of the cluster containing original node `v`.
+    pub fn cluster_of(&self, v: NodeId) -> NodeId {
+        self.cluster_of[v]
+    }
+
+    /// Representatives of all clusters, in increasing node-id order.
+    pub fn representatives(&self) -> Vec<NodeId> {
+        (0..self.active.len()).filter(|&v| self.active[v]).collect()
+    }
+
+    /// Original members of the cluster represented by `rep`.
+    pub fn members(&self, rep: NodeId) -> &[NodeId] {
+        &self.members[rep]
+    }
+
+    fn contract(&mut self, kept: NodeId, removed: NodeId) {
+        debug_assert!(self.active[kept] && self.active[removed] && kept != removed);
+        let moved = std::mem::take(&mut self.members[removed]);
+        for &v in &moved {
+            self.cluster_of[v] = kept;
+        }
+        self.members[kept].extend_from_slice(&moved);
+        self.active[removed] = false;
+        self.num_clusters -= 1;
+        self.history.push(Contraction {
+            kept,
+            removed,
+            moved,
+        });
+    }
+
+    /// Undoes the most recent contraction step.  Returns `false` when the
+    /// history is empty (the clustering is already fully uncoarsened).
+    pub fn uncontract_one(&mut self) -> bool {
+        let Some(Contraction {
+            kept,
+            removed,
+            moved,
+        }) = self.history.pop()
+        else {
+            return false;
+        };
+        // The moved nodes were appended to `kept`'s member list, so they form
+        // its tail; split them back off.
+        let keep_len = self.members[kept].len() - moved.len();
+        let tail = self.members[kept].split_off(keep_len);
+        debug_assert_eq!(tail, moved);
+        for &v in &moved {
+            self.cluster_of[v] = removed;
+        }
+        self.members[removed] = moved;
+        self.active[removed] = true;
+        self.num_clusters += 1;
+        true
+    }
+
+    /// Builds the quotient DAG of the current clustering: one node per
+    /// cluster, work/communication weights summed over the members, an edge
+    /// between two clusters whenever the original DAG has an edge between
+    /// members of the two.  Returns the quotient DAG together with the list of
+    /// representatives, where representative `reps[i]` corresponds to quotient
+    /// node `i`.
+    pub fn quotient_dag(&self, dag: &Dag) -> (Dag, Vec<NodeId>) {
+        let reps = self.representatives();
+        let mut index = vec![usize::MAX; dag.n()];
+        for (i, &r) in reps.iter().enumerate() {
+            index[r] = i;
+        }
+        let mut builder = DagBuilder::new();
+        for &r in &reps {
+            let work = self.members[r].iter().map(|&v| dag.work(v)).sum();
+            let comm = self.members[r].iter().map(|&v| dag.comm(v)).sum();
+            builder.add_node(work, comm);
+        }
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (a, b) in dag.edges() {
+            let ca = index[self.cluster_of[a]];
+            let cb = index[self.cluster_of[b]];
+            if ca != cb && seen.insert((ca, cb)) {
+                builder.add_edge(ca, cb);
+            }
+        }
+        let quotient = builder
+            .build()
+            .expect("contractions preserve acyclicity, so the quotient is a DAG");
+        (quotient, reps)
+    }
+}
+
+/// A mutable quotient graph used only while coarsening; adjacency is kept
+/// incrementally so each contraction step costs `O(deg(u) + deg(v))` plus the
+/// `O(n + m)` topological-rank recomputation.
+struct QuotientGraph {
+    succs: Vec<BTreeSet<NodeId>>,
+    preds: Vec<BTreeSet<NodeId>>,
+    work: Vec<u64>,
+    comm: Vec<u64>,
+    active: Vec<bool>,
+    n_active: usize,
+}
+
+impl QuotientGraph {
+    fn new(dag: &Dag) -> Self {
+        let n = dag.n();
+        let mut succs = vec![BTreeSet::new(); n];
+        let mut preds = vec![BTreeSet::new(); n];
+        for (u, v) in dag.edges() {
+            succs[u].insert(v);
+            preds[v].insert(u);
+        }
+        QuotientGraph {
+            succs,
+            preds,
+            work: dag.work_weights().to_vec(),
+            comm: dag.comm_weights().to_vec(),
+            active: vec![true; n],
+            n_active: n,
+        }
+    }
+
+    /// Kahn topological rank over the active clusters (inactive entries are 0).
+    fn topological_rank(&self) -> Vec<usize> {
+        let n = self.active.len();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|v| if self.active[v] { self.preds[v].len() } else { 0 })
+            .collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&v| self.active[v] && indeg[v] == 0)
+            .collect();
+        let mut rank = vec![0usize; n];
+        let mut next_rank = 0usize;
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            rank[v] = next_rank;
+            next_rank += 1;
+            for &w in &self.succs[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        debug_assert_eq!(next_rank, self.n_active, "quotient graph must stay acyclic");
+        rank
+    }
+
+    /// Candidate edges for contraction: for every non-sink cluster `u`, the
+    /// out-neighbour with the smallest topological rank.  Such an edge never
+    /// has an alternative `u → v` path, so contracting it keeps the graph
+    /// acyclic.
+    fn candidate_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let rank = self.topological_rank();
+        let mut candidates = Vec::new();
+        for u in 0..self.active.len() {
+            if !self.active[u] || self.succs[u].is_empty() {
+                continue;
+            }
+            let v = *self
+                .succs[u]
+                .iter()
+                .min_by_key(|&&w| rank[w])
+                .expect("non-empty successor set");
+            candidates.push((u, v));
+        }
+        candidates
+    }
+
+    /// Merges cluster `v` into cluster `u` (the edge `u → v` must exist).
+    fn contract(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(self.succs[u].contains(&v));
+        self.succs[u].remove(&v);
+        self.preds[v].remove(&u);
+        let v_succs: Vec<NodeId> = self.succs[v].iter().copied().collect();
+        for w in v_succs {
+            self.preds[w].remove(&v);
+            if w != u {
+                self.succs[u].insert(w);
+                self.preds[w].insert(u);
+            }
+        }
+        let v_preds: Vec<NodeId> = self.preds[v].iter().copied().collect();
+        for w in v_preds {
+            self.succs[w].remove(&v);
+            if w != u {
+                self.succs[w].insert(u);
+                self.preds[u].insert(w);
+            }
+        }
+        self.succs[v].clear();
+        self.preds[v].clear();
+        self.work[u] += self.work[v];
+        self.comm[u] += self.comm[v];
+        self.active[v] = false;
+        self.n_active -= 1;
+    }
+}
+
+/// Coarsens `dag` down to (at most) `target_clusters` clusters, or until no
+/// contractable edge remains, and returns the resulting clustering (with its
+/// full contraction history, so it can be uncoarsened step by step).
+pub fn coarsen(dag: &Dag, target_clusters: usize) -> Clustering {
+    let mut clustering = Clustering::identity(dag.n());
+    if dag.n() == 0 {
+        return clustering;
+    }
+    let mut graph = QuotientGraph::new(dag);
+    let target = target_clusters.max(1);
+    while graph.n_active > target {
+        let mut candidates = graph.candidate_edges();
+        if candidates.is_empty() {
+            break;
+        }
+        // Paper rule: sort by merged work weight, keep the first third, pick
+        // the edge with the largest communication weight of its source.
+        candidates.sort_by_key(|&(u, v)| graph.work[u] + graph.work[v]);
+        let prefix = candidates.len().div_ceil(3);
+        let &(u, v) = candidates[..prefix]
+            .iter()
+            .max_by_key(|&&(u, _)| graph.comm[u])
+            .expect("prefix is non-empty");
+        graph.contract(u, v);
+        clustering.contract(u, v);
+    }
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+
+    fn diamond() -> Dag {
+        Dag::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_clustering_quotient_is_the_original_dag() {
+        let dag = diamond();
+        let clustering = Clustering::identity(dag.n());
+        let (q, reps) = clustering.quotient_dag(&dag);
+        assert_eq!(q.n(), dag.n());
+        assert_eq!(q.num_edges(), dag.num_edges());
+        assert_eq!(reps, vec![0, 1, 2, 3]);
+        assert_eq!(q.work_weights(), dag.work_weights());
+    }
+
+    #[test]
+    fn coarsening_reaches_the_target_and_preserves_weight_totals() {
+        let dag = spmv(&SpmvConfig { n: 20, density: 0.25, seed: 1 });
+        let target = dag.n() * 3 / 10;
+        let clustering = coarsen(&dag, target);
+        assert!(clustering.num_clusters() <= target.max(1) + 1);
+        let (q, _) = clustering.quotient_dag(&dag);
+        assert_eq!(q.total_work(), dag.total_work());
+        assert_eq!(q.total_comm(), dag.total_comm());
+        // Quotient must be a DAG (builder would have panicked otherwise) and
+        // every original node must belong to exactly one cluster.
+        let mut seen = vec![false; dag.n()];
+        for rep in clustering.representatives() {
+            for &v in clustering.members(rep) {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn every_intermediate_quotient_is_acyclic() {
+        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 2, seed: 7 });
+        let mut clustering = coarsen(&dag, dag.n() / 5);
+        // Walk the whole uncoarsening path; quotient_dag panics on a cycle.
+        loop {
+            let (q, _) = clustering.quotient_dag(&dag);
+            assert!(q.topological_order().is_some());
+            if !clustering.uncontract_one() {
+                break;
+            }
+        }
+        assert_eq!(clustering.num_clusters(), dag.n());
+    }
+
+    #[test]
+    fn uncontracting_everything_restores_the_identity_clustering() {
+        let dag = spmv(&SpmvConfig { n: 12, density: 0.3, seed: 3 });
+        let mut clustering = coarsen(&dag, 3);
+        while clustering.uncontract_one() {}
+        for v in 0..dag.n() {
+            assert_eq!(clustering.cluster_of(v), v);
+            assert_eq!(clustering.members(v), &[v]);
+        }
+        assert_eq!(clustering.num_clusters(), dag.n());
+        assert_eq!(clustering.num_contractions(), 0);
+    }
+
+    #[test]
+    fn chain_contracts_to_a_single_cluster() {
+        let dag = Dag::from_edge_list_unit_weights(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let clustering = coarsen(&dag, 1);
+        assert_eq!(clustering.num_clusters(), 1);
+        let (q, _) = clustering.quotient_dag(&dag);
+        assert_eq!(q.n(), 1);
+        assert_eq!(q.total_work(), 5);
+    }
+
+    #[test]
+    fn graph_without_edges_cannot_be_coarsened() {
+        let dag = Dag::from_edge_list_unit_weights(4, &[]).unwrap();
+        let clustering = coarsen(&dag, 1);
+        assert_eq!(clustering.num_clusters(), 4);
+    }
+}

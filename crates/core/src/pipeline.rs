@@ -1,0 +1,431 @@
+//! The combined scheduling framework of Figure 3 of the paper.
+//!
+//! The pipeline runs every enabled initialization heuristic (`BSPg`, `Source`
+//! and — on machines with few processors — `ILPinit`), improves each candidate
+//! independently with the `HC` + `HCcs` local searches, keeps the cheapest
+//! schedule found this way, and finally hands it to the ILP stage:
+//! `ILPfull` when the full formulation is small enough, otherwise the
+//! window-based `ILPpart`, followed in either case by the
+//! communication-schedule ILP `ILPcs`.
+//!
+//! [`Pipeline::run_report`] additionally returns the intermediate costs used
+//! by the paper's Figures 5–7 (the `Init`, `HCcs` and `ILP` bars).
+
+use crate::baselines::TrivialScheduler;
+use crate::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use crate::ilp::{ilp_cs_improve, ilp_full_schedule, ilp_part_improve, IlpConfig, IlpInitScheduler};
+use crate::init::{BspgScheduler, SourceScheduler};
+use crate::Scheduler;
+use bsp_model::{BspSchedule, Dag, Machine};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Configuration of the combined pipeline (Figure 3).
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Time/step limits of the `HC` + `HCcs` local searches (run once per
+    /// initialization branch).
+    pub hill_climb: HillClimbConfig,
+    /// Configuration of the ILP stage (`ILPfull` / `ILPpart` / `ILPcs` and
+    /// `ILPinit`).
+    pub ilp: IlpConfig,
+    /// Whether the ILP stage runs at all.  The huge-dataset experiments of
+    /// §7.1 disable it and use only the heuristics plus local search.
+    pub use_ilp: bool,
+    /// Whether the communication-schedule ILP (`ILPcs`) runs at the end of the
+    /// ILP stage.  The multilevel framework (Figure 4) disables it here and
+    /// runs it separately after uncoarsening.
+    pub use_ilp_cs: bool,
+    /// `ILPinit` is only attempted when `P` is at most this value (the paper
+    /// settles on 4 after the training-set experiments of Appendix C.1).
+    /// Set to 0 to disable `ILPinit` entirely.
+    pub ilp_init_max_procs: usize,
+    /// `ILPinit` is only attempted when the DAG has at most this many nodes;
+    /// with the `micro-ilp` solver its batch-by-batch ILPs become too slow on
+    /// larger DAGs (the paper faces the same trade-off with CBC and therefore
+    /// also restricts where `ILPinit` runs).
+    pub ilp_init_max_nodes: usize,
+    /// Overall wall-clock budget for the ILP improvement stage
+    /// (`ILPpart` windows stop once it is exhausted).
+    pub ilp_stage_budget: Duration,
+    /// Run the initialization branches on the rayon thread pool instead of
+    /// sequentially.
+    pub parallel_branches: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            hill_climb: HillClimbConfig::default(),
+            ilp: IlpConfig::default(),
+            use_ilp: true,
+            use_ilp_cs: true,
+            ilp_init_max_procs: 4,
+            ilp_init_max_nodes: 400,
+            ilp_stage_budget: Duration::from_secs(20),
+            parallel_branches: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A small configuration suitable for unit tests, doc tests and quick
+    /// experiments: sub-second local search, tiny ILP budgets.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            hill_climb: HillClimbConfig::with_time_limit(Duration::from_millis(200)),
+            ilp: IlpConfig::fast(),
+            use_ilp: true,
+            use_ilp_cs: true,
+            ilp_init_max_procs: 4,
+            ilp_init_max_nodes: 150,
+            ilp_stage_budget: Duration::from_secs(2),
+            parallel_branches: true,
+        }
+    }
+
+    /// A heuristics-only configuration (`BSPg`/`Source` + `HC`/`HCcs`), as used
+    /// on the paper's *huge* dataset where the ILP methods are too expensive.
+    pub fn heuristics_only() -> Self {
+        PipelineConfig {
+            use_ilp: false,
+            ilp_init_max_procs: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the local-search time limit and returns the configuration.
+    pub fn with_hill_climb_time(mut self, time_limit: Duration) -> Self {
+        self.hill_climb.time_limit = time_limit;
+        self
+    }
+
+    /// Enables or disables the ILP stage and returns the configuration.
+    pub fn with_ilp(mut self, use_ilp: bool) -> Self {
+        self.use_ilp = use_ilp;
+        self
+    }
+}
+
+/// Cost of one initialization branch before and after local search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchReport {
+    /// Name of the initialization heuristic (`"BSPg"`, `"Source"`, `"ILPinit"`).
+    pub init_name: String,
+    /// Cost of the raw initial schedule.
+    pub init_cost: u64,
+    /// Cost after `HC` + `HCcs`.
+    pub local_search_cost: u64,
+}
+
+/// The result of a full pipeline run, including the intermediate costs that
+/// the paper's figures report.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Per-initializer costs (raw and after local search).
+    pub branches: Vec<BranchReport>,
+    /// Cost of the best *raw* initial schedule — the `Init` bars of Figures 5–7.
+    pub init_cost: u64,
+    /// Cost of the best schedule after `HC` + `HCcs` — the `HCcs` bars.
+    pub local_search_cost: u64,
+    /// Cost after `ILPfull` / `ILPpart` but before `ILPcs` (the `ILPpart`
+    /// column of the paper's Table 7).  Equal to `local_search_cost` when the
+    /// ILP stage is disabled.
+    pub ilp_part_cost: u64,
+    /// Final cost after the ILP stage — the `ILP` bars.  Equal to
+    /// `local_search_cost` when the ILP stage is disabled.
+    pub final_cost: u64,
+    /// Name of the initializer whose branch produced the selected schedule.
+    pub selected_init: String,
+    /// `true` if `ILPfull` was attempted (i.e. its estimated variable count
+    /// fit the configured budget).
+    pub used_ilp_full: bool,
+    /// Number of `ILPpart` windows whose reassignment was adopted.
+    pub ilp_part_windows_improved: usize,
+    /// `true` if `ILPcs` improved the communication schedule.
+    pub ilp_cs_improved: bool,
+    /// The final schedule.
+    pub schedule: BspSchedule,
+}
+
+/// The combined scheduling framework of Figure 3.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// The configuration this pipeline runs with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the pipeline and returns the final schedule.
+    pub fn run(&self, dag: &Dag, machine: &Machine) -> BspSchedule {
+        self.run_report(dag, machine).schedule
+    }
+
+    /// Runs the pipeline and returns the final schedule together with the
+    /// intermediate stage costs (Figures 5–7).
+    pub fn run_report(&self, dag: &Dag, machine: &Machine) -> PipelineReport {
+        if dag.n() == 0 {
+            let schedule = TrivialScheduler.schedule(dag, machine);
+            let cost = schedule.cost(dag, machine);
+            return PipelineReport {
+                branches: Vec::new(),
+                init_cost: cost,
+                local_search_cost: cost,
+                ilp_part_cost: cost,
+                final_cost: cost,
+                selected_init: "trivial".to_string(),
+                used_ilp_full: false,
+                ilp_part_windows_improved: 0,
+                ilp_cs_improved: false,
+                schedule,
+            };
+        }
+
+        let initializers = self.initializers(dag, machine);
+        let branch_results: Vec<(BranchReport, BspSchedule)> = if self.config.parallel_branches {
+            initializers
+                .par_iter()
+                .map(|init| self.run_branch(dag, machine, init.as_ref()))
+                .collect()
+        } else {
+            initializers
+                .iter()
+                .map(|init| self.run_branch(dag, machine, init.as_ref()))
+                .collect()
+        };
+
+        let init_cost = branch_results
+            .iter()
+            .map(|(b, _)| b.init_cost)
+            .min()
+            .expect("at least one initializer is always enabled");
+        let (best_idx, _) = branch_results
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (b, _))| b.local_search_cost)
+            .expect("at least one initializer is always enabled");
+        let selected_init = branch_results[best_idx].0.init_name.clone();
+        let local_search_cost = branch_results[best_idx].0.local_search_cost;
+        let mut schedule = branch_results[best_idx].1.clone();
+        let branches = branch_results.into_iter().map(|(b, _)| b).collect();
+
+        let mut used_ilp_full = false;
+        let mut ilp_part_windows_improved = 0;
+        let mut ilp_cs_improved = false;
+        let mut ilp_part_cost = local_search_cost;
+        if self.config.use_ilp {
+            let deadline = Instant::now() + self.config.ilp_stage_budget;
+            // ILPfull first, warm-started from the incumbent; it internally
+            // bails out when the variable estimate exceeds the budget.
+            let s_max = schedule.assignment.num_supersteps();
+            if let Some(full) =
+                ilp_full_schedule(dag, machine, s_max, &self.config.ilp, Some(&schedule))
+            {
+                used_ilp_full = true;
+                if full.cost(dag, machine) < schedule.cost(dag, machine) {
+                    schedule = full;
+                }
+            } else {
+                ilp_part_windows_improved =
+                    ilp_part_improve(dag, machine, &mut schedule, &self.config.ilp, Some(deadline));
+            }
+            ilp_part_cost = schedule.cost(dag, machine);
+            if self.config.use_ilp_cs {
+                ilp_cs_improved = ilp_cs_improve(dag, machine, &mut schedule, &self.config.ilp);
+            }
+        }
+
+        schedule.normalize(dag);
+        let final_cost = schedule.cost(dag, machine);
+        debug_assert!(schedule.validate(dag, machine).is_ok());
+
+        PipelineReport {
+            branches,
+            init_cost,
+            local_search_cost,
+            ilp_part_cost,
+            final_cost,
+            selected_init,
+            used_ilp_full,
+            ilp_part_windows_improved,
+            ilp_cs_improved,
+            schedule,
+        }
+    }
+
+    /// The initialization heuristics enabled under the current configuration
+    /// for the given DAG and machine.
+    fn initializers(&self, dag: &Dag, machine: &Machine) -> Vec<Box<dyn Scheduler + Send + Sync>> {
+        let mut inits: Vec<Box<dyn Scheduler + Send + Sync>> =
+            vec![Box::new(BspgScheduler), Box::new(SourceScheduler)];
+        if self.config.use_ilp
+            && machine.p() <= self.config.ilp_init_max_procs
+            && dag.n() <= self.config.ilp_init_max_nodes
+        {
+            inits.push(Box::new(IlpInitScheduler::new(self.config.ilp.clone())));
+        }
+        inits
+    }
+
+    /// Runs one initialization branch: initializer, then `HC`, then `HCcs`.
+    fn run_branch(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        init: &dyn Scheduler,
+    ) -> (BranchReport, BspSchedule) {
+        let mut schedule = init.schedule(dag, machine);
+        schedule.normalize(dag);
+        let init_cost = schedule.cost(dag, machine);
+        // The paper gives 90% of the local-search budget to HC, 10% to HCcs.
+        let hc_budget = self.config.hill_climb.time_limit.mul_f64(0.9);
+        let hccs_budget = self.config.hill_climb.time_limit.mul_f64(0.1);
+        let hc_cfg = HillClimbConfig {
+            time_limit: hc_budget,
+            ..self.config.hill_climb
+        };
+        let hccs_cfg = HillClimbConfig {
+            time_limit: hccs_budget,
+            ..self.config.hill_climb
+        };
+        hc_improve(dag, machine, &mut schedule, &hc_cfg);
+        hccs_improve(dag, machine, &mut schedule, &hccs_cfg);
+        let local_search_cost = schedule.cost(dag, machine);
+        (
+            BranchReport {
+                init_name: init.name().to_string(),
+                init_cost,
+                local_search_cost,
+            },
+            schedule,
+        )
+    }
+}
+
+impl Scheduler for Pipeline {
+    fn name(&self) -> &'static str {
+        "Pipeline"
+    }
+
+    fn schedule(&self, dag: &Dag, machine: &Machine) -> BspSchedule {
+        self.run(dag, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{CilkScheduler, HDaggScheduler};
+    use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+
+    fn fast_pipeline() -> Pipeline {
+        Pipeline::new(PipelineConfig::fast())
+    }
+
+    #[test]
+    fn pipeline_returns_valid_schedules() {
+        let dag = spmv(&SpmvConfig { n: 20, density: 0.2, seed: 11 });
+        for machine in [
+            Machine::uniform(4, 3, 5),
+            Machine::uniform(8, 1, 5),
+            Machine::numa_binary_tree(8, 1, 5, 3),
+        ] {
+            let report = fast_pipeline().run_report(&dag, &machine);
+            assert!(report.schedule.validate(&dag, &machine).is_ok());
+            assert_eq!(report.final_cost, report.schedule.cost(&dag, &machine));
+        }
+    }
+
+    #[test]
+    fn pipeline_stage_costs_are_monotone() {
+        let dag = cg(&IterConfig { n: 10, density: 0.3, iterations: 2, seed: 4 });
+        let machine = Machine::uniform(4, 3, 5);
+        let report = fast_pipeline().run_report(&dag, &machine);
+        assert!(report.local_search_cost <= report.init_cost);
+        assert!(report.ilp_part_cost <= report.local_search_cost);
+        assert!(report.final_cost <= report.ilp_part_cost);
+        for branch in &report.branches {
+            assert!(branch.local_search_cost <= branch.init_cost);
+        }
+    }
+
+    #[test]
+    fn pipeline_beats_or_matches_the_baselines_on_small_instances() {
+        let dag = spmv(&SpmvConfig { n: 24, density: 0.25, seed: 9 });
+        let machine = Machine::uniform(4, 5, 5);
+        let ours = fast_pipeline().run(&dag, &machine).cost(&dag, &machine);
+        let cilk = CilkScheduler::default()
+            .schedule(&dag, &machine)
+            .cost(&dag, &machine);
+        let hdagg = HDaggScheduler::default()
+            .schedule(&dag, &machine)
+            .cost(&dag, &machine);
+        assert!(ours <= cilk, "pipeline {ours} worse than Cilk {cilk}");
+        assert!(ours <= hdagg, "pipeline {ours} worse than HDagg {hdagg}");
+    }
+
+    #[test]
+    fn ilp_init_branch_only_runs_on_few_processors() {
+        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 2 });
+        let p4 = fast_pipeline().run_report(&dag, &Machine::uniform(4, 1, 5));
+        assert!(p4.branches.iter().any(|b| b.init_name == "ILPinit"));
+        let p8 = fast_pipeline().run_report(&dag, &Machine::uniform(8, 1, 5));
+        assert!(!p8.branches.iter().any(|b| b.init_name == "ILPinit"));
+    }
+
+    #[test]
+    fn heuristics_only_configuration_skips_the_ilp_stage() {
+        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 1, seed: 6 });
+        let machine = Machine::uniform(4, 1, 5);
+        let mut config = PipelineConfig::heuristics_only();
+        config.hill_climb.time_limit = Duration::from_millis(100);
+        let report = Pipeline::new(config).run_report(&dag, &machine);
+        assert!(!report.used_ilp_full);
+        assert_eq!(report.ilp_part_windows_improved, 0);
+        assert!(!report.ilp_cs_improved);
+        assert_eq!(report.final_cost, report.local_search_cost);
+    }
+
+    #[test]
+    fn empty_dag_yields_the_trivial_schedule() {
+        let dag = Dag::from_edge_list_unit_weights(0, &[]).unwrap();
+        let machine = Machine::uniform(4, 1, 5);
+        let report = fast_pipeline().run_report(&dag, &machine);
+        assert_eq!(report.selected_init, "trivial");
+        assert!(report.schedule.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn sequential_and_parallel_branch_execution_agree() {
+        let dag = spmv(&SpmvConfig { n: 14, density: 0.25, seed: 13 });
+        let machine = Machine::uniform(4, 3, 5);
+        let mut cfg = PipelineConfig::fast();
+        // Remove the time dependence so both runs are deterministic.
+        cfg.hill_climb = HillClimbConfig {
+            time_limit: Duration::from_secs(3600),
+            max_steps: 200,
+        };
+        cfg.use_ilp = false;
+        let par = Pipeline::new(PipelineConfig {
+            parallel_branches: true,
+            ..cfg.clone()
+        })
+        .run_report(&dag, &machine);
+        let seq = Pipeline::new(PipelineConfig {
+            parallel_branches: false,
+            ..cfg
+        })
+        .run_report(&dag, &machine);
+        assert_eq!(par.final_cost, seq.final_cost);
+        assert_eq!(par.selected_init, seq.selected_init);
+    }
+}

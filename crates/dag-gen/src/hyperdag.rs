@@ -1,0 +1,241 @@
+//! The hyperDAG text format of the paper's computational DAG database.
+//!
+//! The database stores DAGs as hypergraphs: every non-sink node `v` induces a
+//! hyperedge containing `v` and all of its direct successors (the consumers of
+//! its output value).  This emphasises that a value only has to be sent once
+//! per target processor.  For scheduling, the hyperDAG is converted back into
+//! an ordinary DAG — the formats are informationally equivalent.
+//!
+//! Text layout (lines starting with `%` are comments):
+//!
+//! ```text
+//! % optional comments
+//! <num_hyperedges> <num_nodes> <num_pins>
+//! <hyperedge_index> <node_index>        (one line per pin)
+//! ...
+//! <node_index> <work_weight> <comm_weight>   (one line per node)
+//! ```
+//!
+//! Hyperedge `h` is rooted at a node; by convention its first listed pin is
+//! the source node whose value the hyperedge represents.
+
+use bsp_model::{Dag, DagError, NodeId};
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+/// Errors when parsing the hyperDAG text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HyperDagError {
+    /// The header or a data line had the wrong number of fields.
+    Malformed { line: usize, reason: String },
+    /// A numeric field failed to parse.
+    Number { line: usize },
+    /// The resulting graph is not a DAG.
+    Dag(DagError),
+}
+
+impl std::fmt::Display for HyperDagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HyperDagError::Malformed { line, reason } => {
+                write!(f, "malformed hyperDAG file at line {line}: {reason}")
+            }
+            HyperDagError::Number { line } => write!(f, "invalid number at line {line}"),
+            HyperDagError::Dag(e) => write!(f, "hyperDAG does not describe a DAG: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperDagError {}
+
+impl From<DagError> for HyperDagError {
+    fn from(e: DagError) -> Self {
+        HyperDagError::Dag(e)
+    }
+}
+
+fn parse_num(tok: &str, line: usize) -> Result<u64, HyperDagError> {
+    tok.parse()
+        .map_err(|_: ParseIntError| HyperDagError::Number { line })
+}
+
+/// Serializes a DAG into the hyperDAG text format.
+pub fn write_hyperdag(dag: &Dag) -> String {
+    let n = dag.n();
+    let hyperedges: Vec<NodeId> = (0..n).filter(|&v| dag.out_degree(v) > 0).collect();
+    let num_pins: usize = hyperedges.iter().map(|&v| 1 + dag.out_degree(v)).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "% hyperDAG export: {} nodes, {} hyperedges", n, hyperedges.len());
+    let _ = writeln!(out, "{} {} {}", hyperedges.len(), n, num_pins);
+    for (h, &v) in hyperedges.iter().enumerate() {
+        let _ = writeln!(out, "{h} {v}");
+        for &w in dag.successors(v) {
+            let _ = writeln!(out, "{h} {w}");
+        }
+    }
+    for v in 0..n {
+        let _ = writeln!(out, "{v} {} {}", dag.work(v), dag.comm(v));
+    }
+    out
+}
+
+/// Parses the hyperDAG text format back into a DAG.
+pub fn read_hyperdag(text: &str) -> Result<Dag, HyperDagError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+
+    let (header_line, header) = lines.next().ok_or(HyperDagError::Malformed {
+        line: 0,
+        reason: "empty file".into(),
+    })?;
+    let mut it = header.split_whitespace();
+    let (he, nodes, pins) = match (it.next(), it.next(), it.next(), it.next()) {
+        (Some(a), Some(b), Some(c), None) => (
+            parse_num(a, header_line)? as usize,
+            parse_num(b, header_line)? as usize,
+            parse_num(c, header_line)? as usize,
+        ),
+        _ => {
+            return Err(HyperDagError::Malformed {
+                line: header_line,
+                reason: "header must be `<hyperedges> <nodes> <pins>`".into(),
+            })
+        }
+    };
+
+    // Pins.
+    let mut hyperedge_pins: Vec<Vec<NodeId>> = vec![Vec::new(); he];
+    for _ in 0..pins {
+        let (line_no, line) = lines.next().ok_or(HyperDagError::Malformed {
+            line: header_line,
+            reason: "fewer pin lines than declared".into(),
+        })?;
+        let mut it = line.split_whitespace();
+        let (h, v) = match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => (
+                parse_num(a, line_no)? as usize,
+                parse_num(b, line_no)? as usize,
+            ),
+            _ => {
+                return Err(HyperDagError::Malformed {
+                    line: line_no,
+                    reason: "pin line must be `<hyperedge> <node>`".into(),
+                })
+            }
+        };
+        if h >= he || v >= nodes {
+            return Err(HyperDagError::Malformed {
+                line: line_no,
+                reason: format!("pin ({h}, {v}) out of range"),
+            });
+        }
+        hyperedge_pins[h].push(v);
+    }
+
+    // Node weights.
+    let mut work = vec![1u64; nodes];
+    let mut comm = vec![1u64; nodes];
+    for _ in 0..nodes {
+        let (line_no, line) = lines.next().ok_or(HyperDagError::Malformed {
+            line: header_line,
+            reason: "fewer node lines than declared".into(),
+        })?;
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), Some(c), None) => {
+                let v = parse_num(a, line_no)? as usize;
+                if v >= nodes {
+                    return Err(HyperDagError::Malformed {
+                        line: line_no,
+                        reason: format!("node {v} out of range"),
+                    });
+                }
+                work[v] = parse_num(b, line_no)?;
+                comm[v] = parse_num(c, line_no)?;
+            }
+            _ => {
+                return Err(HyperDagError::Malformed {
+                    line: line_no,
+                    reason: "node line must be `<node> <work> <comm>`".into(),
+                })
+            }
+        }
+    }
+
+    // Hyperedges back to edges: the first pin of a hyperedge is the source.
+    let mut edges = Vec::new();
+    for pins in &hyperedge_pins {
+        if let Some((&src, rest)) = pins.split_first() {
+            for &dst in rest {
+                if src != dst {
+                    edges.push((src, dst));
+                }
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Ok(Dag::from_edges(nodes, &edges, work, comm)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fine::{spmv, SpmvConfig};
+
+    #[test]
+    fn roundtrip_preserves_structure_and_weights() {
+        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 11 });
+        let text = write_hyperdag(&dag);
+        let back = read_hyperdag(&text).unwrap();
+        // The format groups edges by source, so adjacency-list order may
+        // differ; compare the canonical structure instead of `Dag` equality.
+        assert_eq!(back.n(), dag.n());
+        assert_eq!(back.work_weights(), dag.work_weights());
+        assert_eq!(back.comm_weights(), dag.comm_weights());
+        let canon = |d: &Dag| {
+            let mut e: Vec<_> = d.edges().collect();
+            e.sort_unstable();
+            e
+        };
+        assert_eq!(canon(&back), canon(&dag));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored()
+    {
+        let text = "% comment\n\n1 2 2\n% another\n0 0\n0 1\n0 3 4\n1 5 6\n";
+        let dag = read_hyperdag(text).unwrap();
+        assert_eq!(dag.n(), 2);
+        assert_eq!(dag.num_edges(), 1);
+        assert_eq!(dag.work(0), 3);
+        assert_eq!(dag.comm(1), 6);
+    }
+
+    #[test]
+    fn malformed_header_is_rejected() {
+        assert!(matches!(
+            read_hyperdag("1 2\n"),
+            Err(HyperDagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_pin_is_rejected() {
+        let text = "1 2 2\n0 0\n0 7\n0 1 1\n1 1 1\n";
+        assert!(matches!(
+            read_hyperdag(text),
+            Err(HyperDagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_hyperdag_is_rejected() {
+        // Two hyperedges creating 0 -> 1 and 1 -> 0.
+        let text = "2 2 4\n0 0\n0 1\n1 1\n1 0\n0 1 1\n1 1 1\n";
+        assert!(matches!(read_hyperdag(text), Err(HyperDagError::Dag(_))));
+    }
+}

@@ -1,0 +1,27 @@
+//! # dag-gen
+//!
+//! The computational-DAG database substrate of the paper: generators for
+//! fine-grained and coarse-grained computational DAGs, the hyperDAG text
+//! format, and the seeded experiment datasets.
+//!
+//! * [`sparse`] — random sparse matrix patterns driving the fine-grained
+//!   generators.
+//! * [`fine`] — fine-grained DAGs (`spmv`, `exp`, `cg`, `knn`), one node per
+//!   scalar operation.
+//! * [`coarse`] — coarse-grained GraphBLAS-style DAGs, one node per
+//!   matrix/vector operation.
+//! * [`hyperdag`] — the hypergraph text format used by the paper's database.
+//! * [`dataset`] — the training / tiny / small / medium / large / huge
+//!   datasets used in the experiments.
+
+pub mod coarse;
+pub mod dataset;
+pub mod fine;
+pub mod hyperdag;
+pub mod sparse;
+
+pub use coarse::{coarse as coarse_dag, CoarseAlgorithm, CoarseConfig};
+pub use dataset::{Dataset, DatasetKind, NamedDag};
+pub use fine::{cg, exp, knn, spmv, IterConfig, SpmvConfig};
+pub use hyperdag::{read_hyperdag, write_hyperdag, HyperDagError};
+pub use sparse::SparsePattern;

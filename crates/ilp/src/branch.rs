@@ -1,0 +1,342 @@
+//! Branch & bound over the integer variables of a [`Model`](crate::Model).
+//!
+//! The solver is an *anytime* minimizer: it can be warm-started from a known
+//! feasible assignment (the "MIP start" the paper gives CBC) and respects a
+//! wall-clock time limit, returning the best incumbent found so far.  This is
+//! exactly the contract the scheduling pipeline relies on.
+
+use crate::model::{Model, VarKind};
+use crate::simplex::{solve_relaxation_with_bounds_until, LpStatus};
+use std::time::{Duration, Instant};
+
+/// Configuration of a branch-&-bound solve.
+#[derive(Debug, Clone)]
+pub struct MipConfig {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Duration,
+    /// Maximum number of explored branch-&-bound nodes.
+    pub max_nodes: usize,
+    /// Relative optimality gap below which the search stops.
+    pub gap_tolerance: f64,
+}
+
+impl Default for MipConfig {
+    fn default() -> Self {
+        MipConfig {
+            time_limit: Duration::from_secs(10),
+            max_nodes: 50_000,
+            gap_tolerance: 1e-6,
+        }
+    }
+}
+
+impl MipConfig {
+    /// A configuration with the given time limit and default node/gap settings.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        MipConfig {
+            time_limit,
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of a branch-&-bound solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// The search tree was exhausted; the incumbent is optimal.
+    Optimal,
+    /// A feasible incumbent was found, but the search stopped early
+    /// (time limit or node limit).
+    Feasible,
+    /// The problem has no feasible integer solution.
+    Infeasible,
+    /// The search stopped early without finding any feasible solution.
+    Unknown,
+}
+
+/// Result of a branch-&-bound solve.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    pub status: MipStatus,
+    /// Objective of the incumbent (`f64::INFINITY` if none).
+    pub objective: f64,
+    /// Values of the incumbent, one per model variable (empty if none).
+    pub values: Vec<f64>,
+    /// Number of branch-&-bound nodes explored.
+    pub nodes_explored: usize,
+}
+
+impl MipResult {
+    /// `true` if a feasible integer solution is available.
+    pub fn has_solution(&self) -> bool {
+        matches!(self.status, MipStatus::Optimal | MipStatus::Feasible)
+    }
+}
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solves the model by LP-based branch & bound.
+///
+/// `warm_start`, if provided and feasible, seeds the incumbent; the solver can
+/// then only improve on it.
+pub fn solve_mip(model: &Model, config: &MipConfig, warm_start: Option<&[f64]>) -> MipResult {
+    let start = Instant::now();
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+
+    if let Some(ws) = warm_start {
+        if model.is_feasible(ws, 1e-6) {
+            incumbent = Some((model.objective_value(ws), ws.to_vec()));
+        }
+    }
+
+    // A node is a set of bounds for every variable.
+    let root: Vec<(f64, f64)> = model
+        .variables()
+        .iter()
+        .map(|v| (v.lower, v.upper))
+        .collect();
+    let mut stack: Vec<Vec<(f64, f64)>> = vec![root];
+    let mut nodes_explored = 0usize;
+    let mut exhausted = true;
+
+    while let Some(bounds) = stack.pop() {
+        if start.elapsed() > config.time_limit || nodes_explored >= config.max_nodes {
+            exhausted = false;
+            break;
+        }
+        nodes_explored += 1;
+
+        let relax = solve_relaxation_with_bounds_until(
+            model,
+            Some(&bounds),
+            Some(start + config.time_limit),
+        );
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded | LpStatus::IterationLimit => {
+                // Cannot bound this subtree; treat conservatively as unexplored.
+                exhausted = false;
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+        if let Some((best, _)) = &incumbent {
+            // Prune by bound (with relative gap tolerance).
+            let cutoff = best - config.gap_tolerance * best.abs().max(1.0);
+            if relax.objective >= cutoff {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        let mut worst_frac = INT_TOL;
+        for (i, v) in model.variables().iter().enumerate() {
+            if v.kind != VarKind::Integer {
+                continue;
+            }
+            let x = relax.values[i];
+            let frac = (x - x.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some((i, x));
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: round integer variables exactly and accept.
+                let mut values = relax.values.clone();
+                for (i, v) in model.variables().iter().enumerate() {
+                    if v.kind == VarKind::Integer {
+                        values[i] = values[i].round();
+                    }
+                }
+                let obj = model.objective_value(&values);
+                let improves = incumbent
+                    .as_ref()
+                    .is_none_or(|(best, _)| obj < best - 1e-9);
+                if improves && model.is_feasible(&values, 1e-5) {
+                    incumbent = Some((obj, values));
+                }
+            }
+            Some((i, x)) => {
+                let floor = x.floor();
+                let ceil = x.ceil();
+                let mut down = bounds.clone();
+                down[i].1 = down[i].1.min(floor);
+                let mut up = bounds;
+                up[i].0 = up[i].0.max(ceil);
+                // Depth-first; explore the side closer to the LP value first
+                // (push it last so it is popped first).
+                if x - floor < ceil - x {
+                    if up[i].0 <= up[i].1 {
+                        stack.push(up);
+                    }
+                    if down[i].0 <= down[i].1 {
+                        stack.push(down);
+                    }
+                } else {
+                    if down[i].0 <= down[i].1 {
+                        stack.push(down);
+                    }
+                    if up[i].0 <= up[i].1 {
+                        stack.push(up);
+                    }
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((objective, values)) => MipResult {
+            status: if exhausted && stack.is_empty() {
+                MipStatus::Optimal
+            } else {
+                MipStatus::Feasible
+            },
+            objective,
+            values,
+            nodes_explored,
+        },
+        None => MipResult {
+            status: if exhausted && stack.is_empty() {
+                MipStatus::Infeasible
+            } else {
+                MipStatus::Unknown
+            },
+            objective: f64::INFINITY,
+            values: Vec::new(),
+            nodes_explored,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn solves_a_small_knapsack() {
+        // maximize 10x0 + 13x1 + 7x2  (minimize the negation)
+        // s.t. 3x0 + 4x1 + 2x2 <= 6, binaries.  Optimum: x0 = 0, x1 = 1, x2 = 1 -> 20.
+        let mut m = Model::new();
+        let x0 = m.add_binary("x0", -10.0);
+        let x1 = m.add_binary("x1", -13.0);
+        let x2 = m.add_binary("x2", -7.0);
+        m.add_le("cap", vec![(x0, 3.0), (x1, 4.0), (x2, 2.0)], 6.0);
+        let res = solve_mip(&m, &MipConfig::default(), None);
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective + 20.0).abs() < 1e-6, "objective {}", res.objective);
+        assert_eq!(res.values[x0.index()].round() as i64, 0);
+        assert_eq!(res.values[x1.index()].round() as i64, 1);
+        assert_eq!(res.values[x2.index()].round() as i64, 1);
+    }
+
+    #[test]
+    fn integrality_changes_the_optimum_vs_lp() {
+        // minimize -(x + y) s.t. x + y <= 1.5, binaries: ILP optimum is -1.
+        let mut m = Model::new();
+        let x = m.add_binary("x", -1.0);
+        let y = m.add_binary("y", -1.0);
+        m.add_le("cap", vec![(x, 1.0), (y, 1.0)], 1.5);
+        let res = solve_mip(&m, &MipConfig::default(), None);
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reports_infeasible_integer_problems() {
+        // x + y = 1.5 with binaries has no integer solution.
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_eq("half", vec![(x, 1.0), (y, 1.0)], 1.5);
+        let res = solve_mip(&m, &MipConfig::default(), None);
+        assert_eq!(res.status, MipStatus::Infeasible);
+        assert!(!res.has_solution());
+    }
+
+    #[test]
+    fn warm_start_provides_an_incumbent_under_zero_time() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_ge("atleast", vec![(x, 1.0), (y, 1.0)], 1.0);
+        let config = MipConfig {
+            time_limit: Duration::from_millis(0),
+            ..Default::default()
+        };
+        let res = solve_mip(&m, &config, Some(&[1.0, 1.0]));
+        assert!(res.has_solution());
+        assert!((res.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_is_improved_when_time_allows() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_ge("atleast", vec![(x, 1.0), (y, 1.0)], 1.0);
+        let res = solve_mip(&m, &MipConfig::default(), Some(&[1.0, 1.0]));
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_ignored() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", -1.0);
+        m.add_le("cap", vec![(x, 1.0)], 1.0);
+        let res = solve_mip(&m, &MipConfig::default(), Some(&[5.0]));
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert!((res.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_variables_with_wider_ranges() {
+        // minimize x s.t. 2x >= 7, x integer in [0, 10] -> x = 4.
+        let mut m = Model::new();
+        let x = m.add_integer("x", 0.0, 10.0, 1.0);
+        m.add_ge("floor", vec![(x, 2.0)], 7.0);
+        let res = solve_mip(&m, &MipConfig::default(), None);
+        assert_eq!(res.status, MipStatus::Optimal);
+        assert_eq!(res.values[x.index()].round() as i64, 4);
+    }
+
+    #[test]
+    fn assignment_problem_is_solved_exactly() {
+        // 3x3 assignment with cost matrix; optimum picks 1+1+2 = 4... verify
+        // against brute force.
+        let costs = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new();
+        let mut vars = [[None; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                vars[i][j] = Some(m.add_binary(format!("x{i}{j}"), costs[i][j]));
+            }
+        }
+        for i in 0..3 {
+            m.add_eq(
+                format!("row{i}"),
+                (0..3).map(|j| (vars[i][j].unwrap(), 1.0)).collect(),
+                1.0,
+            );
+            m.add_eq(
+                format!("col{i}"),
+                (0..3).map(|j| (vars[j][i].unwrap(), 1.0)).collect(),
+                1.0,
+            );
+        }
+        let res = solve_mip(&m, &MipConfig::default(), None);
+        assert_eq!(res.status, MipStatus::Optimal);
+        // Brute force over the 6 permutations.
+        let mut best = f64::INFINITY;
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for p in perms {
+            best = best.min((0..3).map(|i| costs[i][p[i]]).sum());
+        }
+        assert!((res.objective - best).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,41 @@
+//! # micro-ilp
+//!
+//! A small, self-contained linear-programming / mixed-integer-programming
+//! solver: a dense two-phase primal simplex for LP relaxations and an LP-based
+//! branch & bound for integer variables.
+//!
+//! In the paper the scheduling ILP formulations are handed to the CBC solver
+//! through its Python interface; this crate is the stand-in for CBC in the
+//! Rust reproduction (see the substitution notes in `DESIGN.md`).  The API is
+//! shaped around how the scheduling pipeline uses a solver:
+//!
+//! * build a [`Model`] (binary/integer/continuous variables, linear
+//!   constraints, minimization objective),
+//! * optionally provide a *warm start* (an already-known feasible schedule),
+//! * call [`solve_mip`] with a wall-clock [`MipConfig::time_limit`],
+//! * read back the best incumbent found, whether or not it is proven optimal.
+//!
+//! ```
+//! use micro_ilp::{Model, MipConfig, solve_mip};
+//!
+//! // minimize x + 2y subject to x + y >= 3, x binary, y integer in [0, 5].
+//! let mut model = Model::new();
+//! let x = model.add_binary("x", 1.0);
+//! let y = model.add_integer("y", 0.0, 5.0, 2.0);
+//! model.add_ge("cover", vec![(x, 1.0), (y, 1.0)], 3.0);
+//! let result = solve_mip(&model, &MipConfig::default(), None);
+//! assert!(result.has_solution());
+//! assert_eq!(result.values[x.index()].round() as i64, 1);
+//! assert_eq!(result.values[y.index()].round() as i64, 2);
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_mip, MipConfig, MipResult, MipStatus};
+pub use model::{Comparator, Constraint, Model, VarId, VarKind, Variable};
+pub use simplex::{
+    solve_relaxation, solve_relaxation_with_bounds, solve_relaxation_with_bounds_until,
+    LpSolution, LpStatus,
+};

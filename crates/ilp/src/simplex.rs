@@ -1,0 +1,443 @@
+//! A dense two-phase primal simplex solver for the LP relaxation of a
+//! [`Model`](crate::Model).
+//!
+//! The implementation is intentionally simple and robust rather than fast:
+//! Bland's anti-cycling rule, a dense tableau, and explicit artificial
+//! variables.  It is sufficient for the problem sizes at which the scheduling
+//! ILP formulations are applied (a few hundred to a couple of thousand
+//! variables), mirroring the role CBC plays in the paper.
+
+use crate::model::{Comparator, Model};
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    /// The iteration limit was hit before reaching optimality.
+    IterationLimit,
+}
+
+/// Result of solving the LP relaxation.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// Objective value (only meaningful for `Optimal`).
+    pub objective: f64,
+    /// Values of the model variables (only meaningful for `Optimal`).
+    pub values: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// Row-major coefficients, `rows × cols` (cols excludes the RHS).
+    a: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS);
+        let inv = 1.0 / p;
+        for x in self.a[row].iter_mut() {
+            *x *= inv;
+        }
+        self.rhs[row] *= inv;
+        let pivot_row = self.a[row].clone();
+        let pivot_rhs = self.rhs[row];
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for c in 0..self.cols {
+                self.a[r][c] -= factor * pivot_row[c];
+            }
+            self.rhs[r] -= factor * pivot_rhs;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex method on the current basis for the given objective
+    /// (minimization).  `allowed[j] = false` forbids column `j` from entering
+    /// the basis (used to keep artificials out during phase 2).
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        allowed: &[bool],
+        max_iters: usize,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), LpStatus> {
+        for iter in 0..max_iters {
+            // A single pivot on a dense tableau can be expensive, so honour the
+            // caller's wall-clock deadline from inside the simplex loop too
+            // (checked only every few iterations to keep the overhead small).
+            if iter % 16 == 0 {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        return Err(LpStatus::IterationLimit);
+                    }
+                }
+            }
+            // Reduced costs r_j = c_j - Σ_i c_{B(i)} a_{ij}.
+            let basic_cost: Vec<f64> = self.basis.iter().map(|&j| cost[j]).collect();
+            let mut entering: Option<usize> = None;
+            for j in 0..self.cols {
+                if !allowed[j] || self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = cost[j];
+                for (i, row) in self.a.iter().enumerate() {
+                    r -= basic_cost[i] * row[j];
+                }
+                if r < -1e-7 {
+                    entering = Some(j); // Bland's rule: first (smallest index).
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(());
+            };
+            // Ratio test (Bland: smallest basis index breaks ties).
+            let mut leaving: Option<(usize, f64)> = None;
+            for (i, row) in self.a.iter().enumerate() {
+                if row[col] > EPS {
+                    let ratio = self.rhs[i] / row[col];
+                    match leaving {
+                        None => leaving = Some((i, ratio)),
+                        Some((bi, br)) => {
+                            if ratio < br - EPS
+                                || ((ratio - br).abs() <= EPS && self.basis[i] < self.basis[bi])
+                            {
+                                leaving = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            match leaving {
+                None => return Err(LpStatus::Unbounded),
+                Some((row, _)) => self.pivot(row, col),
+            }
+        }
+        Err(LpStatus::IterationLimit)
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality constraints dropped).
+pub fn solve_relaxation(model: &Model) -> LpSolution {
+    solve_relaxation_with_bounds(model, None)
+}
+
+/// Solves the LP relaxation of `model` with variable bounds overridden by
+/// `bounds` (used by branch & bound to fix or restrict integer variables).
+pub fn solve_relaxation_with_bounds(
+    model: &Model,
+    bounds: Option<&[(f64, f64)]>,
+) -> LpSolution {
+    solve_relaxation_with_bounds_until(model, bounds, None)
+}
+
+/// Like [`solve_relaxation_with_bounds`], but gives up (returning
+/// [`LpStatus::IterationLimit`]) once `deadline` has passed.  Branch & bound
+/// uses this so that a single expensive LP relaxation cannot blow through the
+/// MIP-level time limit.
+pub fn solve_relaxation_with_bounds_until(
+    model: &Model,
+    bounds: Option<&[(f64, f64)]>,
+    deadline: Option<std::time::Instant>,
+) -> LpSolution {
+    let n = model.num_vars();
+    let lower: Vec<f64> = (0..n)
+        .map(|i| bounds.map_or(model.variables()[i].lower, |b| b[i].0))
+        .collect();
+    let upper: Vec<f64> = (0..n)
+        .map(|i| bounds.map_or(model.variables()[i].upper, |b| b[i].1))
+        .collect();
+    for i in 0..n {
+        if lower[i] > upper[i] + EPS {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: Vec::new(),
+            };
+        }
+    }
+
+    // Shifted variables x' = x - lb ≥ 0; finite upper bounds become rows.
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        cmp: Comparator,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for c in model.constraints() {
+        let shift: f64 = c.terms.iter().map(|&(v, coef)| coef * lower[v.index()]).sum();
+        rows.push(Row {
+            terms: c.terms.iter().map(|&(v, coef)| (v.index(), coef)).collect(),
+            cmp: c.cmp,
+            rhs: c.rhs - shift,
+        });
+    }
+    for i in 0..n {
+        if upper[i].is_finite() {
+            // Also covers fixed variables (upper == lower), pinning x' to 0.
+            rows.push(Row {
+                terms: vec![(i, 1.0)],
+                cmp: Comparator::Le,
+                rhs: (upper[i] - lower[i]).max(0.0),
+            });
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural n][slack/surplus per row][artificial per row as needed].
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    // Pre-normalize rows to rhs >= 0 and count columns.
+    let mut norm: Vec<(Vec<(usize, f64)>, Comparator, f64)> = Vec::with_capacity(m);
+    for r in rows {
+        let (terms, cmp, rhs) = if r.rhs < 0.0 {
+            let flipped = match r.cmp {
+                Comparator::Le => Comparator::Ge,
+                Comparator::Ge => Comparator::Le,
+                Comparator::Eq => Comparator::Eq,
+            };
+            (
+                r.terms.iter().map(|&(i, c)| (i, -c)).collect(),
+                flipped,
+                -r.rhs,
+            )
+        } else {
+            (r.terms, r.cmp, r.rhs)
+        };
+        match cmp {
+            Comparator::Le => num_slack += 1,
+            Comparator::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Comparator::Eq => num_art += 1,
+        }
+        norm.push((terms, cmp, rhs));
+    }
+
+    let cols = n + num_slack + num_art;
+    let mut a = vec![vec![0.0; cols]; m];
+    let mut rhs_vec = vec![0.0; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::new();
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    for (row_i, (terms, cmp, rhs)) in norm.into_iter().enumerate() {
+        for (var, coef) in terms {
+            a[row_i][var] += coef;
+        }
+        rhs_vec[row_i] = rhs;
+        match cmp {
+            Comparator::Le => {
+                a[row_i][slack_idx] = 1.0;
+                basis[row_i] = slack_idx;
+                slack_idx += 1;
+            }
+            Comparator::Ge => {
+                a[row_i][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[row_i][art_idx] = 1.0;
+                basis[row_i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Comparator::Eq => {
+                a[row_i][art_idx] = 1.0;
+                basis[row_i] = art_idx;
+                art_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut tableau = Tableau {
+        a,
+        rhs: rhs_vec,
+        basis,
+        cols,
+    };
+    let max_iters = 200 * (m + cols) + 2000;
+
+    // Phase 1: minimize the sum of artificial variables.
+    if num_art > 0 {
+        let mut phase1_cost = vec![0.0; cols];
+        for &c in &art_cols {
+            phase1_cost[c] = 1.0;
+        }
+        let allowed = vec![true; cols];
+        match tableau.optimize(&phase1_cost, &allowed, max_iters, deadline) {
+            Ok(()) => {}
+            Err(LpStatus::Unbounded) => {
+                // Phase-1 objective is bounded below by 0; treat as numerical trouble.
+                return LpSolution {
+                    status: LpStatus::IterationLimit,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                };
+            }
+            Err(s) => {
+                return LpSolution {
+                    status: s,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                }
+            }
+        }
+        let phase1_obj: f64 = tableau
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| art_cols.contains(&b))
+            .map(|(i, _)| tableau.rhs[i])
+            .sum();
+        if phase1_obj > 1e-6 {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: Vec::new(),
+            };
+        }
+    }
+
+    // Phase 2: original objective on shifted structural variables.
+    let mut cost = vec![0.0; cols];
+    for (i, v) in model.variables().iter().enumerate() {
+        cost[i] = v.objective;
+    }
+    let mut allowed = vec![true; cols];
+    for &c in &art_cols {
+        allowed[c] = false;
+    }
+    let status = match tableau.optimize(&cost, &allowed, max_iters, deadline) {
+        Ok(()) => LpStatus::Optimal,
+        Err(s) => s,
+    };
+    if status != LpStatus::Optimal {
+        return LpSolution {
+            status,
+            objective: f64::INFINITY,
+            values: Vec::new(),
+        };
+    }
+
+    // Extract values of the structural variables.
+    let mut values = lower.clone();
+    for (row, &b) in tableau.basis.iter().enumerate() {
+        if b < n {
+            values[b] = lower[b] + tableau.rhs[row].max(0.0);
+        }
+    }
+    let objective = model.objective_value(&values);
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn solves_a_textbook_lp() {
+        // minimize -3x - 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+        // Optimum at (2, 6) with objective -36.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY, -3.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY, -5.0);
+        m.add_le("c1", vec![(x, 1.0)], 4.0);
+        m.add_le("c2", vec![(y, 2.0)], 12.0);
+        m.add_le("c3", vec![(x, 3.0), (y, 2.0)], 18.0);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 36.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.values[x.index()] - 2.0).abs() < 1e-6);
+        assert!((sol.values[y.index()] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        m.add_ge("impossible", vec![(x, 1.0)], 5.0);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, f64::INFINITY, -1.0);
+        m.add_ge("lower", vec![(x, 1.0)], 1.0);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn respects_equality_constraints_and_bounds() {
+        // minimize x + y  s.t. x + y = 3, 0 <= x <= 1, 0 <= y <= 5.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 5.0, 1.0);
+        m.add_eq("sum", vec![(x, 1.0), (y, 1.0)], 3.0);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+        assert!(sol.values[x.index()] <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_are_handled() {
+        // minimize x  with 2 <= x <= 10 and x >= 3.5.
+        let mut m = Model::new();
+        let x = m.add_continuous("x", 2.0, 10.0, 1.0);
+        m.add_ge("floor", vec![(x, 1.0)], 3.5);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.values[x.index()] - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_overrides_fix_variables() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", -1.0);
+        let y = m.add_binary("y", -1.0);
+        m.add_le("cap", vec![(x, 1.0), (y, 1.0)], 2.0);
+        // Fix x = 0 through bounds.
+        let sol =
+            solve_relaxation_with_bounds(&m, Some(&[(0.0, 0.0), (0.0, 1.0)]));
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.values[x.index()].abs() < 1e-9);
+        assert!((sol.values[y.index()] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_relaxation_of_binaries_can_be_fractional() {
+        // minimize -(x + y) s.t. x + y <= 1.5 with binaries: LP optimum 1.5.
+        let mut m = Model::new();
+        let x = m.add_binary("x", -1.0);
+        let y = m.add_binary("y", -1.0);
+        m.add_le("cap", vec![(x, 1.0), (y, 1.0)], 1.5);
+        let sol = solve_relaxation(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 1.5).abs() < 1e-6);
+    }
+}

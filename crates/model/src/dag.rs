@@ -1,0 +1,582 @@
+//! Computational DAGs with work and communication weights.
+//!
+//! A node `v` carries a *work weight* `w(v)` (time needed to execute it on any
+//! processor) and a *communication weight* `c(v)` (amount of data another
+//! processor has to receive in order to use its output).  Edges encode
+//! precedence: `(u, v)` means `v` consumes the output of `u`.
+
+use crate::error::DagError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a node in a [`Dag`]; nodes are always `0..n`.
+pub type NodeId = usize;
+
+/// An immutable computational DAG.
+///
+/// Construct one through [`DagBuilder`], [`Dag::from_edges`] or
+/// [`Dag::from_edge_list_unit_weights`].  All accessors are `O(1)` except
+/// where noted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dag {
+    work: Vec<u64>,
+    comm: Vec<u64>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+/// Incremental builder for [`Dag`].
+#[derive(Debug, Clone, Default)]
+pub struct DagBuilder {
+    work: Vec<u64>,
+    comm: Vec<u64>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given work and communication weight, returning its id.
+    pub fn add_node(&mut self, work: u64, comm: u64) -> NodeId {
+        self.work.push(work);
+        self.comm.push(comm);
+        self.work.len() - 1
+    }
+
+    /// Adds `count` nodes that all share the same weights; returns the id of the first.
+    pub fn add_nodes(&mut self, count: usize, work: u64, comm: u64) -> NodeId {
+        let first = self.work.len();
+        for _ in 0..count {
+            self.add_node(work, comm);
+        }
+        first
+    }
+
+    /// Adds a directed edge `from -> to`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.work.len()
+    }
+
+    /// `true` if no node has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.work.is_empty()
+    }
+
+    /// Overwrites the work weight of an existing node.
+    pub fn set_work(&mut self, node: NodeId, work: u64) {
+        self.work[node] = work;
+    }
+
+    /// Overwrites the communication weight of an existing node.
+    pub fn set_comm(&mut self, node: NodeId, comm: u64) {
+        self.comm[node] = comm;
+    }
+
+    /// Finalizes the builder into an immutable [`Dag`].
+    ///
+    /// Duplicate edges are silently deduplicated; self-loops and cycles are
+    /// rejected.
+    pub fn build(self) -> Result<Dag, DagError> {
+        let n = self.work.len();
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            if u >= n {
+                return Err(DagError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(DagError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { node: u });
+            }
+            if seen.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+        Dag::from_edges(n, &edges, self.work, self.comm)
+    }
+}
+
+impl Dag {
+    /// Builds a DAG from an explicit edge list and weight vectors.
+    pub fn from_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+        work: Vec<u64>,
+        comm: Vec<u64>,
+    ) -> Result<Self, DagError> {
+        if work.len() != n {
+            return Err(DagError::WeightLengthMismatch {
+                expected: n,
+                got: work.len(),
+            });
+        }
+        if comm.len() != n {
+            return Err(DagError::WeightLengthMismatch {
+                expected: n,
+                got: comm.len(),
+            });
+        }
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(DagError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(DagError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { node: u });
+            }
+            if !seen.insert((u, v)) {
+                return Err(DagError::DuplicateEdge { from: u, to: v });
+            }
+            succs[u].push(v);
+            preds[v].push(u);
+        }
+        let num_edges = seen.len();
+        let dag = Dag {
+            work,
+            comm,
+            succs,
+            preds,
+            num_edges,
+        };
+        if dag.topological_order().is_none() {
+            return Err(DagError::Cycle);
+        }
+        Ok(dag)
+    }
+
+    /// Builds a DAG with `w(v) = c(v) = 1` for all nodes, from an edge list.
+    pub fn from_edge_list_unit_weights(
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, DagError> {
+        Self::from_edges(n, edges, vec![1; n], vec![1; n])
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Work weight `w(v)`.
+    pub fn work(&self, v: NodeId) -> u64 {
+        self.work[v]
+    }
+
+    /// Communication weight `c(v)`.
+    pub fn comm(&self, v: NodeId) -> u64 {
+        self.comm[v]
+    }
+
+    /// All work weights.
+    pub fn work_weights(&self) -> &[u64] {
+        &self.work
+    }
+
+    /// All communication weights.
+    pub fn comm_weights(&self) -> &[u64] {
+        &self.comm
+    }
+
+    /// Direct successors (out-neighbours) of `v`.
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        &self.succs[v]
+    }
+
+    /// Direct predecessors (in-neighbours) of `v`.
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        &self.preds[v]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.succs[v].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.preds[v].len()
+    }
+
+    /// Iterator over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Nodes without predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        (0..self.n()).filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// Nodes without successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.n()).filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// Sum of all work weights.
+    pub fn total_work(&self) -> u64 {
+        self.work.iter().sum()
+    }
+
+    /// Sum of all communication weights.
+    pub fn total_comm(&self) -> u64 {
+        self.comm.iter().sum()
+    }
+
+    /// Communication-to-computation ratio `Σ c(v) / Σ w(v)` (see §A.5 of the paper).
+    pub fn ccr(&self) -> f64 {
+        let w = self.total_work();
+        if w == 0 {
+            return f64::INFINITY;
+        }
+        self.total_comm() as f64 / w as f64
+    }
+
+    /// Kahn topological order, or `None` if the graph has a cycle.
+    ///
+    /// Runs in `O(n + m)`.
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.n();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        let mut queue: VecDeque<NodeId> =
+            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in &self.succs[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Position of every node in a fixed topological order.
+    pub fn topological_rank(&self) -> Vec<usize> {
+        let order = self
+            .topological_order()
+            .expect("Dag invariant: always acyclic");
+        let mut rank = vec![0usize; self.n()];
+        for (i, &v) in order.iter().enumerate() {
+            rank[v] = i;
+        }
+        rank
+    }
+
+    /// Topological *level* of each node: sources have level 0, every other node
+    /// has level `1 + max(level of predecessors)`.  These levels are the
+    /// "wavefronts" used by the `HDagg` baseline.
+    pub fn levels(&self) -> Vec<usize> {
+        let order = self
+            .topological_order()
+            .expect("Dag invariant: always acyclic");
+        let mut level = vec![0usize; self.n()];
+        for &v in &order {
+            for &u in &self.preds[v] {
+                level[v] = level[v].max(level[u] + 1);
+            }
+        }
+        level
+    }
+
+    /// Length (in work weight, including both endpoints) of the longest path
+    /// ending at each node.
+    pub fn top_level(&self) -> Vec<u64> {
+        let order = self
+            .topological_order()
+            .expect("Dag invariant: always acyclic");
+        let mut tl = vec![0u64; self.n()];
+        for &v in &order {
+            let best = self
+                .preds[v]
+                .iter()
+                .map(|&u| tl[u])
+                .max()
+                .unwrap_or(0);
+            tl[v] = best + self.work[v];
+        }
+        tl
+    }
+
+    /// Length (in work weight, including the node itself) of the longest path
+    /// starting at each node — the classical *bottom level* priority used by
+    /// list schedulers such as `BL-EST`.
+    pub fn bottom_level(&self) -> Vec<u64> {
+        let order = self
+            .topological_order()
+            .expect("Dag invariant: always acyclic");
+        let mut bl = vec![0u64; self.n()];
+        for &v in order.iter().rev() {
+            let best = self
+                .succs[v]
+                .iter()
+                .map(|&w| bl[w])
+                .max()
+                .unwrap_or(0);
+            bl[v] = best + self.work[v];
+        }
+        bl
+    }
+
+    /// Work weight of the critical path (longest path) of the DAG.
+    pub fn critical_path_work(&self) -> u64 {
+        self.top_level().into_iter().max().unwrap_or(0)
+    }
+
+    /// `true` if there is a directed path from `u` to `v` (including `u == v`).
+    ///
+    /// Runs a BFS pruned by topological rank; `O(n + m)` worst case.
+    pub fn has_path(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        let rank = self.topological_rank();
+        self.has_path_with_rank(u, v, &rank)
+    }
+
+    /// Same as [`Dag::has_path`] but reuses a precomputed topological rank.
+    pub fn has_path_with_rank(&self, u: NodeId, v: NodeId, rank: &[usize]) -> bool {
+        if u == v {
+            return true;
+        }
+        if rank[u] > rank[v] {
+            return false;
+        }
+        let mut visited = vec![false; self.n()];
+        let mut stack = vec![u];
+        visited[u] = true;
+        while let Some(x) = stack.pop() {
+            for &y in &self.succs[x] {
+                if y == v {
+                    return true;
+                }
+                if !visited[y] && rank[y] < rank[v] {
+                    visited[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// Nodes of the largest weakly connected component (used when coarse-grained
+    /// extraction leaves isolated fragments, cf. Appendix B.1).
+    pub fn largest_weakly_connected_component(&self) -> Vec<NodeId> {
+        let n = self.n();
+        let mut comp = vec![usize::MAX; n];
+        let mut best: (usize, Vec<NodeId>) = (0, Vec::new());
+        let mut next_comp = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut nodes = Vec::new();
+            let mut stack = vec![start];
+            comp[start] = next_comp;
+            while let Some(v) = stack.pop() {
+                nodes.push(v);
+                for &w in self.succs[v].iter().chain(self.preds[v].iter()) {
+                    if comp[w] == usize::MAX {
+                        comp[w] = next_comp;
+                        stack.push(w);
+                    }
+                }
+            }
+            if nodes.len() > best.1.len() {
+                best = (next_comp, nodes);
+            }
+            next_comp += 1;
+        }
+        let mut nodes = best.1;
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The sub-DAG induced by `nodes` (which must be distinct).  Returns the
+    /// sub-DAG and the mapping from new node ids to original node ids.
+    pub fn induced_subdag(&self, nodes: &[NodeId]) -> (Dag, Vec<NodeId>) {
+        let mut index = vec![usize::MAX; self.n()];
+        for (i, &v) in nodes.iter().enumerate() {
+            index[v] = i;
+        }
+        let mut builder = DagBuilder::new();
+        for &v in nodes {
+            builder.add_node(self.work[v], self.comm[v]);
+        }
+        for &v in nodes {
+            for &w in &self.succs[v] {
+                if index[w] != usize::MAX {
+                    builder.add_edge(index[v], index[w]);
+                }
+            }
+        }
+        (
+            builder.build().expect("induced subgraph of a DAG is a DAG"),
+            nodes.to_vec(),
+        )
+    }
+
+    /// A human-readable one-line summary (useful in experiment logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} total_work={} total_comm={} depth={}",
+            self.n(),
+            self.num_edges(),
+            self.total_work(),
+            self.total_comm(),
+            self.levels().into_iter().max().map_or(0, |d| d + 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Dag::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_basic_properties() {
+        let d = diamond();
+        assert_eq!(d.n(), 4);
+        assert_eq!(d.num_edges(), 4);
+        assert_eq!(d.work(2), 3);
+        assert_eq!(d.comm(3), 8);
+        assert_eq!(d.total_work(), 10);
+        assert_eq!(d.total_comm(), 26);
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+        assert_eq!(d.in_degree(3), 2);
+        assert_eq!(d.out_degree(0), 2);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let err = Dag::from_edge_list_unit_weights(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert_eq!(err, DagError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_indices() {
+        assert_eq!(
+            Dag::from_edge_list_unit_weights(2, &[(0, 0)]).unwrap_err(),
+            DagError::SelfLoop { node: 0 }
+        );
+        assert_eq!(
+            Dag::from_edge_list_unit_weights(2, &[(0, 5)]).unwrap_err(),
+            DagError::NodeOutOfRange { node: 5, n: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_in_from_edges() {
+        assert_eq!(
+            Dag::from_edge_list_unit_weights(2, &[(0, 1), (0, 1)]).unwrap_err(),
+            DagError::DuplicateEdge { from: 0, to: 1 }
+        );
+    }
+
+    #[test]
+    fn builder_dedups_edges() {
+        let mut b = DagBuilder::new();
+        b.add_node(1, 1);
+        b.add_node(1, 1);
+        b.add_edge(0, 1).add_edge(0, 1);
+        let d = b.build().unwrap();
+        assert_eq!(d.num_edges(), 1);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let d = diamond();
+        let order = d.topological_order().unwrap();
+        let rank = d.topological_rank();
+        for (u, v) in d.edges() {
+            assert!(rank[u] < rank[v], "edge ({u},{v}) violated in {order:?}");
+        }
+    }
+
+    #[test]
+    fn levels_and_bottom_levels() {
+        let d = diamond();
+        assert_eq!(d.levels(), vec![0, 1, 1, 2]);
+        // bottom level: longest path work starting at the node, inclusive.
+        let bl = d.bottom_level();
+        assert_eq!(bl[3], 4);
+        assert_eq!(bl[1], 2 + 4);
+        assert_eq!(bl[2], 3 + 4);
+        assert_eq!(bl[0], 1 + 3 + 4);
+        assert_eq!(d.critical_path_work(), 8);
+    }
+
+    #[test]
+    fn path_queries() {
+        let d = diamond();
+        assert!(d.has_path(0, 3));
+        assert!(d.has_path(1, 3));
+        assert!(!d.has_path(1, 2));
+        assert!(!d.has_path(3, 0));
+        assert!(d.has_path(2, 2));
+    }
+
+    #[test]
+    fn induced_subdag_keeps_inner_edges() {
+        let d = diamond();
+        let (sub, map) = d.induced_subdag(&[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(map, vec![0, 1, 3]);
+        // edges 0->1 and 1->3 survive, 0->2->3 path does not.
+        assert_eq!(sub.num_edges(), 2);
+    }
+
+    #[test]
+    fn largest_component_of_disconnected_graph() {
+        let d = Dag::from_edge_list_unit_weights(5, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(d.largest_weakly_connected_component(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ccr_matches_definition() {
+        let d = diamond();
+        assert!((d.ccr() - 26.0 / 10.0).abs() < 1e-12);
+    }
+}

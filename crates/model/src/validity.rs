@@ -1,0 +1,302 @@
+//! Validity checking of BSP schedules (§3.2 of the paper).
+//!
+//! A BSP schedule `(π, τ, Γ)` is valid iff
+//!
+//! 1. for every edge `(u, v)`: if `π(u) = π(v)` then `τ(u) ≤ τ(v)`, otherwise
+//!    there is an entry `(u, p1, π(v), s) ∈ Γ` with `s < τ(v)` for some `p1`;
+//! 2. for every `(v, p1, p2, s) ∈ Γ`: either `π(v) = p1` and `τ(v) ≤ s`, or
+//!    there is another entry `(v, p', p1, s') ∈ Γ` with `s' < s` (the value was
+//!    forwarded to `p1` before being sent onwards).
+
+use crate::dag::Dag;
+use crate::error::ValidityError;
+use crate::machine::Machine;
+use crate::schedule::BspSchedule;
+use std::collections::HashMap;
+
+/// Validates a schedule against a DAG and machine.  Returns the first
+/// violation found (deterministically, in node order).
+pub fn validate(dag: &Dag, machine: &Machine, sched: &BspSchedule) -> Result<(), ValidityError> {
+    let n = dag.n();
+    let p = machine.p();
+    let assignment = &sched.assignment;
+
+    if assignment.proc.len() != n || assignment.superstep.len() != n {
+        return Err(ValidityError::AssignmentLengthMismatch {
+            expected: n,
+            got: assignment.proc.len().min(assignment.superstep.len()),
+        });
+    }
+    for v in 0..n {
+        if assignment.proc[v] >= p {
+            return Err(ValidityError::ProcessorOutOfRange {
+                node: v,
+                proc: assignment.proc[v],
+                p,
+            });
+        }
+    }
+    for cs in sched.comm.steps() {
+        if cs.from >= p {
+            return Err(ValidityError::CommProcessorOutOfRange {
+                node: cs.node,
+                proc: cs.from,
+                p,
+            });
+        }
+        if cs.to >= p {
+            return Err(ValidityError::CommProcessorOutOfRange {
+                node: cs.node,
+                proc: cs.to,
+                p,
+            });
+        }
+        if cs.from == cs.to {
+            return Err(ValidityError::CommSelfSend {
+                node: cs.node,
+                proc: cs.from,
+            });
+        }
+    }
+
+    // earliest_arrival[(v, q)] = earliest superstep s such that (v, *, q, s) ∈ Γ.
+    let mut earliest_arrival: HashMap<(usize, usize), usize> = HashMap::new();
+    for cs in sched.comm.steps() {
+        earliest_arrival
+            .entry((cs.node, cs.to))
+            .and_modify(|s| *s = (*s).min(cs.step))
+            .or_insert(cs.step);
+    }
+
+    // Condition 2: every communication step sends a value that is present on
+    // its source processor.  Process each node's steps in increasing superstep
+    // order; a value is available for sending from processor q in superstep s
+    // if it was computed there (π(v) = q, τ(v) ≤ s) or received there in some
+    // strictly earlier superstep.
+    let mut by_node: HashMap<usize, Vec<(usize, usize, usize)>> = HashMap::new();
+    for cs in sched.comm.steps() {
+        by_node
+            .entry(cs.node)
+            .or_default()
+            .push((cs.step, cs.from, cs.to));
+    }
+    for (&v, steps) in by_node.iter_mut() {
+        steps.sort_unstable();
+        // received_before[q] = earliest superstep at which q received v (among
+        // steps already processed, i.e. strictly earlier supersteps).
+        let mut received_before: HashMap<usize, usize> = HashMap::new();
+        let mut i = 0;
+        while i < steps.len() {
+            let s = steps[i].0;
+            // Validate the whole group of steps with superstep == s first.
+            let mut j = i;
+            while j < steps.len() && steps[j].0 == s {
+                let (_, from, _) = steps[j];
+                let computed_here = assignment.proc[v] == from && assignment.superstep[v] <= s;
+                let received_here = received_before.get(&from).is_some_and(|&r| r < s);
+                if !computed_here && !received_here {
+                    return Err(ValidityError::SourceValueNotPresent {
+                        node: v,
+                        from,
+                        step: s,
+                    });
+                }
+                j += 1;
+            }
+            // Now record this group's receptions.
+            for &(step, _, to) in &steps[i..j] {
+                received_before
+                    .entry(to)
+                    .and_modify(|r| *r = (*r).min(step))
+                    .or_insert(step);
+            }
+            i = j;
+        }
+    }
+
+    // Condition 1: precedence constraints.
+    for v in 0..n {
+        for &u in dag.predecessors(v) {
+            if assignment.proc[u] == assignment.proc[v] {
+                if assignment.superstep[u] > assignment.superstep[v] {
+                    return Err(ValidityError::PrecedenceSameProcessor { pred: u, node: v });
+                }
+            } else {
+                let ok = earliest_arrival
+                    .get(&(u, assignment.proc[v]))
+                    .is_some_and(|&s| s < assignment.superstep[v]);
+                if !ok {
+                    return Err(ValidityError::MissingCommunication { pred: u, node: v });
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{CommSchedule, CommStep};
+    use crate::schedule::Assignment;
+
+    fn chain() -> Dag {
+        Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1, 1, 1], vec![1, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn lazy_schedules_are_always_valid() {
+        let dag = chain();
+        let machine = Machine::uniform(3, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1, 2],
+            superstep: vec![0, 1, 2],
+        };
+        let sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        assert!(sched.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn missing_communication_is_detected() {
+        let dag = chain();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1, 1],
+            superstep: vec![0, 1, 2],
+        };
+        let sched = BspSchedule {
+            assignment,
+            comm: CommSchedule::empty(),
+        };
+        assert_eq!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::MissingCommunication { pred: 0, node: 1 })
+        );
+    }
+
+    #[test]
+    fn same_processor_ordering_violation_is_detected() {
+        let dag = chain();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 0, 0],
+            superstep: vec![1, 0, 2],
+        };
+        let sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        assert_eq!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::PrecedenceSameProcessor { pred: 0, node: 1 })
+        );
+    }
+
+    #[test]
+    fn communication_must_not_arrive_in_same_superstep_as_use() {
+        let dag = chain();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1, 1],
+            superstep: vec![0, 1, 1],
+        };
+        // Node 0 sent in superstep 1, but node 1 is computed in superstep 1:
+        // the value only becomes available for superstep 2.
+        let comm = CommSchedule::from_steps(vec![CommStep {
+            node: 0,
+            from: 0,
+            to: 1,
+            step: 1,
+        }]);
+        let sched = BspSchedule { assignment, comm };
+        assert_eq!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::MissingCommunication { pred: 0, node: 1 })
+        );
+    }
+
+    #[test]
+    fn sending_a_value_not_present_is_detected() {
+        let dag = chain();
+        let machine = Machine::uniform(3, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 0, 0],
+            superstep: vec![0, 0, 0],
+        };
+        // Node 1's value "sent" from processor 2, where it never was.
+        let comm = CommSchedule::from_steps(vec![CommStep {
+            node: 1,
+            from: 2,
+            to: 1,
+            step: 0,
+        }]);
+        let sched = BspSchedule { assignment, comm };
+        assert_eq!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::SourceValueNotPresent {
+                node: 1,
+                from: 2,
+                step: 0
+            })
+        );
+    }
+
+    #[test]
+    fn forwarding_chains_are_allowed() {
+        // 0 (proc 0) -> 1 (proc 2); value routed 0 -> 1 -> 2 over two
+        // communication phases.
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(3, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 2],
+            superstep: vec![0, 2],
+        };
+        let comm = CommSchedule::from_steps(vec![
+            CommStep { node: 0, from: 0, to: 1, step: 0 },
+            CommStep { node: 0, from: 1, to: 2, step: 1 },
+        ]);
+        let sched = BspSchedule { assignment, comm };
+        assert!(sched.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn forwarding_in_same_superstep_is_rejected() {
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(3, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 2],
+            superstep: vec![0, 2],
+        };
+        // Both hops in superstep 0: the second hop forwards a value that only
+        // arrives at processor 1 at the end of that same communication phase.
+        let comm = CommSchedule::from_steps(vec![
+            CommStep { node: 0, from: 0, to: 1, step: 0 },
+            CommStep { node: 0, from: 1, to: 2, step: 0 },
+        ]);
+        let sched = BspSchedule { assignment, comm };
+        assert_eq!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::SourceValueNotPresent {
+                node: 0,
+                from: 1,
+                step: 0
+            })
+        );
+    }
+
+    #[test]
+    fn processor_out_of_range_is_detected() {
+        let dag = chain();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 5, 0],
+            superstep: vec![0, 0, 0],
+        };
+        let sched = BspSchedule {
+            assignment,
+            comm: CommSchedule::empty(),
+        };
+        assert!(matches!(
+            sched.validate(&dag, &machine),
+            Err(ValidityError::ProcessorOutOfRange { node: 1, proc: 5, p: 2 })
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! A tour of the computational-DAG database substrate: the fine-grained and
+//! coarse-grained generators, the seeded datasets, and the hyperDAG text
+//! format (Appendix B of the paper).
+//!
+//! Run with: `cargo run --release --example dataset_tour`
+
+use realistic_sched::gen::coarse::{coarse, CoarseAlgorithm, CoarseConfig};
+use realistic_sched::gen::dataset::{Dataset, DatasetKind};
+use realistic_sched::gen::fine::{cg, knn, spmv, IterConfig, SpmvConfig};
+use realistic_sched::gen::hyperdag::{read_hyperdag, write_hyperdag};
+
+fn main() {
+    println!("== fine-grained generators ==");
+    let a = spmv(&SpmvConfig { n: 16, density: 0.25, seed: 1 });
+    let b = cg(&IterConfig { n: 12, density: 0.25, iterations: 2, seed: 2 });
+    let c = knn(&IterConfig { n: 12, density: 0.25, iterations: 3, seed: 3 });
+    println!("  spmv          : {}", a.summary());
+    println!("  cg  (k = 2)   : {}", b.summary());
+    println!("  knn (k = 3)   : {}", c.summary());
+
+    println!("\n== coarse-grained (GraphBLAS-style) generators ==");
+    for algorithm in [
+        CoarseAlgorithm::ConjugateGradient,
+        CoarseAlgorithm::PageRank,
+        CoarseAlgorithm::LabelPropagation,
+    ] {
+        let dag = coarse(&CoarseConfig { algorithm, iterations: 3 });
+        println!("  {:<20}: {}", algorithm.name(), dag.summary());
+    }
+
+    println!("\n== seeded datasets ==");
+    for kind in [DatasetKind::Training, DatasetKind::Tiny, DatasetKind::Small] {
+        let dataset = Dataset::generate(kind, 2024);
+        let min = dataset.instances.iter().map(|i| i.dag.n()).min().unwrap();
+        let max = dataset.instances.iter().map(|i| i.dag.n()).max().unwrap();
+        println!(
+            "  {:<9}: {:>2} instances, {}..{} nodes (target range {:?})",
+            kind.name(),
+            dataset.len(),
+            min,
+            max,
+            kind.node_range()
+        );
+    }
+
+    println!("\n== hyperDAG round trip ==");
+    let text = write_hyperdag(&a);
+    let lines: Vec<&str> = text.lines().take(6).collect();
+    println!("  first lines of the spmv instance in hyperDAG format:");
+    for line in &lines {
+        println!("    {line}");
+    }
+    let back = read_hyperdag(&text).expect("round trip must parse");
+    assert_eq!(back.n(), a.n());
+    assert_eq!(back.num_edges(), a.num_edges());
+    println!("  parsed back: {}", back.summary());
+}

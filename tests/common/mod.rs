@@ -1,0 +1,56 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! Each integration-test binary compiles this module independently and uses
+//! a different subset of the helpers, so dead-code warnings are suppressed.
+#![allow(dead_code)]
+
+use bsp_model::{Dag, Machine};
+use proptest::prelude::*;
+
+/// A proptest strategy generating small random DAGs with random weights.
+///
+/// Nodes are labelled `0..n`; every candidate edge `(u, v)` with `u < v` is
+/// included independently, which guarantees acyclicity by construction.
+pub fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Dag> {
+    (2..=max_nodes).prop_flat_map(|n| {
+        let edge_flags = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+        let works = proptest::collection::vec(1u64..20, n);
+        let comms = proptest::collection::vec(0u64..10, n);
+        (Just(n), edge_flags, works, comms).prop_map(|(n, flags, work, comm)| {
+            let mut edges = Vec::new();
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if flags[idx] {
+                        edges.push((u, v));
+                    }
+                    idx += 1;
+                }
+            }
+            Dag::from_edges(n, &edges, work, comm).expect("construction is acyclic")
+        })
+    })
+}
+
+/// A proptest strategy generating machines of all three NUMA topologies.
+pub fn arb_machine() -> impl Strategy<Value = Machine> {
+    prop_oneof![
+        (1usize..=3, 0u64..6, 0u64..8)
+            .prop_map(|(log_p, g, l)| Machine::uniform(1 << log_p, g, l)),
+        (1usize..=4, 0u64..4, 0u64..8, 2u64..5)
+            .prop_map(|(log_p, g, l, d)| Machine::numa_binary_tree(1 << log_p, g, l, d)),
+    ]
+}
+
+/// A small deterministic grid of machines covering the paper's parameter
+/// space (used by the non-property integration tests).
+pub fn machine_grid() -> Vec<Machine> {
+    vec![
+        Machine::uniform(4, 1, 5),
+        Machine::uniform(8, 3, 5),
+        Machine::uniform(16, 5, 5),
+        Machine::uniform(8, 1, 20),
+        Machine::numa_binary_tree(8, 1, 5, 2),
+        Machine::numa_binary_tree(16, 1, 5, 4),
+    ]
+}

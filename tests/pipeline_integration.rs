@@ -1,0 +1,132 @@
+//! End-to-end integration tests of the combined pipeline (Figure 3) and the
+//! multilevel framework (Figure 4) on generated dataset instances.
+
+mod common;
+
+use bsp_model::Machine;
+use bsp_sched::baselines::{CilkScheduler, HDaggScheduler};
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use bsp_sched::Scheduler;
+use dag_gen::dataset::{Dataset, DatasetKind};
+use dag_gen::fine::{exp, IterConfig};
+
+/// A couple of real tiny-dataset instances (paper sizes, 40–80 nodes).
+fn tiny_instances() -> Vec<(String, bsp_model::Dag)> {
+    Dataset::generate(DatasetKind::Tiny, 99)
+        .instances
+        .into_iter()
+        .step_by(7)
+        .map(|i| (i.name, i.dag))
+        .collect()
+}
+
+#[test]
+fn pipeline_beats_cilk_on_tiny_dataset_instances() {
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    for (name, dag) in tiny_instances() {
+        for machine in [Machine::uniform(4, 3, 5), Machine::uniform(8, 5, 5)] {
+            let report = pipeline.run_report(&dag, &machine);
+            assert!(report.schedule.validate(&dag, &machine).is_ok());
+            let cilk = CilkScheduler::default()
+                .schedule(&dag, &machine)
+                .cost(&dag, &machine);
+            assert!(
+                report.final_cost <= cilk,
+                "{name}: pipeline {} worse than Cilk {cilk} (P={}, g={})",
+                report.final_cost,
+                machine.p(),
+                machine.g()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_matches_or_beats_hdagg_on_most_tiny_instances() {
+    // The paper reports a consistent advantage over HDagg; with the smoke
+    // budgets we only require the pipeline to win on the majority of runs and
+    // never lose by more than a small factor on any single one.
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let machine = Machine::uniform(8, 3, 5);
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for (name, dag) in tiny_instances() {
+        let ours = pipeline.run(&dag, &machine).cost(&dag, &machine);
+        let hdagg = HDaggScheduler::default()
+            .schedule(&dag, &machine)
+            .cost(&dag, &machine);
+        assert!(
+            ours as f64 <= hdagg as f64 * 1.05,
+            "{name}: pipeline {ours} much worse than HDagg {hdagg}"
+        );
+        total += 1;
+        if ours <= hdagg {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins * 2 >= total,
+        "pipeline beat HDagg on only {wins}/{total} tiny instances"
+    );
+}
+
+#[test]
+fn numa_improvement_grows_with_the_hierarchy_multiplier() {
+    // Qualitative reproduction of the §7.2 trend on one instance: the ratio
+    // ours/Cilk should not get worse as Δ increases.
+    let dag = exp(&IterConfig { n: 16, density: 0.3, iterations: 3, seed: 21 });
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let mut ratios = Vec::new();
+    for delta in [2u64, 4u64] {
+        let machine = Machine::numa_binary_tree(8, 1, 5, delta);
+        let ours = pipeline.run(&dag, &machine).cost(&dag, &machine) as f64;
+        let cilk = CilkScheduler::default()
+            .schedule(&dag, &machine)
+            .cost(&dag, &machine) as f64;
+        ratios.push(ours / cilk);
+    }
+    assert!(
+        ratios[1] <= ratios[0] * 1.10,
+        "ours/Cilk ratio degraded with larger Δ: {ratios:?}"
+    );
+}
+
+#[test]
+fn multilevel_report_is_consistent_on_a_medium_instance() {
+    let dag = exp(&IterConfig { n: 20, density: 0.25, iterations: 3, seed: 5 });
+    let machine = Machine::numa_binary_tree(16, 1, 5, 3);
+    let ml = MultilevelScheduler::new(MultilevelConfig::fast());
+    let report = ml.run_report(&dag, &machine);
+    assert!(report.schedule.validate(&dag, &machine).is_ok());
+    assert_eq!(report.final_cost, report.schedule.cost(&dag, &machine));
+    assert_eq!(
+        report.final_cost,
+        report
+            .ratio_outcomes
+            .iter()
+            .map(|o| o.cost)
+            .min()
+            .expect("coarsening ran")
+    );
+    // The coarse DAGs respect the requested ratios approximately.
+    for outcome in &report.ratio_outcomes {
+        let target = (dag.n() as f64 * outcome.ratio).round() as usize;
+        assert!(outcome.coarse_nodes <= target + 1);
+    }
+}
+
+#[test]
+fn pipeline_scheduler_trait_and_report_agree() {
+    let dag = exp(&IterConfig { n: 12, density: 0.3, iterations: 2, seed: 8 });
+    let machine = Machine::uniform(4, 1, 5);
+    let mut config = PipelineConfig::fast();
+    // Deterministic budgets: bound by steps, not wall-clock.
+    config.hill_climb.time_limit = std::time::Duration::from_secs(3600);
+    config.hill_climb.max_steps = 300;
+    config.use_ilp = false;
+    let pipeline = Pipeline::new(config);
+    let via_trait = pipeline.schedule(&dag, &machine).cost(&dag, &machine);
+    let via_report = pipeline.run_report(&dag, &machine).final_cost;
+    assert_eq!(via_trait, via_report);
+}

@@ -1,0 +1,148 @@
+//! Property-based integration tests over random DAGs and machines.
+
+mod common;
+
+use bsp_model::{Assignment, BspSchedule, CommSchedule};
+use bsp_sched::baselines::{CilkScheduler, HDaggScheduler, TrivialScheduler};
+use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use bsp_sched::init::{BspgScheduler, SourceScheduler};
+use bsp_sched::Scheduler;
+use common::{arb_dag, arb_machine};
+use dag_gen::hyperdag::{read_hyperdag, write_hyperdag};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn quick_hc() -> HillClimbConfig {
+    HillClimbConfig {
+        time_limit: Duration::from_millis(50),
+        max_steps: 200,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every heuristic scheduler produces a valid schedule on arbitrary DAGs
+    /// and machines, and the trivial schedule's cost formula holds exactly.
+    #[test]
+    fn heuristic_schedulers_are_valid_on_random_inputs(
+        dag in arb_dag(14),
+        machine in arb_machine(),
+    ) {
+        for scheduler in [
+            &TrivialScheduler as &dyn Scheduler,
+            &CilkScheduler::default(),
+            &HDaggScheduler::default(),
+            &BspgScheduler,
+            &SourceScheduler,
+        ] {
+            let sched = scheduler.schedule(&dag, &machine);
+            prop_assert!(sched.validate(&dag, &machine).is_ok(),
+                "{} invalid on random input", scheduler.name());
+        }
+        let trivial = TrivialScheduler.schedule(&dag, &machine);
+        prop_assert_eq!(
+            trivial.cost(&dag, &machine),
+            dag.total_work() + machine.latency()
+        );
+    }
+
+    /// Hill climbing never increases the cost and preserves validity; the
+    /// reported final cost matches an independent recomputation.
+    #[test]
+    fn hill_climbing_is_monotone_and_consistent(
+        dag in arb_dag(12),
+        machine in arb_machine(),
+    ) {
+        let mut sched = SourceScheduler.schedule(&dag, &machine);
+        let before = sched.cost(&dag, &machine);
+        let outcome = hc_improve(&dag, &machine, &mut sched, &quick_hc());
+        prop_assert!(outcome.final_cost <= before);
+        prop_assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
+        prop_assert!(sched.validate(&dag, &machine).is_ok());
+
+        let before_cs = sched.cost(&dag, &machine);
+        let outcome = hccs_improve(&dag, &machine, &mut sched, &quick_hc());
+        prop_assert!(outcome.final_cost <= before_cs);
+        prop_assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
+        prop_assert!(sched.validate(&dag, &machine).is_ok());
+    }
+
+    /// The lazy communication schedule of any valid assignment yields a valid
+    /// BSP schedule, and normalization never increases its cost.
+    #[test]
+    fn lazy_schedules_are_valid_and_normalization_helps(
+        dag in arb_dag(12),
+        machine in arb_machine(),
+        spread in any::<bool>(),
+    ) {
+        // Build a valid assignment: topological order, one node per superstep
+        // (optionally spread over processors round-robin).
+        let order = dag.topological_order().unwrap();
+        let mut proc = vec![0usize; dag.n()];
+        let mut superstep = vec![0usize; dag.n()];
+        for (i, &v) in order.iter().enumerate() {
+            proc[v] = if spread { i % machine.p() } else { 0 };
+            superstep[v] = 2 * i; // deliberately leave empty supersteps
+        }
+        let assignment = Assignment { proc, superstep };
+        let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
+        prop_assert!(sched.validate(&dag, &machine).is_ok());
+        let before = sched.cost(&dag, &machine);
+        sched.normalize(&dag);
+        prop_assert!(sched.validate(&dag, &machine).is_ok());
+        prop_assert!(sched.cost(&dag, &machine) <= before);
+    }
+
+    /// The eager communication schedule (send everything as early as
+    /// possible) is also always valid and moves the same set of values.
+    #[test]
+    fn eager_and_lazy_communication_schedules_agree_on_volume(
+        dag in arb_dag(12),
+        machine in arb_machine(),
+    ) {
+        let sched = BspgScheduler.schedule(&dag, &machine);
+        let lazy = CommSchedule::lazy(&dag, &sched.assignment);
+        let eager = CommSchedule::eager(&dag, &sched.assignment);
+        prop_assert_eq!(lazy.total_volume(&dag), eager.total_volume(&dag));
+        let eager_sched = BspSchedule { assignment: sched.assignment.clone(), comm: eager };
+        prop_assert!(eager_sched.validate(&dag, &machine).is_ok());
+    }
+
+    /// The hyperDAG text format round-trips every DAG exactly.
+    #[test]
+    fn hyperdag_round_trip_preserves_the_dag(dag in arb_dag(16)) {
+        let text = write_hyperdag(&dag);
+        let back = read_hyperdag(&text).expect("round trip must parse");
+        prop_assert_eq!(back.n(), dag.n());
+        prop_assert_eq!(back.num_edges(), dag.num_edges());
+        prop_assert_eq!(back.work_weights(), dag.work_weights());
+        prop_assert_eq!(back.comm_weights(), dag.comm_weights());
+        let mut edges_a: Vec<_> = dag.edges().collect();
+        let mut edges_b: Vec<_> = back.edges().collect();
+        edges_a.sort_unstable();
+        edges_b.sort_unstable();
+        prop_assert_eq!(edges_a, edges_b);
+    }
+
+    /// Schedule costs respect the universal lower bounds: the critical path
+    /// and the perfectly balanced work distribution.
+    #[test]
+    fn costs_respect_lower_bounds(
+        dag in arb_dag(14),
+        machine in arb_machine(),
+    ) {
+        let lower = dag
+            .critical_path_work()
+            .max(dag.total_work().div_ceil(machine.p() as u64));
+        for scheduler in [
+            &CilkScheduler::default() as &dyn Scheduler,
+            &HDaggScheduler::default(),
+            &BspgScheduler,
+            &SourceScheduler,
+        ] {
+            let cost = scheduler.schedule(&dag, &machine).cost(&dag, &machine);
+            prop_assert!(cost >= lower, "{} cost {cost} below lower bound {lower}", scheduler.name());
+        }
+    }
+}

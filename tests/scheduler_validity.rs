@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: every scheduler in the framework must
+//! produce a schedule that passes the BSP validity checks, on every DAG
+//! family and machine topology.
+
+mod common;
+
+use bsp_model::{BspSchedule, Dag, Machine};
+use bsp_sched::baselines::{
+    BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler,
+};
+use bsp_sched::ilp::IlpInitScheduler;
+use bsp_sched::init::{BspgScheduler, SourceScheduler};
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use bsp_sched::Scheduler;
+use common::machine_grid;
+use dag_gen::coarse::{coarse, CoarseAlgorithm, CoarseConfig};
+use dag_gen::fine::{cg, exp, knn, spmv, IterConfig, SpmvConfig};
+
+/// A representative collection of small DAGs covering every generator family
+/// plus hand-built corner cases.
+fn dag_zoo() -> Vec<(String, Dag)> {
+    let mut zoo = vec![
+        (
+            "spmv".to_string(),
+            spmv(&SpmvConfig { n: 14, density: 0.25, seed: 1 }),
+        ),
+        (
+            "exp".to_string(),
+            exp(&IterConfig { n: 10, density: 0.3, iterations: 2, seed: 2 }),
+        ),
+        (
+            "cg".to_string(),
+            cg(&IterConfig { n: 8, density: 0.3, iterations: 2, seed: 3 }),
+        ),
+        (
+            "knn".to_string(),
+            knn(&IterConfig { n: 10, density: 0.3, iterations: 3, seed: 4 }),
+        ),
+        (
+            "coarse-cg".to_string(),
+            coarse(&CoarseConfig {
+                algorithm: CoarseAlgorithm::ConjugateGradient,
+                iterations: 2,
+            }),
+        ),
+        (
+            "coarse-pagerank".to_string(),
+            coarse(&CoarseConfig {
+                algorithm: CoarseAlgorithm::PageRank,
+                iterations: 2,
+            }),
+        ),
+    ];
+    // Corner cases: a single node, an independent antichain, a long chain,
+    // and a broad fan-in.
+    zoo.push((
+        "single".to_string(),
+        Dag::from_edge_list_unit_weights(1, &[]).unwrap(),
+    ));
+    zoo.push((
+        "antichain".to_string(),
+        Dag::from_edge_list_unit_weights(9, &[]).unwrap(),
+    ));
+    zoo.push((
+        "chain".to_string(),
+        Dag::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+            vec![3; 8],
+            vec![7; 8],
+        )
+        .unwrap(),
+    ));
+    zoo.push((
+        "fan-in".to_string(),
+        Dag::from_edges(
+            9,
+            &[(0, 8), (1, 8), (2, 8), (3, 8), (4, 8), (5, 8), (6, 8), (7, 8)],
+            vec![2; 9],
+            vec![5; 9],
+        )
+        .unwrap(),
+    ));
+    zoo
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(TrivialScheduler),
+        Box::new(CilkScheduler::default()),
+        Box::new(BlEstScheduler),
+        Box::new(EtfScheduler),
+        Box::new(HDaggScheduler::default()),
+        Box::new(BspgScheduler),
+        Box::new(SourceScheduler),
+    ]
+}
+
+fn assert_valid(name: &str, dag_name: &str, machine: &Machine, dag: &Dag, sched: &BspSchedule) {
+    if let Err(e) = sched.validate(dag, machine) {
+        panic!(
+            "{name} produced an invalid schedule on {dag_name} (P={}, g={}, l={}, numa={}): {e:?}",
+            machine.p(),
+            machine.g(),
+            machine.latency(),
+            machine.is_numa()
+        );
+    }
+    // Cost must never be below the two trivial lower bounds: the critical
+    // path and the perfectly balanced work distribution.
+    let cost = sched.cost(dag, machine);
+    let balanced = dag.total_work().div_ceil(machine.p() as u64);
+    assert!(cost >= dag.critical_path_work().max(balanced));
+}
+
+#[test]
+fn all_simple_schedulers_are_valid_on_the_dag_zoo() {
+    for (dag_name, dag) in dag_zoo() {
+        for machine in machine_grid() {
+            for scheduler in schedulers() {
+                let sched = scheduler.schedule(&dag, &machine);
+                assert_valid(scheduler.name(), &dag_name, &machine, &dag, &sched);
+            }
+        }
+    }
+}
+
+#[test]
+fn ilp_init_is_valid_on_small_instances() {
+    let scheduler = IlpInitScheduler::new(bsp_sched::ilp::IlpConfig::fast());
+    for (dag_name, dag) in dag_zoo().into_iter().take(4) {
+        let machine = Machine::uniform(4, 3, 5);
+        let sched = scheduler.schedule(&dag, &machine);
+        assert_valid("ILPinit", &dag_name, &machine, &dag, &sched);
+    }
+}
+
+#[test]
+fn pipeline_and_multilevel_are_valid_across_the_machine_grid() {
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    let multilevel = MultilevelScheduler::new(MultilevelConfig::fast());
+    for (dag_name, dag) in dag_zoo().into_iter().take(4) {
+        for machine in machine_grid().into_iter().step_by(2) {
+            let sched = pipeline.schedule(&dag, &machine);
+            assert_valid("Pipeline", &dag_name, &machine, &dag, &sched);
+            let sched = multilevel.schedule(&dag, &machine);
+            assert_valid("Multilevel", &dag_name, &machine, &dag, &sched);
+        }
+    }
+}
+
+#[test]
+fn pipeline_never_loses_to_its_own_initializers() {
+    // The pipeline selects the best branch after local search, so it can never
+    // be worse than the raw BSPg or Source schedules.
+    let pipeline = Pipeline::new(PipelineConfig::fast());
+    for (_, dag) in dag_zoo().into_iter().take(4) {
+        for machine in machine_grid().into_iter().take(2) {
+            let ours = pipeline.schedule(&dag, &machine).cost(&dag, &machine);
+            let bspg = BspgScheduler.schedule(&dag, &machine).cost(&dag, &machine);
+            let source = SourceScheduler.schedule(&dag, &machine).cost(&dag, &machine);
+            assert!(ours <= bspg.min(source));
+        }
+    }
+}
