@@ -13,7 +13,12 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn setup() -> (bsp_model::Dag, Machine, bsp_model::BspSchedule) {
-    let dag = cg(&IterConfig { n: 40, density: 0.15, iterations: 3, seed: 9 });
+    let dag = cg(&IterConfig {
+        n: 40,
+        density: 0.15,
+        iterations: 3,
+        seed: 9,
+    });
     let machine = Machine::numa_binary_tree(8, 2, 5, 3);
     let sched = SourceScheduler.schedule(&dag, &machine);
     (dag, machine, sched)
@@ -22,7 +27,9 @@ fn setup() -> (bsp_model::Dag, Machine, bsp_model::BspSchedule) {
 fn bench_cost_and_validity(c: &mut Criterion) {
     let (dag, machine, sched) = setup();
     let mut group = c.benchmark_group("cost_model");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400));
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400));
     group.bench_function(BenchmarkId::new("total_cost", dag.n()), |b| {
         b.iter(|| black_box(sched.cost(&dag, &machine)))
     });
@@ -38,11 +45,14 @@ fn bench_cost_and_validity(c: &mut Criterion) {
 fn bench_incremental_vs_recompute(c: &mut Criterion) {
     let (dag, machine, sched) = setup();
     let mut group = c.benchmark_group("move_evaluation");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400));
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400));
 
     // Incremental: apply + revert a move through HcState.
     group.bench_function("incremental_apply_revert", |b| {
-        let mut state = HcState::new(&dag, &machine, sched.assignment.clone());
+        let mut state = HcState::new(&dag, &machine, sched.assignment.clone())
+            .expect("scheduler output is feasible");
         let v = dag.n() / 2;
         let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
         let p_new = (p_old + 1) % machine.p();
@@ -70,5 +80,9 @@ fn bench_incremental_vs_recompute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_and_validity, bench_incremental_vs_recompute);
+criterion_group!(
+    benches,
+    bench_cost_and_validity,
+    bench_incremental_vs_recompute
+);
 criterion_main!(benches);

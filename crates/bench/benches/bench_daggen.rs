@@ -9,24 +9,48 @@ use std::time::Duration;
 
 fn bench_fine_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("fine_generators");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20);
     for n in [50usize, 150] {
         group.bench_with_input(BenchmarkId::new("spmv", n), &n, |b, &n| {
-            b.iter(|| black_box(spmv(&SpmvConfig { n, density: 0.1, seed: 1 })))
+            b.iter(|| {
+                black_box(spmv(&SpmvConfig {
+                    n,
+                    density: 0.1,
+                    seed: 1,
+                }))
+            })
         });
         group.bench_with_input(BenchmarkId::new("exp_k3", n), &n, |b, &n| {
             b.iter(|| {
-                black_box(exp(&IterConfig { n, density: 0.1, iterations: 3, seed: 2 }))
+                black_box(exp(&IterConfig {
+                    n,
+                    density: 0.1,
+                    iterations: 3,
+                    seed: 2,
+                }))
             })
         });
         group.bench_with_input(BenchmarkId::new("cg_k2", n), &n, |b, &n| {
             b.iter(|| {
-                black_box(cg(&IterConfig { n, density: 0.1, iterations: 2, seed: 3 }))
+                black_box(cg(&IterConfig {
+                    n,
+                    density: 0.1,
+                    iterations: 2,
+                    seed: 3,
+                }))
             })
         });
         group.bench_with_input(BenchmarkId::new("knn_k4", n), &n, |b, &n| {
             b.iter(|| {
-                black_box(knn(&IterConfig { n, density: 0.1, iterations: 4, seed: 4 }))
+                black_box(knn(&IterConfig {
+                    n,
+                    density: 0.1,
+                    iterations: 4,
+                    seed: 4,
+                }))
             })
         });
     }
@@ -34,10 +58,17 @@ fn bench_fine_generators(c: &mut Criterion) {
 }
 
 fn bench_hyperdag_io(c: &mut Criterion) {
-    let dag = cg(&IterConfig { n: 60, density: 0.1, iterations: 3, seed: 7 });
+    let dag = cg(&IterConfig {
+        n: 60,
+        density: 0.1,
+        iterations: 3,
+        seed: 7,
+    });
     let text = write_hyperdag(&dag);
     let mut group = c.benchmark_group("hyperdag_io");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400));
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400));
     group.bench_function(BenchmarkId::new("write", dag.n()), |b| {
         b.iter(|| black_box(write_hyperdag(&dag)))
     });

@@ -45,7 +45,10 @@ fn bench_micro_ilp_solver(c: &mut Criterion) {
     let model = assignment_model();
     let config = MipConfig::with_time_limit(Duration::from_secs(5));
     let mut group = c.benchmark_group("micro_ilp");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20);
     group.bench_function("assignment_8x4", |b| {
         b.iter(|| black_box(micro_ilp::solve_mip(&model, &config, None)))
     });
@@ -53,13 +56,20 @@ fn bench_micro_ilp_solver(c: &mut Criterion) {
 }
 
 fn bench_scheduling_ilps(c: &mut Criterion) {
-    let dag = spmv(&SpmvConfig { n: 12, density: 0.3, seed: 3 });
+    let dag = spmv(&SpmvConfig {
+        n: 12,
+        density: 0.3,
+        seed: 3,
+    });
     let machine = Machine::uniform(4, 3, 5);
     let warm = SourceScheduler.schedule(&dag, &machine);
     let config = IlpConfig::fast();
 
     let mut group = c.benchmark_group("scheduling_ilps");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10);
     group.bench_function("ilp_full_warm_started", |b| {
         b.iter(|| {
             black_box(ilp_full_schedule(

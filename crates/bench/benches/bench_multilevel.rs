@@ -10,9 +10,17 @@ use std::time::Duration;
 
 fn bench_coarsening(c: &mut Criterion) {
     let mut group = c.benchmark_group("coarsening");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10);
     for n in [20usize, 40, 60] {
-        let dag = exp(&IterConfig { n, density: 0.2, iterations: 3, seed: 5 });
+        let dag = exp(&IterConfig {
+            n,
+            density: 0.2,
+            iterations: 3,
+            seed: 5,
+        });
         let target = dag.n() * 3 / 10;
         group.bench_with_input(
             BenchmarkId::new("coarsen_to_30pct", dag.n()),
@@ -24,11 +32,19 @@ fn bench_coarsening(c: &mut Criterion) {
 }
 
 fn bench_multilevel_pipeline(c: &mut Criterion) {
-    let dag = exp(&IterConfig { n: 24, density: 0.25, iterations: 3, seed: 8 });
+    let dag = exp(&IterConfig {
+        n: 24,
+        density: 0.25,
+        iterations: 3,
+        seed: 8,
+    });
     let machine = Machine::numa_binary_tree(8, 1, 5, 4);
     let ml = MultilevelScheduler::new(MultilevelConfig::fast().with_single_ratio(0.3));
     let mut group = c.benchmark_group("multilevel");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10);
     group.bench_function("coarsen_solve_refine_c30", |b| {
         b.iter(|| black_box(ml.run(&dag, &machine)))
     });

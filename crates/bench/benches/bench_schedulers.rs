@@ -13,10 +13,22 @@ use std::time::Duration;
 
 fn instances() -> Vec<(&'static str, bsp_model::Dag)> {
     vec![
-        ("spmv-small", spmv(&SpmvConfig { n: 40, density: 0.2, seed: 1 })),
+        (
+            "spmv-small",
+            spmv(&SpmvConfig {
+                n: 40,
+                density: 0.2,
+                seed: 1,
+            }),
+        ),
         (
             "cg-medium",
-            cg(&IterConfig { n: 40, density: 0.15, iterations: 3, seed: 2 }),
+            cg(&IterConfig {
+                n: 40,
+                density: 0.15,
+                iterations: 3,
+                seed: 2,
+            }),
         ),
     ]
 }
@@ -24,7 +36,10 @@ fn instances() -> Vec<(&'static str, bsp_model::Dag)> {
 fn bench_baselines(c: &mut Criterion) {
     let machine = Machine::uniform(8, 3, 5);
     let mut group = c.benchmark_group("baselines");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20);
     for (name, dag) in instances() {
         for scheduler in [
             &CilkScheduler::default() as &dyn Scheduler,
@@ -32,11 +47,9 @@ fn bench_baselines(c: &mut Criterion) {
             &BlEstScheduler,
             &EtfScheduler,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(scheduler.name(), name),
-                &dag,
-                |b, dag| b.iter(|| black_box(scheduler.schedule(dag, &machine))),
-            );
+            group.bench_with_input(BenchmarkId::new(scheduler.name(), name), &dag, |b, dag| {
+                b.iter(|| black_box(scheduler.schedule(dag, &machine)))
+            });
         }
     }
     group.finish();
@@ -45,14 +58,15 @@ fn bench_baselines(c: &mut Criterion) {
 fn bench_initializers(c: &mut Criterion) {
     let machine = Machine::uniform(8, 3, 5);
     let mut group = c.benchmark_group("initializers");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(20);
     for (name, dag) in instances() {
         for scheduler in [&BspgScheduler as &dyn Scheduler, &SourceScheduler] {
-            group.bench_with_input(
-                BenchmarkId::new(scheduler.name(), name),
-                &dag,
-                |b, dag| b.iter(|| black_box(scheduler.schedule(dag, &machine))),
-            );
+            group.bench_with_input(BenchmarkId::new(scheduler.name(), name), &dag, |b, dag| {
+                b.iter(|| black_box(scheduler.schedule(dag, &machine)))
+            });
         }
     }
     group.finish();
@@ -65,7 +79,10 @@ fn bench_hill_climbing(c: &mut Criterion) {
         max_steps: 200,
     };
     let mut group = c.benchmark_group("hill_climbing");
-    group.measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(400)).sample_size(10);
+    group
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(400))
+        .sample_size(10);
     for (name, dag) in instances() {
         group.bench_with_input(BenchmarkId::new("HC-200-steps", name), &dag, |b, dag| {
             b.iter_batched(

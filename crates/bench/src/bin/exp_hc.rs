@@ -1,0 +1,290 @@
+//! `exp_hc` — HC hill-climbing throughput: the allocation-free, work-list
+//! search vs the pre-refactor baseline.
+//!
+//! For each instance (≈10k-node `spmv` and `cg` fine-grained DAGs) and
+//! machine (4 and 8 processors, uniform and binary-tree NUMA), both
+//! implementations start from the same deterministic `Source` schedule and
+//! run to a local minimum.  Reported per run: wall-clock seconds, accepted
+//! moves, accepted moves/second, final cost.  The JSON written to `--out`
+//! (default `BENCH_hc.json`) is the first trajectory point of the repo's
+//! benchmark history.
+//!
+//! Flags:
+//!   --out PATH        output JSON path (default BENCH_hc.json)
+//!   --target N        approximate DAG size in nodes (default 10000)
+//!   --time-limit SECS per-run wall-clock cap (default 600)
+//!   --quick           ≈1k-node instances, 60 s cap (smoke test)
+//!   --reps N          repetitions per run, fastest kept (default 3)
+//!   --nnz-per-row K   average nonzeros per matrix row (default 16)
+//!   --skip-legacy     only measure the current implementation
+
+use bsp_bench::legacy_hc::legacy_hc_improve;
+use bsp_bench::CliArgs;
+use bsp_model::{BspSchedule, Dag, Machine};
+use bsp_sched::hill_climb::{hc_improve, HillClimbConfig};
+use bsp_sched::init::SourceScheduler;
+use bsp_sched::Scheduler;
+use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One measured hill-climbing run.
+struct RunStats {
+    seconds: f64,
+    steps: usize,
+    initial_cost: u64,
+    final_cost: u64,
+    reached_local_minimum: bool,
+}
+
+impl RunStats {
+    fn moves_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / self.seconds
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"seconds\": {:.6}, \"steps\": {}, \"moves_per_sec\": {:.1}, \
+             \"initial_cost\": {}, \"final_cost\": {}, \"reached_local_minimum\": {}}}",
+            self.seconds,
+            self.steps,
+            self.moves_per_sec(),
+            self.initial_cost,
+            self.final_cost,
+            self.reached_local_minimum
+        )
+    }
+}
+
+/// Runs the search `reps` times from the same initial schedule and keeps the
+/// fastest wall-clock (the runs are deterministic, so the minimum isolates
+/// scheduler noise).
+fn measure<F>(
+    dag: &Dag,
+    machine: &Machine,
+    init: &BspSchedule,
+    limit: Duration,
+    reps: usize,
+    f: F,
+) -> RunStats
+where
+    F: Fn(
+        &Dag,
+        &Machine,
+        &mut BspSchedule,
+        &HillClimbConfig,
+    ) -> bsp_sched::hill_climb::HillClimbOutcome,
+{
+    let config = HillClimbConfig {
+        time_limit: limit,
+        max_steps: usize::MAX,
+    };
+    let mut best: Option<RunStats> = None;
+    for _ in 0..reps.max(1) {
+        let mut schedule = init.clone();
+        let start = Instant::now();
+        let outcome = f(dag, machine, &mut schedule, &config);
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(
+            schedule.validate(dag, machine).is_ok(),
+            "hill climbing produced an invalid schedule"
+        );
+        let stats = RunStats {
+            seconds,
+            steps: outcome.steps,
+            initial_cost: outcome.initial_cost,
+            final_cost: outcome.final_cost,
+            reached_local_minimum: outcome.reached_local_minimum,
+        };
+        if best.as_ref().is_none_or(|b| stats.seconds < b.seconds) {
+            best = Some(stats);
+        }
+    }
+    best.expect("at least one repetition runs")
+}
+
+/// Picks a generator parameter so the produced DAG lands within ~5% of
+/// `target` nodes (generator sizes grow monotonically with `n`).
+fn size_to_target(target: usize, make: impl Fn(usize) -> Dag) -> Dag {
+    let (mut lo, mut hi) = (8usize, 16usize);
+    while make(hi).n() < target {
+        lo = hi;
+        hi *= 2;
+        assert!(hi < 1 << 24, "generator never reached the target size");
+    }
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2;
+        if mid == lo {
+            break;
+        }
+        if make(mid).n() < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let dag = make(hi);
+    eprintln!("  sized instance: parameter {} -> {} nodes", hi, dag.n());
+    dag
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let quick = args.flag("quick");
+    let out_path = args.value("out").unwrap_or("BENCH_hc.json").to_string();
+    let target = args.u64_or("target", if quick { 1_000 } else { 10_000 }) as usize;
+    let limit = Duration::from_secs(args.u64_or("time-limit", if quick { 60 } else { 600 }));
+    let skip_legacy = args.flag("skip-legacy");
+    let reps = args.usize_or("reps", 3);
+    let nnz_per_row = args.u64_or("nnz-per-row", 16) as f64;
+
+    eprintln!(
+        "exp_hc: target {target} nodes, time limit {}s",
+        limit.as_secs()
+    );
+    eprintln!("sizing spmv instance...");
+    let spmv_dag = size_to_target(target, |n| {
+        spmv(&SpmvConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            seed: 42,
+        })
+    });
+    eprintln!("sizing cg instance...");
+    let cg_dag = size_to_target(target, |n| {
+        cg(&IterConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            iterations: 2,
+            seed: 42,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> = vec![("spmv", &spmv_dag), ("cg", &cg_dag)];
+
+    let machines: Vec<(String, Machine)> = vec![
+        ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),
+        ("uniform_p8_g3_l5".into(), Machine::uniform(8, 3, 5)),
+        (
+            "numa_p4_g3_l5_d3".into(),
+            Machine::numa_binary_tree(4, 3, 5, 3),
+        ),
+        (
+            "numa_p8_g3_l5_d3".into(),
+            Machine::numa_binary_tree(8, 3, 5, 3),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (inst_name, dag) in &instances {
+        for (machine_name, machine) in &machines {
+            eprintln!("== {inst_name} ({} nodes) on {machine_name}", dag.n());
+            let init = SourceScheduler.schedule(dag, machine);
+            let init_cost = init.cost(dag, machine);
+
+            let current = measure(dag, machine, &init, limit, reps, hc_improve);
+            eprintln!(
+                "   worklist: {:.3}s, {} moves ({:.0}/s), cost {} -> {}{}",
+                current.seconds,
+                current.steps,
+                current.moves_per_sec(),
+                current.initial_cost,
+                current.final_cost,
+                if current.reached_local_minimum {
+                    ""
+                } else {
+                    " [TIME LIMIT]"
+                },
+            );
+
+            let legacy = if skip_legacy {
+                None
+            } else {
+                let stats = measure(dag, machine, &init, limit, reps, legacy_hc_improve);
+                eprintln!(
+                    "   legacy:   {:.3}s, {} moves ({:.0}/s), cost {} -> {}{}",
+                    stats.seconds,
+                    stats.steps,
+                    stats.moves_per_sec(),
+                    stats.initial_cost,
+                    stats.final_cost,
+                    if stats.reached_local_minimum {
+                        ""
+                    } else {
+                        " [TIME LIMIT]"
+                    },
+                );
+                Some(stats)
+            };
+
+            let mut row = String::new();
+            write!(
+                row,
+                "    {{\"instance\": \"{inst_name}\", \"nodes\": {}, \"edges\": {}, \
+                 \"machine\": \"{machine_name}\", \"init_cost\": {init_cost}, \
+                 \"worklist\": {}",
+                dag.n(),
+                dag.num_edges(),
+                current.to_json(),
+            )
+            .unwrap();
+            if let Some(legacy) = &legacy {
+                let speedup = legacy.seconds / current.seconds.max(1e-9);
+                eprintln!("   speedup (wall-clock to local minimum): {speedup:.1}x");
+                speedups.push(speedup);
+                write!(
+                    row,
+                    ", \"legacy\": {}, \"speedup_wall_clock\": {speedup:.2}",
+                    legacy.to_json()
+                )
+                .unwrap();
+            }
+            row.push('}');
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"hc_throughput\",\n");
+    writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"target_nodes\": {target}, \"time_limit_secs\": {}, \"initializer\": \"Source\"}},",
+        limit.as_secs()
+    )
+    .unwrap();
+    json.push_str("  \"results\": [\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]");
+    if !speedups.is_empty() {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        writeln!(json, ",").unwrap();
+        write!(
+            json,
+            "  \"summary\": {{\"geomean_speedup\": {geomean:.2}, \"min_speedup\": {min:.2}, \"runs\": {}}}",
+            speedups.len()
+        )
+        .unwrap();
+        eprintln!(
+            "geomean speedup {geomean:.2}x, min {min:.2}x over {} runs",
+            speedups.len()
+        );
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -89,7 +89,11 @@ fn main() {
         })
         .collect();
 
-    println!("\n{} runs evaluated ({} instances × P × g).", wins.len(), instances.len());
+    println!(
+        "\n{} runs evaluated ({} instances × P × g).",
+        wins.len(),
+        instances.len()
+    );
     let overall: Vec<String> = INITIALIZERS
         .iter()
         .map(|init| {
@@ -99,7 +103,10 @@ fn main() {
             )
         })
         .collect();
-    println!("Overall best-initializer counts: {} (paper: BSPg 44, Source 20, ILPinit 26)\n", overall.join(", "));
+    println!(
+        "Overall best-initializer counts: {} (paper: BSPg 44, Source 20, ILPinit 26)\n",
+        overall.join(", ")
+    );
 
     print_table4(&wins);
     print_table5(&wins);

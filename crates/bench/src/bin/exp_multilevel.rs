@@ -73,9 +73,7 @@ fn main() {
                         let hdagg = HDaggScheduler::default()
                             .schedule(dag, &machine)
                             .cost(dag, &machine);
-                        let trivial = TrivialScheduler
-                            .schedule(dag, &machine)
-                            .cost(dag, &machine);
+                        let trivial = TrivialScheduler.schedule(dag, &machine).cost(dag, &machine);
                         let base = pipeline.run(dag, &machine).cost(dag, &machine);
                         let report =
                             MultilevelScheduler::new(ml_config.clone()).run_report(dag, &machine);

@@ -63,12 +63,7 @@ fn main() {
                     dataset.name(),
                     agg.len()
                 );
-                cells.push(Cell {
-                    dataset,
-                    p,
-                    g,
-                    agg,
-                });
+                cells.push(Cell { dataset, p, g, agg });
             }
         }
     }

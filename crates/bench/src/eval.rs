@@ -180,7 +180,11 @@ mod tests {
 
     #[test]
     fn evaluates_all_baselines_and_pipeline_stages() {
-        let dag = spmv(&SpmvConfig { n: 12, density: 0.3, seed: 5 });
+        let dag = spmv(&SpmvConfig {
+            n: 12,
+            density: 0.3,
+            seed: 5,
+        });
         let machine = Machine::uniform(4, 3, 5);
         let result = evaluate_instance("t", &dag, &machine, &fast_options());
         let c = result.costs;
@@ -194,7 +198,11 @@ mod tests {
 
     #[test]
     fn list_baselines_and_multilevel_are_opt_in() {
-        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 8 });
+        let dag = spmv(&SpmvConfig {
+            n: 10,
+            density: 0.3,
+            seed: 8,
+        });
         let machine = Machine::numa_binary_tree(8, 1, 5, 2);
         let options = fast_options()
             .with_list_baselines()
@@ -210,11 +218,19 @@ mod tests {
         let instances = vec![
             NamedDag {
                 name: "a".into(),
-                dag: spmv(&SpmvConfig { n: 8, density: 0.3, seed: 1 }),
+                dag: spmv(&SpmvConfig {
+                    n: 8,
+                    density: 0.3,
+                    seed: 1,
+                }),
             },
             NamedDag {
                 name: "b".into(),
-                dag: spmv(&SpmvConfig { n: 10, density: 0.3, seed: 2 }),
+                dag: spmv(&SpmvConfig {
+                    n: 10,
+                    density: 0.3,
+                    seed: 2,
+                }),
             },
         ];
         let machine = Machine::uniform(4, 1, 5);

@@ -13,10 +13,10 @@
 //!   instance per dataset.
 //! * [`Scale::Full`] — the complete regenerated datasets.
 
-use bsp_sched::pipeline::PipelineConfig;
 use bsp_sched::hill_climb::HillClimbConfig;
 use bsp_sched::ilp::IlpConfig;
 use bsp_sched::multilevel::MultilevelConfig;
+use bsp_sched::pipeline::PipelineConfig;
 use dag_gen::dataset::{Dataset, DatasetKind, NamedDag};
 use dag_gen::fine::{cg, exp, knn, spmv, IterConfig, SpmvConfig};
 use std::time::Duration;
@@ -194,7 +194,12 @@ mod tests {
     fn smoke_instances_stay_modest() {
         for kind in [DatasetKind::Tiny, DatasetKind::Large, DatasetKind::Huge] {
             for inst in scaled_dataset(kind, Scale::Smoke, 3) {
-                assert!(inst.dag.n() <= 2_500, "{} too big: {}", inst.name, inst.dag.n());
+                assert!(
+                    inst.dag.n() <= 2_500,
+                    "{} too big: {}",
+                    inst.name,
+                    inst.dag.n()
+                );
                 assert!(inst.dag.n() >= 5);
             }
         }

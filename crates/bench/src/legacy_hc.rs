@@ -1,0 +1,363 @@
+//! The pre-refactor `HC` hill climbing, kept verbatim as the benchmark
+//! baseline for `exp_hc` / `BENCH_hc.json`.
+//!
+//! This is the implementation the allocation-free, work-list-driven search in
+//! `bsp_sched::hill_climb` replaced.  Its two performance sins, preserved here
+//! on purpose:
+//!
+//! 1. **Per-candidate heap allocation** — every call to
+//!    `value_contributions` allocates a fresh `vec![usize::MAX; P]`, and every
+//!    `apply_move` allocates four more vectors (affected nodes, old/new
+//!    contributions, affected steps) plus a sort for deduplication.
+//! 2. **Full re-sweeps** — the driver rescans all `n` nodes every pass, even
+//!    when the previous pass changed almost nothing, so the convergence tail
+//!    costs `O(n · P)` per pass.
+//!
+//! Semantics are identical to the current implementation under the same visit
+//! order; only the speed differs.  Do not use this outside benchmarking.
+
+use bsp_model::{Assignment, BspSchedule, Dag, Machine};
+use bsp_sched::hill_climb::{HillClimbConfig, HillClimbOutcome};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Contribution {
+    step: usize,
+    from: usize,
+    to: usize,
+    weight: u64,
+}
+
+/// The pre-refactor incremental state: nested `Vec<Vec<u64>>` tallies and no
+/// scratch reuse.  The adjacency is a faithful copy of the seed's nested-Vec
+/// `Dag` layout (one heap allocation per neighbour list) — the current CSR
+/// `Dag` is part of the refactor being measured, so the baseline must not
+/// benefit from it.
+#[derive(Debug, Clone)]
+pub struct LegacyHcState<'a> {
+    dag: &'a Dag,
+    /// Seed-layout successor lists (`Vec<Vec<NodeId>>`).
+    succs: Vec<Vec<usize>>,
+    /// Seed-layout predecessor lists.
+    preds: Vec<Vec<usize>>,
+    machine: &'a Machine,
+    proc: Vec<usize>,
+    step: Vec<usize>,
+    nodes_in_step: Vec<usize>,
+    work: Vec<Vec<u64>>,
+    send: Vec<Vec<u64>>,
+    recv: Vec<Vec<u64>>,
+    num_steps: usize,
+}
+
+impl<'a> LegacyHcState<'a> {
+    /// Builds the incremental state from an assignment (assumed feasible).
+    pub fn new(dag: &'a Dag, machine: &'a Machine, assignment: Assignment) -> Self {
+        let p = machine.p();
+        let num_steps = assignment.num_supersteps();
+        let capacity = num_steps.max(1);
+        let succs = (0..dag.n()).map(|v| dag.successors(v).to_vec()).collect();
+        let preds = (0..dag.n()).map(|v| dag.predecessors(v).to_vec()).collect();
+        let mut state = LegacyHcState {
+            dag,
+            succs,
+            preds,
+            machine,
+            proc: assignment.proc,
+            step: assignment.superstep,
+            nodes_in_step: vec![0; capacity],
+            work: vec![vec![0; p]; capacity],
+            send: vec![vec![0; p]; capacity],
+            recv: vec![vec![0; p]; capacity],
+            num_steps,
+        };
+        for v in 0..dag.n() {
+            let s = state.step[v];
+            state.nodes_in_step[s] += 1;
+            state.work[s][state.proc[v]] += dag.work(v);
+        }
+        let mut contribs = Vec::new();
+        for v in 0..dag.n() {
+            state.value_contributions(v, &mut contribs);
+            for c in contribs.drain(..) {
+                state.send[c.step][c.from] += c.weight;
+                state.recv[c.step][c.to] += c.weight;
+            }
+        }
+        state
+    }
+
+    /// Consumes the state and returns the assignment.
+    pub fn into_assignment(self) -> Assignment {
+        Assignment {
+            proc: self.proc,
+            superstep: self.step,
+        }
+    }
+
+    fn value_contributions(&self, u: usize, out: &mut Vec<Contribution>) {
+        let pu = self.proc[u];
+        // The allocation the refactor replaced with generation stamps.
+        let mut need: Vec<usize> = vec![usize::MAX; self.machine.p()];
+        for &w in &self.succs[u] {
+            let q = self.proc[w];
+            if q != pu {
+                need[q] = need[q].min(self.step[w]);
+            }
+        }
+        for (q, &s) in need.iter().enumerate() {
+            if s != usize::MAX {
+                out.push(Contribution {
+                    step: s - 1,
+                    from: pu,
+                    to: q,
+                    weight: self.dag.comm(u) * self.machine.lambda(pu, q),
+                });
+            }
+        }
+    }
+
+    fn superstep_body_cost(&self, s: usize) -> u64 {
+        if s >= self.work.len() {
+            return 0;
+        }
+        let w = self.work[s].iter().copied().max().unwrap_or(0);
+        let h = (0..self.machine.p())
+            .map(|q| self.send[s][q].max(self.recv[s][q]))
+            .max()
+            .unwrap_or(0);
+        w + self.machine.g() * h
+    }
+
+    /// Total schedule cost under the lazy communication schedule.  `O(S)`.
+    pub fn total_cost(&self) -> u64 {
+        let body: u64 = (0..self.num_steps)
+            .map(|s| self.superstep_body_cost(s))
+            .sum();
+        body + self.machine.latency() * self.num_steps as u64
+    }
+
+    /// `true` if moving node `v` to `(p_new, s_new)` keeps the lazy schedule
+    /// valid.
+    pub fn move_is_valid(&self, v: usize, p_new: usize, s_new: usize) -> bool {
+        for &u in &self.preds[v] {
+            let ok = if self.proc[u] == p_new {
+                self.step[u] <= s_new
+            } else {
+                self.step[u] < s_new
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for &w in &self.succs[v] {
+            let ok = if self.proc[w] == p_new {
+                self.step[w] >= s_new
+            } else {
+                self.step[w] > s_new
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn ensure_capacity(&mut self, steps: usize) {
+        let p = self.machine.p();
+        while self.work.len() < steps {
+            self.work.push(vec![0; p]);
+            self.send.push(vec![0; p]);
+            self.recv.push(vec![0; p]);
+            self.nodes_in_step.push(0);
+        }
+    }
+
+    /// Applies the move of node `v` to `(p_new, s_new)` and returns the change
+    /// in total cost (negative = improvement).
+    pub fn apply_move(&mut self, v: usize, p_new: usize, s_new: usize) -> i64 {
+        let p_old = self.proc[v];
+        let s_old = self.step[v];
+        if p_old == p_new && s_old == s_new {
+            return 0;
+        }
+        self.ensure_capacity(s_new + 1);
+
+        let mut affected_nodes: Vec<usize> = Vec::with_capacity(1 + self.dag.in_degree(v));
+        affected_nodes.push(v);
+        affected_nodes.extend_from_slice(&self.preds[v]);
+
+        let mut old_contribs = Vec::new();
+        let mut tmp = Vec::new();
+        for &u in &affected_nodes {
+            self.value_contributions(u, &mut tmp);
+            old_contribs.append(&mut tmp);
+        }
+
+        let mut affected_steps: Vec<usize> = vec![s_old, s_new];
+        affected_steps.extend(old_contribs.iter().map(|c| c.step));
+
+        self.proc[v] = p_new;
+        self.step[v] = s_new;
+
+        let mut new_contribs = Vec::new();
+        for &u in &affected_nodes {
+            self.value_contributions(u, &mut tmp);
+            new_contribs.append(&mut tmp);
+        }
+        affected_steps.extend(new_contribs.iter().map(|c| c.step));
+        affected_steps.sort_unstable();
+        affected_steps.dedup();
+
+        let before: u64 = affected_steps
+            .iter()
+            .map(|&s| self.superstep_body_cost(s))
+            .sum();
+        let old_num_steps = self.num_steps;
+
+        self.work[s_old][p_old] -= self.dag.work(v);
+        self.work[s_new][p_new] += self.dag.work(v);
+        self.nodes_in_step[s_old] -= 1;
+        self.nodes_in_step[s_new] += 1;
+        for c in &old_contribs {
+            self.send[c.step][c.from] -= c.weight;
+            self.recv[c.step][c.to] -= c.weight;
+        }
+        for c in &new_contribs {
+            self.send[c.step][c.from] += c.weight;
+            self.recv[c.step][c.to] += c.weight;
+        }
+        self.num_steps = self.num_steps.max(s_new + 1);
+        while self.num_steps > 0 && self.nodes_in_step[self.num_steps - 1] == 0 {
+            self.num_steps -= 1;
+        }
+
+        let after: u64 = affected_steps
+            .iter()
+            .map(|&s| self.superstep_body_cost(s))
+            .sum();
+        let latency_delta =
+            self.machine.latency() as i64 * (self.num_steps as i64 - old_num_steps as i64);
+        after as i64 - before as i64 + latency_delta
+    }
+}
+
+/// The pre-refactor `HC` driver: full `O(n · P)` passes until a pass accepts
+/// nothing.
+pub fn legacy_hc_improve(
+    dag: &Dag,
+    machine: &Machine,
+    schedule: &mut BspSchedule,
+    config: &HillClimbConfig,
+) -> HillClimbOutcome {
+    schedule.relax_to_lazy(dag);
+    let start = Instant::now();
+    let mut state = LegacyHcState::new(dag, machine, schedule.assignment.clone());
+    let initial_cost = state.total_cost();
+    let mut steps = 0usize;
+    let mut reached_local_minimum = false;
+
+    'outer: loop {
+        let mut improved_this_pass = false;
+        for v in 0..dag.n() {
+            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+                break 'outer;
+            }
+            let (p_old, s_old) = (state.proc[v], state.step[v]);
+            let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
+            for &s_new in &s_candidates {
+                if s_new == usize::MAX {
+                    continue;
+                }
+                let mut accepted = false;
+                for p_new in 0..machine.p() {
+                    if p_new == p_old && s_new == s_old {
+                        continue;
+                    }
+                    if !state.move_is_valid(v, p_new, s_new) {
+                        continue;
+                    }
+                    let delta = state.apply_move(v, p_new, s_new);
+                    if delta < 0 {
+                        steps += 1;
+                        improved_this_pass = true;
+                        accepted = true;
+                        break;
+                    }
+                    state.apply_move(v, p_old, s_old);
+                }
+                if accepted {
+                    break;
+                }
+            }
+        }
+        if !improved_this_pass {
+            reached_local_minimum = true;
+            break;
+        }
+    }
+
+    schedule.assignment = state.into_assignment();
+    schedule.relax_to_lazy(dag);
+    schedule.normalize(dag);
+    let final_cost = schedule.cost(dag, machine);
+    HillClimbOutcome {
+        steps,
+        initial_cost,
+        final_cost,
+        reached_local_minimum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_sched::hill_climb::hc_improve;
+    use bsp_sched::init::SourceScheduler;
+    use bsp_sched::Scheduler;
+    use dag_gen::fine::{spmv, SpmvConfig};
+
+    /// The baseline and the refactored search must both reach valid local
+    /// minima of comparable quality (visit orders differ, so costs may too).
+    #[test]
+    fn legacy_and_worklist_hc_agree_on_validity_and_monotonicity() {
+        let dag = spmv(&SpmvConfig {
+            n: 24,
+            density: 0.2,
+            seed: 17,
+        });
+        let machine = Machine::uniform(4, 2, 5);
+        let config = HillClimbConfig::default();
+
+        let mut legacy = SourceScheduler.schedule(&dag, &machine);
+        let before = legacy.cost(&dag, &machine);
+        let legacy_outcome = legacy_hc_improve(&dag, &machine, &mut legacy, &config);
+        assert!(legacy.validate(&dag, &machine).is_ok());
+        assert!(legacy_outcome.final_cost <= before);
+
+        let mut current = SourceScheduler.schedule(&dag, &machine);
+        let current_outcome = hc_improve(&dag, &machine, &mut current, &config);
+        assert!(current.validate(&dag, &machine).is_ok());
+        assert!(current_outcome.final_cost <= before);
+    }
+
+    /// With the work-list driver forced through the same visit order (a single
+    /// accepted move), deltas must be bit-identical.
+    #[test]
+    fn single_step_outcomes_match_exactly() {
+        let dag = spmv(&SpmvConfig {
+            n: 16,
+            density: 0.25,
+            seed: 3,
+        });
+        let machine = Machine::uniform(4, 3, 5);
+        let config = HillClimbConfig::with_max_steps(1);
+        let mut legacy = SourceScheduler.schedule(&dag, &machine);
+        let mut current = legacy.clone();
+        let a = legacy_hc_improve(&dag, &machine, &mut legacy, &config);
+        let b = hc_improve(&dag, &machine, &mut current, &config);
+        assert_eq!(a.initial_cost, b.initial_cost);
+        assert_eq!(a.final_cost, b.final_cost);
+        assert_eq!(legacy, current);
+    }
+}

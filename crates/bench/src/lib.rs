@@ -18,6 +18,7 @@
 pub mod args;
 pub mod eval;
 pub mod instances;
+pub mod legacy_hc;
 pub mod stats;
 pub mod table;
 

@@ -56,7 +56,10 @@ impl Aggregate {
     /// Creates an empty aggregate with the given column names.
     pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
         Aggregate {
-            columns: columns.into_iter().map(|c| (c.into(), Vec::new())).collect(),
+            columns: columns
+                .into_iter()
+                .map(|c| (c.into(), Vec::new()))
+                .collect(),
         }
     }
 

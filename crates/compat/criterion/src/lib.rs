@@ -1,0 +1,387 @@
+//! Offline stand-in for `criterion`: a compact wall-clock benchmark harness
+//! exposing the subset of criterion's API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups with
+//! `measurement_time` / `warm_up_time` / `sample_size`, `Bencher::iter` and
+//! `Bencher::iter_batched`).
+//!
+//! Measurement model: each benchmark is warmed up for the configured warm-up
+//! time, the per-iteration cost is estimated, and then `sample_size` samples
+//! of equal iteration count are timed to fill the measurement window.  The
+//! median, minimum and maximum per-iteration times are printed in a
+//! criterion-like one-line format.
+//!
+//! Passing `--quick` (or setting `CRITERION_QUICK=1`) shrinks every benchmark
+//! to a single short sample — useful for smoke-testing that benches run.
+//! `--save-baseline`/HTML reports are out of scope.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// How `iter_batched` sizes its input batches.  The stand-in harness always
+/// materializes one input per routine call, so the variants only exist for
+/// API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with only a parameter, rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::var_os("CRITERION_QUICK").is_some(),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--quick` and a positional
+    /// name filter are honoured; cargo's own flags are ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--test" => c.quick = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => c.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        let filter = self.filter.clone();
+        run_benchmark(
+            &id.into().name,
+            Duration::from_secs(3),
+            Duration::from_millis(500),
+            20,
+            quick,
+            filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Prints the trailing summary (a no-op in the stand-in).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target total measurement window per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Benchmarks a routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().name);
+        run_benchmark(
+            &full,
+            self.measurement_time,
+            self.warm_up_time,
+            self.sample_size,
+            self.criterion.quick,
+            self.criterion.filter.as_deref(),
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks a routine parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to benchmark closures; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once.
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    quick: bool,
+    /// Per-iteration sample durations, filled by `iter`/`iter_batched`.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.run_samples(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.run_samples(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Shared sampling loop: warm up, pick an iteration count per sample, then
+    /// record `sample_size` per-iteration averages.
+    fn run_samples<F: FnMut(u64) -> Duration>(&mut self, mut timed: F) {
+        if self.quick {
+            let d = timed(1);
+            self.samples.push(d.as_secs_f64());
+            return;
+        }
+        // Warm-up: keep doubling until the warm-up window is spent.
+        let mut iters: u64 = 1;
+        let mut spent = Duration::ZERO;
+        while spent < self.warm_up_time {
+            spent += timed(iters);
+            if spent < self.warm_up_time {
+                iters = iters.saturating_mul(2).min(1 << 30);
+            }
+        }
+        let per_iter = spent.as_secs_f64() / iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 30);
+        for _ in 0..self.sample_size {
+            let d = timed(iters_per_sample);
+            self.samples.push(d.as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    quick: bool,
+    filter: Option<&str>,
+    mut f: F,
+) {
+    if let Some(pattern) = filter {
+        if !name.contains(pattern) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measurement_time,
+        warm_up_time,
+        sample_size,
+        quick,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<60} (no measurement taken)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<60} time: [{} {} {}]",
+        format_seconds(min),
+        format_seconds(median),
+        format_seconds(max)
+    );
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_routine_once_per_call() {
+        let mut c = Criterion {
+            quick: true,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("wanted".into()),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("wanted", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_time() {
+        let mut c = Criterion {
+            quick: true,
+            filter: None,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn formats_cover_all_magnitudes() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" µs"));
+        assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+}

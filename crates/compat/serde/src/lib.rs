@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The build environment of this repository has no network access, so the real
+//! `serde` crate cannot be fetched from crates.io.  The model types only use
+//! `#[derive(Serialize, Deserialize)]` as forward-looking annotations — nothing
+//! in the workspace serializes through serde yet (the experiment binaries emit
+//! JSON by hand).  This crate keeps those annotations compiling by expanding
+//! the two derives to nothing.
+//!
+//! When the workspace gains real serialization needs (and a vendored or
+//! network-fetched serde), deleting this crate and pointing the manifests at
+//! the real one is a drop-in change: no source file has to move.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

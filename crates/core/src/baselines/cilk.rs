@@ -66,9 +66,12 @@ impl CilkScheduler {
                         Some(v)
                     } else {
                         // Steal from the bottom of a random non-empty stack.
-                        let victims: Vec<usize> =
-                            (0..p).filter(|&r| r != q && !stacks[r].is_empty()).collect();
-                        victims.choose(&mut rng).map(|&victim| stacks[victim].remove(0))
+                        let victims: Vec<usize> = (0..p)
+                            .filter(|&r| r != q && !stacks[r].is_empty())
+                            .collect();
+                        victims
+                            .choose(&mut rng)
+                            .map(|&victim| stacks[victim].remove(0))
                     };
                     if let Some(v) = task {
                         start[v] = now;

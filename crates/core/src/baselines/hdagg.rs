@@ -55,9 +55,8 @@ impl HDaggScheduler {
                 for &u in dag.predecessors(v) {
                     affinity[proc[u]] += dag.comm(u);
                 }
-                let within_slack = |q: usize| {
-                    (load[q] + dag.work(v)) as f64 <= ideal * self.balance_slack
-                };
+                let within_slack =
+                    |q: usize| (load[q] + dag.work(v)) as f64 <= ideal * self.balance_slack;
                 // Best-affinity processor that still respects the balance
                 // slack; fall back to the least-loaded processor.
                 let candidate = (0..p)
@@ -78,12 +77,7 @@ impl HDaggScheduler {
     /// Aggregates consecutive wavefronts into supersteps: a wavefront joins the
     /// current superstep if none of its nodes has a predecessor inside the
     /// current superstep that lives on a different processor.
-    fn aggregate(
-        &self,
-        dag: &Dag,
-        proc: &[usize],
-        levels: &[usize],
-    ) -> Vec<usize> {
+    fn aggregate(&self, dag: &Dag, proc: &[usize], levels: &[usize]) -> Vec<usize> {
         let n = dag.n();
         let num_levels = levels.iter().copied().max().map_or(0, |l| l + 1);
         let mut level_nodes: Vec<Vec<usize>> = vec![Vec::new(); num_levels];
@@ -97,9 +91,9 @@ impl HDaggScheduler {
             if l > 0 {
                 // Can level l join the superstep started at current_first_level?
                 let conflict = level_nodes[l].iter().any(|&v| {
-                    dag.predecessors(v).iter().any(|&u| {
-                        levels[u] >= current_first_level && proc[u] != proc[v]
-                    })
+                    dag.predecessors(v)
+                        .iter()
+                        .any(|&u| levels[u] >= current_first_level && proc[u] != proc[v])
                 });
                 if conflict {
                     current += 1;
@@ -161,7 +155,11 @@ mod tests {
         let machine = Machine::uniform(6, 1, 2);
         let sched = HDaggScheduler::default().schedule(&dag, &machine);
         assert!(sched.validate(&dag, &machine).is_ok());
-        assert_eq!(sched.num_supersteps(), 1, "independent chains should aggregate");
+        assert_eq!(
+            sched.num_supersteps(),
+            1,
+            "independent chains should aggregate"
+        );
         assert!(sched.comm.is_empty());
     }
 
@@ -171,9 +169,7 @@ mod tests {
         let machine = Machine::uniform(3, 1, 2);
         let sched = HDaggScheduler::default().schedule(&dag, &machine);
         let m = sched.work_matrix(&dag, &machine);
-        let per_proc: Vec<u64> = (0..3)
-            .map(|q| m.iter().map(|row| row[q]).sum())
-            .collect();
+        let per_proc: Vec<u64> = (0..3).map(|q| m.iter().map(|row| row[q]).sum()).collect();
         let max = per_proc.iter().max().unwrap();
         let min = per_proc.iter().min().unwrap();
         assert!(max - min <= 4, "unbalanced loads {per_proc:?}");

@@ -45,12 +45,7 @@ fn list_schedule(dag: &Dag, machine: &Machine, selection: Selection) -> Classica
     let mut scheduled = 0usize;
 
     // Earliest start time of node v on processor q given current assignments.
-    let est = |v: usize,
-               q: usize,
-               proc: &[usize],
-               finish: &[u64],
-               proc_free: &[u64]|
-     -> u64 {
+    let est = |v: usize, q: usize, proc: &[usize], finish: &[u64], proc_free: &[u64]| -> u64 {
         let mut t = proc_free[q];
         for &u in dag.predecessors(v) {
             let arrival = if proc[u] == q {
@@ -190,8 +185,12 @@ mod tests {
     fn classical_schedules_are_consistent() {
         let dag = fork_join();
         let machine = Machine::uniform(4, 1, 2);
-        assert!(BlEstScheduler.classical_schedule(&dag, &machine).is_consistent(&dag));
-        assert!(EtfScheduler.classical_schedule(&dag, &machine).is_consistent(&dag));
+        assert!(BlEstScheduler
+            .classical_schedule(&dag, &machine)
+            .is_consistent(&dag));
+        assert!(EtfScheduler
+            .classical_schedule(&dag, &machine)
+            .is_consistent(&dag));
     }
 
     #[test]
@@ -209,8 +208,8 @@ mod tests {
     fn expensive_communication_discourages_spreading() {
         // If sending data costs far more than the work, EST keeps the chain
         // on one processor.
-        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1, 1, 1], vec![100, 100, 100])
-            .unwrap();
+        let dag =
+            Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1, 1, 1], vec![100, 100, 100]).unwrap();
         let machine = Machine::uniform(4, 5, 0);
         let cs = EtfScheduler.classical_schedule(&dag, &machine);
         assert_eq!(cs.proc[0], cs.proc[1]);

@@ -7,24 +7,48 @@
 //! greedily moves single transfers to the phase that lowers the maximum
 //! `h`-relation cost, until a local minimum or the time limit is reached.
 //! Like the paper, transfers are always sent directly from `π(v)`.
+//!
+//! The state uses the same scratch-buffer treatment as [`super::HcState`]:
+//! flat `[phase × processor]` tallies, a cached per-phase h-relation cost
+//! patched incrementally, and a dirty work-list over requirements (re-enqueue
+//! only the transfers whose placement window covers a phase the last accepted
+//! move touched), with a verification sweep certifying the local minimum.
 
 use super::{HillClimbConfig, HillClimbOutcome};
 use bsp_model::{BspSchedule, CommSchedule, CommStep, Dag, Machine};
+use std::collections::VecDeque;
 use std::time::Instant;
+
+/// One value transfer to place: NUMA-weighted volume, endpoints, and the
+/// placement window `[earliest, latest]`.
+#[derive(Debug, Clone, Copy)]
+struct CsReq {
+    weight: u64,
+    from: usize,
+    to: usize,
+    earliest: usize,
+    latest: usize,
+    current: usize,
+}
 
 struct CsState<'a> {
     machine: &'a Machine,
-    /// For each requirement: (weighted volume, source proc, target proc,
-    /// earliest step, latest step, current step).
-    reqs: Vec<(u64, usize, usize, usize, usize, usize)>,
-    send: Vec<Vec<u64>>,
-    recv: Vec<Vec<u64>>,
+    reqs: Vec<CsReq>,
+    /// Flat send tallies, indexed `s * P + q`.
+    send: Vec<u64>,
+    /// Flat receive tallies, indexed `s * P + q`.
+    recv: Vec<u64>,
+    /// Cached h-relation cost per communication phase.
+    phase_cost: Vec<u64>,
 }
 
 impl<'a> CsState<'a> {
-    fn comm_cost(&self, s: usize) -> u64 {
-        (0..self.machine.p())
-            .map(|q| self.send[s][q].max(self.recv[s][q]))
+    /// Recomputes the h-relation cost of phase `s` from the tallies.  `O(P)`.
+    fn compute_phase_cost(&self, s: usize) -> u64 {
+        let p = self.machine.p();
+        let row = s * p;
+        (0..p)
+            .map(|q| self.send[row + q].max(self.recv[row + q]))
             .max()
             .unwrap_or(0)
     }
@@ -32,18 +56,43 @@ impl<'a> CsState<'a> {
     /// Moves requirement `i` to communication phase `s_new`, returning the
     /// change in the total h-relation cost (unscaled by `g`).
     fn apply(&mut self, i: usize, s_new: usize) -> i64 {
-        let (w, from, to, _, _, s_old) = self.reqs[i];
+        let req = self.reqs[i];
+        let s_old = req.current;
         if s_new == s_old {
             return 0;
         }
-        let before = self.comm_cost(s_old) + self.comm_cost(s_new);
-        self.send[s_old][from] -= w;
-        self.recv[s_old][to] -= w;
-        self.send[s_new][from] += w;
-        self.recv[s_new][to] += w;
-        self.reqs[i].5 = s_new;
-        let after = self.comm_cost(s_old) + self.comm_cost(s_new);
+        let p = self.machine.p();
+        let before = self.phase_cost[s_old] + self.phase_cost[s_new];
+        self.send[s_old * p + req.from] -= req.weight;
+        self.recv[s_old * p + req.to] -= req.weight;
+        self.send[s_new * p + req.from] += req.weight;
+        self.recv[s_new * p + req.to] += req.weight;
+        self.reqs[i].current = s_new;
+        self.phase_cost[s_old] = self.compute_phase_cost(s_old);
+        self.phase_cost[s_new] = self.compute_phase_cost(s_new);
+        let after = self.phase_cost[s_old] + self.phase_cost[s_new];
         after as i64 - before as i64
+    }
+
+    /// Tries all phases in requirement `i`'s window and commits the first
+    /// improving one.  Returns the touched `(old, new)` phases on acceptance.
+    fn try_improve_req(&mut self, i: usize) -> Option<(usize, usize)> {
+        let CsReq {
+            earliest,
+            latest,
+            current,
+            ..
+        } = self.reqs[i];
+        for s_new in earliest..=latest {
+            if s_new == current {
+                continue;
+            }
+            if self.apply(i, s_new) < 0 {
+                return Some((current, s_new));
+            }
+            self.apply(i, current);
+        }
+        None
     }
 }
 
@@ -83,8 +132,9 @@ pub fn hccs_improve(
     let mut state = CsState {
         machine,
         reqs: Vec::with_capacity(requirements.len()),
-        send: vec![vec![0; p]; num_steps],
-        recv: vec![vec![0; p]; num_steps],
+        send: vec![0; num_steps * p],
+        recv: vec![0; num_steps * p],
+        phase_cost: vec![0; num_steps],
     };
     for r in &requirements {
         let earliest = r.earliest_step();
@@ -95,36 +145,70 @@ pub fn hccs_improve(
             .filter(|&s| s >= earliest && s <= latest)
             .unwrap_or(latest);
         let w = dag.comm(r.node) * machine.lambda(r.source, r.target);
-        state.send[current][r.source] += w;
-        state.recv[current][r.target] += w;
-        state
-            .reqs
-            .push((w, r.source, r.target, earliest, latest, current));
+        state.send[current * p + r.source] += w;
+        state.recv[current * p + r.target] += w;
+        state.reqs.push(CsReq {
+            weight: w,
+            from: r.source,
+            to: r.target,
+            earliest,
+            latest,
+            current,
+        });
     }
+    for s in 0..num_steps {
+        state.phase_cost[s] = state.compute_phase_cost(s);
+    }
+
+    // Static phase -> requirements index (windows never change): after a move
+    // touches phases a and b, only requirements whose window covers a or b can
+    // have gained an improving move.
+    let mut phase_reqs: Vec<Vec<usize>> = vec![Vec::new(); num_steps];
+    for (i, r) in state.reqs.iter().enumerate() {
+        for s in r.earliest..=r.latest {
+            phase_reqs[s].push(i);
+        }
+    }
+
+    let num_reqs = state.reqs.len();
+    let mut queue: VecDeque<usize> = (0..num_reqs).collect();
+    let mut in_queue = vec![true; num_reqs];
+    let enqueue_phase = |s: usize, queue: &mut VecDeque<usize>, in_queue: &mut [bool]| {
+        for &i in &phase_reqs[s] {
+            if !in_queue[i] {
+                in_queue[i] = true;
+                queue.push_back(i);
+            }
+        }
+    };
 
     let mut steps = 0usize;
     let mut reached_local_minimum = false;
     'outer: loop {
-        let mut improved = false;
-        for i in 0..state.reqs.len() {
+        while let Some(i) = queue.pop_front() {
+            in_queue[i] = false;
             if steps >= config.max_steps || start.elapsed() > config.time_limit {
                 break 'outer;
             }
-            let (_, _, _, earliest, latest, current) = state.reqs[i];
-            for s_new in earliest..=latest {
-                if s_new == current {
-                    continue;
-                }
-                let delta = state.apply(i, s_new);
-                if delta < 0 {
-                    steps += 1;
-                    improved = true;
-                    break;
-                }
-                state.apply(i, current);
+            if let Some((a, b)) = state.try_improve_req(i) {
+                steps += 1;
+                enqueue_phase(a, &mut queue, &mut in_queue);
+                enqueue_phase(b, &mut queue, &mut in_queue);
             }
         }
-        if !improved {
+        let mut sweep_improved = false;
+        for i in 0..num_reqs {
+            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+                break 'outer;
+            }
+            if let Some((a, b)) = state.try_improve_req(i) {
+                steps += 1;
+                sweep_improved = true;
+                enqueue_phase(a, &mut queue, &mut in_queue);
+                enqueue_phase(b, &mut queue, &mut in_queue);
+            }
+        }
+        if !sweep_improved {
             reached_local_minimum = true;
             break;
         }
@@ -134,11 +218,11 @@ pub fn hccs_improve(
     let comm_steps: Vec<CommStep> = requirements
         .iter()
         .zip(&state.reqs)
-        .map(|(r, &(_, _, _, _, _, step))| CommStep {
+        .map(|(r, req)| CommStep {
             node: r.node,
             from: r.source,
             to: r.target,
-            step,
+            step: req.current,
         })
         .collect();
     schedule.comm = CommSchedule::from_steps(comm_steps);
@@ -163,13 +247,8 @@ mod tests {
     /// moving it into phase 0 (where it overlaps with the opposite-direction
     /// transfer) removes one h-relation entirely.
     fn spreading_example() -> (Dag, Machine, BspSchedule) {
-        let dag = Dag::from_edges(
-            4,
-            &[(0, 2), (1, 3)],
-            vec![1, 1, 1, 1],
-            vec![10, 10, 1, 1],
-        )
-        .unwrap();
+        let dag =
+            Dag::from_edges(4, &[(0, 2), (1, 3)], vec![1, 1, 1, 1], vec![10, 10, 1, 1]).unwrap();
         let machine = Machine::uniform(2, 2, 1);
         let assignment = Assignment {
             proc: vec![0, 1, 1, 0],
@@ -208,8 +287,7 @@ mod tests {
         let (dag, machine, mut sched) = spreading_example();
         let before = sched.cost(&dag, &machine);
         for _ in 0..3 {
-            let outcome =
-                hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+            let outcome = hccs_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
             assert!(sched.validate(&dag, &machine).is_ok());
             assert!(outcome.final_cost <= before);
         }

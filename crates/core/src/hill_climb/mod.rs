@@ -14,14 +14,30 @@
 //! Both searches use the greedy first-improvement rule the paper selected
 //! after its preliminary experiments, and stop at a local minimum or when the
 //! time limit expires.
+//!
+//! ## Work-list driving
+//!
+//! A naive driver rescans all `n` nodes every pass even when a pass changed
+//! almost nothing, so the tail of the search — many passes, few accepted
+//! moves — costs `O(n · P)` per pass.  Both searches here instead keep an
+//! FM-style dirty work-list: after an accepted move only the entities whose
+//! best move can actually have changed are re-enqueued (for `HC`: the moved
+//! node, its DAG neighbours, and the nodes of every superstep whose tallies
+//! the move touched; for `HCcs`: the transfers whose placement window covers
+//! a touched communication phase).  Because the dirty-set rule is a sound
+//! over-approximation *per move* but the body-cost `max` can hide
+//! second-order interactions, a full verification sweep runs whenever the
+//! work-list drains; the search only reports a local minimum when that sweep
+//! accepts nothing.
 
 mod hccs;
 mod state;
 
 pub use hccs::hccs_improve;
-pub use state::HcState;
+pub use state::{HcState, MoveWindow};
 
 use bsp_model::{BspSchedule, Dag, Machine};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Configuration shared by the `HC` and `HCcs` local searches.
@@ -75,11 +91,94 @@ pub struct HillClimbOutcome {
     pub reached_local_minimum: bool,
 }
 
+/// Atomic instrumentation counters for perf work, compiled in only with the
+/// `hc-debug-counters` feature: node visits, pruning-gate passes, and
+/// candidate-move evaluations of the `HC` driver.
+#[cfg(feature = "hc-debug-counters")]
+pub mod debug_counters {
+    use std::sync::atomic::AtomicU64;
+    pub static VISITS: AtomicU64 = AtomicU64::new(0);
+    pub static GATE_PASS: AtomicU64 = AtomicU64::new(0);
+    pub static EVALS: AtomicU64 = AtomicU64::new(0);
+}
+
+/// Tries the candidate moves of node `v` in the canonical order (superstep
+/// `s−1`, `s`, `s+1`; processors ascending) and applies the first improving
+/// one.  Returns `true` if a move was accepted.
+fn try_improve_node(state: &mut HcState<'_>, v: usize, p: usize) -> bool {
+    #[cfg(feature = "hc-debug-counters")]
+    debug_counters::VISITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if !state.node_can_gain(v) {
+        return false;
+    }
+    #[cfg(feature = "hc-debug-counters")]
+    debug_counters::GATE_PASS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
+    let window = state.move_window(v);
+    let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
+    for &s_new in &s_candidates {
+        if s_new == usize::MAX {
+            continue; // wrapped below superstep 0
+        }
+        for p_new in 0..p {
+            if p_new == p_old && s_new == s_old {
+                continue;
+            }
+            if !window.allows(p_new, s_new) {
+                continue;
+            }
+            #[cfg(feature = "hc-debug-counters")]
+            debug_counters::EVALS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if state.try_move(v, p_new, s_new) < 0 {
+                state.apply_move(v, p_new, s_new);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Re-enqueues everything whose best move can have changed after an accepted
+/// move of `v`: the node itself, its DAG neighbours, and every node of the
+/// supersteps whose tallies the move touched.
+fn enqueue_dirty(
+    state: &HcState<'_>,
+    dag: &Dag,
+    v: usize,
+    queue: &mut VecDeque<usize>,
+    in_queue: &mut [bool],
+) {
+    let push = |x: usize, queue: &mut VecDeque<usize>, in_queue: &mut [bool]| {
+        if !in_queue[x] {
+            in_queue[x] = true;
+            queue.push_back(x);
+        }
+    };
+    push(v, queue, in_queue);
+    for &u in dag.predecessors(v) {
+        push(u, queue, in_queue);
+    }
+    for &w in dag.successors(v) {
+        push(w, queue, in_queue);
+    }
+    for &s in state.last_affected_steps() {
+        for &x in state.nodes_in_superstep(s) {
+            push(x, queue, in_queue);
+        }
+    }
+}
+
 /// Improves `schedule` in place with the `HC` node-move hill climbing.
 ///
 /// The schedule's communication part is replaced by the lazy schedule of its
 /// assignment (HC is defined on lazy schedules, Appendix A); run
 /// [`hccs_improve`] afterwards to optimize the communication schedule.
+///
+/// # Panics
+///
+/// Panics if the schedule's assignment violates a precedence constraint (the
+/// underlying [`HcState::new`] reports the offending edge); schedules produced
+/// by the crate's schedulers are always feasible.
 pub fn hc_improve(
     dag: &Dag,
     machine: &Machine,
@@ -88,50 +187,68 @@ pub fn hc_improve(
 ) -> HillClimbOutcome {
     schedule.relax_to_lazy(dag);
     let start = Instant::now();
-    let mut state = HcState::new(dag, machine, schedule.assignment.clone());
+    let mut state = HcState::new(dag, machine, schedule.assignment.clone())
+        .expect("hc_improve requires a precedence-feasible assignment");
+    #[cfg(feature = "hc-debug-counters")]
+    if std::env::var_os("HC_DEBUG_TIMING").is_some() {
+        eprintln!("[hc] setup: {:?}", start.elapsed());
+    }
     let initial_cost = state.total_cost();
+    let n = dag.n();
+    let p = machine.p();
     let mut steps = 0usize;
     let mut reached_local_minimum = false;
 
+    // Every node starts dirty; after that, only re-enqueued nodes are
+    // re-examined.  A drained work-list triggers a verification sweep; only a
+    // sweep that accepts nothing certifies the local minimum.
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut in_queue = vec![true; n];
+    // Reading the clock per visit would dominate gated visits; poll it every
+    // 64th visit instead (the step limit stays exact).
+    let mut visit = 0u32;
+    let over_limit = |visit: &mut u32, steps: usize| {
+        *visit = visit.wrapping_add(1);
+        steps >= config.max_steps || (*visit & 63 == 0 && start.elapsed() > config.time_limit)
+    };
+
     'outer: loop {
-        let mut improved_this_pass = false;
-        for v in 0..dag.n() {
-            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+        while let Some(v) = queue.pop_front() {
+            in_queue[v] = false;
+            if over_limit(&mut visit, steps) {
                 break 'outer;
             }
-            let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
-            let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
-            for &s_new in &s_candidates {
-                if s_new == usize::MAX {
-                    continue; // wrapped below superstep 0
-                }
-                let mut accepted = false;
-                for p_new in 0..machine.p() {
-                    if p_new == p_old && s_new == s_old {
-                        continue;
-                    }
-                    if !state.move_is_valid(v, p_new, s_new) {
-                        continue;
-                    }
-                    let delta = state.apply_move(v, p_new, s_new);
-                    if delta < 0 {
-                        steps += 1;
-                        improved_this_pass = true;
-                        accepted = true;
-                        break;
-                    }
-                    // Revert (the inverse move restores the previous state).
-                    state.apply_move(v, p_old, s_old);
-                }
-                if accepted {
-                    break;
-                }
+            if try_improve_node(&mut state, v, p) {
+                steps += 1;
+                enqueue_dirty(&state, dag, v, &mut queue, &mut in_queue);
             }
         }
-        if !improved_this_pass {
+        let mut sweep_improved = false;
+        for v in 0..n {
+            if over_limit(&mut visit, steps) {
+                break 'outer;
+            }
+            if try_improve_node(&mut state, v, p) {
+                steps += 1;
+                sweep_improved = true;
+                enqueue_dirty(&state, dag, v, &mut queue, &mut in_queue);
+            }
+        }
+        if !sweep_improved {
             reached_local_minimum = true;
             break;
         }
+    }
+    #[cfg(feature = "hc-debug-counters")]
+    if std::env::var_os("HC_DEBUG_TIMING").is_some() {
+        use std::sync::atomic::Ordering::Relaxed;
+        eprintln!("[hc] search done at {:?}, steps {steps}", start.elapsed());
+        eprintln!(
+            "[hc] visits {} gate-pass {} evals {}",
+            debug_counters::VISITS.swap(0, Relaxed),
+            debug_counters::GATE_PASS.swap(0, Relaxed),
+            debug_counters::EVALS.swap(0, Relaxed),
+        );
     }
 
     schedule.assignment = state.into_assignment();
@@ -156,7 +273,11 @@ mod tests {
 
     #[test]
     fn hc_never_increases_cost_and_keeps_validity() {
-        let dag = spmv(&SpmvConfig { n: 16, density: 0.25, seed: 3 });
+        let dag = spmv(&SpmvConfig {
+            n: 16,
+            density: 0.25,
+            seed: 3,
+        });
         let machine = Machine::uniform(4, 3, 5);
         for scheduler in [
             &BspgScheduler as &dyn Scheduler,
@@ -200,7 +321,12 @@ mod tests {
 
     #[test]
     fn hc_respects_the_step_limit() {
-        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 1, seed: 1 });
+        let dag = cg(&IterConfig {
+            n: 8,
+            density: 0.3,
+            iterations: 1,
+            seed: 1,
+        });
         let machine = Machine::uniform(4, 5, 5);
         let mut sched = CilkScheduler::default().schedule(&dag, &machine);
         let outcome = hc_improve(
@@ -215,7 +341,11 @@ mod tests {
 
     #[test]
     fn hc_reaches_a_local_minimum_on_small_instances() {
-        let dag = spmv(&SpmvConfig { n: 8, density: 0.3, seed: 5 });
+        let dag = spmv(&SpmvConfig {
+            n: 8,
+            density: 0.3,
+            seed: 5,
+        });
         let machine = Machine::uniform(2, 1, 2);
         let mut sched = BspgScheduler.schedule(&dag, &machine);
         let outcome = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
@@ -224,7 +354,12 @@ mod tests {
 
     #[test]
     fn hc_works_under_numa_machines() {
-        let dag = cg(&IterConfig { n: 6, density: 0.3, iterations: 1, seed: 2 });
+        let dag = cg(&IterConfig {
+            n: 6,
+            density: 0.3,
+            iterations: 1,
+            seed: 2,
+        });
         let machine = Machine::numa_binary_tree(8, 1, 5, 3);
         let mut sched = CilkScheduler::default().schedule(&dag, &machine);
         let before = sched.cost(&dag, &machine);

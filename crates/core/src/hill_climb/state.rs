@@ -4,11 +4,28 @@
 //! every candidate move would be far too slow; instead the search keeps
 //! per-superstep, per-processor work / send / receive tallies under the lazy
 //! communication schedule and updates only the supersteps a move actually
-//! touches.  [`HcState::apply_move`] is its own inverse (applying the reverse
-//! move restores the previous state), which is how candidate moves are
-//! evaluated and rejected cheaply.
+//! touches.
+//!
+//! This implementation goes one step further than "incremental": evaluating a
+//! candidate move performs **zero heap allocation**.  All intermediate results
+//! live in scratch buffers owned by the state and reused across moves:
+//!
+//! * the "earliest superstep each processor needs a value" map is a pair of
+//!   generation-stamped arrays (`need_step` / `need_mark`) instead of a fresh
+//!   `vec![usize::MAX; P]` per call;
+//! * old/new lazy-communication contributions go into reusable scratch vecs;
+//! * the set of supersteps a move touches is deduplicated with a second
+//!   generation stamp (`step_mark`) instead of sort+dedup on a fresh vec;
+//! * per-superstep body costs (work + `g`·h-relation) are cached and patched
+//!   incrementally, so a move's delta only recomputes the few touched rows of
+//!   the flat `[superstep × processor]` tally matrices.
+//!
+//! [`HcState::try_move`] evaluates a move and rolls every tally back;
+//! [`HcState::apply_move`] commits it.  Both return the exact cost delta, and
+//! applying the inverse move restores the previous state exactly (the property
+//! the search uses to reject candidates cheaply).
 
-use bsp_model::{Assignment, Dag, Machine};
+use bsp_model::{Assignment, Dag, Machine, ValidityError};
 
 /// One lazy-communication contribution: the value of some node is sent
 /// `from -> to` in the communication phase of `step`, with NUMA-weighted
@@ -21,6 +38,68 @@ struct Contribution {
     weight: u64,
 }
 
+/// Which communication tally a patch applies to.
+#[derive(Debug, Clone, Copy)]
+enum Side {
+    Send,
+    Recv,
+}
+
+/// Summary of one node's consumers on a single processor: the earliest
+/// consuming superstep, how many consumers attain it, and the next distinct
+/// consuming superstep.  Unlike a materialized [`Contribution`] this keeps
+/// enough information to answer "what if one consumer moved away / arrived?"
+/// in `O(1)`, which is what lets candidate evaluation transform cached
+/// summaries instead of rescanning successor lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConsumerSummary {
+    /// The consuming processor (may equal the producer's processor).
+    to: usize,
+    /// Earliest superstep a consumer on `to` runs in.
+    min_step: usize,
+    /// Number of consumers on `to` running in `min_step`.
+    min_cnt: u32,
+    /// Second-smallest distinct consuming superstep (`usize::MAX` if none).
+    runner_up: usize,
+}
+
+/// Precomputed feasibility window for all candidate moves of one node: the
+/// binding predecessor/successor superstep and, when every binding neighbour
+/// sits on one processor, that processor (which then also admits the equal
+/// superstep).  [`MoveWindow::allows`] answers validity in `O(1)`, replacing
+/// the `O(deg)` scan of [`HcState::move_is_valid`] in the driver's inner loop
+/// over `3 · P` candidate destinations.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveWindow {
+    /// Latest predecessor superstep, if any predecessor exists.
+    pred_step: Option<usize>,
+    /// The single processor hosting *all* latest predecessors, if unique.
+    pred_proc: Option<usize>,
+    /// Earliest successor superstep, if any successor exists.
+    succ_step: Option<usize>,
+    /// The single processor hosting *all* earliest successors, if unique.
+    succ_proc: Option<usize>,
+}
+
+impl MoveWindow {
+    /// `true` if moving the node to `(p_new, s_new)` keeps the lazy schedule
+    /// valid.  Equivalent to [`HcState::move_is_valid`].
+    #[inline]
+    pub fn allows(&self, p_new: usize, s_new: usize) -> bool {
+        if let Some(ps) = self.pred_step {
+            if s_new < ps || (s_new == ps && self.pred_proc != Some(p_new)) {
+                return false;
+            }
+        }
+        if let Some(ss) = self.succ_step {
+            if s_new > ss || (s_new == ss && self.succ_proc != Some(p_new)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// Incremental cost state of an assignment under the lazy communication rule.
 #[derive(Debug, Clone)]
 pub struct HcState<'a> {
@@ -28,60 +107,368 @@ pub struct HcState<'a> {
     machine: &'a Machine,
     proc: Vec<usize>,
     step: Vec<usize>,
-    /// Nodes per superstep (to track the number of supersteps).
+    /// Number of nodes per superstep (tracks the number of supersteps).
     nodes_in_step: Vec<usize>,
-    work: Vec<Vec<u64>>,
-    send: Vec<Vec<u64>>,
-    recv: Vec<Vec<u64>>,
+    /// The nodes of each superstep (membership lists for the work-list driver).
+    step_nodes: Vec<Vec<usize>>,
+    /// Position of node `v` inside `step_nodes[step[v]]`.
+    bucket_pos: Vec<usize>,
+    /// Flat `[superstep × processor]` work tallies, indexed `s * P + q`.
+    work: Vec<u64>,
+    /// Flat NUMA-weighted send tallies, indexed `s * P + q`.
+    send: Vec<u64>,
+    /// Flat NUMA-weighted receive tallies, indexed `s * P + q`.
+    recv: Vec<u64>,
+    /// Fused `max(send, recv)` per cell, so body recomputation scans two rows
+    /// instead of three.
+    hrel: Vec<u64>,
+    /// Cached row maximum of `work` per superstep, with the number of cells
+    /// attaining it.  A cell update adjusts the maximum in `O(1)`; only when
+    /// the last maximal cell decreases is the row rescanned.
+    work_max: Vec<u64>,
+    work_max_cnt: Vec<u32>,
+    /// Cached row maximum of `hrel` per superstep (same scheme).
+    hrel_max: Vec<u64>,
+    hrel_max_cnt: Vec<u32>,
+    /// Cached body cost (max work + `g`·max h-relation) per superstep.
+    body: Vec<u64>,
+    /// Running sum of `body` (steps past `num_steps` are always zero).
+    body_sum: u64,
     num_steps: usize,
+    // ---- scratch buffers (valid only within one move evaluation) ----
+    /// Earliest consuming superstep per processor for the value currently
+    /// being summarized; valid iff `need_mark[q] == need_stamp`.
+    need_step: Vec<usize>,
+    /// Consumers attaining `need_step[q]`.
+    need_cnt: Vec<u32>,
+    /// Second-smallest distinct consuming superstep.
+    need_second: Vec<usize>,
+    need_mark: Vec<u64>,
+    /// Processors touched by the current summary computation.
+    need_touched: Vec<usize>,
+    need_stamp: u64,
+    /// Superstep membership in `affected`; valid iff `step_mark[s] == step_stamp`.
+    step_mark: Vec<u64>,
+    step_stamp: u64,
+    contribs_old: Vec<Contribution>,
+    contribs_new: Vec<Contribution>,
+    /// Supersteps whose tallies the last evaluated move touched.
+    affected: Vec<usize>,
+    /// Cached row state of `affected` before the move (for O(1) rollback):
+    /// `(body, work_max, work_max_cnt, hrel_max, hrel_max_cnt)`.
+    affected_saved: Vec<(u64, u64, u32, u64, u32)>,
+    /// Persistent per-node consumer-summary cache (one entry per processor
+    /// with at least one consumer, including the producer's own).  Node `u`'s
+    /// entry depends only on `u`'s successors' positions, so a committed move
+    /// of `v` invalidates exactly `v` and `v`'s predecessors; everything else
+    /// survives across visits, which is what makes the verification sweep
+    /// cheap on mostly-converged schedules.
+    contrib_cache: Vec<Vec<ConsumerSummary>>,
+    contrib_valid: Vec<bool>,
+    /// Node whose `contribs_old` are currently cached.  The old contributions
+    /// of node `v` (its own plus its predecessors') are identical across all
+    /// `3 · P` candidate destinations the driver evaluates for `v`, so they
+    /// are collected once per node visit; any committed move invalidates.
+    prepared_node: Option<usize>,
+}
+
+/// Maintains a cached row maximum (`max`, with `cnt` cells attaining it)
+/// under the single-cell change `old -> new`.  `O(1)` except when the last
+/// maximal cell decreases, which rescans the row.
+#[inline(always)]
+fn bump_row_max(max: &mut u64, cnt: &mut u32, row: &[u64], old: u64, new: u64) {
+    if new == old {
+        return;
+    }
+    if new > *max {
+        *max = new;
+        *cnt = 1;
+        return;
+    }
+    if new == *max {
+        *cnt += 1;
+    }
+    if old == *max {
+        *cnt -= 1;
+        if *cnt == 0 {
+            let mut m = 0u64;
+            let mut c = 0u32;
+            for &x in row {
+                if x > m {
+                    m = x;
+                    c = 1;
+                } else if x == m {
+                    c += 1;
+                }
+            }
+            *max = m;
+            *cnt = c;
+        }
+    }
+}
+
+/// Collects the consumer summaries of node `u` — per processor hosting at
+/// least one successor of `u`: the earliest consuming superstep, the number
+/// of consumers attaining it, and the runner-up superstep.
+///
+/// A free function over disjoint field borrows so callers can stream into the
+/// state's own scratch vec without fighting the borrow checker.
+#[allow(clippy::too_many_arguments)]
+fn collect_summaries(
+    dag: &Dag,
+    proc: &[usize],
+    step: &[usize],
+    need_step: &mut [usize],
+    need_cnt: &mut [u32],
+    need_second: &mut [usize],
+    need_mark: &mut [u64],
+    need_touched: &mut Vec<usize>,
+    stamp: u64,
+    u: usize,
+    out: &mut Vec<ConsumerSummary>,
+) {
+    need_touched.clear();
+    for &w in dag.successors(u) {
+        let q = proc[w];
+        let s = step[w];
+        if need_mark[q] != stamp {
+            need_mark[q] = stamp;
+            need_step[q] = s;
+            need_cnt[q] = 1;
+            need_second[q] = usize::MAX;
+            need_touched.push(q);
+        } else if s < need_step[q] {
+            need_second[q] = need_step[q];
+            need_step[q] = s;
+            need_cnt[q] = 1;
+        } else if s == need_step[q] {
+            need_cnt[q] += 1;
+        } else if s < need_second[q] && s != need_step[q] {
+            need_second[q] = s;
+        }
+    }
+    out.clear();
+    for &q in need_touched.iter() {
+        out.push(ConsumerSummary {
+            to: q,
+            min_step: need_step[q],
+            min_cnt: need_cnt[q],
+            runner_up: need_second[q],
+        });
+    }
+}
+
+/// Materializes the lazy contributions of a value produced on `pu` with
+/// communication weight `cu`, given its consumer summaries: one transfer per
+/// consuming processor other than `pu`, in the phase right before the
+/// earliest consuming superstep.
+fn push_contributions(
+    machine: &Machine,
+    pu: usize,
+    cu: u64,
+    summaries: &[ConsumerSummary],
+    out: &mut Vec<Contribution>,
+) {
+    for sm in summaries {
+        if sm.to == pu {
+            continue;
+        }
+        debug_assert!(
+            sm.min_step > 0,
+            "a cross-processor consumer sits in superstep 0; the lazy schedule \
+             cannot deliver the value in time"
+        );
+        out.push(Contribution {
+            step: sm.min_step - 1,
+            from: pu,
+            to: sm.to,
+            weight: cu * machine.lambda(pu, sm.to),
+        });
+    }
 }
 
 impl<'a> HcState<'a> {
     /// Builds the incremental state from an assignment.
-    pub fn new(dag: &'a Dag, machine: &'a Machine, assignment: Assignment) -> Self {
+    ///
+    /// The assignment must be feasible for the *lazy* communication schedule:
+    /// every edge `(u, w)` needs `τ(u) ≤ τ(w)` on the same processor and
+    /// `τ(u) < τ(w)` across processors (otherwise the value of `u` cannot
+    /// reach `π(w)` in time — for `τ(w) = 0` this is the case that used to
+    /// underflow `s - 1`).  Infeasible assignments yield a [`ValidityError`]
+    /// naming the offending edge.
+    pub fn new(
+        dag: &'a Dag,
+        machine: &'a Machine,
+        assignment: Assignment,
+    ) -> Result<Self, ValidityError> {
+        let n = dag.n();
         let p = machine.p();
+        if assignment.proc.len() != n {
+            return Err(ValidityError::AssignmentLengthMismatch {
+                expected: n,
+                got: assignment.proc.len(),
+            });
+        }
+        if assignment.superstep.len() != n {
+            return Err(ValidityError::AssignmentLengthMismatch {
+                expected: n,
+                got: assignment.superstep.len(),
+            });
+        }
+        for (v, &q) in assignment.proc.iter().enumerate() {
+            if q >= p {
+                return Err(ValidityError::ProcessorOutOfRange {
+                    node: v,
+                    proc: q,
+                    p,
+                });
+            }
+        }
+        for u in 0..n {
+            for &w in dag.successors(u) {
+                if assignment.proc[u] == assignment.proc[w] {
+                    if assignment.superstep[u] > assignment.superstep[w] {
+                        return Err(ValidityError::PrecedenceSameProcessor { pred: u, node: w });
+                    }
+                } else if assignment.superstep[u] >= assignment.superstep[w] {
+                    return Err(ValidityError::MissingCommunication { pred: u, node: w });
+                }
+            }
+        }
+
         let num_steps = assignment.num_supersteps();
-        let capacity = num_steps.max(1);
+        // One spare superstep so the common "move to s+1" candidate at the
+        // schedule frontier does not have to grow the arrays.
+        let capacity = num_steps.max(1) + 1;
         let mut state = HcState {
             dag,
             machine,
             proc: assignment.proc,
             step: assignment.superstep,
             nodes_in_step: vec![0; capacity],
-            work: vec![vec![0; p]; capacity],
-            send: vec![vec![0; p]; capacity],
-            recv: vec![vec![0; p]; capacity],
+            step_nodes: vec![Vec::new(); capacity],
+            bucket_pos: vec![0; n],
+            work: vec![0; capacity * p],
+            send: vec![0; capacity * p],
+            recv: vec![0; capacity * p],
+            hrel: vec![0; capacity * p],
+            work_max: vec![0; capacity],
+            work_max_cnt: vec![p as u32; capacity],
+            hrel_max: vec![0; capacity],
+            hrel_max_cnt: vec![p as u32; capacity],
+            body: vec![0; capacity],
+            body_sum: 0,
             num_steps,
+            need_step: vec![0; p],
+            need_cnt: vec![0; p],
+            need_second: vec![0; p],
+            need_mark: vec![0; p],
+            need_touched: Vec::with_capacity(p),
+            need_stamp: 0,
+            step_mark: vec![0; capacity],
+            step_stamp: 0,
+            contribs_old: Vec::new(),
+            contribs_new: Vec::new(),
+            affected: Vec::new(),
+            affected_saved: Vec::new(),
+            contrib_cache: vec![Vec::new(); n],
+            contrib_valid: vec![false; n],
+            prepared_node: None,
         };
-        for v in 0..dag.n() {
+        for v in 0..n {
             let s = state.step[v];
             state.nodes_in_step[s] += 1;
-            state.work[s][state.proc[v]] += dag.work(v);
+            state.bucket_pos[v] = state.step_nodes[s].len();
+            state.step_nodes[s].push(v);
+            state.work[s * p + state.proc[v]] += dag.work(v);
         }
-        let mut contribs = Vec::new();
-        for v in 0..dag.n() {
-            state.value_contributions(v, &mut contribs);
-            for c in contribs.drain(..) {
-                state.send[c.step][c.from] += c.weight;
-                state.recv[c.step][c.to] += c.weight;
+        let mut materialized: Vec<Contribution> = Vec::new();
+        for u in 0..n {
+            state.refresh_summaries(u);
+            materialized.clear();
+            push_contributions(
+                machine,
+                state.proc[u],
+                dag.comm(u),
+                &state.contrib_cache[u],
+                &mut materialized,
+            );
+            for &c in &materialized {
+                let from = c.step * p + c.from;
+                let to = c.step * p + c.to;
+                state.send[from] += c.weight;
+                state.recv[to] += c.weight;
+                state.hrel[from] = state.send[from].max(state.recv[from]);
+                state.hrel[to] = state.send[to].max(state.recv[to]);
             }
         }
-        state
+        for s in 0..capacity {
+            let row = s * p;
+            let (mut wm, mut wc) = (0u64, 0u32);
+            for &x in &state.work[row..row + p] {
+                if x > wm {
+                    wm = x;
+                    wc = 1;
+                } else if x == wm {
+                    wc += 1;
+                }
+            }
+            let (mut hm, mut hc) = (0u64, 0u32);
+            for &x in &state.hrel[row..row + p] {
+                if x > hm {
+                    hm = x;
+                    hc = 1;
+                } else if x == hm {
+                    hc += 1;
+                }
+            }
+            state.work_max[s] = wm;
+            state.work_max_cnt[s] = wc;
+            state.hrel_max[s] = hm;
+            state.hrel_max_cnt[s] = hc;
+            let cost = wm + machine.g() * hm;
+            state.body[s] = cost;
+            state.body_sum += cost;
+        }
+        Ok(state)
     }
 
     /// Current processor of a node.
+    #[inline]
     pub fn proc_of(&self, v: usize) -> usize {
         self.proc[v]
     }
 
     /// Current superstep of a node.
+    #[inline]
     pub fn step_of(&self, v: usize) -> usize {
         self.step[v]
     }
 
     /// Current number of supersteps.
+    #[inline]
     pub fn num_supersteps(&self) -> usize {
         self.num_steps
+    }
+
+    /// The nodes currently assigned to superstep `s` (in no particular order).
+    pub fn nodes_in_superstep(&self, s: usize) -> &[usize] {
+        self.step_nodes.get(s).map_or(&[], Vec::as_slice)
+    }
+
+    /// The supersteps whose tallies the most recent `try_move`/`apply_move`
+    /// touched (deduplicated, unordered).  The work-list driver re-enqueues
+    /// the nodes of these supersteps after an accepted move.
+    pub fn last_affected_steps(&self) -> &[usize] {
+        &self.affected
+    }
+
+    /// A snapshot of the current assignment.
+    pub fn assignment(&self) -> Assignment {
+        Assignment {
+            proc: self.proc.clone(),
+            superstep: self.step.clone(),
+        }
     }
 
     /// Consumes the state and returns the assignment.
@@ -92,47 +479,121 @@ impl<'a> HcState<'a> {
         }
     }
 
-    /// Lazy communication contributions generated by the value of node `u`
-    /// under the current assignment (one per target processor that needs it).
-    fn value_contributions(&self, u: usize, out: &mut Vec<Contribution>) {
-        let pu = self.proc[u];
-        // earliest superstep each processor needs the value of u.
-        let mut need: Vec<usize> = vec![usize::MAX; self.machine.p()];
-        for &w in self.dag.successors(u) {
-            let q = self.proc[w];
-            if q != pu {
-                need[q] = need[q].min(self.step[w]);
-            }
-        }
-        for (q, &s) in need.iter().enumerate() {
-            if s != usize::MAX {
-                out.push(Contribution {
-                    step: s - 1,
-                    from: pu,
-                    to: q,
-                    weight: self.dag.comm(u) * self.machine.lambda(pu, q),
-                });
-            }
-        }
-    }
-
-    /// Work + communication cost of superstep `s` (without latency).
-    fn superstep_body_cost(&self, s: usize) -> u64 {
-        if s >= self.work.len() {
-            return 0;
-        }
-        let w = self.work[s].iter().copied().max().unwrap_or(0);
-        let h = (0..self.machine.p())
-            .map(|q| self.send[s][q].max(self.recv[s][q]))
-            .max()
-            .unwrap_or(0);
-        w + self.machine.g() * h
-    }
-
-    /// Total schedule cost under the lazy communication schedule.
+    /// Total schedule cost under the lazy communication schedule.  `O(1)`.
     pub fn total_cost(&self) -> u64 {
-        let body: u64 = (0..self.num_steps).map(|s| self.superstep_body_cost(s)).sum();
-        body + self.machine.latency() * self.num_steps as u64
+        self.body_sum + self.machine.latency() * self.num_steps as u64
+    }
+
+    /// Sound pruning gate: `false` guarantees that *no* candidate move of `v`
+    /// can lower the total cost, so the driver may skip all `3 · P`
+    /// destinations outright.  `O(deg)` (and it warms the per-node
+    /// contribution cache that candidate evaluation reuses).
+    ///
+    /// Soundness: a move only removes tallies at `v`'s own work cell and at
+    /// the cells of the old lazy contributions of `v` and its predecessors;
+    /// every other touched cell only grows.  A superstep's body cost is
+    /// `max(work row) + g · max(hrel row)`, so it can only decrease when one
+    /// of those removed-from cells currently attains its row maximum.  The
+    /// latency term can only decrease when `v`'s superstep empties, i.e. `v`
+    /// is alone in it.  If none of these hold, every candidate has `delta ≥ 0`.
+    pub fn node_can_gain(&mut self, v: usize) -> bool {
+        let p = self.machine.p();
+        let s_old = self.step[v];
+        let p_old = self.proc[v];
+        if self.nodes_in_step[s_old] == 1 {
+            return true;
+        }
+        // The move removes work from exactly one cell; the row max only drops
+        // if that cell attains it uniquely.
+        if self.work[s_old * p + p_old] == self.work_max[s_old] && self.work_max_cnt[s_old] == 1 {
+            return true;
+        }
+        // Communication side: the removable cells are exactly those of the
+        // old contributions of v and its predecessors.  A phase's h-relation
+        // max drops only if the removable max-attaining cells cover *all*
+        // cells attaining it, so collect distinct removable max cells per
+        // phase and compare against the attain-count.
+        self.prepare_node(v);
+        const CAP: usize = 16;
+        let mut max_cells = [(0usize, 0usize); CAP];
+        let mut m = 0usize;
+        for i in 0..self.contribs_old.len() {
+            let c = self.contribs_old[i];
+            let row_max = self.hrel_max[c.step];
+            let cnt = self.hrel_max_cnt[c.step];
+            for cell in [c.step * p + c.from, c.step * p + c.to] {
+                if self.hrel[cell] != row_max {
+                    continue;
+                }
+                if cnt == 1 {
+                    return true;
+                }
+                if !max_cells[..m].contains(&(c.step, cell)) {
+                    if m == CAP {
+                        return true; // overflow: be conservative
+                    }
+                    max_cells[m] = (c.step, cell);
+                    m += 1;
+                }
+            }
+        }
+        for i in 0..m {
+            let (s, _) = max_cells[i];
+            let covered = max_cells[..m].iter().filter(|&&(t, _)| t == s).count();
+            if covered >= self.hrel_max_cnt[s] as usize {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Precomputes the feasibility window of node `v`'s candidate moves in
+    /// one `O(deg)` scan; check candidates with [`MoveWindow::allows`].
+    pub fn move_window(&self, v: usize) -> MoveWindow {
+        let mut pred_step = None;
+        let mut pred_proc = None;
+        for &u in self.dag.predecessors(v) {
+            let su = self.step[u];
+            match pred_step {
+                None => {
+                    pred_step = Some(su);
+                    pred_proc = Some(self.proc[u]);
+                }
+                Some(cur) if su > cur => {
+                    pred_step = Some(su);
+                    pred_proc = Some(self.proc[u]);
+                }
+                Some(cur) if su == cur && pred_proc != Some(self.proc[u]) => {
+                    pred_proc = None;
+                }
+                _ => {}
+            }
+        }
+        let mut succ_step = None;
+        let mut succ_proc = None;
+        for &w in self.dag.successors(v) {
+            let sw = self.step[w];
+            match succ_step {
+                None => {
+                    succ_step = Some(sw);
+                    succ_proc = Some(self.proc[w]);
+                }
+                Some(cur) if sw < cur => {
+                    succ_step = Some(sw);
+                    succ_proc = Some(self.proc[w]);
+                }
+                Some(cur) if sw == cur && succ_proc != Some(self.proc[w]) => {
+                    succ_proc = None;
+                }
+                _ => {}
+            }
+        }
+        MoveWindow {
+            pred_step,
+            pred_proc,
+            succ_step,
+            succ_proc,
+        }
     }
 
     /// `true` if moving node `v` to `(p_new, s_new)` keeps the lazy schedule
@@ -163,14 +624,35 @@ impl<'a> HcState<'a> {
         true
     }
 
+    /// Grows the tally matrices to hold at least `steps` supersteps.
     fn ensure_capacity(&mut self, steps: usize) {
-        let p = self.machine.p();
-        while self.work.len() < steps {
-            self.work.push(vec![0; p]);
-            self.send.push(vec![0; p]);
-            self.recv.push(vec![0; p]);
-            self.nodes_in_step.push(0);
+        let current = self.body.len();
+        if steps <= current {
+            return;
         }
+        let p = self.machine.p();
+        self.work.resize(steps * p, 0);
+        self.send.resize(steps * p, 0);
+        self.recv.resize(steps * p, 0);
+        self.hrel.resize(steps * p, 0);
+        self.work_max.resize(steps, 0);
+        self.work_max_cnt.resize(steps, p as u32);
+        self.hrel_max.resize(steps, 0);
+        self.hrel_max_cnt.resize(steps, p as u32);
+        self.nodes_in_step.resize(steps, 0);
+        self.step_nodes.resize_with(steps, Vec::new);
+        self.body.resize(steps, 0);
+        self.step_mark.resize(steps, 0);
+    }
+
+    /// Evaluates the move of node `v` to `(p_new, s_new)` without committing
+    /// it: every tally is rolled back before returning.  Returns the exact
+    /// change in total cost (negative = improvement).
+    ///
+    /// Performs no heap allocation (after the state's scratch buffers have
+    /// warmed up to the move's superstep range).
+    pub fn try_move(&mut self, v: usize, p_new: usize, s_new: usize) -> i64 {
+        self.eval_move(v, p_new, s_new, false)
     }
 
     /// Applies the move of node `v` to `(p_new, s_new)` and returns the change
@@ -178,76 +660,354 @@ impl<'a> HcState<'a> {
     /// afterwards restores the exact previous state and returns the negated
     /// delta.
     pub fn apply_move(&mut self, v: usize, p_new: usize, s_new: usize) -> i64 {
+        self.eval_move(v, p_new, s_new, true)
+    }
+
+    /// Adds/subtracts `weight` on the send (`Side::Send`) or receive tally at
+    /// `(s, cell)`, refreshing the fused h-relation entry and the row-max
+    /// cache.
+    #[inline(always)]
+    fn patch_comm(&mut self, side: Side, s: usize, cell: usize, weight: u64, add: bool) {
+        let tally = match side {
+            Side::Send => &mut self.send[cell],
+            Side::Recv => &mut self.recv[cell],
+        };
+        if add {
+            *tally += weight;
+        } else {
+            *tally -= weight;
+        }
+        let old_h = self.hrel[cell];
+        let new_h = self.send[cell].max(self.recv[cell]);
+        if new_h != old_h {
+            self.hrel[cell] = new_h;
+            let p = self.machine.p();
+            bump_row_max(
+                &mut self.hrel_max[s],
+                &mut self.hrel_max_cnt[s],
+                &self.hrel[s * p..(s + 1) * p],
+                old_h,
+                new_h,
+            );
+        }
+    }
+
+    /// Sets the work tally at `(s, q)` to `new`, maintaining the row-max cache.
+    #[inline(always)]
+    fn patch_work(&mut self, s: usize, q: usize, new: u64) {
+        let p = self.machine.p();
+        let cell = s * p + q;
+        let old = self.work[cell];
+        if new == old {
+            return;
+        }
+        self.work[cell] = new;
+        bump_row_max(
+            &mut self.work_max[s],
+            &mut self.work_max_cnt[s],
+            &self.work[s * p..(s + 1) * p],
+            old,
+            new,
+        );
+    }
+
+    /// Rebuilds node `u`'s cached consumer summaries if a committed move
+    /// invalidated them.
+    fn refresh_summaries(&mut self, u: usize) {
+        if self.contrib_valid[u] {
+            return;
+        }
+        let mut entry = std::mem::take(&mut self.contrib_cache[u]);
+        self.need_stamp += 1;
+        collect_summaries(
+            self.dag,
+            &self.proc,
+            &self.step,
+            &mut self.need_step,
+            &mut self.need_cnt,
+            &mut self.need_second,
+            &mut self.need_mark,
+            &mut self.need_touched,
+            self.need_stamp,
+            u,
+            &mut entry,
+        );
+        self.contrib_cache[u] = entry;
+        self.contrib_valid[u] = true;
+    }
+
+    /// Gathers into `contribs_old` the lazy contributions of `v` and its
+    /// predecessors under the current assignment (from the per-node caches —
+    /// no successor-list scan for clean nodes).  The result is identical for
+    /// every candidate destination of `v`, so the driver's `3 · P` evaluations
+    /// of one node gather it only once.
+    fn prepare_node(&mut self, v: usize) {
+        if self.prepared_node == Some(v) {
+            return;
+        }
+        let dag = self.dag;
+        self.refresh_summaries(v);
+        for &u in dag.predecessors(v) {
+            self.refresh_summaries(u);
+        }
+        let mut gathered = std::mem::take(&mut self.contribs_old);
+        gathered.clear();
+        push_contributions(
+            self.machine,
+            self.proc[v],
+            dag.comm(v),
+            &self.contrib_cache[v],
+            &mut gathered,
+        );
+        for &u in dag.predecessors(v) {
+            push_contributions(
+                self.machine,
+                self.proc[u],
+                dag.comm(u),
+                &self.contrib_cache[u],
+                &mut gathered,
+            );
+        }
+        self.contribs_old = gathered;
+        self.prepared_node = Some(v);
+    }
+
+    /// Shared move evaluation; `commit` decides whether the move sticks.
+    fn eval_move(&mut self, v: usize, p_new: usize, s_new: usize, commit: bool) -> i64 {
         let p_old = self.proc[v];
         let s_old = self.step[v];
         if p_old == p_new && s_old == s_new {
             return 0;
         }
         self.ensure_capacity(s_new + 1);
+        let p = self.machine.p();
+        let dag = self.dag;
 
-        // Values whose lazy communication steps can change: v and its predecessors.
-        let mut affected_nodes: Vec<usize> = Vec::with_capacity(1 + self.dag.in_degree(v));
-        affected_nodes.push(v);
-        affected_nodes.extend_from_slice(self.dag.predecessors(v));
+        // Values whose lazy communication steps can change: v and its
+        // predecessors.  Old contributions under the current assignment
+        // (cached across the candidate destinations of `v`):
+        self.prepare_node(v);
 
-        let mut old_contribs = Vec::new();
-        let mut tmp = Vec::new();
-        for &u in &affected_nodes {
-            self.value_contributions(u, &mut tmp);
-            old_contribs.append(&mut tmp);
+        // New contributions, derived from the cached consumer summaries in
+        // `O(1)` per summary — no successor list is scanned per candidate.
+        //
+        // * v's consumers do not move, so v's new contributions are its
+        //   summaries re-anchored at sender `p_new`.
+        // * A predecessor u's summaries change only on the processors v
+        //   leaves (`p_old`) and joins (`p_new`): exclude v via
+        //   (`min_cnt`, `runner_up`), include v at `s_new`.
+        let machine = self.machine;
+        let mut new_out = std::mem::take(&mut self.contribs_new);
+        new_out.clear();
+        {
+            let cv = dag.comm(v);
+            for sm in &self.contrib_cache[v] {
+                if sm.to == p_new {
+                    continue;
+                }
+                debug_assert!(sm.min_step > 0, "consumer of a moved value in superstep 0");
+                new_out.push(Contribution {
+                    step: sm.min_step - 1,
+                    from: p_new,
+                    to: sm.to,
+                    weight: cv * machine.lambda(p_new, sm.to),
+                });
+            }
         }
-
-        // Collect the affected supersteps before mutating.
-        let mut affected_steps: Vec<usize> = vec![s_old, s_new];
-        affected_steps.extend(old_contribs.iter().map(|c| c.step));
+        for &u in dag.predecessors(v) {
+            let pu = self.proc[u];
+            let cu = dag.comm(u);
+            let mut saw_p_new = false;
+            for sm in &self.contrib_cache[u] {
+                if sm.to == p_new {
+                    saw_p_new = true;
+                }
+                if sm.to == pu {
+                    continue;
+                }
+                let mut eff = sm.min_step;
+                if sm.to == p_old && sm.min_step == s_old {
+                    // v attains the minimum here; excluding it leaves either
+                    // the tied consumers or the runner-up step.
+                    eff = if sm.min_cnt > 1 {
+                        sm.min_step
+                    } else {
+                        sm.runner_up
+                    };
+                }
+                if sm.to == p_new {
+                    eff = eff.min(s_new);
+                }
+                if eff == usize::MAX {
+                    continue; // v was the only consumer on this processor
+                }
+                debug_assert!(eff > 0, "consumer in superstep 0 after a move");
+                new_out.push(Contribution {
+                    step: eff - 1,
+                    from: pu,
+                    to: sm.to,
+                    weight: cu * machine.lambda(pu, sm.to),
+                });
+            }
+            if !saw_p_new && p_new != pu {
+                debug_assert!(s_new > 0, "cross-processor predecessor with s_new == 0");
+                new_out.push(Contribution {
+                    step: s_new - 1,
+                    from: pu,
+                    to: p_new,
+                    weight: cu * machine.lambda(pu, p_new),
+                });
+            }
+        }
+        self.contribs_new = new_out;
 
         // Mutate the assignment.
         self.proc[v] = p_new;
         self.step[v] = s_new;
 
-        let mut new_contribs = Vec::new();
-        for &u in &affected_nodes {
-            self.value_contributions(u, &mut tmp);
-            new_contribs.append(&mut tmp);
+        // Deduplicate the touched supersteps with the generation stamp.
+        self.affected.clear();
+        self.step_stamp += 1;
+        let stamp = self.step_stamp;
+        for s in [s_old, s_new] {
+            if self.step_mark[s] != stamp {
+                self.step_mark[s] = stamp;
+                self.affected.push(s);
+            }
         }
-        affected_steps.extend(new_contribs.iter().map(|c| c.step));
-        affected_steps.sort_unstable();
-        affected_steps.dedup();
-
-        // Cost of the affected supersteps before the array updates.
-        let before: u64 = affected_steps
-            .iter()
-            .map(|&s| self.superstep_body_cost(s))
-            .sum();
-        let old_num_steps = self.num_steps;
-
-        // Update work and superstep occupancy.
-        self.work[s_old][p_old] -= self.dag.work(v);
-        self.work[s_new][p_new] += self.dag.work(v);
-        self.nodes_in_step[s_old] -= 1;
-        self.nodes_in_step[s_new] += 1;
-        // Update communication tallies.
-        for c in &old_contribs {
-            self.send[c.step][c.from] -= c.weight;
-            self.recv[c.step][c.to] -= c.weight;
+        for i in 0..self.contribs_old.len() {
+            let s = self.contribs_old[i].step;
+            if self.step_mark[s] != stamp {
+                self.step_mark[s] = stamp;
+                self.affected.push(s);
+            }
         }
-        for c in &new_contribs {
-            self.send[c.step][c.from] += c.weight;
-            self.recv[c.step][c.to] += c.weight;
-        }
-        // Update the superstep count.
-        self.num_steps = self.num_steps.max(s_new + 1);
-        while self.num_steps > 0 && self.nodes_in_step[self.num_steps - 1] == 0 {
-            self.num_steps -= 1;
+        for i in 0..self.contribs_new.len() {
+            let s = self.contribs_new[i].step;
+            if self.step_mark[s] != stamp {
+                self.step_mark[s] = stamp;
+                self.affected.push(s);
+            }
         }
 
-        let after: u64 = affected_steps
-            .iter()
-            .map(|&s| self.superstep_body_cost(s))
-            .sum();
-        let latency_delta = self.machine.latency() as i64
-            * (self.num_steps as i64 - old_num_steps as i64);
-        after as i64 - before as i64 + latency_delta
+        // Body cost of the affected supersteps before the tally updates
+        // (cached, so this is O(|affected|)); remember the full row caches so
+        // a rejected move rolls back without recomputing any row maximum.
+        self.affected_saved.clear();
+        let mut before = 0u64;
+        for i in 0..self.affected.len() {
+            let s = self.affected[i];
+            let b = self.body[s];
+            self.affected_saved.push((
+                b,
+                self.work_max[s],
+                self.work_max_cnt[s],
+                self.hrel_max[s],
+                self.hrel_max_cnt[s],
+            ));
+            before += b;
+        }
+
+        // Patch the tallies, maintaining the row-max caches.
+        let wv = dag.work(v);
+        self.patch_work(s_old, p_old, self.work[s_old * p + p_old] - wv);
+        self.patch_work(s_new, p_new, self.work[s_new * p + p_new] + wv);
+        for i in 0..self.contribs_old.len() {
+            let c = self.contribs_old[i];
+            self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, false);
+            self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, false);
+        }
+        for i in 0..self.contribs_new.len() {
+            let c = self.contribs_new[i];
+            self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, true);
+            self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, true);
+        }
+
+        // The new superstep count, accounting for the occupancy shift.
+        let occupancy = |state: &Self, s: usize| {
+            state.nodes_in_step[s] + usize::from(s == s_new) - usize::from(s == s_old)
+        };
+        let mut new_num_steps = self.num_steps.max(s_new + 1);
+        while new_num_steps > 0 && occupancy(self, new_num_steps - 1) == 0 {
+            new_num_steps -= 1;
+        }
+
+        // Body cost after, straight from the row-max caches (`O(1)` per step).
+        let g = self.machine.g();
+        let mut after = 0u64;
+        for i in 0..self.affected.len() {
+            let s = self.affected[i];
+            let cost = self.work_max[s] + g * self.hrel_max[s];
+            self.body_sum = self.body_sum - self.body[s] + cost;
+            self.body[s] = cost;
+            after += cost;
+        }
+
+        let latency_delta =
+            self.machine.latency() as i64 * (new_num_steps as i64 - self.num_steps as i64);
+        let delta = after as i64 - before as i64 + latency_delta;
+
+        if commit {
+            // Move v between superstep buckets (swap-remove + push).
+            let pos = self.bucket_pos[v];
+            let bucket = &mut self.step_nodes[s_old];
+            bucket.swap_remove(pos);
+            if pos < bucket.len() {
+                let moved = bucket[pos];
+                self.bucket_pos[moved] = pos;
+            }
+            self.bucket_pos[v] = self.step_nodes[s_new].len();
+            self.step_nodes[s_new].push(v);
+            self.nodes_in_step[s_old] -= 1;
+            self.nodes_in_step[s_new] += 1;
+            self.num_steps = new_num_steps;
+            // The committed move changed v's position: the cached
+            // contributions of v (sender moved) and of its predecessors
+            // (consumer moved) are stale.
+            self.contrib_valid[v] = false;
+            for &u in dag.predecessors(v) {
+                self.contrib_valid[u] = false;
+            }
+            self.prepared_node = None;
+            return delta;
+        }
+
+        // Roll everything back.  Cells are restored directly (the inverse
+        // arithmetic is exact) and the row caches come back from the saved
+        // snapshots, so no row is ever rescanned on rejection.
+        self.proc[v] = p_old;
+        self.step[v] = s_old;
+        self.work[s_old * p + p_old] += wv;
+        self.work[s_new * p + p_new] -= wv;
+        for i in 0..self.contribs_old.len() {
+            let c = self.contribs_old[i];
+            let from = c.step * p + c.from;
+            let to = c.step * p + c.to;
+            self.send[from] += c.weight;
+            self.recv[to] += c.weight;
+            self.hrel[from] = self.send[from].max(self.recv[from]);
+            self.hrel[to] = self.send[to].max(self.recv[to]);
+        }
+        for i in 0..self.contribs_new.len() {
+            let c = self.contribs_new[i];
+            let from = c.step * p + c.from;
+            let to = c.step * p + c.to;
+            self.send[from] -= c.weight;
+            self.recv[to] -= c.weight;
+            self.hrel[from] = self.send[from].max(self.recv[from]);
+            self.hrel[to] = self.send[to].max(self.recv[to]);
+        }
+        for i in 0..self.affected.len() {
+            let s = self.affected[i];
+            let (body, wm, wc, hm, hc) = self.affected_saved[i];
+            self.body_sum = self.body_sum - self.body[s] + body;
+            self.body[s] = body;
+            self.work_max[s] = wm;
+            self.work_max_cnt[s] = wc;
+            self.hrel_max[s] = hm;
+            self.hrel_max_cnt[s] = hc;
+        }
+        delta
     }
 }
 
@@ -276,33 +1036,42 @@ mod tests {
     fn state_cost_matches_schedule_cost() {
         let (dag, machine, assignment) = sample();
         let sched = BspSchedule::from_assignment_lazy(&dag, assignment.clone());
-        let state = HcState::new(&dag, &machine, assignment);
+        let state = HcState::new(&dag, &machine, assignment).unwrap();
         assert_eq!(state.total_cost(), sched.cost(&dag, &machine));
     }
 
     #[test]
     fn apply_move_delta_matches_recomputed_cost() {
         let (dag, machine, assignment) = sample();
-        let mut state = HcState::new(&dag, &machine, assignment);
+        let mut state = HcState::new(&dag, &machine, assignment).unwrap();
         let before = state.total_cost();
         // Valid move: node 4 (preds {2} at step 1 proc 0, succs {5} at step 3)
         // can go to processor 1 in superstep 2.
         assert!(state.move_is_valid(4, 1, 2));
         let delta = state.apply_move(4, 1, 2);
-        let assignment_after = Assignment {
-            proc: state.proc.clone(),
-            superstep: state.step.clone(),
-        };
-        let recomputed = BspSchedule::from_assignment_lazy(&dag, assignment_after)
-            .cost(&dag, &machine);
+        let recomputed =
+            BspSchedule::from_assignment_lazy(&dag, state.assignment()).cost(&dag, &machine);
         assert_eq!(state.total_cost(), recomputed);
         assert_eq!(before as i64 + delta, recomputed as i64);
     }
 
     #[test]
+    fn try_move_matches_apply_move_and_leaves_state_unchanged() {
+        let (dag, machine, assignment) = sample();
+        let mut state = HcState::new(&dag, &machine, assignment.clone()).unwrap();
+        let cost_before = state.total_cost();
+        let assignment_before = state.assignment();
+        let tried = state.try_move(4, 1, 2);
+        assert_eq!(state.total_cost(), cost_before);
+        assert_eq!(state.assignment(), assignment_before);
+        let applied = state.apply_move(4, 1, 2);
+        assert_eq!(tried, applied);
+    }
+
+    #[test]
     fn apply_move_is_reversible() {
         let (dag, machine, assignment) = sample();
-        let mut state = HcState::new(&dag, &machine, assignment);
+        let mut state = HcState::new(&dag, &machine, assignment).unwrap();
         let before = state.total_cost();
         let d1 = state.apply_move(4, 1, 2);
         let d2 = state.apply_move(4, 0, 2);
@@ -317,7 +1086,7 @@ mod tests {
     fn move_validity_respects_precedence() {
         let (dag, _machine, assignment) = sample();
         let machine = Machine::uniform(4, 1, 1);
-        let state = HcState::new(&dag, &machine, assignment);
+        let state = HcState::new(&dag, &machine, assignment).unwrap();
         // Node 2's predecessors are in superstep 0 on processors 0 and 1; it
         // cannot move into superstep 0 on processor 2 (pred on other proc).
         assert!(!state.move_is_valid(2, 2, 0));
@@ -337,7 +1106,7 @@ mod tests {
             proc: vec![0, 1],
             superstep: vec![0, 0],
         };
-        let mut state = HcState::new(&dag, &machine, assignment);
+        let mut state = HcState::new(&dag, &machine, assignment).unwrap();
         assert_eq!(state.total_cost(), 5 + 7);
         // Move node 1 into a brand-new superstep: cost becomes 5 + 5 + 2*7.
         let delta = state.apply_move(1, 1, 1);
@@ -348,5 +1117,109 @@ mod tests {
         let back = state.apply_move(1, 1, 0);
         assert_eq!(back, -delta);
         assert_eq!(state.num_supersteps(), 1);
+    }
+
+    #[test]
+    fn superstep_membership_tracks_moves() {
+        let (dag, machine, assignment) = sample();
+        let mut state = HcState::new(&dag, &machine, assignment).unwrap();
+        let mut step2: Vec<usize> = state.nodes_in_superstep(2).to_vec();
+        step2.sort_unstable();
+        assert_eq!(step2, vec![3, 4]);
+        state.apply_move(4, 1, 3);
+        assert_eq!(state.nodes_in_superstep(2), &[3]);
+        let mut step3: Vec<usize> = state.nodes_in_superstep(3).to_vec();
+        step3.sort_unstable();
+        assert_eq!(step3, vec![4, 5]);
+    }
+
+    #[test]
+    fn move_window_agrees_with_move_is_valid_everywhere() {
+        let (dag, machine, assignment) = sample();
+        let state = HcState::new(&dag, &machine, assignment).unwrap();
+        for v in 0..dag.n() {
+            let window = state.move_window(v);
+            for s_new in 0..=state.num_supersteps() + 1 {
+                for p_new in 0..machine.p() {
+                    assert_eq!(
+                        window.allows(p_new, s_new),
+                        state.move_is_valid(v, p_new, s_new),
+                        "disagreement at v={v} p={p_new} s={s_new}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_cross_processor_successor_in_superstep_zero() {
+        // Edge (0, 1) with both nodes in superstep 0 on different processors:
+        // the lazy schedule cannot deliver the value (this used to underflow
+        // `s - 1` instead of erroring).
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 1],
+            superstep: vec![0, 0],
+        };
+        let err = HcState::new(&dag, &machine, assignment).unwrap_err();
+        assert_eq!(
+            err,
+            ValidityError::MissingCommunication { pred: 0, node: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_same_processor_precedence_violation() {
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let assignment = Assignment {
+            proc: vec![0, 0],
+            superstep: vec![1, 0],
+        };
+        let err = HcState::new(&dag, &machine, assignment).unwrap_err();
+        assert_eq!(
+            err,
+            ValidityError::PrecedenceSameProcessor { pred: 0, node: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_processors_and_length_mismatch() {
+        let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let err = HcState::new(
+            &dag,
+            &machine,
+            Assignment {
+                proc: vec![0, 5],
+                superstep: vec![0, 1],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ValidityError::ProcessorOutOfRange {
+                node: 1,
+                proc: 5,
+                p: 2
+            }
+        );
+        let err = HcState::new(
+            &dag,
+            &machine,
+            Assignment {
+                proc: vec![0],
+                superstep: vec![0],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ValidityError::AssignmentLengthMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 }

@@ -8,7 +8,7 @@
 
 use super::IlpConfig;
 use bsp_model::{BspSchedule, CommSchedule, CommStep, Dag, Machine};
-use micro_ilp::{Model, MipConfig, VarId};
+use micro_ilp::{MipConfig, Model, VarId};
 
 /// Optimizes the communication schedule of `schedule` with an ILP; keeps the
 /// original schedule whenever the ILP does not find something strictly better.
@@ -112,7 +112,10 @@ pub fn ilp_cs_improve(
         recv[s][r.target] += w;
     }
     for s in 0..num_steps {
-        let hmax = (0..p).map(|q| send[s][q].max(recv[s][q])).max().unwrap_or(0);
+        let hmax = (0..p)
+            .map(|q| send[s][q].max(recv[s][q]))
+            .max()
+            .unwrap_or(0);
         warm[h[s].index()] = hmax as f64;
     }
 
@@ -165,13 +168,7 @@ mod tests {
         // superstep 2.  The lazy schedule uses phase 1 for the second transfer
         // and pays two h-relations; the ILP moves it into phase 0 where it
         // overlaps with the opposite-direction transfer.
-        let dag = Dag::from_edges(
-            4,
-            &[(0, 2), (1, 3)],
-            vec![1; 4],
-            vec![10, 10, 1, 1],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(4, &[(0, 2), (1, 3)], vec![1; 4], vec![10, 10, 1, 1]).unwrap();
         let machine = Machine::uniform(2, 2, 1);
         let assignment = Assignment {
             proc: vec![0, 1, 1, 0],
@@ -181,7 +178,10 @@ mod tests {
         let before = sched.cost(&dag, &machine);
         let improved = ilp_cs_improve(&dag, &machine, &mut sched, &IlpConfig::fast());
         assert!(sched.validate(&dag, &machine).is_ok());
-        assert!(improved, "ILPcs should overlap the two transfers in phase 0");
+        assert!(
+            improved,
+            "ILPcs should overlap the two transfers in phase 0"
+        );
         assert!(sched.cost(&dag, &machine) < before);
         assert!(sched.comm.steps().iter().all(|s| s.step == 0));
     }
@@ -191,18 +191,17 @@ mod tests {
         let dag = Dag::from_edges(2, &[(0, 1)], vec![1, 1], vec![1, 1]).unwrap();
         let machine = Machine::uniform(2, 1, 1);
         let mut sched = BspSchedule::trivial(&dag);
-        assert!(!ilp_cs_improve(&dag, &machine, &mut sched, &IlpConfig::fast()));
+        assert!(!ilp_cs_improve(
+            &dag,
+            &machine,
+            &mut sched,
+            &IlpConfig::fast()
+        ));
     }
 
     #[test]
     fn never_worsens_the_schedule() {
-        let dag = Dag::from_edges(
-            4,
-            &[(0, 2), (1, 3)],
-            vec![1; 4],
-            vec![5, 5, 1, 1],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(4, &[(0, 2), (1, 3)], vec![1; 4], vec![5, 5, 1, 1]).unwrap();
         let machine = Machine::numa_binary_tree(4, 3, 2, 2);
         let assignment = Assignment {
             proc: vec![0, 1, 2, 3],

@@ -14,7 +14,7 @@
 
 use super::IlpConfig;
 use bsp_model::{Assignment, BspSchedule, CommSchedule, CommStep, Dag, Machine};
-use micro_ilp::{Model, MipConfig, VarId};
+use micro_ilp::{MipConfig, Model, VarId};
 
 /// Estimated number of ILP variables of the full formulation with `s_max`
 /// supersteps (the paper uses this estimate to decide whether `ILPfull` is
@@ -26,9 +26,9 @@ pub fn estimate_full_variables(dag: &Dag, machine: &Machine, s_max: usize) -> us
 }
 
 struct FullVars {
-    comp: Vec<Vec<Vec<VarId>>>,          // [v][p][s]
+    comp: Vec<Vec<Vec<VarId>>>,              // [v][p][s]
     comm: Vec<Vec<Vec<Vec<Option<VarId>>>>>, // [v][p1][p2][s], None on the diagonal
-    used: Vec<VarId>,                    // [s]
+    used: Vec<VarId>,                        // [s]
 }
 
 fn build_model(dag: &Dag, machine: &Machine, s_max: usize) -> (Model, FullVars) {
@@ -60,10 +60,10 @@ fn build_model(dag: &Dag, machine: &Machine, s_max: usize) -> (Model, FullVars) 
                                     if p1 == p2 {
                                         None
                                     } else {
-                                        Some(model.add_binary(
-                                            format!("comm_{v}_{p1}_{p2}_{s}"),
-                                            0.0,
-                                        ))
+                                        Some(
+                                            model
+                                                .add_binary(format!("comm_{v}_{p1}_{p2}_{s}"), 0.0),
+                                        )
                                     }
                                 })
                                 .collect()
@@ -193,18 +193,15 @@ fn build_model(dag: &Dag, machine: &Machine, s_max: usize) -> (Model, FullVars) 
         }
         model.add_ge(format!("used_{s}"), terms, 0.0);
         if s + 1 < s_max {
-            model.add_ge(format!("used_mono_{s}"), vec![(used[s], 1.0), (used[s + 1], -1.0)], 0.0);
+            model.add_ge(
+                format!("used_mono_{s}"),
+                vec![(used[s], 1.0), (used[s + 1], -1.0)],
+                0.0,
+            );
         }
     }
 
-    (
-        model,
-        FullVars {
-            comp,
-            comm,
-            used,
-        },
-    )
+    (model, FullVars { comp, comm, used })
 }
 
 /// Builds a warm-start vector for the full model from an existing schedule.
@@ -248,7 +245,11 @@ fn warm_start_vector(
         };
         values[w_base + s] = w;
         values[h_base + s] = h;
-        values[vars.used[s].index()] = if s < schedule.num_supersteps() { 1.0 } else { 0.0 };
+        values[vars.used[s].index()] = if s < schedule.num_supersteps() {
+            1.0
+        } else {
+            0.0
+        };
     }
     Some(values)
 }
@@ -286,7 +287,12 @@ fn extract_schedule(
                 for s in 0..s_max {
                     if let Some(var) = vars.comm[v][p1][p2][s] {
                         if values[var.index()] > 0.5 {
-                            steps.push(CommStep { node: v, from: p1, to: p2, step: s });
+                            steps.push(CommStep {
+                                node: v,
+                                from: p1,
+                                to: p2,
+                                step: s,
+                            });
                         }
                     }
                 }
@@ -323,8 +329,7 @@ pub fn ilp_full_schedule(
         return None;
     }
     let (model, vars) = build_model(dag, machine, s_max);
-    let ws_vec = warm_start
-        .and_then(|w| warm_start_vector(&model, &vars, dag, machine, s_max, w));
+    let ws_vec = warm_start.and_then(|w| warm_start_vector(&model, &vars, dag, machine, s_max, w));
     let result = micro_ilp::solve_mip(
         &model,
         &MipConfig::with_time_limit(config.time_limit),
@@ -355,7 +360,10 @@ mod tests {
     fn variable_estimate_matches_formula() {
         let dag = Dag::from_edge_list_unit_weights(3, &[(0, 1), (1, 2)]).unwrap();
         let machine = Machine::uniform(2, 1, 1);
-        assert_eq!(estimate_full_variables(&dag, &machine, 3), 3 * 2 * 3 + 3 * 4 * 3 + 9);
+        assert_eq!(
+            estimate_full_variables(&dag, &machine, 3),
+            3 * 2 * 3 + 3 * 4 * 3 + 9
+        );
     }
 
     #[test]

@@ -19,17 +19,9 @@ use crate::Scheduler;
 use bsp_model::{Assignment, BspSchedule, Dag, Machine};
 
 /// The `ILPinit` initialization scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct IlpInitScheduler {
     pub config: IlpConfig,
-}
-
-impl Default for IlpInitScheduler {
-    fn default() -> Self {
-        IlpInitScheduler {
-            config: IlpConfig::default(),
-        }
-    }
 }
 
 impl IlpInitScheduler {
@@ -72,8 +64,7 @@ impl Scheduler for IlpInitScheduler {
                 superstep[v] = k;
             }
         }
-        let mut sched =
-            BspSchedule::from_assignment_lazy(dag, Assignment { proc, superstep });
+        let mut sched = BspSchedule::from_assignment_lazy(dag, Assignment { proc, superstep });
         debug_assert!(sched.validate(dag, machine).is_ok());
 
         // Reorganize each batch with the window ILP, front to back.  Because
@@ -96,7 +87,11 @@ mod tests {
 
     #[test]
     fn produces_valid_schedules() {
-        let dag = spmv(&SpmvConfig { n: 8, density: 0.3, seed: 6 });
+        let dag = spmv(&SpmvConfig {
+            n: 8,
+            density: 0.3,
+            seed: 6,
+        });
         let machine = Machine::uniform(2, 1, 3);
         let sched = IlpInitScheduler::new(IlpConfig::fast()).schedule(&dag, &machine);
         assert!(sched.validate(&dag, &machine).is_ok());
@@ -121,7 +116,11 @@ mod tests {
 
     #[test]
     fn batch_sizes_scale_with_processor_count() {
-        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 7 });
+        let dag = spmv(&SpmvConfig {
+            n: 12,
+            density: 0.25,
+            seed: 7,
+        });
         let small = IlpInitScheduler::new(IlpConfig::fast());
         let few = small.batches(&dag, &Machine::uniform(2, 1, 1));
         let many = small.batches(&dag, &Machine::uniform(8, 1, 1));

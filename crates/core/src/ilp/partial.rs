@@ -23,7 +23,7 @@
 
 use super::IlpConfig;
 use bsp_model::{BspSchedule, Dag, Machine};
-use micro_ilp::{Model, MipConfig, VarId};
+use micro_ilp::{MipConfig, Model, VarId};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -161,10 +161,10 @@ pub fn improve_window(
                                     if p1 == p2 {
                                         None
                                     } else {
-                                        Some(model.add_binary(
-                                            format!("comm_{v}_{p1}_{p2}_{s}"),
-                                            0.0,
-                                        ))
+                                        Some(
+                                            model
+                                                .add_binary(format!("comm_{v}_{p1}_{p2}_{s}"), 0.0),
+                                        )
                                     }
                                 })
                                 .collect()
@@ -180,10 +180,7 @@ pub fn improve_window(
         for &u in &outside_preds {
             for q in 0..p {
                 if !available[&u].contains(&q) {
-                    commpre.insert(
-                        (u, q),
-                        model.add_binary(format!("pre_{u}_{q}"), 0.0),
-                    );
+                    commpre.insert((u, q), model.add_binary(format!("pre_{u}_{q}"), 0.0));
                 }
             }
         }
@@ -196,10 +193,16 @@ pub fn improve_window(
     // right before the window.
     let mut h_cost: HashMap<usize, VarId> = HashMap::new();
     for &s in &window {
-        h_cost.insert(s, model.add_continuous(format!("H_{s}"), 0.0, f64::INFINITY, g));
+        h_cost.insert(
+            s,
+            model.add_continuous(format!("H_{s}"), 0.0, f64::INFINITY, g),
+        );
     }
     if let Some(pre) = pre_phase {
-        h_cost.insert(pre, model.add_continuous(format!("H_{pre}"), 0.0, f64::INFINITY, g));
+        h_cost.insert(
+            pre,
+            model.add_continuous(format!("H_{pre}"), 0.0, f64::INFINITY, g),
+        );
     }
     let used: Vec<VarId> = window
         .iter()
@@ -252,10 +255,8 @@ pub fn improve_window(
                 if available[&u].contains(&q) {
                     continue;
                 }
-                let mut terms: Vec<(VarId, f64)> = window
-                    .iter()
-                    .map(|&s| (comp[i][q][widx(s)], 1.0))
-                    .collect();
+                let mut terms: Vec<(VarId, f64)> =
+                    window.iter().map(|&s| (comp[i][q][widx(s)], 1.0)).collect();
                 match commpre.get(&(u, q)) {
                     Some(&var) => {
                         terms.push((var, -1.0));
@@ -307,10 +308,8 @@ pub fn improve_window(
             }
         }
         for q in targets {
-            let mut terms: Vec<(VarId, f64)> = window
-                .iter()
-                .map(|&s| (comp[i][q][widx(s)], 1.0))
-                .collect();
+            let mut terms: Vec<(VarId, f64)> =
+                window.iter().map(|&s| (comp[i][q][widx(s)], 1.0)).collect();
             for &s in &window {
                 for p1 in 0..p {
                     if let Some(var) = comm[i][p1][q][widx(s)] {
@@ -514,12 +513,20 @@ pub fn improve_window(
             warm[hvar.index()] = hmax;
         }
     }
-    let warm = if model.is_feasible(&warm, 1e-5) { Some(warm) } else { None };
+    let warm = if model.is_feasible(&warm, 1e-5) {
+        Some(warm)
+    } else {
+        None
+    };
 
     // A window is normally sized by `window_variable_budget`, but a single
     // superstep with many nodes can still exceed it; the dense simplex cannot
     // take such models, so skip the window rather than blow up memory.
-    if model.num_vars() > config.full_max_variables.max(4 * config.window_variable_budget) {
+    if model.num_vars()
+        > config
+            .full_max_variables
+            .max(4 * config.window_variable_budget)
+    {
         return false;
     }
 
@@ -598,7 +605,11 @@ mod tests {
 
     #[test]
     fn windows_cover_all_supersteps_without_overlap() {
-        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 2 });
+        let dag = spmv(&SpmvConfig {
+            n: 12,
+            density: 0.25,
+            seed: 2,
+        });
         let machine = Machine::uniform(4, 1, 5);
         let sched = SourceScheduler.schedule(&dag, &machine);
         let windows = build_windows(&dag, &machine, &sched, 400);
@@ -614,7 +625,11 @@ mod tests {
 
     #[test]
     fn partial_ilp_never_worsens_the_schedule() {
-        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 4 });
+        let dag = spmv(&SpmvConfig {
+            n: 10,
+            density: 0.3,
+            seed: 4,
+        });
         let machine = Machine::uniform(2, 3, 5);
         let mut sched = SourceScheduler.schedule(&dag, &machine);
         let before = sched.cost(&dag, &machine);
@@ -655,13 +670,8 @@ mod tests {
     fn respects_cross_window_dependencies() {
         // A chain spanning three supersteps across two processors; improving
         // the middle window must not break validity.
-        let dag = Dag::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (3, 4)],
-            vec![2; 5],
-            vec![3; 5],
-        )
-        .unwrap();
+        let dag =
+            Dag::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], vec![2; 5], vec![3; 5]).unwrap();
         let machine = Machine::uniform(2, 2, 4);
         let assignment = Assignment {
             proc: vec![0, 1, 0, 1, 0],

@@ -30,7 +30,10 @@ impl BspgScheduler {
         let mut proc = vec![usize::MAX; n];
         let mut superstep_of = vec![usize::MAX; n];
         if n == 0 {
-            return Assignment { proc: vec![], superstep: vec![] };
+            return Assignment {
+                proc: vec![],
+                superstep: vec![],
+            };
         }
 
         let mut unfinished_preds: Vec<usize> = (0..n).map(|v| dag.in_degree(v)).collect();
@@ -86,9 +89,10 @@ impl BspgScheduler {
                     unfinished_preds[u] -= 1;
                     if unfinished_preds[u] == 0 {
                         ready.insert(u);
-                        let assignable_here = dag.predecessors(u).iter().all(|&u0| {
-                            proc[u0] == proc[v] || superstep_of[u0] < superstep
-                        });
+                        let assignable_here = dag
+                            .predecessors(u)
+                            .iter()
+                            .all(|&u0| proc[u0] == proc[v] || superstep_of[u0] < superstep);
                         if assignable_here {
                             ready_proc[proc[v]].insert(u);
                         }
@@ -99,9 +103,8 @@ impl BspgScheduler {
             if !end_step {
                 loop {
                     // A free processor that can still receive a node.
-                    let candidate = (0..p).find(|&q| {
-                        free[q] && (!ready_proc[q].is_empty() || !ready_all.is_empty())
-                    });
+                    let candidate = (0..p)
+                        .find(|&q| free[q] && (!ready_proc[q].is_empty() || !ready_all.is_empty()));
                     let Some(q) = candidate else { break };
                     let pool: Vec<usize> = if !ready_proc[q].is_empty() {
                         ready_proc[q].iter().copied().collect()
@@ -219,13 +222,7 @@ mod tests {
         // once half the processors are starved) gives one superstep per node,
         // but the high communication weights must keep every node on the same
         // processor, so no communication is ever scheduled.
-        let dag = Dag::from_edges(
-            4,
-            &[(0, 1), (1, 2), (2, 3)],
-            vec![1; 4],
-            vec![10; 4],
-        )
-        .unwrap();
+        let dag = Dag::from_edges(4, &[(0, 1), (1, 2), (2, 3)], vec![1; 4], vec![10; 4]).unwrap();
         let machine = Machine::uniform(4, 3, 5);
         let sched = BspgScheduler.schedule(&dag, &machine);
         assert!(sched.validate(&dag, &machine).is_ok());

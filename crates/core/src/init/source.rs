@@ -23,7 +23,10 @@ impl SourceScheduler {
         let mut proc = vec![usize::MAX; n];
         let mut superstep_of = vec![usize::MAX; n];
         if n == 0 {
-            return Assignment { proc: vec![], superstep: vec![] };
+            return Assignment {
+                proc: vec![],
+                superstep: vec![],
+            };
         }
 
         // Remaining in-degree in the "shrinking" DAG (assigned nodes removed).
@@ -42,7 +45,10 @@ impl SourceScheduler {
             let sources: Vec<usize> = (0..n)
                 .filter(|&v| proc[v] == usize::MAX && remaining_indeg[v] == 0)
                 .collect();
-            debug_assert!(!sources.is_empty(), "no sources but unassigned nodes remain");
+            debug_assert!(
+                !sources.is_empty(),
+                "no sources but unassigned nodes remain"
+            );
             let mut next_proc = 0usize;
 
             if superstep == 0 {
@@ -218,8 +224,7 @@ mod tests {
     #[test]
     fn successors_with_local_predecessors_join_the_superstep() {
         // Chain 0 -> 1 -> 2: everything can be absorbed into superstep 0.
-        let dag =
-            Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1; 3], vec![1; 3]).unwrap();
+        let dag = Dag::from_edges(3, &[(0, 1), (1, 2)], vec![1; 3], vec![1; 3]).unwrap();
         let machine = Machine::uniform(2, 1, 5);
         let sched = SourceScheduler.schedule(&dag, &machine);
         assert!(sched.validate(&dag, &machine).is_ok());

@@ -37,18 +37,16 @@ pub trait Scheduler {
 }
 
 /// Convenience: runs a scheduler and returns `(cost, schedule)`.
-pub fn evaluate(
-    scheduler: &dyn Scheduler,
-    dag: &Dag,
-    machine: &Machine,
-) -> (u64, BspSchedule) {
+pub fn evaluate(scheduler: &dyn Scheduler, dag: &Dag, machine: &Machine) -> (u64, BspSchedule) {
     let sched = scheduler.schedule(dag, machine);
     let cost = sched.cost(dag, machine);
     (cost, sched)
 }
 
-pub use baselines::{BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler};
-pub use hill_climb::{HillClimbConfig, hc_improve, hccs_improve};
+pub use baselines::{
+    BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler,
+};
+pub use hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 pub use init::{BspgScheduler, SourceScheduler};
 pub use multilevel::{MultilevelConfig, MultilevelScheduler};
 pub use pipeline::{Pipeline, PipelineConfig};

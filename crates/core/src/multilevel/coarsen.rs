@@ -189,7 +189,13 @@ impl QuotientGraph {
     fn topological_rank(&self) -> Vec<usize> {
         let n = self.active.len();
         let mut indeg: Vec<usize> = (0..n)
-            .map(|v| if self.active[v] { self.preds[v].len() } else { 0 })
+            .map(|v| {
+                if self.active[v] {
+                    self.preds[v].len()
+                } else {
+                    0
+                }
+            })
             .collect();
         let mut queue: Vec<NodeId> = (0..n)
             .filter(|&v| self.active[v] && indeg[v] == 0)
@@ -224,8 +230,7 @@ impl QuotientGraph {
             if !self.active[u] || self.succs[u].is_empty() {
                 continue;
             }
-            let v = *self
-                .succs[u]
+            let v = *self.succs[u]
                 .iter()
                 .min_by_key(|&&w| rank[w])
                 .expect("non-empty successor set");
@@ -321,7 +326,11 @@ mod tests {
 
     #[test]
     fn coarsening_reaches_the_target_and_preserves_weight_totals() {
-        let dag = spmv(&SpmvConfig { n: 20, density: 0.25, seed: 1 });
+        let dag = spmv(&SpmvConfig {
+            n: 20,
+            density: 0.25,
+            seed: 1,
+        });
         let target = dag.n() * 3 / 10;
         let clustering = coarsen(&dag, target);
         assert!(clustering.num_clusters() <= target.max(1) + 1);
@@ -342,7 +351,12 @@ mod tests {
 
     #[test]
     fn every_intermediate_quotient_is_acyclic() {
-        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 2, seed: 7 });
+        let dag = cg(&IterConfig {
+            n: 8,
+            density: 0.3,
+            iterations: 2,
+            seed: 7,
+        });
         let mut clustering = coarsen(&dag, dag.n() / 5);
         // Walk the whole uncoarsening path; quotient_dag panics on a cycle.
         loop {
@@ -357,7 +371,11 @@ mod tests {
 
     #[test]
     fn uncontracting_everything_restores_the_identity_clustering() {
-        let dag = spmv(&SpmvConfig { n: 12, density: 0.3, seed: 3 });
+        let dag = spmv(&SpmvConfig {
+            n: 12,
+            density: 0.3,
+            seed: 3,
+        });
         let mut clustering = coarsen(&dag, 3);
         while clustering.uncontract_one() {}
         for v in 0..dag.n() {

@@ -183,8 +183,8 @@ impl MultilevelScheduler {
         base_pipeline: &Pipeline,
         ratio: f64,
     ) -> (BspSchedule, usize) {
-        let target = ((dag.n() as f64 * ratio).round() as usize)
-            .clamp(2, dag.n().saturating_sub(1).max(2));
+        let target =
+            ((dag.n() as f64 * ratio).round() as usize).clamp(2, dag.n().saturating_sub(1).max(2));
         let mut clustering = coarsen(dag, target);
         let coarse_nodes = clustering.num_clusters();
 
@@ -261,12 +261,7 @@ impl MultilevelScheduler {
     /// The communication-schedule optimization that Figure 4 runs after
     /// uncoarsening: `HCcs` followed by `ILPcs` (when the base pipeline has
     /// its ILP stage enabled).
-    fn final_comm_optimization(
-        &self,
-        dag: &Dag,
-        machine: &Machine,
-        schedule: &mut BspSchedule,
-    ) {
+    fn final_comm_optimization(&self, dag: &Dag, machine: &Machine, schedule: &mut BspSchedule) {
         let hccs_cfg = HillClimbConfig {
             time_limit: self.config.final_comm_time_limit,
             max_steps: usize::MAX,
@@ -300,7 +295,12 @@ mod tests {
 
     #[test]
     fn multilevel_returns_valid_schedules() {
-        let dag = cg(&IterConfig { n: 12, density: 0.25, iterations: 2, seed: 5 });
+        let dag = cg(&IterConfig {
+            n: 12,
+            density: 0.25,
+            iterations: 2,
+            seed: 5,
+        });
         for machine in [
             Machine::uniform(4, 3, 5),
             Machine::numa_binary_tree(8, 1, 5, 4),
@@ -313,7 +313,11 @@ mod tests {
 
     #[test]
     fn small_dags_fall_back_to_the_base_pipeline() {
-        let dag = spmv(&SpmvConfig { n: 4, density: 0.4, seed: 2 });
+        let dag = spmv(&SpmvConfig {
+            n: 4,
+            density: 0.4,
+            seed: 2,
+        });
         let machine = Machine::uniform(4, 1, 5);
         let report = fast_ml().run_report(&dag, &machine);
         assert!(report.used_base_only);
@@ -323,17 +327,17 @@ mod tests {
 
     #[test]
     fn multilevel_tries_every_configured_ratio_and_keeps_the_best() {
-        let dag = cg(&IterConfig { n: 10, density: 0.3, iterations: 2, seed: 9 });
+        let dag = cg(&IterConfig {
+            n: 10,
+            density: 0.3,
+            iterations: 2,
+            seed: 9,
+        });
         let machine = Machine::numa_binary_tree(8, 1, 5, 4);
         let report = fast_ml().run_report(&dag, &machine);
         assert!(!report.used_base_only);
         assert_eq!(report.ratio_outcomes.len(), 2);
-        let min_ratio_cost = report
-            .ratio_outcomes
-            .iter()
-            .map(|o| o.cost)
-            .min()
-            .unwrap();
+        let min_ratio_cost = report.ratio_outcomes.iter().map(|o| o.cost).min().unwrap();
         assert_eq!(report.final_cost, min_ratio_cost);
         for outcome in &report.ratio_outcomes {
             assert!(outcome.coarse_nodes < dag.n());
@@ -349,7 +353,12 @@ mod tests {
         // cases, so here we only require it to stay within a small factor of
         // the trivial cost — far below what a NUMA-oblivious spread-out
         // schedule would pay.
-        let dag = cg(&IterConfig { n: 14, density: 0.3, iterations: 3, seed: 11 });
+        let dag = cg(&IterConfig {
+            n: 14,
+            density: 0.3,
+            iterations: 3,
+            seed: 11,
+        });
         let machine = Machine::numa_binary_tree(16, 1, 5, 4);
         let ml_cost = fast_ml().run(&dag, &machine).cost(&dag, &machine);
         let trivial_cost = TrivialScheduler
@@ -363,7 +372,11 @@ mod tests {
 
     #[test]
     fn single_ratio_configuration_runs_one_outcome() {
-        let dag = spmv(&SpmvConfig { n: 16, density: 0.25, seed: 4 });
+        let dag = spmv(&SpmvConfig {
+            n: 16,
+            density: 0.25,
+            seed: 4,
+        });
         let machine = Machine::uniform(4, 5, 5);
         let ml = MultilevelScheduler::new(MultilevelConfig::fast().with_single_ratio(0.3));
         let report = ml.run_report(&dag, &machine);

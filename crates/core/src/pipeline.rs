@@ -13,7 +13,9 @@
 
 use crate::baselines::TrivialScheduler;
 use crate::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
-use crate::ilp::{ilp_cs_improve, ilp_full_schedule, ilp_part_improve, IlpConfig, IlpInitScheduler};
+use crate::ilp::{
+    ilp_cs_improve, ilp_full_schedule, ilp_part_improve, IlpConfig, IlpInitScheduler,
+};
 use crate::init::{BspgScheduler, SourceScheduler};
 use crate::Scheduler;
 use bsp_model::{BspSchedule, Dag, Machine};
@@ -235,8 +237,13 @@ impl Pipeline {
                     schedule = full;
                 }
             } else {
-                ilp_part_windows_improved =
-                    ilp_part_improve(dag, machine, &mut schedule, &self.config.ilp, Some(deadline));
+                ilp_part_windows_improved = ilp_part_improve(
+                    dag,
+                    machine,
+                    &mut schedule,
+                    &self.config.ilp,
+                    Some(deadline),
+                );
             }
             ilp_part_cost = schedule.cost(dag, machine);
             if self.config.use_ilp_cs {
@@ -333,7 +340,11 @@ mod tests {
 
     #[test]
     fn pipeline_returns_valid_schedules() {
-        let dag = spmv(&SpmvConfig { n: 20, density: 0.2, seed: 11 });
+        let dag = spmv(&SpmvConfig {
+            n: 20,
+            density: 0.2,
+            seed: 11,
+        });
         for machine in [
             Machine::uniform(4, 3, 5),
             Machine::uniform(8, 1, 5),
@@ -347,7 +358,12 @@ mod tests {
 
     #[test]
     fn pipeline_stage_costs_are_monotone() {
-        let dag = cg(&IterConfig { n: 10, density: 0.3, iterations: 2, seed: 4 });
+        let dag = cg(&IterConfig {
+            n: 10,
+            density: 0.3,
+            iterations: 2,
+            seed: 4,
+        });
         let machine = Machine::uniform(4, 3, 5);
         let report = fast_pipeline().run_report(&dag, &machine);
         assert!(report.local_search_cost <= report.init_cost);
@@ -360,7 +376,11 @@ mod tests {
 
     #[test]
     fn pipeline_beats_or_matches_the_baselines_on_small_instances() {
-        let dag = spmv(&SpmvConfig { n: 24, density: 0.25, seed: 9 });
+        let dag = spmv(&SpmvConfig {
+            n: 24,
+            density: 0.25,
+            seed: 9,
+        });
         let machine = Machine::uniform(4, 5, 5);
         let ours = fast_pipeline().run(&dag, &machine).cost(&dag, &machine);
         let cilk = CilkScheduler::default()
@@ -375,7 +395,11 @@ mod tests {
 
     #[test]
     fn ilp_init_branch_only_runs_on_few_processors() {
-        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 2 });
+        let dag = spmv(&SpmvConfig {
+            n: 10,
+            density: 0.3,
+            seed: 2,
+        });
         let p4 = fast_pipeline().run_report(&dag, &Machine::uniform(4, 1, 5));
         assert!(p4.branches.iter().any(|b| b.init_name == "ILPinit"));
         let p8 = fast_pipeline().run_report(&dag, &Machine::uniform(8, 1, 5));
@@ -384,7 +408,12 @@ mod tests {
 
     #[test]
     fn heuristics_only_configuration_skips_the_ilp_stage() {
-        let dag = cg(&IterConfig { n: 8, density: 0.3, iterations: 1, seed: 6 });
+        let dag = cg(&IterConfig {
+            n: 8,
+            density: 0.3,
+            iterations: 1,
+            seed: 6,
+        });
         let machine = Machine::uniform(4, 1, 5);
         let mut config = PipelineConfig::heuristics_only();
         config.hill_climb.time_limit = Duration::from_millis(100);
@@ -406,7 +435,11 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_branch_execution_agree() {
-        let dag = spmv(&SpmvConfig { n: 14, density: 0.25, seed: 13 });
+        let dag = spmv(&SpmvConfig {
+            n: 14,
+            density: 0.25,
+            seed: 13,
+        });
         let machine = Machine::uniform(4, 3, 5);
         let mut cfg = PipelineConfig::fast();
         // Remove the time dependence so both runs are deterministic.

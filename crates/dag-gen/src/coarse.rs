@@ -66,7 +66,10 @@ struct Assembler {
 
 impl Assembler {
     fn new() -> Self {
-        Assembler { edges: Vec::new(), next: 0 }
+        Assembler {
+            edges: Vec::new(),
+            next: 0,
+        }
     }
     fn node(&mut self, preds: &[NodeId]) -> NodeId {
         let id = self.next;
@@ -210,7 +213,10 @@ mod tests {
     #[test]
     fn all_algorithms_produce_valid_dags() {
         for alg in CoarseAlgorithm::ALL {
-            let dag = coarse(&CoarseConfig { algorithm: alg, iterations: 3 });
+            let dag = coarse(&CoarseConfig {
+                algorithm: alg,
+                iterations: 3,
+            });
             assert!(dag.topological_order().is_some(), "{alg:?}");
             assert!(dag.n() >= 10, "{alg:?} produced only {} nodes", dag.n());
             for v in 0..dag.n() {

@@ -122,10 +122,29 @@ fn fine_instance(method: FineMethod, target_n: usize, deep: bool, seed: u64) -> 
             // sparse and its size roughly linear in N.
             let density = (4.0 / matrix_n as f64).min(0.35);
             match method {
-                FineMethod::Spmv => spmv(&SpmvConfig { n: matrix_n, density, seed }),
-                FineMethod::Exp => exp(&IterConfig { n: matrix_n, density, iterations, seed }),
-                FineMethod::Cg => cg(&IterConfig { n: matrix_n, density, iterations, seed }),
-                FineMethod::Knn => knn(&IterConfig { n: matrix_n, density, iterations, seed }),
+                FineMethod::Spmv => spmv(&SpmvConfig {
+                    n: matrix_n,
+                    density,
+                    seed,
+                }),
+                FineMethod::Exp => exp(&IterConfig {
+                    n: matrix_n,
+                    density,
+                    iterations,
+                    seed,
+                }),
+                FineMethod::Cg => cg(&IterConfig {
+                    n: matrix_n,
+                    density,
+                    iterations,
+                    seed,
+                }),
+                FineMethod::Knn => knn(&IterConfig {
+                    n: matrix_n,
+                    density,
+                    iterations,
+                    seed,
+                }),
             }
         };
         // Binary search for the matrix dimension producing ~target_n DAG nodes.
@@ -162,11 +181,20 @@ fn fine_instance(method: FineMethod, target_n: usize, deep: bool, seed: u64) -> 
 /// Generates a coarse-grained instance close to `target_n` nodes by choosing
 /// the iteration count.
 fn coarse_instance(algorithm: CoarseAlgorithm, target_n: usize) -> Dag {
-    let probe = |iters: usize| coarse(&CoarseConfig { algorithm, iterations: iters.max(1) }).n();
+    let probe = |iters: usize| {
+        coarse(&CoarseConfig {
+            algorithm,
+            iterations: iters.max(1),
+        })
+        .n()
+    };
     let base = probe(1);
     let per_iter = probe(2).saturating_sub(base).max(1);
     let iterations = ((target_n.saturating_sub(base)) / per_iter).max(1);
-    coarse(&CoarseConfig { algorithm, iterations })
+    coarse(&CoarseConfig {
+        algorithm,
+        iterations,
+    })
 }
 
 impl Dataset {
@@ -176,15 +204,16 @@ impl Dataset {
         let positions = [lo, (lo + hi) / 2, hi];
         let mut instances = Vec::new();
         let mut inst_seed = seed;
-        let mut push_fine = |instances: &mut Vec<NamedDag>, method: FineMethod, target: usize, deep: bool| {
-            inst_seed = inst_seed.wrapping_add(1);
-            let dag = fine_instance(method, target, deep, inst_seed);
-            let shape = if deep { "deep" } else { "wide" };
-            instances.push(NamedDag {
-                name: format!("{}-{}-{}-n{}", kind.name(), method.name(), shape, dag.n()),
-                dag,
-            });
-        };
+        let mut push_fine =
+            |instances: &mut Vec<NamedDag>, method: FineMethod, target: usize, deep: bool| {
+                inst_seed = inst_seed.wrapping_add(1);
+                let dag = fine_instance(method, target, deep, inst_seed);
+                let shape = if deep { "deep" } else { "wide" };
+                instances.push(NamedDag {
+                    name: format!("{}-{}-{}-n{}", kind.name(), method.name(), shape, dag.n()),
+                    dag,
+                });
+            };
 
         match kind {
             DatasetKind::Training => {
@@ -203,7 +232,12 @@ impl Dataset {
             }
             DatasetKind::Tiny => {
                 // 4 methods × 3 positions = 12 fine instances, plus 4 coarse.
-                for method in [FineMethod::Spmv, FineMethod::Exp, FineMethod::Cg, FineMethod::Knn] {
+                for method in [
+                    FineMethod::Spmv,
+                    FineMethod::Exp,
+                    FineMethod::Cg,
+                    FineMethod::Knn,
+                ] {
                     for &t in &positions {
                         push_fine(&mut instances, method, t, false);
                     }
@@ -241,7 +275,12 @@ impl Dataset {
                     ] {
                         let dag = coarse_instance(algorithm, (lo + hi) / 2);
                         instances.push(NamedDag {
-                            name: format!("{}-coarse-{}-n{}", kind.name(), algorithm.name(), dag.n()),
+                            name: format!(
+                                "{}-coarse-{}-n{}",
+                                kind.name(),
+                                algorithm.name(),
+                                dag.n()
+                            ),
                             dag,
                         });
                     }
@@ -274,12 +313,7 @@ impl Dataset {
     /// two); used by the quick experiment harness.
     pub fn reduced(&self) -> Dataset {
         let step = 3;
-        let instances: Vec<NamedDag> = self
-            .instances
-            .iter()
-            .step_by(step)
-            .cloned()
-            .collect();
+        let instances: Vec<NamedDag> = self.instances.iter().step_by(step).cloned().collect();
         let instances = if instances.len() < 2 && self.instances.len() >= 2 {
             self.instances[..2].to_vec()
         } else {

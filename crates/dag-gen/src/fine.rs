@@ -218,9 +218,8 @@ pub fn knn(config: &IterConfig) -> Dag {
     let mut current: Vec<Option<NodeId>> = vec![None; n];
     current[source_index] = Some(asm.node());
     // Matrix entry source nodes, created lazily when first used.
-    let mut a_nodes: Vec<Vec<Option<NodeId>>> = (0..n)
-        .map(|i| vec![None; pattern.row(i).len()])
-        .collect();
+    let mut a_nodes: Vec<Vec<Option<NodeId>>> =
+        (0..n).map(|i| vec![None; pattern.row(i).len()]).collect();
     for _ in 0..config.iterations {
         let mut next: Vec<Option<NodeId>> = vec![None; n];
         for i in 0..n {
@@ -250,7 +249,11 @@ mod tests {
 
     #[test]
     fn spmv_depth_is_three() {
-        let dag = spmv(&SpmvConfig { n: 10, density: 0.3, seed: 1 });
+        let dag = spmv(&SpmvConfig {
+            n: 10,
+            density: 0.3,
+            seed: 1,
+        });
         let depth = dag.levels().into_iter().max().unwrap() + 1;
         assert_eq!(depth, 3);
         assert!(dag.n() > 10);
@@ -259,7 +262,11 @@ mod tests {
 
     #[test]
     fn spmv_weights_follow_graphblas_rule() {
-        let dag = spmv(&SpmvConfig { n: 6, density: 0.4, seed: 2 });
+        let dag = spmv(&SpmvConfig {
+            n: 6,
+            density: 0.4,
+            seed: 2,
+        });
         for v in 0..dag.n() {
             assert_eq!(dag.comm(v), 1);
             let indeg = dag.in_degree(v) as u64;
@@ -273,8 +280,18 @@ mod tests {
 
     #[test]
     fn exp_depth_grows_with_iterations() {
-        let d1 = exp(&IterConfig { n: 8, density: 0.25, iterations: 1, seed: 3 });
-        let d3 = exp(&IterConfig { n: 8, density: 0.25, iterations: 3, seed: 3 });
+        let d1 = exp(&IterConfig {
+            n: 8,
+            density: 0.25,
+            iterations: 1,
+            seed: 3,
+        });
+        let d3 = exp(&IterConfig {
+            n: 8,
+            density: 0.25,
+            iterations: 3,
+            seed: 3,
+        });
         let depth = |d: &Dag| d.levels().into_iter().max().unwrap() + 1;
         assert!(depth(&d3) > depth(&d1));
         assert!(d3.n() > d1.n());
@@ -282,7 +299,12 @@ mod tests {
 
     #[test]
     fn cg_produces_connected_iterative_structure() {
-        let dag = cg(&IterConfig { n: 6, density: 0.3, iterations: 2, seed: 4 });
+        let dag = cg(&IterConfig {
+            n: 6,
+            density: 0.3,
+            iterations: 2,
+            seed: 4,
+        });
         assert!(dag.n() > 50);
         assert!(dag.topological_order().is_some());
         // The largest weakly connected component should cover essentially the
@@ -293,7 +315,12 @@ mod tests {
 
     #[test]
     fn knn_frontier_widens() {
-        let dag = knn(&IterConfig { n: 30, density: 0.15, iterations: 4, seed: 5 });
+        let dag = knn(&IterConfig {
+            n: 30,
+            density: 0.15,
+            iterations: 4,
+            seed: 5,
+        });
         assert!(dag.n() > 5);
         assert!(dag.topological_order().is_some());
         // Source count: matrix entries plus the single starting vector entry.
@@ -303,8 +330,18 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = cg(&IterConfig { n: 5, density: 0.3, iterations: 2, seed: 9 });
-        let b = cg(&IterConfig { n: 5, density: 0.3, iterations: 2, seed: 9 });
+        let a = cg(&IterConfig {
+            n: 5,
+            density: 0.3,
+            iterations: 2,
+            seed: 9,
+        });
+        let b = cg(&IterConfig {
+            n: 5,
+            density: 0.3,
+            iterations: 2,
+            seed: 9,
+        });
         assert_eq!(a, b);
     }
 }

@@ -65,7 +65,12 @@ pub fn write_hyperdag(dag: &Dag) -> String {
     let hyperedges: Vec<NodeId> = (0..n).filter(|&v| dag.out_degree(v) > 0).collect();
     let num_pins: usize = hyperedges.iter().map(|&v| 1 + dag.out_degree(v)).sum();
     let mut out = String::new();
-    let _ = writeln!(out, "% hyperDAG export: {} nodes, {} hyperedges", n, hyperedges.len());
+    let _ = writeln!(
+        out,
+        "% hyperDAG export: {} nodes, {} hyperedges",
+        n,
+        hyperedges.len()
+    );
     let _ = writeln!(out, "{} {} {}", hyperedges.len(), n, num_pins);
     for (h, &v) in hyperedges.iter().enumerate() {
         let _ = writeln!(out, "{h} {v}");
@@ -188,7 +193,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_structure_and_weights() {
-        let dag = spmv(&SpmvConfig { n: 12, density: 0.25, seed: 11 });
+        let dag = spmv(&SpmvConfig {
+            n: 12,
+            density: 0.25,
+            seed: 11,
+        });
         let text = write_hyperdag(&dag);
         let back = read_hyperdag(&text).unwrap();
         // The format groups edges by source, so adjacency-list order may
@@ -205,8 +214,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()
-    {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "% comment\n\n1 2 2\n% another\n0 0\n0 1\n0 3 4\n1 5 6\n";
         let dag = read_hyperdag(text).unwrap();
         assert_eq!(dag.n(), 2);

@@ -24,7 +24,10 @@ impl SparsePattern {
     pub fn from_coordinates(n: usize, coords: &[(usize, usize)]) -> Self {
         let mut rows = vec![Vec::new(); n];
         for &(i, j) in coords {
-            assert!(i < n && j < n, "coordinate ({i},{j}) out of range for N={n}");
+            assert!(
+                i < n && j < n,
+                "coordinate ({i},{j}) out of range for N={n}"
+            );
             rows[i].push(j);
         }
         for row in &mut rows {
@@ -39,7 +42,7 @@ impl SparsePattern {
     pub fn random(n: usize, density: f64, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut rows = vec![Vec::new(); n];
-        for (_, row) in rows.iter_mut().enumerate() {
+        for row in rows.iter_mut() {
             for j in 0..n {
                 if rng.gen::<f64>() < density {
                     row.push(j);

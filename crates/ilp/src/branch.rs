@@ -153,9 +153,7 @@ pub fn solve_mip(model: &Model, config: &MipConfig, warm_start: Option<&[f64]>) 
                     }
                 }
                 let obj = model.objective_value(&values);
-                let improves = incumbent
-                    .as_ref()
-                    .is_none_or(|(best, _)| obj < best - 1e-9);
+                let improves = incumbent.as_ref().is_none_or(|(best, _)| obj < best - 1e-9);
                 if improves && model.is_feasible(&values, 1e-5) {
                     incumbent = Some((obj, values));
                 }
@@ -228,7 +226,11 @@ mod tests {
         m.add_le("cap", vec![(x0, 3.0), (x1, 4.0), (x2, 2.0)], 6.0);
         let res = solve_mip(&m, &MipConfig::default(), None);
         assert_eq!(res.status, MipStatus::Optimal);
-        assert!((res.objective + 20.0).abs() < 1e-6, "objective {}", res.objective);
+        assert!(
+            (res.objective + 20.0).abs() < 1e-6,
+            "objective {}",
+            res.objective
+        );
         assert_eq!(res.values[x0.index()].round() as i64, 0);
         assert_eq!(res.values[x1.index()].round() as i64, 1);
         assert_eq!(res.values[x2.index()].round() as i64, 1);
@@ -333,7 +335,14 @@ mod tests {
         assert_eq!(res.status, MipStatus::Optimal);
         // Brute force over the 6 permutations.
         let mut best = f64::INFINITY;
-        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         for p in perms {
             best = best.min((0..3).map(|i| costs[i][p[i]]).sum());
         }

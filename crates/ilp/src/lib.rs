@@ -36,6 +36,6 @@ pub mod simplex;
 pub use branch::{solve_mip, MipConfig, MipResult, MipStatus};
 pub use model::{Comparator, Constraint, Model, VarId, VarKind, Variable};
 pub use simplex::{
-    solve_relaxation, solve_relaxation_with_bounds, solve_relaxation_with_bounds_until,
-    LpSolution, LpStatus,
+    solve_relaxation, solve_relaxation_with_bounds, solve_relaxation_with_bounds_until, LpSolution,
+    LpStatus,
 };

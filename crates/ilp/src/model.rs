@@ -104,7 +104,10 @@ impl Model {
         upper: f64,
         objective: f64,
     ) -> VarId {
-        assert!(lower <= upper, "variable bounds must satisfy lower <= upper");
+        assert!(
+            lower <= upper,
+            "variable bounds must satisfy lower <= upper"
+        );
         assert!(lower.is_finite(), "lower bounds must be finite");
         self.vars.push(Variable {
             name: name.into(),
@@ -128,8 +131,7 @@ impl Model {
         for (v, c) in terms {
             *merged.entry(v).or_insert(0.0) += c;
         }
-        let terms: Vec<(VarId, f64)> =
-            merged.into_iter().filter(|&(_, c)| c != 0.0).collect();
+        let terms: Vec<(VarId, f64)> = merged.into_iter().filter(|&(_, c)| c != 0.0).collect();
         self.constraints.push(Constraint {
             name: name.into(),
             terms,

@@ -140,10 +140,7 @@ pub fn solve_relaxation(model: &Model) -> LpSolution {
 
 /// Solves the LP relaxation of `model` with variable bounds overridden by
 /// `bounds` (used by branch & bound to fix or restrict integer variables).
-pub fn solve_relaxation_with_bounds(
-    model: &Model,
-    bounds: Option<&[(f64, f64)]>,
-) -> LpSolution {
+pub fn solve_relaxation_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpSolution {
     solve_relaxation_with_bounds_until(model, bounds, None)
 }
 
@@ -181,7 +178,11 @@ pub fn solve_relaxation_with_bounds_until(
     }
     let mut rows: Vec<Row> = Vec::new();
     for c in model.constraints() {
-        let shift: f64 = c.terms.iter().map(|&(v, coef)| coef * lower[v.index()]).sum();
+        let shift: f64 = c
+            .terms
+            .iter()
+            .map(|&(v, coef)| coef * lower[v.index()])
+            .sum();
         rows.push(Row {
             terms: c.terms.iter().map(|&(v, coef)| (v.index(), coef)).collect(),
             cmp: c.cmp,
@@ -368,7 +369,11 @@ mod tests {
         m.add_le("c3", vec![(x, 3.0), (y, 2.0)], 18.0);
         let sol = solve_relaxation(&m);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective + 36.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 36.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.values[x.index()] - 2.0).abs() < 1e-6);
         assert!((sol.values[y.index()] - 6.0).abs() < 1e-6);
     }
@@ -422,8 +427,7 @@ mod tests {
         let y = m.add_binary("y", -1.0);
         m.add_le("cap", vec![(x, 1.0), (y, 1.0)], 2.0);
         // Fix x = 0 through bounds.
-        let sol =
-            solve_relaxation_with_bounds(&m, Some(&[(0.0, 0.0), (0.0, 1.0)]));
+        let sol = solve_relaxation_with_bounds(&m, Some(&[(0.0, 0.0), (0.0, 1.0)]));
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(sol.values[x.index()].abs() < 1e-9);
         assert!((sol.values[y.index()] - 1.0).abs() < 1e-6);

@@ -42,7 +42,10 @@ impl ClassicalSchedule {
 
     /// Makespan of the classical schedule (latest finish time).
     pub fn makespan(&self, dag: &Dag) -> u64 {
-        (0..self.n()).map(|v| self.finish(dag, v)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.finish(dag, v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks that the classical schedule respects precedence constraints and
@@ -92,9 +95,10 @@ impl ClassicalSchedule {
             // predecessor on a different processor.
             let mut cut: Option<u64> = None;
             for &v in &remaining {
-                let blocked = dag.predecessors(v).iter().any(|&u| {
-                    superstep[u] == usize::MAX && self.proc[u] != self.proc[v]
-                });
+                let blocked = dag
+                    .predecessors(v)
+                    .iter()
+                    .any(|&u| superstep[u] == usize::MAX && self.proc[u] != self.proc[v]);
                 if blocked {
                     cut = Some(self.start[v]);
                     break;

@@ -233,8 +233,7 @@ mod tests {
     #[test]
     fn one_send_per_target_processor_even_with_multiple_successors() {
         // 0 -> 1, 0 -> 2 with both successors on processor 1: only one transfer.
-        let dag =
-            Dag::from_edges(3, &[(0, 1), (0, 2)], vec![1, 1, 1], vec![9, 1, 1]).unwrap();
+        let dag = Dag::from_edges(3, &[(0, 1), (0, 2)], vec![1, 1, 1], vec![9, 1, 1]).unwrap();
         let assignment = Assignment {
             proc: vec![0, 1, 1],
             superstep: vec![0, 1, 2],

@@ -144,10 +144,7 @@ mod tests {
         // proc 1 in superstep 0; nodes 9 and 10 in superstep 1, one per proc.
         // Node 2's value is needed by node 10 (proc 1), nodes 5, 6 needed by 9
         // (proc 0).
-        let mut edges = Vec::new();
-        edges.push((2, 10));
-        edges.push((5, 9));
-        edges.push((6, 9));
+        let edges = vec![(2, 10), (5, 9), (6, 9)];
         let n = 11;
         let dag = Dag::from_edges(n, &edges, vec![1; n], vec![1; n]).unwrap();
         let machine = Machine::uniform(2, 2, 3);
@@ -219,26 +216,28 @@ mod tests {
     fn send_and_receive_are_both_counted() {
         // Processor 0 sends two values to different processors in the same
         // superstep: its send cost accumulates.
-        let dag = Dag::from_edges(
-            4,
-            &[(0, 2), (1, 3)],
-            vec![1, 1, 1, 1],
-            vec![5, 7, 1, 1],
-        )
-        .unwrap();
+        let dag =
+            Dag::from_edges(4, &[(0, 2), (1, 3)], vec![1, 1, 1, 1], vec![5, 7, 1, 1]).unwrap();
         let machine = Machine::uniform(3, 1, 0);
         let assignment = Assignment {
             proc: vec![0, 0, 1, 2],
             superstep: vec![0, 0, 1, 1],
         };
         let comm = CommSchedule::from_steps(vec![
-            CommStep { node: 0, from: 0, to: 1, step: 0 },
-            CommStep { node: 1, from: 0, to: 2, step: 0 },
+            CommStep {
+                node: 0,
+                from: 0,
+                to: 1,
+                step: 0,
+            },
+            CommStep {
+                node: 1,
+                from: 0,
+                to: 2,
+                step: 0,
+            },
         ]);
-        let sched = BspSchedule {
-            assignment,
-            comm,
-        };
+        let sched = BspSchedule { assignment, comm };
         let c = comm_costs(&dag, &machine, &sched);
         // proc 0 sends 5 + 7 = 12; receivers get 5 and 7.
         assert_eq!(c[0], 12);

@@ -4,6 +4,12 @@
 //! processor) and a *communication weight* `c(v)` (amount of data another
 //! processor has to receive in order to use its output).  Edges encode
 //! precedence: `(u, v)` means `v` consumes the output of `u`.
+//!
+//! Adjacency is stored in compressed sparse row (CSR) form: one flat offset
+//! array plus one packed neighbour array per direction.  The hill-climbing
+//! local searches walk `successors`/`predecessors` for every candidate move,
+//! so neighbour lists being contiguous (two arrays per direction instead of
+//! `n` separate heap allocations) is what keeps that hot path cache-friendly.
 
 use crate::error::DagError;
 use serde::{Deserialize, Serialize};
@@ -21,8 +27,14 @@ pub type NodeId = usize;
 pub struct Dag {
     work: Vec<u64>,
     comm: Vec<u64>,
-    succs: Vec<Vec<NodeId>>,
-    preds: Vec<Vec<NodeId>>,
+    /// CSR offsets into `succ_adj`; length `n + 1`.
+    succ_off: Vec<usize>,
+    /// Packed successor lists, in edge insertion order per node.
+    succ_adj: Vec<NodeId>,
+    /// CSR offsets into `pred_adj`; length `n + 1`.
+    pred_off: Vec<usize>,
+    /// Packed predecessor lists, in edge insertion order per node.
+    pred_adj: Vec<NodeId>,
     num_edges: usize,
 }
 
@@ -128,8 +140,6 @@ impl Dag {
                 got: comm.len(),
             });
         }
-        let mut succs = vec![Vec::new(); n];
-        let mut preds = vec![Vec::new(); n];
         let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for &(u, v) in edges {
             if u >= n {
@@ -144,15 +154,39 @@ impl Dag {
             if !seen.insert((u, v)) {
                 return Err(DagError::DuplicateEdge { from: u, to: v });
             }
-            succs[u].push(v);
-            preds[v].push(u);
         }
         let num_edges = seen.len();
+
+        // Two counting-sort passes build each CSR side; per-node neighbour
+        // order is edge insertion order, as with the nested-Vec layout.
+        let mut succ_off = vec![0usize; n + 1];
+        let mut pred_off = vec![0usize; n + 1];
+        for &(u, v) in edges {
+            succ_off[u + 1] += 1;
+            pred_off[v + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_adj = vec![0 as NodeId; num_edges];
+        let mut pred_adj = vec![0 as NodeId; num_edges];
+        let mut succ_cursor = succ_off.clone();
+        let mut pred_cursor = pred_off.clone();
+        for &(u, v) in edges {
+            succ_adj[succ_cursor[u]] = v;
+            succ_cursor[u] += 1;
+            pred_adj[pred_cursor[v]] = u;
+            pred_cursor[v] += 1;
+        }
+
         let dag = Dag {
             work,
             comm,
-            succs,
-            preds,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
             num_edges,
         };
         if dag.topological_order().is_none() {
@@ -170,21 +204,25 @@ impl Dag {
     }
 
     /// Number of nodes.
+    #[inline]
     pub fn n(&self) -> usize {
         self.work.len()
     }
 
     /// Number of directed edges.
+    #[inline]
     pub fn num_edges(&self) -> usize {
         self.num_edges
     }
 
     /// Work weight `w(v)`.
+    #[inline]
     pub fn work(&self, v: NodeId) -> u64 {
         self.work[v]
     }
 
     /// Communication weight `c(v)`.
+    #[inline]
     pub fn comm(&self, v: NodeId) -> u64 {
         self.comm[v]
     }
@@ -200,31 +238,32 @@ impl Dag {
     }
 
     /// Direct successors (out-neighbours) of `v`.
+    #[inline]
     pub fn successors(&self, v: NodeId) -> &[NodeId] {
-        &self.succs[v]
+        &self.succ_adj[self.succ_off[v]..self.succ_off[v + 1]]
     }
 
     /// Direct predecessors (in-neighbours) of `v`.
+    #[inline]
     pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
-        &self.preds[v]
+        &self.pred_adj[self.pred_off[v]..self.pred_off[v + 1]]
     }
 
     /// Out-degree of `v`.
+    #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.succs[v].len()
+        self.succ_off[v + 1] - self.succ_off[v]
     }
 
     /// In-degree of `v`.
+    #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.preds[v].len()
+        self.pred_off[v + 1] - self.pred_off[v]
     }
 
     /// Iterator over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.succs
-            .iter()
-            .enumerate()
-            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v)))
+        (0..self.n()).flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Nodes without predecessors.
@@ -262,12 +301,11 @@ impl Dag {
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
         let n = self.n();
         let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
-        let mut queue: VecDeque<NodeId> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: VecDeque<NodeId> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for &w in &self.succs[v] {
+            for &w in self.successors(v) {
                 indeg[w] -= 1;
                 if indeg[w] == 0 {
                     queue.push_back(w);
@@ -302,7 +340,7 @@ impl Dag {
             .expect("Dag invariant: always acyclic");
         let mut level = vec![0usize; self.n()];
         for &v in &order {
-            for &u in &self.preds[v] {
+            for &u in self.predecessors(v) {
                 level[v] = level[v].max(level[u] + 1);
             }
         }
@@ -318,7 +356,7 @@ impl Dag {
         let mut tl = vec![0u64; self.n()];
         for &v in &order {
             let best = self
-                .preds[v]
+                .predecessors(v)
                 .iter()
                 .map(|&u| tl[u])
                 .max()
@@ -337,12 +375,7 @@ impl Dag {
             .expect("Dag invariant: always acyclic");
         let mut bl = vec![0u64; self.n()];
         for &v in order.iter().rev() {
-            let best = self
-                .succs[v]
-                .iter()
-                .map(|&w| bl[w])
-                .max()
-                .unwrap_or(0);
+            let best = self.successors(v).iter().map(|&w| bl[w]).max().unwrap_or(0);
             bl[v] = best + self.work[v];
         }
         bl
@@ -376,7 +409,7 @@ impl Dag {
         let mut stack = vec![u];
         visited[u] = true;
         while let Some(x) = stack.pop() {
-            for &y in &self.succs[x] {
+            for &y in self.successors(x) {
                 if y == v {
                     return true;
                 }
@@ -405,7 +438,7 @@ impl Dag {
             comp[start] = next_comp;
             while let Some(v) = stack.pop() {
                 nodes.push(v);
-                for &w in self.succs[v].iter().chain(self.preds[v].iter()) {
+                for &w in self.successors(v).iter().chain(self.predecessors(v).iter()) {
                     if comp[w] == usize::MAX {
                         comp[w] = next_comp;
                         stack.push(w);
@@ -434,7 +467,7 @@ impl Dag {
             builder.add_node(self.work[v], self.comm[v]);
         }
         for &v in nodes {
-            for &w in &self.succs[v] {
+            for &w in self.successors(v) {
                 if index[w] != usize::MAX {
                     builder.add_edge(index[v], index[w]);
                 }

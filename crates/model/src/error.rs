@@ -55,7 +55,11 @@ pub enum ValidityError {
     MissingCommunication { pred: usize, node: usize },
     /// A communication step `(v, p1, p2, s)` sends a value that is not present
     /// on `p1` by superstep `s` (neither computed there nor received earlier).
-    SourceValueNotPresent { node: usize, from: usize, step: usize },
+    SourceValueNotPresent {
+        node: usize,
+        from: usize,
+        step: usize,
+    },
 }
 
 impl fmt::Display for ValidityError {

@@ -55,7 +55,10 @@ impl Machine {
     /// common ancestor.  `p` must be a power of two.
     pub fn numa_binary_tree(p: usize, g: u64, l: u64, delta: u64) -> Self {
         assert!(p >= 1, "a machine needs at least one processor");
-        assert!(p.is_power_of_two(), "binary-tree NUMA requires P to be a power of two");
+        assert!(
+            p.is_power_of_two(),
+            "binary-tree NUMA requires P to be a power of two"
+        );
         let mut lambda = vec![vec![0u64; p]; p];
         for (a, row) in lambda.iter_mut().enumerate() {
             for (b, cell) in row.iter_mut().enumerate() {
@@ -117,16 +120,19 @@ impl Machine {
     }
 
     /// Number of processors `P`.
+    #[inline]
     pub fn p(&self) -> usize {
         self.p
     }
 
     /// Per-unit communication cost `g`.
+    #[inline]
     pub fn g(&self) -> u64 {
         self.g
     }
 
     /// Per-superstep latency `ℓ`.
+    #[inline]
     pub fn latency(&self) -> u64 {
         self.latency
     }
@@ -137,6 +143,7 @@ impl Machine {
     }
 
     /// NUMA coefficient `λ_{p1,p2}` for sending one unit of data from `p1` to `p2`.
+    #[inline]
     pub fn lambda(&self, p1: usize, p2: usize) -> u64 {
         self.lambda[p1][p2]
     }

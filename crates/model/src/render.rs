@@ -136,7 +136,10 @@ mod tests {
         }
         assert!(text.contains(&format!("total cost {}", sched.cost(&dag, &machine))));
         assert!(text.contains("superstep 0"));
-        assert!(text.contains("comm"), "communication phase not rendered:\n{text}");
+        assert!(
+            text.contains("comm"),
+            "communication phase not rendered:\n{text}"
+        );
     }
 
     #[test]

@@ -250,8 +250,18 @@ mod tests {
             superstep: vec![0, 2],
         };
         let comm = CommSchedule::from_steps(vec![
-            CommStep { node: 0, from: 0, to: 1, step: 0 },
-            CommStep { node: 0, from: 1, to: 2, step: 1 },
+            CommStep {
+                node: 0,
+                from: 0,
+                to: 1,
+                step: 0,
+            },
+            CommStep {
+                node: 0,
+                from: 1,
+                to: 2,
+                step: 1,
+            },
         ]);
         let sched = BspSchedule { assignment, comm };
         assert!(sched.validate(&dag, &machine).is_ok());
@@ -268,8 +278,18 @@ mod tests {
         // Both hops in superstep 0: the second hop forwards a value that only
         // arrives at processor 1 at the end of that same communication phase.
         let comm = CommSchedule::from_steps(vec![
-            CommStep { node: 0, from: 0, to: 1, step: 0 },
-            CommStep { node: 0, from: 1, to: 2, step: 0 },
+            CommStep {
+                node: 0,
+                from: 0,
+                to: 1,
+                step: 0,
+            },
+            CommStep {
+                node: 0,
+                from: 1,
+                to: 2,
+                step: 0,
+            },
         ]);
         let sched = BspSchedule { assignment, comm };
         assert_eq!(
@@ -296,7 +316,11 @@ mod tests {
         };
         assert!(matches!(
             sched.validate(&dag, &machine),
-            Err(ValidityError::ProcessorOutOfRange { node: 1, proc: 5, p: 2 })
+            Err(ValidityError::ProcessorOutOfRange {
+                node: 1,
+                proc: 5,
+                p: 2
+            })
         ));
     }
 }

@@ -11,9 +11,23 @@ use realistic_sched::gen::hyperdag::{read_hyperdag, write_hyperdag};
 
 fn main() {
     println!("== fine-grained generators ==");
-    let a = spmv(&SpmvConfig { n: 16, density: 0.25, seed: 1 });
-    let b = cg(&IterConfig { n: 12, density: 0.25, iterations: 2, seed: 2 });
-    let c = knn(&IterConfig { n: 12, density: 0.25, iterations: 3, seed: 3 });
+    let a = spmv(&SpmvConfig {
+        n: 16,
+        density: 0.25,
+        seed: 1,
+    });
+    let b = cg(&IterConfig {
+        n: 12,
+        density: 0.25,
+        iterations: 2,
+        seed: 2,
+    });
+    let c = knn(&IterConfig {
+        n: 12,
+        density: 0.25,
+        iterations: 3,
+        seed: 3,
+    });
     println!("  spmv          : {}", a.summary());
     println!("  cg  (k = 2)   : {}", b.summary());
     println!("  knn (k = 3)   : {}", c.summary());
@@ -24,7 +38,10 @@ fn main() {
         CoarseAlgorithm::PageRank,
         CoarseAlgorithm::LabelPropagation,
     ] {
-        let dag = coarse(&CoarseConfig { algorithm, iterations: 3 });
+        let dag = coarse(&CoarseConfig {
+            algorithm,
+            iterations: 3,
+        });
         println!("  {:<20}: {}", algorithm.name(), dag.summary());
     }
 

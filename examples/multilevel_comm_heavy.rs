@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example multilevel_comm_heavy`
 
-use realistic_sched::model::Machine;
 use realistic_sched::gen::fine::{exp, IterConfig};
+use realistic_sched::model::Machine;
 use realistic_sched::sched::baselines::{HDaggScheduler, TrivialScheduler};
 use realistic_sched::sched::multilevel::{MultilevelConfig, MultilevelScheduler};
 use realistic_sched::sched::pipeline::{Pipeline, PipelineConfig};
@@ -35,7 +35,9 @@ fn main() {
         machine.max_lambda()
     );
 
-    let trivial = TrivialScheduler.schedule(&dag, &machine).cost(&dag, &machine);
+    let trivial = TrivialScheduler
+        .schedule(&dag, &machine)
+        .cost(&dag, &machine);
     let hdagg = HDaggScheduler::default()
         .schedule(&dag, &machine)
         .cost(&dag, &machine);

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example pipeline_anatomy`
 
-use realistic_sched::model::Machine;
 use realistic_sched::gen::fine::{cg, IterConfig};
+use realistic_sched::model::Machine;
 use realistic_sched::sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 use realistic_sched::sched::ilp::{ilp_cs_improve, ilp_part_improve, IlpConfig};
 use realistic_sched::sched::init::{BspgScheduler, SourceScheduler};
@@ -26,7 +26,10 @@ fn main() {
     // --- Manual walk through the stages -----------------------------------
     println!("manual walk through one branch (Source initializer):");
     let mut schedule = SourceScheduler.schedule(&dag, &machine);
-    println!("  Source initial schedule : {}", schedule.cost(&dag, &machine));
+    println!(
+        "  Source initial schedule : {}",
+        schedule.cost(&dag, &machine)
+    );
 
     let hc_cfg = HillClimbConfig::default();
     let outcome = hc_improve(&dag, &machine, &mut schedule, &hc_cfg);
@@ -36,7 +39,10 @@ fn main() {
         schedule.cost(&dag, &machine)
     );
     hccs_improve(&dag, &machine, &mut schedule, &hc_cfg);
-    println!("  after HCcs              : {}", schedule.cost(&dag, &machine));
+    println!(
+        "  after HCcs              : {}",
+        schedule.cost(&dag, &machine)
+    );
 
     let ilp_cfg = IlpConfig::fast();
     let windows = ilp_part_improve(&dag, &machine, &mut schedule, &ilp_cfg, None);
@@ -45,7 +51,10 @@ fn main() {
         schedule.cost(&dag, &machine)
     );
     ilp_cs_improve(&dag, &machine, &mut schedule, &ilp_cfg);
-    println!("  after ILPcs             : {}", schedule.cost(&dag, &machine));
+    println!(
+        "  after ILPcs             : {}",
+        schedule.cost(&dag, &machine)
+    );
     assert!(schedule.validate(&dag, &machine).is_ok());
 
     // --- The same thing through the combined pipeline ---------------------

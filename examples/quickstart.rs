@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use realistic_sched::model::Machine;
 use realistic_sched::gen::fine::{spmv, SpmvConfig};
+use realistic_sched::model::Machine;
 use realistic_sched::sched::baselines::{CilkScheduler, HDaggScheduler};
 use realistic_sched::sched::pipeline::{Pipeline, PipelineConfig};
 use realistic_sched::sched::Scheduler;
@@ -41,7 +41,10 @@ fn main() {
     println!("  selected initializer: {}", report.selected_init);
 
     let breakdown = ours.cost_breakdown(&dag, &machine);
-    println!("\nfinal schedule: {} supersteps", breakdown.num_supersteps());
+    println!(
+        "\nfinal schedule: {} supersteps",
+        breakdown.num_supersteps()
+    );
     println!("  total cost        : {}", breakdown.total());
     println!(
         "  communication share: {:.1}%",

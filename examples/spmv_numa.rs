@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example spmv_numa`
 
-use realistic_sched::model::Machine;
 use realistic_sched::gen::fine::{cg, IterConfig};
+use realistic_sched::model::Machine;
 use realistic_sched::sched::baselines::{CilkScheduler, HDaggScheduler, TrivialScheduler};
 use realistic_sched::sched::pipeline::{Pipeline, PipelineConfig};
 use realistic_sched::sched::Scheduler;
@@ -31,11 +31,22 @@ fn main() {
     let pipeline = Pipeline::new(PipelineConfig::fast());
     for (label, machine) in [
         ("P=8 uniform".to_string(), Machine::uniform(8, 1, 5)),
-        ("P=8 binary tree, delta=2".to_string(), Machine::numa_binary_tree(8, 1, 5, 2)),
-        ("P=8 binary tree, delta=3".to_string(), Machine::numa_binary_tree(8, 1, 5, 3)),
-        ("P=8 binary tree, delta=4".to_string(), Machine::numa_binary_tree(8, 1, 5, 4)),
+        (
+            "P=8 binary tree, delta=2".to_string(),
+            Machine::numa_binary_tree(8, 1, 5, 2),
+        ),
+        (
+            "P=8 binary tree, delta=3".to_string(),
+            Machine::numa_binary_tree(8, 1, 5, 3),
+        ),
+        (
+            "P=8 binary tree, delta=4".to_string(),
+            Machine::numa_binary_tree(8, 1, 5, 4),
+        ),
     ] {
-        let trivial = TrivialScheduler.schedule(&dag, &machine).cost(&dag, &machine);
+        let trivial = TrivialScheduler
+            .schedule(&dag, &machine)
+            .cost(&dag, &machine);
         let cilk = CilkScheduler::default()
             .schedule(&dag, &machine)
             .cost(&dag, &machine);

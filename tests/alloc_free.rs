@@ -1,0 +1,102 @@
+//! Verifies the headline property of the hill-climbing refactor: evaluating a
+//! candidate move with [`HcState::try_move`] performs **zero heap allocation**
+//! once the state's scratch buffers are warm.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass over a set of valid moves, replaying the same moves must not allocate
+//! or deallocate at all.
+
+use bsp_model::Machine;
+use bsp_sched::hill_climb::HcState;
+use bsp_sched::init::SourceScheduler;
+use bsp_sched::Scheduler;
+use dag_gen::fine::{spmv, SpmvConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn try_move_is_allocation_free_after_warmup() {
+    let dag = spmv(&SpmvConfig {
+        n: 48,
+        density: 0.2,
+        seed: 9,
+    });
+    for machine in [
+        Machine::uniform(4, 3, 5),
+        Machine::numa_binary_tree(8, 2, 5, 3),
+    ] {
+        let init = SourceScheduler.schedule(&dag, &machine);
+        let mut state = HcState::new(&dag, &machine, init.assignment.clone())
+            .expect("scheduler output is feasible");
+
+        // Gather every valid candidate move of every node.
+        let mut moves = Vec::new();
+        for v in 0..dag.n() {
+            let s_old = state.step_of(v);
+            for s_new in [s_old.wrapping_sub(1), s_old, s_old + 1] {
+                if s_new == usize::MAX {
+                    continue;
+                }
+                for p_new in 0..machine.p() {
+                    if state.move_is_valid(v, p_new, s_new) {
+                        moves.push((v, p_new, s_new));
+                    }
+                }
+            }
+        }
+        assert!(
+            moves.len() > 100,
+            "not enough candidate moves to be meaningful"
+        );
+
+        // Warm-up: lets the scratch buffers and tally matrices reach their
+        // steady-state capacities.
+        for &(v, p_new, s_new) in &moves {
+            std::hint::black_box(state.try_move(v, p_new, s_new));
+        }
+
+        let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+        let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+        let mut checksum = 0i64;
+        for &(v, p_new, s_new) in &moves {
+            checksum = checksum.wrapping_add(state.try_move(v, p_new, s_new));
+        }
+        std::hint::black_box(checksum);
+        let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+        let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+        assert_eq!(
+            (allocs, deallocs),
+            (0, 0),
+            "try_move allocated on machine P={}: {} allocs / {} deallocs over {} evaluations",
+            machine.p(),
+            allocs,
+            deallocs,
+            moves.len()
+        );
+    }
+}

@@ -2,44 +2,56 @@
 //!
 //! Each integration-test binary compiles this module independently and uses
 //! a different subset of the helpers, so dead-code warnings are suppressed.
+//!
+//! The random generators are plain seeded functions (driven by `ChaCha8Rng`)
+//! rather than proptest strategies: the build environment has no network
+//! access for a proptest dependency, and deterministic seed loops make
+//! failures trivially reproducible — rerun with the printed seed.
 #![allow(dead_code)]
 
 use bsp_model::{Dag, Machine};
-use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
-/// A proptest strategy generating small random DAGs with random weights.
+/// A fresh deterministic generator for test case `case` of test `test_seed`.
+pub fn rng_for_case(test_seed: u64, case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(test_seed.wrapping_mul(0x9e37_79b9).wrapping_add(case))
+}
+
+/// A small random DAG with random weights.
 ///
 /// Nodes are labelled `0..n`; every candidate edge `(u, v)` with `u < v` is
 /// included independently, which guarantees acyclicity by construction.
-pub fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Dag> {
-    (2..=max_nodes).prop_flat_map(|n| {
-        let edge_flags = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
-        let works = proptest::collection::vec(1u64..20, n);
-        let comms = proptest::collection::vec(0u64..10, n);
-        (Just(n), edge_flags, works, comms).prop_map(|(n, flags, work, comm)| {
-            let mut edges = Vec::new();
-            let mut idx = 0;
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if flags[idx] {
-                        edges.push((u, v));
-                    }
-                    idx += 1;
-                }
+pub fn random_dag(rng: &mut ChaCha8Rng, max_nodes: usize) -> Dag {
+    let n = rng.gen_range(2usize..=max_nodes);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<bool>() {
+                edges.push((u, v));
             }
-            Dag::from_edges(n, &edges, work, comm).expect("construction is acyclic")
-        })
-    })
+        }
+    }
+    let work: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..20)).collect();
+    let comm: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..10)).collect();
+    Dag::from_edges(n, &edges, work, comm).expect("construction is acyclic")
 }
 
-/// A proptest strategy generating machines of all three NUMA topologies.
-pub fn arb_machine() -> impl Strategy<Value = Machine> {
-    prop_oneof![
-        (1usize..=3, 0u64..6, 0u64..8)
-            .prop_map(|(log_p, g, l)| Machine::uniform(1 << log_p, g, l)),
-        (1usize..=4, 0u64..4, 0u64..8, 2u64..5)
-            .prop_map(|(log_p, g, l, d)| Machine::numa_binary_tree(1 << log_p, g, l, d)),
-    ]
+/// A random machine drawn from the paper's two NUMA topology families.
+pub fn random_machine(rng: &mut ChaCha8Rng) -> Machine {
+    if rng.gen::<bool>() {
+        let log_p = rng.gen_range(1usize..=3);
+        let g = rng.gen_range(0u64..6);
+        let l = rng.gen_range(0u64..8);
+        Machine::uniform(1 << log_p, g, l)
+    } else {
+        let log_p = rng.gen_range(1usize..=4);
+        let g = rng.gen_range(0u64..4);
+        let l = rng.gen_range(0u64..8);
+        let delta = rng.gen_range(2u64..5);
+        Machine::numa_binary_tree(1 << log_p, g, l, delta)
+    }
 }
 
 /// A small deterministic grid of machines covering the paper's parameter

@@ -75,7 +75,12 @@ fn pipeline_matches_or_beats_hdagg_on_most_tiny_instances() {
 fn numa_improvement_grows_with_the_hierarchy_multiplier() {
     // Qualitative reproduction of the §7.2 trend on one instance: the ratio
     // ours/Cilk should not get worse as Δ increases.
-    let dag = exp(&IterConfig { n: 16, density: 0.3, iterations: 3, seed: 21 });
+    let dag = exp(&IterConfig {
+        n: 16,
+        density: 0.3,
+        iterations: 3,
+        seed: 21,
+    });
     let pipeline = Pipeline::new(PipelineConfig::fast());
     let mut ratios = Vec::new();
     for delta in [2u64, 4u64] {
@@ -94,7 +99,12 @@ fn numa_improvement_grows_with_the_hierarchy_multiplier() {
 
 #[test]
 fn multilevel_report_is_consistent_on_a_medium_instance() {
-    let dag = exp(&IterConfig { n: 20, density: 0.25, iterations: 3, seed: 5 });
+    let dag = exp(&IterConfig {
+        n: 20,
+        density: 0.25,
+        iterations: 3,
+        seed: 5,
+    });
     let machine = Machine::numa_binary_tree(16, 1, 5, 3);
     let ml = MultilevelScheduler::new(MultilevelConfig::fast());
     let report = ml.run_report(&dag, &machine);
@@ -118,7 +128,12 @@ fn multilevel_report_is_consistent_on_a_medium_instance() {
 
 #[test]
 fn pipeline_scheduler_trait_and_report_agree() {
-    let dag = exp(&IterConfig { n: 12, density: 0.3, iterations: 2, seed: 8 });
+    let dag = exp(&IterConfig {
+        n: 12,
+        density: 0.3,
+        iterations: 2,
+        seed: 8,
+    });
     let machine = Machine::uniform(4, 1, 5);
     let mut config = PipelineConfig::fast();
     // Deterministic budgets: bound by steps, not wall-clock.

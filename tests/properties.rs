@@ -1,16 +1,23 @@
 //! Property-based integration tests over random DAGs and machines.
+//!
+//! Each property runs a deterministic loop of seeded random cases; a failure
+//! message always names the case index, so `rng_for_case(SEED, case)` exactly
+//! reproduces it.
 
 mod common;
 
-use bsp_model::{Assignment, BspSchedule, CommSchedule};
+use bsp_model::{Assignment, BspSchedule, CommSchedule, Machine};
 use bsp_sched::baselines::{CilkScheduler, HDaggScheduler, TrivialScheduler};
-use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use bsp_sched::hill_climb::{hc_improve, hccs_improve, HcState, HillClimbConfig};
 use bsp_sched::init::{BspgScheduler, SourceScheduler};
 use bsp_sched::Scheduler;
-use common::{arb_dag, arb_machine};
+use common::{random_dag, random_machine, rng_for_case};
+use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
 use dag_gen::hyperdag::{read_hyperdag, write_hyperdag};
-use proptest::prelude::*;
+use rand::Rng;
 use std::time::Duration;
+
+const CASES: u64 = 16;
 
 fn quick_hc() -> HillClimbConfig {
     HillClimbConfig {
@@ -19,16 +26,14 @@ fn quick_hc() -> HillClimbConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every heuristic scheduler produces a valid schedule on arbitrary DAGs
-    /// and machines, and the trivial schedule's cost formula holds exactly.
-    #[test]
-    fn heuristic_schedulers_are_valid_on_random_inputs(
-        dag in arb_dag(14),
-        machine in arb_machine(),
-    ) {
+/// Every heuristic scheduler produces a valid schedule on arbitrary DAGs
+/// and machines, and the trivial schedule's cost formula holds exactly.
+#[test]
+fn heuristic_schedulers_are_valid_on_random_inputs() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xA11D, case);
+        let dag = random_dag(&mut rng, 14);
+        let machine = random_machine(&mut rng);
         for scheduler in [
             &TrivialScheduler as &dyn Scheduler,
             &CilkScheduler::default(),
@@ -37,45 +42,61 @@ proptest! {
             &SourceScheduler,
         ] {
             let sched = scheduler.schedule(&dag, &machine);
-            prop_assert!(sched.validate(&dag, &machine).is_ok(),
-                "{} invalid on random input", scheduler.name());
+            assert!(
+                sched.validate(&dag, &machine).is_ok(),
+                "{} invalid on random input (case {case})",
+                scheduler.name()
+            );
         }
         let trivial = TrivialScheduler.schedule(&dag, &machine);
-        prop_assert_eq!(
+        assert_eq!(
             trivial.cost(&dag, &machine),
-            dag.total_work() + machine.latency()
+            dag.total_work() + machine.latency(),
+            "case {case}"
         );
     }
+}
 
-    /// Hill climbing never increases the cost and preserves validity; the
-    /// reported final cost matches an independent recomputation.
-    #[test]
-    fn hill_climbing_is_monotone_and_consistent(
-        dag in arb_dag(12),
-        machine in arb_machine(),
-    ) {
+/// Hill climbing never increases the cost and preserves validity; the
+/// reported final cost matches an independent recomputation.
+#[test]
+fn hill_climbing_is_monotone_and_consistent() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xB222, case);
+        let dag = random_dag(&mut rng, 12);
+        let machine = random_machine(&mut rng);
         let mut sched = SourceScheduler.schedule(&dag, &machine);
         let before = sched.cost(&dag, &machine);
         let outcome = hc_improve(&dag, &machine, &mut sched, &quick_hc());
-        prop_assert!(outcome.final_cost <= before);
-        prop_assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
-        prop_assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(outcome.final_cost <= before, "case {case}");
+        assert_eq!(
+            outcome.final_cost,
+            sched.cost(&dag, &machine),
+            "case {case}"
+        );
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
 
         let before_cs = sched.cost(&dag, &machine);
         let outcome = hccs_improve(&dag, &machine, &mut sched, &quick_hc());
-        prop_assert!(outcome.final_cost <= before_cs);
-        prop_assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
-        prop_assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(outcome.final_cost <= before_cs, "case {case}");
+        assert_eq!(
+            outcome.final_cost,
+            sched.cost(&dag, &machine),
+            "case {case}"
+        );
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
     }
+}
 
-    /// The lazy communication schedule of any valid assignment yields a valid
-    /// BSP schedule, and normalization never increases its cost.
-    #[test]
-    fn lazy_schedules_are_valid_and_normalization_helps(
-        dag in arb_dag(12),
-        machine in arb_machine(),
-        spread in any::<bool>(),
-    ) {
+/// The lazy communication schedule of any valid assignment yields a valid
+/// BSP schedule, and normalization never increases its cost.
+#[test]
+fn lazy_schedules_are_valid_and_normalization_helps() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xC333, case);
+        let dag = random_dag(&mut rng, 12);
+        let machine = random_machine(&mut rng);
+        let spread = rng.gen::<bool>();
         // Build a valid assignment: topological order, one node per superstep
         // (optionally spread over processors round-robin).
         let order = dag.topological_order().unwrap();
@@ -87,51 +108,66 @@ proptest! {
         }
         let assignment = Assignment { proc, superstep };
         let mut sched = BspSchedule::from_assignment_lazy(&dag, assignment);
-        prop_assert!(sched.validate(&dag, &machine).is_ok());
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
         let before = sched.cost(&dag, &machine);
         sched.normalize(&dag);
-        prop_assert!(sched.validate(&dag, &machine).is_ok());
-        prop_assert!(sched.cost(&dag, &machine) <= before);
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
+        assert!(sched.cost(&dag, &machine) <= before, "case {case}");
     }
+}
 
-    /// The eager communication schedule (send everything as early as
-    /// possible) is also always valid and moves the same set of values.
-    #[test]
-    fn eager_and_lazy_communication_schedules_agree_on_volume(
-        dag in arb_dag(12),
-        machine in arb_machine(),
-    ) {
+/// The eager communication schedule (send everything as early as
+/// possible) is also always valid and moves the same set of values.
+#[test]
+fn eager_and_lazy_communication_schedules_agree_on_volume() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xD444, case);
+        let dag = random_dag(&mut rng, 12);
+        let machine = random_machine(&mut rng);
         let sched = BspgScheduler.schedule(&dag, &machine);
         let lazy = CommSchedule::lazy(&dag, &sched.assignment);
         let eager = CommSchedule::eager(&dag, &sched.assignment);
-        prop_assert_eq!(lazy.total_volume(&dag), eager.total_volume(&dag));
-        let eager_sched = BspSchedule { assignment: sched.assignment.clone(), comm: eager };
-        prop_assert!(eager_sched.validate(&dag, &machine).is_ok());
+        assert_eq!(
+            lazy.total_volume(&dag),
+            eager.total_volume(&dag),
+            "case {case}"
+        );
+        let eager_sched = BspSchedule {
+            assignment: sched.assignment.clone(),
+            comm: eager,
+        };
+        assert!(eager_sched.validate(&dag, &machine).is_ok(), "case {case}");
     }
+}
 
-    /// The hyperDAG text format round-trips every DAG exactly.
-    #[test]
-    fn hyperdag_round_trip_preserves_the_dag(dag in arb_dag(16)) {
+/// The hyperDAG text format round-trips every DAG exactly.
+#[test]
+fn hyperdag_round_trip_preserves_the_dag() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xE555, case);
+        let dag = random_dag(&mut rng, 16);
         let text = write_hyperdag(&dag);
         let back = read_hyperdag(&text).expect("round trip must parse");
-        prop_assert_eq!(back.n(), dag.n());
-        prop_assert_eq!(back.num_edges(), dag.num_edges());
-        prop_assert_eq!(back.work_weights(), dag.work_weights());
-        prop_assert_eq!(back.comm_weights(), dag.comm_weights());
+        assert_eq!(back.n(), dag.n(), "case {case}");
+        assert_eq!(back.num_edges(), dag.num_edges(), "case {case}");
+        assert_eq!(back.work_weights(), dag.work_weights(), "case {case}");
+        assert_eq!(back.comm_weights(), dag.comm_weights(), "case {case}");
         let mut edges_a: Vec<_> = dag.edges().collect();
         let mut edges_b: Vec<_> = back.edges().collect();
         edges_a.sort_unstable();
         edges_b.sort_unstable();
-        prop_assert_eq!(edges_a, edges_b);
+        assert_eq!(edges_a, edges_b, "case {case}");
     }
+}
 
-    /// Schedule costs respect the universal lower bounds: the critical path
-    /// and the perfectly balanced work distribution.
-    #[test]
-    fn costs_respect_lower_bounds(
-        dag in arb_dag(14),
-        machine in arb_machine(),
-    ) {
+/// Schedule costs respect the universal lower bounds: the critical path
+/// and the perfectly balanced work distribution.
+#[test]
+fn costs_respect_lower_bounds() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xF666, case);
+        let dag = random_dag(&mut rng, 14);
+        let machine = random_machine(&mut rng);
         let lower = dag
             .critical_path_work()
             .max(dag.total_work().div_ceil(machine.p() as u64));
@@ -142,7 +178,101 @@ proptest! {
             &SourceScheduler,
         ] {
             let cost = scheduler.schedule(&dag, &machine).cost(&dag, &machine);
-            prop_assert!(cost >= lower, "{} cost {cost} below lower bound {lower}", scheduler.name());
+            assert!(
+                cost >= lower,
+                "{} cost {cost} below lower bound {lower} (case {case})",
+                scheduler.name()
+            );
         }
     }
+}
+
+/// The incremental `try_move`/`apply_move` deltas equal a full
+/// `BspSchedule::from_assignment_lazy(..).cost(..)` recomputation across
+/// hundreds of random valid moves on random spmv/CG DAGs, under uniform and
+/// NUMA machines.  This is the invariant the allocation-free scratch-buffer
+/// state (row-max caches, consumer-summary transforms) must uphold exactly.
+#[test]
+fn hc_move_deltas_match_full_recomputation() {
+    let machines = [
+        Machine::uniform(4, 3, 5),
+        Machine::uniform(8, 2, 7),
+        Machine::numa_binary_tree(4, 3, 5, 3),
+        Machine::numa_binary_tree(8, 1, 4, 2),
+    ];
+    let mut total_moves_checked = 0usize;
+    for case in 0..8u64 {
+        let mut rng = rng_for_case(0x1717, case);
+        let dag = if case % 2 == 0 {
+            spmv(&SpmvConfig {
+                n: 12 + case as usize * 3,
+                density: 0.3,
+                seed: case,
+            })
+        } else {
+            cg(&IterConfig {
+                n: 6 + case as usize * 2,
+                density: 0.3,
+                iterations: 2,
+                seed: case,
+            })
+        };
+        for machine in &machines {
+            let init = SourceScheduler.schedule(&dag, machine);
+            let mut state = HcState::new(&dag, machine, init.assignment.clone())
+                .expect("scheduler output is feasible");
+            let mut cost = state.total_cost();
+            assert_eq!(
+                cost,
+                BspSchedule::from_assignment_lazy(&dag, state.assignment()).cost(&dag, machine),
+                "initial state cost mismatch (case {case})"
+            );
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            while accepted < 40 && attempts < 4000 {
+                attempts += 1;
+                let v = rng.gen_range(0usize..dag.n());
+                let p_new = rng.gen_range(0usize..machine.p());
+                let s_old = state.step_of(v);
+                let s_new = (s_old + rng.gen_range(0usize..3)).saturating_sub(1);
+                if !state.move_is_valid(v, p_new, s_new) {
+                    continue;
+                }
+                // move_window must agree with move_is_valid.
+                assert!(
+                    state.move_window(v).allows(p_new, s_new),
+                    "window disagrees with move_is_valid (case {case})"
+                );
+                // try_move returns the delta and leaves the state unchanged.
+                let tried = state.try_move(v, p_new, s_new);
+                assert_eq!(
+                    state.total_cost(),
+                    cost,
+                    "try_move leaked state (case {case})"
+                );
+                let applied = state.apply_move(v, p_new, s_new);
+                assert_eq!(tried, applied, "try/apply disagree (case {case})");
+                let recomputed =
+                    BspSchedule::from_assignment_lazy(&dag, state.assignment()).cost(&dag, machine);
+                assert_eq!(
+                    cost as i64 + applied,
+                    recomputed as i64,
+                    "incremental delta diverged from full recomputation \
+                     (case {case}, node {v} -> (p{p_new}, s{s_new}))"
+                );
+                assert_eq!(
+                    state.total_cost(),
+                    recomputed,
+                    "cached total diverged (case {case})"
+                );
+                cost = recomputed;
+                accepted += 1;
+            }
+            total_moves_checked += accepted;
+        }
+    }
+    assert!(
+        total_moves_checked >= 300,
+        "property exercised only {total_moves_checked} moves; generator too restrictive"
+    );
 }

@@ -23,19 +23,38 @@ fn dag_zoo() -> Vec<(String, Dag)> {
     let mut zoo = vec![
         (
             "spmv".to_string(),
-            spmv(&SpmvConfig { n: 14, density: 0.25, seed: 1 }),
+            spmv(&SpmvConfig {
+                n: 14,
+                density: 0.25,
+                seed: 1,
+            }),
         ),
         (
             "exp".to_string(),
-            exp(&IterConfig { n: 10, density: 0.3, iterations: 2, seed: 2 }),
+            exp(&IterConfig {
+                n: 10,
+                density: 0.3,
+                iterations: 2,
+                seed: 2,
+            }),
         ),
         (
             "cg".to_string(),
-            cg(&IterConfig { n: 8, density: 0.3, iterations: 2, seed: 3 }),
+            cg(&IterConfig {
+                n: 8,
+                density: 0.3,
+                iterations: 2,
+                seed: 3,
+            }),
         ),
         (
             "knn".to_string(),
-            knn(&IterConfig { n: 10, density: 0.3, iterations: 3, seed: 4 }),
+            knn(&IterConfig {
+                n: 10,
+                density: 0.3,
+                iterations: 3,
+                seed: 4,
+            }),
         ),
         (
             "coarse-cg".to_string(),
@@ -76,7 +95,16 @@ fn dag_zoo() -> Vec<(String, Dag)> {
         "fan-in".to_string(),
         Dag::from_edges(
             9,
-            &[(0, 8), (1, 8), (2, 8), (3, 8), (4, 8), (5, 8), (6, 8), (7, 8)],
+            &[
+                (0, 8),
+                (1, 8),
+                (2, 8),
+                (3, 8),
+                (4, 8),
+                (5, 8),
+                (6, 8),
+                (7, 8),
+            ],
             vec![2; 9],
             vec![5; 9],
         )
@@ -159,7 +187,9 @@ fn pipeline_never_loses_to_its_own_initializers() {
         for machine in machine_grid().into_iter().take(2) {
             let ours = pipeline.schedule(&dag, &machine).cost(&dag, &machine);
             let bspg = BspgScheduler.schedule(&dag, &machine).cost(&dag, &machine);
-            let source = SourceScheduler.schedule(&dag, &machine).cost(&dag, &machine);
+            let source = SourceScheduler
+                .schedule(&dag, &machine)
+                .cost(&dag, &machine);
             assert!(ours <= bspg.min(source));
         }
     }
