@@ -57,9 +57,9 @@ fn bench_incremental_vs_recompute(c: &mut Criterion) {
         let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
         let p_new = (p_old + 1) % machine.p();
         b.iter(|| {
-            if state.move_is_valid(v, p_new, s_old) {
-                let d1 = state.apply_move(v, p_new, s_old);
-                let d2 = state.apply_move(v, p_old, s_old);
+            if state.move_is_valid(&dag, v, p_new, s_old) {
+                let d1 = state.apply_move(&dag, v, p_new, s_old);
+                let d2 = state.apply_move(&dag, v, p_old, s_old);
                 black_box(d1 + d2)
             } else {
                 black_box(0)

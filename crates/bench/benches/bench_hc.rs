@@ -30,7 +30,12 @@ fn setup(n: usize) -> (bsp_model::Dag, Machine, bsp_model::BspSchedule) {
 }
 
 /// First valid candidate move of the schedule, in the driver's own order.
-fn first_valid_move(state: &HcState<'_>, n: usize, p: usize) -> (usize, usize, usize) {
+fn first_valid_move(
+    dag: &bsp_model::Dag,
+    state: &HcState<'_>,
+    n: usize,
+    p: usize,
+) -> (usize, usize, usize) {
     for v in 0..n {
         let s_old = state.step_of(v);
         for s_new in [s_old.wrapping_sub(1), s_old, s_old + 1] {
@@ -39,7 +44,7 @@ fn first_valid_move(state: &HcState<'_>, n: usize, p: usize) -> (usize, usize, u
             }
             for p_new in 0..p {
                 if (p_new, s_new) != (state.proc_of(v), s_old)
-                    && state.move_is_valid(v, p_new, s_new)
+                    && state.move_is_valid(dag, v, p_new, s_new)
                 {
                     return (v, p_new, s_new);
                 }
@@ -59,18 +64,18 @@ fn bench_move_evaluation(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("try_move", dag.n()), |b| {
         let mut state = HcState::new(&dag, &machine, sched.assignment.clone())
             .expect("scheduler output is feasible");
-        let (v, p_new, s_new) = first_valid_move(&state, dag.n(), machine.p());
-        b.iter(|| black_box(state.try_move(v, p_new, s_new)))
+        let (v, p_new, s_new) = first_valid_move(&dag, &state, dag.n(), machine.p());
+        b.iter(|| black_box(state.try_move(&dag, v, p_new, s_new)))
     });
 
     group.bench_function(BenchmarkId::new("apply_revert", dag.n()), |b| {
         let mut state = HcState::new(&dag, &machine, sched.assignment.clone())
             .expect("scheduler output is feasible");
-        let (v, p_new, s_new) = first_valid_move(&state, dag.n(), machine.p());
+        let (v, p_new, s_new) = first_valid_move(&dag, &state, dag.n(), machine.p());
         let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
         b.iter(|| {
-            let d1 = state.apply_move(v, p_new, s_new);
-            let d2 = state.apply_move(v, p_old, s_old);
+            let d1 = state.apply_move(&dag, v, p_new, s_new);
+            let d2 = state.apply_move(&dag, v, p_old, s_old);
             black_box(d1 + d2)
         })
     });

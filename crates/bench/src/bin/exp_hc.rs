@@ -19,7 +19,7 @@
 //!   --skip-legacy     only measure the current implementation
 
 use bsp_bench::legacy_hc::legacy_hc_improve;
-use bsp_bench::CliArgs;
+use bsp_bench::{size_to_target, CliArgs};
 use bsp_model::{BspSchedule, Dag, Machine};
 use bsp_sched::hill_climb::{hc_improve, HillClimbConfig};
 use bsp_sched::init::SourceScheduler;
@@ -105,31 +105,6 @@ where
         }
     }
     best.expect("at least one repetition runs")
-}
-
-/// Picks a generator parameter so the produced DAG lands within ~5% of
-/// `target` nodes (generator sizes grow monotonically with `n`).
-fn size_to_target(target: usize, make: impl Fn(usize) -> Dag) -> Dag {
-    let (mut lo, mut hi) = (8usize, 16usize);
-    while make(hi).n() < target {
-        lo = hi;
-        hi *= 2;
-        assert!(hi < 1 << 24, "generator never reached the target size");
-    }
-    for _ in 0..32 {
-        let mid = (lo + hi) / 2;
-        if mid == lo {
-            break;
-        }
-        if make(mid).n() < target {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    let dag = make(hi);
-    eprintln!("  sized instance: parameter {} -> {} nodes", hi, dag.n());
-    dag
 }
 
 fn main() {

@@ -12,19 +12,35 @@
 //! As in the paper, the *tiny* dataset is excluded (it cannot be meaningfully
 //! coarsened).
 //!
+//! With `--speedup` the binary instead benchmarks the incremental multilevel
+//! engine against the pre-rearchitecture baseline
+//! (`bsp_bench::legacy_multilevel`): ≈10k-node `spmv` / `cg` instances on 4-
+//! and 8-processor uniform and NUMA machines, identical configurations,
+//! wall-clock of `run_report` plus final-cost parity, written as JSON in the
+//! same schema as `BENCH_hc.json` (default `BENCH_multilevel.json`).
+//!
 //! Usage: `cargo run -p bsp-bench --release --bin exp_multilevel --
 //!         [--scale smoke|reduced|full] [--seed N] [--coarsening-sweep]`
+//!
+//!        `cargo run -p bsp-bench --release --bin exp_multilevel -- --speedup
+//!         [--out PATH] [--target N] [--reps N] [--nnz-per-row K] [--quick]
+//!         [--skip-legacy]`
 
+use bsp_bench::legacy_multilevel::LegacyMultilevelScheduler;
 use bsp_bench::stats::Aggregate;
 use bsp_bench::table::pct_pair;
-use bsp_bench::{scaled_dataset, CliArgs, Table};
-use bsp_model::Machine;
+use bsp_bench::{scaled_dataset, size_to_target, CliArgs, Table};
+use bsp_model::{Dag, Machine};
 use bsp_sched::baselines::{CilkScheduler, HDaggScheduler, TrivialScheduler};
-use bsp_sched::multilevel::MultilevelScheduler;
-use bsp_sched::pipeline::Pipeline;
+use bsp_sched::hill_climb::HillClimbConfig;
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
 use bsp_sched::Scheduler;
 use dag_gen::dataset::DatasetKind;
+use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
 use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 const PROCS: [usize; 2] = [8, 16];
 const DELTAS: [u64; 3] = [2, 3, 4];
@@ -41,6 +57,10 @@ struct Cell {
 
 fn main() {
     let args = CliArgs::from_env();
+    if args.flag("speedup") {
+        run_speedup(&args);
+        return;
+    }
     let scale = args.scale();
     let seed = args.seed();
 
@@ -184,4 +204,212 @@ fn print_table14(cells: &[Cell]) {
         }
     }
     table.print();
+}
+
+// ---------------------------------------------------------------------------
+// `--speedup`: incremental engine vs the pre-rearchitecture baseline.
+// ---------------------------------------------------------------------------
+
+/// One measured `run_report` call.
+struct RunStats {
+    seconds: f64,
+    final_cost: u64,
+    coarse_nodes: Vec<usize>,
+}
+
+impl RunStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"seconds\": {:.6}, \"final_cost\": {}, \"coarse_nodes\": {:?}}}",
+            self.seconds, self.final_cost, self.coarse_nodes
+        )
+    }
+}
+
+/// Runs `f` `reps` times and keeps the fastest wall-clock (the runs are
+/// deterministic up to thread scheduling, so the minimum isolates OS noise).
+fn measure(reps: usize, f: impl Fn() -> bsp_sched::multilevel::MultilevelReport) -> RunStats {
+    let mut best: Option<RunStats> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = f();
+        let seconds = start.elapsed().as_secs_f64();
+        let stats = RunStats {
+            seconds,
+            final_cost: report.final_cost,
+            coarse_nodes: report
+                .ratio_outcomes
+                .iter()
+                .map(|o| o.coarse_nodes)
+                .collect(),
+        };
+        if best.as_ref().is_none_or(|b| stats.seconds < b.seconds) {
+            best = Some(stats);
+        }
+    }
+    best.expect("at least one repetition runs")
+}
+
+/// The shared configuration of the speedup comparison: the paper's `C_opt`
+/// ratio portfolio with a heuristics-only base pipeline (ILP budgets would
+/// swamp the outer-loop signal on 10k-node instances).
+fn speedup_config() -> MultilevelConfig {
+    MultilevelConfig {
+        coarsen_ratios: vec![0.3, 0.15],
+        min_nodes_to_coarsen: 30,
+        refine_interval: 5,
+        refine_max_steps: 100,
+        refine_time_limit: Duration::from_millis(500),
+        base: PipelineConfig {
+            hill_climb: HillClimbConfig::with_time_limit(Duration::from_secs(2)),
+            ..PipelineConfig::heuristics_only()
+        },
+        final_comm_time_limit: Duration::from_secs(1),
+    }
+}
+
+fn run_speedup(args: &CliArgs) {
+    let quick = args.flag("quick");
+    let out_path = args
+        .value("out")
+        .unwrap_or("BENCH_multilevel.json")
+        .to_string();
+    let target = args.u64_or("target", if quick { 1_000 } else { 10_000 }) as usize;
+    let skip_legacy = args.flag("skip-legacy");
+    let reps = args.usize_or("reps", 1);
+    let nnz_per_row = args.u64_or("nnz-per-row", 16) as f64;
+
+    eprintln!("exp_multilevel --speedup: target {target} nodes, reps {reps}");
+    eprintln!("sizing spmv instance...");
+    let spmv_dag = size_to_target(target, |n| {
+        spmv(&SpmvConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            seed: 42,
+        })
+    });
+    eprintln!("sizing cg instance...");
+    let cg_dag = size_to_target(target, |n| {
+        cg(&IterConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            iterations: 2,
+            seed: 42,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> = vec![("spmv", &spmv_dag), ("cg", &cg_dag)];
+
+    let machines: Vec<(String, Machine)> = vec![
+        ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),
+        ("uniform_p8_g3_l5".into(), Machine::uniform(8, 3, 5)),
+        (
+            "numa_p4_g3_l5_d3".into(),
+            Machine::numa_binary_tree(4, 3, 5, 3),
+        ),
+        (
+            "numa_p8_g3_l5_d3".into(),
+            Machine::numa_binary_tree(8, 3, 5, 3),
+        ),
+    ];
+
+    let config = speedup_config();
+    let incremental = MultilevelScheduler::new(config.clone());
+    let legacy = LegacyMultilevelScheduler::new(config.clone());
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut worst_cost_ratio = 1.0f64;
+    for (inst_name, dag) in &instances {
+        for (machine_name, machine) in &machines {
+            eprintln!("== {inst_name} ({} nodes) on {machine_name}", dag.n());
+
+            let inc = measure(reps, || incremental.run_report(dag, machine));
+            eprintln!(
+                "   incremental: {:.3}s, cost {}",
+                inc.seconds, inc.final_cost
+            );
+
+            let mut row = String::new();
+            write!(
+                row,
+                "    {{\"instance\": \"{inst_name}\", \"nodes\": {}, \"edges\": {}, \
+                 \"machine\": \"{machine_name}\", \"incremental\": {}",
+                dag.n(),
+                dag.num_edges(),
+                inc.to_json(),
+            )
+            .unwrap();
+
+            if !skip_legacy {
+                let leg = measure(reps, || legacy.run_report(dag, machine));
+                let speedup = leg.seconds / inc.seconds.max(1e-9);
+                let cost_ratio = inc.final_cost as f64 / leg.final_cost.max(1) as f64;
+                worst_cost_ratio = worst_cost_ratio.max(cost_ratio);
+                eprintln!(
+                    "   legacy:      {:.3}s, cost {}  ->  speedup {speedup:.1}x, cost ratio {cost_ratio:.4}",
+                    leg.seconds, leg.final_cost
+                );
+                speedups.push(speedup);
+                write!(
+                    row,
+                    ", \"legacy\": {}, \"speedup_wall_clock\": {speedup:.2}, \
+                     \"cost_ratio\": {cost_ratio:.4}",
+                    leg.to_json()
+                )
+                .unwrap();
+            }
+            row.push('}');
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"multilevel_throughput\",\n");
+    writeln!(
+        json,
+        "  \"unix_time\": {},",
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"target_nodes\": {target}, \"coarsen_ratios\": {:?}, \
+         \"refine_interval\": {}, \"refine_max_steps\": {}, \"base\": \"{}\", \
+         \"reps\": {reps}}},",
+        config.coarsen_ratios,
+        config.refine_interval,
+        config.refine_max_steps,
+        if config.base.use_ilp {
+            "with-ilp"
+        } else {
+            "heuristics-only"
+        },
+    )
+    .unwrap();
+    json.push_str("  \"results\": [\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]");
+    if !speedups.is_empty() {
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        writeln!(json, ",").unwrap();
+        write!(
+            json,
+            "  \"summary\": {{\"geomean_speedup\": {geomean:.2}, \"min_speedup\": {min:.2}, \
+             \"worst_cost_ratio\": {worst_cost_ratio:.4}, \"runs\": {}}}",
+            speedups.len()
+        )
+        .unwrap();
+        eprintln!(
+            "geomean speedup {geomean:.2}x, min {min:.2}x, worst cost ratio {worst_cost_ratio:.4} over {} runs",
+            speedups.len()
+        );
+    }
+    json.push_str("\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
+    eprintln!("wrote {out_path}");
 }

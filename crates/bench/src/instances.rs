@@ -173,6 +173,33 @@ fn matrix_dim_for(target: usize, density: f64, iterations: usize) -> usize {
     dim.clamp(4, 4000)
 }
 
+/// Picks a generator parameter so the produced DAG lands close to `target`
+/// nodes (the generator's size must grow monotonically with the parameter).
+/// Shared by the throughput experiments (`exp_hc`, `exp_multilevel`) that
+/// size their benchmark instances by node count rather than matrix dimension.
+pub fn size_to_target(target: usize, make: impl Fn(usize) -> bsp_model::Dag) -> bsp_model::Dag {
+    let (mut lo, mut hi) = (8usize, 16usize);
+    while make(hi).n() < target {
+        lo = hi;
+        hi *= 2;
+        assert!(hi < 1 << 24, "generator never reached the target size");
+    }
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2;
+        if mid == lo {
+            break;
+        }
+        if make(mid).n() < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let dag = make(hi);
+    eprintln!("  sized instance: parameter {} -> {} nodes", hi, dag.n());
+    dag
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

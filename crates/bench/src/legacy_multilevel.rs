@@ -1,0 +1,428 @@
+//! The pre-rearchitecture multilevel scheduler, kept verbatim as the
+//! benchmark baseline for `exp_multilevel --speedup` / `BENCH_multilevel.json`.
+//!
+//! This is the outer loop the incremental engine in `bsp_sched::multilevel`
+//! replaced.  Its performance sins, preserved here on purpose:
+//!
+//! 1. **Rebuild-per-phase refinement** — every refinement phase scans all
+//!    nodes for the active representatives, builds a fresh quotient `Dag`
+//!    through `DagBuilder` with `BTreeSet` edge dedup, re-projects the
+//!    assignment, and lets `hc_improve` construct a brand-new search state:
+//!    `O(n + m)` per phase regardless of how little the last uncontractions
+//!    changed.
+//! 2. **Sweep-per-contraction coarsening** — the coarsening-side quotient
+//!    graph lives in `BTreeSet` adjacency, reruns a full Kahn topological
+//!    rank computation for *every* contraction, and re-sorts the entire
+//!    candidate list each time one edge is picked.
+//! 3. **Sequential ratio portfolio** — the independent per-ratio runs execute
+//!    one after the other.
+//!
+//! The inner `HC`/`HCcs` searches are the current (PR 1) implementations, so
+//! the comparison isolates the outer loop.  Semantics match the incremental
+//! engine up to tie-breaking (candidate selection order and refinement visit
+//! order differ, so final costs can differ slightly); only the speed is the
+//! point.  Do not use this outside benchmarking.
+
+use bsp_model::{Assignment, BspSchedule, Dag, DagBuilder, Machine, NodeId};
+use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use bsp_sched::ilp::ilp_cs_improve;
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelReport, RatioOutcome};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use std::collections::BTreeSet;
+
+/// One contraction step of the legacy clustering.
+#[derive(Debug, Clone)]
+struct LegacyContraction {
+    kept: NodeId,
+    removed: NodeId,
+    moved: Vec<NodeId>,
+}
+
+/// The legacy clustering: representative discovery is an `O(n)` scan per
+/// call, and `quotient_dag` allocates an `O(n)` index array every time.
+#[derive(Debug, Clone)]
+struct LegacyClustering {
+    cluster_of: Vec<NodeId>,
+    members: Vec<Vec<NodeId>>,
+    active: Vec<bool>,
+    num_clusters: usize,
+    history: Vec<LegacyContraction>,
+}
+
+impl LegacyClustering {
+    fn identity(n: usize) -> Self {
+        LegacyClustering {
+            cluster_of: (0..n).collect(),
+            members: (0..n).map(|v| vec![v]).collect(),
+            active: vec![true; n],
+            num_clusters: n,
+            history: Vec::new(),
+        }
+    }
+
+    fn representatives(&self) -> Vec<NodeId> {
+        (0..self.active.len()).filter(|&v| self.active[v]).collect()
+    }
+
+    fn contract(&mut self, kept: NodeId, removed: NodeId) {
+        let moved = std::mem::take(&mut self.members[removed]);
+        for &v in &moved {
+            self.cluster_of[v] = kept;
+        }
+        self.members[kept].extend_from_slice(&moved);
+        self.active[removed] = false;
+        self.num_clusters -= 1;
+        self.history.push(LegacyContraction {
+            kept,
+            removed,
+            moved,
+        });
+    }
+
+    fn uncontract_one(&mut self) -> bool {
+        let Some(LegacyContraction {
+            kept,
+            removed,
+            moved,
+        }) = self.history.pop()
+        else {
+            return false;
+        };
+        let keep_len = self.members[kept].len() - moved.len();
+        self.members[kept].truncate(keep_len);
+        for &v in &moved {
+            self.cluster_of[v] = removed;
+        }
+        self.members[removed] = moved;
+        self.active[removed] = true;
+        self.num_clusters += 1;
+        true
+    }
+
+    fn quotient_dag(&self, dag: &Dag) -> (Dag, Vec<NodeId>) {
+        let reps = self.representatives();
+        let mut index = vec![usize::MAX; dag.n()];
+        for (i, &r) in reps.iter().enumerate() {
+            index[r] = i;
+        }
+        let mut builder = DagBuilder::new();
+        for &r in &reps {
+            let work = self.members[r].iter().map(|&v| dag.work(v)).sum();
+            let comm = self.members[r].iter().map(|&v| dag.comm(v)).sum();
+            builder.add_node(work, comm);
+        }
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (a, b) in dag.edges() {
+            let ca = index[self.cluster_of[a]];
+            let cb = index[self.cluster_of[b]];
+            if ca != cb && seen.insert((ca, cb)) {
+                builder.add_edge(ca, cb);
+            }
+        }
+        let quotient = builder
+            .build()
+            .expect("contractions preserve acyclicity, so the quotient is a DAG");
+        (quotient, reps)
+    }
+}
+
+/// The legacy coarsening-side quotient graph: `BTreeSet` adjacency and a full
+/// Kahn rank recomputation per contraction round.
+struct LegacyQuotientGraph {
+    succs: Vec<BTreeSet<NodeId>>,
+    preds: Vec<BTreeSet<NodeId>>,
+    work: Vec<u64>,
+    comm: Vec<u64>,
+    active: Vec<bool>,
+    n_active: usize,
+}
+
+impl LegacyQuotientGraph {
+    fn new(dag: &Dag) -> Self {
+        let n = dag.n();
+        let mut succs = vec![BTreeSet::new(); n];
+        let mut preds = vec![BTreeSet::new(); n];
+        for (u, v) in dag.edges() {
+            succs[u].insert(v);
+            preds[v].insert(u);
+        }
+        LegacyQuotientGraph {
+            succs,
+            preds,
+            work: dag.work_weights().to_vec(),
+            comm: dag.comm_weights().to_vec(),
+            active: vec![true; n],
+            n_active: n,
+        }
+    }
+
+    fn topological_rank(&self) -> Vec<usize> {
+        let n = self.active.len();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|v| {
+                if self.active[v] {
+                    self.preds[v].len()
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&v| self.active[v] && indeg[v] == 0)
+            .collect();
+        let mut rank = vec![0usize; n];
+        let mut next_rank = 0usize;
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            rank[v] = next_rank;
+            next_rank += 1;
+            for &w in &self.succs[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        rank
+    }
+
+    fn candidate_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let rank = self.topological_rank();
+        let mut candidates = Vec::new();
+        for u in 0..self.active.len() {
+            if !self.active[u] || self.succs[u].is_empty() {
+                continue;
+            }
+            let v = *self.succs[u]
+                .iter()
+                .min_by_key(|&&w| rank[w])
+                .expect("non-empty successor set");
+            candidates.push((u, v));
+        }
+        candidates
+    }
+
+    fn contract(&mut self, u: NodeId, v: NodeId) {
+        self.succs[u].remove(&v);
+        self.preds[v].remove(&u);
+        let v_succs: Vec<NodeId> = self.succs[v].iter().copied().collect();
+        for w in v_succs {
+            self.preds[w].remove(&v);
+            if w != u {
+                self.succs[u].insert(w);
+                self.preds[w].insert(u);
+            }
+        }
+        let v_preds: Vec<NodeId> = self.preds[v].iter().copied().collect();
+        for w in v_preds {
+            self.succs[w].remove(&v);
+            if w != u {
+                self.succs[w].insert(u);
+                self.preds[u].insert(w);
+            }
+        }
+        self.succs[v].clear();
+        self.preds[v].clear();
+        self.work[u] += self.work[v];
+        self.comm[u] += self.comm[v];
+        self.active[v] = false;
+        self.n_active -= 1;
+    }
+}
+
+fn legacy_coarsen(dag: &Dag, target_clusters: usize) -> LegacyClustering {
+    let mut clustering = LegacyClustering::identity(dag.n());
+    if dag.n() == 0 {
+        return clustering;
+    }
+    let mut graph = LegacyQuotientGraph::new(dag);
+    let target = target_clusters.max(1);
+    while graph.n_active > target {
+        let mut candidates = graph.candidate_edges();
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by_key(|&(u, v)| graph.work[u] + graph.work[v]);
+        let prefix = candidates.len().div_ceil(3);
+        let &(u, v) = candidates[..prefix]
+            .iter()
+            .max_by_key(|&&(u, _)| graph.comm[u])
+            .expect("prefix is non-empty");
+        graph.contract(u, v);
+        clustering.contract(u, v);
+    }
+    clustering
+}
+
+/// The legacy multilevel scheduler (sequential ratio loop, rebuild-per-phase
+/// refinement).  Accepts the same [`MultilevelConfig`] and produces the same
+/// [`MultilevelReport`] shape as `MultilevelScheduler::run_report`.
+#[derive(Debug, Clone, Default)]
+pub struct LegacyMultilevelScheduler {
+    config: MultilevelConfig,
+}
+
+impl LegacyMultilevelScheduler {
+    /// Creates the legacy scheduler with the given configuration.
+    pub fn new(config: MultilevelConfig) -> Self {
+        LegacyMultilevelScheduler { config }
+    }
+
+    /// Runs the legacy multilevel scheduler (see `run_report` of the current
+    /// implementation for the report contract).
+    pub fn run_report(&self, dag: &Dag, machine: &Machine) -> MultilevelReport {
+        let base_pipeline = Pipeline::new(PipelineConfig {
+            use_ilp_cs: false,
+            ..self.config.base.clone()
+        });
+        if dag.n() < self.config.min_nodes_to_coarsen || self.config.coarsen_ratios.is_empty() {
+            let mut schedule = base_pipeline.run(dag, machine);
+            self.final_comm_optimization(dag, machine, &mut schedule);
+            let final_cost = schedule.cost(dag, machine);
+            return MultilevelReport {
+                ratio_outcomes: Vec::new(),
+                used_base_only: true,
+                final_cost,
+                schedule,
+            };
+        }
+
+        let mut ratio_outcomes = Vec::new();
+        let mut best: Option<BspSchedule> = None;
+        let mut best_cost = u64::MAX;
+        for &ratio in &self.config.coarsen_ratios {
+            let (schedule, coarse_nodes) =
+                self.run_single_ratio(dag, machine, &base_pipeline, ratio);
+            let cost = schedule.cost(dag, machine);
+            ratio_outcomes.push(RatioOutcome {
+                ratio,
+                coarse_nodes,
+                cost,
+            });
+            if cost < best_cost {
+                best_cost = cost;
+                best = Some(schedule);
+            }
+        }
+        let schedule = best.expect("at least one coarsening ratio configured");
+        MultilevelReport {
+            ratio_outcomes,
+            used_base_only: false,
+            final_cost: best_cost,
+            schedule,
+        }
+    }
+
+    fn run_single_ratio(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        base_pipeline: &Pipeline,
+        ratio: f64,
+    ) -> (BspSchedule, usize) {
+        let target =
+            ((dag.n() as f64 * ratio).round() as usize).clamp(2, dag.n().saturating_sub(1).max(2));
+        let mut clustering = legacy_coarsen(dag, target);
+        let coarse_nodes = clustering.num_clusters;
+
+        let (coarse_dag, reps) = clustering.quotient_dag(dag);
+        let coarse_schedule = base_pipeline.run(&coarse_dag, machine);
+
+        let mut proc = vec![0usize; dag.n()];
+        let mut step = vec![0usize; dag.n()];
+        for (i, &rep) in reps.iter().enumerate() {
+            for &v in &clustering.members[rep] {
+                proc[v] = coarse_schedule.proc(i);
+                step[v] = coarse_schedule.superstep(i);
+            }
+        }
+
+        let mut since_refine = 0usize;
+        loop {
+            let more = clustering.uncontract_one();
+            since_refine += 1;
+            let fully_uncoarsened = !more;
+            if since_refine >= self.config.refine_interval || fully_uncoarsened {
+                self.refine(dag, machine, &clustering, &mut proc, &mut step);
+                since_refine = 0;
+            }
+            if fully_uncoarsened {
+                break;
+            }
+        }
+
+        let assignment = Assignment {
+            proc,
+            superstep: step,
+        };
+        let mut schedule = BspSchedule::from_assignment_lazy(dag, assignment);
+        schedule.normalize(dag);
+        self.final_comm_optimization(dag, machine, &mut schedule);
+        debug_assert!(schedule.validate(dag, machine).is_ok());
+        (schedule, coarse_nodes)
+    }
+
+    /// The rebuild-per-phase refinement this module exists to measure: fresh
+    /// quotient `Dag`, fresh projection, fresh search state, every time.
+    fn refine(
+        &self,
+        dag: &Dag,
+        machine: &Machine,
+        clustering: &LegacyClustering,
+        proc: &mut [usize],
+        step: &mut [usize],
+    ) {
+        let (quotient, reps) = clustering.quotient_dag(dag);
+        let assignment = Assignment {
+            proc: reps.iter().map(|&r| proc[r]).collect(),
+            superstep: reps.iter().map(|&r| step[r]).collect(),
+        };
+        let mut schedule = BspSchedule::from_assignment_lazy(&quotient, assignment);
+        let config = HillClimbConfig {
+            time_limit: self.config.refine_time_limit,
+            max_steps: self.config.refine_max_steps,
+        };
+        hc_improve(&quotient, machine, &mut schedule, &config);
+        for (i, &rep) in reps.iter().enumerate() {
+            for &v in &clustering.members[rep] {
+                proc[v] = schedule.proc(i);
+                step[v] = schedule.superstep(i);
+            }
+        }
+    }
+
+    fn final_comm_optimization(&self, dag: &Dag, machine: &Machine, schedule: &mut BspSchedule) {
+        let hccs_cfg = HillClimbConfig {
+            time_limit: self.config.final_comm_time_limit,
+            max_steps: usize::MAX,
+        };
+        hccs_improve(dag, machine, schedule, &hccs_cfg);
+        if self.config.base.use_ilp {
+            ilp_cs_improve(dag, machine, schedule, &self.config.base.ilp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dag_gen::fine::{cg, IterConfig};
+
+    #[test]
+    fn legacy_multilevel_produces_valid_schedules() {
+        let dag = cg(&IterConfig {
+            n: 12,
+            density: 0.25,
+            iterations: 2,
+            seed: 5,
+        });
+        let machine = Machine::numa_binary_tree(8, 1, 5, 4);
+        let report =
+            LegacyMultilevelScheduler::new(MultilevelConfig::fast()).run_report(&dag, &machine);
+        assert!(report.schedule.validate(&dag, &machine).is_ok());
+        assert_eq!(report.final_cost, report.schedule.cost(&dag, &machine));
+        assert_eq!(report.ratio_outcomes.len(), 2);
+    }
+}

@@ -19,11 +19,12 @@ pub mod args;
 pub mod eval;
 pub mod instances;
 pub mod legacy_hc;
+pub mod legacy_multilevel;
 pub mod stats;
 pub mod table;
 
 pub use args::CliArgs;
 pub use eval::{AlgoCosts, EvalOptions, InstanceResult};
-pub use instances::{scaled_dataset, Scale};
+pub use instances::{scaled_dataset, size_to_target, Scale};
 pub use stats::{geo_mean, geo_mean_ratio, reduction_pct, Aggregate};
 pub use table::Table;

@@ -15,6 +15,11 @@
 //! after its preliminary experiments, and stop at a local minimum or when the
 //! time limit expires.
 //!
+//! [`hc_improve`] is the cold-start entry point over a [`Dag`];
+//! [`hc_search`] is the underlying work-list driver over any
+//! [`bsp_model::DagView`] and an existing [`HcState`], which the incremental
+//! multilevel engine warm-starts with externally seeded queues.
+//!
 //! ## Work-list driving
 //!
 //! A naive driver rescans all `n` nodes every pass even when a pass changed
@@ -36,7 +41,7 @@ mod state;
 pub use hccs::hccs_improve;
 pub use state::{HcState, MoveWindow};
 
-use bsp_model::{BspSchedule, Dag, Machine};
+use bsp_model::{BspSchedule, Dag, DagView, Machine};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -102,19 +107,75 @@ pub mod debug_counters {
     pub static EVALS: AtomicU64 = AtomicU64::new(0);
 }
 
+/// Reusable work-list buffers for [`hc_search`].  Owning these outside the
+/// search is what lets the multilevel engine run one refinement phase per
+/// uncontraction batch without re-allocating the queue each time.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    queue: VecDeque<usize>,
+    in_queue: Vec<bool>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the buffers for graphs of `n` nodes, so later enqueues never
+    /// reallocate (the multilevel engine calls this once up front to keep its
+    /// refinement phases allocation-free).
+    pub fn reserve(&mut self, n: usize) {
+        if self.in_queue.len() < n {
+            self.in_queue.resize(n, false);
+        }
+        self.queue.reserve(n.saturating_sub(self.queue.len()));
+    }
+
+    /// Enqueues node `v` for the next [`hc_search`] call (deduplicated).
+    pub fn enqueue(&mut self, v: usize) {
+        if self.in_queue.len() <= v {
+            self.in_queue.resize(v + 1, false);
+        }
+        if !self.in_queue[v] {
+            self.in_queue[v] = true;
+            self.queue.push_back(v);
+        }
+    }
+
+    /// Enqueues every active node of `graph`.
+    pub fn enqueue_all<G: DagView>(&mut self, graph: &G) {
+        let n = graph.n();
+        if self.in_queue.len() < n {
+            self.in_queue.resize(n, false);
+        }
+        self.queue.reserve(n);
+        for v in 0..n {
+            if graph.is_active(v) {
+                self.enqueue(v);
+            }
+        }
+    }
+
+    /// Number of nodes currently enqueued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
 /// Tries the candidate moves of node `v` in the canonical order (superstep
 /// `s−1`, `s`, `s+1`; processors ascending) and applies the first improving
 /// one.  Returns `true` if a move was accepted.
-fn try_improve_node(state: &mut HcState<'_>, v: usize, p: usize) -> bool {
+fn try_improve_node<G: DagView>(graph: &G, state: &mut HcState<'_>, v: usize, p: usize) -> bool {
     #[cfg(feature = "hc-debug-counters")]
     debug_counters::VISITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    if !state.node_can_gain(v) {
+    if !state.node_can_gain(graph, v) {
         return false;
     }
     #[cfg(feature = "hc-debug-counters")]
     debug_counters::GATE_PASS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
-    let window = state.move_window(v);
+    let window = state.move_window(graph, v);
     let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
     for &s_new in &s_candidates {
         if s_new == usize::MAX {
@@ -129,8 +190,8 @@ fn try_improve_node(state: &mut HcState<'_>, v: usize, p: usize) -> bool {
             }
             #[cfg(feature = "hc-debug-counters")]
             debug_counters::EVALS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if state.try_move(v, p_new, s_new) < 0 {
-                state.apply_move(v, p_new, s_new);
+            if state.try_move(graph, v, p_new, s_new) < 0 {
+                state.apply_move(graph, v, p_new, s_new);
                 return true;
             }
         }
@@ -141,9 +202,9 @@ fn try_improve_node(state: &mut HcState<'_>, v: usize, p: usize) -> bool {
 /// Re-enqueues everything whose best move can have changed after an accepted
 /// move of `v`: the node itself, its DAG neighbours, and every node of the
 /// supersteps whose tallies the move touched.
-fn enqueue_dirty(
+fn enqueue_dirty<G: DagView>(
     state: &HcState<'_>,
-    dag: &Dag,
+    graph: &G,
     v: usize,
     queue: &mut VecDeque<usize>,
     in_queue: &mut [bool],
@@ -155,10 +216,10 @@ fn enqueue_dirty(
         }
     };
     push(v, queue, in_queue);
-    for &u in dag.predecessors(v) {
+    for &u in graph.predecessors(v) {
         push(u, queue, in_queue);
     }
-    for &w in dag.successors(v) {
+    for &w in graph.successors(v) {
         push(w, queue, in_queue);
     }
     for &s in state.last_affected_steps() {
@@ -186,24 +247,49 @@ pub fn hc_improve(
     config: &HillClimbConfig,
 ) -> HillClimbOutcome {
     schedule.relax_to_lazy(dag);
-    let start = Instant::now();
     let mut state = HcState::new(dag, machine, schedule.assignment.clone())
         .expect("hc_improve requires a precedence-feasible assignment");
-    #[cfg(feature = "hc-debug-counters")]
-    if std::env::var_os("HC_DEBUG_TIMING").is_some() {
-        eprintln!("[hc] setup: {:?}", start.elapsed());
-    }
+    let mut scratch = SearchScratch::new();
+    scratch.enqueue_all(dag);
+    let mut outcome = hc_search(dag, machine, &mut state, config, &mut scratch, true);
+    schedule.assignment = state.into_assignment();
+    schedule.relax_to_lazy(dag);
+    schedule.normalize(dag);
+    outcome.final_cost = schedule.cost(dag, machine);
+    outcome
+}
+
+/// The work-list `HC` search itself, operating on an existing [`HcState`]
+/// over any [`DagView`].  This is the warm-start entry point the incremental
+/// multilevel engine drives: the caller seeds `scratch` with the nodes whose
+/// best move may have changed (or [`SearchScratch::enqueue_all`] for a cold
+/// start) and the search examines only those plus whatever accepted moves
+/// dirty.
+///
+/// With `full_sweep` set, a drained work-list triggers verification sweeps
+/// over all active nodes until one accepts nothing, which certifies the local
+/// minimum; without it the search stops as soon as the work-list drains
+/// (`reached_local_minimum` is then always `false`), keeping the phase cost
+/// proportional to the local change — what bounded refinement phases want.
+pub fn hc_search<G: DagView>(
+    graph: &G,
+    machine: &Machine,
+    state: &mut HcState<'_>,
+    config: &HillClimbConfig,
+    scratch: &mut SearchScratch,
+    full_sweep: bool,
+) -> HillClimbOutcome {
+    let start = Instant::now();
     let initial_cost = state.total_cost();
-    let n = dag.n();
+    let n = graph.n();
     let p = machine.p();
+    if scratch.in_queue.len() < n {
+        scratch.in_queue.resize(n, false);
+    }
+    let SearchScratch { queue, in_queue } = scratch;
     let mut steps = 0usize;
     let mut reached_local_minimum = false;
 
-    // Every node starts dirty; after that, only re-enqueued nodes are
-    // re-examined.  A drained work-list triggers a verification sweep; only a
-    // sweep that accepts nothing certifies the local minimum.
-    let mut queue: VecDeque<usize> = (0..n).collect();
-    let mut in_queue = vec![true; n];
     // Reading the clock per visit would dominate gated visits; poll it every
     // 64th visit instead (the step limit stays exact).
     let mut visit = 0u32;
@@ -218,26 +304,37 @@ pub fn hc_improve(
             if over_limit(&mut visit, steps) {
                 break 'outer;
             }
-            if try_improve_node(&mut state, v, p) {
+            if try_improve_node(graph, state, v, p) {
                 steps += 1;
-                enqueue_dirty(&state, dag, v, &mut queue, &mut in_queue);
+                enqueue_dirty(state, graph, v, queue, in_queue);
             }
+        }
+        if !full_sweep {
+            break;
         }
         let mut sweep_improved = false;
         for v in 0..n {
+            if !graph.is_active(v) {
+                continue;
+            }
             if over_limit(&mut visit, steps) {
                 break 'outer;
             }
-            if try_improve_node(&mut state, v, p) {
+            if try_improve_node(graph, state, v, p) {
                 steps += 1;
                 sweep_improved = true;
-                enqueue_dirty(&state, dag, v, &mut queue, &mut in_queue);
+                enqueue_dirty(state, graph, v, queue, in_queue);
             }
         }
         if !sweep_improved {
             reached_local_minimum = true;
             break;
         }
+    }
+    // Leave the scratch clean for the next phase: whatever is still marked
+    // enqueued (after a limit-triggered early exit) is drained here.
+    while let Some(v) = queue.pop_front() {
+        in_queue[v] = false;
     }
     #[cfg(feature = "hc-debug-counters")]
     if std::env::var_os("HC_DEBUG_TIMING").is_some() {
@@ -250,15 +347,10 @@ pub fn hc_improve(
             debug_counters::EVALS.swap(0, Relaxed),
         );
     }
-
-    schedule.assignment = state.into_assignment();
-    schedule.relax_to_lazy(dag);
-    schedule.normalize(dag);
-    let final_cost = schedule.cost(dag, machine);
     HillClimbOutcome {
         steps,
         initial_cost,
-        final_cost,
+        final_cost: state.total_cost(),
         reached_local_minimum,
     }
 }

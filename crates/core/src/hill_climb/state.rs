@@ -24,8 +24,21 @@
 //! [`HcState::apply_move`] commits it.  Both return the exact cost delta, and
 //! applying the inverse move restores the previous state exactly (the property
 //! the search uses to reject candidates cheaply).
+//!
+//! ## Graph-per-call and warm starts
+//!
+//! The state does **not** borrow the graph: every graph-touching method takes
+//! a [`DagView`] argument instead.  This is what lets the incremental
+//! multilevel engine interleave quotient-graph mutations with refinement — it
+//! owns a mutable `QuotientDag` and an `HcState`, and after each
+//! uncontraction patches the state with [`HcState::pre_split`] /
+//! [`HcState::post_split`] (an `O(deg)` delta: one node is split into two at
+//! the same processor and superstep, and only the touched communication
+//! tallies are rewritten) instead of rebuilding it from scratch.  Callers must
+//! pass a view consistent with the assignment the state currently tracks;
+//! views may contain inactive nodes, which the state skips entirely.
 
-use bsp_model::{Assignment, Dag, Machine, ValidityError};
+use bsp_model::{Assignment, DagView, Machine, ValidityError};
 
 /// One lazy-communication contribution: the value of some node is sent
 /// `from -> to` in the communication phase of `step`, with NUMA-weighted
@@ -103,7 +116,6 @@ impl MoveWindow {
 /// Incremental cost state of an assignment under the lazy communication rule.
 #[derive(Debug, Clone)]
 pub struct HcState<'a> {
-    dag: &'a Dag,
     machine: &'a Machine,
     proc: Vec<usize>,
     step: Vec<usize>,
@@ -170,6 +182,11 @@ pub struct HcState<'a> {
     /// `3 · P` candidate destinations the driver evaluates for `v`, so they
     /// are collected once per node visit; any committed move invalidates.
     prepared_node: Option<usize>,
+    /// Node whose contributions [`HcState::pre_split`] removed; the matching
+    /// [`HcState::post_split`] must follow before any other operation.
+    split_pending: Option<usize>,
+    /// Old-step → new-step map scratch for [`HcState::compact_steps`].
+    compact_map: Vec<usize>,
 }
 
 /// Maintains a cached row maximum (`max`, with `cnt` cells attaining it)
@@ -214,8 +231,8 @@ fn bump_row_max(max: &mut u64, cnt: &mut u32, row: &[u64], old: u64, new: u64) {
 /// A free function over disjoint field borrows so callers can stream into the
 /// state's own scratch vec without fighting the borrow checker.
 #[allow(clippy::too_many_arguments)]
-fn collect_summaries(
-    dag: &Dag,
+fn collect_summaries<G: DagView>(
+    graph: &G,
     proc: &[usize],
     step: &[usize],
     need_step: &mut [usize],
@@ -228,7 +245,7 @@ fn collect_summaries(
     out: &mut Vec<ConsumerSummary>,
 ) {
     need_touched.clear();
-    for &w in dag.successors(u) {
+    for &w in graph.successors(u) {
         let q = proc[w];
         let s = step[w];
         if need_mark[q] != stamp {
@@ -296,12 +313,16 @@ impl<'a> HcState<'a> {
     /// reach `π(w)` in time — for `τ(w) = 0` this is the case that used to
     /// underflow `s - 1`).  Infeasible assignments yield a [`ValidityError`]
     /// naming the offending edge.
-    pub fn new(
-        dag: &'a Dag,
+    ///
+    /// The view may contain inactive nodes (a quotient graph mid-coarsening):
+    /// they are skipped everywhere and their assignment entries are ignored
+    /// (by convention the caller should leave them at `(0, 0)`).
+    pub fn new<G: DagView>(
+        graph: &G,
         machine: &'a Machine,
         assignment: Assignment,
     ) -> Result<Self, ValidityError> {
-        let n = dag.n();
+        let n = graph.n();
         let p = machine.p();
         if assignment.proc.len() != n {
             return Err(ValidityError::AssignmentLengthMismatch {
@@ -316,7 +337,7 @@ impl<'a> HcState<'a> {
             });
         }
         for (v, &q) in assignment.proc.iter().enumerate() {
-            if q >= p {
+            if q >= p && graph.is_active(v) {
                 return Err(ValidityError::ProcessorOutOfRange {
                     node: v,
                     proc: q,
@@ -325,7 +346,10 @@ impl<'a> HcState<'a> {
             }
         }
         for u in 0..n {
-            for &w in dag.successors(u) {
+            if !graph.is_active(u) {
+                continue;
+            }
+            for &w in graph.successors(u) {
                 if assignment.proc[u] == assignment.proc[w] {
                     if assignment.superstep[u] > assignment.superstep[w] {
                         return Err(ValidityError::PrecedenceSameProcessor { pred: u, node: w });
@@ -341,7 +365,6 @@ impl<'a> HcState<'a> {
         // schedule frontier does not have to grow the arrays.
         let capacity = num_steps.max(1) + 1;
         let mut state = HcState {
-            dag,
             machine,
             proc: assignment.proc,
             step: assignment.superstep,
@@ -371,41 +394,98 @@ impl<'a> HcState<'a> {
             contribs_new: Vec::new(),
             affected: Vec::new(),
             affected_saved: Vec::new(),
-            contrib_cache: vec![Vec::new(); n],
+            // Reserved to `p` entries so warm-start splits that activate a
+            // node never have to grow its summary cache.
+            contrib_cache: (0..n).map(|_| Vec::with_capacity(p)).collect(),
             contrib_valid: vec![false; n],
             prepared_node: None,
+            split_pending: None,
+            compact_map: vec![0; capacity],
         };
-        for v in 0..n {
-            let s = state.step[v];
-            state.nodes_in_step[s] += 1;
-            state.bucket_pos[v] = state.step_nodes[s].len();
-            state.step_nodes[s].push(v);
-            state.work[s * p + state.proc[v]] += dag.work(v);
+        state.rebuild_tallies(graph);
+        // Headroom so the first splits/moves into a bucket don't reallocate.
+        for bucket in &mut state.step_nodes {
+            bucket.reserve(bucket.len() + 8);
         }
-        let mut materialized: Vec<Contribution> = Vec::new();
+        // Worst-case scratch reservations: one move (or split patch) gathers
+        // the contributions of a node plus its predecessors — at most
+        // `(in_deg + 1) · P` entries — and touches at most that many distinct
+        // supersteps plus the two it moves between.
+        let mut max_in = 0usize;
+        for v in 0..n {
+            if graph.is_active(v) {
+                max_in = max_in.max(graph.predecessors(v).len());
+            }
+        }
+        let contrib_bound = (max_in + 1) * p;
+        state.contribs_old.reserve(contrib_bound);
+        state.contribs_new.reserve(contrib_bound);
+        let step_bound = (2 + 2 * contrib_bound).min(state.body.len());
+        state.affected.reserve(step_bound);
+        state.affected_saved.reserve(step_bound);
+        Ok(state)
+    }
+
+    /// Rebuilds every derived tally — superstep buckets, work and
+    /// communication matrices, row-max caches, body costs — from the current
+    /// `proc`/`step` arrays, reusing the existing buffers.  `O(n + m +
+    /// steps · P)`; performs no heap allocation once the buffers are warm.
+    fn rebuild_tallies<G: DagView>(&mut self, graph: &G) {
+        let p = self.machine.p();
+        let n = graph.n();
+        let capacity = self.body.len();
+        for s in 0..capacity {
+            self.nodes_in_step[s] = 0;
+            self.step_nodes[s].clear();
+        }
+        self.work.fill(0);
+        self.send.fill(0);
+        self.recv.fill(0);
+        self.hrel.fill(0);
+        let mut num_steps = 0usize;
+        for v in 0..n {
+            if !graph.is_active(v) {
+                continue;
+            }
+            let s = self.step[v];
+            self.nodes_in_step[s] += 1;
+            self.bucket_pos[v] = self.step_nodes[s].len();
+            self.step_nodes[s].push(v);
+            self.work[s * p + self.proc[v]] += graph.work(v);
+            num_steps = num_steps.max(s + 1);
+        }
+        self.num_steps = num_steps;
+        self.prepared_node = None;
+        let mut materialized = std::mem::take(&mut self.contribs_new);
         for u in 0..n {
-            state.refresh_summaries(u);
+            if !graph.is_active(u) {
+                continue;
+            }
+            self.refresh_summaries(graph, u);
             materialized.clear();
             push_contributions(
-                machine,
-                state.proc[u],
-                dag.comm(u),
-                &state.contrib_cache[u],
+                self.machine,
+                self.proc[u],
+                graph.comm(u),
+                &self.contrib_cache[u],
                 &mut materialized,
             );
             for &c in &materialized {
                 let from = c.step * p + c.from;
                 let to = c.step * p + c.to;
-                state.send[from] += c.weight;
-                state.recv[to] += c.weight;
-                state.hrel[from] = state.send[from].max(state.recv[from]);
-                state.hrel[to] = state.send[to].max(state.recv[to]);
+                self.send[from] += c.weight;
+                self.recv[to] += c.weight;
+                self.hrel[from] = self.send[from].max(self.recv[from]);
+                self.hrel[to] = self.send[to].max(self.recv[to]);
             }
         }
+        self.contribs_new = materialized;
+        self.body_sum = 0;
+        let g = self.machine.g();
         for s in 0..capacity {
             let row = s * p;
             let (mut wm, mut wc) = (0u64, 0u32);
-            for &x in &state.work[row..row + p] {
+            for &x in &self.work[row..row + p] {
                 if x > wm {
                     wm = x;
                     wc = 1;
@@ -414,7 +494,7 @@ impl<'a> HcState<'a> {
                 }
             }
             let (mut hm, mut hc) = (0u64, 0u32);
-            for &x in &state.hrel[row..row + p] {
+            for &x in &self.hrel[row..row + p] {
                 if x > hm {
                     hm = x;
                     hc = 1;
@@ -422,15 +502,51 @@ impl<'a> HcState<'a> {
                     hc += 1;
                 }
             }
-            state.work_max[s] = wm;
-            state.work_max_cnt[s] = wc;
-            state.hrel_max[s] = hm;
-            state.hrel_max_cnt[s] = hc;
-            let cost = wm + machine.g() * hm;
-            state.body[s] = cost;
-            state.body_sum += cost;
+            self.work_max[s] = wm;
+            self.work_max_cnt[s] = wc;
+            self.hrel_max[s] = hm;
+            self.hrel_max_cnt[s] = hc;
+            let cost = wm + g * hm;
+            self.body[s] = cost;
+            self.body_sum += cost;
         }
-        Ok(state)
+    }
+
+    /// Removes supersteps without any computation and renumbers the remaining
+    /// ones contiguously — the state-level counterpart of
+    /// [`bsp_model::BspSchedule::normalize`] under the lazy communication
+    /// schedule (lazy phases re-anchor to the consumers' new indices, which
+    /// is exactly where `normalize` shifts them).  Returns the number of
+    /// supersteps removed.
+    ///
+    /// `O(num_steps)` when nothing is dead; a rebuild of the derived tallies
+    /// (`O(n + m)`, allocation-free) when compaction happens.  The multilevel
+    /// engine calls this between refinement phases: supersteps drain rarely,
+    /// and mostly at coarse levels where `n` is small, so the amortized cost
+    /// stays far below the per-phase rebuild it replaces.
+    pub fn compact_steps<G: DagView>(&mut self, graph: &G) -> usize {
+        debug_assert!(self.split_pending.is_none());
+        let total = self.num_steps;
+        let mut next = 0usize;
+        for s in 0..total {
+            self.compact_map[s] = next;
+            if self.nodes_in_step[s] > 0 {
+                next += 1;
+            }
+        }
+        let removed = total - next;
+        if removed == 0 {
+            return 0;
+        }
+        for v in 0..graph.n() {
+            if graph.is_active(v) {
+                self.step[v] = self.compact_map[self.step[v]];
+            }
+        }
+        // Every consumer superstep moved, so every cached summary is stale.
+        self.contrib_valid.fill(false);
+        self.rebuild_tallies(graph);
+        removed
     }
 
     /// Current processor of a node.
@@ -496,7 +612,7 @@ impl<'a> HcState<'a> {
     /// of those removed-from cells currently attains its row maximum.  The
     /// latency term can only decrease when `v`'s superstep empties, i.e. `v`
     /// is alone in it.  If none of these hold, every candidate has `delta ≥ 0`.
-    pub fn node_can_gain(&mut self, v: usize) -> bool {
+    pub fn node_can_gain<G: DagView>(&mut self, graph: &G, v: usize) -> bool {
         let p = self.machine.p();
         let s_old = self.step[v];
         let p_old = self.proc[v];
@@ -513,7 +629,7 @@ impl<'a> HcState<'a> {
         // max drops only if the removable max-attaining cells cover *all*
         // cells attaining it, so collect distinct removable max cells per
         // phase and compare against the attain-count.
-        self.prepare_node(v);
+        self.prepare_node(graph, v);
         const CAP: usize = 16;
         let mut max_cells = [(0usize, 0usize); CAP];
         let mut m = 0usize;
@@ -549,10 +665,10 @@ impl<'a> HcState<'a> {
 
     /// Precomputes the feasibility window of node `v`'s candidate moves in
     /// one `O(deg)` scan; check candidates with [`MoveWindow::allows`].
-    pub fn move_window(&self, v: usize) -> MoveWindow {
+    pub fn move_window<G: DagView>(&self, graph: &G, v: usize) -> MoveWindow {
         let mut pred_step = None;
         let mut pred_proc = None;
-        for &u in self.dag.predecessors(v) {
+        for &u in graph.predecessors(v) {
             let su = self.step[u];
             match pred_step {
                 None => {
@@ -571,7 +687,7 @@ impl<'a> HcState<'a> {
         }
         let mut succ_step = None;
         let mut succ_proc = None;
-        for &w in self.dag.successors(v) {
+        for &w in graph.successors(v) {
             let sw = self.step[w];
             match succ_step {
                 None => {
@@ -600,8 +716,14 @@ impl<'a> HcState<'a> {
     /// valid: predecessors must be available (strictly earlier superstep, or
     /// the same superstep on the same processor), and symmetrically for
     /// successors.
-    pub fn move_is_valid(&self, v: usize, p_new: usize, s_new: usize) -> bool {
-        for &u in self.dag.predecessors(v) {
+    pub fn move_is_valid<G: DagView>(
+        &self,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) -> bool {
+        for &u in graph.predecessors(v) {
             let ok = if self.proc[u] == p_new {
                 self.step[u] <= s_new
             } else {
@@ -611,7 +733,7 @@ impl<'a> HcState<'a> {
                 return false;
             }
         }
-        for &w in self.dag.successors(v) {
+        for &w in graph.successors(v) {
             let ok = if self.proc[w] == p_new {
                 self.step[w] >= s_new
             } else {
@@ -643,6 +765,7 @@ impl<'a> HcState<'a> {
         self.step_nodes.resize_with(steps, Vec::new);
         self.body.resize(steps, 0);
         self.step_mark.resize(steps, 0);
+        self.compact_map.resize(steps, 0);
     }
 
     /// Evaluates the move of node `v` to `(p_new, s_new)` without committing
@@ -651,16 +774,22 @@ impl<'a> HcState<'a> {
     ///
     /// Performs no heap allocation (after the state's scratch buffers have
     /// warmed up to the move's superstep range).
-    pub fn try_move(&mut self, v: usize, p_new: usize, s_new: usize) -> i64 {
-        self.eval_move(v, p_new, s_new, false)
+    pub fn try_move<G: DagView>(&mut self, graph: &G, v: usize, p_new: usize, s_new: usize) -> i64 {
+        self.eval_move(graph, v, p_new, s_new, false)
     }
 
     /// Applies the move of node `v` to `(p_new, s_new)` and returns the change
     /// in total cost (negative = improvement).  Applying the inverse move
     /// afterwards restores the exact previous state and returns the negated
     /// delta.
-    pub fn apply_move(&mut self, v: usize, p_new: usize, s_new: usize) -> i64 {
-        self.eval_move(v, p_new, s_new, true)
+    pub fn apply_move<G: DagView>(
+        &mut self,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) -> i64 {
+        self.eval_move(graph, v, p_new, s_new, true)
     }
 
     /// Adds/subtracts `weight` on the send (`Side::Send`) or receive tally at
@@ -713,14 +842,14 @@ impl<'a> HcState<'a> {
 
     /// Rebuilds node `u`'s cached consumer summaries if a committed move
     /// invalidated them.
-    fn refresh_summaries(&mut self, u: usize) {
+    fn refresh_summaries<G: DagView>(&mut self, graph: &G, u: usize) {
         if self.contrib_valid[u] {
             return;
         }
         let mut entry = std::mem::take(&mut self.contrib_cache[u]);
         self.need_stamp += 1;
         collect_summaries(
-            self.dag,
+            graph,
             &self.proc,
             &self.step,
             &mut self.need_step,
@@ -741,29 +870,28 @@ impl<'a> HcState<'a> {
     /// no successor-list scan for clean nodes).  The result is identical for
     /// every candidate destination of `v`, so the driver's `3 · P` evaluations
     /// of one node gather it only once.
-    fn prepare_node(&mut self, v: usize) {
+    fn prepare_node<G: DagView>(&mut self, graph: &G, v: usize) {
         if self.prepared_node == Some(v) {
             return;
         }
-        let dag = self.dag;
-        self.refresh_summaries(v);
-        for &u in dag.predecessors(v) {
-            self.refresh_summaries(u);
+        self.refresh_summaries(graph, v);
+        for &u in graph.predecessors(v) {
+            self.refresh_summaries(graph, u);
         }
         let mut gathered = std::mem::take(&mut self.contribs_old);
         gathered.clear();
         push_contributions(
             self.machine,
             self.proc[v],
-            dag.comm(v),
+            graph.comm(v),
             &self.contrib_cache[v],
             &mut gathered,
         );
-        for &u in dag.predecessors(v) {
+        for &u in graph.predecessors(v) {
             push_contributions(
                 self.machine,
                 self.proc[u],
-                dag.comm(u),
+                graph.comm(u),
                 &self.contrib_cache[u],
                 &mut gathered,
             );
@@ -773,7 +901,15 @@ impl<'a> HcState<'a> {
     }
 
     /// Shared move evaluation; `commit` decides whether the move sticks.
-    fn eval_move(&mut self, v: usize, p_new: usize, s_new: usize, commit: bool) -> i64 {
+    fn eval_move<G: DagView>(
+        &mut self,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+        commit: bool,
+    ) -> i64 {
+        debug_assert!(self.split_pending.is_none());
         let p_old = self.proc[v];
         let s_old = self.step[v];
         if p_old == p_new && s_old == s_new {
@@ -781,12 +917,11 @@ impl<'a> HcState<'a> {
         }
         self.ensure_capacity(s_new + 1);
         let p = self.machine.p();
-        let dag = self.dag;
 
         // Values whose lazy communication steps can change: v and its
         // predecessors.  Old contributions under the current assignment
         // (cached across the candidate destinations of `v`):
-        self.prepare_node(v);
+        self.prepare_node(graph, v);
 
         // New contributions, derived from the cached consumer summaries in
         // `O(1)` per summary — no successor list is scanned per candidate.
@@ -800,7 +935,7 @@ impl<'a> HcState<'a> {
         let mut new_out = std::mem::take(&mut self.contribs_new);
         new_out.clear();
         {
-            let cv = dag.comm(v);
+            let cv = graph.comm(v);
             for sm in &self.contrib_cache[v] {
                 if sm.to == p_new {
                     continue;
@@ -814,9 +949,9 @@ impl<'a> HcState<'a> {
                 });
             }
         }
-        for &u in dag.predecessors(v) {
+        for &u in graph.predecessors(v) {
             let pu = self.proc[u];
-            let cu = dag.comm(u);
+            let cu = graph.comm(u);
             let mut saw_p_new = false;
             for sm in &self.contrib_cache[u] {
                 if sm.to == p_new {
@@ -909,7 +1044,7 @@ impl<'a> HcState<'a> {
         }
 
         // Patch the tallies, maintaining the row-max caches.
-        let wv = dag.work(v);
+        let wv = graph.work(v);
         self.patch_work(s_old, p_old, self.work[s_old * p + p_old] - wv);
         self.patch_work(s_new, p_new, self.work[s_new * p + p_new] + wv);
         for i in 0..self.contribs_old.len() {
@@ -965,7 +1100,7 @@ impl<'a> HcState<'a> {
             // contributions of v (sender moved) and of its predecessors
             // (consumer moved) are stale.
             self.contrib_valid[v] = false;
-            for &u in dag.predecessors(v) {
+            for &u in graph.predecessors(v) {
                 self.contrib_valid[u] = false;
             }
             self.prepared_node = None;
@@ -1009,6 +1144,116 @@ impl<'a> HcState<'a> {
         }
         delta
     }
+
+    /// First half of the warm-start *split* patch: removes the lazy
+    /// contributions of cluster `kept` from the tallies, ahead of the quotient
+    /// graph splitting `kept` in two.  Must be called with the **pre-split**
+    /// view (so `kept`'s successor set and communication weight are still the
+    /// merged ones) and followed by [`HcState::post_split`] before any other
+    /// operation on the state.  `O(deg(kept))`, allocation-free once warm.
+    ///
+    /// The work tallies need no patching at all: the two halves stay on
+    /// `kept`'s processor and superstep, so their summed work sits in the same
+    /// cell before and after the split.  Predecessors' materialized
+    /// contributions are likewise unchanged (their consumers keep their
+    /// positions); only their cached summaries go stale, which
+    /// [`HcState::post_split`] records.
+    pub fn pre_split<G: DagView>(&mut self, graph: &G, kept: usize) {
+        debug_assert!(self.split_pending.is_none());
+        self.refresh_summaries(graph, kept);
+        let p = self.machine.p();
+        let mut old = std::mem::take(&mut self.contribs_old);
+        old.clear();
+        push_contributions(
+            self.machine,
+            self.proc[kept],
+            graph.comm(kept),
+            &self.contrib_cache[kept],
+            &mut old,
+        );
+        self.affected.clear();
+        self.step_stamp += 1;
+        let stamp = self.step_stamp;
+        for &c in &old {
+            if self.step_mark[c.step] != stamp {
+                self.step_mark[c.step] = stamp;
+                self.affected.push(c.step);
+            }
+            self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, false);
+            self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, false);
+        }
+        self.contribs_old = old;
+        self.prepared_node = None;
+        self.split_pending = Some(kept);
+    }
+
+    /// Second half of the warm-start split patch, called with the
+    /// **post-split** view: activates `removed` at `kept`'s processor and
+    /// superstep, adds both halves' lazy contributions to the tallies, and
+    /// refreshes the body-cost cache of the touched supersteps.  After this
+    /// the state is exactly what [`HcState::new`] would build from the split
+    /// graph and the extended assignment.  `O(deg(kept) + deg(removed))`.
+    pub fn post_split<G: DagView>(&mut self, graph: &G, kept: usize, removed: usize) {
+        debug_assert_eq!(self.split_pending, Some(kept));
+        self.split_pending = None;
+        let p = self.machine.p();
+        let (pk, sk) = (self.proc[kept], self.step[kept]);
+        self.proc[removed] = pk;
+        self.step[removed] = sk;
+        self.bucket_pos[removed] = self.step_nodes[sk].len();
+        self.step_nodes[sk].push(removed);
+        self.nodes_in_step[sk] += 1;
+
+        // The halves are new consumer nodes for their predecessors (the
+        // per-processor consumer *counts* change even though the materialized
+        // contributions do not), so those summaries must be rebuilt on demand.
+        // Invalidate before refreshing the halves: `kept` is itself a
+        // predecessor of `removed` through the internal edge.
+        self.contrib_valid[kept] = false;
+        self.contrib_valid[removed] = false;
+        for &u in graph.predecessors(kept) {
+            self.contrib_valid[u] = false;
+        }
+        for &u in graph.predecessors(removed) {
+            self.contrib_valid[u] = false;
+        }
+        self.refresh_summaries(graph, kept);
+        self.refresh_summaries(graph, removed);
+        let mut new_out = std::mem::take(&mut self.contribs_new);
+        new_out.clear();
+        push_contributions(
+            self.machine,
+            pk,
+            graph.comm(kept),
+            &self.contrib_cache[kept],
+            &mut new_out,
+        );
+        push_contributions(
+            self.machine,
+            pk,
+            graph.comm(removed),
+            &self.contrib_cache[removed],
+            &mut new_out,
+        );
+        let stamp = self.step_stamp;
+        for &c in &new_out {
+            if self.step_mark[c.step] != stamp {
+                self.step_mark[c.step] = stamp;
+                self.affected.push(c.step);
+            }
+            self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, true);
+            self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, true);
+        }
+        self.contribs_new = new_out;
+
+        let g = self.machine.g();
+        for i in 0..self.affected.len() {
+            let s = self.affected[i];
+            let cost = self.work_max[s] + g * self.hrel_max[s];
+            self.body_sum = self.body_sum - self.body[s] + cost;
+            self.body[s] = cost;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1047,8 +1292,8 @@ mod tests {
         let before = state.total_cost();
         // Valid move: node 4 (preds {2} at step 1 proc 0, succs {5} at step 3)
         // can go to processor 1 in superstep 2.
-        assert!(state.move_is_valid(4, 1, 2));
-        let delta = state.apply_move(4, 1, 2);
+        assert!(state.move_is_valid(&dag, 4, 1, 2));
+        let delta = state.apply_move(&dag, 4, 1, 2);
         let recomputed =
             BspSchedule::from_assignment_lazy(&dag, state.assignment()).cost(&dag, &machine);
         assert_eq!(state.total_cost(), recomputed);
@@ -1061,10 +1306,10 @@ mod tests {
         let mut state = HcState::new(&dag, &machine, assignment.clone()).unwrap();
         let cost_before = state.total_cost();
         let assignment_before = state.assignment();
-        let tried = state.try_move(4, 1, 2);
+        let tried = state.try_move(&dag, 4, 1, 2);
         assert_eq!(state.total_cost(), cost_before);
         assert_eq!(state.assignment(), assignment_before);
-        let applied = state.apply_move(4, 1, 2);
+        let applied = state.apply_move(&dag, 4, 1, 2);
         assert_eq!(tried, applied);
     }
 
@@ -1073,12 +1318,12 @@ mod tests {
         let (dag, machine, assignment) = sample();
         let mut state = HcState::new(&dag, &machine, assignment).unwrap();
         let before = state.total_cost();
-        let d1 = state.apply_move(4, 1, 2);
-        let d2 = state.apply_move(4, 0, 2);
+        let d1 = state.apply_move(&dag, 4, 1, 2);
+        let d2 = state.apply_move(&dag, 4, 0, 2);
         assert_eq!(d1 + d2, (state.total_cost() as i64) - before as i64);
         assert_eq!(state.total_cost() as i64, before as i64 + d1 + d2);
         // Move fully back.
-        let d3 = state.apply_move(4, 0, 2);
+        let d3 = state.apply_move(&dag, 4, 0, 2);
         assert_eq!(d3, 0);
     }
 
@@ -1089,13 +1334,13 @@ mod tests {
         let state = HcState::new(&dag, &machine, assignment).unwrap();
         // Node 2's predecessors are in superstep 0 on processors 0 and 1; it
         // cannot move into superstep 0 on processor 2 (pred on other proc).
-        assert!(!state.move_is_valid(2, 2, 0));
+        assert!(!state.move_is_valid(&dag, 2, 2, 0));
         // It can move to processor 0 superstep 1 (same) or processor 3 superstep 1?
         // pred 1 is on proc 1 step 0 < 1, pred 0 on proc 0 step 0 < 1 -> fine;
         // succs 3,4 are in step 2 on other procs -> fine.
-        assert!(state.move_is_valid(2, 3, 1));
+        assert!(state.move_is_valid(&dag, 2, 3, 1));
         // Cannot move past its successors.
-        assert!(!state.move_is_valid(2, 0, 3));
+        assert!(!state.move_is_valid(&dag, 2, 0, 3));
     }
 
     #[test]
@@ -1109,12 +1354,12 @@ mod tests {
         let mut state = HcState::new(&dag, &machine, assignment).unwrap();
         assert_eq!(state.total_cost(), 5 + 7);
         // Move node 1 into a brand-new superstep: cost becomes 5 + 5 + 2*7.
-        let delta = state.apply_move(1, 1, 1);
+        let delta = state.apply_move(&dag, 1, 1, 1);
         assert_eq!(state.total_cost(), 5 + 5 + 14);
         assert_eq!(delta, (5 + 5 + 14) - (5 + 7));
         assert_eq!(state.num_supersteps(), 2);
         // And back again.
-        let back = state.apply_move(1, 1, 0);
+        let back = state.apply_move(&dag, 1, 1, 0);
         assert_eq!(back, -delta);
         assert_eq!(state.num_supersteps(), 1);
     }
@@ -1126,7 +1371,7 @@ mod tests {
         let mut step2: Vec<usize> = state.nodes_in_superstep(2).to_vec();
         step2.sort_unstable();
         assert_eq!(step2, vec![3, 4]);
-        state.apply_move(4, 1, 3);
+        state.apply_move(&dag, 4, 1, 3);
         assert_eq!(state.nodes_in_superstep(2), &[3]);
         let mut step3: Vec<usize> = state.nodes_in_superstep(3).to_vec();
         step3.sort_unstable();
@@ -1138,12 +1383,12 @@ mod tests {
         let (dag, machine, assignment) = sample();
         let state = HcState::new(&dag, &machine, assignment).unwrap();
         for v in 0..dag.n() {
-            let window = state.move_window(v);
+            let window = state.move_window(&dag, v);
             for s_new in 0..=state.num_supersteps() + 1 {
                 for p_new in 0..machine.p() {
                     assert_eq!(
                         window.allows(p_new, s_new),
-                        state.move_is_valid(v, p_new, s_new),
+                        state.move_is_valid(&dag, v, p_new, s_new),
                         "disagreement at v={v} p={p_new} s={s_new}"
                     );
                 }

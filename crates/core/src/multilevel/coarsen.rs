@@ -1,5 +1,5 @@
 //! Acyclicity-preserving DAG coarsening by iterative edge contraction
-//! (§4.5 and Appendix A.5 of the paper).
+//! (§4.5 and Appendix A.5 of the paper), incrementally.
 //!
 //! Each contraction step merges the endpoints of one edge `(u, v)` into a
 //! single cluster.  An edge can only be contracted when there is no *other*
@@ -9,10 +9,21 @@
 //! is always safely contractable.  Among these candidate edges we prefer small
 //! merged work weight `w(u) + w(v)` (the first third of the candidates sorted
 //! by it) and, within that prefix, the largest communication weight `c(u)` —
-//! exactly the paper's selection rule.
+//! the paper's selection rule.
+//!
+//! Unlike the original implementation — `BTreeSet` adjacency, a full Kahn
+//! rank recomputation and an `O(k log k)` candidate sort *per contraction* —
+//! this coarsener runs on the persistent [`QuotientDag`] (flat sorted-vec
+//! adjacency, `O(1)` incremental ranks) and keeps the candidate pool in
+//! [`CandidatePool`]: two ordered buckets (the first-third *prefix* by merged
+//! work weight, and the rest) plus a max-comm index over the prefix.  A
+//! contraction therefore costs `O((deg(u) + deg(v)) · log n)` instead of
+//! `O(n + m + k log k)`, and the quotient it leaves behind is reused verbatim
+//! by the refinement loop — no rebuild between coarsening and uncoarsening.
 
-use bsp_model::{Dag, DagBuilder, NodeId};
+use bsp_model::{Dag, DagBuilder, DagView, NodeId, QuotientDag};
 use std::collections::BTreeSet;
+use std::ops::Bound::{Excluded, Unbounded};
 
 /// One contraction step: the cluster represented by `removed` was merged into
 /// the cluster represented by `kept`.  `moved` lists the original nodes that
@@ -29,6 +40,12 @@ pub struct Contraction {
 
 /// A clustering of the original DAG's nodes, produced by coarsening and
 /// gradually undone while uncoarsening.
+///
+/// The representative list is maintained incrementally (swap-remove on
+/// contraction, exact LIFO restore on uncontraction), so
+/// [`Clustering::representatives`] is a slice borrow and
+/// [`Clustering::quotient_dag`] needs no `O(n)` index array — both used to
+/// allocate afresh on every refinement phase.
 #[derive(Debug, Clone)]
 pub struct Clustering {
     /// `cluster_of[v]` is the representative of the cluster containing `v`.
@@ -37,8 +54,10 @@ pub struct Clustering {
     members: Vec<Vec<NodeId>>,
     /// `true` for nodes that currently represent a cluster.
     active: Vec<bool>,
-    /// Number of clusters.
-    num_clusters: usize,
+    /// Current representatives (deterministic but unspecified order).
+    reps: Vec<NodeId>,
+    /// Position of each representative inside `reps` (stale for inactive).
+    rep_pos: Vec<usize>,
     /// Contraction history, oldest first.
     history: Vec<Contraction>,
 }
@@ -50,14 +69,15 @@ impl Clustering {
             cluster_of: (0..n).collect(),
             members: (0..n).map(|v| vec![v]).collect(),
             active: vec![true; n],
-            num_clusters: n,
+            reps: (0..n).collect(),
+            rep_pos: (0..n).collect(),
             history: Vec::new(),
         }
     }
 
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
-        self.num_clusters
+        self.reps.len()
     }
 
     /// Number of recorded contraction steps not yet undone.
@@ -70,9 +90,18 @@ impl Clustering {
         self.cluster_of[v]
     }
 
-    /// Representatives of all clusters, in increasing node-id order.
-    pub fn representatives(&self) -> Vec<NodeId> {
-        (0..self.active.len()).filter(|&v| self.active[v]).collect()
+    /// Representatives of all clusters, in a deterministic (but unspecified)
+    /// order; entry `i` corresponds to quotient node `i` of
+    /// [`Clustering::quotient_dag`].  Maintained incrementally — no per-call
+    /// allocation or scan.
+    pub fn representatives(&self) -> &[NodeId] {
+        &self.reps
+    }
+
+    /// Quotient node index of the cluster represented by `rep`.
+    pub fn rep_index(&self, rep: NodeId) -> usize {
+        debug_assert!(self.active[rep]);
+        self.rep_pos[rep]
     }
 
     /// Original members of the cluster represented by `rep`.
@@ -88,7 +117,13 @@ impl Clustering {
         }
         self.members[kept].extend_from_slice(&moved);
         self.active[removed] = false;
-        self.num_clusters -= 1;
+        // Swap-remove `removed` from the representative list; the element
+        // moved into its slot gets its position fixed up.
+        let pos = self.rep_pos[removed];
+        self.reps.swap_remove(pos);
+        if pos < self.reps.len() {
+            self.rep_pos[self.reps[pos]] = pos;
+        }
         self.history.push(Contraction {
             kept,
             removed,
@@ -117,7 +152,17 @@ impl Clustering {
         }
         self.members[removed] = moved;
         self.active[removed] = true;
-        self.num_clusters += 1;
+        // Exact inverse of the swap-remove: push `removed`, then swap it back
+        // into its old slot (LIFO order guarantees the old occupant of the
+        // last slot is the element the swap-remove displaced).
+        let pos = self.rep_pos[removed];
+        self.reps.push(removed);
+        let last = self.reps.len() - 1;
+        if pos != last {
+            self.reps.swap(pos, last);
+            self.rep_pos[self.reps[last]] = last;
+            self.rep_pos[self.reps[pos]] = pos;
+        }
         true
     }
 
@@ -127,22 +172,22 @@ impl Clustering {
     /// members of the two.  Returns the quotient DAG together with the list of
     /// representatives, where representative `reps[i]` corresponds to quotient
     /// node `i`.
+    ///
+    /// This is the *from-scratch* construction: the multilevel scheduler calls
+    /// it once per ratio run (to hand the base pipeline an immutable [`Dag`])
+    /// and the property tests use it as the reference the incremental
+    /// [`QuotientDag`] must stay isomorphic to.
     pub fn quotient_dag(&self, dag: &Dag) -> (Dag, Vec<NodeId>) {
-        let reps = self.representatives();
-        let mut index = vec![usize::MAX; dag.n()];
-        for (i, &r) in reps.iter().enumerate() {
-            index[r] = i;
-        }
         let mut builder = DagBuilder::new();
-        for &r in &reps {
+        for &r in &self.reps {
             let work = self.members[r].iter().map(|&v| dag.work(v)).sum();
             let comm = self.members[r].iter().map(|&v| dag.comm(v)).sum();
             builder.add_node(work, comm);
         }
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
         for (a, b) in dag.edges() {
-            let ca = index[self.cluster_of[a]];
-            let cb = index[self.cluster_of[b]];
+            let ca = self.rep_pos[self.cluster_of[a]];
+            let cb = self.rep_pos[self.cluster_of[b]];
             if ca != cb && seen.insert((ca, cb)) {
                 builder.add_edge(ca, cb);
             }
@@ -150,152 +195,218 @@ impl Clustering {
         let quotient = builder
             .build()
             .expect("contractions preserve acyclicity, so the quotient is a DAG");
-        (quotient, reps)
+        (quotient, self.reps.clone())
     }
 }
 
-/// A mutable quotient graph used only while coarsening; adjacency is kept
-/// incrementally so each contraction step costs `O(deg(u) + deg(v))` plus the
-/// `O(n + m)` topological-rank recomputation.
-struct QuotientGraph {
-    succs: Vec<BTreeSet<NodeId>>,
-    preds: Vec<BTreeSet<NodeId>>,
-    work: Vec<u64>,
-    comm: Vec<u64>,
-    active: Vec<bool>,
-    n_active: usize,
+/// A coarsening result: the member-level [`Clustering`] and the structural
+/// [`QuotientDag`], sharing one contraction history.  Undo steps through
+/// [`Coarsening::uncontract_one`] to keep the two in sync, or split them with
+/// [`Coarsening::into_parts`] when (like the multilevel engine) you only need
+/// the quotient side during uncoarsening.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// Which original nodes form each cluster.
+    pub clustering: Clustering,
+    /// The cluster-level graph, positioned at the coarsest level.
+    pub quotient: QuotientDag,
 }
 
-impl QuotientGraph {
-    fn new(dag: &Dag) -> Self {
-        let n = dag.n();
-        let mut succs = vec![BTreeSet::new(); n];
-        let mut preds = vec![BTreeSet::new(); n];
-        for (u, v) in dag.edges() {
-            succs[u].insert(v);
-            preds[v].insert(u);
-        }
-        QuotientGraph {
-            succs,
-            preds,
-            work: dag.work_weights().to_vec(),
-            comm: dag.comm_weights().to_vec(),
-            active: vec![true; n],
-            n_active: n,
+impl Coarsening {
+    /// Number of clusters at the current level.
+    pub fn num_clusters(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// Undoes the most recent contraction in both views.  Returns the
+    /// `(kept, removed)` pair, or `None` when fully uncoarsened.
+    pub fn uncontract_one(&mut self) -> Option<(NodeId, NodeId)> {
+        let pair = self.quotient.uncontract_one()?;
+        let undone = self.clustering.uncontract_one();
+        debug_assert!(undone, "clustering and quotient histories diverged");
+        Some(pair)
+    }
+
+    /// Splits the result into its parts (their histories stay aligned until
+    /// one of them is uncontracted independently).
+    pub fn into_parts(self) -> (Clustering, QuotientDag) {
+        (self.clustering, self.quotient)
+    }
+}
+
+/// One registered candidate edge: `u`'s minimum-rank successor `v`, with the
+/// selection keys frozen at registration time (so index removals match).
+#[derive(Debug, Clone, Copy)]
+struct CandEntry {
+    v: NodeId,
+    /// Merged work weight `w(u) + w(v)`.
+    key: u64,
+    /// Source communication weight `c(u)`.
+    comm: u64,
+}
+
+/// The candidate pool of the paper's selection rule, maintained
+/// incrementally: the candidates are split into two ordered buckets by merged
+/// work weight — the `prefix` bucket holds exactly the `⌈k/3⌉` smallest — and
+/// the prefix additionally carries a max-comm index, so selection is an
+/// `O(log n)` lookup instead of a fresh `O(k log k)` sort per contraction.
+#[derive(Debug, Default)]
+struct CandidatePool {
+    /// All candidates, ordered by `(merged work, node)`.
+    all: BTreeSet<(u64, NodeId)>,
+    /// The first-third bucket: the `⌈|all|/3⌉` smallest elements of `all`.
+    prefix: BTreeSet<(u64, NodeId)>,
+    /// Max-comm index over `prefix`: `(comm, merged work, node)`.
+    by_comm: BTreeSet<(u64, u64, NodeId)>,
+    /// Per-node registered entry (`None` for sinks / inactive nodes).
+    entries: Vec<Option<CandEntry>>,
+}
+
+impl CandidatePool {
+    fn new(n: usize) -> Self {
+        CandidatePool {
+            entries: vec![None; n],
+            ..Default::default()
         }
     }
 
-    /// Kahn topological rank over the active clusters (inactive entries are 0).
-    fn topological_rank(&self) -> Vec<usize> {
-        let n = self.active.len();
-        let mut indeg: Vec<usize> = (0..n)
-            .map(|v| {
-                if self.active[v] {
-                    self.preds[v].len()
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let mut queue: Vec<NodeId> = (0..n)
-            .filter(|&v| self.active[v] && indeg[v] == 0)
-            .collect();
-        let mut rank = vec![0usize; n];
-        let mut next_rank = 0usize;
-        let mut head = 0usize;
-        while head < queue.len() {
-            let v = queue[head];
-            head += 1;
-            rank[v] = next_rank;
-            next_rank += 1;
-            for &w in &self.succs[v] {
-                indeg[w] -= 1;
-                if indeg[w] == 0 {
-                    queue.push(w);
-                }
-            }
+    /// Restores the bucket invariant `|prefix| = ⌈|all|/3⌉` by moving boundary
+    /// elements between the buckets (`O(1)` moves amortized per update).
+    fn rebalance(&mut self) {
+        let target = self.all.len().div_ceil(3);
+        while self.prefix.len() > target {
+            let &(key, u) = self.prefix.iter().next_back().expect("non-empty");
+            self.prefix.remove(&(key, u));
+            let comm = self.entries[u].expect("prefix member is registered").comm;
+            self.by_comm.remove(&(comm, key, u));
         }
-        debug_assert_eq!(next_rank, self.n_active, "quotient graph must stay acyclic");
-        rank
+        while self.prefix.len() < target {
+            let next = match self.prefix.iter().next_back() {
+                Some(&max) => self.all.range((Excluded(max), Unbounded)).next().copied(),
+                None => self.all.iter().next().copied(),
+            };
+            let Some((key, u)) = next else { break };
+            self.prefix.insert((key, u));
+            let comm = self.entries[u].expect("candidate is registered").comm;
+            self.by_comm.insert((comm, key, u));
+        }
     }
 
-    /// Candidate edges for contraction: for every non-sink cluster `u`, the
-    /// out-neighbour with the smallest topological rank.  Such an edge never
-    /// has an alternative `u → v` path, so contracting it keeps the graph
-    /// acyclic.
-    fn candidate_edges(&self) -> Vec<(NodeId, NodeId)> {
-        let rank = self.topological_rank();
-        let mut candidates = Vec::new();
-        for u in 0..self.active.len() {
-            if !self.active[u] || self.succs[u].is_empty() {
-                continue;
+    /// Drops `u`'s candidate, if any.
+    fn remove(&mut self, u: NodeId) {
+        if let Some(e) = self.entries[u].take() {
+            self.all.remove(&(e.key, u));
+            if self.prefix.remove(&(e.key, u)) {
+                self.by_comm.remove(&(e.comm, e.key, u));
             }
-            let v = *self.succs[u]
-                .iter()
-                .min_by_key(|&&w| rank[w])
-                .expect("non-empty successor set");
-            candidates.push((u, v));
         }
-        candidates
+        self.rebalance();
     }
 
-    /// Merges cluster `v` into cluster `u` (the edge `u → v` must exist).
-    fn contract(&mut self, u: NodeId, v: NodeId) {
-        debug_assert!(self.succs[u].contains(&v));
-        self.succs[u].remove(&v);
-        self.preds[v].remove(&u);
-        let v_succs: Vec<NodeId> = self.succs[v].iter().copied().collect();
-        for w in v_succs {
-            self.preds[w].remove(&v);
-            if w != u {
-                self.succs[u].insert(w);
-                self.preds[w].insert(u);
+    /// Registers (or re-registers) `u`'s candidate edge `u -> v`.
+    fn set(&mut self, u: NodeId, entry: CandEntry) {
+        if let Some(e) = self.entries[u].take() {
+            self.all.remove(&(e.key, u));
+            if self.prefix.remove(&(e.key, u)) {
+                self.by_comm.remove(&(e.comm, e.key, u));
             }
         }
-        let v_preds: Vec<NodeId> = self.preds[v].iter().copied().collect();
-        for w in v_preds {
-            self.succs[w].remove(&v);
-            if w != u {
-                self.succs[w].insert(u);
-                self.preds[u].insert(w);
-            }
+        self.all.insert((entry.key, u));
+        let belongs = match self.prefix.iter().next_back() {
+            Some(&max) => (entry.key, u) < max,
+            None => true,
+        };
+        if belongs {
+            self.prefix.insert((entry.key, u));
+            self.by_comm.insert((entry.comm, entry.key, u));
         }
-        self.succs[v].clear();
-        self.preds[v].clear();
-        self.work[u] += self.work[v];
-        self.comm[u] += self.comm[v];
-        self.active[v] = false;
-        self.n_active -= 1;
+        self.entries[u] = Some(entry);
+        self.rebalance();
+    }
+
+    /// The paper's pick: the largest-`c(u)` candidate within the first third
+    /// by merged work weight.
+    fn select(&self) -> Option<(NodeId, NodeId)> {
+        let &(_, _, u) = self.by_comm.iter().next_back()?;
+        Some((
+            u,
+            self.entries[u].expect("indexed candidate is registered").v,
+        ))
+    }
+}
+
+/// Re-derives `u`'s candidate edge from the current quotient and updates the
+/// pool: the minimum-rank successor for non-sinks, nothing for sinks and
+/// inactive nodes.
+fn refresh_candidate(quotient: &QuotientDag, pool: &mut CandidatePool, u: NodeId) {
+    match quotient.min_rank_successor(u) {
+        Some(v) => pool.set(
+            u,
+            CandEntry {
+                v,
+                key: quotient.work(u) + quotient.work(v),
+                comm: quotient.comm(u),
+            },
+        ),
+        None => pool.remove(u),
     }
 }
 
 /// Coarsens `dag` down to (at most) `target_clusters` clusters, or until no
-/// contractable edge remains, and returns the resulting clustering (with its
-/// full contraction history, so it can be uncoarsened step by step).
-pub fn coarsen(dag: &Dag, target_clusters: usize) -> Clustering {
-    let mut clustering = Clustering::identity(dag.n());
-    if dag.n() == 0 {
-        return clustering;
+/// contractable edge remains.  Returns the [`Coarsening`] — the member-level
+/// clustering (with its full contraction history) plus the persistent
+/// [`QuotientDag`] positioned at the coarsest level, ready to be uncoarsened
+/// step by step.
+pub fn coarsen(dag: &Dag, target_clusters: usize) -> Coarsening {
+    let n = dag.n();
+    let mut clustering = Clustering::identity(n);
+    let mut quotient = QuotientDag::from_dag(dag);
+    if n == 0 {
+        return Coarsening {
+            clustering,
+            quotient,
+        };
     }
-    let mut graph = QuotientGraph::new(dag);
     let target = target_clusters.max(1);
-    while graph.n_active > target {
-        let mut candidates = graph.candidate_edges();
-        if candidates.is_empty() {
-            break;
-        }
-        // Paper rule: sort by merged work weight, keep the first third, pick
-        // the edge with the largest communication weight of its source.
-        candidates.sort_by_key(|&(u, v)| graph.work[u] + graph.work[v]);
-        let prefix = candidates.len().div_ceil(3);
-        let &(u, v) = candidates[..prefix]
-            .iter()
-            .max_by_key(|&&(u, _)| graph.comm[u])
-            .expect("prefix is non-empty");
-        graph.contract(u, v);
-        clustering.contract(u, v);
+    let mut pool = CandidatePool::new(n);
+    for u in 0..n {
+        refresh_candidate(&quotient, &mut pool, u);
     }
-    clustering
+    // The incrementally maintained ranks stay *valid* forever, but their gaps
+    // drift away from the evolving quotient; re-anchoring them every so many
+    // contractions keeps the min-rank-successor candidates structurally
+    // meaningful at ~1/RANK_REFRESH_INTERVAL of the old per-contraction
+    // sweep's cost.  A refresh invalidates every candidate, so the pool is
+    // rebuilt from scratch afterwards.
+    const RANK_REFRESH_INTERVAL: usize = 32;
+    let mut since_refresh = 0usize;
+    while quotient.num_active() > target {
+        if since_refresh >= RANK_REFRESH_INTERVAL {
+            since_refresh = 0;
+            quotient.recompute_ranks();
+            for u in 0..n {
+                refresh_candidate(&quotient, &mut pool, u);
+            }
+        }
+        let Some((u, v)) = pool.select() else {
+            break;
+        };
+        quotient.contract(u, v);
+        clustering.contract(u, v);
+        since_refresh += 1;
+        // The absorbed cluster can no longer be a candidate source; the
+        // merged cluster and everything pointing at either endpoint may have
+        // a new minimum-rank successor, merged work key, or comm weight.
+        pool.remove(v);
+        refresh_candidate(&quotient, &mut pool, u);
+        for &w in quotient.predecessors(u) {
+            refresh_candidate(&quotient, &mut pool, w);
+        }
+    }
+    Coarsening {
+        clustering,
+        quotient,
+    }
 }
 
 #[cfg(test)]
@@ -332,15 +443,17 @@ mod tests {
             seed: 1,
         });
         let target = dag.n() * 3 / 10;
-        let clustering = coarsen(&dag, target);
+        let coarsening = coarsen(&dag, target);
+        let clustering = &coarsening.clustering;
         assert!(clustering.num_clusters() <= target.max(1) + 1);
+        assert_eq!(clustering.num_clusters(), coarsening.quotient.num_active());
         let (q, _) = clustering.quotient_dag(&dag);
         assert_eq!(q.total_work(), dag.total_work());
         assert_eq!(q.total_comm(), dag.total_comm());
         // Quotient must be a DAG (builder would have panicked otherwise) and
         // every original node must belong to exactly one cluster.
         let mut seen = vec![false; dag.n()];
-        for rep in clustering.representatives() {
+        for &rep in clustering.representatives() {
             for &v in clustering.members(rep) {
                 assert!(!seen[v]);
                 seen[v] = true;
@@ -357,16 +470,16 @@ mod tests {
             iterations: 2,
             seed: 7,
         });
-        let mut clustering = coarsen(&dag, dag.n() / 5);
+        let mut coarsening = coarsen(&dag, dag.n() / 5);
         // Walk the whole uncoarsening path; quotient_dag panics on a cycle.
         loop {
-            let (q, _) = clustering.quotient_dag(&dag);
+            let (q, _) = coarsening.clustering.quotient_dag(&dag);
             assert!(q.topological_order().is_some());
-            if !clustering.uncontract_one() {
+            if coarsening.uncontract_one().is_none() {
                 break;
             }
         }
-        assert_eq!(clustering.num_clusters(), dag.n());
+        assert_eq!(coarsening.num_clusters(), dag.n());
     }
 
     #[test]
@@ -376,22 +489,46 @@ mod tests {
             density: 0.3,
             seed: 3,
         });
-        let mut clustering = coarsen(&dag, 3);
-        while clustering.uncontract_one() {}
+        let mut coarsening = coarsen(&dag, 3);
+        while coarsening.uncontract_one().is_some() {}
+        let clustering = &coarsening.clustering;
         for v in 0..dag.n() {
             assert_eq!(clustering.cluster_of(v), v);
             assert_eq!(clustering.members(v), &[v]);
         }
         assert_eq!(clustering.num_clusters(), dag.n());
         assert_eq!(clustering.num_contractions(), 0);
+        assert_eq!(coarsening.quotient.num_contractions(), 0);
+    }
+
+    #[test]
+    fn representative_indexing_is_consistent_after_every_step() {
+        let dag = cg(&IterConfig {
+            n: 10,
+            density: 0.3,
+            iterations: 2,
+            seed: 13,
+        });
+        let mut coarsening = coarsen(&dag, 4);
+        loop {
+            let clustering = &coarsening.clustering;
+            let reps = clustering.representatives();
+            assert_eq!(reps.len(), clustering.num_clusters());
+            for (i, &r) in reps.iter().enumerate() {
+                assert_eq!(clustering.rep_index(r), i, "rep {r} mis-indexed");
+            }
+            if coarsening.uncontract_one().is_none() {
+                break;
+            }
+        }
     }
 
     #[test]
     fn chain_contracts_to_a_single_cluster() {
         let dag = Dag::from_edge_list_unit_weights(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        let clustering = coarsen(&dag, 1);
-        assert_eq!(clustering.num_clusters(), 1);
-        let (q, _) = clustering.quotient_dag(&dag);
+        let coarsening = coarsen(&dag, 1);
+        assert_eq!(coarsening.num_clusters(), 1);
+        let (q, _) = coarsening.clustering.quotient_dag(&dag);
         assert_eq!(q.n(), 1);
         assert_eq!(q.total_work(), 5);
     }
@@ -399,7 +536,42 @@ mod tests {
     #[test]
     fn graph_without_edges_cannot_be_coarsened() {
         let dag = Dag::from_edge_list_unit_weights(4, &[]).unwrap();
-        let clustering = coarsen(&dag, 1);
-        assert_eq!(clustering.num_clusters(), 4);
+        let coarsening = coarsen(&dag, 1);
+        assert_eq!(coarsening.num_clusters(), 4);
+    }
+
+    #[test]
+    fn incremental_quotient_matches_the_from_scratch_build_while_uncoarsening() {
+        let dag = cg(&IterConfig {
+            n: 9,
+            density: 0.35,
+            iterations: 2,
+            seed: 21,
+        });
+        let mut coarsening = coarsen(&dag, dag.n() / 4);
+        loop {
+            let clustering = &coarsening.clustering;
+            let quotient = &coarsening.quotient;
+            let (reference, reps) = clustering.quotient_dag(&dag);
+            assert_eq!(quotient.num_active(), reference.n());
+            // Same nodes with the same summed weights...
+            for (i, &r) in reps.iter().enumerate() {
+                assert!(quotient.is_active(r));
+                assert_eq!(quotient.work(r), reference.work(i), "work of rep {r}");
+                assert_eq!(quotient.comm(r), reference.comm(i), "comm of rep {r}");
+            }
+            // ...and the same edge set (multiplicities collapsed).
+            let mut incr: Vec<(usize, usize)> = quotient
+                .edges()
+                .map(|(a, b, _)| (clustering.rep_index(a), clustering.rep_index(b)))
+                .collect();
+            incr.sort_unstable();
+            let mut refr: Vec<(usize, usize)> = reference.edges().collect();
+            refr.sort_unstable();
+            assert_eq!(incr, refr);
+            if coarsening.uncontract_one().is_none() {
+                break;
+            }
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The multilevel (coarsen–solve–refine) scheduler of §4.5 / Figure 4.
+//! The multilevel (coarsen–solve–refine) scheduler of §4.5 / Figure 4,
+//! implemented *incrementally* end to end.
 //!
 //! The DAG is first coarsened by repeated acyclic edge contractions
 //! ([`coarsen`]), the base pipeline of Figure 3 (without `ILPcs`) schedules
@@ -9,17 +10,46 @@
 //! communication volumes.
 //!
 //! As in the paper, the scheduler is run for several coarsening ratios
-//! (30 % and 15 % by default) and the cheapest resulting schedule is kept.
+//! (30 % and 15 % by default) and the cheapest resulting schedule is kept;
+//! the per-ratio runs are independent and execute in parallel on the rayon
+//! pool.
+//!
+//! ## The incremental engine
+//!
+//! Both halves of the outer loop are incremental:
+//!
+//! * **Coarsening** ([`coarsen`]) runs on the persistent
+//!   [`bsp_model::QuotientDag`] — flat sorted-vec adjacency, `O(1)`
+//!   incrementally-maintained topological ranks, and a bucketed candidate
+//!   pool — so one contraction costs `O(deg · log n)` instead of the full
+//!   Kahn sweep plus `O(k log k)` candidate sort per contraction the previous
+//!   `BTreeSet`-based implementation paid.
+//! * **Uncoarsening** hands the same `QuotientDag` to the
+//!   [`IncrementalRefiner`], which keeps one warm
+//!   [`crate::hill_climb::HcState`] across all refinement phases: every
+//!   uncontraction is an `O(deg)` split patch (one cluster becomes two at the
+//!   same processor/superstep) and every phase is a work-list search seeded
+//!   with only the nodes the splits actually disturbed.  Per-phase cost is
+//!   `O(local change)`; the old implementation rebuilt the quotient DAG,
+//!   re-projected the assignment, and reconstructed the search state from
+//!   scratch — `O(n + m)` — for every phase.
+//!
+//! The pre-rearchitecture implementation is preserved verbatim as
+//! `bsp_bench::legacy_multilevel`; `exp_multilevel --speedup` benchmarks the
+//! two against each other and writes `BENCH_multilevel.json`.
 
 mod coarsen;
+mod engine;
 
-pub use coarsen::{coarsen, Clustering, Contraction};
+pub use coarsen::{coarsen, Clustering, Coarsening, Contraction};
+pub use engine::IncrementalRefiner;
 
-use crate::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use crate::hill_climb::{hccs_improve, HillClimbConfig};
 use crate::ilp::ilp_cs_improve;
 use crate::pipeline::{Pipeline, PipelineConfig};
 use crate::Scheduler;
 use bsp_model::{Assignment, BspSchedule, Dag, Machine};
+use rayon::prelude::*;
 use std::time::Duration;
 
 /// Configuration of the multilevel scheduler.
@@ -148,12 +178,19 @@ impl MultilevelScheduler {
             };
         }
 
+        // The per-ratio runs are completely independent — fan them out on the
+        // rayon pool and keep the cheapest result (ties favour the first
+        // configured ratio, as the sequential loop did).
+        let runs: Vec<(BspSchedule, usize)> = self
+            .config
+            .coarsen_ratios
+            .par_iter()
+            .map(|&ratio| self.run_single_ratio(dag, machine, &base_pipeline, ratio))
+            .collect();
         let mut ratio_outcomes = Vec::new();
         let mut best: Option<BspSchedule> = None;
         let mut best_cost = u64::MAX;
-        for &ratio in &self.config.coarsen_ratios {
-            let (schedule, coarse_nodes) =
-                self.run_single_ratio(dag, machine, &base_pipeline, ratio);
+        for (&ratio, (schedule, coarse_nodes)) in self.config.coarsen_ratios.iter().zip(runs) {
             let cost = schedule.cost(dag, machine);
             ratio_outcomes.push(RatioOutcome {
                 ratio,
@@ -176,6 +213,13 @@ impl MultilevelScheduler {
 
     /// One full coarsen–solve–refine run at a single coarsening ratio.
     /// Returns the final schedule and the coarse node count.
+    ///
+    /// The uncoarsening side is fully incremental: the [`IncrementalRefiner`]
+    /// keeps one warm hill-climbing state over the persistent quotient graph,
+    /// so nothing is rebuilt between refinement phases.  Because every split
+    /// places both halves at the merged cluster's processor and superstep,
+    /// the engine's final assignment *is* the original-node assignment once
+    /// uncoarsening completes — no member projection pass is needed either.
     fn run_single_ratio(
         &self,
         dag: &Dag,
@@ -185,77 +229,65 @@ impl MultilevelScheduler {
     ) -> (BspSchedule, usize) {
         let target =
             ((dag.n() as f64 * ratio).round() as usize).clamp(2, dag.n().saturating_sub(1).max(2));
-        let mut clustering = coarsen(dag, target);
+        let (clustering, quotient) = coarsen(dag, target).into_parts();
         let coarse_nodes = clustering.num_clusters();
 
-        // Solve on the coarse DAG.
+        // Solve on the coarse DAG (the one from-scratch quotient build of the
+        // whole run: the base pipeline's schedulers want an immutable `Dag`).
         let (coarse_dag, reps) = clustering.quotient_dag(dag);
         let coarse_schedule = base_pipeline.run(&coarse_dag, machine);
 
-        // Project the coarse schedule onto the original nodes.
+        // Thread the coarse schedule onto the quotient's representatives.
         let mut proc = vec![0usize; dag.n()];
         let mut step = vec![0usize; dag.n()];
         for (i, &rep) in reps.iter().enumerate() {
-            for &v in clustering.members(rep) {
-                proc[v] = coarse_schedule.proc(i);
-                step[v] = coarse_schedule.superstep(i);
-            }
+            proc[rep] = coarse_schedule.proc(i);
+            step[rep] = coarse_schedule.superstep(i);
         }
+        let mut refiner = IncrementalRefiner::new(
+            machine,
+            quotient,
+            Assignment {
+                proc,
+                superstep: step,
+            },
+        )
+        .expect("the base pipeline produces lazily-feasible schedules");
 
         // Uncoarsen step by step, refining every `refine_interval` steps.
-        let mut since_refine = 0usize;
-        loop {
-            let more = clustering.uncontract_one();
-            since_refine += 1;
-            let fully_uncoarsened = !more;
-            if since_refine >= self.config.refine_interval || fully_uncoarsened {
-                self.refine(dag, machine, &clustering, &mut proc, &mut step);
-                since_refine = 0;
-            }
-            if fully_uncoarsened {
-                break;
-            }
-        }
-
-        let assignment = Assignment {
-            proc,
-            superstep: step,
-        };
-        let mut schedule = BspSchedule::from_assignment_lazy(dag, assignment);
-        schedule.normalize(dag);
-        self.final_comm_optimization(dag, machine, &mut schedule);
-        debug_assert!(schedule.validate(dag, machine).is_ok());
-        (schedule, coarse_nodes)
-    }
-
-    /// Runs a bounded `HC` refinement on the quotient DAG of the current
-    /// clustering and writes the refined per-cluster assignment back to the
-    /// original nodes.
-    fn refine(
-        &self,
-        dag: &Dag,
-        machine: &Machine,
-        clustering: &Clustering,
-        proc: &mut [usize],
-        step: &mut [usize],
-    ) {
-        let (quotient, reps) = clustering.quotient_dag(dag);
-        let assignment = Assignment {
-            proc: reps.iter().map(|&r| proc[r]).collect(),
-            superstep: reps.iter().map(|&r| step[r]).collect(),
-        };
-        let mut schedule = BspSchedule::from_assignment_lazy(&quotient, assignment);
-        let config = HillClimbConfig {
+        let refine_config = HillClimbConfig {
             time_limit: self.config.refine_time_limit,
             max_steps: self.config.refine_max_steps,
         };
-        hc_improve(&quotient, machine, &mut schedule, &config);
-        for (i, &rep) in reps.iter().enumerate() {
-            for &v in clustering.members(rep) {
-                proc[v] = schedule.proc(i);
-                step[v] = schedule.superstep(i);
+        let mut since_refine = 0usize;
+        loop {
+            let more = refiner.uncontract_one().is_some();
+            since_refine += 1;
+            let fully_uncoarsened = !more;
+            if fully_uncoarsened {
+                // Mirror the previous implementation's last phase: one global
+                // refinement pass over the fully uncoarsened DAG.
+                refiner.refine_full(&refine_config);
+                break;
+            }
+            if since_refine >= self.config.refine_interval {
+                refiner.refine(&refine_config);
+                since_refine = 0;
             }
         }
+
+        let mut schedule = BspSchedule::from_assignment_lazy(dag, refiner.into_assignment());
+        schedule.normalize(dag);
+        self.final_comm_optimization(dag, machine, &mut schedule);
+        // A broken uncoarsening projection must not ship silently in release
+        // builds: validate the one final schedule of this ratio run and name
+        // the offending edge if anything went wrong.
+        if let Err(err) = schedule.validate(dag, machine) {
+            panic!(
+                "multilevel run at coarsening ratio {ratio} produced an invalid schedule: {err}"
+            );
+        }
+        (schedule, coarse_nodes)
     }
 
     /// The communication-schedule optimization that Figure 4 runs after

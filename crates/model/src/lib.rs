@@ -15,6 +15,10 @@
 //! * [`BspSchedule`] — an assignment plus a communication schedule, with
 //!   validity checking ([`BspSchedule::validate`]) and the BSP/NUMA cost
 //!   function ([`BspSchedule::cost`], [`BspSchedule::cost_breakdown`]).
+//! * [`QuotientDag`] — a persistent mutable quotient graph over a DAG's node
+//!   space with `O(deg)` contraction and uncontraction, the substrate of the
+//!   incremental multilevel scheduler (both it and [`Dag`] implement the
+//!   [`DagView`] read trait the local searches are written against).
 //! * [`classical`] — conversion of classical time-based schedules (as produced
 //!   by `Cilk`, `BL-EST`, `ETF`) into BSP schedules.
 //! * [`render`] — plain-text rendering of schedules for debugging and examples.
@@ -25,6 +29,7 @@ pub mod cost;
 pub mod dag;
 pub mod error;
 pub mod machine;
+pub mod quotient;
 pub mod render;
 pub mod schedule;
 pub mod validity;
@@ -32,7 +37,8 @@ pub mod validity;
 pub use classical::ClassicalSchedule;
 pub use comm::{CommSchedule, CommStep};
 pub use cost::{CostBreakdown, SuperstepCost};
-pub use dag::{Dag, DagBuilder, NodeId};
+pub use dag::{Dag, DagBuilder, DagView, NodeId};
 pub use error::{DagError, ValidityError};
 pub use machine::{Machine, NumaTopology};
+pub use quotient::QuotientDag;
 pub use schedule::{Assignment, BspSchedule};

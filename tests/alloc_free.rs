@@ -7,12 +7,14 @@
 //! or deallocate at all.
 
 use bsp_model::Machine;
-use bsp_sched::hill_climb::HcState;
+use bsp_sched::hill_climb::{HcState, HillClimbConfig};
 use bsp_sched::init::SourceScheduler;
+use bsp_sched::multilevel::{coarsen, IncrementalRefiner};
 use bsp_sched::Scheduler;
 use dag_gen::fine::{spmv, SpmvConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 struct CountingAllocator;
 
@@ -63,7 +65,7 @@ fn try_move_is_allocation_free_after_warmup() {
                     continue;
                 }
                 for p_new in 0..machine.p() {
-                    if state.move_is_valid(v, p_new, s_new) {
+                    if state.move_is_valid(&dag, v, p_new, s_new) {
                         moves.push((v, p_new, s_new));
                     }
                 }
@@ -77,14 +79,14 @@ fn try_move_is_allocation_free_after_warmup() {
         // Warm-up: lets the scratch buffers and tally matrices reach their
         // steady-state capacities.
         for &(v, p_new, s_new) in &moves {
-            std::hint::black_box(state.try_move(v, p_new, s_new));
+            std::hint::black_box(state.try_move(&dag, v, p_new, s_new));
         }
 
         let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
         let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
         let mut checksum = 0i64;
         for &(v, p_new, s_new) in &moves {
-            checksum = checksum.wrapping_add(state.try_move(v, p_new, s_new));
+            checksum = checksum.wrapping_add(state.try_move(&dag, v, p_new, s_new));
         }
         std::hint::black_box(checksum);
         let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
@@ -99,4 +101,76 @@ fn try_move_is_allocation_free_after_warmup() {
             moves.len()
         );
     }
+}
+
+/// The headline property of the incremental multilevel engine: once the
+/// engine is warm (first uncontraction batch + first refinement phase done),
+/// a subsequent refinement phase — splits, dirty-seeded work-list search,
+/// step compaction and all — performs **zero** heap allocation.  The
+/// previous implementation rebuilt the quotient DAG and the search state
+/// from scratch per phase, allocating `O(n + m)` every time.
+#[test]
+fn multilevel_refinement_phase_is_allocation_free_after_warmup() {
+    let dag = spmv(&SpmvConfig {
+        n: 48,
+        density: 0.2,
+        seed: 11,
+    });
+    let machine = Machine::uniform(4, 3, 5);
+    let target = dag.n() / 4;
+    let (clustering, quotient) = coarsen(&dag, target).into_parts();
+    assert!(
+        quotient.num_contractions() >= 10,
+        "instance too small to exercise two refinement phases"
+    );
+
+    // Project a deterministic coarse schedule onto the representatives.
+    let (coarse_dag, reps) = clustering.quotient_dag(&dag);
+    let coarse_schedule = SourceScheduler.schedule(&coarse_dag, &machine);
+    let mut proc = vec![0usize; dag.n()];
+    let mut step = vec![0usize; dag.n()];
+    for (i, &rep) in reps.iter().enumerate() {
+        proc[rep] = coarse_schedule.proc(i);
+        step[rep] = coarse_schedule.superstep(i);
+    }
+    let mut refiner = IncrementalRefiner::new(
+        &machine,
+        quotient,
+        bsp_model::Assignment {
+            proc,
+            superstep: step,
+        },
+    )
+    .expect("coarse Source schedule is feasible");
+
+    let config = HillClimbConfig {
+        time_limit: Duration::from_secs(5),
+        max_steps: 20,
+    };
+    // Warm-up: the first refinement phases let every scratch buffer reach its
+    // steady-state capacity.  Cluster degrees (and with them the split-patch
+    // contribution sets) are largest at the coarsest levels, so the early
+    // phases bound everything the later ones touch.
+    for _ in 0..3 {
+        for _ in 0..5 {
+            refiner.uncontract_one();
+        }
+        refiner.refine(&config);
+    }
+
+    // Measured: a complete later phase must not touch the allocator.
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        refiner.uncontract_one();
+    }
+    let outcome = refiner.refine(&config);
+    std::hint::black_box(outcome.final_cost);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "warm refinement phase allocated: {allocs} allocs / {deallocs} deallocs"
+    );
 }

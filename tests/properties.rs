@@ -235,22 +235,22 @@ fn hc_move_deltas_match_full_recomputation() {
                 let p_new = rng.gen_range(0usize..machine.p());
                 let s_old = state.step_of(v);
                 let s_new = (s_old + rng.gen_range(0usize..3)).saturating_sub(1);
-                if !state.move_is_valid(v, p_new, s_new) {
+                if !state.move_is_valid(&dag, v, p_new, s_new) {
                     continue;
                 }
                 // move_window must agree with move_is_valid.
                 assert!(
-                    state.move_window(v).allows(p_new, s_new),
+                    state.move_window(&dag, v).allows(p_new, s_new),
                     "window disagrees with move_is_valid (case {case})"
                 );
                 // try_move returns the delta and leaves the state unchanged.
-                let tried = state.try_move(v, p_new, s_new);
+                let tried = state.try_move(&dag, v, p_new, s_new);
                 assert_eq!(
                     state.total_cost(),
                     cost,
                     "try_move leaked state (case {case})"
                 );
-                let applied = state.apply_move(v, p_new, s_new);
+                let applied = state.apply_move(&dag, v, p_new, s_new);
                 assert_eq!(tried, applied, "try/apply disagree (case {case})");
                 let recomputed =
                     BspSchedule::from_assignment_lazy(&dag, state.assignment()).cost(&dag, machine);
