@@ -87,6 +87,7 @@ fn bench_search_to_local_minimum(c: &mut Criterion) {
     let config = HillClimbConfig {
         time_limit: Duration::from_secs(60),
         max_steps: usize::MAX,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("hc_to_local_minimum");
     group

@@ -77,6 +77,7 @@ fn bench_hill_climbing(c: &mut Criterion) {
     let config = HillClimbConfig {
         time_limit: Duration::from_secs(10),
         max_steps: 200,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("hill_climbing");
     group

@@ -19,6 +19,7 @@
 //!   --skip-legacy     only measure the current implementation
 
 use bsp_bench::legacy_hc::legacy_hc_improve;
+use bsp_bench::stats::BenchReport;
 use bsp_bench::{size_to_target, CliArgs};
 use bsp_model::{BspSchedule, Dag, Machine};
 use bsp_sched::hill_climb::{hc_improve, HillClimbConfig};
@@ -82,6 +83,7 @@ where
     let config = HillClimbConfig {
         time_limit: limit,
         max_steps: usize::MAX,
+        ..Default::default()
     };
     let mut best: Option<RunStats> = None;
     for _ in 0..reps.max(1) {
@@ -223,43 +225,25 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"hc_throughput\",\n");
-    writeln!(
-        json,
-        "  \"unix_time\": {},",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0)
-    )
-    .unwrap();
-    writeln!(
-        json,
-        "  \"config\": {{\"target_nodes\": {target}, \"time_limit_secs\": {}, \"initializer\": \"Source\"}},",
+    let mut report = BenchReport::new("hc_throughput");
+    report.set_config_json(format!(
+        "{{\"target_nodes\": {target}, \"time_limit_secs\": {}, \"initializer\": \"Source\"}}",
         limit.as_secs()
-    )
-    .unwrap();
-    json.push_str("  \"results\": [\n");
-    json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]");
-    if !speedups.is_empty() {
-        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    ));
+    for row in rows {
+        report.push_result_json(row);
+    }
+    if let Some(summary) = BenchReport::speedup_summary(&speedups, &[]) {
+        report.set_summary_json(summary);
+        let geomean = bsp_bench::geo_mean(speedups.iter().copied());
         let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        writeln!(json, ",").unwrap();
-        write!(
-            json,
-            "  \"summary\": {{\"geomean_speedup\": {geomean:.2}, \"min_speedup\": {min:.2}, \"runs\": {}}}",
-            speedups.len()
-        )
-        .unwrap();
         eprintln!(
             "geomean speedup {geomean:.2}x, min {min:.2}x over {} runs",
             speedups.len()
         );
     }
-    json.push_str("\n}\n");
-
-    std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
+    report
+        .write(&out_path)
+        .expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");
 }

@@ -19,15 +19,19 @@
 //! wall-clock of `run_report` plus final-cost parity, written as JSON in the
 //! same schema as `BENCH_hc.json` (default `BENCH_multilevel.json`).
 //!
-//! Usage: `cargo run -p bsp-bench --release --bin exp_multilevel --
-//!         [--scale smoke|reduced|full] [--seed N] [--coarsening-sweep]`
+//! Usage:
 //!
-//!        `cargo run -p bsp-bench --release --bin exp_multilevel -- --speedup
-//!         [--out PATH] [--target N] [--reps N] [--nnz-per-row K] [--quick]
-//!         [--skip-legacy]`
+//! ```text
+//! cargo run -p bsp_bench --release --bin exp_multilevel --
+//!     [--scale smoke|reduced|full] [--seed N] [--coarsening-sweep]
+//!
+//! cargo run -p bsp_bench --release --bin exp_multilevel -- --speedup
+//!     [--out PATH] [--target N] [--reps N] [--nnz-per-row K] [--quick]
+//!     [--skip-legacy]
+//! ```
 
 use bsp_bench::legacy_multilevel::LegacyMultilevelScheduler;
-use bsp_bench::stats::Aggregate;
+use bsp_bench::stats::{Aggregate, BenchReport};
 use bsp_bench::table::pct_pair;
 use bsp_bench::{scaled_dataset, size_to_target, CliArgs, Table};
 use bsp_model::{Dag, Machine};
@@ -363,22 +367,11 @@ fn run_speedup(args: &CliArgs) {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"multilevel_throughput\",\n");
-    writeln!(
-        json,
-        "  \"unix_time\": {},",
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs())
-            .unwrap_or(0)
-    )
-    .unwrap();
-    writeln!(
-        json,
-        "  \"config\": {{\"target_nodes\": {target}, \"coarsen_ratios\": {:?}, \
+    let mut report = BenchReport::new("multilevel_throughput");
+    report.set_config_json(format!(
+        "{{\"target_nodes\": {target}, \"coarsen_ratios\": {:?}, \
          \"refine_interval\": {}, \"refine_max_steps\": {}, \"base\": \"{}\", \
-         \"reps\": {reps}}},",
+         \"reps\": {reps}}}",
         config.coarsen_ratios,
         config.refine_interval,
         config.refine_max_steps,
@@ -387,29 +380,24 @@ fn run_speedup(args: &CliArgs) {
         } else {
             "heuristics-only"
         },
-    )
-    .unwrap();
-    json.push_str("  \"results\": [\n");
-    json.push_str(&rows.join(",\n"));
-    json.push_str("\n  ]");
-    if !speedups.is_empty() {
-        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    ));
+    for row in rows {
+        report.push_result_json(row);
+    }
+    if let Some(summary) = BenchReport::speedup_summary(
+        &speedups,
+        &[("worst_cost_ratio", format!("{worst_cost_ratio:.4}"))],
+    ) {
+        report.set_summary_json(summary);
+        let geomean = bsp_bench::geo_mean(speedups.iter().copied());
         let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        writeln!(json, ",").unwrap();
-        write!(
-            json,
-            "  \"summary\": {{\"geomean_speedup\": {geomean:.2}, \"min_speedup\": {min:.2}, \
-             \"worst_cost_ratio\": {worst_cost_ratio:.4}, \"runs\": {}}}",
-            speedups.len()
-        )
-        .unwrap();
         eprintln!(
             "geomean speedup {geomean:.2}x, min {min:.2}x, worst cost ratio {worst_cost_ratio:.4} over {} runs",
             speedups.len()
         );
     }
-    json.push_str("\n}\n");
-
-    std::fs::write(&out_path, &json).expect("failed to write the benchmark JSON");
+    report
+        .write(&out_path)
+        .expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");
 }

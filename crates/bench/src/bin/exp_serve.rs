@@ -1,0 +1,368 @@
+//! `exp_serve` — throughput and latency of the `bsp_serve` scheduling
+//! service under a mixed open-loop workload.
+//!
+//! The harness spins up a loopback TCP server (bounded admission queue,
+//! batched worker pool) and drives it with several concurrent client
+//! connections issuing a deterministic mixed instance stream (`spmv`, `cg`
+//! and `knn` DAGs on uniform and NUMA machines).  A configurable fraction of
+//! the requests repeats an earlier request verbatim (exercising the exact
+//! schedule cache) and another fraction re-sends a *re-weighted* variant of
+//! an earlier instance (exercising the warm-start path).  Every response is
+//! validated client-side and its wall-clock latency is recorded per source
+//! (`cold` / `exact` / `warm`).
+//!
+//! The JSON written to `--out` (default `BENCH_serve.json`) reports
+//! throughput, per-source p50/p99 latency, the exact-hit speedup over cold
+//! runs, the worst latency/deadline ratio, and the server's cache counters.
+//!
+//! Flags:
+//!   --out PATH         output JSON path (default BENCH_serve.json)
+//!   --target N         approximate DAG size in nodes (default 600)
+//!   --requests N       total requests across all clients (default 240)
+//!   --clients N        concurrent client connections (default 4)
+//!   --workers N        server worker threads (default 4)
+//!   --repeat-pct P     % of requests repeating an earlier one (default 40)
+//!   --warm-pct P       % of requests re-weighting an earlier one (default 15)
+//!   --deadline-ms MS   per-request deadline (default 400)
+//!   --cache-mb MB      schedule-cache byte budget (default 64)
+//!   --smoke            tiny workload + hard assertions (CI gate)
+
+use bsp_bench::stats::BenchReport;
+use bsp_bench::{size_to_target, CliArgs};
+use bsp_model::{Dag, Machine};
+use bsp_serve::{
+    Client, LatencyHistogram, Mode, RequestOptions, ScheduleSource, Server, ServerConfig,
+    ServiceConfig,
+};
+use dag_gen::fine::{cg, knn, spmv, IterConfig, SpmvConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One schedulable instance of the workload.
+struct WorkItem {
+    dag: Arc<Dag>,
+    machine: Machine,
+}
+
+/// Builds the base instance pool: three generator families, two machines.
+fn base_pool(target: usize) -> Vec<WorkItem> {
+    let machines = [
+        Machine::uniform(4, 3, 5),
+        Machine::numa_binary_tree(8, 1, 5, 3),
+    ];
+    let mut dags: Vec<Arc<Dag>> = Vec::new();
+    for seed in [11u64, 12, 13] {
+        dags.push(Arc::new(size_to_target(target, |n| {
+            spmv(&SpmvConfig {
+                n,
+                density: 8.0 / n as f64,
+                seed,
+            })
+        })));
+        dags.push(Arc::new(size_to_target(target, |n| {
+            cg(&IterConfig {
+                n,
+                density: 8.0 / n as f64,
+                iterations: 2,
+                seed,
+            })
+        })));
+        // `knn` grows a frontier from a single source, so with an `O(1/n)`
+        // density its size plateaus at ~degree² nodes whatever `n` is; a
+        // denser pattern (and a capped target) keeps the sizing search
+        // convergent while still producing the narrow-then-wide shape.
+        let knn_target = target.min(800);
+        dags.push(Arc::new(size_to_target(knn_target, |n| {
+            knn(&IterConfig {
+                n,
+                density: 24.0 / n as f64,
+                iterations: 2,
+                seed,
+            })
+        })));
+    }
+    let mut pool = Vec::new();
+    for dag in &dags {
+        for machine in &machines {
+            pool.push(WorkItem {
+                dag: Arc::clone(dag),
+                machine: machine.clone(),
+            });
+        }
+    }
+    pool
+}
+
+/// A re-weighted copy of `dag`: same structure (so the service sees the same
+/// structural fingerprint), work weights scaled node-wise.
+fn reweight(dag: &Dag, rng: &mut ChaCha8Rng) -> Dag {
+    let edges: Vec<_> = dag.edges().collect();
+    let work: Vec<u64> = dag
+        .work_weights()
+        .iter()
+        .map(|&w| (w + rng.gen_range(1u64..4)).max(1))
+        .collect();
+    let comm = dag.comm_weights().to_vec();
+    Dag::from_edges(dag.n(), &edges, work, comm).expect("reweighting preserves the DAG")
+}
+
+/// The deterministic request stream: indices into a pool that mixes base
+/// instances (cold on first use, exact hits on repeats) and re-weighted
+/// variants (warm hits when their base is cached).
+fn build_stream(
+    pool: &mut Vec<WorkItem>,
+    requests: usize,
+    repeat_pct: u64,
+    warm_pct: u64,
+    seed: u64,
+) -> Vec<usize> {
+    let base_len = pool.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(requests);
+    let mut used: Vec<usize> = Vec::new();
+    for _ in 0..requests {
+        let roll = rng.gen_range(0u64..100);
+        if roll < repeat_pct && !used.is_empty() {
+            // Exact repeat of something already requested.
+            let &idx = &used[rng.gen_range(0..used.len())];
+            stream.push(idx);
+        } else if roll < repeat_pct + warm_pct {
+            // Re-weighted variant of a base instance: same structure,
+            // different weights.
+            let base = rng.gen_range(0..base_len);
+            let dag = reweight(&pool[base].dag, &mut rng);
+            let machine = pool[base].machine.clone();
+            pool.push(WorkItem {
+                dag: Arc::new(dag),
+                machine,
+            });
+            let idx = pool.len() - 1;
+            used.push(idx);
+            stream.push(idx);
+        } else {
+            let idx = rng.gen_range(0..base_len);
+            used.push(idx);
+            stream.push(idx);
+        }
+    }
+    stream
+}
+
+struct ClientOutcome {
+    histograms: [LatencyHistogram; 3], // cold, exact, warm
+    invalid: u64,
+    errors: u64,
+    worst_deadline_ratio: f64,
+}
+
+fn source_slot(source: ScheduleSource) -> usize {
+    match source {
+        ScheduleSource::Cold => 0,
+        ScheduleSource::CacheExact => 1,
+        ScheduleSource::CacheWarm => 2,
+    }
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let smoke = args.flag("smoke");
+    let out_path = args.value("out").unwrap_or("BENCH_serve.json").to_string();
+    let target = args.usize_or("target", if smoke { 120 } else { 4000 });
+    let requests = args.usize_or("requests", if smoke { 60 } else { 240 });
+    // Defaults scale with the host: on small CI boxes a couple of concurrent
+    // cold solves already saturate the CPU and queueing (not service time)
+    // would dominate the tail.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let clients = args
+        .usize_or("clients", if smoke { 2 } else { cores.clamp(2, 4) })
+        .max(1);
+    let workers = args.usize_or("workers", cores.clamp(2, 4)).max(1);
+    let repeat_pct = args.u64_or("repeat-pct", 40).min(100);
+    let warm_pct = args
+        .u64_or("warm-pct", 15)
+        .min(100u64.saturating_sub(repeat_pct));
+    let deadline =
+        Duration::from_millis(args.u64_or("deadline-ms", if smoke { 200 } else { 1000 }));
+    let cache_mb = args.u64_or("cache-mb", 64) as usize;
+
+    eprintln!(
+        "exp_serve: target {target} nodes, {requests} requests, {clients} clients, \
+         {workers} workers, repeat {repeat_pct}%, warm {warm_pct}%, deadline {deadline:?}"
+    );
+
+    eprintln!("building instance pool...");
+    let mut pool = base_pool(target);
+    let stream = build_stream(&mut pool, requests, repeat_pct, warm_pct, args.seed());
+    let pool = Arc::new(pool);
+
+    let server_config = ServerConfig {
+        workers,
+        queue_capacity: 4 * clients.max(1),
+        admission_batch: 8,
+        idle_timeout: Duration::from_secs(30),
+        service: ServiceConfig {
+            cache_bytes: cache_mb << 20,
+            // Cold runs get 80% of the deadline for local search (the rest
+            // is headroom for the non-cancellable fringes: initializers,
+            // normalize, cost/validate, response encoding); warm runs a
+            // quarter (they start near a local minimum).
+            local_search_budget: deadline.mul_f64(0.8),
+            warm_budget: deadline / 4,
+            default_deadline: Some(deadline),
+        },
+    };
+    let server = Server::bind("127.0.0.1:0", server_config)
+        .expect("bind an ephemeral loopback port")
+        .spawn()
+        .expect("spawn server threads");
+    let addr = server.addr();
+    eprintln!("server listening on {addr}");
+
+    // Shard the request stream round-robin across the client threads.
+    let bench_start = Instant::now();
+    let progress = Arc::new(AtomicU64::new(0));
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let share: Vec<usize> = stream.iter().copied().skip(c).step_by(clients).collect();
+            let pool = Arc::clone(&pool);
+            let progress = Arc::clone(&progress);
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to the server");
+                let options = RequestOptions::new()
+                    .with_mode(Mode::HeuristicsOnly)
+                    .with_deadline(deadline);
+                let mut outcome = ClientOutcome {
+                    histograms: Default::default(),
+                    invalid: 0,
+                    errors: 0,
+                    worst_deadline_ratio: 0.0,
+                };
+                for idx in share {
+                    let item = &pool[idx];
+                    let start = Instant::now();
+                    match client.schedule(&item.dag, &item.machine, &options) {
+                        Ok(response) => {
+                            let latency = start.elapsed();
+                            outcome.histograms[source_slot(response.source)].record(latency);
+                            let ratio = latency.as_secs_f64() / deadline.as_secs_f64();
+                            outcome.worst_deadline_ratio = outcome.worst_deadline_ratio.max(ratio);
+                            if response
+                                .schedule
+                                .validate(&item.dag, &item.machine)
+                                .is_err()
+                            {
+                                outcome.invalid += 1;
+                            }
+                        }
+                        Err(err) => {
+                            eprintln!("request failed: {err}");
+                            outcome.errors += 1;
+                        }
+                    }
+                    let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
+                    if done.is_multiple_of(50) {
+                        eprintln!("  {done}/{requests} requests");
+                    }
+                }
+                outcome
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = bench_start.elapsed();
+
+    // Pool the per-client outcomes.
+    let merged: [LatencyHistogram; 3] = Default::default();
+    let mut invalid = 0u64;
+    let mut errors = 0u64;
+    let mut worst_deadline_ratio = 0.0f64;
+    for outcome in &outcomes {
+        invalid += outcome.invalid;
+        errors += outcome.errors;
+        worst_deadline_ratio = worst_deadline_ratio.max(outcome.worst_deadline_ratio);
+        for (pool, client) in merged.iter().zip(&outcome.histograms) {
+            pool.merge_from(client);
+        }
+    }
+    let pooled = |slot: usize, q: f64| -> u64 { merged[slot].quantile_micros(q) };
+    let count_of = |slot: usize| -> u64 { merged[slot].count() };
+
+    let stats = server.stats();
+    let (cold_n, exact_n, warm_n) = (count_of(0), count_of(1), count_of(2));
+    let cold_p50 = pooled(0, 0.5);
+    let exact_p50 = pooled(1, 0.5);
+    let warm_p50 = pooled(2, 0.5);
+    let throughput = requests as f64 / wall.as_secs_f64();
+    let exact_speedup = if exact_p50 > 0 {
+        cold_p50 as f64 / exact_p50 as f64
+    } else {
+        0.0
+    };
+
+    eprintln!(
+        "done in {wall:.2?}: {throughput:.1} req/s | cold {cold_n} (p50 {cold_p50}us) | \
+         exact {exact_n} (p50 {exact_p50}us, {exact_speedup:.0}x) | warm {warm_n} (p50 {warm_p50}us)"
+    );
+    eprintln!(
+        "server cache: {} hits / {} warm / {} misses, {} entries, {} bytes; \
+         worst latency/deadline {worst_deadline_ratio:.3}; invalid {invalid}, errors {errors}",
+        stats.cache.hits,
+        stats.cache.warm_hits,
+        stats.cache.misses,
+        stats.cache.entries,
+        stats.cache.bytes_used
+    );
+
+    let mut report = BenchReport::new("serve_throughput");
+    report.set_config_json(format!(
+        "{{\"target_nodes\": {target}, \"requests\": {requests}, \"clients\": {clients}, \
+         \"workers\": {workers}, \"repeat_pct\": {repeat_pct}, \"warm_pct\": {warm_pct}, \
+         \"deadline_ms\": {}, \"cache_mb\": {cache_mb}}}",
+        deadline.as_millis()
+    ));
+    for (name, slot) in [("cold", 0), ("exact", 1), ("warm", 2)] {
+        report.push_result_json(format!(
+            "    {{\"source\": \"{name}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            count_of(slot),
+            pooled(slot, 0.5),
+            pooled(slot, 0.99),
+        ));
+    }
+    report.set_summary_json(format!(
+        "{{\"throughput_rps\": {throughput:.1}, \"wall_secs\": {:.3}, \
+         \"exact_hit_p50_speedup\": {exact_speedup:.1}, \
+         \"worst_latency_over_deadline\": {worst_deadline_ratio:.3}, \
+         \"invalid_schedules\": {invalid}, \"request_errors\": {errors}, \
+         \"cache\": {{\"hits\": {}, \"warm_hits\": {}, \"misses\": {}, \"insertions\": {}, \
+         \"evictions\": {}, \"entries\": {}, \"bytes\": {}}}}}",
+        wall.as_secs_f64(),
+        stats.cache.hits,
+        stats.cache.warm_hits,
+        stats.cache.misses,
+        stats.cache.insertions,
+        stats.cache.evictions,
+        stats.cache.entries,
+        stats.cache.bytes_used,
+    ));
+    report
+        .write(&out_path)
+        .expect("failed to write the benchmark JSON");
+    eprintln!("wrote {out_path}");
+
+    server.shutdown();
+
+    if smoke {
+        assert_eq!(errors, 0, "smoke: {errors} requests failed");
+        assert_eq!(invalid, 0, "smoke: {invalid} invalid schedules");
+        assert!(stats.cache.hits > 0, "smoke: no exact cache hits");
+        assert!(
+            worst_deadline_ratio <= 2.0,
+            "smoke: worst latency/deadline ratio {worst_deadline_ratio:.3} exceeds 2.0"
+        );
+        eprintln!("smoke assertions passed");
+    }
+}

@@ -383,6 +383,7 @@ impl LegacyMultilevelScheduler {
         let config = HillClimbConfig {
             time_limit: self.config.refine_time_limit,
             max_steps: self.config.refine_max_steps,
+            ..Default::default()
         };
         hc_improve(&quotient, machine, &mut schedule, &config);
         for (i, &rep) in reps.iter().enumerate() {
@@ -397,6 +398,7 @@ impl LegacyMultilevelScheduler {
         let hccs_cfg = HillClimbConfig {
             time_limit: self.config.final_comm_time_limit,
             max_steps: usize::MAX,
+            ..Default::default()
         };
         hccs_improve(dag, machine, schedule, &hccs_cfg);
         if self.config.base.use_ilp {

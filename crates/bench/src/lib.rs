@@ -26,5 +26,5 @@ pub mod table;
 pub use args::CliArgs;
 pub use eval::{AlgoCosts, EvalOptions, InstanceResult};
 pub use instances::{scaled_dataset, size_to_target, Scale};
-pub use stats::{geo_mean, geo_mean_ratio, reduction_pct, Aggregate};
+pub use stats::{geo_mean, geo_mean_ratio, reduction_pct, Aggregate, BenchReport};
 pub use table::Table;

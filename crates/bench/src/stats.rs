@@ -6,6 +6,97 @@
 //! mean, §7), and reports either the mean ratio itself (figures, normalized to
 //! `Cilk`) or the corresponding percentage reduction `1 − ratio` (tables).
 
+/// Shared assembler for the repo's `BENCH_*.json` benchmark reports.
+///
+/// Every throughput experiment (`exp_hc`, `exp_multilevel --speedup`,
+/// `exp_serve`) writes the same envelope — bench name, UNIX timestamp, a
+/// config object, a result array, an optional summary object — and used to
+/// hand-roll it.  The builder takes the per-experiment pieces as
+/// already-encoded JSON fragments (the rows differ per experiment and stay
+/// with their binaries) and assembles one consistently formatted document.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    name: String,
+    config: Option<String>,
+    results: Vec<String>,
+    summary: Option<String>,
+}
+
+impl BenchReport {
+    /// A report for the benchmark `name` (the envelope's `"bench"` field).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the `"config"` object (an already-encoded JSON value).
+    pub fn set_config_json(&mut self, json: impl Into<String>) {
+        self.config = Some(json.into());
+    }
+
+    /// Appends one entry to the `"results"` array (already-encoded JSON).
+    pub fn push_result_json(&mut self, json: impl Into<String>) {
+        self.results.push(json.into());
+    }
+
+    /// Sets the `"summary"` object (an already-encoded JSON value).
+    pub fn set_summary_json(&mut self, json: impl Into<String>) {
+        self.summary = Some(json.into());
+    }
+
+    /// The standard speedup summary object: geometric-mean and minimum
+    /// speedup over `speedups`, the run count, plus any `extra`
+    /// (key, encoded-JSON-value) fields.  Returns `None` for no runs.
+    pub fn speedup_summary(speedups: &[f64], extra: &[(&str, String)]) -> Option<String> {
+        if speedups.is_empty() {
+            return None;
+        }
+        let geomean = geo_mean(speedups.iter().copied());
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut out = format!(
+            "{{\"geomean_speedup\": {geomean:.2}, \"min_speedup\": {min:.2}, \"runs\": {}",
+            speedups.len()
+        );
+        for (key, value) in extra {
+            out.push_str(&format!(", \"{key}\": {value}"));
+        }
+        out.push('}');
+        Some(out)
+    }
+
+    /// Renders the complete JSON document.
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"bench\": \"{}\",\n", self.name));
+        json.push_str(&format!(
+            "  \"unix_time\": {},\n",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+        ));
+        if let Some(config) = &self.config {
+            json.push_str(&format!("  \"config\": {config},\n"));
+        }
+        json.push_str("  \"results\": [\n");
+        json.push_str(&self.results.join(",\n"));
+        json.push_str("\n  ]");
+        if let Some(summary) = &self.summary {
+            json.push_str(&format!(",\n  \"summary\": {summary}"));
+        }
+        json.push_str("\n}\n");
+        json
+    }
+
+    /// Writes the document to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Geometric mean of a sequence of positive values; `NaN` for an empty input.
 pub fn geo_mean<I>(values: I) -> f64
 where
@@ -133,6 +224,29 @@ impl Aggregate {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_report_assembles_the_shared_envelope() {
+        let mut report = BenchReport::new("demo");
+        report.set_config_json("{\"target\": 10}");
+        report.push_result_json("    {\"a\": 1}");
+        report.push_result_json("    {\"a\": 2}");
+        report.set_summary_json(
+            BenchReport::speedup_summary(&[2.0, 8.0], &[("worst_cost_ratio", "1.01".into())])
+                .unwrap(),
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"unix_time\": "));
+        assert!(json.contains("\"config\": {\"target\": 10}"));
+        assert!(json.contains("{\"a\": 1},\n"));
+        // geomean(2, 8) = 4.
+        assert!(json.contains("\"geomean_speedup\": 4.00"));
+        assert!(json.contains("\"min_speedup\": 2.00"));
+        assert!(json.contains("\"runs\": 2"));
+        assert!(json.contains("\"worst_cost_ratio\": 1.01"));
+        assert!(BenchReport::speedup_summary(&[], &[]).is_none());
+    }
 
     #[test]
     fn geo_mean_of_constants_is_the_constant() {

@@ -3,7 +3,7 @@
 //! * [`CilkScheduler`] — the work-stealing heuristic representing practical
 //!   parallel runtimes.
 //! * [`BlEstScheduler`] / [`EtfScheduler`] — list schedulers extended with
-//!   communication volume (the strongest classical baselines per [27]).
+//!   communication volume (the strongest classical baselines per \[27\]).
 //! * [`HDaggScheduler`] — the wavefront-aggregation scheduler of Zarebavani et
 //!   al., the strongest academic baseline.
 //! * [`TrivialScheduler`] — everything on one processor in one superstep; the

@@ -187,7 +187,10 @@ pub fn hccs_improve(
     'outer: loop {
         while let Some(i) = queue.pop_front() {
             in_queue[i] = false;
-            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+            if steps >= config.max_steps
+                || start.elapsed() > config.time_limit
+                || config.cancel.is_cancelled()
+            {
                 break 'outer;
             }
             if let Some((a, b)) = state.try_improve_req(i) {
@@ -198,7 +201,10 @@ pub fn hccs_improve(
         }
         let mut sweep_improved = false;
         for i in 0..num_reqs {
-            if steps >= config.max_steps || start.elapsed() > config.time_limit {
+            if steps >= config.max_steps
+                || start.elapsed() > config.time_limit
+                || config.cancel.is_cancelled()
+            {
                 break 'outer;
             }
             if let Some((a, b)) = state.try_improve_req(i) {

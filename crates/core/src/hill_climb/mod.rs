@@ -46,13 +46,17 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// Configuration shared by the `HC` and `HCcs` local searches.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HillClimbConfig {
     /// Wall-clock limit for the search.
     pub time_limit: Duration,
     /// Upper bound on the number of accepted improvement steps
     /// (`usize::MAX` = unlimited); the multilevel refinement phases use this.
     pub max_steps: usize,
+    /// Cooperative cancellation, polled at the same cadence as the clock.
+    /// Both searches are anytime, so a cancelled run still returns a valid
+    /// schedule no worse than its input.  Inert by default.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl Default for HillClimbConfig {
@@ -60,6 +64,7 @@ impl Default for HillClimbConfig {
         HillClimbConfig {
             time_limit: Duration::from_secs(5),
             max_steps: usize::MAX,
+            cancel: crate::cancel::CancelToken::inert(),
         }
     }
 }
@@ -290,12 +295,14 @@ pub fn hc_search<G: DagView>(
     let mut steps = 0usize;
     let mut reached_local_minimum = false;
 
-    // Reading the clock per visit would dominate gated visits; poll it every
-    // 64th visit instead (the step limit stays exact).
+    // Reading the clock (or the cancel token) per visit would dominate gated
+    // visits; poll both every 64th visit instead (the step limit stays exact).
     let mut visit = 0u32;
     let over_limit = |visit: &mut u32, steps: usize| {
         *visit = visit.wrapping_add(1);
-        steps >= config.max_steps || (*visit & 63 == 0 && start.elapsed() > config.time_limit)
+        steps >= config.max_steps
+            || (*visit & 63 == 0
+                && (start.elapsed() > config.time_limit || config.cancel.is_cancelled()))
     };
 
     'outer: loop {

@@ -8,7 +8,7 @@
 
 use super::IlpConfig;
 use bsp_model::{BspSchedule, CommSchedule, CommStep, Dag, Machine};
-use micro_ilp::{MipConfig, Model, VarId};
+use micro_ilp::{Model, VarId};
 
 /// Optimizes the communication schedule of `schedule` with an ILP; keeps the
 /// original schedule whenever the ILP does not find something strictly better.
@@ -19,6 +19,9 @@ pub fn ilp_cs_improve(
     schedule: &mut BspSchedule,
     config: &IlpConfig,
 ) -> bool {
+    if config.cancel.is_cancelled() {
+        return false;
+    }
     let requirements = CommSchedule::requirements(dag, &schedule.assignment);
     if requirements.is_empty() {
         return false;
@@ -119,11 +122,7 @@ pub fn ilp_cs_improve(
         warm[h[s].index()] = hmax as f64;
     }
 
-    let result = micro_ilp::solve_mip(
-        &model,
-        &MipConfig::with_time_limit(config.time_limit),
-        Some(&warm),
-    );
+    let result = micro_ilp::solve_mip(&model, &config.mip_config(), Some(&warm));
     if !result.has_solution() {
         return false;
     }

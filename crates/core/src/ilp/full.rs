@@ -14,7 +14,7 @@
 
 use super::IlpConfig;
 use bsp_model::{Assignment, BspSchedule, CommSchedule, CommStep, Dag, Machine};
-use micro_ilp::{MipConfig, Model, VarId};
+use micro_ilp::{Model, VarId};
 
 /// Estimated number of ILP variables of the full formulation with `s_max`
 /// supersteps (the paper uses this estimate to decide whether `ILPfull` is
@@ -330,11 +330,7 @@ pub fn ilp_full_schedule(
     }
     let (model, vars) = build_model(dag, machine, s_max);
     let ws_vec = warm_start.and_then(|w| warm_start_vector(&model, &vars, dag, machine, s_max, w));
-    let result = micro_ilp::solve_mip(
-        &model,
-        &MipConfig::with_time_limit(config.time_limit),
-        ws_vec.as_deref(),
-    );
+    let result = micro_ilp::solve_mip(&model, &config.mip_config(), ws_vec.as_deref());
     if !result.has_solution() {
         return None;
     }

@@ -71,6 +71,9 @@ impl Scheduler for IlpInitScheduler {
         // earlier improvements may merge supersteps, track the superstep of the
         // batch's first node rather than the original index.
         for batch in &batches {
+            if self.config.cancel.is_cancelled() {
+                break; // the seed schedule (plus whatever improved) is valid
+            }
             let anchor = batch[0];
             let s = sched.superstep(anchor);
             improve_window(dag, machine, &mut sched, s, s, &self.config);

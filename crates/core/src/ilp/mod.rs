@@ -22,6 +22,8 @@ pub mod full;
 pub mod init;
 pub mod partial;
 
+use crate::cancel::CancelToken;
+use micro_ilp::MipConfig;
 use std::time::Duration;
 
 /// Configuration of the ILP-based methods.
@@ -40,6 +42,11 @@ pub struct IlpConfig {
     pub window_variable_budget: usize,
     /// Target variable count of an `ILPinit` batch (paper: 2 000).
     pub init_variable_budget: usize,
+    /// Cooperative cancellation: checked between batches/windows and between
+    /// branch-&-bound nodes inside each solve.  Every ILP method is anytime
+    /// (it only replaces the schedule when the cost improves), so a cancelled
+    /// stage leaves the incumbent schedule untouched.  Inert by default.
+    pub cancel: CancelToken,
 }
 
 impl Default for IlpConfig {
@@ -49,6 +56,7 @@ impl Default for IlpConfig {
             full_max_variables: 2_000,
             window_variable_budget: 600,
             init_variable_budget: 400,
+            cancel: CancelToken::inert(),
         }
     }
 }
@@ -69,6 +77,23 @@ impl IlpConfig {
             full_max_variables: 600,
             window_variable_budget: 250,
             init_variable_budget: 200,
+            cancel: CancelToken::inert(),
+        }
+    }
+
+    /// The `micro_ilp` solver configuration for one solve under this config:
+    /// the per-solve time limit clipped to whatever wall clock remains before
+    /// the cancel token's deadline, with the token's shared flag threaded
+    /// through so an explicit cancellation also stops mid-solve.
+    pub(crate) fn mip_config(&self) -> MipConfig {
+        let time_limit = match self.cancel.remaining() {
+            Some(remaining) => self.time_limit.min(remaining),
+            None => self.time_limit,
+        };
+        MipConfig {
+            time_limit,
+            cancel: self.cancel.shared_flag(),
+            ..MipConfig::default()
         }
     }
 }

@@ -23,7 +23,7 @@
 
 use super::IlpConfig;
 use bsp_model::{BspSchedule, Dag, Machine};
-use micro_ilp::{MipConfig, Model, VarId};
+use micro_ilp::{Model, VarId};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
@@ -531,11 +531,7 @@ pub fn improve_window(
     }
 
     // ---- Solve and adopt if the real cost improves --------------------------
-    let result = micro_ilp::solve_mip(
-        &model,
-        &MipConfig::with_time_limit(config.time_limit),
-        warm.as_deref(),
-    );
+    let result = micro_ilp::solve_mip(&model, &config.mip_config(), warm.as_deref());
     if !result.has_solution() {
         return false;
     }
@@ -580,6 +576,9 @@ pub fn ilp_part_improve(
             if Instant::now() >= d {
                 break;
             }
+        }
+        if config.cancel.is_cancelled() {
+            break;
         }
         // The schedule may have been normalized (fewer supersteps) by a
         // previous window; skip windows that fell off the end.

@@ -7,6 +7,9 @@
 //! * [`baselines`] — `Cilk` work stealing, the `BL-EST` and `ETF` list
 //!   schedulers, the `HDagg` wavefront scheduler, and the trivial
 //!   single-processor schedule.
+//! * [`cancel`] — the cooperative [`CancelToken`] polled by every anytime
+//!   search loop (deadline-aware requests and graceful shutdown in
+//!   `bsp_serve` are built on it).
 //! * [`init`] — the `BSPg` and `Source` initialization heuristics.
 //! * [`hill_climb`] — the `HC` (node moves) and `HCcs` (communication
 //!   schedule) hill-climbing local searches.
@@ -17,6 +20,7 @@
 //!   variant of Figure 4).
 
 pub mod baselines;
+pub mod cancel;
 pub mod hill_climb;
 pub mod ilp;
 pub mod init;
@@ -46,6 +50,7 @@ pub fn evaluate(scheduler: &dyn Scheduler, dag: &Dag, machine: &Machine) -> (u64
 pub use baselines::{
     BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler,
 };
+pub use cancel::CancelToken;
 pub use hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 pub use init::{BspgScheduler, SourceScheduler};
 pub use multilevel::{MultilevelConfig, MultilevelScheduler};

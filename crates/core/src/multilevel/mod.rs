@@ -255,9 +255,14 @@ impl MultilevelScheduler {
         .expect("the base pipeline produces lazily-feasible schedules");
 
         // Uncoarsen step by step, refining every `refine_interval` steps.
+        // Uncontractions themselves always run to completion (the assignment
+        // is only meaningful over the original node space once fully
+        // uncoarsened); under cancellation the refinement phases between them
+        // degenerate to no-ops, so the walk stays cheap.
         let refine_config = HillClimbConfig {
             time_limit: self.config.refine_time_limit,
             max_steps: self.config.refine_max_steps,
+            cancel: self.config.base.effective_cancel(),
         };
         let mut since_refine = 0usize;
         loop {
@@ -294,13 +299,19 @@ impl MultilevelScheduler {
     /// uncoarsening: `HCcs` followed by `ILPcs` (when the base pipeline has
     /// its ILP stage enabled).
     fn final_comm_optimization(&self, dag: &Dag, machine: &Machine, schedule: &mut BspSchedule) {
+        let cancel = self.config.base.effective_cancel();
         let hccs_cfg = HillClimbConfig {
             time_limit: self.config.final_comm_time_limit,
             max_steps: usize::MAX,
+            cancel: cancel.clone(),
         };
         hccs_improve(dag, machine, schedule, &hccs_cfg);
         if self.config.base.use_ilp {
-            ilp_cs_improve(dag, machine, schedule, &self.config.base.ilp);
+            let ilp_config = crate::ilp::IlpConfig {
+                cancel,
+                ..self.config.base.ilp.clone()
+            };
+            ilp_cs_improve(dag, machine, schedule, &ilp_config);
         }
     }
 }

@@ -12,6 +12,7 @@
 //! by the paper's Figures 5–7 (the `Init`, `HCcs` and `ILP` bars).
 
 use crate::baselines::TrivialScheduler;
+use crate::cancel::CancelToken;
 use crate::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 use crate::ilp::{
     ilp_cs_improve, ilp_full_schedule, ilp_part_improve, IlpConfig, IlpInitScheduler,
@@ -53,6 +54,16 @@ pub struct PipelineConfig {
     /// Run the initialization branches on the rayon thread pool instead of
     /// sequentially.
     pub parallel_branches: bool,
+    /// Absolute wall-clock deadline for the whole run.  The pipeline is
+    /// *anytime*: it clips every stage budget to the remaining time, skips
+    /// stages whose budget is exhausted, and always returns the best valid
+    /// schedule found so far (at minimum the raw initializer schedules, which
+    /// are not deadline-gated).  `None` disables deadline awareness.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation threaded through every stage (`HC`, `HCcs`,
+    /// the multilevel refinement phases, and the ILP branch-&-bound).  The
+    /// effective token of a run is this one tightened to [`Self::deadline`].
+    pub cancel: CancelToken,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +77,8 @@ impl Default for PipelineConfig {
             ilp_init_max_nodes: 400,
             ilp_stage_budget: Duration::from_secs(20),
             parallel_branches: true,
+            deadline: None,
+            cancel: CancelToken::inert(),
         }
     }
 }
@@ -83,6 +96,8 @@ impl PipelineConfig {
             ilp_init_max_nodes: 150,
             ilp_stage_budget: Duration::from_secs(2),
             parallel_branches: true,
+            deadline: None,
+            cancel: CancelToken::inert(),
         }
     }
 
@@ -106,6 +121,36 @@ impl PipelineConfig {
     pub fn with_ilp(mut self, use_ilp: bool) -> Self {
         self.use_ilp = use_ilp;
         self
+    }
+
+    /// Sets the wall-clock deadline and returns the configuration.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the cancellation token and returns the configuration.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The token a run under this configuration polls: the configured cancel
+    /// token tightened to the configured deadline.
+    pub fn effective_cancel(&self) -> CancelToken {
+        match self.deadline {
+            Some(d) => self.cancel.tightened(d),
+            None => self.cancel.clone(),
+        }
+    }
+}
+
+/// Clips `budget` to the time left on `cancel`'s deadline (unchanged when the
+/// token carries no deadline).
+fn clip_budget(budget: Duration, cancel: &CancelToken) -> Duration {
+    match cancel.remaining() {
+        Some(remaining) => budget.min(remaining),
+        None => budget,
     }
 }
 
@@ -192,16 +237,17 @@ impl Pipeline {
             };
         }
 
+        let cancel = self.config.effective_cancel();
         let initializers = self.initializers(dag, machine);
         let branch_results: Vec<(BranchReport, BspSchedule)> = if self.config.parallel_branches {
             initializers
                 .par_iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref()))
+                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel))
                 .collect()
         } else {
             initializers
                 .iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref()))
+                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel))
                 .collect()
         };
 
@@ -224,30 +270,29 @@ impl Pipeline {
         let mut ilp_part_windows_improved = 0;
         let mut ilp_cs_improved = false;
         let mut ilp_part_cost = local_search_cost;
-        if self.config.use_ilp {
-            let deadline = Instant::now() + self.config.ilp_stage_budget;
+        if self.config.use_ilp && !cancel.is_cancelled() {
+            let stage_budget = clip_budget(self.config.ilp_stage_budget, &cancel);
+            let deadline = Instant::now() + stage_budget;
+            let ilp_config = IlpConfig {
+                cancel: cancel.tightened(deadline),
+                ..self.config.ilp.clone()
+            };
             // ILPfull first, warm-started from the incumbent; it internally
             // bails out when the variable estimate exceeds the budget.
             let s_max = schedule.assignment.num_supersteps();
-            if let Some(full) =
-                ilp_full_schedule(dag, machine, s_max, &self.config.ilp, Some(&schedule))
+            if let Some(full) = ilp_full_schedule(dag, machine, s_max, &ilp_config, Some(&schedule))
             {
                 used_ilp_full = true;
                 if full.cost(dag, machine) < schedule.cost(dag, machine) {
                     schedule = full;
                 }
             } else {
-                ilp_part_windows_improved = ilp_part_improve(
-                    dag,
-                    machine,
-                    &mut schedule,
-                    &self.config.ilp,
-                    Some(deadline),
-                );
+                ilp_part_windows_improved =
+                    ilp_part_improve(dag, machine, &mut schedule, &ilp_config, Some(deadline));
             }
             ilp_part_cost = schedule.cost(dag, machine);
             if self.config.use_ilp_cs {
-                ilp_cs_improved = ilp_cs_improve(dag, machine, &mut schedule, &self.config.ilp);
+                ilp_cs_improved = ilp_cs_improve(dag, machine, &mut schedule, &ilp_config);
             }
         }
 
@@ -278,7 +323,10 @@ impl Pipeline {
             && machine.p() <= self.config.ilp_init_max_procs
             && dag.n() <= self.config.ilp_init_max_nodes
         {
-            inits.push(Box::new(IlpInitScheduler::new(self.config.ilp.clone())));
+            inits.push(Box::new(IlpInitScheduler::new(IlpConfig {
+                cancel: self.config.effective_cancel(),
+                ..self.config.ilp.clone()
+            })));
         }
         inits
     }
@@ -289,20 +337,25 @@ impl Pipeline {
         dag: &Dag,
         machine: &Machine,
         init: &dyn Scheduler,
+        cancel: &CancelToken,
     ) -> (BranchReport, BspSchedule) {
         let mut schedule = init.schedule(dag, machine);
         schedule.normalize(dag);
         let init_cost = schedule.cost(dag, machine);
-        // The paper gives 90% of the local-search budget to HC, 10% to HCcs.
-        let hc_budget = self.config.hill_climb.time_limit.mul_f64(0.9);
-        let hccs_budget = self.config.hill_climb.time_limit.mul_f64(0.1);
+        // The paper gives 90% of the local-search budget to HC, 10% to HCcs;
+        // under a deadline both are additionally clipped to the remaining
+        // wall clock and poll the cancel token.
+        let hc_budget = clip_budget(self.config.hill_climb.time_limit.mul_f64(0.9), cancel);
+        let hccs_budget = clip_budget(self.config.hill_climb.time_limit.mul_f64(0.1), cancel);
         let hc_cfg = HillClimbConfig {
             time_limit: hc_budget,
-            ..self.config.hill_climb
+            cancel: cancel.clone(),
+            ..self.config.hill_climb.clone()
         };
         let hccs_cfg = HillClimbConfig {
             time_limit: hccs_budget,
-            ..self.config.hill_climb
+            cancel: cancel.clone(),
+            ..self.config.hill_climb.clone()
         };
         hc_improve(dag, machine, &mut schedule, &hc_cfg);
         hccs_improve(dag, machine, &mut schedule, &hccs_cfg);
@@ -446,6 +499,7 @@ mod tests {
         cfg.hill_climb = HillClimbConfig {
             time_limit: Duration::from_secs(3600),
             max_steps: 200,
+            ..Default::default()
         };
         cfg.use_ilp = false;
         let par = Pipeline::new(PipelineConfig {

@@ -85,12 +85,21 @@ pub fn write_hyperdag(dag: &Dag) -> String {
 }
 
 /// Parses the hyperDAG text format back into a DAG.
+///
+/// The parser never panics and never trusts the header: declared hyperedge,
+/// node and pin counts are checked against the amount of data actually
+/// present *before* any allocation is sized from them, so a malformed (or
+/// hostile) header is reported as [`HyperDagError::Malformed`] instead of
+/// attempting a multi-gigabyte allocation.  This is the function the
+/// `bsp_serve` service boundary parses untrusted request payloads with.
 pub fn read_hyperdag(text: &str) -> Result<Dag, HyperDagError> {
+    let is_data = |l: &str| !l.is_empty() && !l.starts_with('%');
+    let data_line_count = text.lines().map(str::trim).filter(|l| is_data(l)).count();
     let mut lines = text
         .lines()
         .enumerate()
         .map(|(i, l)| (i + 1, l.trim()))
-        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+        .filter(|(_, l)| is_data(l));
 
     let (header_line, header) = lines.next().ok_or(HyperDagError::Malformed {
         line: 0,
@@ -110,6 +119,27 @@ pub fn read_hyperdag(text: &str) -> Result<Dag, HyperDagError> {
             })
         }
     };
+
+    // Sanity-check the declared counts against the data that is actually
+    // there: one line per pin plus one line per node must fit in the input,
+    // and every hyperedge needs at least one pin.  These bounds make the
+    // allocations below proportional to the input size, whatever the header
+    // claims.
+    let body_lines = data_line_count - 1;
+    if pins.saturating_add(nodes) > body_lines {
+        return Err(HyperDagError::Malformed {
+            line: header_line,
+            reason: format!(
+                "header declares {pins} pins + {nodes} nodes but only {body_lines} data lines follow"
+            ),
+        });
+    }
+    if he > pins {
+        return Err(HyperDagError::Malformed {
+            line: header_line,
+            reason: format!("header declares {he} hyperedges but only {pins} pins"),
+        });
+    }
 
     // Pins.
     let mut hyperedge_pins: Vec<Vec<NodeId>> = vec![Vec::new(); he];
@@ -236,6 +266,24 @@ mod tests {
         let text = "1 2 2\n0 0\n0 7\n0 1 1\n1 1 1\n";
         assert!(matches!(
             read_hyperdag(text),
+            Err(HyperDagError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_header_counts_are_rejected_before_allocation() {
+        // Declares ~10^18 hyperedges/nodes/pins with a four-line body; the
+        // parser must reject the header instead of sizing buffers from it.
+        let huge = u64::MAX / 4;
+        let text = format!("{huge} {huge} {huge}\n0 0\n0 1\n0 1 1\n1 1 1\n");
+        assert!(matches!(
+            read_hyperdag(&text),
+            Err(HyperDagError::Malformed { .. })
+        ));
+        // More hyperedges than pins is equally malformed (a hyperedge needs a
+        // source pin), even when the counts are small.
+        assert!(matches!(
+            read_hyperdag("3 2 2\n0 0\n0 1\n0 1 1\n1 1 1\n"),
             Err(HyperDagError::Malformed { .. })
         ));
     }

@@ -1,4 +1,4 @@
-//! Branch & bound over the integer variables of a [`Model`](crate::Model).
+//! Branch & bound over the integer variables of a [`Model`].
 //!
 //! The solver is an *anytime* minimizer: it can be warm-started from a known
 //! feasible assignment (the "MIP start" the paper gives CBC) and respects a
@@ -7,6 +7,8 @@
 
 use crate::model::{Model, VarKind};
 use crate::simplex::{solve_relaxation_with_bounds_until, LpStatus};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a branch-&-bound solve.
@@ -18,6 +20,10 @@ pub struct MipConfig {
     pub max_nodes: usize,
     /// Relative optimality gap below which the search stops.
     pub gap_tolerance: f64,
+    /// Cooperative cancellation flag, checked between branch-&-bound nodes:
+    /// once set, the solve stops and returns its incumbent (the same anytime
+    /// contract as the time limit).  `None` disables the check.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for MipConfig {
@@ -26,6 +32,7 @@ impl Default for MipConfig {
             time_limit: Duration::from_secs(10),
             max_nodes: 50_000,
             gap_tolerance: 1e-6,
+            cancel: None,
         }
     }
 }
@@ -99,8 +106,17 @@ pub fn solve_mip(model: &Model, config: &MipConfig, warm_start: Option<&[f64]>) 
     let mut nodes_explored = 0usize;
     let mut exhausted = true;
 
+    let cancelled = |cfg: &MipConfig| -> bool {
+        cfg.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    };
+
     while let Some(bounds) = stack.pop() {
-        if start.elapsed() > config.time_limit || nodes_explored >= config.max_nodes {
+        if start.elapsed() > config.time_limit
+            || nodes_explored >= config.max_nodes
+            || cancelled(config)
+        {
             exhausted = false;
             break;
         }
@@ -284,6 +300,24 @@ mod tests {
         let res = solve_mip(&m, &MipConfig::default(), Some(&[1.0, 1.0]));
         assert_eq!(res.status, MipStatus::Optimal);
         assert!((res.objective - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_returns_the_warm_start_incumbent() {
+        let mut m = Model::new();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_ge("atleast", vec![(x, 1.0), (y, 1.0)], 1.0);
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = MipConfig {
+            cancel: Some(flag),
+            ..Default::default()
+        };
+        let res = solve_mip(&m, &config, Some(&[1.0, 1.0]));
+        // No node is explored, so the (suboptimal) warm start survives.
+        assert_eq!(res.status, MipStatus::Feasible);
+        assert_eq!(res.nodes_explored, 0);
+        assert!((res.objective - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! A dense two-phase primal simplex solver for the LP relaxation of a
-//! [`Model`](crate::Model).
+//! [`Model`].
 //!
 //! The implementation is intentionally simple and robust rather than fast:
 //! Bland's anti-cycling rule, a dense tableau, and explicit artificial

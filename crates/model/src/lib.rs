@@ -19,6 +19,9 @@
 //!   space with `O(deg)` contraction and uncontraction, the substrate of the
 //!   incremental multilevel scheduler (both it and [`Dag`] implement the
 //!   [`DagView`] read trait the local searches are written against).
+//! * [`fingerprint`] — allocation-free content fingerprints of scheduling
+//!   requests (DAG structure + weights + machine), the keys of the
+//!   `bsp_serve` schedule cache.
 //! * [`classical`] — conversion of classical time-based schedules (as produced
 //!   by `Cilk`, `BL-EST`, `ETF`) into BSP schedules.
 //! * [`render`] — plain-text rendering of schedules for debugging and examples.
@@ -28,6 +31,7 @@ pub mod comm;
 pub mod cost;
 pub mod dag;
 pub mod error;
+pub mod fingerprint;
 pub mod machine;
 pub mod quotient;
 pub mod render;
@@ -39,6 +43,7 @@ pub use comm::{CommSchedule, CommStep};
 pub use cost::{CostBreakdown, SuperstepCost};
 pub use dag::{Dag, DagBuilder, DagView, NodeId};
 pub use error::{DagError, ValidityError};
+pub use fingerprint::{request_key, Fnv64, RequestKey};
 pub use machine::{Machine, NumaTopology};
 pub use quotient::QuotientDag;
 pub use schedule::{Assignment, BspSchedule};

@@ -1,0 +1,350 @@
+//! The content-addressed schedule cache.
+//!
+//! Requests are keyed by the fingerprints of [`bsp_model::fingerprint`]:
+//!
+//! * an **exact hit** — same [`bsp_model::RequestKey::full`], i.e. same
+//!   structure, weights and machine — returns the cached schedule in `O(1)`
+//!   with **zero heap allocation** (the entry is handed out as an
+//!   [`Arc<BspSchedule>`]; bumping the LRU relinks pre-allocated nodes);
+//! * a **warm hit** — same [`bsp_model::RequestKey::structure`] but
+//!   different node weights — returns a cached schedule whose *assignment*
+//!   is precedence-feasible for the request by construction (feasibility
+//!   depends only on the edges), which the service uses to warm-start the
+//!   hill-climbing search instead of running the whole pipeline cold.
+//!
+//! Eviction is strict LRU under a byte budget: inserting a schedule evicts
+//! least-recently-used entries until it fits, and an entry larger than the
+//! whole budget is simply not cached.  The cache is a plain (non-`Sync`)
+//! structure; the service wraps it in a `Mutex`.
+
+use bsp_model::BspSchedule;
+use std::collections::HashMap;
+use std::mem;
+use std::sync::Arc;
+
+/// Running counters of cache behaviour (monotonically increasing except
+/// `bytes_used`/`entries`, which track the current contents).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-fingerprint hits served.
+    pub hits: u64,
+    /// Lookups that matched nothing at all.
+    pub misses: u64,
+    /// Lookups that missed exactly but matched structurally (warm seeds).
+    pub warm_hits: u64,
+    /// Schedules inserted.
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Estimated bytes of currently cached schedules.
+    pub bytes_used: usize,
+    /// Number of currently cached schedules.
+    pub entries: usize,
+}
+
+/// Estimated heap footprint of a cached schedule (the quantity the byte
+/// budget is enforced against).
+pub fn schedule_footprint(schedule: &BspSchedule) -> usize {
+    let n = schedule.assignment.proc.len();
+    // Two usize vectors plus the communication steps plus fixed overhead.
+    n * 2 * mem::size_of::<usize>()
+        + mem::size_of_val(schedule.comm.steps())
+        + mem::size_of::<BspSchedule>()
+}
+
+/// One cached schedule, addressable by both fingerprints.
+#[derive(Debug)]
+struct Entry {
+    full_fp: u128,
+    structure_fp: u64,
+    schedule: Arc<BspSchedule>,
+    /// Cost of `schedule` on its request, memoized so an exact hit can fill
+    /// its response header without recomputing (and thus allocating).
+    cost: u64,
+    bytes: usize,
+    /// Intrusive LRU list links (slab indices; `usize::MAX` = none).
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// The content-addressed LRU schedule cache (see the module docs).
+#[derive(Debug)]
+pub struct ScheduleCache {
+    byte_budget: usize,
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    by_full: HashMap<u128, usize>,
+    /// Most recently *inserted* entry per structure fingerprint.
+    by_structure: HashMap<u64, usize>,
+    /// LRU list: head = most recent, tail = eviction candidate.
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache holding at most `byte_budget` bytes of schedules.
+    pub fn new(byte_budget: usize) -> Self {
+        ScheduleCache {
+            byte_budget,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_full: HashMap::new(),
+            by_structure: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// A snapshot of the running counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let e = self.slots[idx].as_ref().expect("linked entry exists");
+            (e.prev, e.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("linked entry").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("linked entry").prev = prev,
+        }
+    }
+
+    fn link_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let e = self.slots[idx].as_mut().expect("entry exists");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head].as_mut().expect("head entry").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Exact lookup: `O(1)`, allocation-free, bumps the entry to the LRU
+    /// front.  Counts a hit or (shared with [`Self::lookup_warm`]) a miss.
+    pub fn lookup_exact(&mut self, full_fp: u128) -> Option<(Arc<BspSchedule>, u64)> {
+        match self.by_full.get(&full_fp).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.unlink(idx);
+                self.link_front(idx);
+                let entry = self.slots[idx].as_ref().expect("indexed entry");
+                Some((Arc::clone(&entry.schedule), entry.cost))
+            }
+            None => None,
+        }
+    }
+
+    /// Structural lookup, used after an exact miss: returns a schedule whose
+    /// assignment is feasible for any request with this structure
+    /// fingerprint.  Does **not** bump the LRU (the warm path re-inserts its
+    /// improved schedule anyway).  Updates the miss/warm-hit counters.
+    pub fn lookup_warm(&mut self, structure_fp: u64) -> Option<Arc<BspSchedule>> {
+        match self.by_structure.get(&structure_fp).copied() {
+            Some(idx) => {
+                self.stats.warm_hits += 1;
+                Some(Arc::clone(
+                    &self.slots[idx].as_ref().expect("indexed entry").schedule,
+                ))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a miss without a warm lookup (cache-bypassing requests still
+    /// count traffic).
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    fn evict(&mut self, idx: usize) {
+        self.unlink(idx);
+        let entry = self.slots[idx].take().expect("evicted entry exists");
+        self.free.push(idx);
+        self.by_full.remove(&entry.full_fp);
+        // Only drop the structural alias if it points at this entry (a newer
+        // entry with the same structure keeps serving warm lookups).
+        if self.by_structure.get(&entry.structure_fp) == Some(&idx) {
+            self.by_structure.remove(&entry.structure_fp);
+        }
+        self.stats.bytes_used -= entry.bytes;
+        self.stats.entries -= 1;
+        self.stats.evictions += 1;
+    }
+
+    /// Inserts (or replaces) the schedule for `full_fp`, evicting LRU entries
+    /// until the byte budget holds.  Oversized schedules are not cached.
+    pub fn insert(
+        &mut self,
+        full_fp: u128,
+        structure_fp: u64,
+        schedule: Arc<BspSchedule>,
+        cost: u64,
+    ) {
+        let bytes = schedule_footprint(&schedule);
+        if bytes > self.byte_budget {
+            return;
+        }
+        if let Some(&idx) = self.by_full.get(&full_fp) {
+            // Replace in place (e.g. the warm path re-solved this exact key).
+            let old_bytes = {
+                let e = self.slots[idx].as_mut().expect("indexed entry");
+                let old = e.bytes;
+                e.schedule = schedule;
+                e.cost = cost;
+                e.bytes = bytes;
+                old
+            };
+            self.stats.bytes_used = self.stats.bytes_used - old_bytes + bytes;
+            self.unlink(idx);
+            self.link_front(idx);
+            self.by_structure.insert(structure_fp, idx);
+        } else {
+            while self.stats.bytes_used + bytes > self.byte_budget && self.tail != NIL {
+                self.evict(self.tail);
+            }
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slots.push(None);
+                    self.slots.len() - 1
+                }
+            };
+            self.slots[idx] = Some(Entry {
+                full_fp,
+                structure_fp,
+                schedule,
+                cost,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            });
+            self.link_front(idx);
+            self.by_full.insert(full_fp, idx);
+            self.by_structure.insert(structure_fp, idx);
+            self.stats.bytes_used += bytes;
+            self.stats.entries += 1;
+            self.stats.insertions += 1;
+        }
+        // Evicting everything else may still be required when a replacement
+        // grew: budget enforcement is unconditional.
+        while self.stats.bytes_used > self.byte_budget && self.tail != NIL {
+            self.evict(self.tail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_model::{Assignment, Dag};
+
+    fn schedule_of(n: usize) -> Arc<BspSchedule> {
+        let dag = Dag::from_edge_list_unit_weights(n, &[]).unwrap();
+        Arc::new(BspSchedule::from_assignment_lazy(
+            &dag,
+            Assignment::trivial(n),
+        ))
+    }
+
+    #[test]
+    fn exact_hits_return_the_same_allocation() {
+        let mut cache = ScheduleCache::new(1 << 20);
+        let s = schedule_of(8);
+        cache.insert(1, 100, Arc::clone(&s), 17);
+        let (hit, cost) = cache.lookup_exact(1).expect("inserted entry hits");
+        assert!(Arc::ptr_eq(&hit, &s));
+        assert_eq!(cost, 17);
+        assert!(cache.lookup_exact(2).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.entries, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn warm_lookup_matches_structure_and_counts_misses() {
+        let mut cache = ScheduleCache::new(1 << 20);
+        cache.insert(1, 100, schedule_of(8), 0);
+        assert!(cache.lookup_warm(100).is_some());
+        assert!(cache.lookup_warm(101).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.warm_hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let per_entry = schedule_footprint(&schedule_of(64));
+        let mut cache = ScheduleCache::new(3 * per_entry + per_entry / 2);
+        for fp in 0..3u64 {
+            cache.insert(u128::from(fp), 100 + fp, schedule_of(64), 0);
+        }
+        assert_eq!(cache.stats().entries, 3);
+        assert!(cache.stats().bytes_used <= cache.byte_budget());
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.lookup_exact(0).is_some());
+        cache.insert(3, 103, schedule_of(64), 0);
+        assert_eq!(cache.stats().entries, 3);
+        assert!(cache.stats().bytes_used <= cache.byte_budget());
+        assert!(cache.lookup_exact(1).is_none(), "LRU entry 1 evicted");
+        assert!(cache.lookup_exact(0).is_some());
+        assert!(cache.lookup_exact(2).is_some());
+        assert!(cache.lookup_exact(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_schedules_are_not_cached() {
+        let mut cache = ScheduleCache::new(16);
+        cache.insert(1, 100, schedule_of(1024), 0);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.lookup_exact(1).is_none());
+    }
+
+    #[test]
+    fn structural_alias_survives_eviction_of_an_older_sibling() {
+        let per_entry = schedule_footprint(&schedule_of(64));
+        let mut cache = ScheduleCache::new(2 * per_entry + per_entry / 2);
+        // Two entries with the same structure; inserting a third (different
+        // structure) evicts the older sibling.
+        cache.insert(1, 100, schedule_of(64), 0);
+        cache.insert(2, 100, schedule_of(64), 0);
+        cache.insert(3, 200, schedule_of(64), 0);
+        assert!(cache.lookup_exact(1).is_none(), "oldest entry evicted");
+        // The newer structural sibling still answers warm lookups.
+        assert!(cache.lookup_warm(100).is_some());
+    }
+
+    #[test]
+    fn replacement_updates_bytes_and_keeps_one_entry() {
+        let mut cache = ScheduleCache::new(1 << 20);
+        cache.insert(1, 100, schedule_of(8), 1);
+        let before = cache.stats().bytes_used;
+        cache.insert(1, 100, schedule_of(512), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes_used > before);
+        assert_eq!(stats.insertions, 1, "replacement is not a new insertion");
+    }
+}

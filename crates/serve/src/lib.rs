@@ -1,0 +1,65 @@
+//! # bsp-serve
+//!
+//! A long-lived scheduling service over the `realistic-sched` pipeline —
+//! the serving layer that turns the one-shot reproduction of
+//! *"Efficient Multi-Processor Scheduling in Increasingly Realistic Models"*
+//! (SPAA 2024) into a system that admits requests, reuses work across them,
+//! and bounds latency:
+//!
+//! * [`protocol`] — a line-delimited text protocol over loopback TCP
+//!   (`std::net`, dependency-free) that reuses the paper's hyperDAG text
+//!   format for DAG payloads; all malformed input surfaces as a typed
+//!   [`ServeError`], never a panic.
+//! * [`cache`] — a content-addressed schedule cache keyed by the
+//!   allocation-free fingerprints of [`bsp_model::fingerprint`]: exact hits
+//!   return the cached [`bsp_model::BspSchedule`] in `O(1)` *without heap
+//!   allocation*; near hits (same structure, different node weights) hand
+//!   out a precedence-feasible seed.  LRU eviction under a byte budget,
+//!   hit/miss/warm counters.
+//! * [`service`] — the request lifecycle: fingerprint → cache → solve.
+//!   Cold requests run the pipeline; warm requests seed the hill-climbing
+//!   search with the cached assignment (PR 2's warm-start machinery reused
+//!   across requests).  Every solve runs under a [`bsp_sched::CancelToken`]
+//!   combining the request **deadline** with the service shutdown token, so
+//!   a request always returns its best-so-far *valid* schedule in time.
+//! * [`server`] — a bounded admission queue feeding a batched worker pool,
+//!   per-outcome latency histograms ([`metrics`]), graceful shutdown, and
+//!   the blocking [`Client`] used by tests and the `exp_serve` bench
+//!   harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bsp_serve::{Client, RequestOptions, Server, ServerConfig};
+//! use bsp_model::{Dag, Machine};
+//! use std::time::Duration;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())
+//!     .unwrap()
+//!     .spawn()
+//!     .unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! let dag = Dag::from_edge_list_unit_weights(3, &[(0, 1), (1, 2)]).unwrap();
+//! let machine = Machine::uniform(4, 1, 2);
+//! let options = RequestOptions::new().with_deadline(Duration::from_millis(200));
+//! let response = client.schedule(&dag, &machine, &options).unwrap();
+//! assert!(response.schedule.validate(&dag, &machine).is_ok());
+//!
+//! drop(client);
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{schedule_footprint, CacheStats, ScheduleCache};
+pub use metrics::LatencyHistogram;
+pub use protocol::{
+    Mode, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
+};
+pub use server::{Client, Server, ServerConfig, ServerHandle};
+pub use service::{ScheduleService, ServeReply, ServiceConfig, ServiceStats};

@@ -1,0 +1,190 @@
+//! Lock-free latency histograms for the serving layer.
+//!
+//! A [`LatencyHistogram`] is a fixed array of microsecond buckets backed by
+//! `AtomicU64` counters: recording is one atomic increment (no locks, **no
+//! allocation** — the exact-cache-hit response path records into these), and
+//! quantiles are read by walking the cumulative counts.
+//!
+//! The bucket layout is HDR-style: exact buckets below 32 µs, then four
+//! sub-buckets per power of two (bucket `[2^o + s·2^(o-2), 2^o + (s+1)·2^(o-2))`
+//! for `s ∈ 0..4`), so quantile answers carry at most ~25 % resolution
+//! error across the full `u64` range — accurate enough that p50/p99 ratios
+//! between fast (cache-hit) and slow (cold-run) populations are meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Values below this are counted in exact 1 µs buckets.
+const LINEAR: u64 = 32;
+/// 32 linear buckets + 4 sub-buckets per octave for octaves 5..=63.
+const BUCKETS: usize = LINEAR as usize + 59 * 4;
+
+/// A histogram of request latencies (see the module docs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket_of(micros: u64) -> usize {
+        if micros < LINEAR {
+            micros as usize
+        } else {
+            let octave = 63 - u64::from(micros.leading_zeros()); // >= 5
+            let sub = (micros >> (octave - 2)) & 3;
+            (LINEAR + (octave - 5) * 4 + sub) as usize
+        }
+    }
+
+    /// Inclusive upper edge (µs) of bucket `idx` — what quantiles report.
+    fn upper_edge(idx: usize) -> u64 {
+        if idx < LINEAR as usize {
+            idx as u64 + 1
+        } else {
+            let rel = (idx - LINEAR as usize) as u64;
+            let octave = 5 + rel / 4;
+            let sub = rel % 4;
+            // Saturates only in the very top octave (2^63 + 2^63).
+            (1u64 << octave).saturating_add((sub + 1) << (octave - 2))
+        }
+    }
+
+    /// Records one observation.  Lock- and allocation-free.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Adds every observation of `other` into `self` (used to pool the
+    /// per-client histograms of the bench harness).
+    pub fn merge_from(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.total_micros.fetch_add(
+            other.total_micros.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.total_micros.load(Ordering::Relaxed) as f64 / count as f64
+    }
+
+    /// Upper edge (µs) of the bucket containing quantile `q ∈ [0, 1]`;
+    /// 0 when the histogram is empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_edge(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Convenience: `(p50, p99)` in microseconds.
+    pub fn p50_p99_micros(&self) -> (u64, u64) {
+        (self.quantile_micros(0.50), self.quantile_micros(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_then_quarter_octave() {
+        // Linear range: one bucket per microsecond.
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(31), 31);
+        // 32 starts the first octave's first sub-bucket [32, 40).
+        assert_eq!(LatencyHistogram::bucket_of(32), 32);
+        assert_eq!(LatencyHistogram::bucket_of(39), 32);
+        assert_eq!(LatencyHistogram::bucket_of(40), 33);
+        // Every bucket's upper edge bounds its own values.
+        for v in [0u64, 5, 31, 32, 100, 1024, 5000, 1 << 30, u64::MAX] {
+            let idx = LatencyHistogram::bucket_of(v);
+            assert!(LatencyHistogram::upper_edge(idx) > v || v == u64::MAX);
+            if idx > 0 {
+                assert!(LatencyHistogram::upper_edge(idx - 1) <= v);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_observations() {
+        let h = LatencyHistogram::new();
+        for micros in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        let (p50, p99) = h.p50_p99_micros();
+        // p50 = 50 µs falls in [48, 56) -> 56; p99 = 5000 in [4096, 5120) -> 5120.
+        assert_eq!(p50, 56);
+        assert_eq!(p99, 5120);
+        assert!(h.mean_micros() > 0.0);
+    }
+
+    #[test]
+    fn merge_pools_observations() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for micros in [10u64, 20] {
+            a.record(Duration::from_micros(micros));
+        }
+        for micros in [30u64, 40, 5000] {
+            b.record(Duration::from_micros(micros));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.quantile_micros(1.0), 5120);
+        assert_eq!(a.quantile_micros(0.2), 10 + 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+}

@@ -1,0 +1,890 @@
+//! The line-delimited text protocol of the scheduling service.
+//!
+//! Everything on the wire is UTF-8 text, one token-separated record per
+//! line — the same design choice as the hyperDAG database format, which is
+//! reused verbatim for DAG payloads (see [`dag_gen::hyperdag`]).  A request:
+//!
+//! ```text
+//! REQ <id>
+//! MACHINE uniform <p> <g> <l>            (or: tree <p> <g> <l> <delta>)
+//! OPTION deadline_ms <n>                 (optional; 0 = no deadline)
+//! OPTION mode <default|fast|heuristics>  (optional; default heuristics)
+//! OPTION cache <on|off>                  (optional; default on)
+//! DAG <num_lines>
+//! <num_lines of hyperDAG text>
+//! END
+//! ```
+//!
+//! and the matching response:
+//!
+//! ```text
+//! OK <id> cost <c> supersteps <s> source <cold|exact|warm> micros <t>
+//! PROC <pi(0)> <pi(1)> ... <pi(n-1)>
+//! STEP <tau(0)> <tau(1)> ... <tau(n-1)>
+//! COMM <k>
+//! <node> <from> <to> <step>              (k lines)
+//! END
+//! ```
+//!
+//! Errors come back as a single `ERR <id> <kind> <message...>` line.  The
+//! auxiliary verbs are `STATS` (one `STATS key value ...` line back) and
+//! `PING`/`PONG`.  Malformed input of any shape — bad verbs, hostile header
+//! counts, cyclic DAGs, out-of-range machine parameters — is answered with a
+//! typed [`ServeError`], never a panic: the parsing layer is the service's
+//! trust boundary.
+
+use bsp_model::{BspSchedule, CommStep, Dag, Machine, NumaTopology};
+use dag_gen::hyperdag::{read_hyperdag, write_hyperdag, HyperDagError};
+use std::fmt;
+use std::io::BufRead;
+use std::time::Duration;
+
+/// How the service solved (or retrieved) a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleSource {
+    /// Full pipeline run; the request missed the cache (or bypassed it).
+    Cold,
+    /// Exact cache hit: the identical request was answered before.
+    CacheExact,
+    /// Near hit: a cached schedule for the same structure (different node
+    /// weights) warm-started the hill-climbing search.
+    CacheWarm,
+}
+
+impl ScheduleSource {
+    /// Wire token for this source.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScheduleSource::Cold => "cold",
+            ScheduleSource::CacheExact => "exact",
+            ScheduleSource::CacheWarm => "warm",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "cold" => Some(ScheduleSource::Cold),
+            "exact" => Some(ScheduleSource::CacheExact),
+            "warm" => Some(ScheduleSource::CacheWarm),
+            _ => None,
+        }
+    }
+}
+
+/// Which solver configuration a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The full pipeline with its default budgets (ILP stage included).
+    Default,
+    /// [`bsp_sched::PipelineConfig::fast`]: sub-second local search, tiny ILPs.
+    Fast,
+    /// Heuristics + local search only — the paper's huge-dataset setting and
+    /// the right default for latency-bounded serving.
+    #[default]
+    HeuristicsOnly,
+}
+
+impl Mode {
+    /// Wire token for this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Mode::Default => "default",
+            Mode::Fast => "fast",
+            Mode::HeuristicsOnly => "heuristics",
+        }
+    }
+
+    fn parse(tok: &str) -> Option<Self> {
+        match tok {
+            "default" => Some(Mode::Default),
+            "fast" => Some(Mode::Fast),
+            "heuristics" => Some(Mode::HeuristicsOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Per-request options (everything between `REQ` and `DAG`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Wall-clock budget for this request; the service returns its
+    /// best-so-far valid schedule once it expires.  `None` = unbounded.
+    pub deadline: Option<Duration>,
+    /// Solver configuration.
+    pub mode: Mode,
+    /// Whether the schedule cache may be consulted and populated.
+    pub use_cache: bool,
+}
+
+impl RequestOptions {
+    /// Options with the cache enabled and no deadline (the wire defaults).
+    pub fn new() -> Self {
+        RequestOptions {
+            deadline: None,
+            mode: Mode::default(),
+            use_cache: true,
+        }
+    }
+
+    /// Sets the deadline and returns the options.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the mode and returns the options.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables or disables cache use and returns the options.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+}
+
+/// A parsed scheduling request.
+#[derive(Debug, Clone)]
+pub struct ScheduleRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The DAG to schedule.
+    pub dag: Dag,
+    /// The machine to schedule for.
+    pub machine: Machine,
+    /// Per-request options.
+    pub options: RequestOptions,
+}
+
+/// A parsed scheduling response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResponse {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// Cost of the returned schedule on the request's DAG and machine.
+    pub cost: u64,
+    /// Number of supersteps of the returned schedule.
+    pub supersteps: usize,
+    /// Where the schedule came from.
+    pub source: ScheduleSource,
+    /// Server-side handling time in microseconds (queueing excluded).
+    pub micros: u64,
+    /// The schedule itself.
+    pub schedule: BspSchedule,
+}
+
+/// Every non-`OK` outcome at the service boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A protocol line did not parse.
+    Malformed { line: String, reason: String },
+    /// The embedded hyperDAG payload was rejected.
+    Dag(HyperDagError),
+    /// The machine description was rejected (`p = 0`, tree size not a power
+    /// of two, ...).
+    Machine(String),
+    /// A fingerprint-only request named a fingerprint the server does not
+    /// (or no longer does) hold; the client must resend the full payload.
+    UnknownFingerprint,
+    /// The request was rejected because the server's admission queue is full.
+    Busy,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The peer closed the connection mid-request.
+    UnexpectedEof,
+    /// Transport failure.
+    Io(String),
+    /// The server answered `ERR` with a kind the client does not know.
+    Remote { kind: String, message: String },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Malformed { line, reason } => {
+                write!(f, "malformed protocol line {line:?}: {reason}")
+            }
+            ServeError::Dag(e) => write!(f, "bad DAG payload: {e}"),
+            ServeError::Machine(msg) => write!(f, "bad machine description: {msg}"),
+            ServeError::UnknownFingerprint => {
+                write!(
+                    f,
+                    "fingerprint not in the schedule cache; resend the full payload"
+                )
+            }
+            ServeError::Busy => write!(f, "server admission queue is full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            ServeError::Io(msg) => write!(f, "transport error: {msg}"),
+            ServeError::Remote { kind, message } => write!(f, "server error [{kind}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<HyperDagError> for ServeError {
+    fn from(e: HyperDagError) -> Self {
+        ServeError::Dag(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl ServeError {
+    /// The `<kind>` token of the `ERR` wire line.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Malformed { .. } => "malformed",
+            ServeError::Dag(_) => "dag",
+            ServeError::Machine(_) => "machine",
+            ServeError::UnknownFingerprint => "unknown-fp",
+            ServeError::Busy => "busy",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::UnexpectedEof => "eof",
+            ServeError::Io(_) => "io",
+            ServeError::Remote { .. } => "remote",
+        }
+    }
+}
+
+/// One incoming protocol message, as seen by the server.
+#[derive(Debug, Clone)]
+pub enum Incoming {
+    /// A scheduling request with a full DAG + machine payload.
+    Request(Box<ScheduleRequest>),
+    /// A content-addressed replay: `REQ <id>` + `FP <hex>` asks for the
+    /// cached schedule of a previously submitted request, skipping the DAG
+    /// payload entirely (answered with `ERR ... unknown-fp` on a miss).
+    FingerprintRequest {
+        /// Correlation id.
+        id: u64,
+        /// The full request key ([`bsp_model::RequestKey::full`]).
+        fingerprint: u128,
+    },
+    /// A statistics query.
+    Stats,
+    /// A liveness probe.
+    Ping,
+}
+
+fn malformed(line: &str, reason: impl Into<String>) -> ServeError {
+    ServeError::Malformed {
+        line: line.to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn parse_u64(line: &str, tok: Option<&str>, what: &str) -> Result<u64, ServeError> {
+    tok.ok_or_else(|| malformed(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| malformed(line, format!("{what} is not a number")))
+}
+
+/// Validates machine parameters *before* constructing a [`Machine`] (whose
+/// constructors assert).  This is the typed-error face of those assertions.
+pub fn build_machine(
+    kind: &str,
+    p: u64,
+    g: u64,
+    l: u64,
+    delta: Option<u64>,
+) -> Result<Machine, ServeError> {
+    let p = usize::try_from(p).map_err(|_| ServeError::Machine("P does not fit usize".into()))?;
+    if p == 0 {
+        return Err(ServeError::Machine(
+            "a machine needs at least one processor".into(),
+        ));
+    }
+    // The λ matrix is materialized as a dense P × P table and hashed per
+    // request, so the boundary bounds P tightly: 512² coefficients is ~2 MB,
+    // while the old 4096 limit would have let a 25-byte request line force a
+    // ~134 MB allocation before any deadline applied.
+    if p > 512 {
+        return Err(ServeError::Machine(format!(
+            "P = {p} exceeds the service limit of 512 processors"
+        )));
+    }
+    match kind {
+        "uniform" => Ok(Machine::uniform(p, g, l)),
+        "tree" => {
+            if !p.is_power_of_two() {
+                return Err(ServeError::Machine(format!(
+                    "binary-tree NUMA requires P to be a power of two, got {p}"
+                )));
+            }
+            let delta =
+                delta.ok_or_else(|| ServeError::Machine("tree machine needs a delta".into()))?;
+            Ok(Machine::numa_binary_tree(p, g, l, delta))
+        }
+        other => Err(ServeError::Machine(format!(
+            "unknown machine kind {other:?} (expected uniform|tree)"
+        ))),
+    }
+}
+
+/// Serializes a machine description as its wire line (without `MACHINE `).
+pub fn encode_machine(machine: &Machine) -> Result<String, ServeError> {
+    match machine.topology() {
+        NumaTopology::Uniform => Ok(format!(
+            "uniform {} {} {}",
+            machine.p(),
+            machine.g(),
+            machine.latency()
+        )),
+        NumaTopology::BinaryTree { delta } => Ok(format!(
+            "tree {} {} {} {delta}",
+            machine.p(),
+            machine.g(),
+            machine.latency()
+        )),
+        NumaTopology::Explicit(_) => Err(ServeError::Machine(
+            "explicit NUMA matrices are not supported on the wire yet".into(),
+        )),
+    }
+}
+
+fn parse_machine_line(line: &str) -> Result<Machine, ServeError> {
+    let mut it = line.split_whitespace();
+    let _verb = it.next();
+    let kind = it
+        .next()
+        .ok_or_else(|| malformed(line, "missing machine kind"))?;
+    let p = parse_u64(line, it.next(), "P")?;
+    let g = parse_u64(line, it.next(), "g")?;
+    let l = parse_u64(line, it.next(), "l")?;
+    let delta = match it.next() {
+        Some(tok) => Some(
+            tok.parse()
+                .map_err(|_| malformed(line, "delta is not a number"))?,
+        ),
+        None => None,
+    };
+    build_machine(kind, p, g, l, delta)
+}
+
+/// Writes a request in wire form into `out` (borrowing its parts, so the
+/// client does not clone the DAG).
+pub fn encode_request(
+    out: &mut String,
+    id: u64,
+    dag: &Dag,
+    machine: &Machine,
+    options: &RequestOptions,
+) -> Result<(), ServeError> {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "REQ {id}");
+    let _ = writeln!(out, "MACHINE {}", encode_machine(machine)?);
+    if let Some(d) = options.deadline {
+        // Round up so a sub-millisecond deadline becomes 1 ms rather than
+        // the wire's "0 = unbounded".
+        let _ = writeln!(
+            out,
+            "OPTION deadline_ms {}",
+            d.as_micros().div_ceil(1000).max(1)
+        );
+    }
+    let _ = writeln!(out, "OPTION mode {}", options.mode.as_str());
+    let _ = writeln!(
+        out,
+        "OPTION cache {}",
+        if options.use_cache { "on" } else { "off" }
+    );
+    let dag_text = write_hyperdag(dag);
+    let _ = writeln!(out, "DAG {}", dag_text.lines().count());
+    out.push_str(&dag_text);
+    if !dag_text.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    Ok(())
+}
+
+/// Reads the next protocol message from `reader`.  Returns `Ok(None)` on a
+/// clean end of stream (peer closed between messages).
+pub fn read_incoming<R: BufRead>(reader: &mut R) -> Result<Option<Incoming>, ServeError> {
+    let first = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            break trimmed.to_string();
+        }
+    };
+    let mut it = first.split_whitespace();
+    match it.next() {
+        Some("STATS") => Ok(Some(Incoming::Stats)),
+        Some("PING") => Ok(Some(Incoming::Ping)),
+        Some("REQ") => {
+            let id = parse_u64(&first, it.next(), "request id")?;
+            read_request_body(reader, id).map(Some)
+        }
+        _ => Err(malformed(&first, "expected REQ, STATS or PING")),
+    }
+}
+
+/// Parses the lines of a request after its `REQ <id>` line (either a full
+/// payload or a fingerprint-only replay).
+fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, ServeError> {
+    let mut machine: Option<Machine> = None;
+    let mut options = RequestOptions::new();
+    let mut dag: Option<Dag> = None;
+    let mut fingerprint: Option<u128> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        let line = line.trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("END") => break,
+            Some("FP") => {
+                let hex = it
+                    .next()
+                    .ok_or_else(|| malformed(&line, "missing fingerprint"))?;
+                fingerprint = Some(
+                    u128::from_str_radix(hex, 16)
+                        .map_err(|_| malformed(&line, "fingerprint is not hex"))?,
+                );
+            }
+            Some("MACHINE") => machine = Some(parse_machine_line(&line)?),
+            Some("OPTION") => match it.next() {
+                Some("deadline_ms") => {
+                    let ms = parse_u64(&line, it.next(), "deadline")?;
+                    options.deadline = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                Some("mode") => {
+                    let tok = it.next().ok_or_else(|| malformed(&line, "missing mode"))?;
+                    options.mode =
+                        Mode::parse(tok).ok_or_else(|| malformed(&line, "unknown mode"))?;
+                }
+                Some("cache") => {
+                    options.use_cache = match it.next() {
+                        Some("on") => true,
+                        Some("off") => false,
+                        _ => return Err(malformed(&line, "cache must be on|off")),
+                    };
+                }
+                _ => return Err(malformed(&line, "unknown option")),
+            },
+            Some("DAG") => {
+                let n_lines = parse_u64(&line, it.next(), "DAG line count")? as usize;
+                if n_lines > 4_000_000 {
+                    return Err(malformed(&line, "DAG payload exceeds the service limit"));
+                }
+                let mut text = String::new();
+                for _ in 0..n_lines {
+                    let before = text.len();
+                    if reader.read_line(&mut text)? == 0 {
+                        return Err(ServeError::UnexpectedEof);
+                    }
+                    if text[before..].trim() == "END" {
+                        return Err(malformed(
+                            "END",
+                            "DAG payload shorter than its declared line count",
+                        ));
+                    }
+                }
+                dag = Some(read_hyperdag(&text)?);
+            }
+            _ => return Err(malformed(&line, "unknown request line")),
+        }
+    }
+    if let Some(fingerprint) = fingerprint {
+        if machine.is_some() || dag.is_some() {
+            return Err(malformed(
+                "FP",
+                "a fingerprint request must not also carry MACHINE/DAG",
+            ));
+        }
+        return Ok(Incoming::FingerprintRequest { id, fingerprint });
+    }
+    let machine = machine.ok_or_else(|| malformed("END", "request is missing MACHINE"))?;
+    let dag = dag.ok_or_else(|| malformed("END", "request is missing DAG"))?;
+    Ok(Incoming::Request(Box::new(ScheduleRequest {
+        id,
+        dag,
+        machine,
+        options,
+    })))
+}
+
+/// Writes a fingerprint-only replay request in wire form into `out`.
+pub fn encode_fingerprint_request(out: &mut String, id: u64, fingerprint: u128) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "REQ {id}");
+    let _ = writeln!(out, "FP {fingerprint:032x}");
+    out.push_str("END\n");
+}
+
+/// Writes a response in wire form into `out` (borrowing the schedule, so
+/// the server does not clone cached schedules to encode them).
+pub fn encode_response_parts(
+    out: &mut String,
+    id: u64,
+    cost: u64,
+    source: ScheduleSource,
+    micros: u64,
+    schedule: &BspSchedule,
+) {
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "OK {id} cost {cost} supersteps {} source {} micros {micros}",
+        schedule.num_supersteps(),
+        source.as_str(),
+    );
+    out.push_str("PROC");
+    for &p in &schedule.assignment.proc {
+        let _ = write!(out, " {p}");
+    }
+    out.push('\n');
+    out.push_str("STEP");
+    for &s in &schedule.assignment.superstep {
+        let _ = write!(out, " {s}");
+    }
+    out.push('\n');
+    let steps = schedule.comm.steps();
+    let _ = writeln!(out, "COMM {}", steps.len());
+    for cs in steps {
+        let _ = writeln!(out, "{} {} {} {}", cs.node, cs.from, cs.to, cs.step);
+    }
+    out.push_str("END\n");
+}
+
+/// Writes `response` in wire form into `out`.
+pub fn encode_response(out: &mut String, response: &ScheduleResponse) {
+    encode_response_parts(
+        out,
+        response.id,
+        response.cost,
+        response.source,
+        response.micros,
+        &response.schedule,
+    );
+}
+
+/// Writes an error reply for request `id` into `out`.
+pub fn encode_error(out: &mut String, id: u64, error: &ServeError) {
+    use std::fmt::Write as _;
+    // The message is flattened to one line (the protocol is line-delimited).
+    let msg: String = error
+        .to_string()
+        .chars()
+        .map(|c| if c == '\n' { ' ' } else { c })
+        .collect();
+    let _ = writeln!(out, "ERR {id} {} {msg}", error.kind());
+}
+
+fn parse_usize_list(line: &str, expect: &str) -> Result<Vec<usize>, ServeError> {
+    let mut it = line.split_whitespace();
+    let verb = it.next().unwrap_or("");
+    if verb != expect {
+        return Err(malformed(line, format!("expected {expect} line")));
+    }
+    it.map(|tok| {
+        tok.parse()
+            .map_err(|_| malformed(line, format!("bad {expect} entry")))
+    })
+    .collect()
+}
+
+/// Reads a response (either `OK ...` + schedule or `ERR ...`) from `reader`.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ScheduleResponse, ServeError> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(ServeError::UnexpectedEof);
+    }
+    let header = header.trim().to_string();
+    let mut it = header.split_whitespace();
+    match it.next() {
+        Some("ERR") => {
+            let _id = it.next();
+            let kind = it.next().unwrap_or("unknown").to_string();
+            let message = it.collect::<Vec<_>>().join(" ");
+            Err(ServeError::Remote { kind, message })
+        }
+        Some("OK") => {
+            let id = parse_u64(&header, it.next(), "response id")?;
+            let mut cost = 0u64;
+            let mut supersteps = 0usize;
+            let mut source = ScheduleSource::Cold;
+            let mut micros = 0u64;
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| malformed(&header, format!("missing value for {key}")))?;
+                match key {
+                    "cost" => cost = parse_u64(&header, Some(value), "cost")?,
+                    "supersteps" => {
+                        supersteps = parse_u64(&header, Some(value), "supersteps")? as usize
+                    }
+                    "source" => {
+                        source = ScheduleSource::parse(value)
+                            .ok_or_else(|| malformed(&header, "unknown source"))?
+                    }
+                    "micros" => micros = parse_u64(&header, Some(value), "micros")?,
+                    _ => {} // forward-compatible: ignore unknown keys
+                }
+            }
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let proc = parse_usize_list(line.trim(), "PROC")?;
+            line.clear();
+            reader.read_line(&mut line)?;
+            let superstep = parse_usize_list(line.trim(), "STEP")?;
+            if proc.len() != superstep.len() {
+                return Err(malformed(&line, "PROC and STEP lengths differ"));
+            }
+            line.clear();
+            reader.read_line(&mut line)?;
+            let comm_header = line.trim().to_string();
+            let mut cit = comm_header.split_whitespace();
+            if cit.next() != Some("COMM") {
+                return Err(malformed(&comm_header, "expected COMM line"));
+            }
+            let k = parse_u64(&comm_header, cit.next(), "COMM count")? as usize;
+            if k > 64_000_000 {
+                return Err(malformed(&comm_header, "COMM count exceeds sanity limit"));
+            }
+            let mut steps = Vec::with_capacity(k.min(1 << 20));
+            for _ in 0..k {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    return Err(ServeError::UnexpectedEof);
+                }
+                let t = line.trim();
+                let mut sit = t.split_whitespace();
+                let node = parse_u64(t, sit.next(), "comm node")? as usize;
+                let from = parse_u64(t, sit.next(), "comm from")? as usize;
+                let to = parse_u64(t, sit.next(), "comm to")? as usize;
+                let step = parse_u64(t, sit.next(), "comm step")? as usize;
+                steps.push(CommStep {
+                    node,
+                    from,
+                    to,
+                    step,
+                });
+            }
+            line.clear();
+            reader.read_line(&mut line)?;
+            if line.trim() != "END" {
+                return Err(malformed(line.trim(), "expected END after response body"));
+            }
+            Ok(ScheduleResponse {
+                id,
+                cost,
+                supersteps,
+                source,
+                micros,
+                schedule: BspSchedule {
+                    assignment: bsp_model::Assignment { proc, superstep },
+                    comm: bsp_model::CommSchedule::from_steps(steps),
+                },
+            })
+        }
+        _ => Err(malformed(&header, "expected OK or ERR")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsp_model::Assignment;
+    use std::io::BufReader;
+
+    fn diamond() -> Dag {
+        Dag::from_edges(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            vec![1, 2, 3, 4],
+            vec![5, 6, 7, 8],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips_through_the_wire_encoding() {
+        let request = ScheduleRequest {
+            id: 42,
+            dag: diamond(),
+            machine: Machine::numa_binary_tree(8, 3, 5, 2),
+            options: RequestOptions::new()
+                .with_deadline(Duration::from_millis(250))
+                .with_mode(Mode::Fast)
+                .with_cache(false),
+        };
+        let mut wire = String::new();
+        encode_request(
+            &mut wire,
+            request.id,
+            &request.dag,
+            &request.machine,
+            &request.options,
+        )
+        .unwrap();
+        let mut reader = BufReader::new(wire.as_bytes());
+        let parsed = match read_incoming(&mut reader).unwrap().unwrap() {
+            Incoming::Request(r) => *r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        assert_eq!(parsed.id, 42);
+        assert_eq!(parsed.options, request.options);
+        assert_eq!(parsed.machine, request.machine);
+        assert_eq!(parsed.dag.n(), request.dag.n());
+        assert_eq!(parsed.dag.work_weights(), request.dag.work_weights());
+        assert_eq!(parsed.dag.comm_weights(), request.dag.comm_weights());
+        let canon = |d: &Dag| {
+            let mut e: Vec<_> = d.edges().collect();
+            e.sort_unstable();
+            e
+        };
+        assert_eq!(canon(&parsed.dag), canon(&request.dag));
+        // Nothing further on the stream.
+        assert!(read_incoming(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_wire_encoding() {
+        let dag = diamond();
+        let schedule = BspSchedule::from_assignment_lazy(
+            &dag,
+            Assignment {
+                proc: vec![0, 1, 0, 1],
+                superstep: vec![0, 1, 1, 2],
+            },
+        );
+        let response = ScheduleResponse {
+            id: 7,
+            cost: 1234,
+            supersteps: 3,
+            source: ScheduleSource::CacheWarm,
+            micros: 987,
+            schedule,
+        };
+        let mut wire = String::new();
+        encode_response(&mut wire, &response);
+        let parsed = read_response(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(parsed, response);
+    }
+
+    #[test]
+    fn fingerprint_requests_roundtrip() {
+        let mut wire = String::new();
+        encode_fingerprint_request(&mut wire, 9, 0xdead_beef_0123_4567);
+        let parsed = read_incoming(&mut BufReader::new(wire.as_bytes()))
+            .unwrap()
+            .unwrap();
+        match parsed {
+            Incoming::FingerprintRequest { id, fingerprint } => {
+                assert_eq!(id, 9);
+                assert_eq!(fingerprint, 0xdead_beef_0123_4567);
+            }
+            other => panic!("expected a fingerprint request, got {other:?}"),
+        }
+        // Mixing FP with a payload is malformed.
+        let mixed = "REQ 1\nFP 00ff\nMACHINE uniform 2 1 1\nEND\n";
+        assert!(read_incoming(&mut BufReader::new(mixed.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn error_responses_surface_as_remote_errors() {
+        let mut wire = String::new();
+        encode_error(&mut wire, 3, &ServeError::Busy);
+        let err = read_response(&mut BufReader::new(wire.as_bytes())).unwrap_err();
+        match err {
+            ServeError::Remote { kind, .. } => assert_eq!(kind, "busy"),
+            other => panic!("expected a remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn machine_validation_rejects_bad_parameters_without_panicking() {
+        assert!(matches!(
+            build_machine("uniform", 0, 1, 1, None),
+            Err(ServeError::Machine(_))
+        ));
+        assert!(matches!(
+            build_machine("tree", 6, 1, 1, Some(2)),
+            Err(ServeError::Machine(_))
+        ));
+        assert!(matches!(
+            build_machine("tree", 8, 1, 1, None),
+            Err(ServeError::Machine(_))
+        ));
+        assert!(matches!(
+            build_machine("mesh", 4, 1, 1, None),
+            Err(ServeError::Machine(_))
+        ));
+        // The λ matrix is P × P, so the boundary rejects huge P before any
+        // allocation is sized from it.
+        assert!(matches!(
+            build_machine("uniform", 4096, 1, 1, None),
+            Err(ServeError::Machine(_))
+        ));
+        assert!(build_machine("tree", 8, 1, 5, Some(3)).is_ok());
+    }
+
+    #[test]
+    fn sub_millisecond_deadlines_round_up_instead_of_vanishing() {
+        let request = ScheduleRequest {
+            id: 2,
+            dag: diamond(),
+            machine: Machine::uniform(2, 1, 1),
+            options: RequestOptions::new().with_deadline(Duration::from_micros(500)),
+        };
+        let mut wire = String::new();
+        encode_request(
+            &mut wire,
+            request.id,
+            &request.dag,
+            &request.machine,
+            &request.options,
+        )
+        .unwrap();
+        let parsed = match read_incoming(&mut BufReader::new(wire.as_bytes()))
+            .unwrap()
+            .unwrap()
+        {
+            Incoming::Request(r) => *r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        // 500 µs is not representable on the millisecond wire; it must
+        // become the tightest representable bound (1 ms), never "unbounded".
+        assert_eq!(parsed.options.deadline, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        for wire in [
+            "BOGUS\n",
+            "REQ nope\n",
+            "REQ 1\nMACHINE uniform 0 1 1\nEND\n",
+            "REQ 1\nOPTION mode warp\nEND\n",
+            "REQ 1\nMACHINE uniform 2 1 1\nDAG 3\n1 2 2\n0 0\nEND\n",
+            "REQ 1\nEND\n",
+        ] {
+            let res = read_incoming(&mut BufReader::new(wire.as_bytes()));
+            assert!(res.is_err(), "accepted {wire:?}: {res:?}");
+        }
+        // A cyclic DAG payload surfaces the hyperDAG error.
+        let wire =
+            "REQ 1\nMACHINE uniform 2 1 1\nDAG 7\n2 2 4\n0 0\n0 1\n1 1\n1 0\n0 1 1\n1 1 1\nEND\n";
+        match read_incoming(&mut BufReader::new(wire.as_bytes())) {
+            Err(ServeError::Dag(_)) => {}
+            other => panic!("expected a DAG error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The loopback TCP server (bounded admission queue + batched worker pool)
+//! and the matching [`Client`] handle.
+//!
+//! ## Threading model
+//!
+//! One **acceptor** thread takes connections off the listener and pushes
+//! them into a bounded queue; when the queue is full the connection is
+//! answered with `ERR 0 busy ...` and dropped — admission control instead of
+//! unbounded buffering.  `N` **worker** threads drain the queue in batches
+//! of up to [`ServerConfig::admission_batch`] connections per lock
+//! acquisition (amortizing the queue lock under bursts) and serve each
+//! connection's requests in order.  All request handling goes through the
+//! shared [`ScheduleService`], so the cache and the latency histograms are
+//! global across workers.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] stops admission, fires the service's
+//! [`bsp_sched::CancelToken`] (in-flight anytime solves return their
+//! best-so-far schedule promptly), wakes idle workers, and joins all
+//! threads.  Workers finish the connection they are on; idle connections
+//! are bounded by [`ServerConfig::idle_timeout`].
+
+use crate::protocol::{
+    encode_error, encode_fingerprint_request, encode_request, encode_response_parts, read_incoming,
+    read_response, Incoming, RequestOptions, ScheduleResponse, ServeError,
+};
+use crate::service::{ScheduleService, ServiceConfig, ServiceStats};
+use bsp_model::{Dag, Machine};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the TCP serving layer.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are refused with a
+    /// `busy` error.
+    pub queue_capacity: usize,
+    /// Maximum connections a worker drains per queue-lock acquisition.
+    pub admission_batch: usize,
+    /// A connection idle for this long is closed (also bounds how long
+    /// shutdown can wait for a worker stuck on a silent peer).
+    pub idle_timeout: Duration,
+    /// Configuration of the underlying [`ScheduleService`].
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            admission_batch: 8,
+            idle_timeout: Duration::from_secs(30),
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    service: ScheduleService,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+    config: ServerConfig,
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral loopback port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let service = ScheduleService::new(config.service.clone());
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                service,
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutting_down: AtomicBool::new(false),
+                config,
+            }),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the acceptor and worker threads; returns the controlling handle.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shared = self.shared;
+        let mut workers = Vec::with_capacity(shared.config.workers.max(1));
+        for i in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bsp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("bsp-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// Handle to a running server: address, statistics, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct (in-process) access to the underlying service.
+    pub fn service(&self) -> &ScheduleService {
+        &self.shared.service
+    }
+
+    /// A statistics snapshot without a round trip.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.service.stats()
+    }
+
+    /// Graceful shutdown: stop admission, cancel in-flight solves, drain the
+    /// workers, join every thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.service.begin_shutdown();
+        self.shared.available.notify_all();
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= shared.config.queue_capacity {
+            drop(queue);
+            let mut reply = String::new();
+            encode_error(&mut reply, 0, &ServeError::Busy);
+            let mut stream = stream;
+            let _ = stream.write_all(reply.as_bytes());
+            // Dropping the stream closes the refused connection.
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut batch: Vec<TcpStream> = Vec::with_capacity(shared.config.admission_batch.max(1));
+    loop {
+        {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // Batched admission: drain up to `admission_batch` connections
+            // under one lock acquisition.
+            while batch.len() < shared.config.admission_batch.max(1) {
+                match queue.pop_front() {
+                    Some(conn) => batch.push(conn),
+                    None => break,
+                }
+            }
+        }
+        for conn in batch.drain(..) {
+            let _ = serve_connection(shared, conn);
+        }
+    }
+}
+
+/// Serves every request on one connection; returns on peer close, protocol
+/// error, idle timeout, or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut out = String::new();
+    loop {
+        out.clear();
+        match read_incoming(&mut reader) {
+            Ok(None) => return Ok(()),
+            Ok(Some(Incoming::Ping)) => out.push_str("PONG\n"),
+            Ok(Some(Incoming::Stats)) => {
+                out.push_str(&shared.service.stats().to_wire());
+                out.push('\n');
+            }
+            Ok(Some(Incoming::Request(request))) => match shared.service.handle(&request) {
+                Ok(reply) => encode_response_parts(
+                    &mut out,
+                    request.id,
+                    reply.cost,
+                    reply.source,
+                    reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                    &reply.schedule,
+                ),
+                Err(err) => encode_error(&mut out, request.id, &err),
+            },
+            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
+                match shared.service.handle_fingerprint(fingerprint) {
+                    Ok(reply) => encode_response_parts(
+                        &mut out,
+                        id,
+                        reply.cost,
+                        reply.source,
+                        reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        &reply.schedule,
+                    ),
+                    Err(err) => encode_error(&mut out, id, &err),
+                }
+            }
+            Err(err) => {
+                // Typed error back to the peer, then close: after a framing
+                // error the stream position is unreliable.
+                encode_error(&mut out, 0, &err);
+                let _ = writer.write_all(out.as_bytes());
+                let _ = writer.flush();
+                return Ok(());
+            }
+        }
+        writer.write_all(out.as_bytes())?;
+        writer.flush()?;
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// A blocking client for the wire protocol, usable from tests and the bench
+/// harness in the same process as the server (loopback TCP) or from another
+/// process entirely.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    scratch: String,
+    /// Request fingerprints this client has successfully submitted in full;
+    /// later identical requests replay by fingerprint (`FP <hex>`), skipping
+    /// the DAG payload, and fall back transparently when the server evicted
+    /// the entry.
+    known_fingerprints: std::collections::HashSet<u128>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            scratch: String::new(),
+            known_fingerprints: std::collections::HashSet::new(),
+        })
+    }
+
+    /// Sends one scheduling request and blocks for the response.
+    ///
+    /// Content-addressed fast path: when this client has already submitted
+    /// an identical request (same fingerprint) with the cache enabled, only
+    /// the fingerprint goes on the wire; if the server meanwhile evicted the
+    /// schedule, the client transparently resends the full payload.
+    pub fn schedule(
+        &mut self,
+        dag: &Dag,
+        machine: &Machine,
+        options: &RequestOptions,
+    ) -> Result<ScheduleResponse, ServeError> {
+        let fingerprint = bsp_model::request_key(dag, machine).full;
+        if options.use_cache && self.known_fingerprints.contains(&fingerprint) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.scratch.clear();
+            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
+            self.writer.write_all(self.scratch.as_bytes())?;
+            self.writer.flush()?;
+            match self.read_matching_response(id) {
+                Ok(response) => return Ok(response),
+                Err(ServeError::Remote { kind, .. }) if kind == "unknown-fp" => {
+                    self.known_fingerprints.remove(&fingerprint);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.scratch.clear();
+        encode_request(&mut self.scratch, id, dag, machine, options)?;
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.writer.flush()?;
+        let response = self.read_matching_response(id)?;
+        if options.use_cache {
+            self.known_fingerprints.insert(fingerprint);
+        }
+        Ok(response)
+    }
+
+    fn read_matching_response(&mut self, id: u64) -> Result<ScheduleResponse, ServeError> {
+        let response = read_response(&mut self.reader)?;
+        if response.id != id {
+            return Err(ServeError::Malformed {
+                line: format!("OK {}", response.id),
+                reason: format!("response id {} does not match request id {id}", response.id),
+            });
+        }
+        Ok(response)
+    }
+
+    /// Fetches the server's statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServeError> {
+        self.writer.write_all(b"STATS\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        ServiceStats::from_wire(line.trim())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.writer.write_all(b"PING\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        if line.trim() == "PONG" {
+            Ok(())
+        } else {
+            Err(ServeError::Malformed {
+                line: line.trim().to_string(),
+                reason: "expected PONG".into(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Mode, ScheduleSource};
+    use std::time::Duration;
+
+    fn test_server() -> ServerHandle {
+        let config = ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            admission_batch: 4,
+            idle_timeout: Duration::from_secs(5),
+            service: ServiceConfig {
+                local_search_budget: Duration::from_millis(40),
+                warm_budget: Duration::from_millis(40),
+                ..Default::default()
+            },
+        };
+        Server::bind("127.0.0.1:0", config)
+            .expect("bind loopback")
+            .spawn()
+            .expect("spawn server threads")
+    }
+
+    fn small_dag(work: u64) -> Dag {
+        Dag::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
+            vec![work; 6],
+            vec![2; 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_schedule_over_loopback_tcp() {
+        let server = test_server();
+        let machine = Machine::uniform(4, 1, 2);
+        let dag = small_dag(3);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.ping().expect("ping");
+
+        let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+        let first = client.schedule(&dag, &machine, &options).expect("cold run");
+        assert_eq!(first.source, ScheduleSource::Cold);
+        assert!(first.schedule.validate(&dag, &machine).is_ok());
+        assert_eq!(first.cost, first.schedule.cost(&dag, &machine));
+
+        let second = client.schedule(&dag, &machine, &options).expect("hit");
+        assert_eq!(second.source, ScheduleSource::CacheExact);
+        assert_eq!(second.schedule, first.schedule);
+
+        // Reweighted instance: warm start.
+        let warm = client
+            .schedule(&small_dag(9), &machine, &options)
+            .expect("warm run");
+        assert_eq!(warm.source, ScheduleSource::CacheWarm);
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.warm_hits, 1);
+        assert_eq!(stats.requests, 3);
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_wire_input_gets_a_typed_error_and_close() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"GARBAGE\n").expect("write");
+        stream.flush().expect("flush");
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut reply)
+            .expect("read error line");
+        assert!(reply.starts_with("ERR 0 malformed"), "got {reply:?}");
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_idle_workers() {
+        let server = test_server();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,531 @@
+//! The scheduling engine behind the wire layer: cache consultation,
+//! deadline-aware anytime solving, and per-outcome latency metrics.
+//!
+//! [`ScheduleService::handle`] is the whole request lifecycle:
+//!
+//! 1. fingerprint the request ([`bsp_model::fingerprint`], allocation-free);
+//! 2. **exact cache hit** → return the cached [`BspSchedule`] in `O(1)`.
+//!    This path performs *zero heap allocation* (fingerprinting, the mutex,
+//!    the LRU bump, the `Arc` clone and the histogram update all stay off
+//!    the allocator) — certified by the repo's counting-allocator test;
+//! 3. **warm hit** (same structure, different weights) → the cached
+//!    assignment seeds `hc_improve`/`hccs_improve` instead of running the
+//!    pipeline cold (PR 2's warm-start machinery, reused across requests);
+//! 4. **miss** → run the configured pipeline.
+//!
+//! Every solve runs under a [`CancelToken`] that combines the request
+//! deadline with the service's shutdown token, so a request always comes
+//! back with its best-so-far *valid* schedule by its deadline, and shutdown
+//! drains in-flight work promptly.  If a solver ever returned an invalid
+//! schedule the service would fall back to the trivial schedule rather than
+//! ship it — the service-boundary counterpart of the pipeline's debug
+//! assertions.
+
+use crate::cache::{CacheStats, ScheduleCache};
+use crate::metrics::LatencyHistogram;
+use crate::protocol::{Mode, ScheduleRequest, ScheduleSource, ServeError};
+use bsp_model::{request_key, BspSchedule};
+use bsp_sched::cancel::CancelToken;
+use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`ScheduleService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Byte budget of the schedule cache.
+    pub cache_bytes: usize,
+    /// `HC` + `HCcs` budget of a cold run (heuristics mode); clipped to the
+    /// request deadline.
+    pub local_search_budget: Duration,
+    /// `HC` + `HCcs` budget of a warm-started run; clipped to the request
+    /// deadline.  Smaller than the cold budget — a near-hit seed is already
+    /// close to a local minimum.
+    pub warm_budget: Duration,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_bytes: 64 << 20,
+            local_search_budget: Duration::from_secs(2),
+            warm_budget: Duration::from_millis(500),
+            default_deadline: None,
+        }
+    }
+}
+
+/// Latency histograms per schedule source, plus the total request count.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Cold (full pipeline) requests.
+    pub cold: LatencyHistogram,
+    /// Exact cache hits.
+    pub exact: LatencyHistogram,
+    /// Warm-started requests.
+    pub warm: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    fn histogram(&self, source: ScheduleSource) -> &LatencyHistogram {
+        match source {
+            ScheduleSource::Cold => &self.cold,
+            ScheduleSource::CacheExact => &self.exact,
+            ScheduleSource::CacheWarm => &self.warm,
+        }
+    }
+}
+
+/// A point-in-time statistics snapshot, also the payload of the wire `STATS`
+/// verb.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests answered (all sources).
+    pub requests: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// `(p50, p99)` latency in µs of cold requests.
+    pub cold_us: (u64, u64),
+    /// `(p50, p99)` latency in µs of exact cache hits.
+    pub exact_us: (u64, u64),
+    /// `(p50, p99)` latency in µs of warm-started requests.
+    pub warm_us: (u64, u64),
+}
+
+impl ServiceStats {
+    /// Encodes the snapshot as the one-line wire form (without a newline).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "STATS requests {} hits {} misses {} warm_hits {} insertions {} evictions {} \
+             bytes {} entries {} cold_p50_us {} cold_p99_us {} exact_p50_us {} exact_p99_us {} \
+             warm_p50_us {} warm_p99_us {}",
+            self.requests,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.warm_hits,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.bytes_used,
+            self.cache.entries,
+            self.cold_us.0,
+            self.cold_us.1,
+            self.exact_us.0,
+            self.exact_us.1,
+            self.warm_us.0,
+            self.warm_us.1,
+        )
+    }
+
+    /// Parses the wire form produced by [`ServiceStats::to_wire`].
+    pub fn from_wire(line: &str) -> Result<Self, ServeError> {
+        let mut it = line.split_whitespace();
+        if it.next() != Some("STATS") {
+            return Err(ServeError::Malformed {
+                line: line.to_string(),
+                reason: "expected STATS line".into(),
+            });
+        }
+        let mut stats = ServiceStats::default();
+        while let Some(key) = it.next() {
+            let value: u64 =
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ServeError::Malformed {
+                        line: line.to_string(),
+                        reason: format!("missing or bad value for {key}"),
+                    })?;
+            match key {
+                "requests" => stats.requests = value,
+                "hits" => stats.cache.hits = value,
+                "misses" => stats.cache.misses = value,
+                "warm_hits" => stats.cache.warm_hits = value,
+                "insertions" => stats.cache.insertions = value,
+                "evictions" => stats.cache.evictions = value,
+                "bytes" => stats.cache.bytes_used = value as usize,
+                "entries" => stats.cache.entries = value as usize,
+                "cold_p50_us" => stats.cold_us.0 = value,
+                "cold_p99_us" => stats.cold_us.1 = value,
+                "exact_p50_us" => stats.exact_us.0 = value,
+                "exact_p99_us" => stats.exact_us.1 = value,
+                "warm_p50_us" => stats.warm_us.0 = value,
+                "warm_p99_us" => stats.warm_us.1 = value,
+                _ => {} // forward-compatible
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// The in-process reply of [`ScheduleService::handle`] (the wire layer turns
+/// it into a [`crate::protocol::ScheduleResponse`]).
+#[derive(Debug, Clone)]
+pub struct ServeReply {
+    /// The schedule (shared with the cache on hits and after insertions).
+    pub schedule: Arc<BspSchedule>,
+    /// Its cost on the request's DAG and machine.
+    pub cost: u64,
+    /// Where it came from.
+    pub source: ScheduleSource,
+    /// Handling time (queueing excluded).
+    pub elapsed: Duration,
+}
+
+/// The scheduling engine: cache + solvers + metrics.  Thread-safe; the
+/// worker pool shares one instance behind an `Arc`.
+#[derive(Debug)]
+pub struct ScheduleService {
+    config: ServiceConfig,
+    cache: Mutex<ScheduleCache>,
+    shutdown: CancelToken,
+    metrics: ServiceMetrics,
+}
+
+impl ScheduleService {
+    /// A fresh service with an empty cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = Mutex::new(ScheduleCache::new(config.cache_bytes));
+        ScheduleService {
+            config,
+            cache,
+            shutdown: CancelToken::new(),
+            metrics: ServiceMetrics::default(),
+        }
+    }
+
+    /// The service's shutdown token; in-flight solves poll it.
+    pub fn shutdown_token(&self) -> &CancelToken {
+        &self.shutdown
+    }
+
+    /// Asks in-flight solves to wrap up; subsequent requests are refused
+    /// with [`ServeError::ShuttingDown`].
+    pub fn begin_shutdown(&self) {
+        self.shutdown.cancel();
+    }
+
+    /// The per-outcome latency histograms.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// A statistics snapshot (cache counters + latency quantiles).
+    pub fn stats(&self) -> ServiceStats {
+        let cache = self.lock_cache().stats();
+        let m = &self.metrics;
+        ServiceStats {
+            requests: m.cold.count() + m.exact.count() + m.warm.count(),
+            cache,
+            cold_us: m.cold.p50_p99_micros(),
+            exact_us: m.exact.p50_p99_micros(),
+            warm_us: m.warm.p50_p99_micros(),
+        }
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, ScheduleCache> {
+        // A worker that panicked mid-insert cannot corrupt the cache beyond
+        // dropping its own entry; serving stale-but-consistent data beats
+        // refusing all traffic.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Handles one request end to end (see the module docs).
+    pub fn handle(&self, request: &ScheduleRequest) -> Result<ServeReply, ServeError> {
+        let start = Instant::now();
+        if self.shutdown.is_cancelled() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let key = request_key(&request.dag, &request.machine);
+
+        let mut warm_seed = None;
+        if request.options.use_cache {
+            let mut cache = self.lock_cache();
+            if let Some((schedule, cost)) = cache.lookup_exact(key.full) {
+                drop(cache);
+                let elapsed = start.elapsed();
+                self.metrics.exact.record(elapsed);
+                return Ok(ServeReply {
+                    schedule,
+                    cost,
+                    source: ScheduleSource::CacheExact,
+                    elapsed,
+                });
+            }
+            warm_seed = cache.lookup_warm(key.structure);
+        }
+
+        let cancel = match request.options.deadline.or(self.config.default_deadline) {
+            Some(budget) => self.shutdown.tightened(Instant::now() + budget),
+            None => self.shutdown.clone(),
+        };
+
+        let (schedule, source) = match &warm_seed {
+            Some(seed) => match self.solve_warm(request, seed, &cancel) {
+                Some(schedule) => (schedule, ScheduleSource::CacheWarm),
+                // Structural-fingerprint collision or stale seed: fall back
+                // to a cold run rather than serving anything unchecked.
+                None => (self.solve_cold(request, &cancel), ScheduleSource::Cold),
+            },
+            None => (self.solve_cold(request, &cancel), ScheduleSource::Cold),
+        };
+
+        // The solvers uphold validity by construction; this is the service
+        // boundary's independent check so an invalid schedule can never
+        // leave the process.
+        let schedule = if schedule.validate(&request.dag, &request.machine).is_ok() {
+            schedule
+        } else {
+            BspSchedule::trivial(&request.dag)
+        };
+        let cost = schedule.cost(&request.dag, &request.machine);
+        let schedule = Arc::new(schedule);
+        if request.options.use_cache {
+            self.lock_cache()
+                .insert(key.full, key.structure, Arc::clone(&schedule), cost);
+        }
+        let elapsed = start.elapsed();
+        self.metrics.histogram(source).record(elapsed);
+        Ok(ServeReply {
+            schedule,
+            cost,
+            source,
+            elapsed,
+        })
+    }
+
+    /// Handles a content-addressed replay (`FP <hex>`): the exact-hit path
+    /// without any payload parsing.  Allocation-free on a hit, like
+    /// [`ScheduleService::handle`]'s exact-hit path.  A miss returns
+    /// [`ServeError::UnknownFingerprint`] so the client resends the full
+    /// payload.
+    pub fn handle_fingerprint(&self, fingerprint: u128) -> Result<ServeReply, ServeError> {
+        let start = Instant::now();
+        if self.shutdown.is_cancelled() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut cache = self.lock_cache();
+        match cache.lookup_exact(fingerprint) {
+            Some((schedule, cost)) => {
+                drop(cache);
+                let elapsed = start.elapsed();
+                self.metrics.exact.record(elapsed);
+                Ok(ServeReply {
+                    schedule,
+                    cost,
+                    source: ScheduleSource::CacheExact,
+                    elapsed,
+                })
+            }
+            None => {
+                cache.note_miss();
+                Err(ServeError::UnknownFingerprint)
+            }
+        }
+    }
+
+    /// Warm path: improve the cached assignment with `HC` + `HCcs` under the
+    /// warm budget.  Returns `None` when the seed does not actually fit the
+    /// request (fingerprint collision paranoia) so the caller can run cold.
+    fn solve_warm(
+        &self,
+        request: &ScheduleRequest,
+        seed: &BspSchedule,
+        cancel: &CancelToken,
+    ) -> Option<BspSchedule> {
+        if seed.assignment.n() != request.dag.n() {
+            return None;
+        }
+        let mut schedule = BspSchedule::from_assignment_lazy(&request.dag, seed.assignment.clone());
+        if schedule.validate(&request.dag, &request.machine).is_err() {
+            return None;
+        }
+        // The same 90/10 HC/HCcs split as the pipeline branches.
+        let budget = self.config.warm_budget;
+        let hc_cfg = HillClimbConfig {
+            time_limit: budget.mul_f64(0.9),
+            max_steps: usize::MAX,
+            cancel: cancel.clone(),
+        };
+        let hccs_cfg = HillClimbConfig {
+            time_limit: budget.mul_f64(0.1),
+            ..hc_cfg.clone()
+        };
+        hc_improve(&request.dag, &request.machine, &mut schedule, &hc_cfg);
+        hccs_improve(&request.dag, &request.machine, &mut schedule, &hccs_cfg);
+        Some(schedule)
+    }
+
+    /// Cold path: the pipeline under the request's mode, deadline-aware.
+    fn solve_cold(&self, request: &ScheduleRequest, cancel: &CancelToken) -> BspSchedule {
+        let mut config = match request.options.mode {
+            Mode::Default => PipelineConfig::default(),
+            Mode::Fast => PipelineConfig::fast(),
+            Mode::HeuristicsOnly => PipelineConfig::heuristics_only(),
+        };
+        if request.options.mode == Mode::HeuristicsOnly {
+            config.hill_climb.time_limit = self.config.local_search_budget;
+        }
+        config.cancel = cancel.clone();
+        Pipeline::new(config).run(&request.dag, &request.machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::RequestOptions;
+    use bsp_model::{Dag, Machine};
+
+    fn request(dag: Dag, machine: Machine, options: RequestOptions) -> ScheduleRequest {
+        ScheduleRequest {
+            id: 1,
+            dag,
+            machine,
+            options,
+        }
+    }
+
+    fn chain(n: usize, work: u64) -> Dag {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Dag::from_edges(n, &edges, vec![work; n], vec![1; n]).unwrap()
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_exactly() {
+        let service = ScheduleService::new(ServiceConfig {
+            local_search_budget: Duration::from_millis(50),
+            ..Default::default()
+        });
+        let req = request(
+            chain(12, 3),
+            Machine::uniform(4, 1, 2),
+            RequestOptions::new(),
+        );
+        let first = service.handle(&req).unwrap();
+        assert_eq!(first.source, ScheduleSource::Cold);
+        let second = service.handle(&req).unwrap();
+        assert_eq!(second.source, ScheduleSource::CacheExact);
+        assert!(Arc::ptr_eq(&first.schedule, &second.schedule));
+        assert_eq!(first.cost, second.cost);
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn reweighted_requests_warm_start() {
+        let service = ScheduleService::new(ServiceConfig {
+            local_search_budget: Duration::from_millis(50),
+            warm_budget: Duration::from_millis(50),
+            ..Default::default()
+        });
+        let machine = Machine::uniform(4, 1, 2);
+        let cold = service
+            .handle(&request(
+                chain(12, 3),
+                machine.clone(),
+                RequestOptions::new(),
+            ))
+            .unwrap();
+        assert_eq!(cold.source, ScheduleSource::Cold);
+        let warm = service
+            .handle(&request(chain(12, 5), machine, RequestOptions::new()))
+            .unwrap();
+        assert_eq!(warm.source, ScheduleSource::CacheWarm);
+        assert_eq!(service.stats().cache.warm_hits, 1);
+    }
+
+    #[test]
+    fn empty_dags_are_served_without_panicking() {
+        let service = ScheduleService::new(ServiceConfig::default());
+        let dag = Dag::from_edge_list_unit_weights(0, &[]).unwrap();
+        let machine = Machine::uniform(2, 1, 1);
+        let req = request(dag.clone(), machine.clone(), RequestOptions::new());
+        let reply = service.handle(&req).unwrap();
+        assert!(reply.schedule.validate(&dag, &machine).is_ok());
+        // And the empty schedule is cacheable like any other.
+        let hit = service.handle(&req).unwrap();
+        assert_eq!(hit.source, ScheduleSource::CacheExact);
+    }
+
+    #[test]
+    fn cache_off_requests_never_touch_the_cache() {
+        let service = ScheduleService::new(ServiceConfig {
+            local_search_budget: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let req = request(
+            chain(8, 2),
+            Machine::uniform(2, 1, 1),
+            RequestOptions::new().with_cache(false),
+        );
+        for _ in 0..2 {
+            let reply = service.handle(&req).unwrap();
+            assert_eq!(reply.source, ScheduleSource::Cold);
+        }
+        assert_eq!(service.stats().cache.entries, 0);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_requests() {
+        let service = ScheduleService::new(ServiceConfig::default());
+        service.begin_shutdown();
+        let req = request(
+            chain(4, 1),
+            Machine::uniform(2, 1, 1),
+            RequestOptions::new(),
+        );
+        assert!(matches!(
+            service.handle(&req),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn stats_roundtrip_through_the_wire_encoding() {
+        let stats = ServiceStats {
+            requests: 10,
+            cache: CacheStats {
+                hits: 4,
+                misses: 5,
+                warm_hits: 1,
+                insertions: 6,
+                evictions: 2,
+                bytes_used: 12345,
+                entries: 4,
+            },
+            cold_us: (1024, 8192),
+            exact_us: (8, 16),
+            warm_us: (256, 512),
+        };
+        let parsed = ServiceStats::from_wire(&stats.to_wire()).unwrap();
+        assert_eq!(parsed, stats);
+        assert!(ServiceStats::from_wire("NOPE").is_err());
+    }
+
+    #[test]
+    fn deadline_is_honoured_with_a_valid_schedule() {
+        let service = ScheduleService::new(ServiceConfig::default());
+        let dag = chain(400, 7);
+        let machine = Machine::uniform(8, 3, 5);
+        let deadline = Duration::from_millis(60);
+        let start = Instant::now();
+        let reply = service
+            .handle(&request(
+                dag.clone(),
+                machine.clone(),
+                RequestOptions::new().with_deadline(deadline),
+            ))
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert!(reply.schedule.validate(&dag, &machine).is_ok());
+        // Anytime contract: the request returns promptly (2x covers the
+        // non-cancellable fringes: initializers, final normalize, cost).
+        assert!(
+            elapsed < deadline * 2 + Duration::from_millis(50),
+            "request took {elapsed:?} against a {deadline:?} deadline"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Spin up the scheduling service on an ephemeral loopback port, schedule a
+//! DAG three ways — cold, exact cache hit, warm (re-weighted) hit — and show
+//! the server-side statistics.
+//!
+//! Run with: `cargo run --example serve_quickstart`
+
+use bsp_serve::{Client, Mode, RequestOptions, Server, ServerConfig, ServiceConfig};
+use realistic_sched::gen::fine::{spmv, SpmvConfig};
+use realistic_sched::model::{Dag, Machine};
+use std::time::Duration;
+
+fn main() {
+    let config = ServerConfig {
+        workers: 2,
+        service: ServiceConfig {
+            local_search_budget: Duration::from_millis(200),
+            warm_budget: Duration::from_millis(100),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config)
+        .expect("bind an ephemeral loopback port")
+        .spawn()
+        .expect("start the server threads");
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let machine = Machine::numa_binary_tree(8, 1, 5, 3);
+    let dag = spmv(&SpmvConfig {
+        n: 48,
+        density: 0.15,
+        seed: 3,
+    });
+    let options = RequestOptions::new()
+        .with_mode(Mode::HeuristicsOnly)
+        .with_deadline(Duration::from_millis(500));
+
+    // Cold: full pipeline run, schedule enters the cache.
+    let cold = client.schedule(&dag, &machine, &options).expect("cold");
+    println!(
+        "cold : cost {} in {} us ({})",
+        cold.cost,
+        cold.micros,
+        cold.source.as_str()
+    );
+
+    // Exact hit: same request again — answered from the cache, and the
+    // client only puts the 16-hex-digit fingerprint on the wire.
+    let hit = client.schedule(&dag, &machine, &options).expect("hit");
+    println!(
+        "hit  : cost {} in {} us ({})",
+        hit.cost,
+        hit.micros,
+        hit.source.as_str()
+    );
+
+    // Warm hit: same structure, different work weights — the cached
+    // assignment seeds the hill climbing instead of a cold pipeline run.
+    let edges: Vec<_> = dag.edges().collect();
+    let work: Vec<u64> = dag.work_weights().iter().map(|&w| w + 2).collect();
+    let reweighted = Dag::from_edges(dag.n(), &edges, work, dag.comm_weights().to_vec()).unwrap();
+    let warm = client
+        .schedule(&reweighted, &machine, &options)
+        .expect("warm");
+    println!(
+        "warm : cost {} in {} us ({})",
+        warm.cost,
+        warm.micros,
+        warm.source.as_str()
+    );
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "cache: {} hit / {} warm / {} miss, {} entries, {} bytes",
+        stats.cache.hits,
+        stats.cache.warm_hits,
+        stats.cache.misses,
+        stats.cache.entries,
+        stats.cache.bytes_used
+    );
+
+    drop(client);
+    server.shutdown();
+}

@@ -146,6 +146,7 @@ fn multilevel_refinement_phase_is_allocation_free_after_warmup() {
     let config = HillClimbConfig {
         time_limit: Duration::from_secs(5),
         max_steps: 20,
+        ..Default::default()
     };
     // Warm-up: the first refinement phases let every scratch buffer reach its
     // steady-state capacity.  Cluster degrees (and with them the split-patch

@@ -1,0 +1,139 @@
+//! Property tests for cancellation soundness: firing the [`CancelToken`] at
+//! a random point during a pipeline or multilevel run must never produce an
+//! invalid schedule, and (for the pipeline) never one costing more than the
+//! best raw initializer schedule — the anytime contract of every search
+//! stage.
+//!
+//! As everywhere in this repo's integration tests, the "random points" come
+//! from seeded deterministic loops (`rng_for_case` reproduces any failure);
+//! the cancellation itself fires from a second thread after a random delay,
+//! so the token trips at an arbitrary poll point of whichever stage happens
+//! to be running.
+
+mod common;
+
+use bsp_sched::cancel::CancelToken;
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
+use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use common::{random_dag, random_machine, rng_for_case};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+const CASES: u64 = 12;
+
+/// Fires `cancel` from a second thread after `delay`, runs `f`, then joins.
+fn with_cancellation<R>(cancel: CancelToken, delay: Duration, f: impl FnOnce() -> R) -> R {
+    let trigger = std::thread::spawn(move || {
+        std::thread::sleep(delay);
+        cancel.cancel();
+    });
+    let result = f();
+    trigger.join().expect("cancel trigger thread");
+    result
+}
+
+#[test]
+fn cancelled_pipeline_runs_stay_valid_and_never_beat_the_initializer_bound() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xCA9C, case);
+        let dag = random_dag(&mut rng, 24);
+        let machine = random_machine(&mut rng);
+        let cancel = CancelToken::new();
+        let mut config = PipelineConfig::fast();
+        // Odd cases exercise the ILP stage's cancellation points too.
+        config.use_ilp = case % 2 == 1;
+        config.cancel = cancel.clone();
+        let delay = Duration::from_micros(rng.gen_range(0..8_000));
+        let report = with_cancellation(cancel, delay, || {
+            Pipeline::new(config).run_report(&dag, &machine)
+        });
+        assert!(
+            report.schedule.validate(&dag, &machine).is_ok(),
+            "case {case}: cancelled pipeline returned an invalid schedule"
+        );
+        assert!(
+            report.final_cost <= report.init_cost,
+            "case {case}: cancelled pipeline cost {} exceeds initializer cost {}",
+            report.final_cost,
+            report.init_cost
+        );
+        assert_eq!(
+            report.final_cost,
+            report.schedule.cost(&dag, &machine),
+            "case {case}: reported cost is stale"
+        );
+    }
+}
+
+#[test]
+fn pipeline_with_an_already_expired_deadline_still_returns_a_valid_schedule() {
+    for case in 0..4 {
+        let mut rng = rng_for_case(0xDEAD, case);
+        let dag = random_dag(&mut rng, 20);
+        let machine = random_machine(&mut rng);
+        let config = PipelineConfig::fast().with_deadline(Instant::now());
+        let report = Pipeline::new(config).run_report(&dag, &machine);
+        assert!(
+            report.schedule.validate(&dag, &machine).is_ok(),
+            "case {case}"
+        );
+        assert!(report.final_cost <= report.init_cost, "case {case}");
+    }
+}
+
+#[test]
+fn cancelled_multilevel_runs_stay_valid() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0x3111, case);
+        // Big enough that coarsening actually happens (min_nodes_to_coarsen
+        // is 30 in the fast config).
+        let dag = random_dag(&mut rng, 48);
+        if dag.n() < 32 {
+            continue;
+        }
+        let machine = random_machine(&mut rng);
+        let cancel = CancelToken::new();
+        let mut config = MultilevelConfig::fast();
+        config.base.use_ilp = false;
+        config.base.cancel = cancel.clone();
+        let delay = Duration::from_micros(rng.gen_range(0..12_000));
+        let report = with_cancellation(cancel, delay, || {
+            MultilevelScheduler::new(config).run_report(&dag, &machine)
+        });
+        assert!(
+            report.schedule.validate(&dag, &machine).is_ok(),
+            "case {case}: cancelled multilevel returned an invalid schedule"
+        );
+        assert_eq!(report.final_cost, report.schedule.cost(&dag, &machine));
+    }
+}
+
+#[test]
+fn hill_climbing_respects_a_pre_fired_token() {
+    use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+    use bsp_sched::init::SourceScheduler;
+    use bsp_sched::Scheduler;
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0x41C0, case);
+        let dag = random_dag(&mut rng, 20);
+        let machine = random_machine(&mut rng);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let config = HillClimbConfig {
+            time_limit: Duration::from_secs(3600),
+            max_steps: usize::MAX,
+            cancel,
+        };
+        let mut sched = SourceScheduler.schedule(&dag, &machine);
+        let before = sched.cost(&dag, &machine);
+        let hc = hc_improve(&dag, &machine, &mut sched, &config);
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
+        assert!(hc.final_cost <= before, "case {case}");
+        let hccs = hccs_improve(&dag, &machine, &mut sched, &config);
+        assert!(sched.validate(&dag, &machine).is_ok(), "case {case}");
+        assert!(hccs.final_cost <= hc.final_cost, "case {case}");
+        // A pre-fired token means no wall-clock burn: the searches bail at
+        // their first poll instead of running out the one-hour limit (the
+        // asserts above would hang for an hour if polling were broken).
+    }
+}

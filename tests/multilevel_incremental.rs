@@ -89,6 +89,7 @@ fn warm_started_refinement_matches_cold_state_and_stays_valid() {
     let refine_config = HillClimbConfig {
         time_limit: Duration::from_millis(50),
         max_steps: 30,
+        ..Default::default()
     };
     let mut refined_phases = 0usize;
     for case in 0..CASES {

@@ -23,6 +23,7 @@ fn quick_hc() -> HillClimbConfig {
     HillClimbConfig {
         time_limit: Duration::from_millis(50),
         max_steps: 200,
+        ..Default::default()
     }
 }
 

@@ -1,0 +1,93 @@
+//! Verifies the headline property of the `bsp_serve` schedule cache: an
+//! **exact cache hit performs zero heap allocation on the response path**
+//! (fingerprinting, mutex, LRU bump, `Arc` hand-out, latency-histogram
+//! update — encoding excluded, which is the wire layer's business).
+//!
+//! This lives in its own integration-test binary so the counting global
+//! allocator only observes this test's thread.
+
+use bsp_model::Machine;
+use bsp_serve::{
+    Mode, RequestOptions, ScheduleRequest, ScheduleService, ScheduleSource, ServiceConfig,
+};
+use dag_gen::fine::{spmv, SpmvConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn exact_cache_hit_response_path_is_allocation_free() {
+    let dag = spmv(&SpmvConfig {
+        n: 48,
+        density: 0.2,
+        seed: 7,
+    });
+    let machine = Machine::numa_binary_tree(8, 2, 5, 3);
+    let service = ScheduleService::new(ServiceConfig {
+        local_search_budget: Duration::from_millis(50),
+        ..Default::default()
+    });
+    let request = ScheduleRequest {
+        id: 1,
+        dag,
+        machine,
+        options: RequestOptions::new().with_mode(Mode::HeuristicsOnly),
+    };
+
+    // Populate the cache (allocates freely), then warm the hit path once.
+    let cold = service.handle(&request).expect("cold run succeeds");
+    assert_eq!(cold.source, ScheduleSource::Cold);
+    let warmup = service.handle(&request).expect("hit succeeds");
+    assert_eq!(warmup.source, ScheduleSource::CacheExact);
+    drop(warmup);
+    drop(cold);
+
+    // Measured: full-request exact hits and fingerprint-replay hits,
+    // including dropping the replies.
+    let fingerprint = bsp_model::request_key(&request.dag, &request.machine).full;
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        let reply = service.handle(&request).expect("hit succeeds");
+        std::hint::black_box(reply.cost);
+        drop(reply);
+        let reply = service
+            .handle_fingerprint(fingerprint)
+            .expect("fingerprint hit succeeds");
+        std::hint::black_box(reply.cost);
+        drop(reply);
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "exact cache hits touched the allocator: {allocs} allocs / {deallocs} deallocs \
+         over 200 hits"
+    );
+}
