@@ -1,42 +1,49 @@
-//! `exp_serve` — throughput and latency of the `bsp_serve` scheduling
-//! service under a mixed open-loop workload.
+//! `exp_serve` — throughput and latency of the `bsp_serve` deployment under
+//! a mixed open-loop workload, comparing the **serial single-process
+//! baseline** against the **pipelined, fingerprint-sharded front end**.
 //!
-//! The harness spins up a loopback TCP server (bounded admission queue,
-//! batched worker pool) and drives it with several concurrent client
-//! connections issuing a deterministic mixed instance stream (`spmv`, `cg`
-//! and `knn` DAGs on uniform and NUMA machines).  A configurable fraction of
-//! the requests repeats an earlier request verbatim (exercising the exact
-//! schedule cache) and another fraction re-sends a *re-weighted* variant of
-//! an earlier instance (exercising the warm-start path).  Every response is
-//! validated client-side and its wall-clock latency is recorded per source
-//! (`cold` / `exact` / `warm`).
+//! The harness drives the same deterministic mixed instance stream (`spmv`,
+//! `cg` and `knn` DAGs on uniform and NUMA machines; a configurable
+//! fraction repeats earlier requests verbatim — exact cache hits / `FP`
+//! replays — and another re-sends re-weighted variants — warm starts)
+//! through two deployments:
 //!
-//! The JSON written to `--out` (default `BENCH_serve.json`) reports
-//! throughput, per-source p50/p99 latency, the exact-hit speedup over cold
-//! runs, the worst latency/deadline ratio, and the server's cache counters.
+//! 1. **serial**: one server, blocking clients, one request in flight per
+//!    connection (the PR 3 shape);
+//! 2. **sharded**: `--shards` servers behind a `bsp_router`, pipelined
+//!    clients with `--depth` requests in flight per connection.
+//!
+//! Every response is validated client-side; per-source latency and the
+//! throughput ratio land in the JSON written to `--out`.
 //!
 //! Flags:
 //!   --out PATH         output JSON path (default BENCH_serve.json)
-//!   --target N         approximate DAG size in nodes (default 600)
+//!   --target N         approximate DAG size in nodes (default 4000)
 //!   --requests N       total requests across all clients (default 240)
-//!   --clients N        concurrent client connections (default 4)
-//!   --workers N        server worker threads (default 4)
+//!   --clients N        concurrent client connections (default: cores, 2..4)
+//!   --workers N        worker threads per server (default: cores, 2..4)
 //!   --repeat-pct P     % of requests repeating an earlier one (default 40)
 //!   --warm-pct P       % of requests re-weighting an earlier one (default 15)
-//!   --deadline-ms MS   per-request deadline (default 400)
-//!   --cache-mb MB      schedule-cache byte budget (default 64)
-//!   --smoke            tiny workload + hard assertions (CI gate)
+//!   --deadline-ms MS   per-request deadline (default 1000)
+//!   --cache-mb MB      schedule-cache byte budget per shard (default 64)
+//!   --depth N          pipeline depth per client, sharded phase (default 8)
+//!   --shards N         shard servers behind the router (default 2)
+//!   --smoke            tiny workload + hard assertions (CI gate: 2-shard
+//!                      router, depth-4 pipelined clients, zero invalid
+//!                      schedules, every FP replay on its owning shard)
 
 use bsp_bench::stats::BenchReport;
 use bsp_bench::{size_to_target, CliArgs};
 use bsp_model::{Dag, Machine};
 use bsp_serve::{
-    Client, LatencyHistogram, Mode, RequestOptions, ScheduleSource, Server, ServerConfig,
-    ServiceConfig,
+    Client, Completion, LatencyHistogram, Mode, PipelinedClient, RequestOptions, Router,
+    RouterConfig, RouterHandle, ScheduleSource, Server, ServerConfig, ServerHandle, ServiceConfig,
 };
 use dag_gen::fine::{cg, knn, spmv, IterConfig, SpmvConfig};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -151,11 +158,24 @@ fn build_stream(
     stream
 }
 
+#[derive(Default)]
 struct ClientOutcome {
     histograms: [LatencyHistogram; 3], // cold, exact, warm
     invalid: u64,
     errors: u64,
+    fp_fallbacks: u64,
     worst_deadline_ratio: f64,
+}
+
+/// Pooled outcome of one whole phase.
+struct PhaseOutcome {
+    merged: [LatencyHistogram; 3],
+    invalid: u64,
+    errors: u64,
+    fp_fallbacks: u64,
+    worst_deadline_ratio: f64,
+    wall: Duration,
+    throughput_rps: f64,
 }
 
 fn source_slot(source: ScheduleSource) -> usize {
@@ -166,81 +186,54 @@ fn source_slot(source: ScheduleSource) -> usize {
     }
 }
 
-fn main() {
-    let args = CliArgs::from_env();
-    let smoke = args.flag("smoke");
-    let out_path = args.value("out").unwrap_or("BENCH_serve.json").to_string();
-    let target = args.usize_or("target", if smoke { 120 } else { 4000 });
-    let requests = args.usize_or("requests", if smoke { 60 } else { 240 });
-    // Defaults scale with the host: on small CI boxes a couple of concurrent
-    // cold solves already saturate the CPU and queueing (not service time)
-    // would dominate the tail.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let clients = args
-        .usize_or("clients", if smoke { 2 } else { cores.clamp(2, 4) })
-        .max(1);
-    let workers = args.usize_or("workers", cores.clamp(2, 4)).max(1);
-    let repeat_pct = args.u64_or("repeat-pct", 40).min(100);
-    let warm_pct = args
-        .u64_or("warm-pct", 15)
-        .min(100u64.saturating_sub(repeat_pct));
-    let deadline =
-        Duration::from_millis(args.u64_or("deadline-ms", if smoke { 200 } else { 1000 }));
-    let cache_mb = args.u64_or("cache-mb", 64) as usize;
-
-    eprintln!(
-        "exp_serve: target {target} nodes, {requests} requests, {clients} clients, \
-         {workers} workers, repeat {repeat_pct}%, warm {warm_pct}%, deadline {deadline:?}"
-    );
-
-    eprintln!("building instance pool...");
-    let mut pool = base_pool(target);
-    let stream = build_stream(&mut pool, requests, repeat_pct, warm_pct, args.seed());
-    let pool = Arc::new(pool);
-
-    let server_config = ServerConfig {
-        workers,
-        queue_capacity: 4 * clients.max(1),
-        admission_batch: 8,
-        idle_timeout: Duration::from_secs(30),
-        service: ServiceConfig {
-            cache_bytes: cache_mb << 20,
-            // Cold runs get 80% of the deadline for local search (the rest
-            // is headroom for the non-cancellable fringes: initializers,
-            // normalize, cost/validate, response encoding); warm runs a
-            // quarter (they start near a local minimum).
-            local_search_budget: deadline.mul_f64(0.8),
-            warm_budget: deadline / 4,
-            default_deadline: Some(deadline),
-        },
+fn pool_outcomes(outcomes: Vec<ClientOutcome>, requests: usize, wall: Duration) -> PhaseOutcome {
+    let merged: [LatencyHistogram; 3] = Default::default();
+    let mut phase = PhaseOutcome {
+        merged,
+        invalid: 0,
+        errors: 0,
+        fp_fallbacks: 0,
+        worst_deadline_ratio: 0.0,
+        wall,
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
     };
-    let server = Server::bind("127.0.0.1:0", server_config)
-        .expect("bind an ephemeral loopback port")
-        .spawn()
-        .expect("spawn server threads");
-    let addr = server.addr();
-    eprintln!("server listening on {addr}");
+    for outcome in &outcomes {
+        phase.invalid += outcome.invalid;
+        phase.errors += outcome.errors;
+        phase.fp_fallbacks += outcome.fp_fallbacks;
+        phase.worst_deadline_ratio = phase.worst_deadline_ratio.max(outcome.worst_deadline_ratio);
+        for (pooled, client) in phase.merged.iter().zip(&outcome.histograms) {
+            pooled.merge_from(client);
+        }
+    }
+    phase
+}
 
-    // Shard the request stream round-robin across the client threads.
-    let bench_start = Instant::now();
+/// Phase 1: blocking clients against a single server, one request in flight
+/// per connection.
+fn run_serial_phase(
+    addr: SocketAddr,
+    pool: &Arc<Vec<WorkItem>>,
+    stream: &[usize],
+    clients: usize,
+    deadline: Duration,
+    progress_label: &str,
+) -> PhaseOutcome {
+    let requests = stream.len();
     let progress = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..clients {
             let share: Vec<usize> = stream.iter().copied().skip(c).step_by(clients).collect();
-            let pool = Arc::clone(&pool);
+            let pool = Arc::clone(pool);
             let progress = Arc::clone(&progress);
             handles.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect to the server");
                 let options = RequestOptions::new()
                     .with_mode(Mode::HeuristicsOnly)
                     .with_deadline(deadline);
-                let mut outcome = ClientOutcome {
-                    histograms: Default::default(),
-                    invalid: 0,
-                    errors: 0,
-                    worst_deadline_ratio: 0.0,
-                };
+                let mut outcome = ClientOutcome::default();
                 for idx in share {
                     let item = &pool[idx];
                     let start = Instant::now();
@@ -265,7 +258,7 @@ fn main() {
                     }
                     let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
                     if done.is_multiple_of(50) {
-                        eprintln!("  {done}/{requests} requests");
+                        eprintln!("  [serial] {done}/{requests} requests");
                     }
                 }
                 outcome
@@ -273,95 +266,359 @@ fn main() {
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let wall = bench_start.elapsed();
+    let wall = start.elapsed();
+    eprintln!("{progress_label} done in {wall:.2?}");
+    pool_outcomes(outcomes, requests, wall)
+}
 
-    // Pool the per-client outcomes.
-    let merged: [LatencyHistogram; 3] = Default::default();
-    let mut invalid = 0u64;
-    let mut errors = 0u64;
-    let mut worst_deadline_ratio = 0.0f64;
-    for outcome in &outcomes {
-        invalid += outcome.invalid;
-        errors += outcome.errors;
-        worst_deadline_ratio = worst_deadline_ratio.max(outcome.worst_deadline_ratio);
-        for (pool, client) in merged.iter().zip(&outcome.histograms) {
-            pool.merge_from(client);
+/// Phase 2: pipelined clients (up to `depth` requests in flight each)
+/// against the router.
+fn run_pipelined_phase(
+    addr: SocketAddr,
+    pool: &Arc<Vec<WorkItem>>,
+    stream: &[usize],
+    clients: usize,
+    depth: usize,
+    deadline: Duration,
+    progress_label: &str,
+) -> PhaseOutcome {
+    let requests = stream.len();
+    let progress = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let share: Vec<usize> = stream.iter().copied().skip(c).step_by(clients).collect();
+            let pool = Arc::clone(pool);
+            let progress = Arc::clone(&progress);
+            handles.push(scope.spawn(move || {
+                let mut client = PipelinedClient::connect(addr).expect("connect to the router");
+                let options = RequestOptions::new()
+                    .with_mode(Mode::HeuristicsOnly)
+                    .with_deadline(deadline);
+                let mut outcome = ClientOutcome::default();
+                let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
+                let mut next = 0usize;
+                loop {
+                    // Keep the window full.
+                    while next < share.len() && in_flight.len() < depth.max(1) {
+                        let idx = share[next];
+                        next += 1;
+                        let item = &pool[idx];
+                        match client.submit(&item.dag, &item.machine, &options) {
+                            Ok(id) => {
+                                in_flight.insert(id, (idx, Instant::now()));
+                            }
+                            Err(err) => {
+                                eprintln!("submit failed: {err}");
+                                outcome.errors += 1;
+                            }
+                        }
+                    }
+                    if in_flight.is_empty() {
+                        break;
+                    }
+                    match client.recv() {
+                        Ok(Completion::Ok(response)) => {
+                            let (idx, submitted) = in_flight
+                                .remove(&response.id)
+                                .expect("completion for an unknown id");
+                            let latency = submitted.elapsed();
+                            outcome.histograms[source_slot(response.source)].record(latency);
+                            let ratio = latency.as_secs_f64() / deadline.as_secs_f64();
+                            outcome.worst_deadline_ratio = outcome.worst_deadline_ratio.max(ratio);
+                            let item = &pool[idx];
+                            if response
+                                .schedule
+                                .validate(&item.dag, &item.machine)
+                                .is_err()
+                            {
+                                outcome.invalid += 1;
+                            }
+                        }
+                        Ok(Completion::Failed { id, error }) => {
+                            in_flight.remove(&id);
+                            eprintln!("request {id} failed: {error}");
+                            outcome.errors += 1;
+                        }
+                        Err(err) => {
+                            eprintln!("connection failed: {err}");
+                            outcome.errors += in_flight.len() as u64;
+                            break;
+                        }
+                    }
+                    let done = progress.fetch_add(1, Ordering::Relaxed) + 1;
+                    if done.is_multiple_of(50) {
+                        eprintln!("  [sharded] {done}/{requests} requests");
+                    }
+                }
+                outcome.fp_fallbacks = client.fp_fallbacks();
+                outcome
+            }));
         }
-    }
-    let pooled = |slot: usize, q: f64| -> u64 { merged[slot].quantile_micros(q) };
-    let count_of = |slot: usize| -> u64 { merged[slot].count() };
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = start.elapsed();
+    eprintln!("{progress_label} done in {wall:.2?}");
+    pool_outcomes(outcomes, requests, wall)
+}
 
-    let stats = server.stats();
-    let (cold_n, exact_n, warm_n) = (count_of(0), count_of(1), count_of(2));
-    let cold_p50 = pooled(0, 0.5);
-    let exact_p50 = pooled(1, 0.5);
-    let warm_p50 = pooled(2, 0.5);
-    let throughput = requests as f64 / wall.as_secs_f64();
-    let exact_speedup = if exact_p50 > 0 {
-        cold_p50 as f64 / exact_p50 as f64
+fn server_config(
+    workers: usize,
+    clients: usize,
+    deadline: Duration,
+    cache_mb: usize,
+) -> ServerConfig {
+    ServerConfig {
+        workers,
+        queue_capacity: 16 * clients.max(1),
+        max_connections: 4 * clients.max(1) + 8,
+        admission_batch: 8,
+        idle_timeout: Duration::from_secs(30),
+        service: ServiceConfig {
+            cache_bytes: cache_mb << 20,
+            // Cold runs get 80% of the deadline for local search (the rest
+            // is headroom for the non-cancellable fringes: initializers,
+            // normalize, cost/validate, response encoding); warm runs a
+            // quarter (they start near a local minimum).
+            local_search_budget: deadline.mul_f64(0.8),
+            warm_budget: deadline / 4,
+            default_deadline: Some(deadline),
+        },
+    }
+}
+
+fn spawn_deployment(shards: usize, config: &ServerConfig) -> (Vec<ServerHandle>, RouterHandle) {
+    let shard_handles: Vec<ServerHandle> = (0..shards)
+        .map(|_| {
+            Server::bind("127.0.0.1:0", config.clone())
+                .expect("bind a shard")
+                .spawn()
+                .expect("spawn shard threads")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = shard_handles.iter().map(|s| s.addr()).collect();
+    let router = Router::bind("127.0.0.1:0", &addrs, RouterConfig::default())
+        .expect("bind the router")
+        .spawn()
+        .expect("spawn router threads");
+    (shard_handles, router)
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let smoke = args.flag("smoke");
+    let out_path = args.value("out").unwrap_or("BENCH_serve.json").to_string();
+    let target = args.usize_or("target", if smoke { 120 } else { 4000 });
+    let requests = args.usize_or("requests", if smoke { 60 } else { 240 });
+    // Defaults scale with the host: on small CI boxes a couple of concurrent
+    // cold solves already saturate the CPU and queueing (not service time)
+    // would dominate the tail.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let clients = args
+        .usize_or("clients", if smoke { 2 } else { cores.clamp(2, 4) })
+        .max(1);
+    let workers = args.usize_or("workers", cores.clamp(2, 4)).max(1);
+    let repeat_pct = args.u64_or("repeat-pct", 40).min(100);
+    let warm_pct = args
+        .u64_or("warm-pct", 15)
+        .min(100u64.saturating_sub(repeat_pct));
+    let deadline =
+        Duration::from_millis(args.u64_or("deadline-ms", if smoke { 200 } else { 1000 }));
+    let cache_mb = args.u64_or("cache-mb", 64) as usize;
+    let depth = args.usize_or("depth", if smoke { 4 } else { 8 }).max(1);
+    let shards = args.usize_or("shards", 2).max(1);
+
+    eprintln!(
+        "exp_serve: target {target} nodes, {requests} requests, {clients} clients, \
+         {workers} workers, repeat {repeat_pct}%, warm {warm_pct}%, deadline {deadline:?}, \
+         depth {depth}, {shards} shards"
+    );
+
+    eprintln!("building instance pool...");
+    let mut pool = base_pool(target);
+    let stream = build_stream(&mut pool, requests, repeat_pct, warm_pct, args.seed());
+    let pool = Arc::new(pool);
+    let config = server_config(workers, clients, deadline, cache_mb);
+
+    // ---- Phase 1: serial single-process baseline -------------------------
+    let server = Server::bind("127.0.0.1:0", config.clone())
+        .expect("bind an ephemeral loopback port")
+        .spawn()
+        .expect("spawn server threads");
+    eprintln!("serial baseline on {}", server.addr());
+    let serial = run_serial_phase(
+        server.addr(),
+        &pool,
+        &stream,
+        clients,
+        deadline,
+        "serial baseline",
+    );
+    let serial_stats = server.stats();
+    server.shutdown();
+
+    // ---- Phase 2: pipelined clients against the sharded router ----------
+    let (shard_handles, router) = spawn_deployment(shards, &config);
+    eprintln!(
+        "{shards}-shard router on {} (shards: {:?})",
+        router.addr(),
+        shard_handles.iter().map(|s| s.addr()).collect::<Vec<_>>()
+    );
+    let sharded = run_pipelined_phase(
+        router.addr(),
+        &pool,
+        &stream,
+        clients,
+        depth,
+        deadline,
+        "sharded pipelined",
+    );
+    let shard_stats: Vec<_> = shard_handles.iter().map(|s| s.stats()).collect();
+    router.shutdown();
+    for shard in shard_handles {
+        shard.shutdown();
+    }
+
+    let speedup = if serial.throughput_rps > 0.0 {
+        sharded.throughput_rps / serial.throughput_rps
     } else {
         0.0
     };
+    let q =
+        |phase: &PhaseOutcome, slot: usize, quant: f64| phase.merged[slot].quantile_micros(quant);
+    let n_of = |phase: &PhaseOutcome, slot: usize| phase.merged[slot].count();
+    let exact_speedup = {
+        let (cold_p50, exact_p50) = (q(&serial, 0, 0.5), q(&serial, 1, 0.5));
+        if exact_p50 > 0 {
+            cold_p50 as f64 / exact_p50 as f64
+        } else {
+            0.0
+        }
+    };
 
     eprintln!(
-        "done in {wall:.2?}: {throughput:.1} req/s | cold {cold_n} (p50 {cold_p50}us) | \
-         exact {exact_n} (p50 {exact_p50}us, {exact_speedup:.0}x) | warm {warm_n} (p50 {warm_p50}us)"
+        "serial:  {:.1} req/s | cold {} (p50 {}us) | exact {} (p50 {}us) | warm {} (p50 {}us)",
+        serial.throughput_rps,
+        n_of(&serial, 0),
+        q(&serial, 0, 0.5),
+        n_of(&serial, 1),
+        q(&serial, 1, 0.5),
+        n_of(&serial, 2),
+        q(&serial, 2, 0.5),
     );
     eprintln!(
-        "server cache: {} hits / {} warm / {} misses, {} entries, {} bytes; \
-         worst latency/deadline {worst_deadline_ratio:.3}; invalid {invalid}, errors {errors}",
-        stats.cache.hits,
-        stats.cache.warm_hits,
-        stats.cache.misses,
-        stats.cache.entries,
-        stats.cache.bytes_used
+        "sharded: {:.1} req/s ({speedup:.2}x) | cold {} (p50 {}us) | exact {} (p50 {}us) | \
+         fp fallbacks {} | invalid {} | errors {}",
+        sharded.throughput_rps,
+        n_of(&sharded, 0),
+        q(&sharded, 0, 0.5),
+        n_of(&sharded, 1),
+        q(&sharded, 1, 0.5),
+        sharded.fp_fallbacks,
+        sharded.invalid,
+        sharded.errors,
     );
+    for (i, stats) in shard_stats.iter().enumerate() {
+        eprintln!(
+            "  shard {i}: {} requests, {} hits / {} warm / {} warm-fallbacks / {} misses, \
+             {} entries",
+            stats.requests,
+            stats.cache.hits,
+            stats.cache.warm_hits,
+            stats.cache.warm_fallbacks,
+            stats.cache.misses,
+            stats.cache.entries,
+        );
+    }
 
     let mut report = BenchReport::new("serve_throughput");
+    // `host_cores` contextualizes `sharded_over_serial`: the sharded
+    // deployment adds parallel capacity (one shard per core/box is the
+    // deployment model), so on a single-core host the same CPU-bound solve
+    // work is merely time-sliced and the ratio cannot exceed ~1.
     report.set_config_json(format!(
         "{{\"target_nodes\": {target}, \"requests\": {requests}, \"clients\": {clients}, \
          \"workers\": {workers}, \"repeat_pct\": {repeat_pct}, \"warm_pct\": {warm_pct}, \
-         \"deadline_ms\": {}, \"cache_mb\": {cache_mb}}}",
+         \"deadline_ms\": {}, \"cache_mb\": {cache_mb}, \"depth\": {depth}, \
+         \"shards\": {shards}, \"host_cores\": {cores}}}",
         deadline.as_millis()
     ));
-    for (name, slot) in [("cold", 0), ("exact", 1), ("warm", 2)] {
-        report.push_result_json(format!(
-            "    {{\"source\": \"{name}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
-            count_of(slot),
-            pooled(slot, 0.5),
-            pooled(slot, 0.99),
-        ));
+    for (phase_name, phase) in [("serial", &serial), ("sharded", &sharded)] {
+        for (name, slot) in [("cold", 0), ("exact", 1), ("warm", 2)] {
+            report.push_result_json(format!(
+                "    {{\"phase\": \"{phase_name}\", \"source\": \"{name}\", \"count\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}}}",
+                n_of(phase, slot),
+                q(phase, slot, 0.5),
+                q(phase, slot, 0.99),
+            ));
+        }
     }
+    let shard_requests: Vec<String> = shard_stats.iter().map(|s| s.requests.to_string()).collect();
+    let agg_hits: u64 = shard_stats.iter().map(|s| s.cache.hits).sum();
+    let agg_warm: u64 = shard_stats.iter().map(|s| s.cache.warm_hits).sum();
+    let agg_warm_fallbacks: u64 = shard_stats.iter().map(|s| s.cache.warm_fallbacks).sum();
+    let agg_misses: u64 = shard_stats.iter().map(|s| s.cache.misses).sum();
     report.set_summary_json(format!(
-        "{{\"throughput_rps\": {throughput:.1}, \"wall_secs\": {:.3}, \
+        "{{\"serial_throughput_rps\": {:.1}, \"sharded_throughput_rps\": {:.1}, \
+         \"serial_wall_secs\": {:.3}, \"sharded_wall_secs\": {:.3}, \
+         \"sharded_over_serial\": {speedup:.2}, \
          \"exact_hit_p50_speedup\": {exact_speedup:.1}, \
-         \"worst_latency_over_deadline\": {worst_deadline_ratio:.3}, \
-         \"invalid_schedules\": {invalid}, \"request_errors\": {errors}, \
-         \"cache\": {{\"hits\": {}, \"warm_hits\": {}, \"misses\": {}, \"insertions\": {}, \
-         \"evictions\": {}, \"entries\": {}, \"bytes\": {}}}}}",
-        wall.as_secs_f64(),
-        stats.cache.hits,
-        stats.cache.warm_hits,
-        stats.cache.misses,
-        stats.cache.insertions,
-        stats.cache.evictions,
-        stats.cache.entries,
-        stats.cache.bytes_used,
+         \"serial_worst_latency_over_deadline\": {:.3}, \
+         \"invalid_schedules\": {}, \"request_errors\": {}, \"fp_fallbacks\": {}, \
+         \"shard_requests\": [{}], \
+         \"sharded_cache\": {{\"hits\": {agg_hits}, \"warm_hits\": {agg_warm}, \
+         \"warm_fallbacks\": {agg_warm_fallbacks}, \"misses\": {agg_misses}}}, \
+         \"serial_cache\": {{\"hits\": {}, \"warm_hits\": {}, \"warm_fallbacks\": {}, \
+         \"misses\": {}}}}}",
+        serial.throughput_rps,
+        sharded.throughput_rps,
+        serial.wall.as_secs_f64(),
+        sharded.wall.as_secs_f64(),
+        serial.worst_deadline_ratio,
+        serial.invalid + sharded.invalid,
+        serial.errors + sharded.errors,
+        sharded.fp_fallbacks,
+        shard_requests.join(", "),
+        serial_stats.cache.hits,
+        serial_stats.cache.warm_hits,
+        serial_stats.cache.warm_fallbacks,
+        serial_stats.cache.misses,
     ));
     report
         .write(&out_path)
         .expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");
 
-    server.shutdown();
-
     if smoke {
-        assert_eq!(errors, 0, "smoke: {errors} requests failed");
-        assert_eq!(invalid, 0, "smoke: {invalid} invalid schedules");
-        assert!(stats.cache.hits > 0, "smoke: no exact cache hits");
+        assert_eq!(serial.errors + sharded.errors, 0, "smoke: requests failed");
+        assert_eq!(
+            serial.invalid + sharded.invalid,
+            0,
+            "smoke: invalid schedules"
+        );
+        assert!(serial_stats.cache.hits > 0, "smoke: no exact cache hits");
         assert!(
-            worst_deadline_ratio <= 2.0,
-            "smoke: worst latency/deadline ratio {worst_deadline_ratio:.3} exceeds 2.0"
+            serial.worst_deadline_ratio <= 2.0,
+            "smoke: serial worst latency/deadline ratio {:.3} exceeds 2.0",
+            serial.worst_deadline_ratio
+        );
+        // Routing correctness: with caches far larger than the workload no
+        // replay may miss — zero fallbacks means every `FP` frame landed on
+        // the shard that owns (and therefore cached) its key.
+        assert_eq!(
+            sharded.fp_fallbacks, 0,
+            "smoke: an FP replay missed its owning shard"
+        );
+        assert!(
+            shard_stats.iter().map(|s| s.requests).sum::<u64>() > 0
+                && shard_stats.iter().filter(|s| s.requests > 0).count() >= 2.min(shards),
+            "smoke: routing did not spread traffic across shards"
+        );
+        assert!(
+            shard_stats.iter().map(|s| s.cache.hits).sum::<u64>() > 0,
+            "smoke: no exact hits through the router"
         );
         eprintln!("smoke assertions passed");
     }

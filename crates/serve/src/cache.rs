@@ -30,8 +30,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that matched nothing at all.
     pub misses: u64,
-    /// Lookups that missed exactly but matched structurally (warm seeds).
+    /// Lookups that missed exactly, matched structurally, and whose seed was
+    /// actually used to warm-start a solve.  Always equals the number of
+    /// observations in the service's warm latency histogram.
     pub warm_hits: u64,
+    /// Lookups that matched structurally but whose seed was *rejected* by the
+    /// warm solver (structural-fingerprint collision or stale seed), so the
+    /// request fell back to a cold run.
+    pub warm_fallbacks: u64,
     /// Schedules inserted.
     pub insertions: u64,
     /// Entries evicted to respect the byte budget.
@@ -78,6 +84,10 @@ pub struct ScheduleCache {
     by_full: HashMap<u128, usize>,
     /// Most recently *inserted* entry per structure fingerprint.
     by_structure: HashMap<u64, usize>,
+    /// Live entries per structure fingerprint, so evicting an alias owner
+    /// with no surviving sibling (the common case: unique structures) drops
+    /// the alias in `O(1)` instead of scanning the LRU list for a survivor.
+    structure_counts: HashMap<u64, usize>,
     /// LRU list: head = most recent, tail = eviction candidate.
     head: usize,
     tail: usize,
@@ -93,6 +103,7 @@ impl ScheduleCache {
             free: Vec::new(),
             by_full: HashMap::new(),
             by_structure: HashMap::new(),
+            structure_counts: HashMap::new(),
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
@@ -158,20 +169,34 @@ impl ScheduleCache {
     /// Structural lookup, used after an exact miss: returns a schedule whose
     /// assignment is feasible for any request with this structure
     /// fingerprint.  Does **not** bump the LRU (the warm path re-inserts its
-    /// improved schedule anyway).  Updates the miss/warm-hit counters.
+    /// improved schedule anyway).  Counts a miss when nothing matches; when a
+    /// seed is returned the caller reports the outcome with
+    /// [`Self::note_warm_hit`] or [`Self::note_warm_fallback`] once it knows
+    /// whether the seed actually warm-started the solve — this keeps
+    /// `warm_hits` equal to the warm latency histogram's population instead
+    /// of silently diverging when a seed is rejected.
     pub fn lookup_warm(&mut self, structure_fp: u64) -> Option<Arc<BspSchedule>> {
         match self.by_structure.get(&structure_fp).copied() {
-            Some(idx) => {
-                self.stats.warm_hits += 1;
-                Some(Arc::clone(
-                    &self.slots[idx].as_ref().expect("indexed entry").schedule,
-                ))
-            }
+            Some(idx) => Some(Arc::clone(
+                &self.slots[idx].as_ref().expect("indexed entry").schedule,
+            )),
             None => {
                 self.stats.misses += 1;
                 None
             }
         }
+    }
+
+    /// Records that a seed handed out by [`Self::lookup_warm`] warm-started a
+    /// solve.
+    pub fn note_warm_hit(&mut self) {
+        self.stats.warm_hits += 1;
+    }
+
+    /// Records that a seed handed out by [`Self::lookup_warm`] was rejected
+    /// and the request fell back to a cold run.
+    pub fn note_warm_fallback(&mut self) {
+        self.stats.warm_fallbacks += 1;
     }
 
     /// Records a miss without a warm lookup (cache-bypassing requests still
@@ -180,16 +205,51 @@ impl ScheduleCache {
         self.stats.misses += 1;
     }
 
+    /// Decrements the live count of `structure_fp` (an entry stopped
+    /// carrying it) and, if the alias pointed at `from_idx`, repoints it at
+    /// the most-recently-used surviving entry with the structure — or drops
+    /// it when none survives.  An *older* same-structure sibling may still
+    /// be cached, and warm lookups for the structure must keep finding it.
+    /// The count makes the no-survivor case (unique structures, the common
+    /// one under churn) `O(1)`; the LRU walk runs only when a sibling is
+    /// known to exist, and then stops at the first (most recent) match.
+    fn release_structure(&mut self, structure_fp: u64, from_idx: usize) {
+        let survivors = {
+            let count = self
+                .structure_counts
+                .get_mut(&structure_fp)
+                .expect("released structure is counted");
+            *count -= 1;
+            *count
+        };
+        if survivors == 0 {
+            self.structure_counts.remove(&structure_fp);
+        }
+        if self.by_structure.get(&structure_fp) != Some(&from_idx) {
+            return;
+        }
+        if survivors == 0 {
+            self.by_structure.remove(&structure_fp);
+            return;
+        }
+        let mut cur = self.head;
+        while cur != NIL {
+            let e = self.slots[cur].as_ref().expect("linked entry exists");
+            if e.structure_fp == structure_fp {
+                self.by_structure.insert(structure_fp, cur);
+                return;
+            }
+            cur = e.next;
+        }
+        unreachable!("structure_counts says a sibling survives");
+    }
+
     fn evict(&mut self, idx: usize) {
         self.unlink(idx);
         let entry = self.slots[idx].take().expect("evicted entry exists");
         self.free.push(idx);
         self.by_full.remove(&entry.full_fp);
-        // Only drop the structural alias if it points at this entry (a newer
-        // entry with the same structure keeps serving warm lookups).
-        if self.by_structure.get(&entry.structure_fp) == Some(&idx) {
-            self.by_structure.remove(&entry.structure_fp);
-        }
+        self.release_structure(entry.structure_fp, idx);
         self.stats.bytes_used -= entry.bytes;
         self.stats.entries -= 1;
         self.stats.evictions += 1;
@@ -210,18 +270,23 @@ impl ScheduleCache {
         }
         if let Some(&idx) = self.by_full.get(&full_fp) {
             // Replace in place (e.g. the warm path re-solved this exact key).
-            let old_bytes = {
+            let (old_bytes, old_structure) = {
                 let e = self.slots[idx].as_mut().expect("indexed entry");
-                let old = e.bytes;
+                let old = (e.bytes, e.structure_fp);
                 e.schedule = schedule;
                 e.cost = cost;
                 e.bytes = bytes;
+                e.structure_fp = structure_fp;
                 old
             };
             self.stats.bytes_used = self.stats.bytes_used - old_bytes + bytes;
             self.unlink(idx);
             self.link_front(idx);
             self.by_structure.insert(structure_fp, idx);
+            if old_structure != structure_fp {
+                *self.structure_counts.entry(structure_fp).or_insert(0) += 1;
+                self.release_structure(old_structure, idx);
+            }
         } else {
             while self.stats.bytes_used + bytes > self.byte_budget && self.tail != NIL {
                 self.evict(self.tail);
@@ -245,6 +310,7 @@ impl ScheduleCache {
             self.link_front(idx);
             self.by_full.insert(full_fp, idx);
             self.by_structure.insert(structure_fp, idx);
+            *self.structure_counts.entry(structure_fp).or_insert(0) += 1;
             self.stats.bytes_used += bytes;
             self.stats.entries += 1;
             self.stats.insertions += 1;
@@ -254,6 +320,120 @@ impl ScheduleCache {
         while self.stats.bytes_used > self.byte_budget && self.tail != NIL {
             self.evict(self.tail);
         }
+    }
+
+    /// Checks every structural invariant of the cache, returning a
+    /// description of the first violation.  `O(entries)`; meant for tests
+    /// (the property suite calls it after every random operation) and
+    /// debugging, not for the serving path.
+    ///
+    /// Invariants checked:
+    /// * the LRU list is a consistent doubly linked list over exactly the
+    ///   live slots, and `stats.entries` equals its length;
+    /// * `stats.bytes_used` equals the sum of live entry footprints and never
+    ///   exceeds the byte budget;
+    /// * `by_full` is a bijection onto the live slots;
+    /// * `by_structure` points at a live entry with the right structure
+    ///   fingerprint, and has an entry for *every* structure fingerprint that
+    ///   any live entry carries (warm lookups never miss while a sibling is
+    ///   cached);
+    /// * the free list holds exactly the empty slots.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.head;
+        while cur != NIL {
+            let e = self.slots[cur]
+                .as_ref()
+                .ok_or_else(|| format!("LRU list visits empty slot {cur}"))?;
+            if e.prev != prev {
+                return Err(format!("slot {cur}: prev link {} != {}", e.prev, prev));
+            }
+            if !seen.insert(cur) {
+                return Err(format!("LRU list visits slot {cur} twice"));
+            }
+            bytes += e.bytes;
+            prev = cur;
+            cur = e.next;
+        }
+        if self.tail != prev {
+            return Err(format!("tail {} != last visited {}", self.tail, prev));
+        }
+        if seen.len() != self.stats.entries {
+            return Err(format!(
+                "LRU list has {} entries, stats say {}",
+                seen.len(),
+                self.stats.entries
+            ));
+        }
+        if bytes != self.stats.bytes_used {
+            return Err(format!(
+                "live footprints sum to {bytes} bytes, stats say {}",
+                self.stats.bytes_used
+            ));
+        }
+        if self.stats.bytes_used > self.byte_budget {
+            return Err(format!(
+                "bytes_used {} exceeds the {}-byte budget",
+                self.stats.bytes_used, self.byte_budget
+            ));
+        }
+        if self.by_full.len() != seen.len() {
+            return Err(format!(
+                "by_full has {} keys for {} live entries",
+                self.by_full.len(),
+                seen.len()
+            ));
+        }
+        for (&fp, &idx) in &self.by_full {
+            let e = self.slots.get(idx).and_then(|s| s.as_ref());
+            match e {
+                Some(e) if e.full_fp == fp && seen.contains(&idx) => {}
+                _ => return Err(format!("by_full[{fp:#x}] -> {idx} is not a live match")),
+            }
+        }
+        for (&fp, &idx) in &self.by_structure {
+            let e = self.slots.get(idx).and_then(|s| s.as_ref());
+            match e {
+                Some(e) if e.structure_fp == fp && seen.contains(&idx) => {}
+                _ => {
+                    return Err(format!(
+                        "by_structure[{fp:#x}] -> {idx} is not a live match"
+                    ))
+                }
+            }
+        }
+        let mut counted: HashMap<u64, usize> = HashMap::new();
+        for &idx in &seen {
+            let fp = self.slots[idx].as_ref().expect("live slot").structure_fp;
+            *counted.entry(fp).or_insert(0) += 1;
+            if !self.by_structure.contains_key(&fp) {
+                return Err(format!(
+                    "live entry in slot {idx} has structure {fp:#x} but no alias serves it"
+                ));
+            }
+        }
+        if counted != self.structure_counts {
+            return Err(format!(
+                "structure_counts {:?} disagree with the live entries {:?}",
+                self.structure_counts, counted
+            ));
+        }
+        for &idx in &self.free {
+            if self.slots.get(idx).map(Option::is_some) != Some(false) {
+                return Err(format!("free list contains live or invalid slot {idx}"));
+            }
+        }
+        if self.free.len() + seen.len() != self.slots.len() {
+            return Err(format!(
+                "{} free + {} live != {} slots",
+                self.free.len(),
+                seen.len(),
+                self.slots.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -287,10 +467,19 @@ mod tests {
     fn warm_lookup_matches_structure_and_counts_misses() {
         let mut cache = ScheduleCache::new(1 << 20);
         cache.insert(1, 100, schedule_of(8), 0);
+        // A seed is handed out without counting anything yet: the caller
+        // attributes the outcome once the solver accepts or rejects it.
         assert!(cache.lookup_warm(100).is_some());
+        assert_eq!((cache.stats().warm_hits, cache.stats().misses), (0, 0));
+        cache.note_warm_hit();
+        assert!(cache.lookup_warm(100).is_some());
+        cache.note_warm_fallback();
         assert!(cache.lookup_warm(101).is_none());
         let stats = cache.stats();
-        assert_eq!((stats.warm_hits, stats.misses), (1, 1));
+        assert_eq!(
+            (stats.warm_hits, stats.warm_fallbacks, stats.misses),
+            (1, 1, 1)
+        );
     }
 
     #[test]
@@ -334,6 +523,27 @@ mod tests {
         assert!(cache.lookup_exact(1).is_none(), "oldest entry evicted");
         // The newer structural sibling still answers warm lookups.
         assert!(cache.lookup_warm(100).is_some());
+    }
+
+    #[test]
+    fn structural_alias_survives_eviction_of_a_newer_sibling() {
+        let per_entry = schedule_footprint(&schedule_of(64));
+        let mut cache = ScheduleCache::new(2 * per_entry + per_entry / 2);
+        // A then B share a structure, so the alias points at B (newer).
+        cache.insert(1, 100, schedule_of(64), 0);
+        cache.insert(2, 100, schedule_of(64), 0);
+        // Touch A so *B* — the alias owner — becomes the LRU victim.
+        assert!(cache.lookup_exact(1).is_some());
+        cache.insert(3, 200, schedule_of(64), 0);
+        assert!(cache.lookup_exact(2).is_none(), "newer sibling evicted");
+        assert!(cache.lookup_exact(1).is_some(), "older sibling survives");
+        // The surviving older sibling must keep serving warm lookups: the
+        // alias is repointed on eviction, not dropped.
+        assert!(
+            cache.lookup_warm(100).is_some(),
+            "warm lookups for structure 100 miss although entry 1 is cached"
+        );
+        cache.check_invariants().unwrap();
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Client handles for the wire protocol: the blocking serial [`Client`] and
+//! the windowed [`PipelinedClient`].
+//!
+//! The serial client sends one request and blocks for its response — simple,
+//! and exactly what tests want.  The pipelined client exploits the id-tagged
+//! protocol: any number of requests may be in flight on one connection
+//! ([`PipelinedClient::submit`]), and completions are collected in whatever
+//! order the server finishes them ([`PipelinedClient::recv`]).  Both clients
+//! keep the content-addressed fast path: a request whose fingerprint was
+//! already submitted in full replays as `FP <hex>` (no DAG payload on the
+//! wire), falling back transparently when the server evicted the entry.
+
+use crate::protocol::{
+    encode_fingerprint_request, encode_request, read_reply, read_response, Reply, RequestOptions,
+    ScheduleResponse, ServeError,
+};
+use crate::service::ServiceStats;
+use bsp_model::{Dag, Machine};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A blocking client for the wire protocol, usable from tests and the bench
+/// harness in the same process as the server (loopback TCP) or from another
+/// process entirely.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    scratch: String,
+    /// Request fingerprints this client has successfully submitted in full;
+    /// later identical requests replay by fingerprint (`FP <hex>`), skipping
+    /// the DAG payload, and fall back transparently when the server evicted
+    /// the entry.
+    known_fingerprints: HashSet<u128>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with a bound on both the connect and every read — for
+    /// control-plane calls (the router's `STATS` fan-out) that must not
+    /// hang on a wedged peer.
+    pub fn connect_with_timeout(
+        addr: std::net::SocketAddr,
+        timeout: std::time::Duration,
+    ) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            scratch: String::new(),
+            known_fingerprints: HashSet::new(),
+        })
+    }
+
+    /// Sends one scheduling request and blocks for the response.
+    ///
+    /// Content-addressed fast path: when this client has already submitted
+    /// an identical request (same fingerprint) with the cache enabled, only
+    /// the fingerprint goes on the wire; if the server meanwhile evicted the
+    /// schedule, the client transparently resends the full payload.
+    pub fn schedule(
+        &mut self,
+        dag: &Dag,
+        machine: &Machine,
+        options: &RequestOptions,
+    ) -> Result<ScheduleResponse, ServeError> {
+        let fingerprint = bsp_model::request_key(dag, machine).full;
+        if options.use_cache && self.known_fingerprints.contains(&fingerprint) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.scratch.clear();
+            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
+            self.writer.write_all(self.scratch.as_bytes())?;
+            self.writer.flush()?;
+            match self.read_matching_response(id) {
+                Ok(response) => return Ok(response),
+                Err(ServeError::Remote { kind, .. }) if kind == "unknown-fp" => {
+                    self.known_fingerprints.remove(&fingerprint);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.scratch.clear();
+        encode_request(&mut self.scratch, id, dag, machine, options)?;
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.writer.flush()?;
+        let response = self.read_matching_response(id)?;
+        if options.use_cache {
+            self.known_fingerprints.insert(fingerprint);
+        }
+        Ok(response)
+    }
+
+    fn read_matching_response(&mut self, id: u64) -> Result<ScheduleResponse, ServeError> {
+        let response = read_response(&mut self.reader)?;
+        if response.id != id {
+            return Err(ServeError::Malformed {
+                line: format!("OK {}", response.id),
+                reason: format!("response id {} does not match request id {id}", response.id),
+            });
+        }
+        Ok(response)
+    }
+
+    /// Fetches the server's statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServeError> {
+        self.writer.write_all(b"STATS\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        ServiceStats::from_wire(line.trim())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        self.writer.write_all(b"PING\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        if line.trim() == "PONG" {
+            Ok(())
+        } else {
+            Err(ServeError::Malformed {
+                line: line.trim().to_string(),
+                reason: "expected PONG".into(),
+            })
+        }
+    }
+}
+
+/// The terminal outcome of one pipelined request.
+#[derive(Debug)]
+pub enum Completion {
+    /// The request succeeded; `response.id` is the id [`PipelinedClient::submit`]
+    /// returned.
+    Ok(ScheduleResponse),
+    /// The server answered this request with an error.
+    Failed {
+        /// The id [`PipelinedClient::submit`] returned for the failed request.
+        id: u64,
+        /// The server's error.
+        error: ServeError,
+    },
+}
+
+/// Everything the client must remember about an in-flight request: enough to
+/// resend the full payload if an `FP` replay comes back `unknown-fp`.
+struct InFlight {
+    dag: Arc<Dag>,
+    machine: Machine,
+    options: RequestOptions,
+    fingerprint: u128,
+    /// Whether the last wire form of this request was a fingerprint-only
+    /// replay (and may therefore need a full resend).
+    sent_fp_only: bool,
+}
+
+/// A pipelined client: many id-tagged requests in flight on one connection,
+/// completions collected out of order.
+///
+/// ```text
+/// let id_a = client.submit(&dag_a, &machine, &options)?;
+/// let id_b = client.submit(&dag_b, &machine, &options)?;   // before recv!
+/// let first = client.recv()?;   // completes whichever finished first
+/// ```
+///
+/// The `FP <hex>` fast path is kept: replays of known requests send only the
+/// fingerprint, and an `unknown-fp` answer (eviction, shard failover) makes
+/// the client resend the full payload *under the same id*, so callers never
+/// observe the fallback — except through [`PipelinedClient::fp_fallbacks`].
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    scratch: String,
+    pending: HashMap<u64, InFlight>,
+    known_fingerprints: HashSet<u128>,
+    fp_fallbacks: u64,
+}
+
+impl PipelinedClient {
+    /// Connects to a server (or router).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<PipelinedClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PipelinedClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            scratch: String::new(),
+            pending: HashMap::new(),
+            known_fingerprints: HashSet::new(),
+            fp_fallbacks: 0,
+        })
+    }
+
+    /// Submits one request without waiting for any response; returns the id
+    /// its completion will carry.  The caller bounds its own pipeline depth
+    /// by balancing `submit` and [`Self::recv`] calls.
+    ///
+    /// Takes the DAG as an `Arc` because the client must be able to resend
+    /// the payload if a fingerprint replay misses (eviction or failover).
+    pub fn submit(
+        &mut self,
+        dag: &Arc<Dag>,
+        machine: &Machine,
+        options: &RequestOptions,
+    ) -> Result<u64, ServeError> {
+        let fingerprint = bsp_model::request_key(dag, machine).full;
+        let id = self.next_id;
+        self.next_id += 1;
+        let fp_only = options.use_cache && self.known_fingerprints.contains(&fingerprint);
+        self.scratch.clear();
+        if fp_only {
+            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
+        } else {
+            encode_request(&mut self.scratch, id, dag, machine, options)?;
+        }
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.writer.flush()?;
+        self.pending.insert(
+            id,
+            InFlight {
+                dag: Arc::clone(dag),
+                machine: machine.clone(),
+                options: options.clone(),
+                fingerprint,
+                sent_fp_only: fp_only,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Number of requests submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How many fingerprint replays came back `unknown-fp` and were resent
+    /// in full.  Zero means every replay landed on a server that still held
+    /// the entry — on a router, that every replay reached its owning shard.
+    pub fn fp_fallbacks(&self) -> u64 {
+        self.fp_fallbacks
+    }
+
+    /// Blocks for the next completion, in whatever order the server finishes
+    /// requests.  The outer `Err` is a transport/protocol failure that kills
+    /// the connection; per-request errors come back as
+    /// [`Completion::Failed`].
+    pub fn recv(&mut self) -> Result<Completion, ServeError> {
+        loop {
+            match read_reply(&mut self.reader)? {
+                Reply::Ok(response) => {
+                    let Some(entry) = self.pending.remove(&response.id) else {
+                        return Err(ServeError::Malformed {
+                            line: format!("OK {}", response.id),
+                            reason: "response id matches no in-flight request".into(),
+                        });
+                    };
+                    if entry.options.use_cache {
+                        self.known_fingerprints.insert(entry.fingerprint);
+                    }
+                    return Ok(Completion::Ok(response));
+                }
+                Reply::Err { id, error } => {
+                    let Some(entry) = self.pending.remove(&id) else {
+                        // id 0 (or unknown): a connection-level error.
+                        return Err(error);
+                    };
+                    if entry.sent_fp_only
+                        && matches!(&error, ServeError::Remote { kind, .. } if kind == "unknown-fp")
+                    {
+                        // The server (or the failed-over shard) no longer
+                        // holds the fingerprint: resend the full payload
+                        // under the same id and keep waiting.
+                        self.known_fingerprints.remove(&entry.fingerprint);
+                        self.fp_fallbacks += 1;
+                        self.scratch.clear();
+                        encode_request(
+                            &mut self.scratch,
+                            id,
+                            &entry.dag,
+                            &entry.machine,
+                            &entry.options,
+                        )?;
+                        self.writer.write_all(self.scratch.as_bytes())?;
+                        self.writer.flush()?;
+                        self.pending.insert(
+                            id,
+                            InFlight {
+                                sent_fp_only: false,
+                                ..entry
+                            },
+                        );
+                        continue;
+                    }
+                    return Ok(Completion::Failed { id, error });
+                }
+            }
+        }
+    }
+}

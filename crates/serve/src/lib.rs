@@ -22,10 +22,20 @@
 //!   across requests).  Every solve runs under a [`bsp_sched::CancelToken`]
 //!   combining the request **deadline** with the service shutdown token, so
 //!   a request always returns its best-so-far *valid* schedule in time.
-//! * [`server`] — a bounded admission queue feeding a batched worker pool,
-//!   per-outcome latency histograms ([`metrics`]), graceful shutdown, and
-//!   the blocking [`Client`] used by tests and the `exp_serve` bench
-//!   harness.
+//! * [`server`] — the **pipelined** TCP layer: per-connection reader/writer
+//!   threads around a bounded request-level job queue drained by a worker
+//!   pool, so any number of id-tagged requests may be in flight per
+//!   connection and completions return **out of order**; per-outcome
+//!   latency histograms ([`metrics`]) and graceful shutdown.
+//! * [`client`] — the blocking serial [`Client`] and the windowed
+//!   [`PipelinedClient`] (`submit`/`recv`), both with the transparent
+//!   `FP <hex>` content-addressed replay fast path.
+//! * [`router`] — `bsp_router`: a fingerprint-range router fronting N
+//!   `bsp_serve` shard processes.  Requests and `FP` replays route by
+//!   [`bsp_model::RequestKey::full`] range onto multiplexed per-shard
+//!   backend connections; a dead shard's pending requests are re-run on a
+//!   live one (content addressing makes the re-run safe), and `STATS`
+//!   aggregates across shards.
 //!
 //! ## Quickstart
 //!
@@ -51,15 +61,19 @@
 //! ```
 
 pub mod cache;
+pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use cache::{schedule_footprint, CacheStats, ScheduleCache};
+pub use client::{Client, Completion, PipelinedClient};
 pub use metrics::LatencyHistogram;
 pub use protocol::{
-    Mode, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
+    Mode, Reply, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
 };
-pub use server::{Client, Server, ServerConfig, ServerHandle};
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{ScheduleService, ServeReply, ServiceConfig, ServiceStats};

@@ -54,10 +54,14 @@ impl LatencyHistogram {
         }
     }
 
-    /// Inclusive upper edge (µs) of bucket `idx` — what quantiles report.
+    /// What quantiles report for bucket `idx`: the exact value for the 1 µs
+    /// linear buckets (bucket `i` holds only observations of exactly `i` µs,
+    /// so reporting `i + 1` would bias every sub-32 µs quantile upward), and
+    /// the exclusive upper edge for the quarter-octave buckets (conservative
+    /// within the ~25 % resolution).
     fn upper_edge(idx: usize) -> u64 {
         if idx < LINEAR as usize {
-            idx as u64 + 1
+            idx as u64
         } else {
             let rel = (idx - LINEAR as usize) as u64;
             let octave = 5 + rel / 4;
@@ -103,8 +107,9 @@ impl LatencyHistogram {
         self.total_micros.load(Ordering::Relaxed) as f64 / count as f64
     }
 
-    /// Upper edge (µs) of the bucket containing quantile `q ∈ [0, 1]`;
-    /// 0 when the histogram is empty.
+    /// Reported value (µs) of the bucket containing quantile `q ∈ [0, 1]`:
+    /// exact below 32 µs, conservative upper edge above.  0 when the
+    /// histogram is empty.
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -140,14 +145,34 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket_of(32), 32);
         assert_eq!(LatencyHistogram::bucket_of(39), 32);
         assert_eq!(LatencyHistogram::bucket_of(40), 33);
-        // Every bucket's upper edge bounds its own values.
+        // Every bucket's reported value bounds its own values from above
+        // (exactly for linear buckets, conservatively for octave buckets).
         for v in [0u64, 5, 31, 32, 100, 1024, 5000, 1 << 30, u64::MAX] {
             let idx = LatencyHistogram::bucket_of(v);
-            assert!(LatencyHistogram::upper_edge(idx) > v || v == u64::MAX);
+            assert!(LatencyHistogram::upper_edge(idx) >= v || v == u64::MAX);
             if idx > 0 {
                 assert!(LatencyHistogram::upper_edge(idx - 1) <= v);
             }
         }
+        // Linear buckets are exact: the reported value IS the observation.
+        for v in 0..LINEAR {
+            assert_eq!(
+                LatencyHistogram::upper_edge(LatencyHistogram::bucket_of(v)),
+                v
+            );
+        }
+    }
+
+    #[test]
+    fn exact_buckets_report_exact_values() {
+        // Regression: a population of all-10 µs observations must report
+        // p50 = p99 = 10 µs, not 11 (the old `idx + 1` upper edge).
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(10));
+        }
+        assert_eq!(h.p50_p99_micros(), (10, 10));
+        assert_eq!(h.quantile_micros(1.0), 10);
     }
 
     #[test]
@@ -177,7 +202,7 @@ mod tests {
         a.merge_from(&b);
         assert_eq!(a.count(), 5);
         assert_eq!(a.quantile_micros(1.0), 5120);
-        assert_eq!(a.quantile_micros(0.2), 10 + 1);
+        assert_eq!(a.quantile_micros(0.2), 10);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use bsp_model::{BspSchedule, CommStep, Dag, Machine, NumaTopology};
 use dag_gen::hyperdag::{read_hyperdag, write_hyperdag, HyperDagError};
 use std::fmt;
-use std::io::BufRead;
+use std::io::{BufRead, Read as _};
 use std::time::Duration;
 
 /// How the service solved (or retrieved) a schedule.
@@ -287,6 +287,30 @@ fn parse_u64(line: &str, tok: Option<&str>, what: &str) -> Result<u64, ServeErro
         .map_err(|_| malformed(line, format!("{what} is not a number")))
 }
 
+/// Longest protocol line the *request* parser accepts.  Every legitimate
+/// request line (verbs, machine parameters, hyperDAG records) is tiny; the
+/// cap keeps a newline-free hostile stream from growing a `String` without
+/// bound at the trust boundary.  Response parsing is not capped — `PROC`
+/// lines of large schedules are legitimately megabytes, and the response
+/// side reads from a trusted server.
+const MAX_REQUEST_LINE_BYTES: u64 = 1 << 20;
+
+/// `read_line` with the request-boundary length cap.
+fn read_request_line<R: BufRead>(reader: &mut R, line: &mut String) -> Result<usize, ServeError> {
+    let before = line.len();
+    let n = reader
+        .by_ref()
+        .take(MAX_REQUEST_LINE_BYTES)
+        .read_line(line)?;
+    if n as u64 == MAX_REQUEST_LINE_BYTES && !line[before..].ends_with('\n') {
+        return Err(malformed(
+            "",
+            format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(n)
+}
+
 /// Validates machine parameters *before* constructing a [`Machine`] (whose
 /// constructors assert).  This is the typed-error face of those assertions.
 pub fn build_machine(
@@ -411,7 +435,7 @@ pub fn encode_request(
 pub fn read_incoming<R: BufRead>(reader: &mut R) -> Result<Option<Incoming>, ServeError> {
     let first = loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        if read_request_line(reader, &mut line)? == 0 {
             return Ok(None);
         }
         let trimmed = line.trim();
@@ -440,7 +464,7 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
     let mut fingerprint: Option<u128> = None;
     loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        if read_request_line(reader, &mut line)? == 0 {
             return Err(ServeError::UnexpectedEof);
         }
         let line = line.trim().to_string();
@@ -487,7 +511,7 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
                 let mut text = String::new();
                 for _ in 0..n_lines {
                     let before = text.len();
-                    if reader.read_line(&mut text)? == 0 {
+                    if read_request_line(reader, &mut text)? == 0 {
                         return Err(ServeError::UnexpectedEof);
                     }
                     if text[before..].trim() == "END" {
@@ -601,8 +625,131 @@ fn parse_usize_list(line: &str, expect: &str) -> Result<Vec<usize>, ServeError> 
     .collect()
 }
 
-/// Reads a response (either `OK ...` + schedule or `ERR ...`) from `reader`.
+/// A reply frame captured verbatim for proxying: the router reads a frame
+/// off a backend connection, rewrites the correlation id, and forwards the
+/// rest of the text untouched — no schedule re-parse, no re-encode.
+#[derive(Debug, Clone)]
+pub struct RawReply {
+    /// The correlation id the frame carried on the wire.
+    pub id: u64,
+    /// Whether the frame was an `ERR` line (its body is then empty).
+    pub is_err: bool,
+    /// The header line's tokens after the id, verbatim (no leading space).
+    pub header_rest: String,
+    /// Every body line (`PROC` through `END`), verbatim, newline-terminated;
+    /// empty for `ERR` frames.
+    pub body: String,
+}
+
+impl RawReply {
+    /// Re-encodes the frame with a different correlation id.
+    pub fn encode_with_id(&self, id: u64) -> String {
+        let verb = if self.is_err { "ERR" } else { "OK" };
+        if self.header_rest.is_empty() {
+            format!("{verb} {id}\n{}", self.body)
+        } else {
+            format!("{verb} {id} {}\n{}", self.header_rest, self.body)
+        }
+    }
+}
+
+/// Reads one reply frame without parsing the schedule (see [`RawReply`]).
+/// Returns `Ok(None)` on a clean end of stream between frames.
+pub fn read_raw_reply<R: BufRead>(reader: &mut R) -> Result<Option<RawReply>, ServeError> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end().to_string();
+    let mut it = header.splitn(3, ' ');
+    let verb = it.next().unwrap_or("");
+    let is_err = match verb {
+        "OK" => false,
+        "ERR" => true,
+        _ => return Err(malformed(&header, "expected OK or ERR")),
+    };
+    let id = parse_u64(&header, it.next(), "reply id")?;
+    let header_rest = it.next().unwrap_or("").to_string();
+    let mut body = String::new();
+    if !is_err {
+        for expect in ["PROC", "STEP"] {
+            let before = body.len();
+            if reader.read_line(&mut body)? == 0 {
+                return Err(ServeError::UnexpectedEof);
+            }
+            if !body[before..].starts_with(expect) {
+                return Err(malformed(
+                    body[before..].trim(),
+                    format!("expected {expect} line"),
+                ));
+            }
+        }
+        let before = body.len();
+        if reader.read_line(&mut body)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        let comm_header = body[before..].trim().to_string();
+        let mut cit = comm_header.split_whitespace();
+        if cit.next() != Some("COMM") {
+            return Err(malformed(&comm_header, "expected COMM line"));
+        }
+        let k = parse_u64(&comm_header, cit.next(), "COMM count")? as usize;
+        if k > 64_000_000 {
+            return Err(malformed(&comm_header, "COMM count exceeds sanity limit"));
+        }
+        for _ in 0..k {
+            if reader.read_line(&mut body)? == 0 {
+                return Err(ServeError::UnexpectedEof);
+            }
+        }
+        let before = body.len();
+        if reader.read_line(&mut body)? == 0 {
+            return Err(ServeError::UnexpectedEof);
+        }
+        if body[before..].trim() != "END" {
+            return Err(malformed(
+                body[before..].trim(),
+                "expected END after response body",
+            ));
+        }
+    }
+    Ok(Some(RawReply {
+        id,
+        is_err,
+        header_rest,
+        body,
+    }))
+}
+
+/// One complete reply as seen by a pipelined reader: a schedule response, or
+/// a per-request `ERR` that still carries its correlation id (a serial
+/// client can discard the id; a pipelined client needs it to know *which*
+/// in-flight request failed).
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// An `OK` response with its schedule.
+    Ok(ScheduleResponse),
+    /// An `ERR` reply; `id` 0 means a connection-level error (e.g. framing).
+    Err {
+        /// Correlation id of the failed request.
+        id: u64,
+        /// The error, as a [`ServeError::Remote`].
+        error: ServeError,
+    },
+}
+
+/// Reads a response (either `OK ...` + schedule or `ERR ...`) from `reader`,
+/// surfacing errors without their correlation id (serial-client behaviour).
 pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ScheduleResponse, ServeError> {
+    match read_reply(reader)? {
+        Reply::Ok(response) => Ok(response),
+        Reply::Err { error, .. } => Err(error),
+    }
+}
+
+/// Reads the next reply (in wire order, which under pipelining is completion
+/// order, not submission order) from `reader`.
+pub fn read_reply<R: BufRead>(reader: &mut R) -> Result<Reply, ServeError> {
     let mut header = String::new();
     if reader.read_line(&mut header)? == 0 {
         return Err(ServeError::UnexpectedEof);
@@ -611,10 +758,13 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ScheduleResponse, Ser
     let mut it = header.split_whitespace();
     match it.next() {
         Some("ERR") => {
-            let _id = it.next();
+            let id = it.next().and_then(|tok| tok.parse().ok()).unwrap_or(0);
             let kind = it.next().unwrap_or("unknown").to_string();
             let message = it.collect::<Vec<_>>().join(" ");
-            Err(ServeError::Remote { kind, message })
+            Ok(Reply::Err {
+                id,
+                error: ServeError::Remote { kind, message },
+            })
         }
         Some("OK") => {
             let id = parse_u64(&header, it.next(), "response id")?;
@@ -683,7 +833,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ScheduleResponse, Ser
             if line.trim() != "END" {
                 return Err(malformed(line.trim(), "expected END after response body"));
             }
-            Ok(ScheduleResponse {
+            Ok(Reply::Ok(ScheduleResponse {
                 id,
                 cost,
                 supersteps,
@@ -693,7 +843,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ScheduleResponse, Ser
                     assignment: bsp_model::Assignment { proc, superstep },
                     comm: bsp_model::CommSchedule::from_steps(steps),
                 },
-            })
+            }))
         }
         _ => Err(malformed(&header, "expected OK or ERR")),
     }
@@ -864,6 +1014,23 @@ mod tests {
         // 500 µs is not representable on the millisecond wire; it must
         // become the tightest representable bound (1 ms), never "unbounded".
         assert_eq!(parsed.options.deadline, Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn oversized_request_lines_are_rejected_not_buffered() {
+        // A newline-free hostile stream must hit the line cap as a typed
+        // error instead of growing the line buffer without bound.
+        let mut wire = String::from("REQ 1\nMACHINE uniform 2 1 1 ");
+        wire.extend(std::iter::repeat_n('x', 2 << 20));
+        match read_incoming(&mut BufReader::new(wire.as_bytes())) {
+            Err(ServeError::Malformed { reason, .. }) => {
+                assert!(reason.contains("exceeds"), "got {reason:?}")
+            }
+            other => panic!("expected a line-cap error, got {other:?}"),
+        }
+        // Same for the very first line of a message.
+        let wire: String = std::iter::repeat_n('y', 2 << 20).collect();
+        assert!(read_incoming(&mut BufReader::new(wire.as_bytes())).is_err());
     }
 
     #[test]

@@ -1,0 +1,771 @@
+//! `bsp_router` — a fingerprint-range router that turns N `bsp_serve`
+//! processes into one deployment.
+//!
+//! The router speaks the same wire protocol as a single server, so clients
+//! (serial or pipelined) do not know it is there.  Every scheduling request
+//! is routed by its **full request key** ([`bsp_model::RequestKey::full`]):
+//! the 128-bit key space is split into `N` equal contiguous ranges, shard
+//! `i` owning range `i`.  Content addressing is what makes this work —
+//! a full payload and the `FP <hex>` replay of the same request hash to the
+//! same key, so replays always land on the shard whose cache holds the
+//! schedule, with no routing table and no coordination.
+//!
+//! ## Threading model
+//!
+//! Per *client* connection: a reader thread (parses requests, fingerprints
+//! them, picks the owning shard) and a writer thread (serializes completed
+//! responses back, in completion order).  Per *shard*: one multiplexed
+//! backend connection shared by all clients — the router re-tags each
+//! request with a router-global backend id, remembers `backend id →
+//! (connection, client id)` in a pending table, and a per-shard demux
+//! thread reads response frames ([`crate::protocol::read_raw_reply`] — no
+//! schedule re-parse), restores the client's id, and hands the text to the
+//! owning connection's writer.  Requests from many pipelined clients thus
+//! interleave freely on every backend connection.
+//!
+//! ## Failover
+//!
+//! When a shard connection dies, every request pending on it is **re-run on
+//! the next live shard** (the router keeps each full payload until its
+//! response arrives, so re-running is a resend).  Replayed `FP` requests
+//! fail over too; the stand-in shard typically answers `unknown-fp`, which
+//! the client's fingerprint fallback turns into a full resend — degraded to
+//! one extra round trip, never an error.  This is safe *because* requests
+//! are content addressed: re-running a request on any shard yields a valid
+//! schedule for the same key.  Dead backends are **revived lazily**: the
+//! next request owned by a dead shard attempts a bounded reconnect before
+//! failing over, so a backend connection closed by the shard server's own
+//! idle timeout (or a restarted shard process) rejoins on first use instead
+//! of staying dead until the router is rebuilt.
+//!
+//! `STATS` fans out to every live shard over a short-lived control
+//! connection and aggregates: counters are summed, latency quantiles are
+//! reported as the worst (maximum) across shards — conservative, and enough
+//! for the dashboards the wire line feeds.  A *live* shard that fails to
+//! answer turns the whole aggregate into an error rather than a silently
+//! partial sum.  `PING` is answered locally.
+
+use crate::client::Client;
+use crate::protocol::{
+    encode_error, encode_fingerprint_request, encode_request, read_incoming, read_raw_reply,
+    Incoming, ServeError,
+};
+use crate::server::{register_conn_thread, writer_loop};
+use crate::service::ServiceStats;
+use bsp_model::request_key;
+use std::collections::HashMap;
+use std::io::{self, BufRead as _, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the router's client-facing side.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Maximum concurrently served client connections.
+    pub max_connections: usize,
+    /// A client connection idle for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_connections: 128,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// The shard owning `full_fp` under an `N`-way equal split of the key space
+/// (by the key's top 64 bits; the fingerprint lanes are uniform, so shards
+/// receive balanced traffic).
+pub fn owner_shard(full_fp: u128, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let hi = (full_fp >> 64) as u64;
+    ((u128::from(hi) * shards as u128) >> 64) as usize
+}
+
+/// What the router must remember to finish (or re-run) one request.
+struct PendingRoute {
+    /// Writer channel of the client connection that asked.
+    client_tx: Sender<String>,
+    /// The client's own correlation id, restored on the way back.
+    client_id: u64,
+    /// The request, ready to resend on failover.
+    payload: Payload,
+    /// The shard currently expected to answer.
+    shard: usize,
+    /// The owning connection's in-flight counter (see the reader's idle
+    /// gating); decremented exactly once, when the entry leaves the table
+    /// with an answer.
+    in_flight: Arc<AtomicU64>,
+}
+
+impl PendingRoute {
+    /// Hands the final reply text to the connection writer and releases the
+    /// in-flight slot.  Consumes the entry: every terminal path goes
+    /// through here exactly once.
+    fn finish(self, text: String) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let _ = self.client_tx.send(text);
+    }
+}
+
+enum Payload {
+    /// Encoded full request (already tagged with the backend id).
+    Full(Arc<String>),
+    /// A fingerprint-only replay.
+    Fp(u128),
+}
+
+impl Payload {
+    fn encode(&self, backend_id: u64) -> Arc<String> {
+        match self {
+            Payload::Full(bytes) => Arc::clone(bytes),
+            Payload::Fp(fp) => {
+                let mut out = String::new();
+                encode_fingerprint_request(&mut out, backend_id, *fp);
+                Arc::new(out)
+            }
+        }
+    }
+}
+
+/// One backend shard: its address and the write half of the multiplexed
+/// connection (`None` once the shard is dead).
+struct Backend {
+    addr: SocketAddr,
+    writer: Mutex<Option<BufWriter<TcpStream>>>,
+    /// A clone of the stream for shutdown-time unblocking of the demux.
+    stream: Mutex<Option<TcpStream>>,
+    /// Bumped on every (re)connect.  A demux thread only tears down the
+    /// writer of its *own* connection generation — without this, a stale
+    /// demux exiting late would clear a freshly revived writer.
+    generation: AtomicU64,
+}
+
+impl Backend {
+    /// Writes one frame; marks the shard dead (and reports `false`) on
+    /// failure.
+    fn try_send(&self, bytes: &str) -> bool {
+        let mut guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(writer) = guard.as_mut() {
+            if writer.write_all(bytes.as_bytes()).is_ok() && writer.flush().is_ok() {
+                return true;
+            }
+            *guard = None;
+        }
+        false
+    }
+
+    fn is_live(&self) -> bool {
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    backends: Vec<Backend>,
+    pending: Mutex<HashMap<u64, PendingRoute>>,
+    next_backend_id: AtomicU64,
+    next_conn_id: AtomicU64,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A bound-but-not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Binds the client-facing listener and connects to every shard.
+    /// Unreachable shards start dead (their key range fails over from the
+    /// first request on); at least one shard must be reachable.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        shard_addrs: &[SocketAddr],
+        config: RouterConfig,
+    ) -> io::Result<Router> {
+        if shard_addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let mut backends = Vec::with_capacity(shard_addrs.len());
+        let mut live = 0usize;
+        for &addr in shard_addrs {
+            let conn = TcpStream::connect(addr).ok().and_then(|s| {
+                s.set_nodelay(true).ok()?;
+                let clone = s.try_clone().ok()?;
+                Some((BufWriter::new(s), clone))
+            });
+            let (writer, stream) = match conn {
+                Some((w, s)) => {
+                    live += 1;
+                    (Some(w), Some(s))
+                }
+                None => (None, None),
+            };
+            let generation = u64::from(writer.is_some());
+            backends.push(Backend {
+                addr,
+                writer: Mutex::new(writer),
+                stream: Mutex::new(stream),
+                generation: AtomicU64::new(generation),
+            });
+        }
+        if live == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "no shard is reachable",
+            ));
+        }
+        Ok(Router {
+            listener,
+            shared: Arc::new(RouterShared {
+                config,
+                backends,
+                pending: Mutex::new(HashMap::new()),
+                next_backend_id: AtomicU64::new(1),
+                next_conn_id: AtomicU64::new(0),
+                shutting_down: AtomicBool::new(false),
+                conns: Mutex::new(HashMap::new()),
+                conn_threads: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the demux and acceptor threads; returns the controlling handle.
+    pub fn spawn(self) -> io::Result<RouterHandle> {
+        let addr = self.listener.local_addr()?;
+        let shared = self.shared;
+        let mut demuxers = Vec::new();
+        for shard in 0..shared.backends.len() {
+            let stream = {
+                let guard = shared.backends[shard]
+                    .stream
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.as_ref().and_then(|s| s.try_clone().ok())
+            };
+            let Some(stream) = stream else { continue };
+            let generation = shared.backends[shard].generation.load(Ordering::SeqCst);
+            let shared = Arc::clone(&shared);
+            demuxers.push(
+                std::thread::Builder::new()
+                    .name(format!("bsp-router-demux-{shard}"))
+                    .spawn(move || demux_loop(&shared, shard, generation, stream))?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("bsp-router-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))?
+        };
+        Ok(RouterHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            demuxers,
+        })
+    }
+}
+
+/// Handle to a running router: address, shard liveness, shutdown.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    demuxers: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of shards the router fronts (live or dead).
+    pub fn num_shards(&self) -> usize {
+        self.shared.backends.len()
+    }
+
+    /// Which shards still have a live backend connection.
+    pub fn live_shards(&self) -> Vec<usize> {
+        (0..self.shared.backends.len())
+            .filter(|&i| self.shared.backends[i].is_live())
+            .collect()
+    }
+
+    /// Graceful shutdown: stop admission, drop every connection, join every
+    /// thread.  The shard processes are left running — they belong to the
+    /// deployment, not to the router.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for backend in &self.shared.backends {
+            let guard = backend.stream.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(stream) = guard.as_ref() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for demux in self.demuxers.drain(..) {
+            let _ = demux.join();
+        }
+        // Dropping the pending table releases the last writer-channel
+        // senders, letting every connection writer thread exit.
+        self.shared
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        let handles: Vec<_> = {
+            let mut threads = self
+                .shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            threads.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let at_capacity = {
+            let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.len() >= shared.config.max_connections.max(1)
+        };
+        if at_capacity {
+            let mut reply = String::new();
+            encode_error(&mut reply, 0, &ServeError::Busy);
+            let mut stream = stream;
+            let _ = stream.write_all(reply.as_bytes());
+            continue;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(conn_id, registered);
+        let thread_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("bsp-router-conn-{conn_id}"))
+            .spawn(move || {
+                let _ = route_connection(&thread_shared, stream);
+                thread_shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&conn_id);
+            });
+        match spawned {
+            Ok(handle) => register_conn_thread(&shared.conn_threads, handle),
+            Err(_) => {
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// How long a backend revival may spend connecting (a dead process on the
+/// same box refuses instantly; a dead box must not stall dispatch).
+const RECONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Lazily revives a dead backend connection.  Backend connections die for
+/// mundane reasons — the shard server's own idle timeout closes a quiet
+/// multiplexed connection, shard processes get restarted — and the router
+/// must not treat either as permanent: the next request owned by the shard
+/// reconnects instead of failing over forever.
+fn ensure_live(shared: &Arc<RouterShared>, shard: usize) {
+    let backend = &shared.backends[shard];
+    if backend.is_live() || shared.shutting_down.load(Ordering::SeqCst) {
+        return;
+    }
+    let Ok(stream) = TcpStream::connect_timeout(&backend.addr, RECONNECT_TIMEOUT) else {
+        return;
+    };
+    if stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let (Ok(demux_stream), Ok(registered)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    let generation = {
+        let mut writer = backend.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if writer.is_some() {
+            return; // raced another revival; drop our socket
+        }
+        *writer = Some(BufWriter::new(stream));
+        *backend.stream.lock().unwrap_or_else(|e| e.into_inner()) = Some(registered);
+        backend.generation.fetch_add(1, Ordering::SeqCst) + 1
+    };
+    let thread_shared = Arc::clone(shared);
+    if let Ok(handle) = std::thread::Builder::new()
+        .name(format!("bsp-router-demux-{shard}-gen{generation}"))
+        .spawn(move || demux_loop(&thread_shared, shard, generation, demux_stream))
+    {
+        register_conn_thread(&shared.conn_threads, handle);
+    }
+    // Shutdown may have started while we were reviving; make sure the fresh
+    // connection is torn down too so the new demux thread joins promptly
+    // (shutdown's own sweep may have run before we registered the stream).
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let guard = backend.stream.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = guard.as_ref() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Sends the pending request `backend_id` to its preferred shard, walking
+/// the ring on (and lazily reviving) dead shards; errors out to the client
+/// when nothing is live.
+fn dispatch(shared: &Arc<RouterShared>, backend_id: u64, preferred: usize) {
+    let n = shared.backends.len();
+    let bytes = {
+        let pending = shared.pending.lock().unwrap_or_else(|e| e.into_inner());
+        match pending.get(&backend_id) {
+            Some(entry) => entry.payload.encode(backend_id),
+            None => return, // already answered (or cancelled)
+        }
+    };
+    for attempt in 0..n {
+        let shard = (preferred + attempt) % n;
+        ensure_live(shared, shard);
+        // Record the target *before* sending: if the shard dies in the send
+        // window, its `fail_over` scan must already see this entry, or the
+        // request would be stranded in the pending table forever.  The
+        // worst case of the pre-recording is a duplicate re-run, whose
+        // second response is dropped as an unknown id.
+        {
+            let mut pending = shared.pending.lock().unwrap_or_else(|e| e.into_inner());
+            match pending.get_mut(&backend_id) {
+                Some(entry) => entry.shard = shard,
+                None => return, // answered while we were walking the ring
+            }
+        }
+        if shared.backends[shard].try_send(&bytes) {
+            return;
+        }
+    }
+    // Every shard is dead: fail the request.
+    let entry = shared
+        .pending
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&backend_id);
+    if let Some(entry) = entry {
+        let mut out = String::new();
+        encode_error(
+            &mut out,
+            entry.client_id,
+            &ServeError::Io("no live shard can serve the request".into()),
+        );
+        entry.finish(out);
+    }
+}
+
+/// Re-runs everything pending on a dead shard on the remaining live ones.
+/// `generation` scopes the teardown: only the writer of the connection the
+/// exiting demux belonged to is cleared, never a newer revival's.
+fn fail_over(shared: &Arc<RouterShared>, dead_shard: usize, generation: u64) {
+    {
+        let backend = &shared.backends[dead_shard];
+        let mut writer = backend.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if backend.generation.load(Ordering::SeqCst) == generation {
+            *writer = None;
+        }
+    }
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return;
+    }
+    let stranded: Vec<u64> = {
+        let pending = shared.pending.lock().unwrap_or_else(|e| e.into_inner());
+        pending
+            .iter()
+            .filter(|(_, entry)| entry.shard == dead_shard)
+            .map(|(&id, _)| id)
+            .collect()
+    };
+    let n = shared.backends.len();
+    for backend_id in stranded {
+        dispatch(shared, backend_id, (dead_shard + 1) % n);
+    }
+}
+
+/// The per-shard demux: reads response frames off the multiplexed backend
+/// connection, restores the client correlation id, and hands the text to
+/// the owning connection's writer.  Exit means the shard died.
+fn demux_loop(shared: &Arc<RouterShared>, shard: usize, generation: u64, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(raw)) = read_raw_reply(&mut reader) {
+        let entry = shared
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&raw.id);
+        // An unknown id can only be a duplicate from a raced failover
+        // re-run; the first answer already won.
+        if let Some(entry) = entry {
+            let text = raw.encode_with_id(entry.client_id);
+            entry.finish(text);
+        }
+    }
+    fail_over(shared, shard, generation);
+}
+
+/// Aggregates `STATS` across every live shard (fresh control connections;
+/// the multiplexed backend connections carry only id-tagged frames).
+/// Counters are summed; latency quantiles report the per-shard maximum.
+fn aggregate_stats(shared: &RouterShared) -> Result<ServiceStats, ServeError> {
+    let mut agg = ServiceStats::default();
+    let mut any = false;
+    for (i, backend) in shared.backends.iter().enumerate() {
+        if !backend.is_live() {
+            continue;
+        }
+        // A live shard that fails to answer makes the aggregate an error,
+        // never a silently partial sum a dashboard would misread as a
+        // traffic drop.  Connect and reads are bounded so a wedged shard
+        // cannot hang the client connection's reader inside this fan-out.
+        let stats = Client::connect_with_timeout(backend.addr, shared.config.idle_timeout)
+            .ok()
+            .and_then(|mut client| client.stats().ok());
+        let Some(stats) = stats else {
+            return Err(ServeError::Io(format!(
+                "live shard {i} did not answer STATS; refusing a partial aggregate"
+            )));
+        };
+        any = true;
+        agg.requests += stats.requests;
+        agg.cache.hits += stats.cache.hits;
+        agg.cache.misses += stats.cache.misses;
+        agg.cache.warm_hits += stats.cache.warm_hits;
+        agg.cache.warm_fallbacks += stats.cache.warm_fallbacks;
+        agg.cache.insertions += stats.cache.insertions;
+        agg.cache.evictions += stats.cache.evictions;
+        agg.cache.bytes_used += stats.cache.bytes_used;
+        agg.cache.entries += stats.cache.entries;
+        agg.cold_us = (
+            agg.cold_us.0.max(stats.cold_us.0),
+            agg.cold_us.1.max(stats.cold_us.1),
+        );
+        agg.exact_us = (
+            agg.exact_us.0.max(stats.exact_us.0),
+            agg.exact_us.1.max(stats.exact_us.1),
+        );
+        agg.warm_us = (
+            agg.warm_us.0.max(stats.warm_us.0),
+            agg.warm_us.1.max(stats.warm_us.1),
+        );
+    }
+    if any {
+        Ok(agg)
+    } else {
+        Err(ServeError::Io("no live shard answered STATS".into()))
+    }
+}
+
+/// The per-client-connection reader: fingerprints requests, registers them
+/// in the pending table, and dispatches them to the owning shard.
+fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
+    let writer_stream = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("bsp-router-conn-writer".into())
+        .spawn(move || writer_loop(writer_stream, &rx))?;
+    // The writer may outlive the reader while failover re-runs are in
+    // flight, so it is joined by shutdown, not by the reader.
+    register_conn_thread(&shared.conn_threads, writer);
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let n = shared.backends.len();
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Same idle-vs-working distinction as the server's reader: a read
+        // timeout only closes the connection when nothing is pending on the
+        // shards for it.
+        match reader.fill_buf() {
+            Ok([]) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if in_flight.load(Ordering::SeqCst) > 0 {
+                    continue;
+                }
+                let mut out = String::new();
+                encode_error(
+                    &mut out,
+                    0,
+                    &ServeError::Io("connection idle timeout".into()),
+                );
+                let _ = tx.send(out);
+                break;
+            }
+            Err(_) => break,
+        }
+        match read_incoming(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(Incoming::Ping)) => {
+                if tx.send("PONG\n".to_string()).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Stats)) => {
+                let out = match aggregate_stats(shared) {
+                    Ok(stats) => {
+                        let mut line = stats.to_wire();
+                        line.push('\n');
+                        line
+                    }
+                    Err(err) => {
+                        let mut line = String::new();
+                        encode_error(&mut line, 0, &err);
+                        line
+                    }
+                };
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Request(request))) => {
+                let key = request_key(&request.dag, &request.machine);
+                let backend_id = shared.next_backend_id.fetch_add(1, Ordering::Relaxed);
+                let mut payload = String::new();
+                if let Err(err) = encode_request(
+                    &mut payload,
+                    backend_id,
+                    &request.dag,
+                    &request.machine,
+                    &request.options,
+                ) {
+                    let mut out = String::new();
+                    encode_error(&mut out, request.id, &err);
+                    let _ = tx.send(out);
+                    continue;
+                }
+                let shard = owner_shard(key.full, n);
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(
+                        backend_id,
+                        PendingRoute {
+                            client_tx: tx.clone(),
+                            client_id: request.id,
+                            payload: Payload::Full(Arc::new(payload)),
+                            shard,
+                            in_flight: Arc::clone(&in_flight),
+                        },
+                    );
+                dispatch(shared, backend_id, shard);
+            }
+            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
+                let backend_id = shared.next_backend_id.fetch_add(1, Ordering::Relaxed);
+                let shard = owner_shard(fingerprint, n);
+                in_flight.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(
+                        backend_id,
+                        PendingRoute {
+                            client_tx: tx.clone(),
+                            client_id: id,
+                            payload: Payload::Fp(fingerprint),
+                            shard,
+                            in_flight: Arc::clone(&in_flight),
+                        },
+                    );
+                dispatch(shared, backend_id, shard);
+            }
+            Err(err) => {
+                let mut out = String::new();
+                encode_error(&mut out, 0, &err);
+                let _ = tx.send(out);
+                break;
+            }
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_shard_partitions_the_key_space_evenly_and_totally() {
+        for shards in 1..=5usize {
+            // Every key maps to a valid shard.
+            for fp in [0u128, 1, u128::MAX, u128::MAX / 2, 0xdead_beef << 64] {
+                assert!(owner_shard(fp, shards) < shards);
+            }
+            // Range boundaries are monotone: a larger key never maps to a
+            // smaller shard.
+            let mut last = 0;
+            for i in 0..64u32 {
+                let fp = (u128::MAX / 64) * u128::from(i);
+                let s = owner_shard(fp, shards);
+                assert!(s >= last, "owner map must be monotone in the key");
+                last = s;
+            }
+            assert_eq!(last, shards - 1, "top of the range reaches the last shard");
+        }
+    }
+}

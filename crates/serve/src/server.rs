@@ -1,37 +1,49 @@
-//! The loopback TCP server (bounded admission queue + batched worker pool)
-//! and the matching [`Client`] handle.
+//! The loopback TCP server: pipelined connections feeding a request-level
+//! worker pool.
 //!
 //! ## Threading model
 //!
-//! One **acceptor** thread takes connections off the listener and pushes
-//! them into a bounded queue; when the queue is full the connection is
-//! answered with `ERR 0 busy ...` and dropped — admission control instead of
-//! unbounded buffering.  `N` **worker** threads drain the queue in batches
-//! of up to [`ServerConfig::admission_batch`] connections per lock
-//! acquisition (amortizing the queue lock under bursts) and serve each
-//! connection's requests in order.  All request handling goes through the
-//! shared [`ScheduleService`], so the cache and the latency histograms are
-//! global across workers.
+//! One **acceptor** thread takes connections off the listener and spawns a
+//! per-connection **reader** thread (bounded by
+//! [`ServerConfig::max_connections`]; beyond it a connection is answered
+//! with `ERR 0 busy ...` and dropped).  The reader parses incoming messages
+//! and pushes each scheduling request as a *job* into a bounded shared
+//! queue — so a client may have **many id-tagged requests in flight on one
+//! connection**.  `N` **worker** threads drain the queue (in batches of up
+//! to [`ServerConfig::admission_batch`] jobs per lock acquisition, load
+//! balanced across workers) and hand each finished response to the owning
+//! connection's **writer** thread over a channel; since several workers can
+//! be solving jobs of the same connection concurrently, responses complete
+//! **out of order** and the id tags are what lets the client match them up
+//! (see [`crate::PipelinedClient`]).  Cheap verbs (`PING`, `STATS`) are
+//! answered by the reader directly, also through the writer channel so wire
+//! frames never interleave.
+//!
+//! When the job queue is full the request is refused with `ERR <id> busy`
+//! (admission control instead of unbounded buffering); the connection stays
+//! usable.
+//!
+//! All request handling goes through the shared [`ScheduleService`], so the
+//! cache and the latency histograms are global across workers.
 //!
 //! ## Graceful shutdown
 //!
 //! [`ServerHandle::shutdown`] stops admission, fires the service's
 //! [`bsp_sched::CancelToken`] (in-flight anytime solves return their
-//! best-so-far schedule promptly), wakes idle workers, and joins all
-//! threads.  Workers finish the connection they are on; idle connections
-//! are bounded by [`ServerConfig::idle_timeout`].
+//! best-so-far schedule promptly), shuts the connection sockets down to
+//! unblock their readers, lets the workers drain the remaining jobs (refused
+//! with `shutting-down`), and joins every thread.
 
 use crate::protocol::{
-    encode_error, encode_fingerprint_request, encode_request, encode_response_parts, read_incoming,
-    read_response, Incoming, RequestOptions, ScheduleResponse, ServeError,
+    encode_error, encode_response_parts, read_incoming, Incoming, ScheduleRequest, ServeError,
 };
 use crate::service::{ScheduleService, ServiceConfig, ServiceStats};
-use bsp_model::{Dag, Machine};
-use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead as _, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -40,13 +52,19 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Number of worker threads.
     pub workers: usize,
-    /// Admission-queue capacity; connections beyond it are refused with a
-    /// `busy` error.
+    /// Pending-request (job) queue capacity; requests beyond it are refused
+    /// with a per-request `busy` error.  This bounds the total in-flight
+    /// pipelined work across all connections.
     pub queue_capacity: usize,
-    /// Maximum connections a worker drains per queue-lock acquisition.
+    /// Maximum concurrently served connections; further connections are
+    /// refused with `ERR 0 busy`.
+    pub max_connections: usize,
+    /// Maximum jobs a worker drains per queue-lock acquisition (jobs are
+    /// also load balanced across workers, so a short queue is never drained
+    /// into one worker).
     pub admission_batch: usize,
     /// A connection idle for this long is closed (also bounds how long
-    /// shutdown can wait for a worker stuck on a silent peer).
+    /// shutdown can wait for a reader stuck on a silent peer).
     pub idle_timeout: Duration,
     /// Configuration of the underlying [`ScheduleService`].
     pub service: ServiceConfig,
@@ -57,6 +75,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_capacity: 64,
+            max_connections: 128,
             admission_batch: 8,
             idle_timeout: Duration::from_secs(30),
             service: ServiceConfig::default(),
@@ -64,12 +83,33 @@ impl Default for ServerConfig {
     }
 }
 
+/// One unit of work for the pool: a request plus the channel of the writer
+/// that must carry its response.
+struct Job {
+    kind: JobKind,
+    reply: Sender<String>,
+    /// The owning connection's in-flight counter; decremented once the
+    /// response (or error) has been handed to the writer, so the reader can
+    /// tell a quiet-but-working connection from an idle one.
+    in_flight: Arc<AtomicU64>,
+}
+
+enum JobKind {
+    Full(Box<ScheduleRequest>),
+    Fingerprint { id: u64, fingerprint: u128 },
+}
+
 struct Shared {
     service: ScheduleService,
-    queue: Mutex<VecDeque<TcpStream>>,
+    jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutting_down: AtomicBool,
     config: ServerConfig,
+    /// Live connection sockets (for shutdown-time unblocking) and their
+    /// reader thread handles, keyed by connection id.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A bound-but-not-yet-running server.
@@ -87,10 +127,13 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 service,
-                queue: Mutex::new(VecDeque::new()),
+                jobs: Mutex::new(VecDeque::new()),
                 available: Condvar::new(),
                 shutting_down: AtomicBool::new(false),
                 config,
+                conns: Mutex::new(HashMap::new()),
+                conn_threads: Mutex::new(Vec::new()),
+                next_conn_id: AtomicU64::new(0),
             }),
         })
     }
@@ -164,231 +207,304 @@ impl ServerHandle {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // Unblock every connection reader stuck in a read.
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        // The acceptor is gone, so no new connection threads can appear.
+        let handles: Vec<_> = {
+            let mut threads = self
+                .shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            threads.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // With every reader gone no new jobs can appear; wake the workers so
+        // they drain what is left (answered with shutting-down) and exit.
+        self.shared.available.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+/// Registers a connection thread's handle, first reaping every handle whose
+/// thread has already finished — a long-lived server must not accumulate a
+/// `JoinHandle` per connection it ever served.  Shared with the router.
+pub(crate) fn register_conn_thread(threads: &Mutex<Vec<JoinHandle<()>>>, handle: JoinHandle<()>) {
+    let mut threads = threads.lock().unwrap_or_else(|e| e.into_inner());
+    let mut alive = Vec::with_capacity(threads.len() + 1);
+    for h in threads.drain(..) {
+        if h.is_finished() {
+            let _ = h.join(); // finished: join returns immediately
+        } else {
+            alive.push(h);
+        }
+    }
+    *threads = alive;
+    threads.push(handle);
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for conn in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        if queue.len() >= shared.config.queue_capacity {
-            drop(queue);
+        let at_capacity = {
+            let conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.len() >= shared.config.max_connections.max(1)
+        };
+        if at_capacity {
             let mut reply = String::new();
             encode_error(&mut reply, 0, &ServeError::Busy);
             let mut stream = stream;
             let _ = stream.write_all(reply.as_bytes());
-            // Dropping the stream closes the refused connection.
-        } else {
-            queue.push_back(stream);
-            drop(queue);
-            shared.available.notify_one();
+            continue; // dropping the stream closes the refused connection
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let Ok(registered) = stream.try_clone() else {
+            continue;
+        };
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(conn_id, registered);
+        let thread_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("bsp-serve-conn-{conn_id}"))
+            .spawn(move || {
+                let _ = serve_connection(&thread_shared, stream);
+                thread_shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&conn_id);
+            });
+        match spawned {
+            Ok(handle) => register_conn_thread(&shared.conn_threads, handle),
+            Err(_) => {
+                shared
+                    .conns
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&conn_id);
+            }
+        }
+    }
+}
+
+/// Enqueues one job for the worker pool, refusing with a per-request `busy`
+/// error when the queue is at capacity.
+fn submit_job(shared: &Shared, kind: JobKind, reply: &Sender<String>, in_flight: &Arc<AtomicU64>) {
+    let id = match &kind {
+        JobKind::Full(request) => request.id,
+        JobKind::Fingerprint { id, .. } => *id,
+    };
+    let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
+    // The shutdown check must happen under the jobs lock: workers only exit
+    // after observing the flag with an empty queue (also under the lock), so
+    // a job enqueued here while the flag is unset is guaranteed a worker.
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        drop(jobs);
+        let mut out = String::new();
+        encode_error(&mut out, id, &ServeError::ShuttingDown);
+        let _ = reply.send(out);
+        return;
+    }
+    if jobs.len() >= shared.config.queue_capacity.max(1) {
+        drop(jobs);
+        let mut out = String::new();
+        encode_error(&mut out, id, &ServeError::Busy);
+        let _ = reply.send(out);
+        return;
+    }
+    in_flight.fetch_add(1, Ordering::SeqCst);
+    jobs.push_back(Job {
+        kind,
+        reply: reply.clone(),
+        in_flight: Arc::clone(in_flight),
+    });
+    drop(jobs);
+    shared.available.notify_one();
+}
+
+/// The per-connection reader: parses messages, answers cheap verbs, feeds
+/// scheduling requests to the worker pool, and joins its writer on exit.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
+    let writer_stream = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("bsp-serve-conn-writer".into())
+        .spawn(move || writer_loop(writer_stream, &rx))?;
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Peek before parsing so a read timeout can be told apart from a
+        // frame: the idle timeout may only close a connection that has
+        // nothing in flight — a client quietly waiting on a slow solve is
+        // working, not idle.  (A timeout *mid-frame* still falls through to
+        // `read_incoming`'s error path below: a peer that stalls inside a
+        // frame is broken, not patient.)
+        match reader.fill_buf() {
+            Ok([]) => break, // clean EOF between frames
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if in_flight.load(Ordering::SeqCst) > 0 {
+                    continue;
+                }
+                let mut out = String::new();
+                encode_error(
+                    &mut out,
+                    0,
+                    &ServeError::Io("connection idle timeout".into()),
+                );
+                let _ = tx.send(out);
+                break;
+            }
+            Err(_) => break,
+        }
+        match read_incoming(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(Incoming::Ping)) => {
+                if tx.send("PONG\n".to_string()).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Stats)) => {
+                let mut out = shared.service.stats().to_wire();
+                out.push('\n');
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Request(request))) => {
+                submit_job(shared, JobKind::Full(request), &tx, &in_flight);
+            }
+            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
+                submit_job(
+                    shared,
+                    JobKind::Fingerprint { id, fingerprint },
+                    &tx,
+                    &in_flight,
+                );
+            }
+            Err(err) => {
+                // Typed error back to the peer, then close: after a framing
+                // error the stream position is unreliable.
+                let mut out = String::new();
+                encode_error(&mut out, 0, &err);
+                let _ = tx.send(out);
+                break;
+            }
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Closing our sender lets the writer drain the in-flight responses (the
+    // workers hold clones while solving) and exit.
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// The per-connection writer: serializes response frames onto the socket in
+/// completion order, coalescing bursts into one flush.  Shared with the
+/// router, whose client connections have the same shape.
+pub(crate) fn writer_loop(stream: TcpStream, rx: &Receiver<String>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(msg) = rx.recv() {
+        if writer.write_all(msg.as_bytes()).is_err() {
+            return;
+        }
+        while let Ok(more) = rx.try_recv() {
+            if writer.write_all(more.as_bytes()).is_err() {
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            return;
         }
     }
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut batch: Vec<TcpStream> = Vec::with_capacity(shared.config.admission_batch.max(1));
+    let batch_cap = shared.config.admission_batch.max(1);
+    let workers = shared.config.workers.max(1);
+    let mut batch: Vec<Job> = Vec::with_capacity(batch_cap);
     loop {
         {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if !queue.is_empty() {
+                if !jobs.is_empty() {
                     break;
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared
+                jobs = shared
                     .available
-                    .wait(queue)
+                    .wait(jobs)
                     .unwrap_or_else(|e| e.into_inner());
             }
-            // Batched admission: drain up to `admission_batch` connections
-            // under one lock acquisition.
-            while batch.len() < shared.config.admission_batch.max(1) {
-                match queue.pop_front() {
-                    Some(conn) => batch.push(conn),
+            // Batched draining amortizes the lock under bursts, but never
+            // starves parallelism: a worker takes at most its fair share of
+            // the current queue.
+            let take = jobs.len().div_ceil(workers).min(batch_cap);
+            for _ in 0..take {
+                match jobs.pop_front() {
+                    Some(job) => batch.push(job),
                     None => break,
                 }
             }
         }
-        for conn in batch.drain(..) {
-            let _ = serve_connection(shared, conn);
-        }
-    }
-}
-
-/// Serves every request on one connection; returns on peer close, protocol
-/// error, idle timeout, or shutdown.
-fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(shared.config.idle_timeout))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut out = String::new();
-    loop {
-        out.clear();
-        match read_incoming(&mut reader) {
-            Ok(None) => return Ok(()),
-            Ok(Some(Incoming::Ping)) => out.push_str("PONG\n"),
-            Ok(Some(Incoming::Stats)) => {
-                out.push_str(&shared.service.stats().to_wire());
-                out.push('\n');
-            }
-            Ok(Some(Incoming::Request(request))) => match shared.service.handle(&request) {
-                Ok(reply) => encode_response_parts(
-                    &mut out,
-                    request.id,
-                    reply.cost,
-                    reply.source,
-                    reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-                    &reply.schedule,
-                ),
-                Err(err) => encode_error(&mut out, request.id, &err),
-            },
-            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
-                match shared.service.handle_fingerprint(fingerprint) {
+        for job in batch.drain(..) {
+            let mut out = String::new();
+            match job.kind {
+                JobKind::Full(request) => match shared.service.handle(&request) {
                     Ok(reply) => encode_response_parts(
                         &mut out,
-                        id,
+                        request.id,
                         reply.cost,
                         reply.source,
                         reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
                         &reply.schedule,
                     ),
-                    Err(err) => encode_error(&mut out, id, &err),
+                    Err(err) => encode_error(&mut out, request.id, &err),
+                },
+                JobKind::Fingerprint { id, fingerprint } => {
+                    match shared.service.handle_fingerprint(fingerprint) {
+                        Ok(reply) => encode_response_parts(
+                            &mut out,
+                            id,
+                            reply.cost,
+                            reply.source,
+                            reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                            &reply.schedule,
+                        ),
+                        Err(err) => encode_error(&mut out, id, &err),
+                    }
                 }
             }
-            Err(err) => {
-                // Typed error back to the peer, then close: after a framing
-                // error the stream position is unreliable.
-                encode_error(&mut out, 0, &err);
-                let _ = writer.write_all(out.as_bytes());
-                let _ = writer.flush();
-                return Ok(());
-            }
-        }
-        writer.write_all(out.as_bytes())?;
-        writer.flush()?;
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-    }
-}
-
-/// A blocking client for the wire protocol, usable from tests and the bench
-/// harness in the same process as the server (loopback TCP) or from another
-/// process entirely.
-pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    next_id: u64,
-    scratch: String,
-    /// Request fingerprints this client has successfully submitted in full;
-    /// later identical requests replay by fingerprint (`FP <hex>`), skipping
-    /// the DAG payload, and fall back transparently when the server evicted
-    /// the entry.
-    known_fingerprints: std::collections::HashSet<u128>,
-}
-
-impl Client {
-    /// Connects to a server.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            next_id: 1,
-            scratch: String::new(),
-            known_fingerprints: std::collections::HashSet::new(),
-        })
-    }
-
-    /// Sends one scheduling request and blocks for the response.
-    ///
-    /// Content-addressed fast path: when this client has already submitted
-    /// an identical request (same fingerprint) with the cache enabled, only
-    /// the fingerprint goes on the wire; if the server meanwhile evicted the
-    /// schedule, the client transparently resends the full payload.
-    pub fn schedule(
-        &mut self,
-        dag: &Dag,
-        machine: &Machine,
-        options: &RequestOptions,
-    ) -> Result<ScheduleResponse, ServeError> {
-        let fingerprint = bsp_model::request_key(dag, machine).full;
-        if options.use_cache && self.known_fingerprints.contains(&fingerprint) {
-            let id = self.next_id;
-            self.next_id += 1;
-            self.scratch.clear();
-            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
-            self.writer.write_all(self.scratch.as_bytes())?;
-            self.writer.flush()?;
-            match self.read_matching_response(id) {
-                Ok(response) => return Ok(response),
-                Err(ServeError::Remote { kind, .. }) if kind == "unknown-fp" => {
-                    self.known_fingerprints.remove(&fingerprint);
-                }
-                Err(err) => return Err(err),
-            }
-        }
-        let id = self.next_id;
-        self.next_id += 1;
-        self.scratch.clear();
-        encode_request(&mut self.scratch, id, dag, machine, options)?;
-        self.writer.write_all(self.scratch.as_bytes())?;
-        self.writer.flush()?;
-        let response = self.read_matching_response(id)?;
-        if options.use_cache {
-            self.known_fingerprints.insert(fingerprint);
-        }
-        Ok(response)
-    }
-
-    fn read_matching_response(&mut self, id: u64) -> Result<ScheduleResponse, ServeError> {
-        let response = read_response(&mut self.reader)?;
-        if response.id != id {
-            return Err(ServeError::Malformed {
-                line: format!("OK {}", response.id),
-                reason: format!("response id {} does not match request id {id}", response.id),
-            });
-        }
-        Ok(response)
-    }
-
-    /// Fetches the server's statistics snapshot.
-    pub fn stats(&mut self) -> Result<ServiceStats, ServeError> {
-        self.writer.write_all(b"STATS\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ServeError::UnexpectedEof);
-        }
-        ServiceStats::from_wire(line.trim())
-    }
-
-    /// Liveness probe.
-    pub fn ping(&mut self) -> Result<(), ServeError> {
-        self.writer.write_all(b"PING\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(ServeError::UnexpectedEof);
-        }
-        if line.trim() == "PONG" {
-            Ok(())
-        } else {
-            Err(ServeError::Malformed {
-                line: line.trim().to_string(),
-                reason: "expected PONG".into(),
-            })
+            // A send error just means the connection is gone.
+            let _ = job.reply.send(out);
+            job.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -396,13 +512,17 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{Mode, ScheduleSource};
+    use crate::client::{Client, Completion, PipelinedClient};
+    use crate::protocol::{Mode, RequestOptions, ScheduleSource};
+    use bsp_model::{Dag, Machine};
+    use std::io::BufRead;
     use std::time::Duration;
 
     fn test_server() -> ServerHandle {
         let config = ServerConfig {
             workers: 2,
-            queue_capacity: 8,
+            queue_capacity: 32,
+            max_connections: 16,
             admission_batch: 4,
             idle_timeout: Duration::from_secs(5),
             service: ServiceConfig {
@@ -461,6 +581,185 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_complete_out_of_order_friendly() {
+        let server = test_server();
+        let machine = Machine::uniform(4, 1, 2);
+        let dags: Vec<_> = (1u64..=6)
+            .map(|w| std::sync::Arc::new(small_dag(w)))
+            .collect();
+        let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+        let mut client = PipelinedClient::connect(server.addr()).expect("connect");
+
+        // Submit everything before reading a single response.
+        let mut expected = std::collections::HashSet::new();
+        for dag in &dags {
+            let id = client.submit(dag, &machine, &options).expect("submit");
+            expected.insert(id);
+        }
+        assert_eq!(client.in_flight(), dags.len());
+
+        let mut completed = std::collections::HashSet::new();
+        while client.in_flight() > 0 {
+            match client.recv().expect("recv") {
+                Completion::Ok(response) => {
+                    assert!(expected.contains(&response.id));
+                    completed.insert(response.id);
+                }
+                Completion::Failed { id, error } => panic!("request {id} failed: {error}"),
+            }
+        }
+        assert_eq!(
+            completed, expected,
+            "every submission completed exactly once"
+        );
+
+        // Fingerprint replays work pipelined too (these are now cache hits).
+        for dag in &dags {
+            client.submit(dag, &machine, &options).expect("replay");
+        }
+        let mut exact = 0;
+        while client.in_flight() > 0 {
+            match client.recv().expect("recv replay") {
+                Completion::Ok(response) => {
+                    if response.source == ScheduleSource::CacheExact {
+                        exact += 1;
+                    }
+                }
+                Completion::Failed { id, error } => panic!("replay {id} failed: {error}"),
+            }
+        }
+        assert_eq!(exact, dags.len(), "replays are exact hits");
+        assert_eq!(client.fp_fallbacks(), 0, "nothing was evicted");
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_job_queue_refuses_requests_per_request_not_per_connection() {
+        // queue_capacity 1 and a single worker busy with slow solves: some
+        // of a deep pipeline's submissions bounce with `busy`, but the
+        // connection survives and later requests succeed.
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_connections: 4,
+            admission_batch: 1,
+            idle_timeout: Duration::from_secs(5),
+            service: ServiceConfig {
+                local_search_budget: Duration::from_millis(30),
+                warm_budget: Duration::from_millis(30),
+                ..Default::default()
+            },
+        };
+        let server = Server::bind("127.0.0.1:0", config)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        let machine = Machine::uniform(2, 1, 1);
+        let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+        let mut client = PipelinedClient::connect(server.addr()).expect("connect");
+        let dags: Vec<_> = (1u64..=8)
+            .map(|w| std::sync::Arc::new(small_dag(w)))
+            .collect();
+        for dag in &dags {
+            client.submit(dag, &machine, &options).expect("submit");
+        }
+        let mut ok = 0u64;
+        let mut busy = 0u64;
+        while client.in_flight() > 0 {
+            match client.recv().expect("recv") {
+                Completion::Ok(_) => ok += 1,
+                Completion::Failed { error, .. } => match error {
+                    ServeError::Remote { kind, .. } if kind == "busy" => busy += 1,
+                    other => panic!("unexpected error: {other}"),
+                },
+            }
+        }
+        assert_eq!(ok + busy, dags.len() as u64);
+        assert!(ok >= 1, "at least the queued request succeeds");
+        // The connection is still usable after busy rejections.
+        let id = client.submit(&dags[0], &machine, &options).expect("submit");
+        match client.recv().expect("recv after busy") {
+            Completion::Ok(response) => assert_eq!(response.id, id),
+            Completion::Failed { error, .. } => {
+                assert!(matches!(&error, ServeError::Remote { kind, .. } if kind == "busy"));
+            }
+        }
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_spares_connections_with_requests_in_flight() {
+        // Regression: the pipelined reader re-arms its read timeout between
+        // frames, so a client quietly waiting on a slow solve used to be
+        // torn down as "idle" mid-request.  A large instance with a solve
+        // budget far beyond the idle timeout must still be answered.
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            max_connections: 4,
+            admission_batch: 1,
+            idle_timeout: Duration::from_millis(100),
+            service: ServiceConfig {
+                local_search_budget: Duration::from_secs(5),
+                warm_budget: Duration::from_millis(40),
+                ..Default::default()
+            },
+        };
+        let server = Server::bind("127.0.0.1:0", config)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        // Large enough that initializers + local search comfortably outlast
+        // the 100 ms idle timeout on any host.
+        let n = 20_000;
+        let edges: Vec<_> = (0..n - 1)
+            .flat_map(|i| [(i, i + 1)])
+            .chain((0..n - 2).map(|i| (i, i + 2)))
+            .collect();
+        let dag = Dag::from_edges(n, &edges, vec![3; n], vec![2; n]).unwrap();
+        let machine = Machine::numa_binary_tree(8, 2, 5, 3);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let start = std::time::Instant::now();
+        let response = client
+            .schedule(
+                &dag,
+                &machine,
+                &RequestOptions::new().with_mode(Mode::HeuristicsOnly),
+            )
+            .expect("slow request must not be killed by the idle timeout");
+        assert!(response.schedule.validate(&dag, &machine).is_ok());
+        assert!(
+            start.elapsed() > Duration::from_millis(100),
+            "test instance solved too fast to exercise the idle window"
+        );
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_still_time_out() {
+        let config = ServerConfig {
+            idle_timeout: Duration::from_millis(80),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_line(&mut reply)
+            .expect("read the idle-timeout error line");
+        assert!(reply.starts_with("ERR 0 io"), "got {reply:?}");
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
     fn malformed_wire_input_gets_a_typed_error_and_close() {
         let server = test_server();
         let mut stream = TcpStream::connect(server.addr()).expect("connect");
@@ -478,6 +777,15 @@ mod tests {
     #[test]
     fn shutdown_joins_cleanly_with_idle_workers() {
         let server = test_server();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_an_open_idle_connection() {
+        let server = test_server();
+        let _client = Client::connect(server.addr()).expect("connect");
+        // The reader is blocked on this idle connection; shutdown must still
+        // join promptly (socket shutdown, not the 5 s idle timeout).
         server.shutdown();
     }
 }

@@ -99,13 +99,14 @@ impl ServiceStats {
     /// Encodes the snapshot as the one-line wire form (without a newline).
     pub fn to_wire(&self) -> String {
         format!(
-            "STATS requests {} hits {} misses {} warm_hits {} insertions {} evictions {} \
-             bytes {} entries {} cold_p50_us {} cold_p99_us {} exact_p50_us {} exact_p99_us {} \
-             warm_p50_us {} warm_p99_us {}",
+            "STATS requests {} hits {} misses {} warm_hits {} warm_fallbacks {} insertions {} \
+             evictions {} bytes {} entries {} cold_p50_us {} cold_p99_us {} exact_p50_us {} \
+             exact_p99_us {} warm_p50_us {} warm_p99_us {}",
             self.requests,
             self.cache.hits,
             self.cache.misses,
             self.cache.warm_hits,
+            self.cache.warm_fallbacks,
             self.cache.insertions,
             self.cache.evictions,
             self.cache.bytes_used,
@@ -142,6 +143,7 @@ impl ServiceStats {
                 "hits" => stats.cache.hits = value,
                 "misses" => stats.cache.misses = value,
                 "warm_hits" => stats.cache.warm_hits = value,
+                "warm_fallbacks" => stats.cache.warm_fallbacks = value,
                 "insertions" => stats.cache.insertions = value,
                 "evictions" => stats.cache.evictions = value,
                 "bytes" => stats.cache.bytes_used = value as usize,
@@ -261,12 +263,20 @@ impl ScheduleService {
             None => self.shutdown.clone(),
         };
 
+        // Whether a warm seed was found AND accepted decides both the
+        // response source and the cache attribution: a rejected seed is a
+        // `warm_fallback`, never a `warm_hit`, so the `warm_hits` counter
+        // always equals the warm histogram's population.
+        let mut warm_fallback = false;
         let (schedule, source) = match &warm_seed {
             Some(seed) => match self.solve_warm(request, seed, &cancel) {
                 Some(schedule) => (schedule, ScheduleSource::CacheWarm),
                 // Structural-fingerprint collision or stale seed: fall back
                 // to a cold run rather than serving anything unchecked.
-                None => (self.solve_cold(request, &cancel), ScheduleSource::Cold),
+                None => {
+                    warm_fallback = true;
+                    (self.solve_cold(request, &cancel), ScheduleSource::Cold)
+                }
             },
             None => (self.solve_cold(request, &cancel), ScheduleSource::Cold),
         };
@@ -282,8 +292,15 @@ impl ScheduleService {
         let cost = schedule.cost(&request.dag, &request.machine);
         let schedule = Arc::new(schedule);
         if request.options.use_cache {
-            self.lock_cache()
-                .insert(key.full, key.structure, Arc::clone(&schedule), cost);
+            let mut cache = self.lock_cache();
+            if warm_seed.is_some() {
+                if warm_fallback {
+                    cache.note_warm_fallback();
+                } else {
+                    cache.note_warm_hit();
+                }
+            }
+            cache.insert(key.full, key.structure, Arc::clone(&schedule), cost);
         }
         let elapsed = start.elapsed();
         self.metrics.histogram(source).record(elapsed);
@@ -438,6 +455,48 @@ mod tests {
     }
 
     #[test]
+    fn rejected_warm_seeds_count_as_fallbacks_not_warm_hits() {
+        // Regression: a structurally matching seed that `solve_warm` rejects
+        // used to count a `warm_hit` while the latency landed in the *cold*
+        // histogram, so `warm_hits` and the warm histogram silently diverged.
+        let service = ScheduleService::new(ServiceConfig {
+            local_search_budget: Duration::from_millis(50),
+            ..Default::default()
+        });
+        let req = request(
+            chain(12, 3),
+            Machine::uniform(4, 1, 2),
+            RequestOptions::new(),
+        );
+        // Plant a colliding cache entry: same structural fingerprint as the
+        // request, but a schedule for a different node count — exactly what a
+        // structural-fingerprint collision looks like to the warm path.
+        let key = request_key(&req.dag, &req.machine);
+        let bogus_dag = chain(5, 1);
+        let bogus = Arc::new(BspSchedule::trivial(&bogus_dag));
+        service.lock_cache().insert(0xbad, key.structure, bogus, 0);
+
+        let reply = service.handle(&req).unwrap();
+        assert_eq!(
+            reply.source,
+            ScheduleSource::Cold,
+            "rejected seed runs cold"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.cache.warm_fallbacks, 1);
+        assert_eq!(
+            stats.cache.warm_hits,
+            service.metrics().warm.count(),
+            "warm_hits must equal the warm histogram population"
+        );
+        assert_eq!(stats.cache.warm_hits, 0);
+        assert_eq!(service.metrics().cold.count(), 1);
+        // And the counter survives the wire roundtrip.
+        let parsed = ServiceStats::from_wire(&stats.to_wire()).unwrap();
+        assert_eq!(parsed.cache.warm_fallbacks, 1);
+    }
+
+    #[test]
     fn empty_dags_are_served_without_panicking() {
         let service = ScheduleService::new(ServiceConfig::default());
         let dag = Dag::from_edge_list_unit_weights(0, &[]).unwrap();
@@ -491,6 +550,7 @@ mod tests {
                 hits: 4,
                 misses: 5,
                 warm_hits: 1,
+                warm_fallbacks: 2,
                 insertions: 6,
                 evictions: 2,
                 bytes_used: 12345,

@@ -1,0 +1,265 @@
+//! Integration tests for the sharded serving deployment: a `bsp_router`
+//! fronting two `bsp_serve` shard servers over loopback TCP.
+//!
+//! Covers the four routing guarantees:
+//! * full payloads and their `FP` replays land on the **owning shard**
+//!   (same key range), so replays are exact cache hits with zero fallbacks;
+//! * **pipelined** clients work through the router unchanged — many
+//!   requests in flight on one connection, completions out of order;
+//! * a dead shard **fails over**: its key range is re-run on the survivor
+//!   and clients keep getting valid schedules (content addressing makes the
+//!   re-run safe);
+//! * `STATS` aggregates across shards (counters summed).
+
+use bsp_model::{Dag, Machine};
+use bsp_serve::router::owner_shard;
+use bsp_serve::{
+    Client, Completion, Mode, PipelinedClient, RequestOptions, Router, RouterConfig,
+    ScheduleSource, Server, ServerConfig, ServerHandle, ServiceConfig,
+};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn shard_server() -> ServerHandle {
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_connections: 16,
+        admission_batch: 4,
+        idle_timeout: Duration::from_secs(5),
+        service: ServiceConfig {
+            local_search_budget: Duration::from_millis(40),
+            warm_budget: Duration::from_millis(40),
+            ..Default::default()
+        },
+    };
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind shard")
+        .spawn()
+        .expect("spawn shard")
+}
+
+fn two_shard_deployment() -> (Vec<ServerHandle>, bsp_serve::RouterHandle) {
+    let shards = vec![shard_server(), shard_server()];
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let router = Router::bind("127.0.0.1:0", &addrs, RouterConfig::default())
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    (shards, router)
+}
+
+fn dag_with_seed(seed: u64) -> Dag {
+    // Distinct weights => distinct full fingerprints => both shards get
+    // traffic across a handful of seeds.
+    Dag::from_edges(
+        6,
+        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
+        vec![seed + 1; 6],
+        vec![2; 6],
+    )
+    .unwrap()
+}
+
+/// A seed whose request routes to `shard` under a 2-way split.
+fn seed_owned_by(shard: usize, machine: &Machine) -> u64 {
+    (0u64..64)
+        .find(|&seed| {
+            let key = bsp_model::request_key(&dag_with_seed(seed), machine);
+            owner_shard(key.full, 2) == shard
+        })
+        .expect("some seed routes to every shard within 64 tries")
+}
+
+#[test]
+fn requests_and_fp_replays_land_on_the_owning_shard() {
+    let (shards, router) = two_shard_deployment();
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let mut client = Client::connect(router.addr()).expect("connect via router");
+    client.ping().expect("ping the router");
+
+    // One request owned by each shard.
+    for shard in 0..2 {
+        let seed = seed_owned_by(shard, &machine);
+        let dag = dag_with_seed(seed);
+        let before: Vec<u64> = shards.iter().map(|s| s.stats().cache.hits).collect();
+        let cold = client.schedule(&dag, &machine, &options).expect("cold");
+        assert_eq!(cold.source, ScheduleSource::Cold);
+        assert!(cold.schedule.validate(&dag, &machine).is_ok());
+        // The serial client now replays by fingerprint; the router must
+        // route the FP frame to the same shard, where it is an exact hit.
+        let replay = client.schedule(&dag, &machine, &options).expect("replay");
+        assert_eq!(
+            replay.source,
+            ScheduleSource::CacheExact,
+            "FP replay for shard {shard} missed its owning shard"
+        );
+        // The owning shard (and only it) served the hit.
+        let after: Vec<u64> = shards.iter().map(|s| s.stats().cache.hits).collect();
+        assert_eq!(
+            after[shard],
+            before[shard] + 1,
+            "owning shard served the hit"
+        );
+        assert_eq!(after[1 - shard], before[1 - shard], "other shard untouched");
+    }
+
+    // Aggregated stats sum the per-shard counters.
+    let agg = client.stats().expect("aggregated stats");
+    let sum_requests: u64 = shards.iter().map(|s| s.stats().requests).sum();
+    assert_eq!(agg.requests, sum_requests);
+    assert_eq!(agg.cache.hits, 2);
+
+    drop(client);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn pipelined_clients_work_through_the_router() {
+    let (shards, router) = two_shard_deployment();
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let mut client = PipelinedClient::connect(router.addr()).expect("connect");
+
+    let dags: Vec<Arc<Dag>> = (0..8).map(|s| Arc::new(dag_with_seed(s))).collect();
+    // Depth-4 window over 8 distinct requests, then 8 replays.
+    for round in 0..2 {
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        while completed < dags.len() {
+            while submitted < dags.len() && client.in_flight() < 4 {
+                client
+                    .submit(&dags[submitted], &machine, &options)
+                    .expect("submit");
+                submitted += 1;
+            }
+            match client.recv().expect("recv") {
+                Completion::Ok(response) => {
+                    completed += 1;
+                    if round == 1 {
+                        assert_eq!(
+                            response.source,
+                            ScheduleSource::CacheExact,
+                            "second-round replays must hit their owning shard"
+                        );
+                    }
+                }
+                Completion::Failed { id, error } => panic!("request {id} failed: {error}"),
+            }
+        }
+    }
+    assert_eq!(
+        client.fp_fallbacks(),
+        0,
+        "every FP replay landed on the shard that owns its key"
+    );
+    // Both shards participated (the 8 fingerprints split across the range).
+    for (i, shard) in shards.iter().enumerate() {
+        assert!(
+            shard.stats().requests > 0,
+            "shard {i} received no traffic — routing is not spreading keys"
+        );
+    }
+
+    drop(client);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn idle_closed_backend_connections_revive_on_next_request() {
+    // A shard server closes quiet connections after its idle timeout — and
+    // the router's multiplexed backend connection is exactly such a victim
+    // on a quiet deployment.  The router must revive the connection on the
+    // next owned request instead of treating the shard as permanently dead.
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_connections: 16,
+        admission_batch: 4,
+        idle_timeout: Duration::from_millis(150),
+        service: ServiceConfig {
+            local_search_budget: Duration::from_millis(40),
+            warm_budget: Duration::from_millis(40),
+            ..Default::default()
+        },
+    };
+    let shard = Server::bind("127.0.0.1:0", config)
+        .expect("bind shard")
+        .spawn()
+        .expect("spawn shard");
+    let router = Router::bind("127.0.0.1:0", &[shard.addr()], RouterConfig::default())
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    // Let the shard's idle timeout close the quiet backend connection.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        router.live_shards().is_empty(),
+        "the idle timeout should have closed the backend connection"
+    );
+
+    let dag = dag_with_seed(1);
+    let response = client
+        .schedule(&dag, &machine, &options)
+        .expect("request after an idle period must revive the backend");
+    assert!(response.schedule.validate(&dag, &machine).is_ok());
+    assert_eq!(router.live_shards(), vec![0], "backend connection revived");
+
+    drop(client);
+    router.shutdown();
+    shard.shutdown();
+}
+
+#[test]
+fn a_dead_shard_fails_over_to_the_survivor() {
+    let (mut shards, router) = two_shard_deployment();
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    // Warm both shards up with one owned request each.
+    let seed0 = seed_owned_by(0, &machine);
+    let seed1 = seed_owned_by(1, &machine);
+    for seed in [seed0, seed1] {
+        let dag = dag_with_seed(seed);
+        client.schedule(&dag, &machine, &options).expect("cold");
+    }
+
+    // Kill shard 0; requests owned by its key range must now be re-run on
+    // shard 1, transparently.
+    shards.remove(0).shutdown();
+    std::thread::sleep(Duration::from_millis(50)); // let the demux notice
+
+    let dag = dag_with_seed(seed0);
+    let failed_over = client
+        .schedule(&dag, &machine, &options)
+        .expect("request owned by the dead shard still succeeds");
+    assert!(failed_over.schedule.validate(&dag, &machine).is_ok());
+    // The survivor really did the work: its own warm-up request plus the
+    // failed-over re-run (the FP replay that bounced off it is an error,
+    // not a recorded request).
+    assert!(shards[0].stats().requests >= 2);
+    assert_eq!(router.live_shards(), vec![1]);
+
+    // Aggregated stats still answer with one live shard.
+    let agg = client.stats().expect("stats with a dead shard");
+    assert!(agg.requests >= 2);
+
+    drop(client);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
