@@ -1,13 +1,15 @@
 //! `exp_hc` — HC hill-climbing throughput: the allocation-free, work-list
-//! search vs the pre-refactor baseline.
+//! search vs the pre-refactor baseline, and (with `--parallel`) the serial
+//! driver vs the batch-speculative parallel driver.
 //!
 //! For each instance (≈10k-node `spmv` and `cg` fine-grained DAGs) and
-//! machine (4 and 8 processors, uniform and binary-tree NUMA), both
+//! machine (4 and 8 processors, uniform and binary-tree NUMA), the measured
 //! implementations start from the same deterministic `Source` schedule and
 //! run to a local minimum.  Reported per run: wall-clock seconds, accepted
 //! moves, accepted moves/second, final cost.  The JSON written to `--out`
-//! (default `BENCH_hc.json`) is the first trajectory point of the repo's
-//! benchmark history.
+//! (default `BENCH_hc.json`) is part of the repo's benchmark history; its
+//! config object records `host_cores` and the thread count, without which
+//! wall-clock numbers are unreproducible.
 //!
 //! Flags:
 //!   --out PATH        output JSON path (default BENCH_hc.json)
@@ -17,12 +19,25 @@
 //!   --reps N          repetitions per run, fastest kept (default 3)
 //!   --nnz-per-row K   average nonzeros per matrix row (default 16)
 //!   --skip-legacy     only measure the current implementation
+//!   --parallel        additionally measure the batch-speculative parallel
+//!                     driver against the serial work-list driver (same
+//!                     initial state); adds `parallel`/`parallel_stats`
+//!                     fields and a `speedup_parallel` column to every row
+//!   --threads N       parallel lanes (default 0 = one per available core)
+//!   --smoke           with --parallel: quick sizes plus hard assertions —
+//!                     zero invalid schedules, zero mis-applied stale moves,
+//!                     serial/parallel cost parity within 5% (speedup
+//!                     asserted > 1 only on hosts with at least 4 cores,
+//!                     the driver's measured break-even)
 
 use bsp_bench::legacy_hc::legacy_hc_improve;
-use bsp_bench::stats::BenchReport;
+use bsp_bench::stats::{host_cores, BenchReport};
 use bsp_bench::{size_to_target, CliArgs};
 use bsp_model::{BspSchedule, Dag, Machine};
-use bsp_sched::hill_climb::{hc_improve, HillClimbConfig};
+use bsp_sched::hill_climb::{
+    hc_improve, HcState, HillClimbConfig, HillClimbOutcome, ParallelHc, ParallelStats,
+    SearchScratch,
+};
 use bsp_sched::init::SourceScheduler;
 use bsp_sched::Scheduler;
 use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
@@ -59,6 +74,32 @@ impl RunStats {
             self.reached_local_minimum
         )
     }
+
+    fn from_outcome(outcome: HillClimbOutcome, seconds: f64) -> Self {
+        RunStats {
+            seconds,
+            steps: outcome.steps,
+            initial_cost: outcome.initial_cost,
+            final_cost: outcome.final_cost,
+            reached_local_minimum: outcome.reached_local_minimum,
+        }
+    }
+}
+
+fn log_run(label: &str, stats: &RunStats) {
+    eprintln!(
+        "   {label}: {:.3}s, {} moves ({:.0}/s), cost {} -> {}{}",
+        stats.seconds,
+        stats.steps,
+        stats.moves_per_sec(),
+        stats.initial_cost,
+        stats.final_cost,
+        if stats.reached_local_minimum {
+            ""
+        } else {
+            " [TIME LIMIT]"
+        },
+    );
 }
 
 /// Runs the search `reps` times from the same initial schedule and keeps the
@@ -95,13 +136,7 @@ where
             schedule.validate(dag, machine).is_ok(),
             "hill climbing produced an invalid schedule"
         );
-        let stats = RunStats {
-            seconds,
-            steps: outcome.steps,
-            initial_cost: outcome.initial_cost,
-            final_cost: outcome.final_cost,
-            reached_local_minimum: outcome.reached_local_minimum,
-        };
+        let stats = RunStats::from_outcome(outcome, seconds);
         if best.as_ref().is_none_or(|b| stats.seconds < b.seconds) {
             best = Some(stats);
         }
@@ -109,19 +144,99 @@ where
     best.expect("at least one repetition runs")
 }
 
+/// The parallel counterpart of [`measure`]: drives [`ParallelHc`] directly
+/// (the driver is reused across repetitions, like a warm refiner would) so
+/// the run's [`ParallelStats`] can be reported.  Panics if any repetition
+/// produces an invalid schedule — the smoke gate's "zero invalid schedules".
+fn measure_parallel(
+    dag: &Dag,
+    machine: &Machine,
+    init: &BspSchedule,
+    limit: Duration,
+    reps: usize,
+    threads: usize,
+) -> (RunStats, ParallelStats) {
+    let config = HillClimbConfig {
+        time_limit: limit,
+        max_steps: usize::MAX,
+        ..Default::default()
+    }
+    .with_threads(threads);
+    let mut driver = ParallelHc::new(threads);
+    let mut best: Option<(RunStats, ParallelStats)> = None;
+    for _ in 0..reps.max(1) {
+        let mut schedule = init.clone();
+        let start = Instant::now();
+        schedule.relax_to_lazy(dag);
+        let mut state = HcState::new(dag, machine, schedule.assignment.clone())
+            .expect("Source schedules are lazily feasible");
+        let mut scratch = SearchScratch::new();
+        scratch.enqueue_all(dag);
+        let mut outcome = driver.search(dag, machine, &mut state, &config, &mut scratch, true);
+        schedule.assignment = state.into_assignment();
+        schedule.relax_to_lazy(dag);
+        schedule.normalize(dag);
+        outcome.final_cost = schedule.cost(dag, machine);
+        let seconds = start.elapsed().as_secs_f64();
+        assert!(
+            schedule.validate(dag, machine).is_ok(),
+            "parallel hill climbing produced an invalid schedule"
+        );
+        let stats = RunStats::from_outcome(outcome, seconds);
+        if best.as_ref().is_none_or(|(b, _)| stats.seconds < b.seconds) {
+            best = Some((stats, *driver.stats()));
+        }
+    }
+    best.expect("at least one repetition runs")
+}
+
+fn parallel_stats_json(stats: &ParallelStats) -> String {
+    format!(
+        "{{\"rounds\": {}, \"evaluated\": {}, \"speculative_wins\": {}, \
+         \"accepted\": {}, \"stale_applied\": {}, \"stale_rejected\": {}, \
+         \"mis_applied\": {}, \"deferred\": {}}}",
+        stats.rounds,
+        stats.evaluated,
+        stats.speculative_wins,
+        stats.accepted,
+        stats.stale_applied,
+        stats.stale_rejected,
+        stats.mis_applied,
+        stats.deferred,
+    )
+}
+
 fn main() {
     let args = CliArgs::from_env();
-    let quick = args.flag("quick");
+    let smoke = args.flag("smoke");
+    let quick = args.flag("quick") || smoke;
+    let parallel_mode = args.flag("parallel");
     let out_path = args.value("out").unwrap_or("BENCH_hc.json").to_string();
     let target = args.u64_or("target", if quick { 1_000 } else { 10_000 }) as usize;
     let limit = Duration::from_secs(args.u64_or("time-limit", if quick { 60 } else { 600 }));
-    let skip_legacy = args.flag("skip-legacy");
-    let reps = args.usize_or("reps", 3);
+    // The smoke gate is about the parallel driver; the (slow) legacy
+    // comparison adds nothing to it.
+    let skip_legacy = args.flag("skip-legacy") || smoke;
+    let reps = args.usize_or("reps", if smoke { 1 } else { 3 });
     let nnz_per_row = args.u64_or("nnz-per-row", 16) as f64;
+    let threads = {
+        let requested = args.usize_or("threads", 0);
+        if requested == 0 {
+            host_cores()
+        } else {
+            requested
+        }
+    };
 
     eprintln!(
-        "exp_hc: target {target} nodes, time limit {}s",
-        limit.as_secs()
+        "exp_hc: target {target} nodes, time limit {}s, host cores {}{}",
+        limit.as_secs(),
+        host_cores(),
+        if parallel_mode {
+            format!(", parallel driver with {threads} lanes")
+        } else {
+            String::new()
+        },
     );
     eprintln!("sizing spmv instance...");
     let spmv_dag = size_to_target(target, |n| {
@@ -156,49 +271,19 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    let mut speedups = Vec::new();
+    let mut legacy_speedups = Vec::new();
+    let mut parallel_speedups = Vec::new();
+    let mut worst_cost_ratio = 0.0f64;
+    let mut total_mis_applied = 0u64;
     for (inst_name, dag) in &instances {
         for (machine_name, machine) in &machines {
             eprintln!("== {inst_name} ({} nodes) on {machine_name}", dag.n());
             let init = SourceScheduler.schedule(dag, machine);
             let init_cost = init.cost(dag, machine);
 
-            let current = measure(dag, machine, &init, limit, reps, hc_improve);
-            eprintln!(
-                "   worklist: {:.3}s, {} moves ({:.0}/s), cost {} -> {}{}",
-                current.seconds,
-                current.steps,
-                current.moves_per_sec(),
-                current.initial_cost,
-                current.final_cost,
-                if current.reached_local_minimum {
-                    ""
-                } else {
-                    " [TIME LIMIT]"
-                },
-            );
-
-            let legacy = if skip_legacy {
-                None
-            } else {
-                let stats = measure(dag, machine, &init, limit, reps, legacy_hc_improve);
-                eprintln!(
-                    "   legacy:   {:.3}s, {} moves ({:.0}/s), cost {} -> {}{}",
-                    stats.seconds,
-                    stats.steps,
-                    stats.moves_per_sec(),
-                    stats.initial_cost,
-                    stats.final_cost,
-                    if stats.reached_local_minimum {
-                        ""
-                    } else {
-                        " [TIME LIMIT]"
-                    },
-                );
-                Some(stats)
-            };
-
             let mut row = String::new();
+            let current = measure(dag, machine, &init, limit, reps, hc_improve);
+            log_run("worklist", &current);
             write!(
                 row,
                 "    {{\"instance\": \"{inst_name}\", \"nodes\": {}, \"edges\": {}, \
@@ -209,14 +294,54 @@ fn main() {
                 current.to_json(),
             )
             .unwrap();
-            if let Some(legacy) = &legacy {
+            if !skip_legacy {
+                let legacy = measure(dag, machine, &init, limit, reps, legacy_hc_improve);
+                log_run("legacy  ", &legacy);
                 let speedup = legacy.seconds / current.seconds.max(1e-9);
                 eprintln!("   speedup (wall-clock to local minimum): {speedup:.1}x");
-                speedups.push(speedup);
+                legacy_speedups.push(speedup);
                 write!(
                     row,
                     ", \"legacy\": {}, \"speedup_wall_clock\": {speedup:.2}",
                     legacy.to_json()
+                )
+                .unwrap();
+            }
+            if parallel_mode {
+                // The batch-speculative driver from the same initial state;
+                // `current` (the serial work-list driver) is the baseline.
+                let (parallel, pstats) =
+                    measure_parallel(dag, machine, &init, limit, reps, threads);
+                log_run("parallel", &parallel);
+                let speedup = current.seconds / parallel.seconds.max(1e-9);
+                let cost_ratio = parallel.final_cost as f64 / current.final_cost.max(1) as f64;
+                eprintln!(
+                    "   parallel speedup {speedup:.2}x, cost ratio {cost_ratio:.4}, \
+                     stale applied {}, stale rejected {}, mis-applied {}",
+                    pstats.stale_applied, pstats.stale_rejected, pstats.mis_applied
+                );
+                parallel_speedups.push(speedup);
+                worst_cost_ratio = worst_cost_ratio.max(cost_ratio);
+                total_mis_applied += pstats.mis_applied;
+                if smoke {
+                    assert_eq!(pstats.mis_applied, 0, "a stale move was mis-applied");
+                    // Both drivers certify local minima of the same
+                    // first-improvement landscape, but not the same one; the
+                    // recorded full-size worst case is 1.039, so gate at 5%.
+                    assert!(
+                        cost_ratio <= 1.05,
+                        "parallel final cost {} not at parity with serial {} on \
+                         {inst_name}/{machine_name}",
+                        parallel.final_cost,
+                        current.final_cost
+                    );
+                }
+                write!(
+                    row,
+                    ", \"parallel\": {}, \"parallel_stats\": {}, \
+                     \"speedup_parallel\": {speedup:.2}, \"cost_ratio_parallel\": {cost_ratio:.4}",
+                    parallel.to_json(),
+                    parallel_stats_json(&pstats),
                 )
                 .unwrap();
             }
@@ -227,20 +352,72 @@ fn main() {
 
     let mut report = BenchReport::new("hc_throughput");
     report.set_config_json(format!(
-        "{{\"target_nodes\": {target}, \"time_limit_secs\": {}, \"initializer\": \"Source\"}}",
-        limit.as_secs()
+        "{{\"target_nodes\": {target}, \"time_limit_secs\": {}, \"initializer\": \"Source\", \
+         \"host_cores\": {}, \"threads\": {}}}",
+        limit.as_secs(),
+        host_cores(),
+        if parallel_mode { threads } else { 1 },
     ));
     for row in rows {
         report.push_result_json(row);
     }
-    if let Some(summary) = BenchReport::speedup_summary(&speedups, &[]) {
-        report.set_summary_json(summary);
-        let geomean = bsp_bench::geo_mean(speedups.iter().copied());
-        let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    // Summary: the legacy comparison when it ran (the historical headline),
+    // the parallel comparison otherwise; parallel aggregates ride along as
+    // extra fields either way.
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if parallel_mode {
+        let geomean_par = bsp_bench::geo_mean(parallel_speedups.iter().copied());
+        extra.push(("parallel_geomean_speedup", format!("{geomean_par:.2}")));
+        extra.push((
+            "parallel_worst_cost_ratio",
+            format!("{worst_cost_ratio:.4}"),
+        ));
+        extra.push(("invalid_schedules", "0".into())); // every run validates or panics
+        extra.push(("mis_applied_stale_moves", total_mis_applied.to_string()));
+        extra.push(("host_cores", host_cores().to_string()));
+        extra.push(("threads", threads.to_string()));
         eprintln!(
-            "geomean speedup {geomean:.2}x, min {min:.2}x over {} runs",
-            speedups.len()
+            "parallel geomean speedup {geomean_par:.2}x over {} runs, worst cost ratio \
+             {worst_cost_ratio:.4}, {total_mis_applied} mis-applied stale moves",
+            parallel_speedups.len()
         );
+        if smoke {
+            assert_eq!(total_mis_applied, 0, "mis-applied stale moves recorded");
+            // The driver's break-even is ~2-4 real cores (speculation +
+            // re-validation overhead, see ROADMAP); only assert a speedup
+            // where the hardware clearly clears it.
+            if host_cores() >= 4 {
+                assert!(
+                    geomean_par > 1.0,
+                    "parallel driver showed no speedup on a {}-core host",
+                    host_cores()
+                );
+            } else {
+                eprintln!(
+                    "{}-core host: skipping the speedup assertion (break-even is ~4 cores)",
+                    host_cores()
+                );
+            }
+        }
+    }
+    let headline = if legacy_speedups.is_empty() {
+        &parallel_speedups
+    } else {
+        &legacy_speedups
+    };
+    if let Some(summary) = BenchReport::speedup_summary(headline, &extra) {
+        report.set_summary_json(summary);
+        if !legacy_speedups.is_empty() {
+            let geomean = bsp_bench::geo_mean(legacy_speedups.iter().copied());
+            let min = legacy_speedups
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            eprintln!(
+                "geomean speedup vs legacy {geomean:.2}x, min {min:.2}x over {} runs",
+                legacy_speedups.len()
+            );
+        }
     }
     report
         .write(&out_path)

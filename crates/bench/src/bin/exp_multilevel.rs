@@ -269,6 +269,10 @@ fn speedup_config() -> MultilevelConfig {
             ..PipelineConfig::heuristics_only()
         },
         final_comm_time_limit: Duration::from_secs(1),
+        // Auto thread budget: the portfolio fans out as before and each
+        // ratio run refines with its share of the host; the resolved value
+        // is recorded in the report's config object.
+        threads: 0,
     }
 }
 
@@ -371,7 +375,7 @@ fn run_speedup(args: &CliArgs) {
     report.set_config_json(format!(
         "{{\"target_nodes\": {target}, \"coarsen_ratios\": {:?}, \
          \"refine_interval\": {}, \"refine_max_steps\": {}, \"base\": \"{}\", \
-         \"reps\": {reps}}}",
+         \"reps\": {reps}, \"host_cores\": {}, \"threads\": {}}}",
         config.coarsen_ratios,
         config.refine_interval,
         config.refine_max_steps,
@@ -380,6 +384,8 @@ fn run_speedup(args: &CliArgs) {
         } else {
             "heuristics-only"
         },
+        bsp_bench::stats::host_cores(),
+        config.effective_threads(),
     ));
     for row in rows {
         report.push_result_json(row);

@@ -375,6 +375,9 @@ fn server_config(
         max_connections: 4 * clients.max(1) + 8,
         admission_batch: 8,
         idle_timeout: Duration::from_secs(30),
+        // Derived per-request budget: max(1, host_cores / workers), so the
+        // worker pool as a whole never oversubscribes the host.
+        solve_threads: 0,
         service: ServiceConfig {
             cache_bytes: cache_mb << 20,
             // Cold runs get 80% of the deadline for local search (the rest
@@ -384,6 +387,7 @@ fn server_config(
             local_search_budget: deadline.mul_f64(0.8),
             warm_budget: deadline / 4,
             default_deadline: Some(deadline),
+            solve_threads: 1, // overwritten by the server's derived budget
         },
     }
 }
@@ -414,7 +418,7 @@ fn main() {
     // Defaults scale with the host: on small CI boxes a couple of concurrent
     // cold solves already saturate the CPU and queueing (not service time)
     // would dominate the tail.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = bsp_bench::stats::host_cores();
     let clients = args
         .usize_or("clients", if smoke { 2 } else { cores.clamp(2, 4) })
         .max(1);

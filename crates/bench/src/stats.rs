@@ -97,6 +97,13 @@ impl BenchReport {
     }
 }
 
+/// Number of cores the benchmark host exposes.  Every `BENCH_*.json` config
+/// object records it: wall-clock numbers (and especially parallel speedups)
+/// are unreproducible without knowing how much hardware the run had.
+pub fn host_cores() -> usize {
+    bsp_sched::resolve_threads(0)
+}
+
 /// Geometric mean of a sequence of positive values; `NaN` for an empty input.
 pub fn geo_mean<I>(values: I) -> f64
 where

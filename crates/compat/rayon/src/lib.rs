@@ -1,17 +1,20 @@
 //! Offline stand-in for `rayon`, restricted to what the workspace uses:
-//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_iter_mut().for_each(f)`.
 //!
-//! Unlike most of the compat crates this is not a sequential fake — `collect`
-//! fans the closure out over `std::thread::scope` with one contiguous chunk
-//! per available core, so the pipeline's parallel initialization branches and
-//! the experiment harness's per-instance parallelism genuinely run
-//! concurrently.  There is no work stealing: chunks are static, which is fine
-//! for the coarse-grained, similarly-sized tasks the workspace parallelizes.
+//! Unlike most of the compat crates this is not a sequential fake — both
+//! entry points fan the closure out over `std::thread::scope` with one
+//! contiguous chunk per available core, so the pipeline's parallel
+//! initialization branches, the hill-climbing lane fan-out, and the
+//! experiment harness's per-instance parallelism genuinely run concurrently.
+//! There is no work stealing: chunks are static, which is fine for the
+//! coarse-grained, similarly-sized tasks the workspace parallelizes.
 
-/// The traits needed for `.par_iter().map(...).collect()`, mirroring
-/// `rayon::prelude`.
+/// The traits needed for `.par_iter().map(...).collect()` and
+/// `.par_iter_mut().for_each(...)`, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 /// Borrowing parallel iteration over a collection, mirroring rayon's trait of
@@ -77,6 +80,67 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Exclusive parallel iteration over a collection, mirroring rayon's trait of
+/// the same name.  Each element is visited by exactly one thread, so the
+/// closure gets `&mut` access — what per-thread scratch/lane state needs.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded by mutable reference.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over `&mut Self::Item`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A parallel iterator over a mutable slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Runs `f` on every element, one contiguous chunk per available core.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.items.len());
+        if threads <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = self.items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in self.items.chunks_mut(chunk) {
+                scope.spawn(|| {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
 fn par_map_slice<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -118,6 +182,23 @@ mod tests {
         let one = [7u32];
         let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element_exactly_once() {
+        let mut lanes: Vec<(u64, u64)> = (0..37).map(|i| (i, 0)).collect();
+        lanes
+            .par_iter_mut()
+            .for_each(|lane| lane.1 = lane.0 * 3 + 1);
+        for (i, lane) in lanes.iter().enumerate() {
+            assert_eq!(lane.1, i as u64 * 3 + 1);
+        }
+        // Empty and single-element inputs take the sequential path.
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = [5u32];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, [6]);
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! Batch-speculative parallel driver for the `HC` local search.
+//!
+//! The serial work-list driver ([`super::hc_search`]) is inherently
+//! sequential: every accepted move changes the tallies the next evaluation
+//! reads.  This driver exploits the fact that *evaluation* dominates
+//! *commitment* by orders of magnitude (most visits are gated or find no
+//! improving destination) and parallelizes in the style of Mt-KaHyPar-like
+//! speculative refinement:
+//!
+//! 1. **Drain** the head of the dirty work-list — boundedly, so one round
+//!    never re-scans the whole backlog.
+//! 2. **Batch** a conflict-disjoint subset: a candidate claims the
+//!    `(superstep, processor)` tally cells its departure writes —
+//!    `{τ(v)−1, τ(v), τ(v)+1} × {π(v)}` — and stamps its DAG neighbours; a
+//!    candidate whose claims collide is deferred back to the queue head for
+//!    the next round.  Disjoint claims make intra-batch evaluations
+//!    (mostly) exact against the shared snapshot while still letting a wide
+//!    superstep fan out across processors.
+//! 3. **Fan out** gain evaluation on the rayon pool: each lane owns a private
+//!    [`EvalScratch`] and runs the read-only `&HcCore` evaluation
+//!    ([`HcCore::can_gain`] gate, [`HcCore::speculate_move`]) over its share
+//!    of the batch, recording the first improving destination per node in
+//!    the same canonical order the serial driver uses.
+//! 4. **Commit serially**, in batch order: every winning move is re-validated
+//!    against the *current* tallies (`move_window` + `try_move`) before it is
+//!    applied.  A candidate whose speculative gain no longer holds — its gain
+//!    was computed against tallies an earlier commit of the same batch has
+//!    since changed — is re-enqueued, never mis-applied.  A stale-but-still-
+//!    improving candidate is applied with its re-validated delta.
+//!
+//! Because batch composition, evaluation (pure against the snapshot), and
+//! commit order are all independent of the thread count and of scheduling
+//! interleavings, a search from a fixed initial state is **deterministic**:
+//! any two runs — with any `threads ≥ 2` — accept the same move sequence.
+//!
+//! Steady-state rounds perform no heap allocation outside thread spawn: the
+//! round/batch buffers, claim stamps, and per-lane scratches are all owned by
+//! the [`ParallelHc`] driver and reused.
+
+use super::state::{EvalScratch, HcCore};
+use super::{enqueue_dirty, HcState, HillClimbConfig, HillClimbOutcome, SearchScratch};
+use bsp_model::{DagView, Machine};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Instrumentation counters of one [`ParallelHc::search`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Evaluation rounds (drain → batch → fan-out → commit cycles).
+    pub rounds: u64,
+    /// Candidates evaluated speculatively across all rounds.
+    pub evaluated: u64,
+    /// Candidates whose speculative evaluation found an improving move.
+    pub speculative_wins: u64,
+    /// Moves committed (equals the outcome's `steps`).
+    pub accepted: u64,
+    /// Committed moves whose re-validated delta differed from the speculative
+    /// one (still improving, so still applied).
+    pub stale_applied: u64,
+    /// Speculative wins rejected at commit time (no longer valid or no longer
+    /// improving against the current tallies) and re-enqueued.
+    pub stale_rejected: u64,
+    /// Moves applied whose re-validated delta was non-improving.  The commit
+    /// step re-checks every candidate, so this is structurally zero; it is
+    /// counted (rather than assumed) so benchmarks can assert it.
+    pub mis_applied: u64,
+    /// Candidates pushed to a later round by the conflict-disjointness rule.
+    pub deferred: u64,
+}
+
+/// Per-round batch bound: a round commits at most this many speculative
+/// winners.  Deliberately independent of the lane count — batch composition
+/// must not change with `threads`, or lane-count determinism would break.
+/// Shared with the parallel `HCcs` driver so the two searches' round shapes
+/// are tuned in one place.
+pub(super) const BATCH_TARGET: usize = 64;
+/// Per-round drain bound: at most this many queue entries pass the conflict
+/// check per round, so a round's cost never scales with the backlog.
+pub(super) const EXAMINE_CAP: usize = 8 * BATCH_TARGET;
+
+/// The first improving destination a lane found for one candidate.
+#[derive(Debug, Clone, Copy)]
+struct FoundMove {
+    p_new: usize,
+    s_new: usize,
+    delta: i64,
+}
+
+/// One evaluation lane: a private scratch plus this round's share of the
+/// batch.  `found[i]` is the result for `candidates[i]`.
+#[derive(Debug, Default)]
+struct Lane {
+    scratch: EvalScratch,
+    candidates: Vec<usize>,
+    found: Vec<Option<FoundMove>>,
+}
+
+impl Lane {
+    fn evaluate<G: DagView>(&mut self, core: &HcCore<'_>, graph: &G, p: usize) {
+        self.scratch.invalidate_prepared();
+        for i in 0..self.candidates.len() {
+            let v = self.candidates[i];
+            let fm = Self::eval_candidate(core, &mut self.scratch, graph, v, p);
+            self.found.push(fm);
+        }
+    }
+
+    /// Mirrors the serial driver's `try_improve_node`: gate, window, then the
+    /// canonical candidate order (superstep `s−1`, `s`, `s+1`; processors
+    /// ascending), returning the first improving destination.
+    fn eval_candidate<G: DagView>(
+        core: &HcCore<'_>,
+        scratch: &mut EvalScratch,
+        graph: &G,
+        v: usize,
+        p: usize,
+    ) -> Option<FoundMove> {
+        if !core.can_gain(scratch, graph, v) {
+            return None;
+        }
+        let (p_old, s_old) = (core.proc_of(v), core.step_of(v));
+        let window = core.move_window(graph, v);
+        let s_candidates = [s_old.wrapping_sub(1), s_old, s_old + 1];
+        for &s_new in &s_candidates {
+            if s_new == usize::MAX {
+                continue; // wrapped below superstep 0
+            }
+            for p_new in 0..p {
+                if p_new == p_old && s_new == s_old {
+                    continue;
+                }
+                if !window.allows(p_new, s_new) {
+                    continue;
+                }
+                let delta = core.speculate_move(scratch, graph, v, p_new, s_new);
+                if delta < 0 {
+                    return Some(FoundMove {
+                        p_new,
+                        s_new,
+                        delta,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Reusable batch-speculative parallel `HC` driver.  Construct once (per
+/// solve or per refiner) and call [`ParallelHc::search`] any number of times;
+/// all buffers — lanes, round/batch lists, claim stamps — are retained
+/// across calls, so warm searches allocate nothing per round.
+#[derive(Debug)]
+pub struct ParallelHc {
+    lanes: Vec<Lane>,
+    /// This round's drained candidates, in work-list order.
+    round: Vec<usize>,
+    /// The conflict-disjoint subset selected for speculative evaluation.
+    batch: Vec<usize>,
+    /// Superstep rows claimed by the current batch (generation-stamped).
+    claim_mark: Vec<u64>,
+    /// Nodes that are a batch member or a DAG neighbour of one (stamped).
+    neighbor_mark: Vec<u64>,
+    claim_stamp: u64,
+    stats: ParallelStats,
+}
+
+impl ParallelHc {
+    /// A driver with `threads` evaluation lanes (at least one).
+    pub fn new(threads: usize) -> Self {
+        let lanes = (0..threads.max(1)).map(|_| Lane::default()).collect();
+        ParallelHc {
+            lanes,
+            round: Vec::new(),
+            batch: Vec::new(),
+            claim_mark: Vec::new(),
+            neighbor_mark: Vec::new(),
+            claim_stamp: 0,
+            stats: ParallelStats::default(),
+        }
+    }
+
+    /// Number of evaluation lanes.
+    pub fn threads(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Counters of the most recent [`ParallelHc::search`] call.
+    pub fn stats(&self) -> &ParallelStats {
+        &self.stats
+    }
+
+    /// The batch-speculative work-list search: the parallel counterpart of
+    /// [`super::hc_search`], with identical semantics for `scratch` seeding,
+    /// `full_sweep` certification, and the configured limits.
+    pub fn search<G: DagView + Sync>(
+        &mut self,
+        graph: &G,
+        machine: &Machine,
+        state: &mut HcState<'_>,
+        config: &HillClimbConfig,
+        scratch: &mut SearchScratch,
+        full_sweep: bool,
+    ) -> HillClimbOutcome {
+        let start = Instant::now();
+        self.stats = ParallelStats::default();
+        let initial_cost = state.total_cost();
+        let n = graph.n();
+        if scratch.in_queue.len() < n {
+            scratch.in_queue.resize(n, false);
+        }
+        if self.neighbor_mark.len() < n {
+            self.neighbor_mark.resize(n, 0);
+        }
+        // The bounded drain caps what one round can hold, so the buffers
+        // are sized to the bounds, not to `n`.
+        self.round
+            .reserve(EXAMINE_CAP.saturating_sub(self.round.capacity()));
+        self.batch
+            .reserve(BATCH_TARGET.saturating_sub(self.batch.capacity()));
+        let per_lane = BATCH_TARGET.div_ceil(self.lanes.len());
+        for lane in &mut self.lanes {
+            lane.scratch.fit(state.core());
+            lane.candidates
+                .reserve(per_lane.saturating_sub(lane.candidates.capacity()));
+            lane.found
+                .reserve(per_lane.saturating_sub(lane.found.capacity()));
+        }
+
+        let mut steps = 0usize;
+        let mut reached_local_minimum = false;
+        let over_limit = |start: &Instant, steps: usize| {
+            steps >= config.max_steps
+                || start.elapsed() > config.time_limit
+                || config.cancel.is_cancelled()
+        };
+
+        'outer: loop {
+            while !scratch.queue.is_empty() {
+                if over_limit(&start, steps) {
+                    break 'outer;
+                }
+                self.run_round(graph, machine, state, config, scratch, &mut steps);
+            }
+            if !full_sweep {
+                break;
+            }
+            // Verification sweep: enqueue every active node and run the same
+            // rounds; a sweep that accepts nothing certifies the local
+            // minimum (the dirty-set rule is sound per move, but the body
+            // cost `max` can hide second-order interactions).
+            let before = steps;
+            for v in 0..n {
+                if graph.is_active(v) {
+                    scratch.enqueue(v);
+                }
+            }
+            while !scratch.queue.is_empty() {
+                if over_limit(&start, steps) {
+                    break 'outer;
+                }
+                self.run_round(graph, machine, state, config, scratch, &mut steps);
+            }
+            if steps == before {
+                reached_local_minimum = true;
+                break;
+            }
+        }
+        // Leave the scratch clean for the next phase (limit-triggered exits
+        // leave entries enqueued).
+        while let Some(v) = scratch.queue.pop_front() {
+            scratch.in_queue[v] = false;
+        }
+        HillClimbOutcome {
+            steps,
+            initial_cost,
+            final_cost: state.total_cost(),
+            reached_local_minimum,
+        }
+    }
+
+    /// One drain → batch → fan-out → commit cycle.
+    fn run_round<G: DagView + Sync>(
+        &mut self,
+        graph: &G,
+        machine: &Machine,
+        state: &mut HcState<'_>,
+        config: &HillClimbConfig,
+        scratch: &mut SearchScratch,
+        steps: &mut usize,
+    ) {
+        let p = machine.p();
+        self.stats.rounds += 1;
+
+        // Select a conflict-disjoint batch straight off the work-list: a
+        // candidate claims the `(superstep, processor)` tally cells its own
+        // departure writes — `{τ(v)−1, τ(v), τ(v)+1} × {π(v)}` — and stamps
+        // its DAG neighbourhood; a candidate whose claims collide is parked
+        // in the defer buffer and retried next round.  Cell granularity is
+        // what makes a wide superstep parallelize: nodes of one step on
+        // *different* processors evaluate together, while two candidates
+        // leaving the same processor cell (whose gains genuinely interact
+        // through the row maxima) serialize.  Move windows only depend on
+        // direct neighbours, so excluding neighbours also keeps every
+        // batched candidate's feasibility stable across intra-batch commits;
+        // everything the cell claims do not cover — destination cells,
+        // contribution rows — is caught by the commit-time re-validation.
+        //
+        // The drain is **bounded** ([`BATCH_TARGET`] / [`EXAMINE_CAP`]): it
+        // stops once the batch is full or enough candidates were examined,
+        // and deferred candidates go back to the *head* of the queue.
+        // Draining everything per round would re-run the claim check over
+        // the whole backlog every round — quadratic churn when the tally
+        // grid is small (few supersteps × processors caps the disjoint
+        // batch width regardless of `n`).
+        let batch_target = BATCH_TARGET;
+        let examine_cap = EXAMINE_CAP;
+        let cap = (state.num_supersteps() + 3) * p;
+        if self.claim_mark.len() < cap {
+            self.claim_mark.resize(cap, 0);
+        }
+        self.claim_stamp += 1;
+        let stamp = self.claim_stamp;
+        self.batch.clear();
+        self.round.clear(); // defer buffer this round
+        let mut examined = 0usize;
+        while self.batch.len() < batch_target && examined < examine_cap {
+            let Some(v) = scratch.queue.pop_front() else {
+                break;
+            };
+            scratch.in_queue[v] = false;
+            examined += 1;
+            let s = state.step_of(v);
+            let q = state.proc_of(v);
+            let lo = s.saturating_sub(1);
+            let hi = s + 1;
+            let mut conflict = self.neighbor_mark[v] == stamp;
+            if !conflict {
+                for t in lo..=hi {
+                    if self.claim_mark[t * p + q] == stamp {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+            if conflict {
+                self.stats.deferred += 1;
+                self.round.push(v);
+                continue;
+            }
+            for t in lo..=hi {
+                self.claim_mark[t * p + q] = stamp;
+            }
+            self.neighbor_mark[v] = stamp;
+            for &u in graph.predecessors(v) {
+                self.neighbor_mark[u] = stamp;
+            }
+            for &w in graph.successors(v) {
+                self.neighbor_mark[w] = stamp;
+            }
+            self.batch.push(v);
+        }
+        // Deferred candidates rejoin at the head, in their original order,
+        // ahead of the untouched tail.
+        for idx in (0..self.round.len()).rev() {
+            let v = self.round[idx];
+            if !scratch.in_queue[v] {
+                scratch.in_queue[v] = true;
+                scratch.queue.push_front(v);
+            }
+        }
+
+        // Serially warm the shared summary caches the read-only evaluation
+        // reads, so the concurrent phase never writes the core.
+        {
+            let (core, st_scratch) = state.parts_mut();
+            for i in 0..self.batch.len() {
+                core.warm_summaries(st_scratch, graph, self.batch[i]);
+            }
+        }
+
+        // Distribute the batch round-robin over the lanes and fan out.  Tiny
+        // batches are evaluated inline: spawning threads for a handful of
+        // gated candidates costs more than it saves.
+        let nl = self.lanes.len();
+        for lane in &mut self.lanes {
+            lane.candidates.clear();
+            lane.found.clear();
+        }
+        for i in 0..self.batch.len() {
+            let v = self.batch[i];
+            self.lanes[i % nl].candidates.push(v);
+        }
+        self.stats.evaluated += self.batch.len() as u64;
+        {
+            let core = state.core();
+            if self.batch.len() < 2 * nl {
+                for lane in &mut self.lanes {
+                    lane.evaluate(core, graph, p);
+                }
+            } else {
+                self.lanes
+                    .par_iter_mut()
+                    .for_each(|lane| lane.evaluate(core, graph, p));
+            }
+        }
+
+        // Serial commit in batch order with re-validation: a candidate whose
+        // speculative gain was computed against tallies an earlier commit has
+        // since changed either still improves (applied with its re-validated
+        // delta) or is re-enqueued — never mis-applied.
+        for i in 0..self.batch.len() {
+            let v = self.batch[i];
+            let Some(fm) = self.lanes[i % nl].found[i / nl] else {
+                continue;
+            };
+            self.stats.speculative_wins += 1;
+            if *steps >= config.max_steps {
+                // Out of step budget: keep the candidate for a later call.
+                scratch.enqueue(v);
+                continue;
+            }
+            if !state.move_window(graph, v).allows(fm.p_new, fm.s_new) {
+                self.stats.stale_rejected += 1;
+                scratch.enqueue(v);
+                continue;
+            }
+            let actual = state.try_move(graph, v, fm.p_new, fm.s_new);
+            if actual < 0 {
+                if actual != fm.delta {
+                    self.stats.stale_applied += 1;
+                }
+                let applied = state.apply_move(graph, v, fm.p_new, fm.s_new);
+                // Genuine runtime detection, not an assumption: the delta the
+                // commit actually applied must improve, or the re-validation
+                // above was broken.  The bench/CI gate asserts this stays 0.
+                if applied >= 0 {
+                    self.stats.mis_applied += 1;
+                }
+                *steps += 1;
+                self.stats.accepted += 1;
+                let SearchScratch { queue, in_queue } = scratch;
+                enqueue_dirty(state, graph, v, queue, in_queue);
+            } else {
+                self.stats.stale_rejected += 1;
+                scratch.enqueue(v);
+            }
+        }
+    }
+}

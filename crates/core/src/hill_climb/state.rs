@@ -8,7 +8,7 @@
 //!
 //! This implementation goes one step further than "incremental": evaluating a
 //! candidate move performs **zero heap allocation**.  All intermediate results
-//! live in scratch buffers owned by the state and reused across moves:
+//! live in scratch buffers reused across moves:
 //!
 //! * the "earliest superstep each processor needs a value" map is a pair of
 //!   generation-stamped arrays (`need_step` / `need_mark`) instead of a fresh
@@ -20,10 +20,30 @@
 //!   incrementally, so a move's delta only recomputes the few touched rows of
 //!   the flat `[superstep × processor]` tally matrices.
 //!
-//! [`HcState::try_move`] evaluates a move and rolls every tally back;
-//! [`HcState::apply_move`] commits it.  Both return the exact cost delta, and
-//! applying the inverse move restores the previous state exactly (the property
-//! the search uses to reject candidates cheaply).
+//! ## The snapshot/scratch split
+//!
+//! The state is split in two so one solve can use every core:
+//!
+//! * [`HcCore`] is the **shared snapshot**: the assignment, the superstep
+//!   membership lists, the flat tally matrices with their row-max caches, and
+//!   the persistent per-node consumer-summary caches — everything candidate
+//!   evaluation *reads*.
+//! * [`EvalScratch`] is the **per-thread work area**: the generation-stamped
+//!   need maps, the contribution gather buffers, and the touched-superstep
+//!   dedup marks — everything evaluation *writes*.
+//!
+//! Read-only gain evaluation is therefore `&HcCore + &mut EvalScratch`
+//! ([`HcCore::speculate_move`], [`HcCore::can_gain`]) and safe to run from
+//! many threads at once against one snapshot, which is what the
+//! batch-speculative parallel driver ([`crate::hill_climb::ParallelHc`])
+//! does.  The classical mutating path ([`HcState::try_move`] /
+//! [`HcState::apply_move`]) still exists: it patches the tallies and rolls
+//! them back (or commits), and remains the serial driver's work-horse and the
+//! parallel driver's commit/re-validation step.  Both paths compute the exact
+//! same delta — a property test pins them against each other.
+//!
+//! [`HcState`] owns one core plus one scratch and exposes the classical
+//! single-threaded API unchanged.
 //!
 //! ## Graph-per-call and warm starts
 //!
@@ -80,7 +100,7 @@ struct ConsumerSummary {
 /// binding predecessor/successor superstep and, when every binding neighbour
 /// sits on one processor, that processor (which then also admits the equal
 /// superstep).  [`MoveWindow::allows`] answers validity in `O(1)`, replacing
-/// the `O(deg)` scan of [`HcState::move_is_valid`] in the driver's inner loop
+/// the `O(deg)` scan of [`HcCore::move_is_valid`] in the driver's inner loop
 /// over `3 · P` candidate destinations.
 #[derive(Debug, Clone, Copy)]
 pub struct MoveWindow {
@@ -96,7 +116,7 @@ pub struct MoveWindow {
 
 impl MoveWindow {
     /// `true` if moving the node to `(p_new, s_new)` keeps the lazy schedule
-    /// valid.  Equivalent to [`HcState::move_is_valid`].
+    /// valid.  Equivalent to [`HcCore::move_is_valid`].
     #[inline]
     pub fn allows(&self, p_new: usize, s_new: usize) -> bool {
         if let Some(ps) = self.pred_step {
@@ -113,9 +133,121 @@ impl MoveWindow {
     }
 }
 
-/// Incremental cost state of an assignment under the lazy communication rule.
+/// Per-thread work area of candidate-move evaluation: generation-stamped need
+/// maps, contribution gather buffers, touched-superstep dedup marks, and the
+/// speculative per-row delta accumulators.  One instance per evaluating
+/// thread; the shared [`HcCore`] is never written during read-only
+/// evaluation.
+///
+/// Buffers grow on demand ([`EvalScratch::fit`]) and are reused across moves,
+/// so steady-state evaluation performs zero heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Earliest consuming superstep per processor for the value currently
+    /// being summarized; valid iff `need_mark[q] == need_stamp`.
+    need_step: Vec<usize>,
+    /// Consumers attaining `need_step[q]`.
+    need_cnt: Vec<u32>,
+    /// Second-smallest distinct consuming superstep.
+    need_second: Vec<usize>,
+    need_mark: Vec<u64>,
+    /// Processors touched by the current summary computation.
+    need_touched: Vec<usize>,
+    need_stamp: u64,
+    /// Superstep membership in `affected`; valid iff `step_mark[s] == step_stamp`.
+    step_mark: Vec<u64>,
+    step_stamp: u64,
+    contribs_old: Vec<Contribution>,
+    contribs_new: Vec<Contribution>,
+    /// Supersteps whose tallies the last evaluated move touched.
+    affected: Vec<usize>,
+    /// Cached row state of `affected` before the move (for O(1) rollback):
+    /// `(body, work_max, work_max_cnt, hrel_max, hrel_max_cnt)`.
+    affected_saved: Vec<(u64, u64, u32, u64, u32)>,
+    /// Node whose `contribs_old` are currently cached.  The old contributions
+    /// of node `v` (its own plus its predecessors') are identical across all
+    /// `3 · P` candidate destinations the driver evaluates for `v`, so they
+    /// are collected once per node visit; any committed move invalidates.
+    prepared_node: Option<usize>,
+    /// Old-step → new-step map scratch for [`HcState::compact_steps`].
+    compact_map: Vec<usize>,
+    /// Speculative per-processor deltas of the row currently being rescanned
+    /// (read-only evaluation); valid iff `delta_mark[q] == delta_stamp`.
+    delta_work: Vec<i64>,
+    delta_send: Vec<i64>,
+    delta_recv: Vec<i64>,
+    delta_mark: Vec<u64>,
+    delta_stamp: u64,
+}
+
+impl EvalScratch {
+    /// An empty scratch; size it with [`EvalScratch::fit`] (or let the first
+    /// evaluation do it) before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows every buffer to match `core`'s processor count and superstep
+    /// capacity.  Idempotent and cheap once sized; evaluation calls it
+    /// internally, so explicit calls are only an optimization to front-load
+    /// the allocations.
+    pub fn fit(&mut self, core: &HcCore<'_>) {
+        self.fit_procs(core.machine.p());
+        self.fit_steps(core.body.len() + 1);
+        let bound = core.contrib_bound;
+        if self.contribs_old.capacity() < bound {
+            self.contribs_old.reserve(bound - self.contribs_old.len());
+        }
+        if self.contribs_new.capacity() < bound {
+            self.contribs_new.reserve(bound - self.contribs_new.len());
+        }
+        let step_bound = (2 + 2 * bound).min(core.body.len() + 1);
+        if self.affected.capacity() < step_bound {
+            self.affected.reserve(step_bound);
+        }
+        if self.affected_saved.capacity() < step_bound {
+            self.affected_saved.reserve(step_bound);
+        }
+    }
+
+    fn fit_procs(&mut self, p: usize) {
+        if self.need_mark.len() < p {
+            self.need_step.resize(p, 0);
+            self.need_cnt.resize(p, 0);
+            self.need_second.resize(p, 0);
+            self.need_mark.resize(p, 0);
+            self.need_touched.reserve(p);
+            self.delta_work.resize(p, 0);
+            self.delta_send.resize(p, 0);
+            self.delta_recv.resize(p, 0);
+            self.delta_mark.resize(p, 0);
+        }
+    }
+
+    fn fit_steps(&mut self, cap: usize) {
+        if self.step_mark.len() < cap {
+            self.step_mark.resize(cap, 0);
+        }
+    }
+
+    /// Forgets the per-node gather cache.  The parallel driver calls this at
+    /// the start of every batch: the scratch may hold contributions gathered
+    /// against a previous snapshot.
+    pub fn invalidate_prepared(&mut self) {
+        self.prepared_node = None;
+    }
+}
+
+/// The shared snapshot of the incremental cost state: assignment, superstep
+/// membership, flat tallies with row-max caches, cached body costs, and the
+/// persistent per-node consumer-summary caches.
+///
+/// All *mutating* operations take an [`EvalScratch`] for their intermediate
+/// buffers; all *read-only* evaluation ([`HcCore::speculate_move`],
+/// [`HcCore::can_gain`]) takes `&self` plus a scratch, so any number of
+/// threads can evaluate candidates against one core concurrently.
 #[derive(Debug, Clone)]
-pub struct HcState<'a> {
+pub struct HcCore<'a> {
     machine: &'a Machine,
     proc: Vec<usize>,
     step: Vec<usize>,
@@ -147,28 +279,6 @@ pub struct HcState<'a> {
     /// Running sum of `body` (steps past `num_steps` are always zero).
     body_sum: u64,
     num_steps: usize,
-    // ---- scratch buffers (valid only within one move evaluation) ----
-    /// Earliest consuming superstep per processor for the value currently
-    /// being summarized; valid iff `need_mark[q] == need_stamp`.
-    need_step: Vec<usize>,
-    /// Consumers attaining `need_step[q]`.
-    need_cnt: Vec<u32>,
-    /// Second-smallest distinct consuming superstep.
-    need_second: Vec<usize>,
-    need_mark: Vec<u64>,
-    /// Processors touched by the current summary computation.
-    need_touched: Vec<usize>,
-    need_stamp: u64,
-    /// Superstep membership in `affected`; valid iff `step_mark[s] == step_stamp`.
-    step_mark: Vec<u64>,
-    step_stamp: u64,
-    contribs_old: Vec<Contribution>,
-    contribs_new: Vec<Contribution>,
-    /// Supersteps whose tallies the last evaluated move touched.
-    affected: Vec<usize>,
-    /// Cached row state of `affected` before the move (for O(1) rollback):
-    /// `(body, work_max, work_max_cnt, hrel_max, hrel_max_cnt)`.
-    affected_saved: Vec<(u64, u64, u32, u64, u32)>,
     /// Persistent per-node consumer-summary cache (one entry per processor
     /// with at least one consumer, including the producer's own).  Node `u`'s
     /// entry depends only on `u`'s successors' positions, so a committed move
@@ -177,16 +287,12 @@ pub struct HcState<'a> {
     /// cheap on mostly-converged schedules.
     contrib_cache: Vec<Vec<ConsumerSummary>>,
     contrib_valid: Vec<bool>,
-    /// Node whose `contribs_old` are currently cached.  The old contributions
-    /// of node `v` (its own plus its predecessors') are identical across all
-    /// `3 · P` candidate destinations the driver evaluates for `v`, so they
-    /// are collected once per node visit; any committed move invalidates.
-    prepared_node: Option<usize>,
-    /// Node whose contributions [`HcState::pre_split`] removed; the matching
-    /// [`HcState::post_split`] must follow before any other operation.
+    /// Worst-case contribution gather size, `(max_in_deg + 1) · P`; scratch
+    /// buffers are pre-reserved to it.
+    contrib_bound: usize,
+    /// Node whose contributions [`HcCore::pre_split`] removed; the matching
+    /// [`HcCore::post_split`] must follow before any other operation.
     split_pending: Option<usize>,
-    /// Old-step → new-step map scratch for [`HcState::compact_steps`].
-    compact_map: Vec<usize>,
 }
 
 /// Maintains a cached row maximum (`max`, with `cnt` cells attaining it)
@@ -229,7 +335,7 @@ fn bump_row_max(max: &mut u64, cnt: &mut u32, row: &[u64], old: u64, new: u64) {
 /// of consumers attaining it, and the runner-up superstep.
 ///
 /// A free function over disjoint field borrows so callers can stream into the
-/// state's own scratch vec without fighting the borrow checker.
+/// scratch's own vec without fighting the borrow checker.
 #[allow(clippy::too_many_arguments)]
 fn collect_summaries<G: DagView>(
     graph: &G,
@@ -304,23 +410,15 @@ fn push_contributions(
     }
 }
 
-impl<'a> HcState<'a> {
-    /// Builds the incremental state from an assignment.
-    ///
-    /// The assignment must be feasible for the *lazy* communication schedule:
-    /// every edge `(u, w)` needs `τ(u) ≤ τ(w)` on the same processor and
-    /// `τ(u) < τ(w)` across processors (otherwise the value of `u` cannot
-    /// reach `π(w)` in time — for `τ(w) = 0` this is the case that used to
-    /// underflow `s - 1`).  Infeasible assignments yield a [`ValidityError`]
-    /// naming the offending edge.
-    ///
-    /// The view may contain inactive nodes (a quotient graph mid-coarsening):
-    /// they are skipped everywhere and their assignment entries are ignored
-    /// (by convention the caller should leave them at `(0, 0)`).
+impl<'a> HcCore<'a> {
+    /// Builds the shared core from an assignment, using `scratch` for the
+    /// initial tally construction.  See [`HcState::new`] for the feasibility
+    /// contract.
     pub fn new<G: DagView>(
         graph: &G,
         machine: &'a Machine,
         assignment: Assignment,
+        scratch: &mut EvalScratch,
     ) -> Result<Self, ValidityError> {
         let n = graph.n();
         let p = machine.p();
@@ -364,7 +462,14 @@ impl<'a> HcState<'a> {
         // One spare superstep so the common "move to s+1" candidate at the
         // schedule frontier does not have to grow the arrays.
         let capacity = num_steps.max(1) + 1;
-        let mut state = HcState {
+        let mut max_in = 0usize;
+        for v in 0..n {
+            if graph.is_active(v) {
+                max_in = max_in.max(graph.predecessors(v).len());
+            }
+        }
+        let contrib_bound = (max_in + 1) * p;
+        let mut core = HcCore {
             machine,
             proc: assignment.proc,
             step: assignment.superstep,
@@ -382,55 +487,27 @@ impl<'a> HcState<'a> {
             body: vec![0; capacity],
             body_sum: 0,
             num_steps,
-            need_step: vec![0; p],
-            need_cnt: vec![0; p],
-            need_second: vec![0; p],
-            need_mark: vec![0; p],
-            need_touched: Vec::with_capacity(p),
-            need_stamp: 0,
-            step_mark: vec![0; capacity],
-            step_stamp: 0,
-            contribs_old: Vec::new(),
-            contribs_new: Vec::new(),
-            affected: Vec::new(),
-            affected_saved: Vec::new(),
             // Reserved to `p` entries so warm-start splits that activate a
             // node never have to grow its summary cache.
             contrib_cache: (0..n).map(|_| Vec::with_capacity(p)).collect(),
             contrib_valid: vec![false; n],
-            prepared_node: None,
+            contrib_bound,
             split_pending: None,
-            compact_map: vec![0; capacity],
         };
-        state.rebuild_tallies(graph);
+        scratch.fit(&core);
+        core.rebuild_tallies(scratch, graph);
         // Headroom so the first splits/moves into a bucket don't reallocate.
-        for bucket in &mut state.step_nodes {
+        for bucket in &mut core.step_nodes {
             bucket.reserve(bucket.len() + 8);
         }
-        // Worst-case scratch reservations: one move (or split patch) gathers
-        // the contributions of a node plus its predecessors — at most
-        // `(in_deg + 1) · P` entries — and touches at most that many distinct
-        // supersteps plus the two it moves between.
-        let mut max_in = 0usize;
-        for v in 0..n {
-            if graph.is_active(v) {
-                max_in = max_in.max(graph.predecessors(v).len());
-            }
-        }
-        let contrib_bound = (max_in + 1) * p;
-        state.contribs_old.reserve(contrib_bound);
-        state.contribs_new.reserve(contrib_bound);
-        let step_bound = (2 + 2 * contrib_bound).min(state.body.len());
-        state.affected.reserve(step_bound);
-        state.affected_saved.reserve(step_bound);
-        Ok(state)
+        Ok(core)
     }
 
     /// Rebuilds every derived tally — superstep buckets, work and
     /// communication matrices, row-max caches, body costs — from the current
     /// `proc`/`step` arrays, reusing the existing buffers.  `O(n + m +
     /// steps · P)`; performs no heap allocation once the buffers are warm.
-    fn rebuild_tallies<G: DagView>(&mut self, graph: &G) {
+    fn rebuild_tallies<G: DagView>(&mut self, scratch: &mut EvalScratch, graph: &G) {
         let p = self.machine.p();
         let n = graph.n();
         let capacity = self.body.len();
@@ -455,13 +532,13 @@ impl<'a> HcState<'a> {
             num_steps = num_steps.max(s + 1);
         }
         self.num_steps = num_steps;
-        self.prepared_node = None;
-        let mut materialized = std::mem::take(&mut self.contribs_new);
+        scratch.prepared_node = None;
+        let mut materialized = std::mem::take(&mut scratch.contribs_new);
         for u in 0..n {
             if !graph.is_active(u) {
                 continue;
             }
-            self.refresh_summaries(graph, u);
+            self.refresh_summaries(scratch, graph, u);
             materialized.clear();
             push_contributions(
                 self.machine,
@@ -479,7 +556,7 @@ impl<'a> HcState<'a> {
                 self.hrel[to] = self.send[to].max(self.recv[to]);
             }
         }
-        self.contribs_new = materialized;
+        scratch.contribs_new = materialized;
         self.body_sum = 0;
         let g = self.machine.g();
         for s in 0..capacity {
@@ -513,23 +590,16 @@ impl<'a> HcState<'a> {
     }
 
     /// Removes supersteps without any computation and renumbers the remaining
-    /// ones contiguously — the state-level counterpart of
-    /// [`bsp_model::BspSchedule::normalize`] under the lazy communication
-    /// schedule (lazy phases re-anchor to the consumers' new indices, which
-    /// is exactly where `normalize` shifts them).  Returns the number of
-    /// supersteps removed.
-    ///
-    /// `O(num_steps)` when nothing is dead; a rebuild of the derived tallies
-    /// (`O(n + m)`, allocation-free) when compaction happens.  The multilevel
-    /// engine calls this between refinement phases: supersteps drain rarely,
-    /// and mostly at coarse levels where `n` is small, so the amortized cost
-    /// stays far below the per-phase rebuild it replaces.
-    pub fn compact_steps<G: DagView>(&mut self, graph: &G) -> usize {
+    /// ones contiguously — see [`HcState::compact_steps`].
+    pub fn compact_steps<G: DagView>(&mut self, scratch: &mut EvalScratch, graph: &G) -> usize {
         debug_assert!(self.split_pending.is_none());
         let total = self.num_steps;
+        if scratch.compact_map.len() < total {
+            scratch.compact_map.resize(total, 0);
+        }
         let mut next = 0usize;
         for s in 0..total {
-            self.compact_map[s] = next;
+            scratch.compact_map[s] = next;
             if self.nodes_in_step[s] > 0 {
                 next += 1;
             }
@@ -540,12 +610,12 @@ impl<'a> HcState<'a> {
         }
         for v in 0..graph.n() {
             if graph.is_active(v) {
-                self.step[v] = self.compact_map[self.step[v]];
+                self.step[v] = scratch.compact_map[self.step[v]];
             }
         }
         // Every consumer superstep moved, so every cached summary is stale.
         self.contrib_valid.fill(false);
-        self.rebuild_tallies(graph);
+        self.rebuild_tallies(scratch, graph);
         removed
     }
 
@@ -567,16 +637,15 @@ impl<'a> HcState<'a> {
         self.num_steps
     }
 
+    /// The machine the state is costed against.
+    #[inline]
+    pub fn machine(&self) -> &'a Machine {
+        self.machine
+    }
+
     /// The nodes currently assigned to superstep `s` (in no particular order).
     pub fn nodes_in_superstep(&self, s: usize) -> &[usize] {
         self.step_nodes.get(s).map_or(&[], Vec::as_slice)
-    }
-
-    /// The supersteps whose tallies the most recent `try_move`/`apply_move`
-    /// touched (deduplicated, unordered).  The work-list driver re-enqueues
-    /// the nodes of these supersteps after an accepted move.
-    pub fn last_affected_steps(&self) -> &[usize] {
-        &self.affected
     }
 
     /// A snapshot of the current assignment.
@@ -587,23 +656,185 @@ impl<'a> HcState<'a> {
         }
     }
 
-    /// Consumes the state and returns the assignment.
-    pub fn into_assignment(self) -> Assignment {
-        Assignment {
-            proc: self.proc,
-            superstep: self.step,
-        }
-    }
-
     /// Total schedule cost under the lazy communication schedule.  `O(1)`.
     pub fn total_cost(&self) -> u64 {
         self.body_sum + self.machine.latency() * self.num_steps as u64
     }
 
+    /// Rebuilds node `u`'s cached consumer summaries if a committed move
+    /// invalidated them.
+    fn refresh_summaries<G: DagView>(&mut self, scratch: &mut EvalScratch, graph: &G, u: usize) {
+        if self.contrib_valid[u] {
+            return;
+        }
+        scratch.fit_procs(self.machine.p());
+        let mut entry = std::mem::take(&mut self.contrib_cache[u]);
+        scratch.need_stamp += 1;
+        collect_summaries(
+            graph,
+            &self.proc,
+            &self.step,
+            &mut scratch.need_step,
+            &mut scratch.need_cnt,
+            &mut scratch.need_second,
+            &mut scratch.need_mark,
+            &mut scratch.need_touched,
+            scratch.need_stamp,
+            u,
+            &mut entry,
+        );
+        self.contrib_cache[u] = entry;
+        self.contrib_valid[u] = true;
+    }
+
+    /// Refreshes the consumer-summary caches of `v` and its predecessors —
+    /// everything the read-only evaluation of `v`'s candidate moves reads.
+    /// The parallel driver calls this serially for each batch member before
+    /// fanning evaluation out, so the concurrent phase never has to write the
+    /// shared cache.
+    pub fn warm_summaries<G: DagView>(&mut self, scratch: &mut EvalScratch, graph: &G, v: usize) {
+        self.refresh_summaries(scratch, graph, v);
+        for &u in graph.predecessors(v) {
+            self.refresh_summaries(scratch, graph, u);
+        }
+    }
+
+    /// Gathers into `scratch.contribs_old` the lazy contributions of `v` and
+    /// its predecessors under the current assignment (from the per-node
+    /// caches — no successor-list scan for clean nodes).  The result is
+    /// identical for every candidate destination of `v`, so the driver's
+    /// `3 · P` evaluations of one node gather it only once.
+    ///
+    /// Requires the summary caches of `v` and its predecessors to be valid
+    /// ([`HcCore::warm_summaries`]).
+    fn prepare_node<G: DagView>(&self, scratch: &mut EvalScratch, graph: &G, v: usize) {
+        if scratch.prepared_node == Some(v) {
+            return;
+        }
+        debug_assert!(self.contrib_valid[v], "summary cache of {v} is stale");
+        let mut gathered = std::mem::take(&mut scratch.contribs_old);
+        gathered.clear();
+        push_contributions(
+            self.machine,
+            self.proc[v],
+            graph.comm(v),
+            &self.contrib_cache[v],
+            &mut gathered,
+        );
+        for &u in graph.predecessors(v) {
+            debug_assert!(self.contrib_valid[u], "summary cache of {u} is stale");
+            push_contributions(
+                self.machine,
+                self.proc[u],
+                graph.comm(u),
+                &self.contrib_cache[u],
+                &mut gathered,
+            );
+        }
+        scratch.contribs_old = gathered;
+        scratch.prepared_node = Some(v);
+    }
+
+    /// Fills `scratch.contribs_old` / `scratch.contribs_new` with the lazy
+    /// contributions removed and added by moving `v` to `(p_new, s_new)`.
+    /// Pure with respect to the core; shared by the mutating
+    /// [`HcCore::eval_move`] and the read-only [`HcCore::speculate_move`], so
+    /// the two paths cannot drift apart on the communication model.
+    fn gather_move_contribs<G: DagView>(
+        &self,
+        scratch: &mut EvalScratch,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) {
+        let p_old = self.proc[v];
+        let s_old = self.step[v];
+
+        // Values whose lazy communication steps can change: v and its
+        // predecessors.  Old contributions under the current assignment
+        // (cached across the candidate destinations of `v`):
+        self.prepare_node(scratch, graph, v);
+
+        // New contributions, derived from the cached consumer summaries in
+        // `O(1)` per summary — no successor list is scanned per candidate.
+        //
+        // * v's consumers do not move, so v's new contributions are its
+        //   summaries re-anchored at sender `p_new`.
+        // * A predecessor u's summaries change only on the processors v
+        //   leaves (`p_old`) and joins (`p_new`): exclude v via
+        //   (`min_cnt`, `runner_up`), include v at `s_new`.
+        let machine = self.machine;
+        let mut new_out = std::mem::take(&mut scratch.contribs_new);
+        new_out.clear();
+        {
+            let cv = graph.comm(v);
+            for sm in &self.contrib_cache[v] {
+                if sm.to == p_new {
+                    continue;
+                }
+                debug_assert!(sm.min_step > 0, "consumer of a moved value in superstep 0");
+                new_out.push(Contribution {
+                    step: sm.min_step - 1,
+                    from: p_new,
+                    to: sm.to,
+                    weight: cv * machine.lambda(p_new, sm.to),
+                });
+            }
+        }
+        for &u in graph.predecessors(v) {
+            let pu = self.proc[u];
+            let cu = graph.comm(u);
+            let mut saw_p_new = false;
+            for sm in &self.contrib_cache[u] {
+                if sm.to == p_new {
+                    saw_p_new = true;
+                }
+                if sm.to == pu {
+                    continue;
+                }
+                let mut eff = sm.min_step;
+                if sm.to == p_old && sm.min_step == s_old {
+                    // v attains the minimum here; excluding it leaves either
+                    // the tied consumers or the runner-up step.
+                    eff = if sm.min_cnt > 1 {
+                        sm.min_step
+                    } else {
+                        sm.runner_up
+                    };
+                }
+                if sm.to == p_new {
+                    eff = eff.min(s_new);
+                }
+                if eff == usize::MAX {
+                    continue; // v was the only consumer on this processor
+                }
+                debug_assert!(eff > 0, "consumer in superstep 0 after a move");
+                new_out.push(Contribution {
+                    step: eff - 1,
+                    from: pu,
+                    to: sm.to,
+                    weight: cu * machine.lambda(pu, sm.to),
+                });
+            }
+            if !saw_p_new && p_new != pu {
+                debug_assert!(s_new > 0, "cross-processor predecessor with s_new == 0");
+                new_out.push(Contribution {
+                    step: s_new - 1,
+                    from: pu,
+                    to: p_new,
+                    weight: cu * machine.lambda(pu, p_new),
+                });
+            }
+        }
+        scratch.contribs_new = new_out;
+    }
+
     /// Sound pruning gate: `false` guarantees that *no* candidate move of `v`
     /// can lower the total cost, so the driver may skip all `3 · P`
-    /// destinations outright.  `O(deg)` (and it warms the per-node
-    /// contribution cache that candidate evaluation reuses).
+    /// destinations outright.  `O(deg)`; read-only on the core, so safe to
+    /// run concurrently.  Requires warm summary caches
+    /// ([`HcCore::warm_summaries`]).
     ///
     /// Soundness: a move only removes tallies at `v`'s own work cell and at
     /// the cells of the old lazy contributions of `v` and its predecessors;
@@ -612,7 +843,7 @@ impl<'a> HcState<'a> {
     /// of those removed-from cells currently attains its row maximum.  The
     /// latency term can only decrease when `v`'s superstep empties, i.e. `v`
     /// is alone in it.  If none of these hold, every candidate has `delta ≥ 0`.
-    pub fn node_can_gain<G: DagView>(&mut self, graph: &G, v: usize) -> bool {
+    pub fn can_gain<G: DagView>(&self, scratch: &mut EvalScratch, graph: &G, v: usize) -> bool {
         let p = self.machine.p();
         let s_old = self.step[v];
         let p_old = self.proc[v];
@@ -629,12 +860,12 @@ impl<'a> HcState<'a> {
         // max drops only if the removable max-attaining cells cover *all*
         // cells attaining it, so collect distinct removable max cells per
         // phase and compare against the attain-count.
-        self.prepare_node(graph, v);
+        self.prepare_node(scratch, graph, v);
         const CAP: usize = 16;
         let mut max_cells = [(0usize, 0usize); CAP];
         let mut m = 0usize;
-        for i in 0..self.contribs_old.len() {
-            let c = self.contribs_old[i];
+        for i in 0..scratch.contribs_old.len() {
+            let c = scratch.contribs_old[i];
             let row_max = self.hrel_max[c.step];
             let cnt = self.hrel_max_cnt[c.step];
             for cell in [c.step * p + c.from, c.step * p + c.to] {
@@ -746,6 +977,160 @@ impl<'a> HcState<'a> {
         true
     }
 
+    /// Work tally at `(s, q)`, treating rows past the allocated capacity as
+    /// empty (a speculative move may target the first unmaterialized step).
+    #[inline(always)]
+    fn work_at(&self, s: usize, q: usize) -> u64 {
+        let p = self.machine.p();
+        self.work.get(s * p + q).copied().unwrap_or(0)
+    }
+
+    #[inline(always)]
+    fn send_at(&self, s: usize, q: usize) -> u64 {
+        let p = self.machine.p();
+        self.send.get(s * p + q).copied().unwrap_or(0)
+    }
+
+    #[inline(always)]
+    fn recv_at(&self, s: usize, q: usize) -> u64 {
+        let p = self.machine.p();
+        self.recv.get(s * p + q).copied().unwrap_or(0)
+    }
+
+    /// Evaluates the move of node `v` to `(p_new, s_new)` **without touching
+    /// the core**: the delta is assembled from fresh row scans over the
+    /// speculative per-processor deltas held in `scratch`.  Returns the exact
+    /// change in total cost (negative = improvement) — identical to
+    /// [`HcState::try_move`] on the same state.
+    ///
+    /// Requires warm summary caches for `v` and its predecessors
+    /// ([`HcCore::warm_summaries`]); the candidate must be feasible
+    /// ([`MoveWindow::allows`]).  Performs no heap allocation once the
+    /// scratch is sized.  `O(|affected rows| · P)`.
+    pub fn speculate_move<G: DagView>(
+        &self,
+        scratch: &mut EvalScratch,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) -> i64 {
+        debug_assert!(self.split_pending.is_none());
+        let p_old = self.proc[v];
+        let s_old = self.step[v];
+        if p_old == p_new && s_old == s_new {
+            return 0;
+        }
+        let p = self.machine.p();
+        scratch.fit_procs(p);
+        scratch.fit_steps(self.body.len().max(s_new + 1) + 1);
+        self.gather_move_contribs(scratch, graph, v, p_new, s_new);
+
+        // Deduplicate the touched supersteps with the generation stamp.
+        scratch.affected.clear();
+        scratch.step_stamp += 1;
+        let stamp = scratch.step_stamp;
+        for s in [s_old, s_new] {
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
+            }
+        }
+        for i in 0..scratch.contribs_old.len() {
+            let s = scratch.contribs_old[i].step;
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
+            }
+        }
+        for i in 0..scratch.contribs_new.len() {
+            let s = scratch.contribs_new[i].step;
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
+            }
+        }
+
+        // Per affected superstep: accumulate the cell deltas in the stamped
+        // per-processor arrays, then recompute the row maxima in one scan
+        // that reads the shared tallies and applies the deltas on the fly.
+        let wv = graph.work(v) as i64;
+        let g = self.machine.g();
+        let mut before = 0u64;
+        let mut after = 0u64;
+        for ai in 0..scratch.affected.len() {
+            let s = scratch.affected[ai];
+            before += self.body.get(s).copied().unwrap_or(0);
+            scratch.delta_stamp += 1;
+            let ds = scratch.delta_stamp;
+            let touch = |scratch: &mut EvalScratch, q: usize| {
+                if scratch.delta_mark[q] != ds {
+                    scratch.delta_mark[q] = ds;
+                    scratch.delta_work[q] = 0;
+                    scratch.delta_send[q] = 0;
+                    scratch.delta_recv[q] = 0;
+                }
+            };
+            if s == s_old {
+                touch(scratch, p_old);
+                scratch.delta_work[p_old] -= wv;
+            }
+            if s == s_new {
+                touch(scratch, p_new);
+                scratch.delta_work[p_new] += wv;
+            }
+            for i in 0..scratch.contribs_old.len() {
+                let c = scratch.contribs_old[i];
+                if c.step != s {
+                    continue;
+                }
+                touch(scratch, c.from);
+                scratch.delta_send[c.from] -= c.weight as i64;
+                touch(scratch, c.to);
+                scratch.delta_recv[c.to] -= c.weight as i64;
+            }
+            for i in 0..scratch.contribs_new.len() {
+                let c = scratch.contribs_new[i];
+                if c.step != s {
+                    continue;
+                }
+                touch(scratch, c.from);
+                scratch.delta_send[c.from] += c.weight as i64;
+                touch(scratch, c.to);
+                scratch.delta_recv[c.to] += c.weight as i64;
+            }
+            let mut wm = 0u64;
+            let mut hm = 0u64;
+            for q in 0..p {
+                let (wq, sq, rq) = if scratch.delta_mark[q] == ds {
+                    let wq = self.work_at(s, q) as i64 + scratch.delta_work[q];
+                    let sq = self.send_at(s, q) as i64 + scratch.delta_send[q];
+                    let rq = self.recv_at(s, q) as i64 + scratch.delta_recv[q];
+                    debug_assert!(wq >= 0 && sq >= 0 && rq >= 0, "speculative tally underflow");
+                    (wq as u64, sq as u64, rq as u64)
+                } else {
+                    (self.work_at(s, q), self.send_at(s, q), self.recv_at(s, q))
+                };
+                wm = wm.max(wq);
+                hm = hm.max(sq.max(rq));
+            }
+            after += wm + g * hm;
+        }
+
+        // The new superstep count, accounting for the occupancy shift.
+        let occupancy = |s: usize| {
+            self.nodes_in_step.get(s).copied().unwrap_or(0) + usize::from(s == s_new)
+                - usize::from(s == s_old)
+        };
+        let mut new_num_steps = self.num_steps.max(s_new + 1);
+        while new_num_steps > 0 && occupancy(new_num_steps - 1) == 0 {
+            new_num_steps -= 1;
+        }
+        let latency_delta =
+            self.machine.latency() as i64 * (new_num_steps as i64 - self.num_steps as i64);
+        after as i64 - before as i64 + latency_delta
+    }
+
     /// Grows the tally matrices to hold at least `steps` supersteps.
     fn ensure_capacity(&mut self, steps: usize) {
         let current = self.body.len();
@@ -764,32 +1149,6 @@ impl<'a> HcState<'a> {
         self.nodes_in_step.resize(steps, 0);
         self.step_nodes.resize_with(steps, Vec::new);
         self.body.resize(steps, 0);
-        self.step_mark.resize(steps, 0);
-        self.compact_map.resize(steps, 0);
-    }
-
-    /// Evaluates the move of node `v` to `(p_new, s_new)` without committing
-    /// it: every tally is rolled back before returning.  Returns the exact
-    /// change in total cost (negative = improvement).
-    ///
-    /// Performs no heap allocation (after the state's scratch buffers have
-    /// warmed up to the move's superstep range).
-    pub fn try_move<G: DagView>(&mut self, graph: &G, v: usize, p_new: usize, s_new: usize) -> i64 {
-        self.eval_move(graph, v, p_new, s_new, false)
-    }
-
-    /// Applies the move of node `v` to `(p_new, s_new)` and returns the change
-    /// in total cost (negative = improvement).  Applying the inverse move
-    /// afterwards restores the exact previous state and returns the negated
-    /// delta.
-    pub fn apply_move<G: DagView>(
-        &mut self,
-        graph: &G,
-        v: usize,
-        p_new: usize,
-        s_new: usize,
-    ) -> i64 {
-        self.eval_move(graph, v, p_new, s_new, true)
     }
 
     /// Adds/subtracts `weight` on the send (`Side::Send`) or receive tally at
@@ -840,69 +1199,11 @@ impl<'a> HcState<'a> {
         );
     }
 
-    /// Rebuilds node `u`'s cached consumer summaries if a committed move
-    /// invalidated them.
-    fn refresh_summaries<G: DagView>(&mut self, graph: &G, u: usize) {
-        if self.contrib_valid[u] {
-            return;
-        }
-        let mut entry = std::mem::take(&mut self.contrib_cache[u]);
-        self.need_stamp += 1;
-        collect_summaries(
-            graph,
-            &self.proc,
-            &self.step,
-            &mut self.need_step,
-            &mut self.need_cnt,
-            &mut self.need_second,
-            &mut self.need_mark,
-            &mut self.need_touched,
-            self.need_stamp,
-            u,
-            &mut entry,
-        );
-        self.contrib_cache[u] = entry;
-        self.contrib_valid[u] = true;
-    }
-
-    /// Gathers into `contribs_old` the lazy contributions of `v` and its
-    /// predecessors under the current assignment (from the per-node caches —
-    /// no successor-list scan for clean nodes).  The result is identical for
-    /// every candidate destination of `v`, so the driver's `3 · P` evaluations
-    /// of one node gather it only once.
-    fn prepare_node<G: DagView>(&mut self, graph: &G, v: usize) {
-        if self.prepared_node == Some(v) {
-            return;
-        }
-        self.refresh_summaries(graph, v);
-        for &u in graph.predecessors(v) {
-            self.refresh_summaries(graph, u);
-        }
-        let mut gathered = std::mem::take(&mut self.contribs_old);
-        gathered.clear();
-        push_contributions(
-            self.machine,
-            self.proc[v],
-            graph.comm(v),
-            &self.contrib_cache[v],
-            &mut gathered,
-        );
-        for &u in graph.predecessors(v) {
-            push_contributions(
-                self.machine,
-                self.proc[u],
-                graph.comm(u),
-                &self.contrib_cache[u],
-                &mut gathered,
-            );
-        }
-        self.contribs_old = gathered;
-        self.prepared_node = Some(v);
-    }
-
     /// Shared move evaluation; `commit` decides whether the move sticks.
-    fn eval_move<G: DagView>(
+    /// See [`HcState::try_move`] / [`HcState::apply_move`].
+    pub fn eval_move<G: DagView>(
         &mut self,
+        scratch: &mut EvalScratch,
         graph: &G,
         v: usize,
         p_new: usize,
@@ -916,124 +1217,51 @@ impl<'a> HcState<'a> {
             return 0;
         }
         self.ensure_capacity(s_new + 1);
+        scratch.fit_procs(self.machine.p());
+        scratch.fit_steps(self.body.len() + 1);
         let p = self.machine.p();
 
-        // Values whose lazy communication steps can change: v and its
-        // predecessors.  Old contributions under the current assignment
-        // (cached across the candidate destinations of `v`):
-        self.prepare_node(graph, v);
-
-        // New contributions, derived from the cached consumer summaries in
-        // `O(1)` per summary — no successor list is scanned per candidate.
-        //
-        // * v's consumers do not move, so v's new contributions are its
-        //   summaries re-anchored at sender `p_new`.
-        // * A predecessor u's summaries change only on the processors v
-        //   leaves (`p_old`) and joins (`p_new`): exclude v via
-        //   (`min_cnt`, `runner_up`), include v at `s_new`.
-        let machine = self.machine;
-        let mut new_out = std::mem::take(&mut self.contribs_new);
-        new_out.clear();
-        {
-            let cv = graph.comm(v);
-            for sm in &self.contrib_cache[v] {
-                if sm.to == p_new {
-                    continue;
-                }
-                debug_assert!(sm.min_step > 0, "consumer of a moved value in superstep 0");
-                new_out.push(Contribution {
-                    step: sm.min_step - 1,
-                    from: p_new,
-                    to: sm.to,
-                    weight: cv * machine.lambda(p_new, sm.to),
-                });
-            }
-        }
-        for &u in graph.predecessors(v) {
-            let pu = self.proc[u];
-            let cu = graph.comm(u);
-            let mut saw_p_new = false;
-            for sm in &self.contrib_cache[u] {
-                if sm.to == p_new {
-                    saw_p_new = true;
-                }
-                if sm.to == pu {
-                    continue;
-                }
-                let mut eff = sm.min_step;
-                if sm.to == p_old && sm.min_step == s_old {
-                    // v attains the minimum here; excluding it leaves either
-                    // the tied consumers or the runner-up step.
-                    eff = if sm.min_cnt > 1 {
-                        sm.min_step
-                    } else {
-                        sm.runner_up
-                    };
-                }
-                if sm.to == p_new {
-                    eff = eff.min(s_new);
-                }
-                if eff == usize::MAX {
-                    continue; // v was the only consumer on this processor
-                }
-                debug_assert!(eff > 0, "consumer in superstep 0 after a move");
-                new_out.push(Contribution {
-                    step: eff - 1,
-                    from: pu,
-                    to: sm.to,
-                    weight: cu * machine.lambda(pu, sm.to),
-                });
-            }
-            if !saw_p_new && p_new != pu {
-                debug_assert!(s_new > 0, "cross-processor predecessor with s_new == 0");
-                new_out.push(Contribution {
-                    step: s_new - 1,
-                    from: pu,
-                    to: p_new,
-                    weight: cu * machine.lambda(pu, p_new),
-                });
-            }
-        }
-        self.contribs_new = new_out;
+        self.warm_summaries(scratch, graph, v);
+        self.gather_move_contribs(scratch, graph, v, p_new, s_new);
 
         // Mutate the assignment.
         self.proc[v] = p_new;
         self.step[v] = s_new;
 
         // Deduplicate the touched supersteps with the generation stamp.
-        self.affected.clear();
-        self.step_stamp += 1;
-        let stamp = self.step_stamp;
+        scratch.affected.clear();
+        scratch.step_stamp += 1;
+        let stamp = scratch.step_stamp;
         for s in [s_old, s_new] {
-            if self.step_mark[s] != stamp {
-                self.step_mark[s] = stamp;
-                self.affected.push(s);
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
             }
         }
-        for i in 0..self.contribs_old.len() {
-            let s = self.contribs_old[i].step;
-            if self.step_mark[s] != stamp {
-                self.step_mark[s] = stamp;
-                self.affected.push(s);
+        for i in 0..scratch.contribs_old.len() {
+            let s = scratch.contribs_old[i].step;
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
             }
         }
-        for i in 0..self.contribs_new.len() {
-            let s = self.contribs_new[i].step;
-            if self.step_mark[s] != stamp {
-                self.step_mark[s] = stamp;
-                self.affected.push(s);
+        for i in 0..scratch.contribs_new.len() {
+            let s = scratch.contribs_new[i].step;
+            if scratch.step_mark[s] != stamp {
+                scratch.step_mark[s] = stamp;
+                scratch.affected.push(s);
             }
         }
 
         // Body cost of the affected supersteps before the tally updates
         // (cached, so this is O(|affected|)); remember the full row caches so
         // a rejected move rolls back without recomputing any row maximum.
-        self.affected_saved.clear();
+        scratch.affected_saved.clear();
         let mut before = 0u64;
-        for i in 0..self.affected.len() {
-            let s = self.affected[i];
+        for i in 0..scratch.affected.len() {
+            let s = scratch.affected[i];
             let b = self.body[s];
-            self.affected_saved.push((
+            scratch.affected_saved.push((
                 b,
                 self.work_max[s],
                 self.work_max_cnt[s],
@@ -1047,13 +1275,13 @@ impl<'a> HcState<'a> {
         let wv = graph.work(v);
         self.patch_work(s_old, p_old, self.work[s_old * p + p_old] - wv);
         self.patch_work(s_new, p_new, self.work[s_new * p + p_new] + wv);
-        for i in 0..self.contribs_old.len() {
-            let c = self.contribs_old[i];
+        for i in 0..scratch.contribs_old.len() {
+            let c = scratch.contribs_old[i];
             self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, false);
             self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, false);
         }
-        for i in 0..self.contribs_new.len() {
-            let c = self.contribs_new[i];
+        for i in 0..scratch.contribs_new.len() {
+            let c = scratch.contribs_new[i];
             self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, true);
             self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, true);
         }
@@ -1070,8 +1298,8 @@ impl<'a> HcState<'a> {
         // Body cost after, straight from the row-max caches (`O(1)` per step).
         let g = self.machine.g();
         let mut after = 0u64;
-        for i in 0..self.affected.len() {
-            let s = self.affected[i];
+        for i in 0..scratch.affected.len() {
+            let s = scratch.affected[i];
             let cost = self.work_max[s] + g * self.hrel_max[s];
             self.body_sum = self.body_sum - self.body[s] + cost;
             self.body[s] = cost;
@@ -1103,7 +1331,7 @@ impl<'a> HcState<'a> {
             for &u in graph.predecessors(v) {
                 self.contrib_valid[u] = false;
             }
-            self.prepared_node = None;
+            scratch.prepared_node = None;
             return delta;
         }
 
@@ -1114,8 +1342,8 @@ impl<'a> HcState<'a> {
         self.step[v] = s_old;
         self.work[s_old * p + p_old] += wv;
         self.work[s_new * p + p_new] -= wv;
-        for i in 0..self.contribs_old.len() {
-            let c = self.contribs_old[i];
+        for i in 0..scratch.contribs_old.len() {
+            let c = scratch.contribs_old[i];
             let from = c.step * p + c.from;
             let to = c.step * p + c.to;
             self.send[from] += c.weight;
@@ -1123,8 +1351,8 @@ impl<'a> HcState<'a> {
             self.hrel[from] = self.send[from].max(self.recv[from]);
             self.hrel[to] = self.send[to].max(self.recv[to]);
         }
-        for i in 0..self.contribs_new.len() {
-            let c = self.contribs_new[i];
+        for i in 0..scratch.contribs_new.len() {
+            let c = scratch.contribs_new[i];
             let from = c.step * p + c.from;
             let to = c.step * p + c.to;
             self.send[from] -= c.weight;
@@ -1132,9 +1360,9 @@ impl<'a> HcState<'a> {
             self.hrel[from] = self.send[from].max(self.recv[from]);
             self.hrel[to] = self.send[to].max(self.recv[to]);
         }
-        for i in 0..self.affected.len() {
-            let s = self.affected[i];
-            let (body, wm, wc, hm, hc) = self.affected_saved[i];
+        for i in 0..scratch.affected.len() {
+            let s = scratch.affected[i];
+            let (body, wm, wc, hm, hc) = scratch.affected_saved[i];
             self.body_sum = self.body_sum - self.body[s] + body;
             self.body[s] = body;
             self.work_max[s] = wm;
@@ -1145,24 +1373,13 @@ impl<'a> HcState<'a> {
         delta
     }
 
-    /// First half of the warm-start *split* patch: removes the lazy
-    /// contributions of cluster `kept` from the tallies, ahead of the quotient
-    /// graph splitting `kept` in two.  Must be called with the **pre-split**
-    /// view (so `kept`'s successor set and communication weight are still the
-    /// merged ones) and followed by [`HcState::post_split`] before any other
-    /// operation on the state.  `O(deg(kept))`, allocation-free once warm.
-    ///
-    /// The work tallies need no patching at all: the two halves stay on
-    /// `kept`'s processor and superstep, so their summed work sits in the same
-    /// cell before and after the split.  Predecessors' materialized
-    /// contributions are likewise unchanged (their consumers keep their
-    /// positions); only their cached summaries go stale, which
-    /// [`HcState::post_split`] records.
-    pub fn pre_split<G: DagView>(&mut self, graph: &G, kept: usize) {
+    /// First half of the warm-start *split* patch; see [`HcState::pre_split`].
+    pub fn pre_split<G: DagView>(&mut self, scratch: &mut EvalScratch, graph: &G, kept: usize) {
         debug_assert!(self.split_pending.is_none());
-        self.refresh_summaries(graph, kept);
+        self.refresh_summaries(scratch, graph, kept);
         let p = self.machine.p();
-        let mut old = std::mem::take(&mut self.contribs_old);
+        scratch.fit_steps(self.body.len() + 1);
+        let mut old = std::mem::take(&mut scratch.contribs_old);
         old.clear();
         push_contributions(
             self.machine,
@@ -1171,29 +1388,30 @@ impl<'a> HcState<'a> {
             &self.contrib_cache[kept],
             &mut old,
         );
-        self.affected.clear();
-        self.step_stamp += 1;
-        let stamp = self.step_stamp;
+        scratch.affected.clear();
+        scratch.step_stamp += 1;
+        let stamp = scratch.step_stamp;
         for &c in &old {
-            if self.step_mark[c.step] != stamp {
-                self.step_mark[c.step] = stamp;
-                self.affected.push(c.step);
+            if scratch.step_mark[c.step] != stamp {
+                scratch.step_mark[c.step] = stamp;
+                scratch.affected.push(c.step);
             }
             self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, false);
             self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, false);
         }
-        self.contribs_old = old;
-        self.prepared_node = None;
+        scratch.contribs_old = old;
+        scratch.prepared_node = None;
         self.split_pending = Some(kept);
     }
 
-    /// Second half of the warm-start split patch, called with the
-    /// **post-split** view: activates `removed` at `kept`'s processor and
-    /// superstep, adds both halves' lazy contributions to the tallies, and
-    /// refreshes the body-cost cache of the touched supersteps.  After this
-    /// the state is exactly what [`HcState::new`] would build from the split
-    /// graph and the extended assignment.  `O(deg(kept) + deg(removed))`.
-    pub fn post_split<G: DagView>(&mut self, graph: &G, kept: usize, removed: usize) {
+    /// Second half of the warm-start split patch; see [`HcState::post_split`].
+    pub fn post_split<G: DagView>(
+        &mut self,
+        scratch: &mut EvalScratch,
+        graph: &G,
+        kept: usize,
+        removed: usize,
+    ) {
         debug_assert_eq!(self.split_pending, Some(kept));
         self.split_pending = None;
         let p = self.machine.p();
@@ -1217,9 +1435,9 @@ impl<'a> HcState<'a> {
         for &u in graph.predecessors(removed) {
             self.contrib_valid[u] = false;
         }
-        self.refresh_summaries(graph, kept);
-        self.refresh_summaries(graph, removed);
-        let mut new_out = std::mem::take(&mut self.contribs_new);
+        self.refresh_summaries(scratch, graph, kept);
+        self.refresh_summaries(scratch, graph, removed);
+        let mut new_out = std::mem::take(&mut scratch.contribs_new);
         new_out.clear();
         push_contributions(
             self.machine,
@@ -1235,24 +1453,219 @@ impl<'a> HcState<'a> {
             &self.contrib_cache[removed],
             &mut new_out,
         );
-        let stamp = self.step_stamp;
+        let stamp = scratch.step_stamp;
         for &c in &new_out {
-            if self.step_mark[c.step] != stamp {
-                self.step_mark[c.step] = stamp;
-                self.affected.push(c.step);
+            if scratch.step_mark[c.step] != stamp {
+                scratch.step_mark[c.step] = stamp;
+                scratch.affected.push(c.step);
             }
             self.patch_comm(Side::Send, c.step, c.step * p + c.from, c.weight, true);
             self.patch_comm(Side::Recv, c.step, c.step * p + c.to, c.weight, true);
         }
-        self.contribs_new = new_out;
+        scratch.contribs_new = new_out;
 
         let g = self.machine.g();
-        for i in 0..self.affected.len() {
-            let s = self.affected[i];
+        for i in 0..scratch.affected.len() {
+            let s = scratch.affected[i];
             let cost = self.work_max[s] + g * self.hrel_max[s];
             self.body_sum = self.body_sum - self.body[s] + cost;
             self.body[s] = cost;
         }
+    }
+}
+
+/// Incremental cost state of an assignment under the lazy communication rule:
+/// one [`HcCore`] snapshot plus one [`EvalScratch`], exposing the classical
+/// single-threaded API.  [`HcState::try_move`] evaluates a move and rolls
+/// every tally back; [`HcState::apply_move`] commits it.  Both return the
+/// exact cost delta, and applying the inverse move restores the previous
+/// state exactly (the property the search uses to reject candidates cheaply).
+#[derive(Debug, Clone)]
+pub struct HcState<'a> {
+    core: HcCore<'a>,
+    scratch: EvalScratch,
+}
+
+impl<'a> HcState<'a> {
+    /// Builds the incremental state from an assignment.
+    ///
+    /// The assignment must be feasible for the *lazy* communication schedule:
+    /// every edge `(u, w)` needs `τ(u) ≤ τ(w)` on the same processor and
+    /// `τ(u) < τ(w)` across processors (otherwise the value of `u` cannot
+    /// reach `π(w)` in time — for `τ(w) = 0` this is the case that used to
+    /// underflow `s - 1`).  Infeasible assignments yield a [`ValidityError`]
+    /// naming the offending edge.
+    ///
+    /// The view may contain inactive nodes (a quotient graph mid-coarsening):
+    /// they are skipped everywhere and their assignment entries are ignored
+    /// (by convention the caller should leave them at `(0, 0)`).
+    pub fn new<G: DagView>(
+        graph: &G,
+        machine: &'a Machine,
+        assignment: Assignment,
+    ) -> Result<Self, ValidityError> {
+        let mut scratch = EvalScratch::new();
+        let core = HcCore::new(graph, machine, assignment, &mut scratch)?;
+        Ok(HcState { core, scratch })
+    }
+
+    /// The shared snapshot, for concurrent read-only evaluation against
+    /// per-thread [`EvalScratch`] instances.
+    #[inline]
+    pub fn core(&self) -> &HcCore<'a> {
+        &self.core
+    }
+
+    /// Mutable access to the snapshot and the state's own scratch as separate
+    /// borrows (the parallel driver's serial phases use this).
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&mut HcCore<'a>, &mut EvalScratch) {
+        (&mut self.core, &mut self.scratch)
+    }
+
+    /// See [`HcCore::compact_steps`]: removes supersteps without any
+    /// computation and renumbers the remaining ones contiguously — the
+    /// state-level counterpart of [`bsp_model::BspSchedule::normalize`] under
+    /// the lazy communication schedule (lazy phases re-anchor to the
+    /// consumers' new indices, which is exactly where `normalize` shifts
+    /// them).  Returns the number of supersteps removed.
+    ///
+    /// `O(num_steps)` when nothing is dead; a rebuild of the derived tallies
+    /// (`O(n + m)`, allocation-free) when compaction happens.  The multilevel
+    /// engine calls this between refinement phases: supersteps drain rarely,
+    /// and mostly at coarse levels where `n` is small, so the amortized cost
+    /// stays far below the per-phase rebuild it replaces.
+    pub fn compact_steps<G: DagView>(&mut self, graph: &G) -> usize {
+        self.core.compact_steps(&mut self.scratch, graph)
+    }
+
+    /// Current processor of a node.
+    #[inline]
+    pub fn proc_of(&self, v: usize) -> usize {
+        self.core.proc_of(v)
+    }
+
+    /// Current superstep of a node.
+    #[inline]
+    pub fn step_of(&self, v: usize) -> usize {
+        self.core.step_of(v)
+    }
+
+    /// Current number of supersteps.
+    #[inline]
+    pub fn num_supersteps(&self) -> usize {
+        self.core.num_supersteps()
+    }
+
+    /// The nodes currently assigned to superstep `s` (in no particular order).
+    pub fn nodes_in_superstep(&self, s: usize) -> &[usize] {
+        self.core.nodes_in_superstep(s)
+    }
+
+    /// The supersteps whose tallies the most recent `try_move`/`apply_move`
+    /// touched (deduplicated, unordered).  The work-list driver re-enqueues
+    /// the nodes of these supersteps after an accepted move.
+    pub fn last_affected_steps(&self) -> &[usize] {
+        &self.scratch.affected
+    }
+
+    /// A snapshot of the current assignment.
+    pub fn assignment(&self) -> Assignment {
+        self.core.assignment()
+    }
+
+    /// Consumes the state and returns the assignment.
+    pub fn into_assignment(self) -> Assignment {
+        Assignment {
+            proc: self.core.proc,
+            superstep: self.core.step,
+        }
+    }
+
+    /// Total schedule cost under the lazy communication schedule.  `O(1)`.
+    pub fn total_cost(&self) -> u64 {
+        self.core.total_cost()
+    }
+
+    /// Sound pruning gate: `false` guarantees that *no* candidate move of `v`
+    /// can lower the total cost (see [`HcCore::can_gain`]).  `O(deg)` (and it
+    /// warms the per-node contribution cache that candidate evaluation
+    /// reuses).
+    pub fn node_can_gain<G: DagView>(&mut self, graph: &G, v: usize) -> bool {
+        self.core.warm_summaries(&mut self.scratch, graph, v);
+        self.core.can_gain(&mut self.scratch, graph, v)
+    }
+
+    /// Precomputes the feasibility window of node `v`'s candidate moves in
+    /// one `O(deg)` scan; check candidates with [`MoveWindow::allows`].
+    pub fn move_window<G: DagView>(&self, graph: &G, v: usize) -> MoveWindow {
+        self.core.move_window(graph, v)
+    }
+
+    /// `true` if moving node `v` to `(p_new, s_new)` keeps the lazy schedule
+    /// valid (see [`HcCore::move_is_valid`]).
+    pub fn move_is_valid<G: DagView>(
+        &self,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) -> bool {
+        self.core.move_is_valid(graph, v, p_new, s_new)
+    }
+
+    /// Evaluates the move of node `v` to `(p_new, s_new)` without committing
+    /// it: every tally is rolled back before returning.  Returns the exact
+    /// change in total cost (negative = improvement).
+    ///
+    /// Performs no heap allocation (after the state's scratch buffers have
+    /// warmed up to the move's superstep range).
+    pub fn try_move<G: DagView>(&mut self, graph: &G, v: usize, p_new: usize, s_new: usize) -> i64 {
+        self.core
+            .eval_move(&mut self.scratch, graph, v, p_new, s_new, false)
+    }
+
+    /// Applies the move of node `v` to `(p_new, s_new)` and returns the change
+    /// in total cost (negative = improvement).  Applying the inverse move
+    /// afterwards restores the exact previous state and returns the negated
+    /// delta.
+    pub fn apply_move<G: DagView>(
+        &mut self,
+        graph: &G,
+        v: usize,
+        p_new: usize,
+        s_new: usize,
+    ) -> i64 {
+        self.core
+            .eval_move(&mut self.scratch, graph, v, p_new, s_new, true)
+    }
+
+    /// First half of the warm-start *split* patch: removes the lazy
+    /// contributions of cluster `kept` from the tallies, ahead of the quotient
+    /// graph splitting `kept` in two.  Must be called with the **pre-split**
+    /// view (so `kept`'s successor set and communication weight are still the
+    /// merged ones) and followed by [`HcState::post_split`] before any other
+    /// operation on the state.  `O(deg(kept))`, allocation-free once warm.
+    ///
+    /// The work tallies need no patching at all: the two halves stay on
+    /// `kept`'s processor and superstep, so their summed work sits in the same
+    /// cell before and after the split.  Predecessors' materialized
+    /// contributions are likewise unchanged (their consumers keep their
+    /// positions); only their cached summaries go stale, which
+    /// [`HcState::post_split`] records.
+    pub fn pre_split<G: DagView>(&mut self, graph: &G, kept: usize) {
+        self.core.pre_split(&mut self.scratch, graph, kept);
+    }
+
+    /// Second half of the warm-start split patch, called with the
+    /// **post-split** view: activates `removed` at `kept`'s processor and
+    /// superstep, adds both halves' lazy contributions to the tallies, and
+    /// refreshes the body-cost cache of the touched supersteps.  After this
+    /// the state is exactly what [`HcState::new`] would build from the split
+    /// graph and the extended assignment.  `O(deg(kept) + deg(removed))`.
+    pub fn post_split<G: DagView>(&mut self, graph: &G, kept: usize, removed: usize) {
+        self.core
+            .post_split(&mut self.scratch, graph, kept, removed);
     }
 }
 
@@ -1311,6 +1724,37 @@ mod tests {
         assert_eq!(state.assignment(), assignment_before);
         let applied = state.apply_move(&dag, 4, 1, 2);
         assert_eq!(tried, applied);
+    }
+
+    #[test]
+    fn speculate_move_matches_try_move_on_every_candidate() {
+        let (dag, machine, assignment) = sample();
+        let mut state = HcState::new(&dag, &machine, assignment).unwrap();
+        let mut side_scratch = EvalScratch::new();
+        for v in 0..dag.n() {
+            for s_new in 0..=state.num_supersteps() {
+                for p_new in 0..machine.p() {
+                    if !state.move_is_valid(&dag, v, p_new, s_new) {
+                        continue;
+                    }
+                    // Warm the summary caches the read-only path requires.
+                    {
+                        let (core, scratch) = state.parts_mut();
+                        core.warm_summaries(scratch, &dag, v);
+                    }
+                    side_scratch.invalidate_prepared();
+                    let speculated =
+                        state
+                            .core()
+                            .speculate_move(&mut side_scratch, &dag, v, p_new, s_new);
+                    let tried = state.try_move(&dag, v, p_new, s_new);
+                    assert_eq!(
+                        speculated, tried,
+                        "speculate/try disagree at v={v} p={p_new} s={s_new}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

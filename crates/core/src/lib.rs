@@ -47,6 +47,44 @@ pub fn evaluate(scheduler: &dyn Scheduler, dag: &Dag, machine: &Machine) -> (u64
     (cost, sched)
 }
 
+/// Resolves a thread-budget knob to a concrete count: `0` means one thread
+/// per available core, anything else passes through.  The single definition
+/// every budget layer shares ([`hill_climb::HillClimbConfig::threads`],
+/// [`multilevel::MultilevelConfig::threads`],
+/// [`pipeline::PipelineConfig::solve_threads`], and `bsp_serve`'s derived
+/// per-worker budget), so a future cap — an env var, cgroup-aware counting —
+/// lands everywhere at once.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Measured break-even of the batch-speculative parallel `HC` driver: below
+/// this many lanes the speculation/re-validation overhead loses to the serial
+/// driver (BENCH_hc.json records ~6x single-lane overhead; see ROADMAP).
+pub const MIN_PARALLEL_LANES: usize = 4;
+
+/// Clamps a *derived* thread share to what is actually worth parallelizing:
+/// shares below [`MIN_PARALLEL_LANES`] fall back to `1` (serial), larger
+/// shares pass through.  Budget-splitting layers (multilevel's per-ratio
+/// share, the pipeline's per-branch share, the server's per-worker
+/// derivation) apply this so auto budgets on small hosts never dispatch the
+/// parallel driver below its break-even — a budget is a cap, so using fewer
+/// threads is always legal.  Explicitly requested lane counts are honored
+/// verbatim and bypass this.
+pub fn parallel_budget(share: usize) -> usize {
+    if share >= MIN_PARALLEL_LANES {
+        share
+    } else {
+        1
+    }
+}
+
 pub use baselines::{
     BlEstScheduler, CilkScheduler, EtfScheduler, HDaggScheduler, TrivialScheduler,
 };

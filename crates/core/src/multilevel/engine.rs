@@ -18,7 +18,9 @@
 //! dedup), re-projected the assignment, and constructed a fresh `HcState`
 //! for every phase.
 
-use crate::hill_climb::{hc_search, HcState, HillClimbConfig, HillClimbOutcome, SearchScratch};
+use crate::hill_climb::{
+    hc_search, HcState, HillClimbConfig, HillClimbOutcome, ParallelHc, SearchScratch,
+};
 use bsp_model::{Assignment, DagView, Machine, NodeId, QuotientDag, ValidityError};
 
 /// Warm uncoarsening state: a mutable quotient graph plus the hill-climbing
@@ -33,6 +35,10 @@ pub struct IncrementalRefiner<'a> {
     /// phase; seeds the next phase's work-list.
     dirty: Vec<usize>,
     dirty_mark: Vec<bool>,
+    /// Batch-speculative parallel driver, created on the first refinement
+    /// phase that asks for more than one thread and reused (lanes and all)
+    /// across every later phase, so warm parallel phases allocate nothing.
+    parallel: Option<ParallelHc>,
 }
 
 impl<'a> IncrementalRefiner<'a> {
@@ -56,6 +62,7 @@ impl<'a> IncrementalRefiner<'a> {
             scratch,
             dirty: Vec::with_capacity(n),
             dirty_mark: vec![false; n],
+            parallel: None,
         })
     }
 
@@ -141,14 +148,42 @@ impl<'a> IncrementalRefiner<'a> {
             self.scratch.enqueue(v);
         }
         self.dirty.clear();
-        hc_search(
-            &self.quotient,
-            self.machine,
-            &mut self.state,
-            config,
-            &mut self.scratch,
-            false,
-        )
+        self.search(config, false)
+    }
+
+    /// Runs the seeded work-list search with the driver
+    /// [`HillClimbConfig::threads`] selects: the serial first-improvement
+    /// loop, or the batch-speculative parallel driver (kept warm across
+    /// phases).
+    fn search(&mut self, config: &HillClimbConfig, full_sweep: bool) -> HillClimbOutcome {
+        let threads = config.effective_threads();
+        if threads > 1 {
+            if self
+                .parallel
+                .as_ref()
+                .is_none_or(|p| p.threads() != threads)
+            {
+                self.parallel = Some(ParallelHc::new(threads));
+            }
+            let driver = self.parallel.as_mut().expect("created above");
+            driver.search(
+                &self.quotient,
+                self.machine,
+                &mut self.state,
+                config,
+                &mut self.scratch,
+                full_sweep,
+            )
+        } else {
+            hc_search(
+                &self.quotient,
+                self.machine,
+                &mut self.state,
+                config,
+                &mut self.scratch,
+                full_sweep,
+            )
+        }
     }
 
     /// Runs a *full* refinement phase: every active node is enqueued and the
@@ -163,14 +198,7 @@ impl<'a> IncrementalRefiner<'a> {
         }
         self.dirty.clear();
         self.scratch.enqueue_all(&self.quotient);
-        hc_search(
-            &self.quotient,
-            self.machine,
-            &mut self.state,
-            config,
-            &mut self.scratch,
-            true,
-        )
+        self.search(config, true)
     }
 
     /// Consumes the engine and returns the final assignment.  Meaningful over

@@ -75,6 +75,15 @@ pub struct MultilevelConfig {
     pub base: PipelineConfig,
     /// Time limit of the final `HCcs` pass on the uncoarsened DAG.
     pub final_comm_time_limit: Duration,
+    /// Total thread budget of one multilevel solve: the ratio portfolio fans
+    /// out across it and each ratio run refines with `threads / #ratios`
+    /// intra-search lanes (floored to serial below the parallel driver's
+    /// break-even — see [`crate::parallel_budget`]), so the whole solve
+    /// never uses more than `threads` cores.  `0` (the default) budgets one
+    /// thread per available core; `1` runs everything — portfolio included —
+    /// sequentially, which is what a serving worker with a one-core budget
+    /// wants.
+    pub threads: usize,
 }
 
 impl Default for MultilevelConfig {
@@ -87,6 +96,7 @@ impl Default for MultilevelConfig {
             refine_time_limit: Duration::from_millis(500),
             base: PipelineConfig::default(),
             final_comm_time_limit: Duration::from_secs(2),
+            threads: 0,
         }
     }
 }
@@ -102,6 +112,7 @@ impl MultilevelConfig {
             refine_time_limit: Duration::from_millis(100),
             base: PipelineConfig::fast(),
             final_comm_time_limit: Duration::from_millis(200),
+            threads: 0,
         }
     }
 
@@ -109,6 +120,26 @@ impl MultilevelConfig {
     pub fn with_single_ratio(mut self, ratio: f64) -> Self {
         self.coarsen_ratios = vec![ratio];
         self
+    }
+
+    /// Sets the solve-wide thread budget (see [`MultilevelConfig::threads`])
+    /// and returns the configuration.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The concrete thread budget: `threads`, or one per available core when
+    /// `0`.
+    pub fn effective_threads(&self) -> usize {
+        crate::resolve_threads(self.threads)
+    }
+
+    /// Intra-search lanes each ratio run refines with: the budget divided by
+    /// the portfolio width, floored to serial below the parallel driver's
+    /// break-even (a budget is a cap; under-using it is always legal).
+    fn threads_per_ratio(&self) -> usize {
+        crate::parallel_budget(self.effective_threads() / self.coarsen_ratios.len().max(1))
     }
 }
 
@@ -162,11 +193,22 @@ impl MultilevelScheduler {
     /// Runs the multilevel scheduler and returns the schedule together with
     /// per-ratio statistics.
     pub fn run_report(&self, dag: &Dag, machine: &Machine) -> MultilevelReport {
+        let base_only =
+            dag.n() < self.config.min_nodes_to_coarsen || self.config.coarsen_ratios.is_empty();
+        // The base pipeline inherits this solve's thread budget — the whole
+        // budget when it runs alone, each portfolio member's share otherwise.
+        // Without this the coarse solves would fan their init branches out to
+        // available_parallelism underneath whatever budget the caller set.
+        let base_budget = if base_only {
+            self.config.effective_threads()
+        } else {
+            self.config.threads_per_ratio()
+        };
         let base_pipeline = Pipeline::new(PipelineConfig {
             use_ilp_cs: false,
-            ..self.config.base.clone()
+            ..self.config.base.clone().with_thread_budget(base_budget)
         });
-        if dag.n() < self.config.min_nodes_to_coarsen || self.config.coarsen_ratios.is_empty() {
+        if base_only {
             let mut schedule = base_pipeline.run(dag, machine);
             self.final_comm_optimization(dag, machine, &mut schedule);
             let final_cost = schedule.cost(dag, machine);
@@ -180,13 +222,22 @@ impl MultilevelScheduler {
 
         // The per-ratio runs are completely independent — fan them out on the
         // rayon pool and keep the cheapest result (ties favour the first
-        // configured ratio, as the sequential loop did).
-        let runs: Vec<(BspSchedule, usize)> = self
-            .config
-            .coarsen_ratios
-            .par_iter()
-            .map(|&ratio| self.run_single_ratio(dag, machine, &base_pipeline, ratio))
-            .collect();
+        // configured ratio, as the sequential loop did).  A thread budget of
+        // one runs the portfolio sequentially instead: a serving worker that
+        // was handed a single core must not fan out underneath its caller.
+        let runs: Vec<(BspSchedule, usize)> = if self.config.effective_threads() > 1 {
+            self.config
+                .coarsen_ratios
+                .par_iter()
+                .map(|&ratio| self.run_single_ratio(dag, machine, &base_pipeline, ratio))
+                .collect()
+        } else {
+            self.config
+                .coarsen_ratios
+                .iter()
+                .map(|&ratio| self.run_single_ratio(dag, machine, &base_pipeline, ratio))
+                .collect()
+        };
         let mut ratio_outcomes = Vec::new();
         let mut best: Option<BspSchedule> = None;
         let mut best_cost = u64::MAX;
@@ -263,6 +314,9 @@ impl MultilevelScheduler {
             time_limit: self.config.refine_time_limit,
             max_steps: self.config.refine_max_steps,
             cancel: self.config.base.effective_cancel(),
+            // Each portfolio member refines with its share of the solve-wide
+            // budget, so #ratios × refine-lanes never exceeds it.
+            threads: self.config.threads_per_ratio(),
         };
         let mut since_refine = 0usize;
         loop {
@@ -297,13 +351,15 @@ impl MultilevelScheduler {
 
     /// The communication-schedule optimization that Figure 4 runs after
     /// uncoarsening: `HCcs` followed by `ILPcs` (when the base pipeline has
-    /// its ILP stage enabled).
+    /// its ILP stage enabled).  `HCcs` runs with each ratio run's share of
+    /// the thread budget (the pass is called once per portfolio member).
     fn final_comm_optimization(&self, dag: &Dag, machine: &Machine, schedule: &mut BspSchedule) {
         let cancel = self.config.base.effective_cancel();
         let hccs_cfg = HillClimbConfig {
             time_limit: self.config.final_comm_time_limit,
             max_steps: usize::MAX,
             cancel: cancel.clone(),
+            threads: self.config.threads_per_ratio(),
         };
         hccs_improve(dag, machine, schedule, &hccs_cfg);
         if self.config.base.use_ilp {

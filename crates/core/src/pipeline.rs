@@ -54,6 +54,16 @@ pub struct PipelineConfig {
     /// Run the initialization branches on the rayon thread pool instead of
     /// sequentially.
     pub parallel_branches: bool,
+    /// Thread budget of one pipeline run.  `1` (the default) keeps the local
+    /// searches serial and leaves the historical branch fan-out untouched;
+    /// any other value is a **hard budget**: branches fan out only when the
+    /// budget covers one thread per branch (each searching with
+    /// `budget / #branches` lanes), and otherwise run sequentially with the
+    /// whole budget each, so peak concurrency never exceeds the budget.
+    /// `0` budgets one thread per available core.  Serving workers set this
+    /// from the server-wide budget so `workers × solve-threads` never
+    /// oversubscribes the host.
+    pub solve_threads: usize,
     /// Absolute wall-clock deadline for the whole run.  The pipeline is
     /// *anytime*: it clips every stage budget to the remaining time, skips
     /// stages whose budget is exhausted, and always returns the best valid
@@ -77,6 +87,7 @@ impl Default for PipelineConfig {
             ilp_init_max_nodes: 400,
             ilp_stage_budget: Duration::from_secs(20),
             parallel_branches: true,
+            solve_threads: 1,
             deadline: None,
             cancel: CancelToken::inert(),
         }
@@ -96,6 +107,7 @@ impl PipelineConfig {
             ilp_init_max_nodes: 150,
             ilp_stage_budget: Duration::from_secs(2),
             parallel_branches: true,
+            solve_threads: 1,
             deadline: None,
             cancel: CancelToken::inert(),
         }
@@ -142,6 +154,24 @@ impl PipelineConfig {
             Some(d) => self.cancel.tightened(d),
             None => self.cancel.clone(),
         }
+    }
+
+    /// Constrains the whole run — branch fan-out *and* intra-search lanes —
+    /// to at most `budget` threads: sets [`Self::solve_threads`] and turns
+    /// the branch fan-out off entirely when the budget is a single thread.
+    /// This is the knob serving workers derive from the server-wide budget.
+    pub fn with_thread_budget(mut self, budget: usize) -> Self {
+        self.solve_threads = budget;
+        if budget == 1 {
+            self.parallel_branches = false;
+        }
+        self
+    }
+
+    /// The concrete solve-thread budget: `solve_threads`, or one per
+    /// available core when `0`.
+    pub fn effective_solve_threads(&self) -> usize {
+        crate::resolve_threads(self.solve_threads)
     }
 }
 
@@ -239,15 +269,32 @@ impl Pipeline {
 
         let cancel = self.config.effective_cancel();
         let initializers = self.initializers(dag, machine);
-        let branch_results: Vec<(BranchReport, BspSchedule)> = if self.config.parallel_branches {
+        // Split the solve-thread budget across the branch fan-out so the run
+        // as a whole never exceeds it.  `solve_threads == 1` is the legacy
+        // default — serial searches, historical branch fan-out untouched;
+        // any other value is a hard budget: branches fan out only when the
+        // budget covers one thread per branch (each then searching with its
+        // share), and otherwise run sequentially with the whole budget each,
+        // so peak concurrency never exceeds the budget.
+        let budget = self.config.effective_solve_threads();
+        let fan_out = self.config.parallel_branches
+            && (self.config.solve_threads == 1 || budget >= initializers.len());
+        // Shares below the parallel driver's break-even fall back to serial
+        // searches (the budget is a cap, not a target).
+        let branch_threads = if fan_out {
+            crate::parallel_budget(budget / initializers.len().max(1))
+        } else {
+            crate::parallel_budget(budget)
+        };
+        let branch_results: Vec<(BranchReport, BspSchedule)> = if fan_out {
             initializers
                 .par_iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel))
+                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads))
                 .collect()
         } else {
             initializers
                 .iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel))
+                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads))
                 .collect()
         };
 
@@ -331,13 +378,16 @@ impl Pipeline {
         inits
     }
 
-    /// Runs one initialization branch: initializer, then `HC`, then `HCcs`.
+    /// Runs one initialization branch: initializer, then `HC`, then `HCcs`,
+    /// searching with `threads` intra-search lanes (this branch's share of
+    /// the solve budget).
     fn run_branch(
         &self,
         dag: &Dag,
         machine: &Machine,
         init: &dyn Scheduler,
         cancel: &CancelToken,
+        threads: usize,
     ) -> (BranchReport, BspSchedule) {
         let mut schedule = init.schedule(dag, machine);
         schedule.normalize(dag);
@@ -350,11 +400,13 @@ impl Pipeline {
         let hc_cfg = HillClimbConfig {
             time_limit: hc_budget,
             cancel: cancel.clone(),
+            threads,
             ..self.config.hill_climb.clone()
         };
         let hccs_cfg = HillClimbConfig {
             time_limit: hccs_budget,
             cancel: cancel.clone(),
+            threads,
             ..self.config.hill_climb.clone()
         };
         hc_improve(dag, machine, &mut schedule, &hc_cfg);

@@ -58,7 +58,7 @@ use std::io::{self, BufRead as _, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -69,6 +69,14 @@ pub struct RouterConfig {
     pub max_connections: usize,
     /// A client connection idle for this long is closed.
     pub idle_timeout: Duration,
+    /// Cadence of the proactive shard health probe: a background thread
+    /// wakes at this interval and attempts a bounded reconnect to every dead
+    /// backend, so a restarted shard rejoins *before* its first owned
+    /// request instead of paying the reconnect on the request path (and a
+    /// quiet shard's key range does not stay in failover until traffic
+    /// happens to touch it).  `None` disables the probe and keeps the purely
+    /// lazy revival.
+    pub health_probe_interval: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -76,6 +84,7 @@ impl Default for RouterConfig {
         RouterConfig {
             max_connections: 128,
             idle_timeout: Duration::from_secs(30),
+            health_probe_interval: Some(Duration::from_secs(2)),
         }
     }
 }
@@ -179,6 +188,10 @@ struct RouterShared {
     shutting_down: AtomicBool,
     conns: Mutex<HashMap<u64, TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Parking spot of the health-probe thread; shutdown notifies it so the
+    /// probe exits without waiting out its interval.
+    probe_lock: Mutex<()>,
+    probe_wakeup: Condvar,
 }
 
 /// A bound-but-not-yet-running router.
@@ -243,6 +256,8 @@ impl Router {
                 shutting_down: AtomicBool::new(false),
                 conns: Mutex::new(HashMap::new()),
                 conn_threads: Mutex::new(Vec::new()),
+                probe_lock: Mutex::new(()),
+                probe_wakeup: Condvar::new(),
             }),
         })
     }
@@ -281,11 +296,23 @@ impl Router {
                 .name("bsp-router-acceptor".into())
                 .spawn(move || acceptor_loop(&listener, &shared))?
         };
+        let probe = match shared.config.health_probe_interval {
+            Some(interval) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("bsp-router-health-probe".into())
+                        .spawn(move || probe_loop(&shared, interval))?,
+                )
+            }
+            None => None,
+        };
         Ok(RouterHandle {
             addr,
             shared,
             acceptor: Some(acceptor),
             demuxers,
+            probe,
         })
     }
 }
@@ -296,6 +323,7 @@ pub struct RouterHandle {
     shared: Arc<RouterShared>,
     acceptor: Option<JoinHandle<()>>,
     demuxers: Vec<JoinHandle<()>>,
+    probe: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
@@ -321,6 +349,22 @@ impl RouterHandle {
     /// deployment, not to the router.
     pub fn shutdown(mut self) {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Take the probe's mutex before notifying: the probe holds it except
+        // while parked in `wait_timeout`, so acquiring it first means the
+        // notify can never fall between the probe's flag check and its
+        // re-park (a bare notify would be lost there and shutdown would wait
+        // out a whole probe interval).
+        {
+            let _parked = self
+                .shared
+                .probe_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.shared.probe_wakeup.notify_all();
+        }
+        if let Some(probe) = self.probe.take() {
+            let _ = probe.join();
+        }
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
@@ -457,6 +501,30 @@ fn ensure_live(shared: &Arc<RouterShared>, shard: usize) {
         let guard = backend.stream.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(stream) = guard.as_ref() {
             let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The proactive shard health probe: every `interval`, attempt a bounded
+/// reconnect ([`ensure_live`]) to each dead backend.  Revival restores the
+/// multiplexed writer and spawns a fresh demux generation, exactly as the
+/// lazy request-path revival does — the probe just pays that cost off the
+/// request path.
+fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
+    let mut guard = shared.probe_lock.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let (g, _) = shared
+            .probe_wakeup
+            .wait_timeout(guard, interval)
+            .unwrap_or_else(|e| e.into_inner());
+        guard = g;
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        for shard in 0..shared.backends.len() {
+            if !shared.backends[shard].is_live() {
+                ensure_live(shared, shard);
+            }
         }
     }
 }

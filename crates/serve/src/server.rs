@@ -66,7 +66,16 @@ pub struct ServerConfig {
     /// A connection idle for this long is closed (also bounds how long
     /// shutdown can wait for a reader stuck on a silent peer).
     pub idle_timeout: Duration,
-    /// Configuration of the underlying [`ScheduleService`].
+    /// Per-request solve-thread budget handed to the service.  `0` (the
+    /// default) derives it from the host: `max(1, host_cores / workers)`, so
+    /// `workers × solve-threads` never oversubscribes the machine — the
+    /// multilevel ratio portfolio and the pipeline's init-branch fan-out
+    /// previously spread to `available_parallelism` *per worker*.  A nonzero
+    /// value overrides the derivation (it is passed through verbatim).
+    pub solve_threads: usize,
+    /// Configuration of the underlying [`ScheduleService`].  Its
+    /// `solve_threads` is overwritten with the derived per-request budget
+    /// (see [`ServerConfig::solve_threads`]).
     pub service: ServiceConfig,
 }
 
@@ -78,8 +87,25 @@ impl Default for ServerConfig {
             max_connections: 128,
             admission_batch: 8,
             idle_timeout: Duration::from_secs(30),
+            solve_threads: 0,
             service: ServiceConfig::default(),
         }
+    }
+}
+
+impl ServerConfig {
+    /// The per-request thread budget this configuration resolves to: the
+    /// explicit `solve_threads`, or the host's cores split evenly across the
+    /// workers.
+    pub fn effective_solve_threads(&self) -> usize {
+        if self.solve_threads != 0 {
+            return self.solve_threads;
+        }
+        let cores = bsp_sched::resolve_threads(0);
+        // Shares below the parallel driver's break-even run serial solves:
+        // a 2-lane speculative search loses to the serial driver, so e.g.
+        // 8 cores / 4 workers budgets 1, not 2 (the budget is a cap).
+        bsp_sched::parallel_budget(cores / self.workers.max(1))
     }
 }
 
@@ -122,7 +148,9 @@ impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral loopback port).
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let service = ScheduleService::new(config.service.clone());
+        let mut service_config = config.service.clone();
+        service_config.solve_threads = config.effective_solve_threads();
+        let service = ScheduleService::new(service_config);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -525,6 +553,7 @@ mod tests {
             max_connections: 16,
             admission_batch: 4,
             idle_timeout: Duration::from_secs(5),
+            solve_threads: 0,
             service: ServiceConfig {
                 local_search_budget: Duration::from_millis(40),
                 warm_budget: Duration::from_millis(40),
@@ -535,6 +564,29 @@ mod tests {
             .expect("bind loopback")
             .spawn()
             .expect("spawn server threads")
+    }
+
+    #[test]
+    fn solve_thread_budget_divides_cores_across_workers() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // More workers than cores: every request solves single-threaded.
+        let oversubscribed = ServerConfig {
+            workers: cores * 2,
+            ..Default::default()
+        };
+        assert_eq!(oversubscribed.effective_solve_threads(), 1);
+        // One worker gets the whole machine.
+        let single = ServerConfig {
+            workers: 1,
+            ..Default::default()
+        };
+        assert_eq!(single.effective_solve_threads(), cores);
+        // An explicit budget passes through verbatim.
+        let explicit = ServerConfig {
+            solve_threads: 3,
+            ..Default::default()
+        };
+        assert_eq!(explicit.effective_solve_threads(), 3);
     }
 
     fn small_dag(work: u64) -> Dag {
@@ -646,6 +698,7 @@ mod tests {
             max_connections: 4,
             admission_batch: 1,
             idle_timeout: Duration::from_secs(5),
+            solve_threads: 0,
             service: ServiceConfig {
                 local_search_budget: Duration::from_millis(30),
                 warm_budget: Duration::from_millis(30),
@@ -702,6 +755,7 @@ mod tests {
             max_connections: 4,
             admission_batch: 1,
             idle_timeout: Duration::from_millis(100),
+            solve_threads: 0,
             service: ServiceConfig {
                 local_search_budget: Duration::from_secs(5),
                 warm_budget: Duration::from_millis(40),

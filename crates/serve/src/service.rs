@@ -45,6 +45,13 @@ pub struct ServiceConfig {
     pub warm_budget: Duration,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Thread budget of one solve.  `1` (the default) runs each request
+    /// fully sequentially — branch fan-out included — so a pool of workers
+    /// never oversubscribes the host; the server derives this from its
+    /// worker count (see `ServerConfig::solve_threads`).  `0` budgets one
+    /// thread per available core (only sensible for a single-worker
+    /// deployment).
+    pub solve_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +61,7 @@ impl Default for ServiceConfig {
             local_search_budget: Duration::from_secs(2),
             warm_budget: Duration::from_millis(500),
             default_deadline: None,
+            solve_threads: 1,
         }
     }
 }
@@ -358,12 +366,15 @@ impl ScheduleService {
         if schedule.validate(&request.dag, &request.machine).is_err() {
             return None;
         }
-        // The same 90/10 HC/HCcs split as the pipeline branches.
+        // The same 90/10 HC/HCcs split as the pipeline branches; the warm
+        // improvement is a single search, so it gets the whole per-request
+        // thread budget.
         let budget = self.config.warm_budget;
         let hc_cfg = HillClimbConfig {
             time_limit: budget.mul_f64(0.9),
             max_steps: usize::MAX,
             cancel: cancel.clone(),
+            threads: self.config.solve_threads,
         };
         let hccs_cfg = HillClimbConfig {
             time_limit: budget.mul_f64(0.1),
@@ -374,7 +385,10 @@ impl ScheduleService {
         Some(schedule)
     }
 
-    /// Cold path: the pipeline under the request's mode, deadline-aware.
+    /// Cold path: the pipeline under the request's mode, deadline-aware and
+    /// constrained to this worker's per-request thread budget (a budget of
+    /// one runs the branch fan-out sequentially too, so `workers ×
+    /// solve-threads` bounds the server's total parallelism).
     fn solve_cold(&self, request: &ScheduleRequest, cancel: &CancelToken) -> BspSchedule {
         let mut config = match request.options.mode {
             Mode::Default => PipelineConfig::default(),
@@ -384,6 +398,7 @@ impl ScheduleService {
         if request.options.mode == Mode::HeuristicsOnly {
             config.hill_climb.time_limit = self.config.local_search_budget;
         }
+        config = config.with_thread_budget(self.config.solve_threads);
         config.cancel = cancel.clone();
         Pipeline::new(config).run(&request.dag, &request.machine)
     }

@@ -1,0 +1,166 @@
+//! Property tests for the batch-speculative parallel hill-climbing driver.
+//!
+//! Seeded random-case loops (the repo's offline stand-in for proptest, see
+//! `tests/common`) over random DAGs, machines, and initial schedules:
+//!
+//! * the parallel search always returns a **valid** schedule with cost no
+//!   worse than its input, and certifies a genuine local minimum (the serial
+//!   driver cannot improve its result);
+//! * a fixed seed + fixed batch order is **deterministic**: runs with
+//!   different lane counts accept the exact same move sequence;
+//! * the read-only speculative evaluation ([`HcCore::speculate_move`])
+//!   agrees exactly with the mutate-and-rollback [`HcState::try_move`] on
+//!   every feasible candidate — the invariant that makes "stale → re-enqueue,
+//!   never mis-apply" sound.
+
+mod common;
+
+use bsp_sched::hill_climb::{
+    hc_improve, hccs_improve, EvalScratch, HcState, HillClimbConfig, ParallelHc, SearchScratch,
+};
+use bsp_sched::init::SourceScheduler;
+use bsp_sched::Scheduler;
+use common::{random_dag, random_machine, rng_for_case};
+
+const CASES: u64 = 24;
+
+#[test]
+fn parallel_hc_is_valid_improving_and_certified() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0x0A21, case);
+        let dag = random_dag(&mut rng, 16);
+        let machine = random_machine(&mut rng);
+        let init = SourceScheduler.schedule(&dag, &machine);
+        let before = init.cost(&dag, &machine);
+
+        let mut sched = init.clone();
+        let config = HillClimbConfig::default().with_threads(3);
+        let outcome = hc_improve(&dag, &machine, &mut sched, &config);
+        assert!(
+            sched.validate(&dag, &machine).is_ok(),
+            "case {case}: invalid schedule"
+        );
+        assert!(outcome.final_cost <= before, "case {case}: cost went up");
+        assert!(outcome.reached_local_minimum, "case {case}: not certified");
+
+        // The certification is real: the serial driver finds nothing left.
+        let serial_after = hc_improve(&dag, &machine, &mut sched, &HillClimbConfig::default());
+        assert_eq!(
+            serial_after.steps, 0,
+            "case {case}: serial driver improved the parallel minimum"
+        );
+    }
+}
+
+#[test]
+fn parallel_hc_is_deterministic_across_lane_counts() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0x9A55, case);
+        let dag = random_dag(&mut rng, 16);
+        let machine = random_machine(&mut rng);
+        let init = SourceScheduler.schedule(&dag, &machine);
+
+        let run = |threads: usize| {
+            let mut sched = init.clone();
+            let config = HillClimbConfig::default().with_threads(threads);
+            let outcome = hc_improve(&dag, &machine, &mut sched, &config);
+            (outcome, sched.assignment)
+        };
+        let (out_a, asg_a) = run(2);
+        let (out_b, asg_b) = run(5);
+        assert_eq!(out_a, out_b, "case {case}: outcomes diverged");
+        assert_eq!(asg_a, asg_b, "case {case}: assignments diverged");
+    }
+}
+
+#[test]
+fn speculative_gain_matches_try_move_on_random_states() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0x5BEC, case);
+        let dag = random_dag(&mut rng, 12);
+        let machine = random_machine(&mut rng);
+        let init = SourceScheduler.schedule(&dag, &machine);
+        let mut state = HcState::new(&dag, &machine, init.assignment)
+            .expect("Source schedules are lazily feasible");
+        let mut lane_scratch = EvalScratch::new();
+
+        for v in 0..dag.n() {
+            {
+                let (core, scratch) = state.parts_mut();
+                core.warm_summaries(scratch, &dag, v);
+            }
+            lane_scratch.invalidate_prepared();
+            let s_old = state.step_of(v);
+            for s_new in [s_old.wrapping_sub(1), s_old, s_old + 1] {
+                if s_new == usize::MAX {
+                    continue;
+                }
+                for p_new in 0..machine.p() {
+                    if !state.move_is_valid(&dag, v, p_new, s_new) {
+                        continue;
+                    }
+                    let speculated =
+                        state
+                            .core()
+                            .speculate_move(&mut lane_scratch, &dag, v, p_new, s_new);
+                    let tried = state.try_move(&dag, v, p_new, s_new);
+                    assert_eq!(
+                        speculated, tried,
+                        "case {case}: speculate/try disagree at v={v} p={p_new} s={s_new}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_driver_reuse_across_searches_stays_consistent() {
+    // One ParallelHc reused across many searches (the refiner's usage
+    // pattern) must behave identically to a fresh driver per search.
+    let mut driver = ParallelHc::new(3);
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xD81F, case);
+        let dag = random_dag(&mut rng, 14);
+        let machine = random_machine(&mut rng);
+        let init = SourceScheduler.schedule(&dag, &machine);
+        let config = HillClimbConfig::default().with_threads(3);
+
+        let mut sched_reused = init.clone();
+        sched_reused.relax_to_lazy(&dag);
+        let mut state =
+            HcState::new(&dag, &machine, sched_reused.assignment.clone()).expect("feasible");
+        let mut scratch = SearchScratch::new();
+        scratch.enqueue_all(&dag);
+        let reused = driver.search(&dag, &machine, &mut state, &config, &mut scratch, true);
+        let reused_assignment = state.into_assignment();
+
+        let mut sched_fresh = init.clone();
+        let fresh = hc_improve(&dag, &machine, &mut sched_fresh, &config);
+        assert_eq!(reused.steps, fresh.steps, "case {case}");
+        assert_eq!(reused_assignment, sched_fresh.assignment, "case {case}");
+    }
+}
+
+#[test]
+fn parallel_hccs_is_valid_and_never_worsens() {
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xCC5A, case);
+        let dag = random_dag(&mut rng, 14);
+        let machine = random_machine(&mut rng);
+        let mut sched = SourceScheduler.schedule(&dag, &machine);
+        let before = sched.cost(&dag, &machine);
+        let outcome = hccs_improve(
+            &dag,
+            &machine,
+            &mut sched,
+            &HillClimbConfig::default().with_threads(4),
+        );
+        assert!(
+            sched.validate(&dag, &machine).is_ok(),
+            "case {case}: invalid schedule"
+        );
+        assert!(outcome.final_cost <= before, "case {case}: cost went up");
+        assert_eq!(outcome.final_cost, sched.cost(&dag, &machine));
+    }
+}

@@ -28,6 +28,7 @@ fn shard_server() -> ServerHandle {
         max_connections: 16,
         admission_batch: 4,
         idle_timeout: Duration::from_secs(5),
+        solve_threads: 0,
         service: ServiceConfig {
             local_search_budget: Duration::from_millis(40),
             warm_budget: Duration::from_millis(40),
@@ -185,6 +186,7 @@ fn idle_closed_backend_connections_revive_on_next_request() {
         max_connections: 16,
         admission_batch: 4,
         idle_timeout: Duration::from_millis(150),
+        solve_threads: 0,
         service: ServiceConfig {
             local_search_budget: Duration::from_millis(40),
             warm_budget: Duration::from_millis(40),
@@ -195,7 +197,13 @@ fn idle_closed_backend_connections_revive_on_next_request() {
         .expect("bind shard")
         .spawn()
         .expect("spawn shard");
-    let router = Router::bind("127.0.0.1:0", &[shard.addr()], RouterConfig::default())
+    // Probe off: this test pins down the *lazy* request-path revival, so the
+    // background health probe must not race it to the reconnect.
+    let router_config = RouterConfig {
+        health_probe_interval: None,
+        ..Default::default()
+    };
+    let router = Router::bind("127.0.0.1:0", &[shard.addr()], router_config)
         .expect("bind router")
         .spawn()
         .expect("spawn router");
@@ -259,6 +267,67 @@ fn a_dead_shard_fails_over_to_the_survivor() {
 
     drop(client);
     router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn health_probe_rejoins_a_restarted_shard_without_traffic() {
+    // ROADMAP follow-on (PR 4): a shard that gets no traffic used to stay
+    // unprobed — a restarted shard rejoined only when its first owned request
+    // paid the reconnect.  The periodic health probe must revive it with no
+    // request in flight at all.
+    let (mut shards, _) = (vec![shard_server(), shard_server()], ());
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let router_config = RouterConfig {
+        health_probe_interval: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let router = Router::bind("127.0.0.1:0", &addrs, router_config)
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    assert_eq!(router.live_shards(), vec![0, 1]);
+
+    // Kill shard 1 and wait for the demux to notice the EOF.
+    let dead_addr = addrs[1];
+    shards.remove(1).shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.live_shards() != vec![0] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard death unnoticed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Restart a shard process on the same address.  The port was just freed,
+    // but give the OS a few tries to hand it back.
+    let mut restarted = None;
+    for _ in 0..50 {
+        match Server::bind(dead_addr, ServerConfig::default()) {
+            Ok(server) => {
+                restarted = Some(server.spawn().expect("spawn restarted shard"));
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let restarted = restarted.expect("rebind the freed shard address");
+
+    // No request is ever sent: the probe alone must rejoin the shard.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.live_shards() != vec![0, 1] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health probe did not rejoin the restarted shard"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    router.shutdown();
+    restarted.shutdown();
     for shard in shards {
         shard.shutdown();
     }
