@@ -16,6 +16,12 @@
 //! Every response is validated client-side; per-source latency and the
 //! throughput ratio land in the JSON written to `--out`.
 //!
+//! A third **restart** phase measures the durable store: a store-backed
+//! server is populated, shut down, and restarted on the same directory;
+//! every request then replays by fingerprint (`FP <hex>`) against the
+//! recovered cache.  The JSON gains pre- vs post-restart exact-hit
+//! latencies and the `store_*` counters.
+//!
 //! Flags:
 //!   --out PATH         output JSON path (default BENCH_serve.json)
 //!   --target N         approximate DAG size in nodes (default 4000)
@@ -388,8 +394,126 @@ fn server_config(
             warm_budget: deadline / 4,
             default_deadline: Some(deadline),
             solve_threads: 1, // overwritten by the server's derived budget
+            store: None,
         },
+        store_dir: None,
     }
+}
+
+/// Outcome of the restart phase: exact-hit latencies before and after the
+/// restart, plus the store counters that certify what happened.
+struct RestartOutcome {
+    pre_exact: LatencyHistogram,
+    post_exact: LatencyHistogram,
+    /// Post-restart replays that did *not* come back as exact hits (each one
+    /// is an entry the store failed to bring back warm).
+    post_non_exact: u64,
+    fp_fallbacks: u64,
+    invalid: u64,
+    appended: u64,
+    loaded: u64,
+    recovered_bytes: u64,
+    dropped_corrupt: u64,
+}
+
+/// Phase 3: populate a store-backed server, shut it down gracefully, restart
+/// it on the same directory, and replay every request by fingerprint against
+/// the pre-warmed cache.  (Torn-write and `kill -9` recovery are covered by
+/// the crash tests; the bench measures the happy restart's cost.)
+fn run_restart_phase(
+    config: &ServerConfig,
+    pool: &[WorkItem],
+    deadline: Duration,
+) -> RestartOutcome {
+    let dir = std::env::temp_dir().join(format!("bsp-exp-serve-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut stored = config.clone();
+    stored.store_dir = Some(dir.clone());
+    let options = RequestOptions::new()
+        .with_mode(Mode::HeuristicsOnly)
+        .with_deadline(deadline);
+    let mut outcome = RestartOutcome {
+        pre_exact: LatencyHistogram::new(),
+        post_exact: LatencyHistogram::new(),
+        post_non_exact: 0,
+        fp_fallbacks: 0,
+        invalid: 0,
+        appended: 0,
+        loaded: 0,
+        recovered_bytes: 0,
+        dropped_corrupt: 0,
+    };
+
+    // Populate, then measure the pre-restart exact-hit baseline (the second
+    // pass replays by fingerprint: the client already knows every key).
+    let server = Server::bind("127.0.0.1:0", stored.clone())
+        .expect("bind the store-backed server")
+        .spawn()
+        .expect("spawn server threads");
+    {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for item in pool {
+            let response = client
+                .schedule(&item.dag, &item.machine, &options)
+                .expect("populate request");
+            if response
+                .schedule
+                .validate(&item.dag, &item.machine)
+                .is_err()
+            {
+                outcome.invalid += 1;
+            }
+        }
+        for item in pool {
+            let start = Instant::now();
+            let response = client
+                .schedule(&item.dag, &item.machine, &options)
+                .expect("pre-restart replay");
+            if response.source == ScheduleSource::CacheExact {
+                outcome.pre_exact.record(start.elapsed());
+            }
+        }
+    }
+    outcome.appended = server.stats().store.appended;
+    server.shutdown(); // graceful: every accepted write is flushed
+
+    // Restart on the same directory: recovery replays the segments into the
+    // cache, and a *fresh* client replays by fingerprint only because it is
+    // told the entries survived (`assume_cached`).
+    let server = Server::bind("127.0.0.1:0", stored)
+        .expect("rebind on the same store directory")
+        .spawn()
+        .expect("respawn server threads");
+    let stats = server.stats();
+    outcome.loaded = stats.store.loaded;
+    outcome.recovered_bytes = stats.store.recovered_bytes;
+    outcome.dropped_corrupt = stats.store.dropped_corrupt;
+    {
+        let mut client = Client::connect(server.addr()).expect("reconnect");
+        for item in pool {
+            client.assume_cached(&item.dag, &item.machine);
+            let start = Instant::now();
+            let response = client
+                .schedule(&item.dag, &item.machine, &options)
+                .expect("post-restart replay");
+            if response.source == ScheduleSource::CacheExact {
+                outcome.post_exact.record(start.elapsed());
+            } else {
+                outcome.post_non_exact += 1;
+            }
+            if response
+                .schedule
+                .validate(&item.dag, &item.machine)
+                .is_err()
+            {
+                outcome.invalid += 1;
+            }
+        }
+        outcome.fp_fallbacks = client.fp_fallbacks();
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
 }
 
 fn spawn_deployment(shards: usize, config: &ServerConfig) -> (Vec<ServerHandle>, RouterHandle) {
@@ -441,6 +565,7 @@ fn main() {
 
     eprintln!("building instance pool...");
     let mut pool = base_pool(target);
+    let base_len = pool.len();
     let stream = build_stream(&mut pool, requests, repeat_pct, warm_pct, args.seed());
     let pool = Arc::new(pool);
     let config = server_config(workers, clients, deadline, cache_mb);
@@ -483,6 +608,22 @@ fn main() {
     for shard in shard_handles {
         shard.shutdown();
     }
+
+    // ---- Phase 3: durable-store restart ---------------------------------
+    eprintln!("restart phase: populate a store-backed server, restart it, replay");
+    let restart = run_restart_phase(&config, &pool[..base_len], deadline);
+    eprintln!(
+        "restart: {} appended, {} loaded back ({} bytes, {} dropped), \
+         exact p50 {}us before vs {}us after, {} fp fallbacks, {} non-exact replays",
+        restart.appended,
+        restart.loaded,
+        restart.recovered_bytes,
+        restart.dropped_corrupt,
+        restart.pre_exact.quantile_micros(0.5),
+        restart.post_exact.quantile_micros(0.5),
+        restart.fp_fallbacks,
+        restart.post_non_exact,
+    );
 
     let speedup = if serial.throughput_rps > 0.0 {
         sharded.throughput_rps / serial.throughput_rps
@@ -559,6 +700,18 @@ fn main() {
             ));
         }
     }
+    for (phase_name, hist) in [
+        ("restart_pre", &restart.pre_exact),
+        ("restart_post", &restart.post_exact),
+    ] {
+        report.push_result_json(format!(
+            "    {{\"phase\": \"{phase_name}\", \"source\": \"exact\", \"count\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}}}",
+            hist.count(),
+            hist.quantile_micros(0.5),
+            hist.quantile_micros(0.99),
+        ));
+    }
     let shard_requests: Vec<String> = shard_stats.iter().map(|s| s.requests.to_string()).collect();
     let agg_hits: u64 = shard_stats.iter().map(|s| s.cache.hits).sum();
     let agg_warm: u64 = shard_stats.iter().map(|s| s.cache.warm_hits).sum();
@@ -575,7 +728,9 @@ fn main() {
          \"sharded_cache\": {{\"hits\": {agg_hits}, \"warm_hits\": {agg_warm}, \
          \"warm_fallbacks\": {agg_warm_fallbacks}, \"misses\": {agg_misses}}}, \
          \"serial_cache\": {{\"hits\": {}, \"warm_hits\": {}, \"warm_fallbacks\": {}, \
-         \"misses\": {}}}}}",
+         \"misses\": {}}}, \
+         \"restart_store\": {{\"appended\": {}, \"loaded\": {}, \"recovered_bytes\": {}, \
+         \"dropped_corrupt\": {}, \"fp_fallbacks\": {}, \"non_exact_replays\": {}}}}}",
         serial.throughput_rps,
         sharded.throughput_rps,
         serial.wall.as_secs_f64(),
@@ -589,6 +744,12 @@ fn main() {
         serial_stats.cache.warm_hits,
         serial_stats.cache.warm_fallbacks,
         serial_stats.cache.misses,
+        restart.appended,
+        restart.loaded,
+        restart.recovered_bytes,
+        restart.dropped_corrupt,
+        restart.fp_fallbacks,
+        restart.post_non_exact,
     ));
     report
         .write(&out_path)
@@ -623,6 +784,22 @@ fn main() {
         assert!(
             shard_stats.iter().map(|s| s.cache.hits).sum::<u64>() > 0,
             "smoke: no exact hits through the router"
+        );
+        // Durability gates: the restarted server serves exact hits straight
+        // from the recovered store, and every fingerprint replay lands (zero
+        // fallbacks = no recovered entry went missing).
+        assert!(restart.loaded > 0, "smoke: restart recovered no entries");
+        assert!(
+            restart.post_exact.count() > 0,
+            "smoke: no exact hits after the restart"
+        );
+        assert_eq!(
+            restart.fp_fallbacks, 0,
+            "smoke: an FP replay fell back after the restart"
+        );
+        assert_eq!(
+            restart.invalid, 0,
+            "smoke: the restart phase served an invalid schedule"
         );
         eprintln!("smoke assertions passed");
     }

@@ -78,6 +78,17 @@ impl Fnv64 {
         self.write_u64(value as u64);
     }
 
+    /// Feeds raw bytes (the durable-store record checksum walks the encoded
+    /// frame body byte by byte; see [`crate::record`]).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &byte in bytes {
+            s ^= u64::from(byte);
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
     /// Feeds a slice of `u64` values (length-prefixed, so `[1][2]` and
     /// `[1, 2]` hash differently across adjacent fields).
     pub fn write_u64_slice(&mut self, values: &[u64]) {

@@ -22,6 +22,9 @@
 //! * [`fingerprint`] — allocation-free content fingerprints of scheduling
 //!   requests (DAG structure + weights + machine), the keys of the
 //!   `bsp_serve` schedule cache.
+//! * [`record`] — the checksummed, length-framed on-disk record codec of the
+//!   `bsp_serve` durable schedule store (torn and corrupt frames decode to
+//!   typed errors, never to a schedule).
 //! * [`classical`] — conversion of classical time-based schedules (as produced
 //!   by `Cilk`, `BL-EST`, `ETF`) into BSP schedules.
 //! * [`render`] — plain-text rendering of schedules for debugging and examples.
@@ -34,6 +37,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod machine;
 pub mod quotient;
+pub mod record;
 pub mod render;
 pub mod schedule;
 pub mod validity;
@@ -46,4 +50,5 @@ pub use error::{DagError, ValidityError};
 pub use fingerprint::{request_key, Fnv64, RequestKey};
 pub use machine::{Machine, NumaTopology};
 pub use quotient::QuotientDag;
+pub use record::{decode_record, encode_record, RecordError, StoreRecord};
 pub use schedule::{Assignment, BspSchedule};

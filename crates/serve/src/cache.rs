@@ -322,6 +322,23 @@ impl ScheduleCache {
         }
     }
 
+    /// Inserts an entry recovered from the durable store at startup.
+    /// Identical to [`Self::insert`] except that `insertions` is not
+    /// counted: repopulation is not request traffic, and keeping the counter
+    /// request-only lets a restart test tell recovered entries
+    /// (`store_loaded`) apart from fresh solves (`insertions`).
+    pub fn repopulate(
+        &mut self,
+        full_fp: u128,
+        structure_fp: u64,
+        schedule: Arc<BspSchedule>,
+        cost: u64,
+    ) {
+        let before = self.stats.insertions;
+        self.insert(full_fp, structure_fp, schedule, cost);
+        self.stats.insertions = before;
+    }
+
     /// Checks every structural invariant of the cache, returning a
     /// description of the first violation.  `O(entries)`; meant for tests
     /// (the property suite calls it after every random operation) and
@@ -542,6 +559,21 @@ mod tests {
         assert!(
             cache.lookup_warm(100).is_some(),
             "warm lookups for structure 100 miss although entry 1 is cached"
+        );
+        cache.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repopulation_fills_the_cache_without_counting_insertions() {
+        let mut cache = ScheduleCache::new(1 << 20);
+        cache.repopulate(1, 100, schedule_of(8), 17);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.insertions), (1, 0));
+        let (_, cost) = cache.lookup_exact(1).expect("repopulated entry hits");
+        assert_eq!(cost, 17);
+        assert!(
+            cache.lookup_warm(100).is_some(),
+            "warm alias is indexed too"
         );
         cache.check_invariants().unwrap();
     }

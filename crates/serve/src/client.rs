@@ -34,6 +34,7 @@ pub struct Client {
     /// the DAG payload, and fall back transparently when the server evicted
     /// the entry.
     known_fingerprints: HashSet<u128>,
+    fp_fallbacks: u64,
 }
 
 impl Client {
@@ -63,7 +64,25 @@ impl Client {
             next_id: 1,
             scratch: String::new(),
             known_fingerprints: HashSet::new(),
+            fp_fallbacks: 0,
         })
+    }
+
+    /// Tells the client the server already holds this request (e.g. it was
+    /// served before a restart and the durable store recovered it), so the
+    /// *first* [`Client::schedule`] call for it replays by fingerprint
+    /// instead of shipping the DAG payload.  A wrong assumption costs one
+    /// transparent fallback to the full payload, counted by
+    /// [`Client::fp_fallbacks`] — never a wrong answer.
+    pub fn assume_cached(&mut self, dag: &Dag, machine: &Machine) {
+        self.known_fingerprints
+            .insert(bsp_model::request_key(dag, machine).full);
+    }
+
+    /// How many fingerprint replays came back `unknown-fp` and were resent
+    /// in full (see [`PipelinedClient::fp_fallbacks`]).
+    pub fn fp_fallbacks(&self) -> u64 {
+        self.fp_fallbacks
     }
 
     /// Sends one scheduling request and blocks for the response.
@@ -90,6 +109,7 @@ impl Client {
                 Ok(response) => return Ok(response),
                 Err(ServeError::Remote { kind, .. }) if kind == "unknown-fp" => {
                     self.known_fingerprints.remove(&fingerprint);
+                    self.fp_fallbacks += 1;
                 }
                 Err(err) => return Err(err),
             }

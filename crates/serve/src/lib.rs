@@ -67,13 +67,15 @@ pub mod protocol;
 pub mod router;
 pub mod server;
 pub mod service;
+pub mod store;
 
 pub use cache::{schedule_footprint, CacheStats, ScheduleCache};
 pub use client::{Client, Completion, PipelinedClient};
-pub use metrics::LatencyHistogram;
+pub use metrics::{LatencyHistogram, StoreCounters, StoreStats};
 pub use protocol::{
     Mode, Reply, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
 };
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{ScheduleService, ServeReply, ServiceConfig, ServiceStats};
+pub use store::{FailPoint, Store, StoreConfig};

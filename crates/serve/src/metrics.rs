@@ -14,6 +14,62 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Live counters of the durable schedule store ([`crate::store`]), updated
+/// lock-free from the store's writer thread and its startup recovery scan,
+/// and snapshotted into [`StoreStats`] for the `STATS` wire line.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    /// Entries recovered at startup and repopulated into the cache.
+    pub loaded: AtomicU64,
+    /// Bytes of checksum-valid records recovered at startup.
+    pub recovered_bytes: AtomicU64,
+    /// Torn or corrupt records dropped by recovery scans (each truncation or
+    /// checksum failure counts once).
+    pub dropped_corrupt: AtomicU64,
+    /// Segment compactions run (disk budget exceeded; live entries rewritten,
+    /// superseded ones dropped).
+    pub compactions: AtomicU64,
+    /// Failed or refused writes: I/O errors, injected faults, and appends
+    /// dropped because the bounded writer queue was full.
+    pub write_errors: AtomicU64,
+    /// Records durably appended (written and flushed) — not part of the
+    /// required counter set, but the fault-injection harness needs a lower
+    /// bound on the durable set observable over the wire.
+    pub appended: AtomicU64,
+}
+
+impl StoreCounters {
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            loaded: self.loaded.load(Ordering::Relaxed),
+            recovered_bytes: self.recovered_bytes.load(Ordering::Relaxed),
+            dropped_corrupt: self.dropped_corrupt.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            appended: self.appended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of [`StoreCounters`]; all-zero when the service runs without a
+/// durable store.  Summed across shards by the router's `STATS` aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries recovered at startup and repopulated into the cache.
+    pub loaded: u64,
+    /// Bytes of checksum-valid records recovered at startup.
+    pub recovered_bytes: u64,
+    /// Torn or corrupt records dropped by recovery scans.
+    pub dropped_corrupt: u64,
+    /// Segment compactions run.
+    pub compactions: u64,
+    /// Failed or refused writes.
+    pub write_errors: u64,
+    /// Records durably appended (written and flushed).
+    pub appended: u64,
+}
+
 /// Values below this are counted in exact 1 µs buckets.
 const LINEAR: u64 = 32;
 /// 32 linear buckets + 4 sub-buckets per octave for octaves 5..=63.

@@ -28,7 +28,11 @@
 //!
 //! Errors come back as a single `ERR <id> <kind> <message...>` line.  The
 //! auxiliary verbs are `STATS` (one `STATS key value ...` line back) and
-//! `PING`/`PONG`.  Malformed input of any shape — bad verbs, hostile header
+//! `PING`/`PONG`.  The `STATS` line includes the durable-store counters
+//! (`store_loaded`, `store_recovered_bytes`, `store_dropped_corrupt`,
+//! `store_compactions`, `store_write_errors`, `store_appended`; all zero on
+//! a memory-only server), and readers ignore unknown keys so the set can
+//! keep growing without a protocol rev.  Malformed input of any shape — bad verbs, hostile header
 //! counts, cyclic DAGs, out-of-range machine parameters — is answered with a
 //! typed [`ServeError`], never a panic: the parsing layer is the service's
 //! trust boundary.

@@ -76,7 +76,18 @@ pub struct RouterConfig {
     /// quiet shard's key range does not stay in failover until traffic
     /// happens to touch it).  `None` disables the probe and keeps the purely
     /// lazy revival.
+    ///
+    /// This is the probe's *base* cadence: a backend that keeps refusing is
+    /// retried with exponential backoff (doubling per consecutive failure,
+    /// jittered, capped at [`RouterConfig::health_probe_backoff_cap`]) so a
+    /// long-dead shard costs a connect attempt every cap interval, not every
+    /// tick — while a freshly dead shard is still probed within one base
+    /// interval of dying.
     pub health_probe_interval: Option<Duration>,
+    /// Upper bound on the per-backend probe backoff.  Once a dead backend
+    /// has failed enough consecutive probes, retries settle at roughly this
+    /// cadence (±25 % jitter) until the backend answers again.
+    pub health_probe_backoff_cap: Duration,
 }
 
 impl Default for RouterConfig {
@@ -85,6 +96,7 @@ impl Default for RouterConfig {
             max_connections: 128,
             idle_timeout: Duration::from_secs(30),
             health_probe_interval: Some(Duration::from_secs(2)),
+            health_probe_backoff_cap: Duration::from_secs(30),
         }
     }
 }
@@ -505,12 +517,50 @@ fn ensure_live(shared: &Arc<RouterShared>, shard: usize) {
     }
 }
 
-/// The proactive shard health probe: every `interval`, attempt a bounded
-/// reconnect ([`ensure_live`]) to each dead backend.  Revival restores the
-/// multiplexed writer and spawns a fresh demux generation, exactly as the
-/// lazy request-path revival does — the probe just pays that cost off the
-/// request path.
+/// How long until the `failures`-th consecutive failed probe of a backend is
+/// retried: `base · 2^(failures-1)`, capped at `cap`, with ±25 % deterministic
+/// jitter derived from `seed` (xorshift) so a fleet of routers probing the
+/// same dead shard does not reconnect in lockstep.  `failures == 0` means the
+/// backend has not failed a probe yet and is due immediately.  The result
+/// never drops below `base` (for `failures > 0`) and never exceeds `cap`.
+pub fn probe_backoff(base: Duration, cap: Duration, failures: u32, seed: u64) -> Duration {
+    if failures == 0 {
+        return Duration::ZERO;
+    }
+    let base_ns = base.as_nanos().max(1);
+    let cap_ns = cap.as_nanos().max(base_ns);
+    let shift = (failures - 1).min(32);
+    let raw_ns = base_ns.saturating_mul(1u128 << shift).min(cap_ns);
+    // xorshift64*: cheap, stateless, and good enough to de-correlate probes.
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let span = raw_ns / 4;
+    let jitter = if span == 0 {
+        0
+    } else {
+        u128::from(x) % (2 * span + 1)
+    };
+    let jittered = (raw_ns - span + jitter).clamp(base_ns, cap_ns);
+    Duration::from_nanos(u64::try_from(jittered).unwrap_or(u64::MAX))
+}
+
+/// The proactive shard health probe: wakes every `interval` (the base
+/// cadence) and attempts a bounded reconnect ([`ensure_live`]) to each dead
+/// backend that is *due* — consecutive failures push a backend's next
+/// attempt out exponentially ([`probe_backoff`]), so a shard that stays down
+/// for minutes is probed at the cap cadence instead of hammered every tick.
+/// The failure count resets the moment the backend is observed live (by the
+/// probe or by the lazy request-path revival), so a fresh death is probed
+/// within one base interval again.  Revival restores the multiplexed writer
+/// and spawns a fresh demux generation, exactly as the lazy request-path
+/// revival does — the probe just pays that cost off the request path.
 fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
+    let cap = shared.config.health_probe_backoff_cap.max(interval);
+    let n = shared.backends.len();
+    let mut failures = vec![0u32; n];
+    let mut next_attempt = vec![std::time::Instant::now(); n];
     let mut guard = shared.probe_lock.lock().unwrap_or_else(|e| e.into_inner());
     loop {
         let (g, _) = shared
@@ -521,9 +571,24 @@ fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        for shard in 0..shared.backends.len() {
-            if !shared.backends[shard].is_live() {
-                ensure_live(shared, shard);
+        let now = std::time::Instant::now();
+        for shard in 0..n {
+            if shared.backends[shard].is_live() {
+                failures[shard] = 0;
+                next_attempt[shard] = now;
+                continue;
+            }
+            if now < next_attempt[shard] {
+                continue;
+            }
+            ensure_live(shared, shard);
+            if shared.backends[shard].is_live() {
+                failures[shard] = 0;
+                next_attempt[shard] = now;
+            } else {
+                failures[shard] = failures[shard].saturating_add(1);
+                let seed = (shard as u64) << 32 | u64::from(failures[shard]);
+                next_attempt[shard] = now + probe_backoff(interval, cap, failures[shard], seed);
             }
         }
     }
@@ -658,6 +723,12 @@ fn aggregate_stats(shared: &RouterShared) -> Result<ServiceStats, ServeError> {
         agg.cache.evictions += stats.cache.evictions;
         agg.cache.bytes_used += stats.cache.bytes_used;
         agg.cache.entries += stats.cache.entries;
+        agg.store.loaded += stats.store.loaded;
+        agg.store.recovered_bytes += stats.store.recovered_bytes;
+        agg.store.dropped_corrupt += stats.store.dropped_corrupt;
+        agg.store.compactions += stats.store.compactions;
+        agg.store.write_errors += stats.store.write_errors;
+        agg.store.appended += stats.store.appended;
         agg.cold_us = (
             agg.cold_us.0.max(stats.cold_us.0),
             agg.cold_us.1.max(stats.cold_us.1),
@@ -835,5 +906,71 @@ mod tests {
             }
             assert_eq!(last, shards - 1, "top of the range reaches the last shard");
         }
+    }
+
+    #[test]
+    fn probe_backoff_grows_exponentially_and_saturates_at_the_cap() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(30);
+        assert_eq!(probe_backoff(base, cap, 0, 7), Duration::ZERO);
+        let mut last = Duration::ZERO;
+        for failures in 1..=20u32 {
+            let d = probe_backoff(base, cap, failures, 7);
+            assert!(d >= base, "backoff never drops below the base interval");
+            assert!(d <= cap, "backoff never exceeds the cap");
+            // The nominal (un-jittered) value doubles; ±25 % jitter cannot
+            // undo a doubling, so consecutive backoffs are non-decreasing
+            // until both sides sit at the cap.
+            if last < cap.mul_f64(0.74) {
+                assert!(
+                    d >= last,
+                    "failure {failures}: backoff {d:?} regressed below {last:?}"
+                );
+            }
+            last = d;
+        }
+        assert!(
+            last >= cap.mul_f64(0.75),
+            "after 20 failures the backoff sits at the cap (minus jitter): {last:?}"
+        );
+    }
+
+    #[test]
+    fn probe_backoff_jitter_is_deterministic_in_the_seed_and_bounded() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(30);
+        for failures in 1..=8u32 {
+            let nominal = base.saturating_mul(1 << (failures - 1)).min(cap).as_nanos() as f64;
+            let mut distinct = std::collections::HashSet::new();
+            for seed in 0..32u64 {
+                let a = probe_backoff(base, cap, failures, seed);
+                let b = probe_backoff(base, cap, failures, seed);
+                assert_eq!(a, b, "same seed, same backoff");
+                let ns = a.as_nanos() as f64;
+                assert!(
+                    ns >= nominal * 0.74 && ns <= nominal * 1.26,
+                    "jitter stays within ±25% of nominal: {ns} vs {nominal}"
+                );
+                distinct.insert(a);
+            }
+            assert!(
+                distinct.len() > 1,
+                "different seeds spread the probes (failures = {failures})"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_backoff_survives_extreme_inputs() {
+        // A huge failure count must not overflow the shift or the multiply:
+        // the result sits at the cap, minus at most the 25% jitter.
+        let d = probe_backoff(Duration::from_secs(1), Duration::from_secs(30), u32::MAX, 1);
+        assert!(d >= Duration::from_secs(22) && d <= Duration::from_secs(30));
+        // A cap below the base is lifted to the base.
+        let d = probe_backoff(Duration::from_secs(2), Duration::from_millis(1), 5, 1);
+        assert_eq!(d, Duration::from_secs(2));
+        // Zero-duration base degenerates gracefully.
+        let d = probe_backoff(Duration::ZERO, Duration::ZERO, 3, 1);
+        assert!(d <= Duration::from_nanos(8));
     }
 }

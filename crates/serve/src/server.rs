@@ -38,9 +38,11 @@ use crate::protocol::{
     encode_error, encode_response_parts, read_incoming, Incoming, ScheduleRequest, ServeError,
 };
 use crate::service::{ScheduleService, ServiceConfig, ServiceStats};
+use crate::store::StoreConfig;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead as _, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -77,6 +79,11 @@ pub struct ServerConfig {
     /// `solve_threads` is overwritten with the derived per-request budget
     /// (see [`ServerConfig::solve_threads`]).
     pub service: ServiceConfig,
+    /// Directory of the durable schedule store ([`crate::store`]); `None`
+    /// (the default) serves memory-only.  Shorthand for setting
+    /// [`ServiceConfig::store`] with default budgets — an explicit
+    /// `service.store` wins over this field.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +96,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             solve_threads: 0,
             service: ServiceConfig::default(),
+            store_dir: None,
         }
     }
 }
@@ -150,7 +158,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let mut service_config = config.service.clone();
         service_config.solve_threads = config.effective_solve_threads();
-        let service = ScheduleService::new(service_config);
+        if service_config.store.is_none() {
+            if let Some(dir) = &config.store_dir {
+                service_config.store = Some(StoreConfig::at(dir.clone()));
+            }
+        }
+        let service = ScheduleService::try_new(service_config)?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -260,6 +273,9 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are gone, so no new writes can be offered: one barrier
+        // makes everything the server ever accepted durable.
+        self.shared.service.flush_store();
     }
 }
 
@@ -559,6 +575,7 @@ mod tests {
                 warm_budget: Duration::from_millis(40),
                 ..Default::default()
             },
+            store_dir: None,
         };
         Server::bind("127.0.0.1:0", config)
             .expect("bind loopback")
@@ -704,6 +721,7 @@ mod tests {
                 warm_budget: Duration::from_millis(30),
                 ..Default::default()
             },
+            store_dir: None,
         };
         let server = Server::bind("127.0.0.1:0", config)
             .expect("bind")
@@ -761,6 +779,7 @@ mod tests {
                 warm_budget: Duration::from_millis(40),
                 ..Default::default()
             },
+            store_dir: None,
         };
         let server = Server::bind("127.0.0.1:0", config)
             .expect("bind")

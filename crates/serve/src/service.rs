@@ -22,12 +22,17 @@
 //! assertions.
 
 use crate::cache::{CacheStats, ScheduleCache};
-use crate::metrics::LatencyHistogram;
+use crate::metrics::{LatencyHistogram, StoreStats};
 use crate::protocol::{Mode, ScheduleRequest, ScheduleSource, ServeError};
-use bsp_model::{request_key, BspSchedule};
+use crate::store::{Store, StoreConfig};
+use bsp_model::record::{encode_record, RecordError, StoreRecord};
+use bsp_model::{request_key, BspSchedule, RequestKey};
 use bsp_sched::cancel::CancelToken;
 use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 use bsp_sched::pipeline::{Pipeline, PipelineConfig};
+use dag_gen::hyperdag::{read_hyperdag, write_hyperdag};
+use std::io;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,6 +57,11 @@ pub struct ServiceConfig {
     /// thread per available core (only sensible for a single-worker
     /// deployment).
     pub solve_threads: usize,
+    /// The durable store under the cache ([`crate::store`]); `None` (the
+    /// default) runs memory-only.  With a store, cache inserts write through
+    /// asynchronously, evictions drop only the RAM copy, and startup replays
+    /// the segments to pre-warm the cache.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +72,7 @@ impl Default for ServiceConfig {
             warm_budget: Duration::from_millis(500),
             default_deadline: None,
             solve_threads: 1,
+            store: None,
         }
     }
 }
@@ -101,6 +112,8 @@ pub struct ServiceStats {
     pub exact_us: (u64, u64),
     /// `(p50, p99)` latency in µs of warm-started requests.
     pub warm_us: (u64, u64),
+    /// Durable-store counters (all zero when running memory-only).
+    pub store: StoreStats,
 }
 
 impl ServiceStats {
@@ -109,7 +122,9 @@ impl ServiceStats {
         format!(
             "STATS requests {} hits {} misses {} warm_hits {} warm_fallbacks {} insertions {} \
              evictions {} bytes {} entries {} cold_p50_us {} cold_p99_us {} exact_p50_us {} \
-             exact_p99_us {} warm_p50_us {} warm_p99_us {}",
+             exact_p99_us {} warm_p50_us {} warm_p99_us {} store_loaded {} \
+             store_recovered_bytes {} store_dropped_corrupt {} store_compactions {} \
+             store_write_errors {} store_appended {}",
             self.requests,
             self.cache.hits,
             self.cache.misses,
@@ -125,6 +140,12 @@ impl ServiceStats {
             self.exact_us.1,
             self.warm_us.0,
             self.warm_us.1,
+            self.store.loaded,
+            self.store.recovered_bytes,
+            self.store.dropped_corrupt,
+            self.store.compactions,
+            self.store.write_errors,
+            self.store.appended,
         )
     }
 
@@ -162,6 +183,12 @@ impl ServiceStats {
                 "exact_p99_us" => stats.exact_us.1 = value,
                 "warm_p50_us" => stats.warm_us.0 = value,
                 "warm_p99_us" => stats.warm_us.1 = value,
+                "store_loaded" => stats.store.loaded = value,
+                "store_recovered_bytes" => stats.store.recovered_bytes = value,
+                "store_dropped_corrupt" => stats.store.dropped_corrupt = value,
+                "store_compactions" => stats.store.compactions = value,
+                "store_write_errors" => stats.store.write_errors = value,
+                "store_appended" => stats.store.appended = value,
                 _ => {} // forward-compatible
             }
         }
@@ -191,18 +218,58 @@ pub struct ScheduleService {
     cache: Mutex<ScheduleCache>,
     shutdown: CancelToken,
     metrics: ServiceMetrics,
+    store: Option<Store>,
 }
 
 impl ScheduleService {
-    /// A fresh service with an empty cache.
+    /// A fresh service.  With [`ServiceConfig::store`] set this opens the
+    /// durable store (running crash recovery) and pre-warms the cache from
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store directory cannot be opened; use
+    /// [`ScheduleService::try_new`] to handle the error.
     pub fn new(config: ServiceConfig) -> Self {
-        let cache = Mutex::new(ScheduleCache::new(config.cache_bytes));
-        ScheduleService {
+        Self::try_new(config).expect("failed to open the durable schedule store")
+    }
+
+    /// [`ScheduleService::new`], minus the panic: opening or recovering the
+    /// durable store surfaces as an `io::Error`.
+    pub fn try_new(config: ServiceConfig) -> io::Result<Self> {
+        let mut cache = ScheduleCache::new(config.cache_bytes);
+        let store = match &config.store {
+            Some(store_config) => {
+                let (store, recovered) = Store::open(store_config.clone())?;
+                for record in &recovered {
+                    // Recovery trusts nothing: a checksum-valid record is
+                    // re-validated end to end (fingerprints recomputed from
+                    // the payload, schedule checked against the request)
+                    // before the cache may serve it.
+                    match adopt_record(record) {
+                        Some((key, schedule, cost)) => {
+                            cache.repopulate(key.full, key.structure, schedule, cost);
+                            store.counters().loaded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => {
+                            store
+                                .counters()
+                                .dropped_corrupt
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Some(store)
+            }
+            None => None,
+        };
+        Ok(ScheduleService {
             config,
-            cache,
+            cache: Mutex::new(cache),
             shutdown: CancelToken::new(),
             metrics: ServiceMetrics::default(),
-        }
+            store,
+        })
     }
 
     /// The service's shutdown token; in-flight solves poll it.
@@ -231,6 +298,26 @@ impl ScheduleService {
             cold_us: m.cold.p50_p99_micros(),
             exact_us: m.exact.p50_p99_micros(),
             warm_us: m.warm.p50_p99_micros(),
+            store: self
+                .store
+                .as_ref()
+                .map(|s| s.counters().snapshot())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The durable store, when configured (tests arm fault injection through
+    /// it).
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Blocks until every write offered to the store so far is on disk.
+    /// No-op without a store.  Called on graceful shutdown; tests use it to
+    /// make durability deterministic.
+    pub fn flush_store(&self) {
+        if let Some(store) = &self.store {
+            store.flush();
         }
     }
 
@@ -309,6 +396,11 @@ impl ScheduleService {
                 }
             }
             cache.insert(key.full, key.structure, Arc::clone(&schedule), cost);
+            drop(cache);
+            // Write-through is asynchronous and happens only on the solve
+            // path (which already allocates); the exact-hit and FP-replay
+            // paths stay allocation-free and never touch the store.
+            self.offer_to_store(request, &schedule, cost, key);
         }
         let elapsed = start.elapsed();
         self.metrics.histogram(source).record(elapsed);
@@ -346,6 +438,39 @@ impl ScheduleService {
             None => {
                 cache.note_miss();
                 Err(ServeError::UnknownFingerprint)
+            }
+        }
+    }
+
+    /// Hands the freshly solved entry to the store's writer thread (never
+    /// blocks; a full queue drops the write and counts a `write_error`).
+    fn offer_to_store(
+        &self,
+        request: &ScheduleRequest,
+        schedule: &Arc<BspSchedule>,
+        cost: u64,
+        key: RequestKey,
+    ) {
+        let Some(store) = &self.store else { return };
+        let record = StoreRecord {
+            full_fp: key.full,
+            structure_fp: key.structure,
+            cost,
+            machine: request.machine.clone(),
+            dag_bytes: write_hyperdag(&request.dag).into_bytes(),
+            assignment: schedule.assignment.clone(),
+        };
+        let mut frame = Vec::new();
+        match encode_record(&record, &mut frame) {
+            Ok(()) => store.offer(key.full, frame),
+            // Explicit-λ machines are not persisted (mirroring the wire
+            // protocol); that is a policy, not a failure.
+            Err(RecordError::Unsupported(_)) => {}
+            Err(_) => {
+                store
+                    .counters()
+                    .write_errors
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -402,6 +527,37 @@ impl ScheduleService {
         config.cancel = cancel.clone();
         Pipeline::new(config).run(&request.dag, &request.machine)
     }
+}
+
+/// Turns a checksum-valid recovered record into a cache entry — or `None`,
+/// making it a `dropped_corrupt`.  Nothing in the record is trusted: the DAG
+/// payload is re-parsed, both fingerprints are recomputed from it and must
+/// match the stored keys, the assignment's shape is checked *before* any
+/// array-indexing constructor can run, the rebuilt schedule passes the same
+/// validity check every served schedule passes, and the cost is recomputed
+/// rather than read back.  A corrupt or crafted record therefore costs one
+/// lost cache entry, never a wrong answer.
+fn adopt_record(record: &StoreRecord) -> Option<(RequestKey, Arc<BspSchedule>, u64)> {
+    let text = std::str::from_utf8(&record.dag_bytes).ok()?;
+    let dag = read_hyperdag(text).ok()?;
+    let key = request_key(&dag, &record.machine);
+    if key.full != record.full_fp || key.structure != record.structure_fp {
+        return None;
+    }
+    // Shape guards ahead of `from_assignment_lazy`, which indexes the
+    // assignment arrays by node id and allocates per superstep.
+    if record.assignment.n() != dag.n() {
+        return None;
+    }
+    if record.assignment.superstep.iter().any(|&s| s > dag.n()) {
+        return None;
+    }
+    let schedule = BspSchedule::from_assignment_lazy(&dag, record.assignment.clone());
+    if schedule.validate(&dag, &record.machine).is_err() {
+        return None;
+    }
+    let cost = schedule.cost(&dag, &record.machine);
+    Some((key, Arc::new(schedule), cost))
 }
 
 #[cfg(test)]
@@ -574,10 +730,146 @@ mod tests {
             cold_us: (1024, 8192),
             exact_us: (8, 16),
             warm_us: (256, 512),
+            store: crate::metrics::StoreStats {
+                loaded: 3,
+                recovered_bytes: 4096,
+                dropped_corrupt: 1,
+                compactions: 2,
+                write_errors: 5,
+                appended: 9,
+            },
         };
         let parsed = ServiceStats::from_wire(&stats.to_wire()).unwrap();
         assert_eq!(parsed, stats);
         assert!(ServiceStats::from_wire("NOPE").is_err());
+    }
+
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bsp-service-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn stored_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig {
+            local_search_budget: Duration::from_millis(50),
+            store: Some(StoreConfig::at(dir)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn a_restarted_service_serves_exact_hits_from_the_store() {
+        let dir = store_dir("restart");
+        let machine = Machine::uniform(4, 1, 2);
+        let (first_cost, first_stats) = {
+            let service = ScheduleService::new(stored_config(&dir));
+            let reply = service
+                .handle(&request(
+                    chain(12, 3),
+                    machine.clone(),
+                    RequestOptions::new(),
+                ))
+                .unwrap();
+            assert_eq!(reply.source, ScheduleSource::Cold);
+            service.flush_store();
+            (reply.cost, service.stats())
+        }; // drop: the writer drains and joins
+        assert_eq!(first_stats.store.appended, 1);
+        assert_eq!(first_stats.store.loaded, 0, "a fresh dir loads nothing");
+
+        let service = ScheduleService::new(stored_config(&dir));
+        let stats = service.stats();
+        assert_eq!(stats.store.loaded, 1, "restart recovered the entry");
+        assert_eq!(stats.cache.insertions, 0, "repopulation is not traffic");
+        let reply = service
+            .handle(&request(
+                chain(12, 3),
+                machine.clone(),
+                RequestOptions::new(),
+            ))
+            .unwrap();
+        assert_eq!(
+            reply.source,
+            ScheduleSource::CacheExact,
+            "the recovered entry answers without solving"
+        );
+        assert_eq!(reply.cost, first_cost);
+        assert!(reply.schedule.validate(&chain(12, 3), &machine).is_ok());
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_off_requests_never_reach_the_store() {
+        let dir = store_dir("cache-off");
+        {
+            let service = ScheduleService::new(stored_config(&dir));
+            let req = request(
+                chain(8, 2),
+                Machine::uniform(2, 1, 1),
+                RequestOptions::new().with_cache(false),
+            );
+            service.handle(&req).unwrap();
+            service.flush_store();
+            assert_eq!(service.stats().store.appended, 0);
+        }
+        let service = ScheduleService::new(stored_config(&dir));
+        assert_eq!(service.stats().store.loaded, 0);
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupted_record_is_dropped_on_restart_not_served() {
+        let dir = store_dir("corrupt");
+        {
+            let service = ScheduleService::new(stored_config(&dir));
+            for work in [3, 4] {
+                service
+                    .handle(&request(
+                        chain(12, work),
+                        Machine::uniform(4, 1, 2),
+                        RequestOptions::new(),
+                    ))
+                    .unwrap();
+            }
+            service.flush_store();
+        }
+        // Flip one byte in the middle of the first segment's payload region.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().is_some_and(|n| n == "seg-00000000.log"))
+            .expect("first segment exists");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&seg, bytes).unwrap();
+
+        let service = ScheduleService::new(stored_config(&dir));
+        let stats = service.stats();
+        assert!(stats.store.dropped_corrupt >= 1, "the damage was noticed");
+        assert!(
+            stats.store.loaded < 2,
+            "a corrupt record must not be adopted"
+        );
+        // Whatever *was* loaded still serves correctly.
+        for work in [3, 4] {
+            let dag = chain(12, work);
+            let machine = Machine::uniform(4, 1, 2);
+            let reply = service
+                .handle(&request(
+                    dag.clone(),
+                    machine.clone(),
+                    RequestOptions::new(),
+                ))
+                .unwrap();
+            assert!(reply.schedule.validate(&dag, &machine).is_ok());
+        }
+        drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

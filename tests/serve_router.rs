@@ -34,6 +34,7 @@ fn shard_server() -> ServerHandle {
             warm_budget: Duration::from_millis(40),
             ..Default::default()
         },
+        store_dir: None,
     };
     Server::bind("127.0.0.1:0", config)
         .expect("bind shard")
@@ -192,6 +193,7 @@ fn idle_closed_backend_connections_revive_on_next_request() {
             warm_budget: Duration::from_millis(40),
             ..Default::default()
         },
+        store_dir: None,
     };
     let shard = Server::bind("127.0.0.1:0", config)
         .expect("bind shard")
@@ -324,6 +326,183 @@ fn health_probe_rejoins_a_restarted_shard_without_traffic() {
             "health probe did not rejoin the restarted shard"
         );
         std::thread::sleep(Duration::from_millis(20));
+    }
+
+    router.shutdown();
+    restarted.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn a_store_backed_shard_rejoins_warm_after_a_restart() {
+    // Durability meets routing: a shard backed by the on-disk store is
+    // restarted on the same directory, and the first fingerprint replay
+    // after the rejoin is an *exact* hit — the deployment's cached keys
+    // survive shard restarts instead of going cold.
+    let store_dir = std::env::temp_dir().join(format!(
+        "bsp-router-store-{}-rejoin-warm",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let stored_config = || ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_connections: 16,
+        admission_batch: 4,
+        idle_timeout: Duration::from_secs(5),
+        solve_threads: 0,
+        service: ServiceConfig {
+            local_search_budget: Duration::from_millis(40),
+            warm_budget: Duration::from_millis(40),
+            ..Default::default()
+        },
+        store_dir: Some(store_dir.clone()),
+    };
+    let stored_shard = Server::bind("127.0.0.1:0", stored_config())
+        .expect("bind stored shard")
+        .spawn()
+        .expect("spawn stored shard");
+    let survivor = shard_server();
+    let addrs = [stored_shard.addr(), survivor.addr()];
+    let router_config = RouterConfig {
+        health_probe_interval: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let router = Router::bind("127.0.0.1:0", &addrs, router_config)
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let seed = seed_owned_by(0, &machine);
+    let dag = dag_with_seed(seed);
+
+    let mut client = Client::connect(router.addr()).expect("connect via router");
+    let cold = client.schedule(&dag, &machine, &options).expect("cold");
+    assert_eq!(cold.source, ScheduleSource::Cold);
+
+    // Graceful restart of the stored shard on the same address + directory.
+    let dead_addr = addrs[0];
+    stored_shard.shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.live_shards() != vec![1] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard death unnoticed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut restarted = None;
+    for _ in 0..50 {
+        match Server::bind(dead_addr, stored_config()) {
+            Ok(server) => {
+                restarted = Some(server.spawn().expect("spawn restarted stored shard"));
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let restarted = restarted.expect("rebind the freed shard address");
+    assert_eq!(
+        restarted.stats().store.loaded,
+        1,
+        "the restarted shard adopted its durable schedule"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.live_shards() != vec![0, 1] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health probe did not rejoin the restarted shard"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A fresh client replays by fingerprint only; the rejoined shard must
+    // answer exactly, with no fallback and no survivor involvement.
+    let survivor_hits = survivor.stats().cache.hits;
+    let mut replayer = Client::connect(router.addr()).expect("reconnect via router");
+    replayer.assume_cached(&dag, &machine);
+    let replay = replayer.schedule(&dag, &machine, &options).expect("replay");
+    assert_eq!(
+        replay.source,
+        ScheduleSource::CacheExact,
+        "the replay went warm off the recovered store, not cold"
+    );
+    assert_eq!(replay.cost, cold.cost);
+    assert_eq!(replayer.fp_fallbacks(), 0);
+    assert_eq!(survivor.stats().cache.hits, survivor_hits);
+
+    // The aggregate STATS line carries the summed store counters.
+    let agg = replayer.stats().expect("aggregated stats");
+    assert_eq!(agg.store.loaded, 1);
+    assert!(agg.store.recovered_bytes > 0);
+
+    drop(client);
+    drop(replayer);
+    router.shutdown();
+    restarted.shutdown();
+    survivor.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn rejoin_after_a_short_death_stays_within_the_base_probe_cadence() {
+    // Regression for the probe backoff: exponential backoff must only tax
+    // backends that *keep* failing.  A shard that dies and comes right back
+    // has accumulated at most one failed probe, so it must rejoin within
+    // roughly one base interval — not the old fixed 2 s retry, and not a
+    // stale unreset backoff.
+    let base = Duration::from_millis(400);
+    let (mut shards, _) = (vec![shard_server(), shard_server()], ());
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let router_config = RouterConfig {
+        health_probe_interval: Some(base),
+        ..Default::default()
+    };
+    let router = Router::bind("127.0.0.1:0", &addrs, router_config)
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    assert_eq!(router.live_shards(), vec![0, 1]);
+
+    let dead_addr = addrs[1];
+    shards.remove(1).shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while router.live_shards() != vec![0] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shard death unnoticed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Restart immediately: a *short* death.
+    let mut restarted = None;
+    for _ in 0..50 {
+        match Server::bind(dead_addr, ServerConfig::default()) {
+            Ok(server) => {
+                restarted = Some(server.spawn().expect("spawn restarted shard"));
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let restarted = restarted.expect("rebind the freed shard address");
+
+    let back_up = std::time::Instant::now();
+    // Worst case: one probe tick failed in the death window, pushing the
+    // next attempt out by one jittered base interval on top of the tick
+    // cadence — still under three base intervals.  The pre-backoff default
+    // (fixed 2 s) and any unreset accumulated backoff both blow this bound.
+    let bound = base * 3;
+    while router.live_shards() != vec![0, 1] {
+        assert!(
+            back_up.elapsed() < bound,
+            "a short death must rejoin within ~one base interval, took > {bound:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
     }
 
     router.shutdown();
