@@ -2,7 +2,7 @@
 //! search vs the pre-refactor baseline, and (with `--parallel`) the serial
 //! driver vs the batch-speculative parallel driver.
 //!
-//! For each instance (≈10k-node `spmv` and `cg` fine-grained DAGs) and
+//! For each instance (≈10k-node `spmv`, `cg` and `exp` fine-grained DAGs) and
 //! machine (4 and 8 processors, uniform and binary-tree NUMA), the measured
 //! implementations start from the same deterministic `Source` schedule and
 //! run to a local minimum.  Reported per run: wall-clock seconds, accepted
@@ -16,6 +16,7 @@
 //!   --target N        approximate DAG size in nodes (default 10000)
 //!   --time-limit SECS per-run wall-clock cap (default 600)
 //!   --quick           ≈1k-node instances, 60 s cap (smoke test)
+//!   --huge            ≈100k-node instances (overridable with --target)
 //!   --reps N          repetitions per run, fastest kept (default 3)
 //!   --nnz-per-row K   average nonzeros per matrix row (default 16)
 //!   --skip-legacy     only measure the current implementation
@@ -40,7 +41,7 @@ use bsp_sched::hill_climb::{
 };
 use bsp_sched::init::SourceScheduler;
 use bsp_sched::Scheduler;
-use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+use dag_gen::fine::{cg, exp, spmv, IterConfig, SpmvConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -194,7 +195,8 @@ fn parallel_stats_json(stats: &ParallelStats) -> String {
     format!(
         "{{\"rounds\": {}, \"evaluated\": {}, \"speculative_wins\": {}, \
          \"accepted\": {}, \"stale_applied\": {}, \"stale_rejected\": {}, \
-         \"mis_applied\": {}, \"deferred\": {}}}",
+         \"mis_applied\": {}, \"deferred\": {}, \"reused_commits\": {}, \
+         \"revalidated_commits\": {}, \"serial_fallback\": {}}}",
         stats.rounds,
         stats.evaluated,
         stats.speculative_wins,
@@ -203,6 +205,9 @@ fn parallel_stats_json(stats: &ParallelStats) -> String {
         stats.stale_rejected,
         stats.mis_applied,
         stats.deferred,
+        stats.reused_commits,
+        stats.revalidated_commits,
+        stats.serial_fallback,
     )
 }
 
@@ -212,7 +217,17 @@ fn main() {
     let quick = args.flag("quick") || smoke;
     let parallel_mode = args.flag("parallel");
     let out_path = args.value("out").unwrap_or("BENCH_hc.json").to_string();
-    let target = args.u64_or("target", if quick { 1_000 } else { 10_000 }) as usize;
+    let huge = args.flag("huge");
+    let target = args.u64_or(
+        "target",
+        if huge {
+            100_000
+        } else if quick {
+            1_000
+        } else {
+            10_000
+        },
+    ) as usize;
     let limit = Duration::from_secs(args.u64_or("time-limit", if quick { 60 } else { 600 }));
     // The smoke gate is about the parallel driver; the (slow) legacy
     // comparison adds nothing to it.
@@ -255,7 +270,17 @@ fn main() {
             seed: 42,
         })
     });
-    let instances: Vec<(&str, &Dag)> = vec![("spmv", &spmv_dag), ("cg", &cg_dag)];
+    eprintln!("sizing exp instance...");
+    let exp_dag = size_to_target(target, |n| {
+        exp(&IterConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            iterations: 3,
+            seed: 42,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> =
+        vec![("spmv", &spmv_dag), ("cg", &cg_dag), ("exp", &exp_dag)];
 
     let machines: Vec<(String, Machine)> = vec![
         ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),
@@ -317,8 +342,16 @@ fn main() {
                 let cost_ratio = parallel.final_cost as f64 / current.final_cost.max(1) as f64;
                 eprintln!(
                     "   parallel speedup {speedup:.2}x, cost ratio {cost_ratio:.4}, \
-                     stale applied {}, stale rejected {}, mis-applied {}",
-                    pstats.stale_applied, pstats.stale_rejected, pstats.mis_applied
+                     reused {}, revalidated {}, deferred {}, mis-applied {}{}",
+                    pstats.reused_commits,
+                    pstats.revalidated_commits,
+                    pstats.deferred,
+                    pstats.mis_applied,
+                    if pstats.serial_fallback {
+                        " (fell back to serial)"
+                    } else {
+                        ""
+                    }
                 );
                 parallel_speedups.push(speedup);
                 worst_cost_ratio = worst_cost_ratio.max(cost_ratio);
@@ -383,9 +416,10 @@ fn main() {
         );
         if smoke {
             assert_eq!(total_mis_applied, 0, "mis-applied stale moves recorded");
-            // The driver's break-even is ~2-4 real cores (speculation +
-            // re-validation overhead, see ROADMAP); only assert a speedup
-            // where the hardware clearly clears it.
+            // The driver's break-even is ~2 real cores (commits reuse the
+            // speculative evaluation, deferrals park instead of re-examining,
+            // and narrow searches fall back to the serial driver); only
+            // assert a speedup where the hardware clearly clears it.
             if host_cores() >= 4 {
                 assert!(
                     geomean_par > 1.0,
@@ -393,8 +427,19 @@ fn main() {
                     host_cores()
                 );
             } else {
+                // On hosts below break-even the gateable property is the
+                // *overhead bound*: the batch-speculative machinery at one
+                // real core must stay within 2x of the serial driver, or
+                // the adaptive fallback / commit reuse regressed.
+                assert!(
+                    geomean_par >= 0.5,
+                    "single-lane parallel overhead above 2x on a {}-core host \
+                     (geomean speedup {geomean_par:.2}x < 0.5x)",
+                    host_cores()
+                );
                 eprintln!(
-                    "{}-core host: skipping the speedup assertion (break-even is ~4 cores)",
+                    "{}-core host: speedup assertion skipped, overhead bound \
+                     ({geomean_par:.2}x >= 0.5x) enforced instead",
                     host_cores()
                 );
             }

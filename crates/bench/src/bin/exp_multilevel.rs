@@ -14,10 +14,14 @@
 //!
 //! With `--speedup` the binary instead benchmarks the incremental multilevel
 //! engine against the pre-rearchitecture baseline
-//! (`bsp_bench::legacy_multilevel`): ≈10k-node `spmv` / `cg` instances on 4-
-//! and 8-processor uniform and NUMA machines, identical configurations,
-//! wall-clock of `run_report` plus final-cost parity, written as JSON in the
-//! same schema as `BENCH_hc.json` (default `BENCH_multilevel.json`).
+//! (`bsp_bench::legacy_multilevel`): ≈10k-node `spmv` / `cg` / `exp`
+//! instances on 4- and 8-processor uniform and NUMA machines, identical
+//! configurations, wall-clock of `run_report` plus final-cost parity and a
+//! per-phase timing breakdown (coarsen / base solve / uncontract / refine /
+//! final sweep), written as JSON in the same schema as `BENCH_hc.json`
+//! (default `BENCH_multilevel.json`).  `--huge` switches to ≈100k-node
+//! instances (incremental engine only; the legacy rebuild flow would take
+//! hours there).
 //!
 //! Usage:
 //!
@@ -27,7 +31,7 @@
 //!
 //! cargo run -p bsp_bench --release --bin exp_multilevel -- --speedup
 //!     [--out PATH] [--target N] [--reps N] [--nnz-per-row K] [--quick]
-//!     [--skip-legacy]
+//!     [--huge] [--skip-legacy] [--refine-scale N]
 //! ```
 
 use bsp_bench::legacy_multilevel::LegacyMultilevelScheduler;
@@ -41,7 +45,7 @@ use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
 use bsp_sched::pipeline::{Pipeline, PipelineConfig};
 use bsp_sched::Scheduler;
 use dag_gen::dataset::DatasetKind;
-use dag_gen::fine::{cg, spmv, IterConfig, SpmvConfig};
+use dag_gen::fine::{cg, exp, spmv, IterConfig, SpmvConfig};
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -219,13 +223,27 @@ struct RunStats {
     seconds: f64,
     final_cost: u64,
     coarse_nodes: Vec<usize>,
+    timings: bsp_sched::multilevel::PhaseTimings,
 }
 
 impl RunStats {
     fn to_json(&self) -> String {
+        let t = &self.timings;
         format!(
-            "{{\"seconds\": {:.6}, \"final_cost\": {}, \"coarse_nodes\": {:?}}}",
-            self.seconds, self.final_cost, self.coarse_nodes
+            "{{\"seconds\": {:.6}, \"final_cost\": {}, \"coarse_nodes\": {:?}, \
+             \"phases\": {{\"coarsen\": {:.6}, \"base_solve\": {:.6}, \
+             \"uncontract\": {:.6}, \"refine\": {:.6}, \"refine_phases\": {}, \
+             \"final_sweep\": {:.6}, \"final_comm\": {:.6}}}}}",
+            self.seconds,
+            self.final_cost,
+            self.coarse_nodes,
+            t.coarsen_seconds,
+            t.base_solve_seconds,
+            t.uncontract_seconds,
+            t.refine_seconds,
+            t.refine_phases,
+            t.final_sweep_seconds,
+            t.final_comm_seconds
         )
     }
 }
@@ -246,6 +264,7 @@ fn measure(reps: usize, f: impl Fn() -> bsp_sched::multilevel::MultilevelReport)
                 .iter()
                 .map(|o| o.coarse_nodes)
                 .collect(),
+            timings: report.total_timings(),
         };
         if best.as_ref().is_none_or(|b| stats.seconds < b.seconds) {
             best = Some(stats);
@@ -269,6 +288,8 @@ fn speedup_config() -> MultilevelConfig {
             ..PipelineConfig::heuristics_only()
         },
         final_comm_time_limit: Duration::from_secs(1),
+        refine_interval_scale: 512,
+        min_coarse_nodes: 0,
         // Auto thread budget: the portfolio fans out as before and each
         // ratio run refines with its share of the host; the resolved value
         // is recorded in the report's config object.
@@ -282,10 +303,23 @@ fn run_speedup(args: &CliArgs) {
         .value("out")
         .unwrap_or("BENCH_multilevel.json")
         .to_string();
-    let target = args.u64_or("target", if quick { 1_000 } else { 10_000 }) as usize;
-    let skip_legacy = args.flag("skip-legacy");
+    let huge = args.flag("huge");
+    let target = args.u64_or(
+        "target",
+        if huge {
+            100_000
+        } else if quick {
+            1_000
+        } else {
+            10_000
+        },
+    ) as usize;
+    // Legacy rebuilds every phase from scratch; at 10^5 nodes that is hours,
+    // not minutes, so the huge axis measures the incremental engine alone.
+    let skip_legacy = args.flag("skip-legacy") || huge;
     let reps = args.usize_or("reps", 1);
     let nnz_per_row = args.u64_or("nnz-per-row", 16) as f64;
+    let refine_scale = args.usize_or("refine-scale", 0);
 
     eprintln!("exp_multilevel --speedup: target {target} nodes, reps {reps}");
     eprintln!("sizing spmv instance...");
@@ -305,7 +339,17 @@ fn run_speedup(args: &CliArgs) {
             seed: 42,
         })
     });
-    let instances: Vec<(&str, &Dag)> = vec![("spmv", &spmv_dag), ("cg", &cg_dag)];
+    eprintln!("sizing exp instance...");
+    let exp_dag = size_to_target(target, |n| {
+        exp(&IterConfig {
+            n,
+            density: nnz_per_row / n as f64,
+            iterations: 3,
+            seed: 42,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> =
+        vec![("spmv", &spmv_dag), ("cg", &cg_dag), ("exp", &exp_dag)];
 
     let machines: Vec<(String, Machine)> = vec![
         ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),
@@ -320,7 +364,10 @@ fn run_speedup(args: &CliArgs) {
         ),
     ];
 
-    let config = speedup_config();
+    let mut config = speedup_config();
+    if refine_scale != 0 {
+        config.refine_interval_scale = refine_scale;
+    }
     let incremental = MultilevelScheduler::new(config.clone());
     let legacy = LegacyMultilevelScheduler::new(config.clone());
 
@@ -335,6 +382,18 @@ fn run_speedup(args: &CliArgs) {
             eprintln!(
                 "   incremental: {:.3}s, cost {}",
                 inc.seconds, inc.final_cost
+            );
+            let t = &inc.timings;
+            eprintln!(
+                "     phases: coarsen {:.3}s, base {:.3}s, uncontract {:.3}s, \
+                 refine {:.3}s ({} phases), sweep {:.3}s, comm {:.3}s",
+                t.coarsen_seconds,
+                t.base_solve_seconds,
+                t.uncontract_seconds,
+                t.refine_seconds,
+                t.refine_phases,
+                t.final_sweep_seconds,
+                t.final_comm_seconds
             );
 
             let mut row = String::new();
@@ -374,10 +433,12 @@ fn run_speedup(args: &CliArgs) {
     let mut report = BenchReport::new("multilevel_throughput");
     report.set_config_json(format!(
         "{{\"target_nodes\": {target}, \"coarsen_ratios\": {:?}, \
-         \"refine_interval\": {}, \"refine_max_steps\": {}, \"base\": \"{}\", \
+         \"refine_interval\": {}, \"refine_interval_scale\": {}, \
+         \"refine_max_steps\": {}, \"base\": \"{}\", \
          \"reps\": {reps}, \"host_cores\": {}, \"threads\": {}}}",
         config.coarsen_ratios,
         config.refine_interval,
+        config.refine_interval_scale,
         config.refine_max_steps,
         if config.base.use_ilp {
             "with-ilp"

@@ -300,6 +300,9 @@ impl LegacyMultilevelScheduler {
                 ratio,
                 coarse_nodes,
                 cost,
+                // The legacy flow is not instrumented; the breakdown exists
+                // for diagnosing the incremental engine.
+                timings: Default::default(),
             });
             if cost < best_cost {
                 best_cost = cost;

@@ -3,12 +3,19 @@
 //! `slice.par_iter_mut().for_each(f)`.
 //!
 //! Unlike most of the compat crates this is not a sequential fake — both
-//! entry points fan the closure out over `std::thread::scope` with one
-//! contiguous chunk per available core, so the pipeline's parallel
-//! initialization branches, the hill-climbing lane fan-out, and the
-//! experiment harness's per-instance parallelism genuinely run concurrently.
-//! There is no work stealing: chunks are static, which is fine for the
-//! coarse-grained, similarly-sized tasks the workspace parallelizes.
+//! entry points fan the closure out over `std::thread::scope`, so the
+//! pipeline's parallel initialization branches, the hill-climbing lane
+//! fan-out, and the experiment harness's per-instance parallelism genuinely
+//! run concurrently.  Work distribution is **stealing**, not static
+//! chunking: every worker claims small index blocks from one shared atomic
+//! cursor, so a skewed batch (one expensive element among cheap ones) keeps
+//! the remaining lanes busy instead of idling them behind a pre-assigned
+//! chunk boundary.  Claiming is exactly-once by construction (`fetch_add` on
+//! the cursor), which is also what makes handing out disjoint `&mut`
+//! elements sound.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The traits needed for `.par_iter().map(...).collect()` and
 /// `.par_iter_mut().for_each(...)`, mirroring `rayon::prelude`.
@@ -69,14 +76,20 @@ pub struct ParMap<'a, T, F> {
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Runs the map on scoped threads and gathers the results in input order.
+    /// Runs the map on scoped stealing workers and gathers the results in
+    /// input order (each worker writes its result into the claimed index's
+    /// output slot, so order is positional, not completion-based).
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
         F: Fn(&'a T) -> R + Sync,
         C: From<Vec<R>>,
     {
-        C::from(par_map_slice(self.items, &self.f))
+        C::from(par_map_slice_with_threads(
+            self.items,
+            &self.f,
+            host_threads(self.items.len()),
+        ))
     }
 }
 
@@ -113,54 +126,130 @@ pub struct ParIterMut<'a, T> {
 }
 
 impl<'a, T: Send> ParIterMut<'a, T> {
-    /// Runs `f` on every element, one contiguous chunk per available core.
+    /// Runs `f` on every element, distributed by work stealing.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(&mut T) + Sync,
     {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(self.items.len());
-        if threads <= 1 {
-            for item in self.items {
-                f(item);
-            }
-            return;
-        }
-        let chunk = self.items.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for part in self.items.chunks_mut(chunk) {
-                scope.spawn(|| {
-                    for item in part {
-                        f(item);
-                    }
-                });
-            }
-        });
+        let threads = host_threads(self.items.len());
+        for_each_mut_with_threads(self.items, &f, threads);
     }
 }
 
-fn par_map_slice<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
+/// One worker thread per available core, capped by the element count.
+fn host_threads(len: usize) -> usize {
+    std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(items.len());
-    if threads <= 1 {
+        .min(len)
+}
+
+/// Block size for the stealing cursor: small enough that a skewed batch
+/// rebalances (a worker stuck on an expensive element only holds back the
+/// rest of *its block*), large enough that the shared `fetch_add` is not hit
+/// once per trivial element on large inputs.
+fn steal_block(len: usize, threads: usize) -> usize {
+    (len / (threads * 8)).clamp(1, 64)
+}
+
+/// A raw pointer that may cross thread boundaries.  Soundness is the
+/// caller's obligation: every index is claimed exactly once off the atomic
+/// cursor, so no two workers ever touch the same element.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Exclusive visit of every slice element, `threads` stealing workers.
+/// Exposed with an explicit thread count so tests can force the concurrent
+/// path on single-core hosts.
+fn for_each_mut_with_threads<T: Send, F: Fn(&mut T) + Sync>(
+    items: &mut [T],
+    f: &F,
+    threads: usize,
+) {
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let block = steal_block(len, threads);
+    let cursor = AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let base = &base;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + block).min(len);
+                for i in start..end {
+                    // SAFETY: `i` was claimed exactly once (fetch_add), so
+                    // this worker holds the only reference to element `i`,
+                    // and `i < len` keeps it in bounds.
+                    f(unsafe { &mut *base.0.add(i) });
+                }
+            });
+        }
+    });
+}
+
+/// Order-preserving parallel map with `threads` stealing workers: each
+/// worker writes `f(items[i])` directly into output slot `i`.  Exposed with
+/// an explicit thread count so tests can force the concurrent path on
+/// single-core hosts.
+///
+/// If `f` panics, the panic propagates after the scope joins; results
+/// already written are leaked rather than dropped (acceptable for the
+/// workspace: a panicking solve aborts the run).
+fn par_map_slice_with_threads<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(
+    items: &'a [T],
+    f: &F,
+    threads: usize,
+) -> Vec<R> {
+    let len = items.len();
+    if threads <= 1 || len <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
+    let block = steal_block(len, threads);
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(len);
+    // SAFETY: `MaybeUninit` needs no initialization; every slot is written
+    // exactly once below before being read.
+    unsafe { out.set_len(len) };
+    let cursor = AtomicUsize::new(0);
+    let slots = SendPtr(out.as_mut_ptr());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        for handle in handles {
-            out.extend(handle.join().expect("parallel map worker panicked"));
+        for _ in 0..threads {
+            let slots = &slots;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + block).min(len);
+                for i in start..end {
+                    let r = f(&items[i]);
+                    // SAFETY: slot `i` belongs to this worker alone (the
+                    // cursor hands out each index exactly once) and is in
+                    // bounds.
+                    unsafe { (*slots.0.add(i)).write(r) };
+                }
+            });
         }
-        out
-    })
+    });
+    // SAFETY: the scope joined all workers and the cursor ran past `len`,
+    // so every slot `0..len` is initialized; `MaybeUninit<R>` and `R` have
+    // identical layout.
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut R, len, out.capacity())
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +308,71 @@ mod tests {
             .map(|n| n.get())
             .unwrap_or(1);
         assert!(distinct >= cores.min(2), "only {distinct} threads used");
+    }
+
+    // The stealing internals, driven with forced thread counts so the
+    // concurrent path is exercised even on a single-core host.
+
+    #[test]
+    fn forced_thread_map_preserves_order_and_visits_everything() {
+        let input: Vec<u64> = (0..517).collect();
+        for threads in [2, 3, 5, 8] {
+            let out = super::par_map_slice_with_threads(&input, &|&x| x * x, threads);
+            assert_eq!(
+                out,
+                (0..517).map(|x: u64| x * x).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_thread_for_each_is_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [2, 4, 7] {
+            let mut counts: Vec<u32> = vec![0; 203];
+            let visits = AtomicUsize::new(0);
+            super::for_each_mut_with_threads(
+                &mut counts,
+                &|c| {
+                    *c += 1;
+                    visits.fetch_add(1, Ordering::Relaxed);
+                },
+                threads,
+            );
+            assert!(counts.iter().all(|&c| c == 1), "threads={threads}");
+            assert_eq!(visits.into_inner(), 203, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_batch() {
+        // One expensive element among cheap ones: with stealing, the worker
+        // that draws the expensive element keeps only its own block; the
+        // other workers drain the rest.  Static chunking would serialize
+        // half the input behind the expensive element.  The assertion is on
+        // correctness (the balancing is observable in wall-clock, which a
+        // unit test should not gate on).
+        let input: Vec<u64> = (0..128).collect();
+        let out = super::par_map_slice_with_threads(
+            &input,
+            &|&x| {
+                if x == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x + 1
+            },
+            4,
+        );
+        assert_eq!(out, (1..=128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forced_thread_map_handles_nontrivial_drop_types() {
+        let input: Vec<u64> = (0..97).collect();
+        let out = super::par_map_slice_with_threads(&input, &|&x| vec![x; 3], 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![i as u64; 3]);
+        }
     }
 }

@@ -19,8 +19,14 @@
 //! drained into batches of requirements with *disjoint placement windows*
 //! (two such requirements can never touch the same phase row), gain
 //! evaluation fans out read-only on the rayon pool
-//! ([`CsState::speculate`]), and winners commit serially in batch order with
-//! re-validation — a stale candidate is re-enqueued, never mis-applied.
+//! ([`CsState::speculate`]), and winners commit serially in batch order.
+//! Window disjointness makes intra-batch staleness impossible, so a commit
+//! applies the speculative result directly (no second evaluation), with an
+//! exact-inverse undo as the backstop — a non-improving candidate is
+//! re-enqueued, never mis-applied.  A requirement whose window collides with
+//! the current batch is *parked*, not retried every round: the commit step's
+//! phase-indexed re-enqueue wakes it when a move touches its window, and a
+//! drained queue unparks everything still waiting.
 
 use super::parallel::{BATCH_TARGET, EXAMINE_CAP};
 use super::{HillClimbConfig, HillClimbOutcome};
@@ -249,10 +255,13 @@ struct CsDriver {
     queue: VecDeque<usize>,
     in_queue: Vec<bool>,
     lanes: Vec<CsLane>,
-    round: Vec<usize>,
     batch: Vec<usize>,
     claim: Vec<u64>,
     stamp: u64,
+    /// Requirements parked by a window collision, in parking order; an entry
+    /// is live iff its `parked_flag` is still set (lazy deletion).
+    parked: Vec<usize>,
+    parked_flag: Vec<bool>,
 }
 
 impl CsDriver {
@@ -263,8 +272,23 @@ impl CsDriver {
         }
     }
 
-    /// One drain → window-disjoint batch → fan-out → re-validated commit
-    /// cycle.
+    /// Re-enqueues every live parked requirement in parking order and empties
+    /// the park list.
+    fn unpark_all(&mut self) {
+        for idx in 0..self.parked.len() {
+            let i = self.parked[idx];
+            if self.parked_flag[i] {
+                self.parked_flag[i] = false;
+                if !self.in_queue[i] {
+                    self.in_queue[i] = true;
+                    self.queue.push_back(i);
+                }
+            }
+        }
+        self.parked.clear();
+    }
+
+    /// One drain → window-disjoint batch → fan-out → commit cycle.
     fn run_round(
         &mut self,
         state: &mut CsState<'_>,
@@ -280,35 +304,33 @@ impl CsDriver {
         // `BATCH_TARGET`/`EXAMINE_CAP`): re-running the claim check over
         // the whole backlog every round is quadratic when windows overlap
         // heavily, and batch composition (and with it the result) must
-        // never depend on `threads`.  Deferred requirements rejoin at the
-        // queue head in their original order.
+        // never depend on `threads`.  A requirement that loses a collision
+        // is *parked* — one deferral decision, not one per retry round:
+        // the commit step's phase-indexed re-enqueue wakes it as soon as a
+        // move touches a phase in its window, and the drain loop unparks
+        // everything once the queue empties.
         self.stamp += 1;
         let stamp = self.stamp;
         self.batch.clear();
-        self.round.clear(); // defer buffer this round
         let mut examined = 0usize;
         while self.batch.len() < BATCH_TARGET && examined < EXAMINE_CAP {
             let Some(i) = self.queue.pop_front() else {
                 break;
             };
             self.in_queue[i] = false;
+            // Back in circulation: its park-list entry goes stale.
+            self.parked_flag[i] = false;
             examined += 1;
             let r = state.reqs[i];
             if (r.earliest..=r.latest).any(|s| self.claim[s] == stamp) {
-                self.round.push(i);
+                self.parked_flag[i] = true;
+                self.parked.push(i);
                 continue;
             }
             for s in r.earliest..=r.latest {
                 self.claim[s] = stamp;
             }
             self.batch.push(i);
-        }
-        for idx in (0..self.round.len()).rev() {
-            let i = self.round[idx];
-            if !self.in_queue[i] {
-                self.in_queue[i] = true;
-                self.queue.push_front(i);
-            }
         }
         // Fan gain evaluation out (inline for tiny batches: spawning threads
         // for a handful of candidates costs more than it saves).
@@ -331,12 +353,16 @@ impl CsDriver {
                 .par_iter_mut()
                 .for_each(|lane| lane.evaluate(shared));
         }
-        // Serial commit in batch order, re-validated against the current
-        // tallies (disjoint windows make staleness impossible here, but the
-        // commit step re-checks rather than assumes — never mis-apply).
+        // Serial commit in batch order, reusing the speculative result
+        // directly: window disjointness means no commit of this round can
+        // have touched any phase a later batch member's evaluation read, so
+        // the speculative delta is exact and a second evaluation would be
+        // pure waste.  `apply` returns the true delta as it patches, and the
+        // inverse move is an exact undo — so even a broken disjointness
+        // argument could not leave a worsening move applied.
         for k in 0..self.batch.len() {
             let i = self.batch[k];
-            let Some((s_target, _)) = self.lanes[k % nl].found[k / nl] else {
+            let Some((s_target, delta)) = self.lanes[k % nl].found[k / nl] else {
                 continue;
             };
             if *steps >= max_steps {
@@ -344,17 +370,21 @@ impl CsDriver {
                 continue;
             }
             let s_old = state.reqs[i].current;
-            let actual = state.speculate(i, s_target);
-            if actual < 0 {
-                state.apply(i, s_target);
-                *steps += 1;
-                for s in [s_old, s_target] {
-                    for idx in 0..phase_reqs[s].len() {
-                        self.enqueue(phase_reqs[s][idx]);
-                    }
-                }
-            } else {
+            let actual = state.apply(i, s_target);
+            debug_assert_eq!(
+                actual, delta,
+                "window-disjoint commit drifted from its speculation"
+            );
+            if actual >= 0 {
+                state.apply(i, s_old);
                 self.enqueue(i);
+                continue;
+            }
+            *steps += 1;
+            for s in [s_old, s_target] {
+                for idx in 0..phase_reqs[s].len() {
+                    self.enqueue(phase_reqs[s][idx]);
+                }
             }
         }
     }
@@ -375,12 +405,13 @@ fn parallel_cs_search(
         queue: (0..num_reqs).collect(),
         in_queue: vec![true; num_reqs],
         lanes: (0..threads.max(1)).map(|_| CsLane::default()).collect(),
-        // The bounded drain caps what one round can hold, so the buffers
-        // are sized to the round bounds, not to the requirement count.
-        round: Vec::with_capacity(EXAMINE_CAP),
+        // The bounded drain caps what one round can hold, so the batch
+        // buffer is sized to the round bound, not the requirement count.
         batch: Vec::with_capacity(BATCH_TARGET),
         claim: vec![0u64; phase_reqs.len()],
         stamp: 0,
+        parked: Vec::new(),
+        parked_flag: vec![false; num_reqs],
     };
     let mut steps = 0usize;
     let mut reached_local_minimum = false;
@@ -391,11 +422,19 @@ fn parallel_cs_search(
     };
 
     'outer: loop {
-        while !driver.queue.is_empty() {
-            if over_limit(&start, steps) {
-                break 'outer;
+        // Drain to empty; a drained queue unparks everything still waiting,
+        // so every enqueued requirement is eventually examined.
+        loop {
+            while !driver.queue.is_empty() {
+                if over_limit(&start, steps) {
+                    break 'outer;
+                }
+                driver.run_round(state, phase_reqs, config.max_steps, &mut steps);
             }
-            driver.run_round(state, phase_reqs, config.max_steps, &mut steps);
+            if driver.parked.is_empty() {
+                break;
+            }
+            driver.unpark_all();
         }
         // Verification sweep, expressed as a full re-enqueue: a cycle that
         // accepts nothing certifies the local minimum.
@@ -403,11 +442,17 @@ fn parallel_cs_search(
         for i in 0..num_reqs {
             driver.enqueue(i);
         }
-        while !driver.queue.is_empty() {
-            if over_limit(&start, steps) {
-                break 'outer;
+        loop {
+            while !driver.queue.is_empty() {
+                if over_limit(&start, steps) {
+                    break 'outer;
+                }
+                driver.run_round(state, phase_reqs, config.max_steps, &mut steps);
             }
-            driver.run_round(state, phase_reqs, config.max_steps, &mut steps);
+            if driver.parked.is_empty() {
+                break;
+            }
+            driver.unpark_all();
         }
         if steps == before {
             reached_local_minimum = true;

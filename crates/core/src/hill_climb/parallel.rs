@@ -8,37 +8,60 @@
 //! speculative refinement:
 //!
 //! 1. **Drain** the head of the dirty work-list — boundedly, so one round
-//!    never re-scans the whole backlog.
+//!    never re-scans the whole backlog — applying the serial driver's sound
+//!    [`HcState::node_can_gain`] gate as each node is popped: gated nodes
+//!    are dropped on the spot and never claim cells, park anyone, or consume
+//!    a batch slot (near a local minimum that makes a round cost exactly
+//!    what the serial driver's pass costs).
 //! 2. **Batch** a conflict-disjoint subset: a candidate claims the
 //!    `(superstep, processor)` tally cells its departure writes —
 //!    `{τ(v)−1, τ(v), τ(v)+1} × {π(v)}` — and stamps its DAG neighbours; a
-//!    candidate whose claims collide is deferred back to the queue head for
-//!    the next round.  Disjoint claims make intra-batch evaluations
-//!    (mostly) exact against the shared snapshot while still letting a wide
-//!    superstep fan out across processors.
+//!    candidate whose claims collide is **parked** until a committed move
+//!    re-enqueues it through the dirty rule (its superstep's tallies moved)
+//!    or the work-list drains (claim-stamp generations; the losers of a
+//!    collision are not re-examined every round).
 //! 3. **Fan out** gain evaluation on the rayon pool: each lane owns a private
 //!    [`EvalScratch`] and runs the read-only `&HcCore` evaluation
 //!    ([`HcCore::can_gain`] gate, [`HcCore::speculate_move`]) over its share
 //!    of the batch, recording the first improving destination per node in
-//!    the same canonical order the serial driver uses.
-//! 4. **Commit serially**, in batch order: every winning move is re-validated
-//!    against the *current* tallies (`move_window` + `try_move`) before it is
-//!    applied.  A candidate whose speculative gain no longer holds — its gain
-//!    was computed against tallies an earlier commit of the same batch has
-//!    since changed — is re-enqueued, never mis-applied.  A stale-but-still-
-//!    improving candidate is applied with its re-validated delta.
+//!    the same canonical order the serial driver uses — plus the set of
+//!    superstep rows that evaluation read.
+//! 4. **Commit serially**, in batch order, *reusing the speculative
+//!    evaluation*: a winner none of whose read rows an earlier commit of the
+//!    same round dirtied (and whose consumer-summary caches are still valid,
+//!    and with no superstep-occupancy event this round) is applied directly —
+//!    no second `try_move` evaluation; the commit's [`HcState::apply_move`]
+//!    derives the identical contributions through the shared
+//!    `gather_move_contribs` path, and an exact-inverse undo backstops the
+//!    (designed-unreachable) case of a misclassified commit.  Only genuinely
+//!    stale winners pay the classical re-validation (`move_window` +
+//!    `try_move`); a winner that no longer improves is re-enqueued, never
+//!    mis-applied.
 //!
-//! Because batch composition, evaluation (pure against the snapshot), and
-//! commit order are all independent of the thread count and of scheduling
-//! interleavings, a search from a fixed initial state is **deterministic**:
-//! any two runs — with any `threads ≥ 2` — accept the same move sequence.
+//! Feasibility within a round is stable by construction: batch members are
+//! pairwise non-adjacent in the DAG and intra-round commits only move batch
+//! members, so no commit can shift another batch member's move window.
+//!
+//! An **adaptive lane controller** watches the observed batch width: when it
+//! stays below the break-even width (2 × [`crate::MIN_PARALLEL_LANES`],
+//! deliberately independent of the configured lane count so lane-count
+//! determinism survives) for [`FALLBACK_PATIENCE`] consecutive rounds, the
+//! driver unparks everything and finishes the search with the serial
+//! work-list driver — on narrow tally grids that is strictly cheaper than
+//! batching.
+//!
+//! Because batch composition, evaluation (pure against the snapshot), commit
+//! order, parking, and the fallback trigger are all independent of the thread
+//! count and of scheduling interleavings, a search from a fixed initial state
+//! is **deterministic**: any two runs — with any `threads ≥ 2` — accept the
+//! same move sequence.
 //!
 //! Steady-state rounds perform no heap allocation outside thread spawn: the
-//! round/batch buffers, claim stamps, and per-lane scratches are all owned by
-//! the [`ParallelHc`] driver and reused.
+//! batch/park buffers, claim and row-dirty stamps, and per-lane scratches are
+//! all owned by the [`ParallelHc`] driver and reused.
 
 use super::state::{EvalScratch, HcCore};
-use super::{enqueue_dirty, HcState, HillClimbConfig, HillClimbOutcome, SearchScratch};
+use super::{enqueue_dirty, hc_search, HcState, HillClimbConfig, HillClimbOutcome, SearchScratch};
 use bsp_model::{DagView, Machine};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -52,20 +75,34 @@ pub struct ParallelStats {
     pub evaluated: u64,
     /// Candidates whose speculative evaluation found an improving move.
     pub speculative_wins: u64,
-    /// Moves committed (equals the outcome's `steps`).
+    /// Moves committed (equals the outcome's `steps`, including any steps the
+    /// adaptive serial fallback accepted).
     pub accepted: u64,
     /// Committed moves whose re-validated delta differed from the speculative
     /// one (still improving, so still applied).
     pub stale_applied: u64,
-    /// Speculative wins rejected at commit time (no longer valid or no longer
-    /// improving against the current tallies) and re-enqueued.
+    /// Speculative wins rejected at commit time (no longer improving against
+    /// the current tallies) and re-enqueued.
     pub stale_rejected: u64,
-    /// Moves applied whose re-validated delta was non-improving.  The commit
-    /// step re-checks every candidate, so this is structurally zero; it is
-    /// counted (rather than assumed) so benchmarks can assert it.
+    /// Moves applied whose final delta was non-improving.  Fresh commits undo
+    /// themselves via the exact inverse move and stale commits are re-checked
+    /// before applying, so this is structurally zero; it is counted (rather
+    /// than assumed) so benchmarks can assert it.
     pub mis_applied: u64,
-    /// Candidates pushed to a later round by the conflict-disjointness rule.
+    /// Distinct parking *decisions* made by the conflict-disjointness rule
+    /// (each counts one candidate parked once — parked candidates are not
+    /// re-examined until a commit's dirty rule re-enqueues them or the
+    /// work-list drains).
     pub deferred: u64,
+    /// Commits that reused the speculative delta directly (no second
+    /// evaluation).
+    pub reused_commits: u64,
+    /// Commits that were genuinely stale and paid the classical
+    /// `move_window` + `try_move` re-validation.
+    pub revalidated_commits: u64,
+    /// `true` if the adaptive controller dropped to the serial driver
+    /// mid-search because batch widths stayed below the break-even.
+    pub serial_fallback: bool,
 }
 
 /// Per-round batch bound: a round commits at most this many speculative
@@ -75,24 +112,48 @@ pub struct ParallelStats {
 /// are tuned in one place.
 pub(super) const BATCH_TARGET: usize = 64;
 /// Per-round drain bound: at most this many queue entries pass the conflict
-/// check per round, so a round's cost never scales with the backlog.
-pub(super) const EXAMINE_CAP: usize = 8 * BATCH_TARGET;
+/// check per round, so a round's cost never scales with the backlog — and,
+/// just as important, a round *parks* at most `EXAMINE_CAP − BATCH_TARGET`
+/// candidates.  Overflow beyond the cap simply stays in the queue, which is
+/// free; parking is not (every parked candidate re-pays the pop + gate when
+/// it re-circulates), so the cap is deliberately tight.
+pub(super) const EXAMINE_CAP: usize = 2 * BATCH_TARGET;
 
-/// The first improving destination a lane found for one candidate.
+/// Batch widths below this cannot pay for the fan-out: twice the minimum
+/// lane count ([`crate::MIN_PARALLEL_LANES`]) leaves at least half of even
+/// the smallest viable fan-out idle.  A constant (not `2 × lanes`) so the
+/// fallback trigger — and therefore the accepted move sequence — is
+/// identical across lane counts.
+const FALLBACK_WIDTH: usize = 2 * crate::MIN_PARALLEL_LANES;
+/// Consecutive below-break-even rounds before the driver falls back to the
+/// serial work-list search for the remainder of the call.  Eight rounds see
+/// up to `8 × EXAMINE_CAP` candidates — enough to distinguish a genuinely
+/// narrow conflict grid from a slow start, while capping the batching
+/// machinery an instance that belongs on the serial driver ever pays for.
+const FALLBACK_PATIENCE: u32 = 8;
+
+/// The first improving destination a lane found for one candidate, plus the
+/// range (into the lane's `rows` buffer) of superstep rows the winning
+/// speculative evaluation read — the commit's freshness check compares them
+/// against the rows earlier commits of the same round dirtied.
 #[derive(Debug, Clone, Copy)]
 struct FoundMove {
     p_new: usize,
     s_new: usize,
     delta: i64,
+    rows_start: usize,
+    rows_len: usize,
 }
 
 /// One evaluation lane: a private scratch plus this round's share of the
-/// batch.  `found[i]` is the result for `candidates[i]`.
+/// batch.  `found[i]` is the result for `candidates[i]`; `rows` backs the
+/// winners' affected-row records.
 #[derive(Debug, Default)]
 struct Lane {
     scratch: EvalScratch,
     candidates: Vec<usize>,
     found: Vec<Option<FoundMove>>,
+    rows: Vec<usize>,
 }
 
 impl Lane {
@@ -100,17 +161,19 @@ impl Lane {
         self.scratch.invalidate_prepared();
         for i in 0..self.candidates.len() {
             let v = self.candidates[i];
-            let fm = Self::eval_candidate(core, &mut self.scratch, graph, v, p);
+            let fm = Self::eval_candidate(core, &mut self.scratch, &mut self.rows, graph, v, p);
             self.found.push(fm);
         }
     }
 
     /// Mirrors the serial driver's `try_improve_node`: gate, window, then the
     /// canonical candidate order (superstep `s−1`, `s`, `s+1`; processors
-    /// ascending), returning the first improving destination.
+    /// ascending), returning the first improving destination together with
+    /// the rows its evaluation read.
     fn eval_candidate<G: DagView>(
         core: &HcCore<'_>,
         scratch: &mut EvalScratch,
+        rows: &mut Vec<usize>,
         graph: &G,
         v: usize,
         p: usize,
@@ -134,10 +197,14 @@ impl Lane {
                 }
                 let delta = core.speculate_move(scratch, graph, v, p_new, s_new);
                 if delta < 0 {
+                    let rows_start = rows.len();
+                    rows.extend_from_slice(scratch.affected_steps());
                     return Some(FoundMove {
                         p_new,
                         s_new,
                         delta,
+                        rows_start,
+                        rows_len: rows.len() - rows_start,
                     });
                 }
             }
@@ -146,15 +213,25 @@ impl Lane {
     }
 }
 
+/// How one work-list drain ended.
+enum DrainEnd {
+    /// Work-list and park list both empty.
+    Empty,
+    /// A configured limit (steps, time, cancellation) stopped the drain.
+    Limit,
+    /// The adaptive controller handed the rest of the search to the serial
+    /// driver, which ran to completion (including its own certification
+    /// sweeps when requested).
+    Serial(HillClimbOutcome),
+}
+
 /// Reusable batch-speculative parallel `HC` driver.  Construct once (per
 /// solve or per refiner) and call [`ParallelHc::search`] any number of times;
-/// all buffers — lanes, round/batch lists, claim stamps — are retained
-/// across calls, so warm searches allocate nothing per round.
+/// all buffers — lanes, batch/park lists, claim and row-dirty stamps — are
+/// retained across calls, so warm searches allocate nothing per round.
 #[derive(Debug)]
 pub struct ParallelHc {
     lanes: Vec<Lane>,
-    /// This round's drained candidates, in work-list order.
-    round: Vec<usize>,
     /// The conflict-disjoint subset selected for speculative evaluation.
     batch: Vec<usize>,
     /// Superstep rows claimed by the current batch (generation-stamped).
@@ -162,6 +239,17 @@ pub struct ParallelHc {
     /// Nodes that are a batch member or a DAG neighbour of one (stamped).
     neighbor_mark: Vec<u64>,
     claim_stamp: u64,
+    /// Superstep rows dirtied by commits of the current round (stamped with
+    /// `claim_stamp`); the commit-reuse freshness check reads it.
+    row_dirty: Vec<u64>,
+    /// Candidates parked by a claim collision, in parking order.  An entry is
+    /// live iff its `parked_flag` is still set (lazy deletion).
+    parked: Vec<usize>,
+    parked_flag: Vec<bool>,
+    /// Consecutive rounds whose batch width stayed below [`FALLBACK_WIDTH`].
+    low_width_rounds: u32,
+    /// Once set, the rest of the call runs the serial driver.
+    serial_mode: bool,
     stats: ParallelStats,
 }
 
@@ -171,11 +259,15 @@ impl ParallelHc {
         let lanes = (0..threads.max(1)).map(|_| Lane::default()).collect();
         ParallelHc {
             lanes,
-            round: Vec::new(),
             batch: Vec::new(),
             claim_mark: Vec::new(),
             neighbor_mark: Vec::new(),
             claim_stamp: 0,
+            row_dirty: Vec::new(),
+            parked: Vec::new(),
+            parked_flag: Vec::new(),
+            low_width_rounds: 0,
+            serial_mode: false,
             stats: ParallelStats::default(),
         }
     }
@@ -188,6 +280,25 @@ impl ParallelHc {
     /// Counters of the most recent [`ParallelHc::search`] call.
     pub fn stats(&self) -> &ParallelStats {
         &self.stats
+    }
+
+    fn over_limit(config: &HillClimbConfig, start: &Instant, steps: usize) -> bool {
+        steps >= config.max_steps
+            || start.elapsed() > config.time_limit
+            || config.cancel.is_cancelled()
+    }
+
+    /// Re-enqueues every live parked candidate in parking order and empties
+    /// the park list.
+    fn unpark_all(&mut self, scratch: &mut SearchScratch) {
+        for i in 0..self.parked.len() {
+            let v = self.parked[i];
+            if self.parked_flag[v] {
+                self.parked_flag[v] = false;
+                scratch.enqueue(v);
+            }
+        }
+        self.parked.clear();
     }
 
     /// The batch-speculative work-list search: the parallel counterpart of
@@ -204,6 +315,8 @@ impl ParallelHc {
     ) -> HillClimbOutcome {
         let start = Instant::now();
         self.stats = ParallelStats::default();
+        self.low_width_rounds = 0;
+        self.serial_mode = false;
         let initial_cost = state.total_cost();
         let n = graph.n();
         if scratch.in_queue.len() < n {
@@ -212,10 +325,11 @@ impl ParallelHc {
         if self.neighbor_mark.len() < n {
             self.neighbor_mark.resize(n, 0);
         }
+        if self.parked_flag.len() < n {
+            self.parked_flag.resize(n, false);
+        }
         // The bounded drain caps what one round can hold, so the buffers
         // are sized to the bounds, not to `n`.
-        self.round
-            .reserve(EXAMINE_CAP.saturating_sub(self.round.capacity()));
         self.batch
             .reserve(BATCH_TARGET.saturating_sub(self.batch.capacity()));
         let per_lane = BATCH_TARGET.div_ceil(self.lanes.len());
@@ -229,18 +343,17 @@ impl ParallelHc {
 
         let mut steps = 0usize;
         let mut reached_local_minimum = false;
-        let over_limit = |start: &Instant, steps: usize| {
-            steps >= config.max_steps
-                || start.elapsed() > config.time_limit
-                || config.cancel.is_cancelled()
-        };
 
-        'outer: loop {
-            while !scratch.queue.is_empty() {
-                if over_limit(&start, steps) {
-                    break 'outer;
+        loop {
+            match self.drain(
+                graph, machine, state, config, scratch, &mut steps, &start, full_sweep,
+            ) {
+                DrainEnd::Limit => break,
+                DrainEnd::Serial(out) => {
+                    reached_local_minimum = out.reached_local_minimum;
+                    break;
                 }
-                self.run_round(graph, machine, state, config, scratch, &mut steps);
+                DrainEnd::Empty => {}
             }
             if !full_sweep {
                 break;
@@ -255,27 +368,81 @@ impl ParallelHc {
                     scratch.enqueue(v);
                 }
             }
-            while !scratch.queue.is_empty() {
-                if over_limit(&start, steps) {
-                    break 'outer;
+            match self.drain(
+                graph, machine, state, config, scratch, &mut steps, &start, full_sweep,
+            ) {
+                DrainEnd::Limit => break,
+                DrainEnd::Serial(out) => {
+                    reached_local_minimum = out.reached_local_minimum;
+                    break;
                 }
-                self.run_round(graph, machine, state, config, scratch, &mut steps);
+                DrainEnd::Empty => {}
             }
             if steps == before {
                 reached_local_minimum = true;
                 break;
             }
         }
-        // Leave the scratch clean for the next phase (limit-triggered exits
-        // leave entries enqueued).
+        // Leave the scratch and the park list clean for the next phase
+        // (limit-triggered exits leave entries behind).
         while let Some(v) = scratch.queue.pop_front() {
             scratch.in_queue[v] = false;
         }
+        for i in 0..self.parked.len() {
+            let v = self.parked[i];
+            self.parked_flag[v] = false;
+        }
+        self.parked.clear();
         HillClimbOutcome {
             steps,
             initial_cost,
             final_cost: state.total_cost(),
             reached_local_minimum,
+        }
+    }
+
+    /// Drains the work-list to empty: rounds, parked-candidate wake-ups (a
+    /// drained queue unparks everything still waiting, so every enqueued node
+    /// is eventually examined), and the adaptive serial fallback.
+    #[allow(clippy::too_many_arguments)]
+    fn drain<G: DagView + Sync>(
+        &mut self,
+        graph: &G,
+        machine: &Machine,
+        state: &mut HcState<'_>,
+        config: &HillClimbConfig,
+        scratch: &mut SearchScratch,
+        steps: &mut usize,
+        start: &Instant,
+        full_sweep: bool,
+    ) -> DrainEnd {
+        loop {
+            while !scratch.queue.is_empty() {
+                if Self::over_limit(config, start, *steps) {
+                    return DrainEnd::Limit;
+                }
+                if self.serial_mode {
+                    // Batch widths stayed below the break-even: hand the rest
+                    // of the search — including certification sweeps — to the
+                    // serial driver, under the remaining budget.
+                    self.unpark_all(scratch);
+                    let sub = HillClimbConfig {
+                        time_limit: config.time_limit.saturating_sub(start.elapsed()),
+                        max_steps: config.max_steps.saturating_sub(*steps),
+                        cancel: config.cancel.clone(),
+                        threads: 1,
+                    };
+                    let out = hc_search(graph, machine, state, &sub, scratch, full_sweep);
+                    *steps += out.steps;
+                    self.stats.accepted += out.steps as u64;
+                    return DrainEnd::Serial(out);
+                }
+                self.run_round(graph, machine, state, config, scratch, steps);
+            }
+            if self.parked.is_empty() {
+                return DrainEnd::Empty;
+            }
+            self.unpark_all(scratch);
         }
     }
 
@@ -295,41 +462,53 @@ impl ParallelHc {
         // Select a conflict-disjoint batch straight off the work-list: a
         // candidate claims the `(superstep, processor)` tally cells its own
         // departure writes — `{τ(v)−1, τ(v), τ(v)+1} × {π(v)}` — and stamps
-        // its DAG neighbourhood; a candidate whose claims collide is parked
-        // in the defer buffer and retried next round.  Cell granularity is
-        // what makes a wide superstep parallelize: nodes of one step on
-        // *different* processors evaluate together, while two candidates
-        // leaving the same processor cell (whose gains genuinely interact
-        // through the row maxima) serialize.  Move windows only depend on
-        // direct neighbours, so excluding neighbours also keeps every
-        // batched candidate's feasibility stable across intra-batch commits;
-        // everything the cell claims do not cover — destination cells,
-        // contribution rows — is caught by the commit-time re-validation.
+        // its DAG neighbourhood; a candidate whose claims collide is *parked*
+        // (see the commit loop's wake scan).  Cell granularity is what makes
+        // a wide superstep parallelize: nodes of one step on *different*
+        // processors evaluate together, while two candidates leaving the same
+        // processor cell (whose gains genuinely interact through the row
+        // maxima) serialize.  Move windows only depend on direct neighbours,
+        // so excluding neighbours also keeps every batched candidate's
+        // feasibility stable across intra-batch commits.
         //
         // The drain is **bounded** ([`BATCH_TARGET`] / [`EXAMINE_CAP`]): it
-        // stops once the batch is full or enough candidates were examined,
-        // and deferred candidates go back to the *head* of the queue.
-        // Draining everything per round would re-run the claim check over
-        // the whole backlog every round — quadratic churn when the tally
-        // grid is small (few supersteps × processors caps the disjoint
-        // batch width regardless of `n`).
+        // stops once the batch is full or enough candidates were examined, so
+        // a round's cost never scales with the backlog.
         let batch_target = BATCH_TARGET;
         let examine_cap = EXAMINE_CAP;
         let cap = (state.num_supersteps() + 3) * p;
         if self.claim_mark.len() < cap {
             self.claim_mark.resize(cap, 0);
         }
+        // Row-dirty capacity: commits can materialize up to `BATCH_TARGET`
+        // new supersteps in one round, and every dirtied row index is bounded
+        // by the then-current superstep count.
+        let row_cap = state.num_supersteps() + BATCH_TARGET + 2;
+        if self.row_dirty.len() < row_cap {
+            self.row_dirty.resize(row_cap, 0);
+        }
         self.claim_stamp += 1;
         let stamp = self.claim_stamp;
         self.batch.clear();
-        self.round.clear(); // defer buffer this round
         let mut examined = 0usize;
         while self.batch.len() < batch_target && examined < examine_cap {
             let Some(v) = scratch.queue.pop_front() else {
                 break;
             };
             scratch.in_queue[v] = false;
+            // A parked candidate that something re-enqueued is back in
+            // circulation; its park-list entry goes stale (lazy deletion).
+            self.parked_flag[v] = false;
             examined += 1;
+            // Gate *before* claiming, exactly like the serial driver: a node
+            // that provably cannot gain must not consume a batch slot, claim
+            // tally cells, or park anyone.  Without this, a work-list full of
+            // gated nodes (an instance near its local minimum) still paid the
+            // full conflict/park machinery per node per drain cycle.  This
+            // also pre-warms the summary caches the lanes read.
+            if !state.node_can_gain(graph, v) {
+                continue;
+            }
             let s = state.step_of(v);
             let q = state.proc_of(v);
             let lo = s.saturating_sub(1);
@@ -344,8 +523,12 @@ impl ParallelHc {
                 }
             }
             if conflict {
+                // Park: one deferral decision, not one per retry round.  The
+                // candidate stays out of the work-list until a commit
+                // re-enqueues it (`enqueue_dirty`) or the queue drains.
                 self.stats.deferred += 1;
-                self.round.push(v);
+                self.parked_flag[v] = true;
+                self.parked.push(v);
                 continue;
             }
             for t in lo..=hi {
@@ -360,24 +543,23 @@ impl ParallelHc {
             }
             self.batch.push(v);
         }
-        // Deferred candidates rejoin at the head, in their original order,
-        // ahead of the untouched tail.
-        for idx in (0..self.round.len()).rev() {
-            let v = self.round[idx];
-            if !scratch.in_queue[v] {
-                scratch.in_queue[v] = true;
-                scratch.queue.push_front(v);
+
+        // Adaptive fallback bookkeeping: the width threshold is a constant
+        // (not `2 × lanes`) so the trigger round is identical across lane
+        // counts — see `FALLBACK_WIDTH`.
+        if self.batch.len() < FALLBACK_WIDTH {
+            self.low_width_rounds += 1;
+            if self.low_width_rounds >= FALLBACK_PATIENCE {
+                self.serial_mode = true;
+                self.stats.serial_fallback = true;
             }
+        } else {
+            self.low_width_rounds = 0;
         }
 
-        // Serially warm the shared summary caches the read-only evaluation
-        // reads, so the concurrent phase never writes the core.
-        {
-            let (core, st_scratch) = state.parts_mut();
-            for i in 0..self.batch.len() {
-                core.warm_summaries(st_scratch, graph, self.batch[i]);
-            }
-        }
+        // The drain-time gate already warmed every batch member's summary
+        // caches (and nothing commits between drain and fan-out), so the
+        // concurrent phase reads the core without ever writing it.
 
         // Distribute the batch round-robin over the lanes and fan out.  Tiny
         // batches are evaluated inline: spawning threads for a handful of
@@ -386,6 +568,7 @@ impl ParallelHc {
         for lane in &mut self.lanes {
             lane.candidates.clear();
             lane.found.clear();
+            lane.rows.clear();
         }
         for i in 0..self.batch.len() {
             let v = self.batch[i];
@@ -405,10 +588,28 @@ impl ParallelHc {
             }
         }
 
-        // Serial commit in batch order with re-validation: a candidate whose
-        // speculative gain was computed against tallies an earlier commit has
-        // since changed either still improves (applied with its re-validated
-        // delta) or is re-enqueued — never mis-applied.
+        // Serial commit in batch order, reusing the speculative evaluation
+        // whenever it is provably still exact.  A winner is *fresh* iff
+        //
+        //  * no earlier commit of this round dirtied any superstep row its
+        //    evaluation read (`row_dirty` vs the lane-recorded row set),
+        //  * no earlier commit changed which supersteps are occupied or the
+        //    superstep count (the latency term's trailing-occupancy scan
+        //    reads rows outside the recorded set), and
+        //  * the consumer-summary caches of `v` and its predecessors are
+        //    still valid (a commit elsewhere can change a shared
+        //    predecessor's summary *counts* without touching any tally row).
+        //
+        // Feasibility needs no re-check in either case: batch members are
+        // pairwise non-adjacent and only batch members moved since
+        // speculation, so the move window that held at evaluation still
+        // holds.  Fresh winners are applied directly — `apply_move` derives
+        // its contributions through the same `gather_move_contribs` path the
+        // speculation used, and returns the true delta; if that delta ever
+        // disagreed upward (misclassification), the exact inverse move
+        // restores the previous state, so a stale move is *never* left
+        // applied.  Genuinely stale winners pay the classical re-validation.
+        let mut occupancy_event = false;
         for i in 0..self.batch.len() {
             let v = self.batch[i];
             let Some(fm) = self.lanes[i % nl].found[i / nl] else {
@@ -420,13 +621,44 @@ impl ParallelHc {
                 scratch.enqueue(v);
                 continue;
             }
-            if !state.move_window(graph, v).allows(fm.p_new, fm.s_new) {
-                self.stats.stale_rejected += 1;
-                scratch.enqueue(v);
-                continue;
-            }
-            let actual = state.try_move(graph, v, fm.p_new, fm.s_new);
-            if actual < 0 {
+            let rows_clean = {
+                let lane = &self.lanes[i % nl];
+                let rows = &lane.rows[fm.rows_start..fm.rows_start + fm.rows_len];
+                rows.iter().all(|&r| self.row_dirty[r] != stamp)
+            };
+            let fresh = !occupancy_event && rows_clean && state.core().summaries_current(graph, v);
+            let (p_old, s_old) = (state.proc_of(v), state.step_of(v));
+            let steps_before = state.num_supersteps();
+            let src_occ = state.nodes_in_superstep(s_old).len();
+            let dst_occ = state.nodes_in_superstep(fm.s_new).len();
+            if fresh {
+                let applied = state.apply_move(graph, v, fm.p_new, fm.s_new);
+                debug_assert_eq!(
+                    applied, fm.delta,
+                    "reused speculative delta drifted from the committed one"
+                );
+                if applied >= 0 {
+                    // Designed unreachable; the inverse move restores the
+                    // exact previous state, so nothing stale sticks.
+                    let undone = state.apply_move(graph, v, p_old, s_old);
+                    debug_assert_eq!(undone, -applied);
+                    self.stats.stale_rejected += 1;
+                    scratch.enqueue(v);
+                    continue;
+                }
+                self.stats.reused_commits += 1;
+            } else {
+                if !state.move_window(graph, v).allows(fm.p_new, fm.s_new) {
+                    self.stats.stale_rejected += 1;
+                    scratch.enqueue(v);
+                    continue;
+                }
+                let actual = state.try_move(graph, v, fm.p_new, fm.s_new);
+                if actual >= 0 {
+                    self.stats.stale_rejected += 1;
+                    scratch.enqueue(v);
+                    continue;
+                }
                 if actual != fm.delta {
                     self.stats.stale_applied += 1;
                 }
@@ -437,14 +669,33 @@ impl ParallelHc {
                 if applied >= 0 {
                     self.stats.mis_applied += 1;
                 }
-                *steps += 1;
-                self.stats.accepted += 1;
-                let SearchScratch { queue, in_queue } = scratch;
-                enqueue_dirty(state, graph, v, queue, in_queue);
-            } else {
-                self.stats.stale_rejected += 1;
-                scratch.enqueue(v);
+                self.stats.revalidated_commits += 1;
             }
+            *steps += 1;
+            self.stats.accepted += 1;
+            // Record what this commit changed, for the freshness checks of
+            // the batch members still waiting and for the wake scan.
+            occupancy_event |=
+                state.num_supersteps() != steps_before || src_occ == 1 || dst_occ == 0;
+            for &r in state.last_affected_steps() {
+                if r >= self.row_dirty.len() {
+                    self.row_dirty.resize(r + 1, 0);
+                }
+                self.row_dirty[r] = stamp;
+            }
+            let SearchScratch { queue, in_queue } = scratch;
+            enqueue_dirty(state, graph, v, queue, in_queue);
         }
+
+        // No explicit wake scan: `enqueue_dirty` above already re-enqueues
+        // every node of a superstep a commit touched — which covers exactly
+        // the parked candidates whose best move can have changed (their
+        // park-list entries go stale via the lazy flag when they re-enter
+        // circulation).  Parked candidates a commit did *not* disturb stay
+        // parked until the work-list drains (`drain`'s `unpark_all`), which
+        // is what certifies they are eventually examined.  An earlier design
+        // additionally woke every parked candidate adjacent to a dirtied row;
+        // on processor-concentrated schedules that re-circulated (and
+        // re-gated) the same candidates hundreds of times per accepted move.
     }
 }

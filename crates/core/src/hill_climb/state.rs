@@ -236,6 +236,15 @@ impl EvalScratch {
     pub fn invalidate_prepared(&mut self) {
         self.prepared_node = None;
     }
+
+    /// Superstep rows the most recent evaluation through this scratch read
+    /// and re-aggregated (deduplicated, unordered).  The parallel driver
+    /// records them per speculative winner: a commit whose recorded rows no
+    /// earlier commit of the same round dirtied can reuse the speculative
+    /// delta instead of re-evaluating.
+    pub fn affected_steps(&self) -> &[usize] {
+        &self.affected
+    }
 }
 
 /// The shared snapshot of the incremental cost state: assignment, superstep
@@ -697,6 +706,17 @@ impl<'a> HcCore<'a> {
         for &u in graph.predecessors(v) {
             self.refresh_summaries(scratch, graph, u);
         }
+    }
+
+    /// `true` while the consumer-summary caches of `v` and all its
+    /// predecessors are still valid — i.e. no move committed since `v`'s
+    /// [`HcCore::warm_summaries`] has invalidated anything `v`'s candidate
+    /// evaluation gathered.  The parallel driver's commit-reuse freshness
+    /// check needs this *in addition to* its row-dirty check: a commit
+    /// elsewhere can change a shared predecessor's summary counts (who else
+    /// attains the minimum receive step) without changing any tally row.
+    pub fn summaries_current<G: DagView>(&self, graph: &G, v: usize) -> bool {
+        self.contrib_valid[v] && graph.predecessors(v).iter().all(|&u| self.contrib_valid[u])
     }
 
     /// Gathers into `scratch.contribs_old` the lazy contributions of `v` and

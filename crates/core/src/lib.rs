@@ -65,9 +65,12 @@ pub fn resolve_threads(requested: usize) -> usize {
 }
 
 /// Measured break-even of the batch-speculative parallel `HC` driver: below
-/// this many lanes the speculation/re-validation overhead loses to the serial
-/// driver (BENCH_hc.json records ~6x single-lane overhead; see ROADMAP).
-pub const MIN_PARALLEL_LANES: usize = 4;
+/// this many lanes the batching overhead loses to the serial driver.  Since
+/// commits reuse the speculative evaluation, deferrals park instead of
+/// re-examining, and the driver adaptively falls back to the serial search on
+/// narrow batches, single-lane overhead is ≤2x (BENCH_hc.json
+/// `speedup_parallel`) and two lanes already pay — down from ~4 before.
+pub const MIN_PARALLEL_LANES: usize = 2;
 
 /// Clamps a *derived* thread share to what is actually worth parallelizing:
 /// shares below [`MIN_PARALLEL_LANES`] fall back to `1` (serial), larger

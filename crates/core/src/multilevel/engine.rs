@@ -35,6 +35,14 @@ pub struct IncrementalRefiner<'a> {
     /// phase; seeds the next phase's work-list.
     dirty: Vec<usize>,
     dirty_mark: Vec<bool>,
+    /// Supersteps whose tallies a split touched since the last refinement
+    /// phase.  Memberships are expanded to nodes *once per phase*
+    /// ([`IncrementalRefiner::seed_dirty_steps`]), not once per split: with
+    /// the paper's interval of 5 (and the adaptive interval above it) the
+    /// same step is typically touched by several splits of one batch, and
+    /// per-split expansion made uncontraction cost `O(step size)` each time.
+    dirty_steps: Vec<usize>,
+    dirty_step_mark: Vec<bool>,
     /// Batch-speculative parallel driver, created on the first refinement
     /// phase that asks for more than one thread and reused (lanes and all)
     /// across every later phase, so warm parallel phases allocate nothing.
@@ -55,6 +63,7 @@ impl<'a> IncrementalRefiner<'a> {
         let state = HcState::new(&quotient, machine, assignment)?;
         let mut scratch = SearchScratch::new();
         scratch.reserve(n);
+        let num_steps = state.num_supersteps();
         Ok(IncrementalRefiner {
             machine,
             quotient,
@@ -62,6 +71,8 @@ impl<'a> IncrementalRefiner<'a> {
             scratch,
             dirty: Vec::with_capacity(n),
             dirty_mark: vec![false; n],
+            dirty_steps: Vec::with_capacity(num_steps + 16),
+            dirty_step_mark: vec![false; num_steps + 16],
             parallel: None,
         })
     }
@@ -102,12 +113,19 @@ impl<'a> IncrementalRefiner<'a> {
 
         // Dirty-set rule, mirroring the in-search re-enqueue policy: the
         // split halves, their quotient neighbours, and every node of a
-        // superstep whose communication tallies the split touched.
+        // superstep whose communication tallies the split touched.  The
+        // touched *steps* are only recorded here; membership expansion is
+        // deferred to the next phase so a step several splits of one batch
+        // touch is expanded once (node supersteps do not change between
+        // phases — only phases move nodes — so deferred expansion marks the
+        // same nodes per-split expansion would).
         let Self {
             quotient,
             state,
             dirty,
             dirty_mark,
+            dirty_steps,
+            dirty_step_mark,
             ..
         } = self;
         let mut mark = |v: usize| {
@@ -126,11 +144,39 @@ impl<'a> IncrementalRefiner<'a> {
             }
         }
         for &s in state.last_affected_steps() {
-            for &x in state.nodes_in_superstep(s) {
-                mark(x);
+            if s >= dirty_step_mark.len() {
+                dirty_step_mark.resize(s + 16, false);
+            }
+            if !dirty_step_mark[s] {
+                dirty_step_mark[s] = true;
+                dirty_steps.push(s);
             }
         }
         Some((kept, removed))
+    }
+
+    /// Expands the accumulated dirty steps into dirty nodes.  Must run
+    /// *before* [`HcState::compact_steps`]: compaction renumbers supersteps,
+    /// and the recorded indices refer to the pre-compaction numbering.
+    fn seed_dirty_steps(&mut self) {
+        let Self {
+            state,
+            dirty,
+            dirty_mark,
+            dirty_steps,
+            dirty_step_mark,
+            ..
+        } = self;
+        for &s in dirty_steps.iter() {
+            dirty_step_mark[s] = false;
+            for &x in state.nodes_in_superstep(s) {
+                if !dirty_mark[x] {
+                    dirty_mark[x] = true;
+                    dirty.push(x);
+                }
+            }
+        }
+        dirty_steps.clear();
     }
 
     /// Runs one warm-started refinement phase: the work-list search seeded
@@ -142,6 +188,7 @@ impl<'a> IncrementalRefiner<'a> {
     /// counterpart of the `normalize` the old rebuild-per-phase flow ran);
     /// that rebuild is `O(n)` but fires only when a step actually emptied.
     pub fn refine(&mut self, config: &HillClimbConfig) -> HillClimbOutcome {
+        self.seed_dirty_steps();
         self.state.compact_steps(&self.quotient);
         for &v in &self.dirty {
             self.dirty_mark[v] = false;
@@ -192,6 +239,10 @@ impl<'a> IncrementalRefiner<'a> {
     /// phases are local by design, and one global pass over the final graph
     /// catches improvements whose enabling moves straddled phase boundaries.
     pub fn refine_full(&mut self, config: &HillClimbConfig) -> HillClimbOutcome {
+        for &s in &self.dirty_steps {
+            self.dirty_step_mark[s] = false;
+        }
+        self.dirty_steps.clear();
         self.state.compact_steps(&self.quotient);
         for &v in &self.dirty {
             self.dirty_mark[v] = false;

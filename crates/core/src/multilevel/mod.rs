@@ -65,6 +65,32 @@ pub struct MultilevelConfig {
     pub min_nodes_to_coarsen: usize,
     /// Number of uncontraction steps between two refinement phases (paper: 5).
     pub refine_interval: usize,
+    /// Adaptive widening of the refinement interval: at an uncoarsening
+    /// level with `a` active nodes, a phase runs every
+    /// `max(refine_interval, a / refine_interval_scale)` uncontractions
+    /// (`0` disables the scaling and keeps the fixed paper interval).  Near
+    /// full size a refinement phase costs `O(dirty set)` but still pays
+    /// fixed per-phase costs (superstep compaction when a step drained,
+    /// queue management), so running one every 5 splits of a 10^5-node DAG
+    /// spends the tail of the solve on phase overhead; scaling the interval
+    /// with the level size keeps the *number* of phases per doubling
+    /// constant instead.  The accumulated dirty set still seeds the next
+    /// phase in full, and the final full sweep is unaffected.
+    ///
+    /// The default (512) comes from sweeping the 10^4-node bench set:
+    /// smaller scales (64–256) run fewer, larger phases and are 2–3x
+    /// faster still, but let the final cost drift up to ~1.25x the
+    /// non-adaptive result on the hardest cg/numa rows; 512 keeps every
+    /// bench row within 1.05x while retaining most of the speedup.
+    pub refine_interval_scale: usize,
+    /// Coarsen-depth floor: never coarsen below this many clusters, even if
+    /// `coarsen_ratios` asks for fewer (`0` disables).  Marginal analysis of
+    /// the measured phase timings: one more contraction saves base-solve
+    /// work proportional to the coarse size `t` (the base pipeline's sweeps
+    /// are superlinear) but costs a fixed amount of uncontraction +
+    /// refinement work, so below some absolute `t*` further coarsening is a
+    /// net loss — an absolute floor, not a ratio.
+    pub min_coarse_nodes: usize,
     /// Maximum number of accepted `HC` moves per refinement phase (paper: 100).
     pub refine_max_steps: usize,
     /// Time limit for each refinement phase.
@@ -92,6 +118,8 @@ impl Default for MultilevelConfig {
             coarsen_ratios: vec![0.3, 0.15],
             min_nodes_to_coarsen: 30,
             refine_interval: 5,
+            refine_interval_scale: 512,
+            min_coarse_nodes: 0,
             refine_max_steps: 100,
             refine_time_limit: Duration::from_millis(500),
             base: PipelineConfig::default(),
@@ -108,6 +136,8 @@ impl MultilevelConfig {
             coarsen_ratios: vec![0.3, 0.15],
             min_nodes_to_coarsen: 30,
             refine_interval: 5,
+            refine_interval_scale: 512,
+            min_coarse_nodes: 0,
             refine_max_steps: 50,
             refine_time_limit: Duration::from_millis(100),
             base: PipelineConfig::fast(),
@@ -143,6 +173,43 @@ impl MultilevelConfig {
     }
 }
 
+/// Wall-clock breakdown of one coarsening-ratio run, by phase.  This is what
+/// makes a refinement-dominated tail (the regime where multilevel speedup
+/// decays on large instances) diagnosable from a bench row instead of a
+/// profiler session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Contracting the DAG down to the coarse target.
+    pub coarsen_seconds: f64,
+    /// The base pipeline on the coarse DAG.
+    pub base_solve_seconds: f64,
+    /// Undoing contractions (split patches), across all levels.
+    pub uncontract_seconds: f64,
+    /// The dirty-seeded interleaved refinement phases (excludes the final
+    /// full sweep).
+    pub refine_seconds: f64,
+    /// Number of interleaved refinement phases that ran.
+    pub refine_phases: usize,
+    /// The final full refinement sweep over the uncoarsened DAG.
+    pub final_sweep_seconds: f64,
+    /// The final communication-schedule optimization (`HCcs` + optional
+    /// `ILPcs`).
+    pub final_comm_seconds: f64,
+}
+
+impl PhaseTimings {
+    /// Element-wise sum (for aggregating a portfolio's runs).
+    pub fn add(&mut self, other: &PhaseTimings) {
+        self.coarsen_seconds += other.coarsen_seconds;
+        self.base_solve_seconds += other.base_solve_seconds;
+        self.uncontract_seconds += other.uncontract_seconds;
+        self.refine_seconds += other.refine_seconds;
+        self.refine_phases += other.refine_phases;
+        self.final_sweep_seconds += other.final_sweep_seconds;
+        self.final_comm_seconds += other.final_comm_seconds;
+    }
+}
+
 /// Result of one coarsening-ratio run inside the multilevel scheduler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RatioOutcome {
@@ -152,6 +219,8 @@ pub struct RatioOutcome {
     pub coarse_nodes: usize,
     /// Cost of the final (uncoarsened, refined) schedule of this run.
     pub cost: u64,
+    /// Where this run's wall-clock went.
+    pub timings: PhaseTimings,
 }
 
 /// Report of a multilevel run.
@@ -166,6 +235,18 @@ pub struct MultilevelReport {
     pub final_cost: u64,
     /// The selected schedule.
     pub schedule: BspSchedule,
+}
+
+impl MultilevelReport {
+    /// Phase timings summed across the portfolio's ratio runs (CPU-time-like:
+    /// parallel ratio runs overlap on the wall clock).
+    pub fn total_timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for outcome in &self.ratio_outcomes {
+            total.add(&outcome.timings);
+        }
+        total
+    }
 }
 
 /// The multilevel scheduler (Figure 4).
@@ -225,7 +306,7 @@ impl MultilevelScheduler {
         // configured ratio, as the sequential loop did).  A thread budget of
         // one runs the portfolio sequentially instead: a serving worker that
         // was handed a single core must not fan out underneath its caller.
-        let runs: Vec<(BspSchedule, usize)> = if self.config.effective_threads() > 1 {
+        let runs: Vec<(BspSchedule, usize, PhaseTimings)> = if self.config.effective_threads() > 1 {
             self.config
                 .coarsen_ratios
                 .par_iter()
@@ -241,12 +322,15 @@ impl MultilevelScheduler {
         let mut ratio_outcomes = Vec::new();
         let mut best: Option<BspSchedule> = None;
         let mut best_cost = u64::MAX;
-        for (&ratio, (schedule, coarse_nodes)) in self.config.coarsen_ratios.iter().zip(runs) {
+        for (&ratio, (schedule, coarse_nodes, timings)) in
+            self.config.coarsen_ratios.iter().zip(runs)
+        {
             let cost = schedule.cost(dag, machine);
             ratio_outcomes.push(RatioOutcome {
                 ratio,
                 coarse_nodes,
                 cost,
+                timings,
             });
             if cost < best_cost {
                 best_cost = cost;
@@ -277,16 +361,26 @@ impl MultilevelScheduler {
         machine: &Machine,
         base_pipeline: &Pipeline,
         ratio: f64,
-    ) -> (BspSchedule, usize) {
-        let target =
-            ((dag.n() as f64 * ratio).round() as usize).clamp(2, dag.n().saturating_sub(1).max(2));
+    ) -> (BspSchedule, usize, PhaseTimings) {
+        let mut timings = PhaseTimings::default();
+        // Coarsen-depth policy: the ratio's target, floored by
+        // `min_coarse_nodes` — past that point one more contraction costs
+        // more projected uncontraction/refinement work than it saves in the
+        // base solve (see the config field's docs).
+        let target = ((dag.n() as f64 * ratio).round() as usize)
+            .max(self.config.min_coarse_nodes)
+            .clamp(2, dag.n().saturating_sub(1).max(2));
+        let clock = std::time::Instant::now();
         let (clustering, quotient) = coarsen(dag, target).into_parts();
+        timings.coarsen_seconds = clock.elapsed().as_secs_f64();
         let coarse_nodes = clustering.num_clusters();
 
         // Solve on the coarse DAG (the one from-scratch quotient build of the
         // whole run: the base pipeline's schedulers want an immutable `Dag`).
+        let clock = std::time::Instant::now();
         let (coarse_dag, reps) = clustering.quotient_dag(dag);
         let coarse_schedule = base_pipeline.run(&coarse_dag, machine);
+        timings.base_solve_seconds = clock.elapsed().as_secs_f64();
 
         // Thread the coarse schedule onto the quotient's representatives.
         let mut proc = vec![0usize; dag.n()];
@@ -319,25 +413,45 @@ impl MultilevelScheduler {
             threads: self.config.threads_per_ratio(),
         };
         let mut since_refine = 0usize;
+        // Adaptive interval: one phase every `max(refine_interval,
+        // active / refine_interval_scale)` splits (see the config docs) —
+        // the split batch a phase absorbs grows with the level, keeping the
+        // number of phases per size doubling constant.
+        let mut active = coarse_nodes;
         loop {
+            let clock = std::time::Instant::now();
             let more = refiner.uncontract_one().is_some();
+            timings.uncontract_seconds += clock.elapsed().as_secs_f64();
             since_refine += 1;
+            active += 1;
             let fully_uncoarsened = !more;
             if fully_uncoarsened {
                 // Mirror the previous implementation's last phase: one global
                 // refinement pass over the fully uncoarsened DAG.
+                let clock = std::time::Instant::now();
                 refiner.refine_full(&refine_config);
+                timings.final_sweep_seconds = clock.elapsed().as_secs_f64();
                 break;
             }
-            if since_refine >= self.config.refine_interval {
+            // `checked_div` doubles as the `scale == 0` disable switch.
+            let interval = match active.checked_div(self.config.refine_interval_scale) {
+                Some(scaled) => self.config.refine_interval.max(scaled),
+                None => self.config.refine_interval,
+            };
+            if since_refine >= interval {
+                let clock = std::time::Instant::now();
                 refiner.refine(&refine_config);
+                timings.refine_seconds += clock.elapsed().as_secs_f64();
+                timings.refine_phases += 1;
                 since_refine = 0;
             }
         }
 
         let mut schedule = BspSchedule::from_assignment_lazy(dag, refiner.into_assignment());
         schedule.normalize(dag);
+        let clock = std::time::Instant::now();
         self.final_comm_optimization(dag, machine, &mut schedule);
+        timings.final_comm_seconds = clock.elapsed().as_secs_f64();
         // A broken uncoarsening projection must not ship silently in release
         // builds: validate the one final schedule of this ratio run and name
         // the offending edge if anything went wrong.
@@ -346,7 +460,7 @@ impl MultilevelScheduler {
                 "multilevel run at coarsening ratio {ratio} produced an invalid schedule: {err}"
             );
         }
-        (schedule, coarse_nodes)
+        (schedule, coarse_nodes, timings)
     }
 
     /// The communication-schedule optimization that Figure 4 runs after

@@ -15,12 +15,14 @@
 
 mod common;
 
+use bsp_model::{Dag, Machine};
 use bsp_sched::hill_climb::{
     hc_improve, hccs_improve, EvalScratch, HcState, HillClimbConfig, ParallelHc, SearchScratch,
 };
 use bsp_sched::init::SourceScheduler;
 use bsp_sched::Scheduler;
 use common::{random_dag, random_machine, rng_for_case};
+use rand::Rng;
 
 const CASES: u64 = 24;
 
@@ -115,6 +117,67 @@ fn speculative_gain_matches_try_move_on_random_states() {
 }
 
 #[test]
+fn reused_speculative_delta_matches_fresh_try_move_across_random_walks() {
+    // The commit fast path applies a lane's speculative delta directly, with
+    // no second `try_move`.  Its soundness condition is that on *any*
+    // reachable state — not just the initial schedule — a speculation and a
+    // fresh `try_move` agree exactly.  Walk hundreds of random moves per
+    // case, committing about half of the feasible ones so later probes run
+    // against genuinely evolved states, and check the equality at every step.
+    for case in 0..CASES {
+        let mut rng = rng_for_case(0xFEE1, case);
+        let dag = random_dag(&mut rng, 14);
+        let machine = random_machine(&mut rng);
+        let init = SourceScheduler.schedule(&dag, &machine);
+        let mut state = HcState::new(&dag, &machine, init.assignment)
+            .expect("Source schedules are lazily feasible");
+        let mut lane_scratch = EvalScratch::new();
+
+        let mut checked = 0usize;
+        for _ in 0..400 {
+            let v = rng.gen_range(0..dag.n());
+            let s_old = state.step_of(v);
+            let s_new = match rng.gen_range(0u32..3) {
+                0 => match s_old.checked_sub(1) {
+                    Some(s) => s,
+                    None => continue,
+                },
+                1 => s_old,
+                _ => s_old + 1,
+            };
+            let p_new = rng.gen_range(0..machine.p());
+            if !state.move_is_valid(&dag, v, p_new, s_new) {
+                continue;
+            }
+            {
+                let (core, scratch) = state.parts_mut();
+                core.warm_summaries(scratch, &dag, v);
+            }
+            lane_scratch.invalidate_prepared();
+            let speculated = state
+                .core()
+                .speculate_move(&mut lane_scratch, &dag, v, p_new, s_new);
+            let tried = state.try_move(&dag, v, p_new, s_new);
+            assert_eq!(
+                speculated, tried,
+                "case {case}: speculate/try disagree at v={v} p={p_new} s={s_new}"
+            );
+            checked += 1;
+            // Commit roughly half the feasible moves (improving or not) so
+            // the walk explores random reachable states.
+            if rng.gen::<bool>() {
+                let applied = state.apply_move(&dag, v, p_new, s_new);
+                assert_eq!(
+                    applied, tried,
+                    "case {case}: apply drifted from try at v={v} p={p_new} s={s_new}"
+                );
+            }
+        }
+        assert!(checked > 0, "case {case}: walk probed no feasible move");
+    }
+}
+
+#[test]
 fn parallel_driver_reuse_across_searches_stays_consistent() {
     // One ParallelHc reused across many searches (the refiner's usage
     // pattern) must behave identically to a fresh driver per search.
@@ -140,6 +203,48 @@ fn parallel_driver_reuse_across_searches_stays_consistent() {
         assert_eq!(reused.steps, fresh.steps, "case {case}");
         assert_eq!(reused_assignment, sched_fresh.assignment, "case {case}");
     }
+}
+
+#[test]
+fn serial_fallback_triggers_and_stays_lane_count_deterministic() {
+    // A long chain is the adaptive controller's worst case: every candidate
+    // claims the superstep cells its predecessor claimed, so batches stay
+    // width-1 and the driver must fall back to the serial search after
+    // `FALLBACK_PATIENCE` narrow rounds.  The fallback threshold is a
+    // constant (not lane-derived), so 2 and 5 lanes must still agree move
+    // for move.
+    let n = 120;
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    let work: Vec<u64> = (0..n as u64).map(|i| 1 + i % 7).collect();
+    let comm: Vec<u64> = (0..n as u64).map(|i| i % 5).collect();
+    let dag = Dag::from_edges(n, &edges, work, comm).expect("a chain is acyclic");
+    let machine = Machine::uniform(4, 1, 5);
+    let init = SourceScheduler.schedule(&dag, &machine);
+    let before = init.cost(&dag, &machine);
+
+    let run = |threads: usize| {
+        let mut sched = init.clone();
+        sched.relax_to_lazy(&dag);
+        let mut state = HcState::new(&dag, &machine, sched.assignment.clone()).expect("feasible");
+        let mut scratch = SearchScratch::new();
+        scratch.enqueue_all(&dag);
+        let mut driver = ParallelHc::new(threads);
+        let config = HillClimbConfig::default().with_threads(threads);
+        let outcome = driver.search(&dag, &machine, &mut state, &config, &mut scratch, true);
+        (
+            outcome,
+            state.into_assignment(),
+            driver.stats().serial_fallback,
+        )
+    };
+    let (out_a, asg_a, fell_a) = run(2);
+    let (out_b, asg_b, fell_b) = run(5);
+    assert!(fell_a, "2 lanes: chain did not trigger the serial fallback");
+    assert!(fell_b, "5 lanes: chain did not trigger the serial fallback");
+    assert_eq!(out_a, out_b, "outcomes diverged across lane counts");
+    assert_eq!(asg_a, asg_b, "assignments diverged across lane counts");
+    assert!(out_a.final_cost <= before, "fallback worsened the schedule");
+    assert!(out_a.reached_local_minimum, "fallback did not certify");
 }
 
 #[test]
