@@ -42,8 +42,9 @@ use bsp_bench::stats::BenchReport;
 use bsp_bench::{size_to_target, CliArgs};
 use bsp_model::{Dag, Machine};
 use bsp_serve::{
-    Client, Completion, LatencyHistogram, Mode, PipelinedClient, RequestOptions, Router,
-    RouterConfig, RouterHandle, ScheduleSource, Server, ServerConfig, ServerHandle, ServiceConfig,
+    Client, Completion, LatencyHistogram, MetricsSnapshot, Mode, PipelinedClient, RequestOptions,
+    Router, RouterConfig, RouterHandle, ScheduleSource, Server, ServerConfig, ServerHandle,
+    ServiceConfig,
 };
 use dag_gen::fine::{cg, knn, spmv, IterConfig, SpmvConfig};
 use rand::{Rng, SeedableRng};
@@ -604,10 +605,27 @@ fn main() {
         "sharded pipelined",
     );
     let shard_stats: Vec<_> = shard_handles.iter().map(|s| s.stats()).collect();
+    // Scrape the router's merged exposition while the deployment is live:
+    // the same series a Prometheus scraper would pull, pooled across shards.
+    let metrics = Client::connect(router.addr())
+        .expect("connect a metrics scraper to the router")
+        .metrics()
+        .expect("scrape METRICS through the router");
+    let metrics = MetricsSnapshot::parse(&metrics).expect("the exposition parses");
     router.shutdown();
     for shard in shard_handles {
         shard.shutdown();
     }
+    let queue_wait = metrics.histogram("bsp_queue_wait_micros");
+    let (qw_p50, qw_p99) = queue_wait.map_or((0, 0), |h| {
+        (h.quantile_micros(0.5), h.quantile_micros(0.99))
+    });
+    let solve_phase_micros = metrics.counter_sum("bsp_solve_phase_micros_total");
+    eprintln!(
+        "router metrics: {} requests, queue wait p50 {qw_p50}us / p99 {qw_p99}us, \
+         {solve_phase_micros}us of attributed solver phase time",
+        metrics.counter_sum("bsp_requests_total"),
+    );
 
     // ---- Phase 3: durable-store restart ---------------------------------
     eprintln!("restart phase: populate a store-backed server, restart it, replay");
@@ -730,7 +748,9 @@ fn main() {
          \"serial_cache\": {{\"hits\": {}, \"warm_hits\": {}, \"warm_fallbacks\": {}, \
          \"misses\": {}}}, \
          \"restart_store\": {{\"appended\": {}, \"loaded\": {}, \"recovered_bytes\": {}, \
-         \"dropped_corrupt\": {}, \"fp_fallbacks\": {}, \"non_exact_replays\": {}}}}}",
+         \"dropped_corrupt\": {}, \"fp_fallbacks\": {}, \"non_exact_replays\": {}}}, \
+         \"router_metrics\": {{\"requests_total\": {}, \"queue_wait_p50_us\": {qw_p50}, \
+         \"queue_wait_p99_us\": {qw_p99}, \"solve_phase_micros\": {solve_phase_micros}}}}}",
         serial.throughput_rps,
         sharded.throughput_rps,
         serial.wall.as_secs_f64(),
@@ -750,6 +770,7 @@ fn main() {
         restart.dropped_corrupt,
         restart.fp_fallbacks,
         restart.post_non_exact,
+        metrics.counter_sum("bsp_requests_total"),
     ));
     report
         .write(&out_path)
@@ -800,6 +821,27 @@ fn main() {
         assert_eq!(
             restart.invalid, 0,
             "smoke: the restart phase served an invalid schedule"
+        );
+        // Observability gates: the scraped exposition parsed (asserted at
+        // scrape time) and the core series are present and non-zero.
+        assert!(
+            metrics.counter_sum("bsp_requests_total") >= requests as u64,
+            "smoke: the pooled bsp_requests_total undercounts the workload"
+        );
+        assert!(
+            metrics
+                .counter("bsp_cache_ops_total{op=\"hit\"}")
+                .unwrap_or(0)
+                > 0,
+            "smoke: no cache hits in the scraped metrics"
+        );
+        assert!(
+            solve_phase_micros > 0,
+            "smoke: no solver phase time attributed in the scraped metrics"
+        );
+        assert!(
+            queue_wait.is_some_and(|h| h.count > 0),
+            "smoke: the queue-wait histogram recorded nothing"
         );
         eprintln!("smoke assertions passed");
     }

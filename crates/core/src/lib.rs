@@ -95,4 +95,4 @@ pub use cancel::CancelToken;
 pub use hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
 pub use init::{BspgScheduler, SourceScheduler};
 pub use multilevel::{MultilevelConfig, MultilevelScheduler};
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use pipeline::{PhaseSample, Pipeline, PipelineConfig};

@@ -64,6 +64,11 @@ pub struct PipelineConfig {
     /// from the server-wide budget so `workers × solve-threads` never
     /// oversubscribes the host.
     pub solve_threads: usize,
+    /// Collect a per-phase wall-clock breakdown ([`PipelineReport::phases`])
+    /// during the run.  `false` (the default) is zero-cost: no clock is read
+    /// and nothing is allocated for phase accounting.  The serving layer
+    /// enables this per traced request.
+    pub collect_phases: bool,
     /// Absolute wall-clock deadline for the whole run.  The pipeline is
     /// *anytime*: it clips every stage budget to the remaining time, skips
     /// stages whose budget is exhausted, and always returns the best valid
@@ -88,6 +93,7 @@ impl Default for PipelineConfig {
             ilp_stage_budget: Duration::from_secs(20),
             parallel_branches: true,
             solve_threads: 1,
+            collect_phases: false,
             deadline: None,
             cancel: CancelToken::inert(),
         }
@@ -108,6 +114,7 @@ impl PipelineConfig {
             ilp_stage_budget: Duration::from_secs(2),
             parallel_branches: true,
             solve_threads: 1,
+            collect_phases: false,
             deadline: None,
             cancel: CancelToken::inert(),
         }
@@ -184,6 +191,22 @@ fn clip_budget(budget: Duration, cancel: &CancelToken) -> Duration {
     }
 }
 
+/// One timed solver phase, as a microsecond offset + duration relative to
+/// the start of the run.  Only collected when
+/// [`PipelineConfig::collect_phases`] is set; names are `&'static` so the
+/// serving layer can copy samples into its allocation-free span sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSample {
+    /// Static phase name (an initializer name, `"hc"`, `"ilp_stage"`, …).
+    pub name: &'static str,
+    /// Nesting depth below the solve (0 = direct child).
+    pub depth: u8,
+    /// Microseconds from the start of the run to phase start.
+    pub start_us: u64,
+    /// Phase duration in microseconds.
+    pub dur_us: u64,
+}
+
 /// Cost of one initialization branch before and after local search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchReport {
@@ -221,6 +244,10 @@ pub struct PipelineReport {
     pub ilp_part_windows_improved: usize,
     /// `true` if `ILPcs` improved the communication schedule.
     pub ilp_cs_improved: bool,
+    /// Per-phase wall-clock breakdown (empty unless
+    /// [`PipelineConfig::collect_phases`] is set).  Branches that ran in
+    /// parallel have overlapping spans.
+    pub phases: Vec<PhaseSample>,
     /// The final schedule.
     pub schedule: BspSchedule,
 }
@@ -263,10 +290,18 @@ impl Pipeline {
                 used_ilp_full: false,
                 ilp_part_windows_improved: 0,
                 ilp_cs_improved: false,
+                phases: Vec::new(),
                 schedule,
             };
         }
 
+        // The phase clock only exists when the caller opted in; `None` keeps
+        // the default path free of any `Instant::now` calls.
+        let origin = if self.config.collect_phases {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let cancel = self.config.effective_cancel();
         let initializers = self.initializers(dag, machine);
         // Split the solve-thread budget across the branch fan-out so the run
@@ -286,37 +321,50 @@ impl Pipeline {
         } else {
             crate::parallel_budget(budget)
         };
-        let branch_results: Vec<(BranchReport, BspSchedule)> = if fan_out {
+        type BranchResult = (BranchReport, BspSchedule, Vec<PhaseSample>);
+        let branch_results: Vec<BranchResult> = if fan_out {
             initializers
                 .par_iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads))
+                .map(|init| {
+                    self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads, origin)
+                })
                 .collect()
         } else {
             initializers
                 .iter()
-                .map(|init| self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads))
+                .map(|init| {
+                    self.run_branch(dag, machine, init.as_ref(), &cancel, branch_threads, origin)
+                })
                 .collect()
         };
 
         let init_cost = branch_results
             .iter()
-            .map(|(b, _)| b.init_cost)
+            .map(|(b, _, _)| b.init_cost)
             .min()
             .expect("at least one initializer is always enabled");
         let (best_idx, _) = branch_results
             .iter()
             .enumerate()
-            .min_by_key(|(_, (b, _))| b.local_search_cost)
+            .min_by_key(|(_, (b, _, _))| b.local_search_cost)
             .expect("at least one initializer is always enabled");
         let selected_init = branch_results[best_idx].0.init_name.clone();
         let local_search_cost = branch_results[best_idx].0.local_search_cost;
         let mut schedule = branch_results[best_idx].1.clone();
-        let branches = branch_results.into_iter().map(|(b, _)| b).collect();
+        let mut phases: Vec<PhaseSample> = Vec::new();
+        let branches = branch_results
+            .into_iter()
+            .map(|(b, _, p)| {
+                phases.extend(p);
+                b
+            })
+            .collect();
 
         let mut used_ilp_full = false;
         let mut ilp_part_windows_improved = 0;
         let mut ilp_cs_improved = false;
         let mut ilp_part_cost = local_search_cost;
+        let ilp_started = origin.map(|o| o.elapsed());
         if self.config.use_ilp && !cancel.is_cancelled() {
             let stage_budget = clip_budget(self.config.ilp_stage_budget, &cancel);
             let deadline = Instant::now() + stage_budget;
@@ -341,6 +389,14 @@ impl Pipeline {
             if self.config.use_ilp_cs {
                 ilp_cs_improved = ilp_cs_improve(dag, machine, &mut schedule, &ilp_config);
             }
+            if let (Some(o), Some(started)) = (origin, ilp_started) {
+                phases.push(PhaseSample {
+                    name: "ilp_stage",
+                    depth: 0,
+                    start_us: started.as_micros() as u64,
+                    dur_us: o.elapsed().saturating_sub(started).as_micros() as u64,
+                });
+            }
         }
 
         schedule.normalize(dag);
@@ -357,6 +413,7 @@ impl Pipeline {
             used_ilp_full,
             ilp_part_windows_improved,
             ilp_cs_improved,
+            phases,
             schedule,
         }
     }
@@ -380,7 +437,8 @@ impl Pipeline {
 
     /// Runs one initialization branch: initializer, then `HC`, then `HCcs`,
     /// searching with `threads` intra-search lanes (this branch's share of
-    /// the solve budget).
+    /// the solve budget).  When `origin` is set the branch reports its phase
+    /// breakdown relative to that clock.
     fn run_branch(
         &self,
         dag: &Dag,
@@ -388,9 +446,12 @@ impl Pipeline {
         init: &dyn Scheduler,
         cancel: &CancelToken,
         threads: usize,
-    ) -> (BranchReport, BspSchedule) {
+        origin: Option<Instant>,
+    ) -> (BranchReport, BspSchedule, Vec<PhaseSample>) {
+        let branch_start = origin.map(|o| o.elapsed());
         let mut schedule = init.schedule(dag, machine);
         schedule.normalize(dag);
+        let init_done = origin.map(|o| o.elapsed());
         let init_cost = schedule.cost(dag, machine);
         // The paper gives 90% of the local-search budget to HC, 10% to HCcs;
         // under a deadline both are additionally clipped to the remaining
@@ -410,8 +471,40 @@ impl Pipeline {
             ..self.config.hill_climb.clone()
         };
         hc_improve(dag, machine, &mut schedule, &hc_cfg);
+        let hc_done = origin.map(|o| o.elapsed());
         hccs_improve(dag, machine, &mut schedule, &hccs_cfg);
         let local_search_cost = schedule.cost(dag, machine);
+        let mut phases = Vec::new();
+        if let (Some(o), Some(start), Some(init_done), Some(hc_done)) =
+            (origin, branch_start, init_done, hc_done)
+        {
+            let end = o.elapsed();
+            let us = |d: Duration| d.as_micros() as u64;
+            phases.push(PhaseSample {
+                name: init.name(),
+                depth: 0,
+                start_us: us(start),
+                dur_us: us(end.saturating_sub(start)),
+            });
+            phases.push(PhaseSample {
+                name: "init_schedule",
+                depth: 1,
+                start_us: us(start),
+                dur_us: us(init_done.saturating_sub(start)),
+            });
+            phases.push(PhaseSample {
+                name: "hc",
+                depth: 1,
+                start_us: us(init_done),
+                dur_us: us(hc_done.saturating_sub(init_done)),
+            });
+            phases.push(PhaseSample {
+                name: "hccs",
+                depth: 1,
+                start_us: us(hc_done),
+                dur_us: us(end.saturating_sub(hc_done)),
+            });
+        }
         (
             BranchReport {
                 init_name: init.name().to_string(),
@@ -419,6 +512,7 @@ impl Pipeline {
                 local_search_cost,
             },
             schedule,
+            phases,
         )
     }
 }
@@ -536,6 +630,47 @@ mod tests {
         let report = fast_pipeline().run_report(&dag, &machine);
         assert_eq!(report.selected_init, "trivial");
         assert!(report.schedule.validate(&dag, &machine).is_ok());
+    }
+
+    #[test]
+    fn phase_collection_is_opt_in_and_covers_the_run() {
+        let dag = spmv(&SpmvConfig {
+            n: 16,
+            density: 0.25,
+            seed: 7,
+        });
+        let machine = Machine::uniform(4, 3, 5);
+        // Off by default: no samples.
+        let silent = fast_pipeline().run_report(&dag, &machine);
+        assert!(silent.phases.is_empty());
+        // On: every branch reports its initializer span plus the three
+        // depth-1 children, and child durations tile the branch span.
+        let mut config = PipelineConfig::fast();
+        config.collect_phases = true;
+        config.parallel_branches = false;
+        let report = Pipeline::new(config).run_report(&dag, &machine);
+        assert!(!report.phases.is_empty());
+        for branch in &report.branches {
+            let top = report
+                .phases
+                .iter()
+                .find(|p| p.name == branch.init_name && p.depth == 0)
+                .expect("branch has a top-level span");
+            let children: u64 = report
+                .phases
+                .iter()
+                .filter(|p| p.depth == 1 && p.start_us >= top.start_us)
+                .filter(|p| p.start_us < top.start_us + top.dur_us.max(1))
+                .map(|p| p.dur_us)
+                .sum();
+            assert!(
+                children <= top.dur_us + 3,
+                "children {children} exceed branch span {}",
+                top.dur_us
+            );
+        }
+        assert!(report.phases.iter().any(|p| p.name == "hc"));
+        assert!(report.phases.iter().any(|p| p.name == "ilp_stage"));
     }
 
     #[test]

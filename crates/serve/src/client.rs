@@ -11,8 +11,9 @@
 //! wire), falling back transparently when the server evicted the entry.
 
 use crate::protocol::{
-    encode_fingerprint_request, encode_request, read_reply, read_response, Reply, RequestOptions,
-    ScheduleResponse, ServeError,
+    encode_fingerprint_request, encode_request, read_metrics_reply, read_reply, read_response,
+    read_slow_reply, read_trace_reply, Reply, RequestOptions, ScheduleResponse, ServeError,
+    SlowEntry, WireTrace,
 };
 use crate::service::ServiceStats;
 use bsp_model::{Dag, Machine};
@@ -102,7 +103,7 @@ impl Client {
             let id = self.next_id;
             self.next_id += 1;
             self.scratch.clear();
-            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
+            encode_fingerprint_request(&mut self.scratch, id, fingerprint, options.trace);
             self.writer.write_all(self.scratch.as_bytes())?;
             self.writer.flush()?;
             match self.read_matching_response(id) {
@@ -147,6 +148,36 @@ impl Client {
             return Err(ServeError::UnexpectedEof);
         }
         ServiceStats::from_wire(line.trim())
+    }
+
+    /// Fetches the Prometheus-style text exposition (`METRICS` verb).  On a
+    /// router this is the bucket-merged aggregate across every live shard
+    /// plus the router's own series.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.writer.write_all(b"METRICS\n")?;
+        self.writer.flush()?;
+        read_metrics_reply(&mut self.reader)
+    }
+
+    /// Fetches one finished request's trace by id (`TRACE <id>` verb).  The
+    /// id is reported in the `trace` key of every `OK` response header.
+    /// Returns [`ServeError::UnknownTrace`] when the trace has aged out of
+    /// the server's bounded journal.
+    pub fn trace(&mut self, trace_id: u64) -> Result<WireTrace, ServeError> {
+        self.scratch.clear();
+        self.scratch.push_str("TRACE ");
+        self.scratch.push_str(&format!("{trace_id:x}"));
+        self.scratch.push('\n');
+        self.writer.write_all(self.scratch.as_bytes())?;
+        self.writer.flush()?;
+        read_trace_reply(&mut self.reader)
+    }
+
+    /// Fetches the slow-request journal (`STATS SLOW` verb), slowest first.
+    pub fn slow_stats(&mut self) -> Result<Vec<SlowEntry>, ServeError> {
+        self.writer.write_all(b"STATS SLOW\n")?;
+        self.writer.flush()?;
+        read_slow_reply(&mut self.reader)
     }
 
     /// Liveness probe.
@@ -252,7 +283,7 @@ impl PipelinedClient {
         let fp_only = options.use_cache && self.known_fingerprints.contains(&fingerprint);
         self.scratch.clear();
         if fp_only {
-            encode_fingerprint_request(&mut self.scratch, id, fingerprint);
+            encode_fingerprint_request(&mut self.scratch, id, fingerprint, options.trace);
         } else {
             encode_request(&mut self.scratch, id, dag, machine, options)?;
         }

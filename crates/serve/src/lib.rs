@@ -34,8 +34,13 @@
 //!   `bsp_serve` shard processes.  Requests and `FP` replays route by
 //!   [`bsp_model::RequestKey::full`] range onto multiplexed per-shard
 //!   backend connections; a dead shard's pending requests are re-run on a
-//!   live one (content addressing makes the re-run safe), and `STATS`
-//!   aggregates across shards.
+//!   live one (content addressing makes the re-run safe), and `STATS` /
+//!   `METRICS` aggregate across shards by merging histogram buckets.
+//! * [`obs`] — the observability layer: a [`obs::MetricsRegistry`] of
+//!   named, labeled series rendered as Prometheus-style text (`METRICS`
+//!   verb), mergeable [`obs::MetricsSnapshot`]s for router aggregation, and
+//!   allocation-free request tracing ([`obs::SpanSet`],
+//!   [`obs::TraceJournal`], `TRACE <id>` verb, `STATS SLOW` slow log).
 //!
 //! ## Quickstart
 //!
@@ -63,6 +68,7 @@
 pub mod cache;
 pub mod client;
 pub mod metrics;
+pub mod obs;
 pub mod protocol;
 pub mod router;
 pub mod server;
@@ -72,8 +78,12 @@ pub mod store;
 pub use cache::{schedule_footprint, CacheStats, ScheduleCache};
 pub use client::{Client, Completion, PipelinedClient};
 pub use metrics::{LatencyHistogram, StoreCounters, StoreStats};
+pub use obs::{
+    MetricsRegistry, MetricsSnapshot, SpanRec, SpanSet, TraceIdGen, TraceJournal, TraceRecord,
+};
 pub use protocol::{
     Mode, Reply, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
+    SlowEntry, WireSpan, WireTrace,
 };
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -127,6 +127,19 @@ impl LatencyHistogram {
         }
     }
 
+    /// Inclusive lower edge of bucket `idx` (the smallest value the bucket
+    /// can hold).  Used for in-bucket quantile interpolation.
+    fn lower_edge(idx: usize) -> u64 {
+        if idx < LINEAR as usize {
+            idx as u64
+        } else {
+            let rel = (idx - LINEAR as usize) as u64;
+            let octave = 5 + rel / 4;
+            let sub = rel % 4;
+            (1u64 << octave) + (sub << (octave - 2))
+        }
+    }
+
     /// Records one observation.  Lock- and allocation-free.
     pub fn record(&self, latency: Duration) {
         let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
@@ -154,6 +167,44 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded latencies in microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed)
+    }
+
+    /// Visits every non-empty bucket as `(upper_edge_micros, count)`, in
+    /// ascending edge order.  This is the wire shape of the histogram: the
+    /// Prometheus exposition renders these as cumulative `le` buckets, and
+    /// [`LatencyHistogram::add_bucket_with_le`] reconstructs them on the
+    /// receiving side.
+    pub fn for_each_bucket<F: FnMut(u64, u64)>(&self, mut f: F) {
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                f(Self::upper_edge(i), n);
+            }
+        }
+    }
+
+    /// Adds `n` observations to the bucket whose reported upper edge is `le`
+    /// (as produced by [`LatencyHistogram::for_each_bucket`] on the far
+    /// side).  Every bucket's edge maps back to itself — linear edges are the
+    /// bucket's exact value, and `le - 1` lies strictly inside a
+    /// quarter-octave bucket — so shipping a histogram over the wire and
+    /// re-adding it is lossless.  Does not touch the latency sum; pair with
+    /// [`LatencyHistogram::add_total_micros`].
+    pub fn add_bucket_with_le(&self, le: u64, n: u64) {
+        let representative = if le < LINEAR { le } else { le - 1 };
+        self.buckets[Self::bucket_of(representative)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds to the recorded latency sum (the `_sum` series of the wire
+    /// exposition).
+    pub fn add_total_micros(&self, micros: u64) {
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_micros(&self) -> f64 {
         let count = self.count();
@@ -163,9 +214,19 @@ impl LatencyHistogram {
         self.total_micros.load(Ordering::Relaxed) as f64 / count as f64
     }
 
-    /// Reported value (µs) of the bucket containing quantile `q ∈ [0, 1]`:
-    /// exact below 32 µs, conservative upper edge above.  0 when the
+    /// Reported value (µs) of quantile `q ∈ [0, 1]`: exact below 32 µs,
+    /// rank-interpolated inside the quarter-octave bucket above.  0 when the
     /// histogram is empty.
+    ///
+    /// The interpolation is a pure function of the bucket counts — the rank's
+    /// position within its bucket is mapped linearly onto the bucket's
+    /// `(lower, upper]` edge span — so two histograms holding the same
+    /// observations report the same quantiles whether the observations were
+    /// recorded directly or pooled via [`LatencyHistogram::merge_from`] /
+    /// the wire exposition.  (The old edge-only answer already had that
+    /// property, but jumped by a full ~25 % bucket width at every sub-bucket
+    /// boundary; a single observation per bucket still reports the
+    /// conservative upper edge.)
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -174,10 +235,22 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::upper_edge(i);
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
             }
+            if seen + in_bucket >= rank {
+                if i < LINEAR as usize {
+                    // Linear buckets hold exactly one value: report it.
+                    return i as u64;
+                }
+                let lo = Self::lower_edge(i);
+                let hi = Self::upper_edge(i);
+                let pos = rank - seen; // 1..=in_bucket
+                let span = u128::from(hi - lo);
+                return lo + (span * u128::from(pos) / u128::from(in_bucket)) as u64;
+            }
+            seen += in_bucket;
         }
         u64::MAX
     }
@@ -259,6 +332,60 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.quantile_micros(1.0), 5120);
         assert_eq!(a.quantile_micros(0.2), 10);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_octave_buckets() {
+        // 4 observations in one quarter-octave bucket [1024, 1280) must
+        // spread the quantile answers across the bucket instead of jumping
+        // to the upper edge for all of them.
+        let h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(Duration::from_micros(1100));
+        }
+        // Ranks 1..=4 map to lo + span·pos/4 = 1088, 1152, 1216, 1280.
+        assert_eq!(h.quantile_micros(0.25), 1088);
+        assert_eq!(h.quantile_micros(0.50), 1152);
+        assert_eq!(h.quantile_micros(0.75), 1216);
+        assert_eq!(h.quantile_micros(1.00), 1280);
+    }
+
+    #[test]
+    fn merged_and_single_source_quantiles_are_identical() {
+        // Satellite: recording a population directly and recording it split
+        // across histograms then pooling must answer every quantile
+        // identically — including at sub-bucket boundaries.
+        let single = LatencyHistogram::new();
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let population: Vec<u64> = (0..200).map(|i| (i * 37 + 3) % 9000).collect();
+        for (i, &micros) in population.iter().enumerate() {
+            single.record(Duration::from_micros(micros));
+            let half = if i % 2 == 0 { &a } else { &b };
+            half.record(Duration::from_micros(micros));
+        }
+        a.merge_from(&b);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(single.quantile_micros(q), a.quantile_micros(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn wire_bucket_round_trip_is_lossless() {
+        // for_each_bucket → add_bucket_with_le must reproduce the histogram
+        // bucket for bucket (the METRICS merge path in the router).
+        let src = LatencyHistogram::new();
+        for micros in [0u64, 1, 31, 32, 39, 40, 1100, 5000, 1 << 40, u64::MAX] {
+            src.record(Duration::from_micros(micros));
+        }
+        let dst = LatencyHistogram::new();
+        src.for_each_bucket(|le, n| dst.add_bucket_with_le(le, n));
+        dst.add_total_micros(src.total_micros());
+        assert_eq!(dst.count(), src.count());
+        assert_eq!(dst.total_micros(), src.total_micros());
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(dst.quantile_micros(q), src.quantile_micros(q), "q={q}");
+        }
     }
 
     #[test]

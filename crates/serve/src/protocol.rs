@@ -8,8 +8,9 @@
 //! REQ <id>
 //! MACHINE uniform <p> <g> <l>            (or: tree <p> <g> <l> <delta>)
 //! OPTION deadline_ms <n>                 (optional; 0 = no deadline)
-//! OPTION mode <default|fast|heuristics>  (optional; default heuristics)
+//! OPTION mode <default|fast|heuristics|multilevel>  (optional; default heuristics)
 //! OPTION cache <on|off>                  (optional; default on)
+//! OPTION trace <hex>                     (optional; router-assigned trace id)
 //! DAG <num_lines>
 //! <num_lines of hyperDAG text>
 //! END
@@ -18,7 +19,7 @@
 //! and the matching response:
 //!
 //! ```text
-//! OK <id> cost <c> supersteps <s> source <cold|exact|warm> micros <t>
+//! OK <id> cost <c> supersteps <s> source <cold|exact|warm> micros <t> [trace <hex>]
 //! PROC <pi(0)> <pi(1)> ... <pi(n-1)>
 //! STEP <tau(0)> <tau(1)> ... <tau(n-1)>
 //! COMM <k>
@@ -27,8 +28,20 @@
 //! ```
 //!
 //! Errors come back as a single `ERR <id> <kind> <message...>` line.  The
-//! auxiliary verbs are `STATS` (one `STATS key value ...` line back) and
-//! `PING`/`PONG`.  The `STATS` line includes the durable-store counters
+//! auxiliary verbs are `STATS` (one `STATS key value ...` line back),
+//! `PING`/`PONG`, and the observability verbs:
+//!
+//! * `METRICS` — Prometheus-style text exposition, framed as
+//!   `METRICS <n_lines>` + the lines + `END` (see [`crate::obs`]).
+//! * `TRACE <hex>` — one finished request's span tree:
+//!   `TRACE <hex> source <src> shard <s> total_us <t> spans <n>` followed by
+//!   `SPAN <depth> <start_us> <dur_us> <name>` lines and `END`; an unknown
+//!   id answers `ERR 0 unknown-trace ...`.
+//! * `STATS SLOW` — the slow-request journal: `SLOW <n>` +
+//!   `TRACESUM <hex> <source> <shard> <total_us>` lines + `END` (fetch full
+//!   span trees via `TRACE`).
+//!
+//! The `STATS` line includes the durable-store counters
 //! (`store_loaded`, `store_recovered_bytes`, `store_dropped_corrupt`,
 //! `store_compactions`, `store_write_errors`, `store_appended`; all zero on
 //! a memory-only server), and readers ignore unknown keys so the set can
@@ -86,6 +99,10 @@ pub enum Mode {
     /// the right default for latency-bounded serving.
     #[default]
     HeuristicsOnly,
+    /// The coarsen–solve–refine multilevel scheduler (Figure 4) — the
+    /// strongest solver on large DAGs, with a per-phase timing breakdown
+    /// that traced requests surface span by span.
+    Multilevel,
 }
 
 impl Mode {
@@ -95,6 +112,7 @@ impl Mode {
             Mode::Default => "default",
             Mode::Fast => "fast",
             Mode::HeuristicsOnly => "heuristics",
+            Mode::Multilevel => "multilevel",
         }
     }
 
@@ -103,6 +121,7 @@ impl Mode {
             "default" => Some(Mode::Default),
             "fast" => Some(Mode::Fast),
             "heuristics" => Some(Mode::HeuristicsOnly),
+            "multilevel" => Some(Mode::Multilevel),
             _ => None,
         }
     }
@@ -118,6 +137,10 @@ pub struct RequestOptions {
     pub mode: Mode,
     /// Whether the schedule cache may be consulted and populated.
     pub use_cache: bool,
+    /// Trace id this request runs under (`None` = untraced).  Assigned by
+    /// the router (or the server when unsharded) and echoed in the `OK`
+    /// header so clients can fetch the span tree with `TRACE <hex>`.
+    pub trace: Option<u64>,
 }
 
 impl RequestOptions {
@@ -127,6 +150,7 @@ impl RequestOptions {
             deadline: None,
             mode: Mode::default(),
             use_cache: true,
+            trace: None,
         }
     }
 
@@ -145,6 +169,12 @@ impl RequestOptions {
     /// Enables or disables cache use and returns the options.
     pub fn with_cache(mut self, use_cache: bool) -> Self {
         self.use_cache = use_cache;
+        self
+    }
+
+    /// Sets the trace id and returns the options.
+    pub fn with_trace(mut self, trace_id: u64) -> Self {
+        self.trace = Some(trace_id);
         self
     }
 }
@@ -175,6 +205,9 @@ pub struct ScheduleResponse {
     pub source: ScheduleSource,
     /// Server-side handling time in microseconds (queueing excluded).
     pub micros: u64,
+    /// Trace id the request ran under (0 = untraced); fetch the span tree
+    /// with the `TRACE` verb.
+    pub trace_id: u64,
     /// The schedule itself.
     pub schedule: BspSchedule,
 }
@@ -192,6 +225,9 @@ pub enum ServeError {
     /// A fingerprint-only request named a fingerprint the server does not
     /// (or no longer does) hold; the client must resend the full payload.
     UnknownFingerprint,
+    /// A `TRACE <id>` query named a trace that has fallen out of (or never
+    /// entered) the bounded trace journal.
+    UnknownTrace,
     /// The request was rejected because the server's admission queue is full.
     Busy,
     /// The server is shutting down.
@@ -217,6 +253,9 @@ impl fmt::Display for ServeError {
                     f,
                     "fingerprint not in the schedule cache; resend the full payload"
                 )
+            }
+            ServeError::UnknownTrace => {
+                write!(f, "trace id not in the bounded trace journal")
             }
             ServeError::Busy => write!(f, "server admission queue is full"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
@@ -249,6 +288,7 @@ impl ServeError {
             ServeError::Dag(_) => "dag",
             ServeError::Machine(_) => "machine",
             ServeError::UnknownFingerprint => "unknown-fp",
+            ServeError::UnknownTrace => "unknown-trace",
             ServeError::Busy => "busy",
             ServeError::ShuttingDown => "shutting-down",
             ServeError::UnexpectedEof => "eof",
@@ -271,9 +311,17 @@ pub enum Incoming {
         id: u64,
         /// The full request key ([`bsp_model::RequestKey::full`]).
         fingerprint: u128,
+        /// Trace id the replay runs under (`None` = untraced).
+        trace: Option<u64>,
     },
     /// A statistics query.
     Stats,
+    /// The slow-request journal (`STATS SLOW`).
+    SlowStats,
+    /// A Prometheus-style metrics scrape (`METRICS`).
+    Metrics,
+    /// A span-tree query for one finished request (`TRACE <hex>`).
+    Trace(u64),
     /// A liveness probe.
     Ping,
 }
@@ -424,6 +472,9 @@ pub fn encode_request(
         "OPTION cache {}",
         if options.use_cache { "on" } else { "off" }
     );
+    if let Some(trace_id) = options.trace {
+        let _ = writeln!(out, "OPTION trace {trace_id:x}");
+    }
     let dag_text = write_hyperdag(dag);
     let _ = writeln!(out, "DAG {}", dag_text.lines().count());
     out.push_str(&dag_text);
@@ -449,13 +500,29 @@ pub fn read_incoming<R: BufRead>(reader: &mut R) -> Result<Option<Incoming>, Ser
     };
     let mut it = first.split_whitespace();
     match it.next() {
-        Some("STATS") => Ok(Some(Incoming::Stats)),
+        Some("STATS") => match it.next() {
+            None => Ok(Some(Incoming::Stats)),
+            Some("SLOW") => Ok(Some(Incoming::SlowStats)),
+            Some(_) => Err(malformed(&first, "expected STATS or STATS SLOW")),
+        },
+        Some("METRICS") => Ok(Some(Incoming::Metrics)),
+        Some("TRACE") => {
+            let hex = it
+                .next()
+                .ok_or_else(|| malformed(&first, "missing trace id"))?;
+            let trace_id = u64::from_str_radix(hex, 16)
+                .map_err(|_| malformed(&first, "trace id is not hex"))?;
+            Ok(Some(Incoming::Trace(trace_id)))
+        }
         Some("PING") => Ok(Some(Incoming::Ping)),
         Some("REQ") => {
             let id = parse_u64(&first, it.next(), "request id")?;
             read_request_body(reader, id).map(Some)
         }
-        _ => Err(malformed(&first, "expected REQ, STATS or PING")),
+        _ => Err(malformed(
+            &first,
+            "expected REQ, STATS, METRICS, TRACE or PING",
+        )),
     }
 }
 
@@ -505,6 +572,14 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
                         _ => return Err(malformed(&line, "cache must be on|off")),
                     };
                 }
+                Some("trace") => {
+                    let hex = it
+                        .next()
+                        .ok_or_else(|| malformed(&line, "missing trace id"))?;
+                    let trace_id = u64::from_str_radix(hex, 16)
+                        .map_err(|_| malformed(&line, "trace id is not hex"))?;
+                    options.trace = (trace_id != 0).then_some(trace_id);
+                }
                 _ => return Err(malformed(&line, "unknown option")),
             },
             Some("DAG") => {
@@ -537,7 +612,11 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
                 "a fingerprint request must not also carry MACHINE/DAG",
             ));
         }
-        return Ok(Incoming::FingerprintRequest { id, fingerprint });
+        return Ok(Incoming::FingerprintRequest {
+            id,
+            fingerprint,
+            trace: options.trace,
+        });
     }
     let machine = machine.ok_or_else(|| malformed("END", "request is missing MACHINE"))?;
     let dag = dag.ok_or_else(|| malformed("END", "request is missing DAG"))?;
@@ -550,10 +629,18 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
 }
 
 /// Writes a fingerprint-only replay request in wire form into `out`.
-pub fn encode_fingerprint_request(out: &mut String, id: u64, fingerprint: u128) {
+pub fn encode_fingerprint_request(
+    out: &mut String,
+    id: u64,
+    fingerprint: u128,
+    trace: Option<u64>,
+) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "REQ {id}");
     let _ = writeln!(out, "FP {fingerprint:032x}");
+    if let Some(trace_id) = trace {
+        let _ = writeln!(out, "OPTION trace {trace_id:x}");
+    }
     out.push_str("END\n");
 }
 
@@ -565,15 +652,20 @@ pub fn encode_response_parts(
     cost: u64,
     source: ScheduleSource,
     micros: u64,
+    trace_id: u64,
     schedule: &BspSchedule,
 ) {
     use std::fmt::Write as _;
-    let _ = writeln!(
+    let _ = write!(
         out,
         "OK {id} cost {cost} supersteps {} source {} micros {micros}",
         schedule.num_supersteps(),
         source.as_str(),
     );
+    if trace_id != 0 {
+        let _ = write!(out, " trace {trace_id:x}");
+    }
+    out.push('\n');
     out.push_str("PROC");
     for &p in &schedule.assignment.proc {
         let _ = write!(out, " {p}");
@@ -600,6 +692,7 @@ pub fn encode_response(out: &mut String, response: &ScheduleResponse) {
         response.cost,
         response.source,
         response.micros,
+        response.trace_id,
         &response.schedule,
     );
 }
@@ -614,6 +707,322 @@ pub fn encode_error(out: &mut String, id: u64, error: &ServeError) {
         .map(|c| if c == '\n' { ' ' } else { c })
         .collect();
     let _ = writeln!(out, "ERR {id} {} {msg}", error.kind());
+}
+
+/// One span of a trace as read back off the wire (names are owned — the
+/// receiving side has no `&'static` table for the sending side's names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth.
+    pub depth: u8,
+    /// Microseconds from request acceptance to span start.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A full trace reply (`TRACE <hex>`): identity, outcome, and span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTrace {
+    /// The trace id.
+    pub trace_id: u64,
+    /// Outcome source token (`cold` / `exact` / `warm` / `error`).
+    pub source: String,
+    /// Shard index the request ran on (-1 = unsharded / local).
+    pub shard: i32,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// `true` if spans were dropped for capacity.
+    pub truncated: bool,
+    /// The span tree, in recording order.
+    pub spans: Vec<WireSpan>,
+}
+
+impl WireTrace {
+    /// Converts a journal record into its wire form.
+    pub fn from_record(rec: &crate::obs::TraceRecord) -> Self {
+        WireTrace {
+            trace_id: rec.trace_id,
+            source: rec.source.to_string(),
+            shard: rec.shard,
+            total_us: rec.total_us,
+            truncated: rec.spans.truncated(),
+            spans: rec
+                .spans
+                .spans()
+                .iter()
+                .map(|s| WireSpan {
+                    name: s.name.to_string(),
+                    depth: s.depth,
+                    start_us: s.start_us,
+                    dur_us: s.dur_us,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Writes a `TRACE` reply in wire form into `out`.
+pub fn encode_trace_reply(out: &mut String, trace: &WireTrace) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "TRACE {:x} source {} shard {} total_us {} spans {}",
+        trace.trace_id,
+        trace.source,
+        trace.shard,
+        trace.total_us,
+        trace.spans.len()
+    );
+    if trace.truncated {
+        out.push_str(" truncated 1");
+    }
+    out.push('\n');
+    for span in &trace.spans {
+        let _ = writeln!(
+            out,
+            "SPAN {} {} {} {}",
+            span.depth, span.start_us, span.dur_us, span.name
+        );
+    }
+    out.push_str("END\n");
+}
+
+/// Reads a `TRACE` reply (or the `ERR` line answering an unknown id).
+pub fn read_trace_reply<R: BufRead>(reader: &mut R) -> Result<WireTrace, ServeError> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(ServeError::UnexpectedEof);
+    }
+    let header = header.trim().to_string();
+    let mut it = header.split_whitespace();
+    match it.next() {
+        Some("ERR") => {
+            let _id = it.next();
+            let kind = it.next().unwrap_or("unknown").to_string();
+            if kind == "unknown-trace" {
+                return Err(ServeError::UnknownTrace);
+            }
+            let message = it.collect::<Vec<_>>().join(" ");
+            Err(ServeError::Remote { kind, message })
+        }
+        Some("TRACE") => {
+            let hex = it
+                .next()
+                .ok_or_else(|| malformed(&header, "missing trace id"))?;
+            let trace_id = u64::from_str_radix(hex, 16)
+                .map_err(|_| malformed(&header, "trace id is not hex"))?;
+            let mut source = String::new();
+            let mut shard = -1i32;
+            let mut total_us = 0u64;
+            let mut n_spans = 0usize;
+            let mut truncated = false;
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| malformed(&header, format!("missing value for {key}")))?;
+                match key {
+                    "source" => source = value.to_string(),
+                    "shard" => {
+                        shard = value
+                            .parse()
+                            .map_err(|_| malformed(&header, "shard is not a number"))?
+                    }
+                    "total_us" => total_us = parse_u64(&header, Some(value), "total_us")?,
+                    "spans" => n_spans = parse_u64(&header, Some(value), "spans")? as usize,
+                    "truncated" => truncated = value != "0",
+                    _ => {} // forward-compatible: ignore unknown keys
+                }
+            }
+            if n_spans > 100_000 {
+                return Err(malformed(&header, "span count exceeds sanity limit"));
+            }
+            let mut spans = Vec::with_capacity(n_spans);
+            let mut line = String::new();
+            for _ in 0..n_spans {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    return Err(ServeError::UnexpectedEof);
+                }
+                let t = line.trim();
+                let mut sit = t.split_whitespace();
+                if sit.next() != Some("SPAN") {
+                    return Err(malformed(t, "expected SPAN line"));
+                }
+                let depth = parse_u64(t, sit.next(), "span depth")? as u8;
+                let start_us = parse_u64(t, sit.next(), "span start")?;
+                let dur_us = parse_u64(t, sit.next(), "span duration")?;
+                let name = sit
+                    .next()
+                    .ok_or_else(|| malformed(t, "missing span name"))?
+                    .to_string();
+                spans.push(WireSpan {
+                    name,
+                    depth,
+                    start_us,
+                    dur_us,
+                });
+            }
+            line.clear();
+            reader.read_line(&mut line)?;
+            if line.trim() != "END" {
+                return Err(malformed(line.trim(), "expected END after trace reply"));
+            }
+            Ok(WireTrace {
+                trace_id,
+                source,
+                shard,
+                total_us,
+                truncated,
+                spans,
+            })
+        }
+        _ => Err(malformed(&header, "expected TRACE or ERR")),
+    }
+}
+
+/// Writes a `METRICS` reply (the exposition text, framed by a line count) in
+/// wire form into `out`.
+pub fn encode_metrics_reply(out: &mut String, exposition: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "METRICS {}", exposition.lines().count());
+    out.push_str(exposition);
+    if !exposition.is_empty() && !exposition.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str("END\n");
+}
+
+/// Reads a `METRICS` reply, returning the exposition text.
+pub fn read_metrics_reply<R: BufRead>(reader: &mut R) -> Result<String, ServeError> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(ServeError::UnexpectedEof);
+    }
+    let header = header.trim().to_string();
+    let mut it = header.split_whitespace();
+    match it.next() {
+        Some("ERR") => {
+            let _id = it.next();
+            let kind = it.next().unwrap_or("unknown").to_string();
+            let message = it.collect::<Vec<_>>().join(" ");
+            Err(ServeError::Remote { kind, message })
+        }
+        Some("METRICS") => {
+            let n_lines = parse_u64(&header, it.next(), "METRICS line count")? as usize;
+            if n_lines > 1_000_000 {
+                return Err(malformed(
+                    &header,
+                    "METRICS line count exceeds sanity limit",
+                ));
+            }
+            let mut text = String::new();
+            for _ in 0..n_lines {
+                if reader.read_line(&mut text)? == 0 {
+                    return Err(ServeError::UnexpectedEof);
+                }
+            }
+            let mut end = String::new();
+            reader.read_line(&mut end)?;
+            if end.trim() != "END" {
+                return Err(malformed(end.trim(), "expected END after METRICS reply"));
+            }
+            Ok(text)
+        }
+        _ => Err(malformed(&header, "expected METRICS or ERR")),
+    }
+}
+
+/// One entry of the slow-request journal summary (`STATS SLOW`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Trace id (fetch the span tree with `TRACE <hex>`).
+    pub trace_id: u64,
+    /// Outcome source token.
+    pub source: String,
+    /// Shard index (-1 = unsharded / local).
+    pub shard: i32,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+}
+
+/// Writes a `STATS SLOW` reply in wire form into `out`.
+pub fn encode_slow_reply(out: &mut String, entries: &[crate::obs::TraceRecord]) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "SLOW {}", entries.len());
+    for rec in entries {
+        let _ = writeln!(
+            out,
+            "TRACESUM {:x} {} {} {}",
+            rec.trace_id, rec.source, rec.shard, rec.total_us
+        );
+    }
+    out.push_str("END\n");
+}
+
+/// Reads a `STATS SLOW` reply.
+pub fn read_slow_reply<R: BufRead>(reader: &mut R) -> Result<Vec<SlowEntry>, ServeError> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(ServeError::UnexpectedEof);
+    }
+    let header = header.trim().to_string();
+    let mut it = header.split_whitespace();
+    match it.next() {
+        Some("ERR") => {
+            let _id = it.next();
+            let kind = it.next().unwrap_or("unknown").to_string();
+            let message = it.collect::<Vec<_>>().join(" ");
+            Err(ServeError::Remote { kind, message })
+        }
+        Some("SLOW") => {
+            let n = parse_u64(&header, it.next(), "SLOW count")? as usize;
+            if n > 100_000 {
+                return Err(malformed(&header, "SLOW count exceeds sanity limit"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            let mut line = String::new();
+            for _ in 0..n {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    return Err(ServeError::UnexpectedEof);
+                }
+                let t = line.trim();
+                let mut sit = t.split_whitespace();
+                if sit.next() != Some("TRACESUM") {
+                    return Err(malformed(t, "expected TRACESUM line"));
+                }
+                let hex = sit.next().ok_or_else(|| malformed(t, "missing trace id"))?;
+                let trace_id = u64::from_str_radix(hex, 16)
+                    .map_err(|_| malformed(t, "trace id is not hex"))?;
+                let source = sit
+                    .next()
+                    .ok_or_else(|| malformed(t, "missing source"))?
+                    .to_string();
+                let shard: i32 = sit
+                    .next()
+                    .ok_or_else(|| malformed(t, "missing shard"))?
+                    .parse()
+                    .map_err(|_| malformed(t, "shard is not a number"))?;
+                let total_us = parse_u64(t, sit.next(), "total_us")?;
+                entries.push(SlowEntry {
+                    trace_id,
+                    source,
+                    shard,
+                    total_us,
+                });
+            }
+            line.clear();
+            reader.read_line(&mut line)?;
+            if line.trim() != "END" {
+                return Err(malformed(line.trim(), "expected END after SLOW reply"));
+            }
+            Ok(entries)
+        }
+        _ => Err(malformed(&header, "expected SLOW or ERR")),
+    }
 }
 
 fn parse_usize_list(line: &str, expect: &str) -> Result<Vec<usize>, ServeError> {
@@ -776,6 +1185,7 @@ pub fn read_reply<R: BufRead>(reader: &mut R) -> Result<Reply, ServeError> {
             let mut supersteps = 0usize;
             let mut source = ScheduleSource::Cold;
             let mut micros = 0u64;
+            let mut trace_id = 0u64;
             while let Some(key) = it.next() {
                 let value = it
                     .next()
@@ -790,6 +1200,10 @@ pub fn read_reply<R: BufRead>(reader: &mut R) -> Result<Reply, ServeError> {
                             .ok_or_else(|| malformed(&header, "unknown source"))?
                     }
                     "micros" => micros = parse_u64(&header, Some(value), "micros")?,
+                    "trace" => {
+                        trace_id = u64::from_str_radix(value, 16)
+                            .map_err(|_| malformed(&header, "trace id is not hex"))?
+                    }
                     _ => {} // forward-compatible: ignore unknown keys
                 }
             }
@@ -843,6 +1257,7 @@ pub fn read_reply<R: BufRead>(reader: &mut R) -> Result<Reply, ServeError> {
                 supersteps,
                 source,
                 micros,
+                trace_id,
                 schedule: BspSchedule {
                     assignment: bsp_model::Assignment { proc, superstep },
                     comm: bsp_model::CommSchedule::from_steps(steps),
@@ -926,6 +1341,7 @@ mod tests {
             supersteps: 3,
             source: ScheduleSource::CacheWarm,
             micros: 987,
+            trace_id: 0xabc123,
             schedule,
         };
         let mut wire = String::new();
@@ -937,20 +1353,163 @@ mod tests {
     #[test]
     fn fingerprint_requests_roundtrip() {
         let mut wire = String::new();
-        encode_fingerprint_request(&mut wire, 9, 0xdead_beef_0123_4567);
+        encode_fingerprint_request(&mut wire, 9, 0xdead_beef_0123_4567, Some(0x77));
         let parsed = read_incoming(&mut BufReader::new(wire.as_bytes()))
             .unwrap()
             .unwrap();
         match parsed {
-            Incoming::FingerprintRequest { id, fingerprint } => {
+            Incoming::FingerprintRequest {
+                id,
+                fingerprint,
+                trace,
+            } => {
                 assert_eq!(id, 9);
                 assert_eq!(fingerprint, 0xdead_beef_0123_4567);
+                assert_eq!(trace, Some(0x77));
             }
             other => panic!("expected a fingerprint request, got {other:?}"),
         }
         // Mixing FP with a payload is malformed.
         let mixed = "REQ 1\nFP 00ff\nMACHINE uniform 2 1 1\nEND\n";
         assert!(read_incoming(&mut BufReader::new(mixed.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn observability_verbs_parse() {
+        let parse_one = |wire: &str| {
+            read_incoming(&mut BufReader::new(wire.as_bytes()))
+                .unwrap()
+                .unwrap()
+        };
+        assert!(matches!(parse_one("METRICS\n"), Incoming::Metrics));
+        assert!(matches!(parse_one("STATS\n"), Incoming::Stats));
+        assert!(matches!(parse_one("STATS SLOW\n"), Incoming::SlowStats));
+        match parse_one("TRACE ff0a\n") {
+            Incoming::Trace(id) => assert_eq!(id, 0xff0a),
+            other => panic!("expected a trace query, got {other:?}"),
+        }
+        assert!(read_incoming(&mut BufReader::new("TRACE zz\n".as_bytes())).is_err());
+        assert!(read_incoming(&mut BufReader::new("STATS FAST\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn trace_replies_roundtrip() {
+        let trace = WireTrace {
+            trace_id: 0xbeef,
+            source: "cold".to_string(),
+            shard: 2,
+            total_us: 1500,
+            truncated: false,
+            spans: vec![
+                WireSpan {
+                    name: "queue_wait".to_string(),
+                    depth: 0,
+                    start_us: 0,
+                    dur_us: 12,
+                },
+                WireSpan {
+                    name: "ml_coarsen".to_string(),
+                    depth: 1,
+                    start_us: 12,
+                    dur_us: 900,
+                },
+            ],
+        };
+        let mut wire = String::new();
+        encode_trace_reply(&mut wire, &trace);
+        let parsed = read_trace_reply(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(parsed, trace);
+        // Unknown traces surface as the typed error.
+        let mut err_wire = String::new();
+        encode_error(&mut err_wire, 0, &ServeError::UnknownTrace);
+        assert!(matches!(
+            read_trace_reply(&mut BufReader::new(err_wire.as_bytes())),
+            Err(ServeError::UnknownTrace)
+        ));
+    }
+
+    #[test]
+    fn metrics_replies_roundtrip() {
+        let exposition = "# TYPE x counter\nx 7\n# TYPE lat histogram\nlat_bucket{le=\"40\"} 2\n";
+        let mut wire = String::new();
+        encode_metrics_reply(&mut wire, exposition);
+        let text = read_metrics_reply(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(text, exposition);
+    }
+
+    #[test]
+    fn slow_replies_roundtrip() {
+        use crate::obs::{SpanSet, TraceRecord};
+        let mut spans = SpanSet::new();
+        spans.push("solve", 0, 0, 800);
+        let recs = vec![
+            TraceRecord {
+                trace_id: 0x10,
+                source: "cold",
+                shard: 1,
+                total_us: 900,
+                spans,
+            },
+            TraceRecord {
+                trace_id: 0x11,
+                source: "warm",
+                shard: -1,
+                total_us: 300,
+                spans,
+            },
+        ];
+        let mut wire = String::new();
+        encode_slow_reply(&mut wire, &recs);
+        let parsed = read_slow_reply(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].trace_id, 0x10);
+        assert_eq!(parsed[0].source, "cold");
+        assert_eq!(parsed[1].shard, -1);
+        assert_eq!(parsed[1].total_us, 300);
+    }
+
+    #[test]
+    fn trace_option_roundtrips_and_zero_means_untraced() {
+        let request = ScheduleRequest {
+            id: 5,
+            dag: diamond(),
+            machine: Machine::uniform(2, 1, 1),
+            options: RequestOptions::new().with_trace(0xf00d),
+        };
+        let mut wire = String::new();
+        encode_request(
+            &mut wire,
+            request.id,
+            &request.dag,
+            &request.machine,
+            &request.options,
+        )
+        .unwrap();
+        let parsed = match read_incoming(&mut BufReader::new(wire.as_bytes()))
+            .unwrap()
+            .unwrap()
+        {
+            Incoming::Request(r) => *r,
+            other => panic!("expected a request, got {other:?}"),
+        };
+        assert_eq!(parsed.options.trace, Some(0xf00d));
+        // `OPTION trace 0` is accepted but means untraced.
+        let mut zero_wire = String::new();
+        encode_request(
+            &mut zero_wire,
+            6,
+            &request.dag,
+            &request.machine,
+            &RequestOptions::new().with_trace(0),
+        )
+        .unwrap();
+        match read_incoming(&mut BufReader::new(zero_wire.as_bytes()))
+            .unwrap()
+            .unwrap()
+        {
+            Incoming::Request(r) => assert_eq!(r.options.trace, None),
+            other => panic!("expected a request, got {other:?}"),
+        }
     }
 
     #[test]

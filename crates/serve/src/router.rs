@@ -38,17 +38,38 @@
 //! idle timeout (or a restarted shard process) rejoins on first use instead
 //! of staying dead until the router is rebuilt.
 //!
-//! `STATS` fans out to every live shard over a short-lived control
-//! connection and aggregates: counters are summed, latency quantiles are
-//! reported as the worst (maximum) across shards — conservative, and enough
-//! for the dashboards the wire line feeds.  A *live* shard that fails to
-//! answer turns the whole aggregate into an error rather than a silently
-//! partial sum.  `PING` is answered locally.
+//! ## Observability
+//!
+//! `STATS` and `METRICS` fan out to every live shard over short-lived
+//! control connections and aggregate by **merging histogram buckets**
+//! ([`crate::obs::MetricsSnapshot`]): counters and gauges sum, and an
+//! aggregated quantile is computed over the pooled observations — not
+//! approximated from per-shard quantiles.  The `STATS` line additionally
+//! carries per-shard store counters (`s<i>_store_*`) and the health probe's
+//! current view of every backend (`s<i>_up`, `s<i>_probe_failures`,
+//! `s<i>_backoff_ms`), so one line shows both the aggregate and which shard
+//! is misbehaving.  A *live* shard that fails to answer turns the whole
+//! aggregate into an error rather than a silently partial sum.  `PING` is
+//! answered locally.
+//!
+//! Every routed request gets a **trace id** (minted here unless the client
+//! supplied one via `OPTION trace`), injected into the forwarded payload so
+//! the shard's journal and the router's journal share the id.  `TRACE <id>`
+//! answers from the router's journal and grafts the owning shard's span
+//! tree (fetched over a control connection) under the router's dispatch
+//! span; `STATS SLOW` reports the router-side slow log.
 
+use crate::cache::CacheStats;
 use crate::client::Client;
+use crate::metrics::StoreStats;
+use crate::obs::{
+    write_sample, write_type, MetricsRegistry, MetricsSnapshot, SpanSet, TraceIdGen, TraceJournal,
+    TraceRecord,
+};
 use crate::protocol::{
-    encode_error, encode_fingerprint_request, encode_request, read_incoming, read_raw_reply,
-    Incoming, ServeError,
+    encode_error, encode_fingerprint_request, encode_metrics_reply, encode_request,
+    encode_slow_reply, encode_trace_reply, read_incoming, read_raw_reply, Incoming, RawReply,
+    ServeError, WireSpan, WireTrace,
 };
 use crate::server::{register_conn_thread, writer_loop};
 use crate::service::ServiceStats;
@@ -60,7 +81,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Capacity of the router's recent-trace ring (`TRACE <id>`).
+const TRACE_RING_CAP: usize = 256;
+
+/// Worst-N slow-log capacity (`STATS SLOW`).
+const SLOW_LOG_CAP: usize = 16;
 
 /// Configuration of the router's client-facing side.
 #[derive(Debug, Clone)]
@@ -120,6 +147,12 @@ struct PendingRoute {
     payload: Payload,
     /// The shard currently expected to answer.
     shard: usize,
+    /// The request's trace id (never 0): minted here unless the client
+    /// supplied one, and injected into the forwarded payload so the shard's
+    /// journal shares it.
+    trace: u64,
+    /// When the router admitted the request; the journal's total latency.
+    accepted: Instant,
     /// The owning connection's in-flight counter (see the reader's idle
     /// gating); decremented exactly once, when the entry leaves the table
     /// with an answer.
@@ -144,12 +177,12 @@ enum Payload {
 }
 
 impl Payload {
-    fn encode(&self, backend_id: u64) -> Arc<String> {
+    fn encode(&self, backend_id: u64, trace: u64) -> Arc<String> {
         match self {
             Payload::Full(bytes) => Arc::clone(bytes),
             Payload::Fp(fp) => {
                 let mut out = String::new();
-                encode_fingerprint_request(&mut out, backend_id, *fp);
+                encode_fingerprint_request(&mut out, backend_id, *fp, Some(trace));
                 Arc::new(out)
             }
         }
@@ -191,6 +224,24 @@ impl Backend {
     }
 }
 
+/// The health probe's current view of one backend, kept shared (not probe-
+/// thread-local) so `STATS` can report how hard each backend is backing off.
+#[derive(Clone, Copy)]
+struct ProbeStatus {
+    /// Consecutive failed probes since the backend was last seen live.
+    failures: u32,
+    /// Earliest moment the next probe attempt is due.
+    next_attempt: Instant,
+}
+
+/// The router's own registry series (shard registries are scraped, these are
+/// router-side): routed-request counters by kind, and failover re-runs.
+struct RouterSeries {
+    full: Arc<AtomicU64>,
+    fp: Arc<AtomicU64>,
+    failovers: Arc<AtomicU64>,
+}
+
 struct RouterShared {
     config: RouterConfig,
     backends: Vec<Backend>,
@@ -204,6 +255,14 @@ struct RouterShared {
     /// probe exits without waiting out its interval.
     probe_lock: Mutex<()>,
     probe_wakeup: Condvar,
+    /// Per-backend probe state, written by the probe thread, read by `STATS`.
+    probe_state: Mutex<Vec<ProbeStatus>>,
+    /// Router-side trace journal: one record per routed request, with the
+    /// owning shard recorded so `TRACE` can graft the shard's span tree.
+    journal: TraceJournal,
+    trace_ids: TraceIdGen,
+    registry: Arc<MetricsRegistry>,
+    series: RouterSeries,
 }
 
 /// A bound-but-not-yet-running router.
@@ -257,6 +316,30 @@ impl Router {
                 "no shard is reachable",
             ));
         }
+        let registry = Arc::new(MetricsRegistry::new());
+        let series = RouterSeries {
+            full: registry.counter(
+                "bsp_router_requests_total",
+                "requests admitted by the router, by payload kind",
+                &[("kind", "full")],
+            ),
+            fp: registry.counter(
+                "bsp_router_requests_total",
+                "requests admitted by the router, by payload kind",
+                &[("kind", "fp")],
+            ),
+            failovers: registry.counter(
+                "bsp_router_failovers_total",
+                "pending requests re-dispatched after a shard connection died",
+                &[],
+            ),
+        };
+        let probe_state = (0..backends.len())
+            .map(|_| ProbeStatus {
+                failures: 0,
+                next_attempt: Instant::now(),
+            })
+            .collect();
         Ok(Router {
             listener,
             shared: Arc::new(RouterShared {
@@ -270,6 +353,11 @@ impl Router {
                 conn_threads: Mutex::new(Vec::new()),
                 probe_lock: Mutex::new(()),
                 probe_wakeup: Condvar::new(),
+                probe_state: Mutex::new(probe_state),
+                journal: TraceJournal::new(TRACE_RING_CAP, SLOW_LOG_CAP),
+                trace_ids: TraceIdGen::new(),
+                registry,
+                series,
             }),
         })
     }
@@ -559,8 +647,6 @@ pub fn probe_backoff(base: Duration, cap: Duration, failures: u32, seed: u64) ->
 fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
     let cap = shared.config.health_probe_backoff_cap.max(interval);
     let n = shared.backends.len();
-    let mut failures = vec![0u32; n];
-    let mut next_attempt = vec![std::time::Instant::now(); n];
     let mut guard = shared.probe_lock.lock().unwrap_or_else(|e| e.into_inner());
     loop {
         let (g, _) = shared
@@ -571,26 +657,41 @@ fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let now = std::time::Instant::now();
+        let now = Instant::now();
         for shard in 0..n {
             if shared.backends[shard].is_live() {
-                failures[shard] = 0;
-                next_attempt[shard] = now;
+                set_probe_status(shared, shard, 0, now);
                 continue;
             }
-            if now < next_attempt[shard] {
+            let due = {
+                let state = shared.probe_state.lock().unwrap_or_else(|e| e.into_inner());
+                state.get(shard).is_none_or(|s| now >= s.next_attempt)
+            };
+            if !due {
                 continue;
             }
             ensure_live(shared, shard);
             if shared.backends[shard].is_live() {
-                failures[shard] = 0;
-                next_attempt[shard] = now;
+                set_probe_status(shared, shard, 0, now);
             } else {
-                failures[shard] = failures[shard].saturating_add(1);
-                let seed = (shard as u64) << 32 | u64::from(failures[shard]);
-                next_attempt[shard] = now + probe_backoff(interval, cap, failures[shard], seed);
+                let failures = {
+                    let state = shared.probe_state.lock().unwrap_or_else(|e| e.into_inner());
+                    state.get(shard).map_or(1, |s| s.failures.saturating_add(1))
+                };
+                let seed = (shard as u64) << 32 | u64::from(failures);
+                let next = now + probe_backoff(interval, cap, failures, seed);
+                set_probe_status(shared, shard, failures, next);
             }
         }
+    }
+}
+
+/// Writes one backend's probe view; `STATS` reads it via `router_stats_line`.
+fn set_probe_status(shared: &RouterShared, shard: usize, failures: u32, next_attempt: Instant) {
+    let mut state = shared.probe_state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(slot) = state.get_mut(shard) {
+        slot.failures = failures;
+        slot.next_attempt = next_attempt;
     }
 }
 
@@ -602,7 +703,7 @@ fn dispatch(shared: &Arc<RouterShared>, backend_id: u64, preferred: usize) {
     let bytes = {
         let pending = shared.pending.lock().unwrap_or_else(|e| e.into_inner());
         match pending.get(&backend_id) {
-            Some(entry) => entry.payload.encode(backend_id),
+            Some(entry) => entry.payload.encode(backend_id, entry.trace),
             None => return, // already answered (or cancelled)
         }
     };
@@ -632,6 +733,7 @@ fn dispatch(shared: &Arc<RouterShared>, backend_id: u64, preferred: usize) {
         .unwrap_or_else(|e| e.into_inner())
         .remove(&backend_id);
     if let Some(entry) = entry {
+        journal_route(shared, &entry, "error", -1);
         let mut out = String::new();
         encode_error(
             &mut out,
@@ -640,6 +742,43 @@ fn dispatch(shared: &Arc<RouterShared>, backend_id: u64, preferred: usize) {
         );
         entry.finish(out);
     }
+}
+
+/// Records one finished route in the router's journal: a single
+/// `router_dispatch` span covering admission → reply, tagged with the shard
+/// that answered (`-1` when none did).
+fn journal_route(shared: &RouterShared, entry: &PendingRoute, source: &'static str, shard: i32) {
+    let total_us = u64::try_from(entry.accepted.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let mut spans = SpanSet::new();
+    spans.push("router_dispatch", 0, 0, total_us);
+    shared.journal.record(TraceRecord {
+        trace_id: entry.trace,
+        source,
+        shard,
+        total_us,
+        spans,
+    });
+}
+
+/// Maps a raw reply's OK-header `source` token to the journal's static
+/// label; errors and unrecognized tokens both read as `"error"`.
+fn reply_source_token(raw: &RawReply) -> &'static str {
+    if raw.is_err {
+        return "error";
+    }
+    let mut it = raw.header_rest.split_whitespace();
+    while let Some(key) = it.next() {
+        let value = it.next();
+        if key == "source" {
+            return match value {
+                Some("cold") => "cold",
+                Some("exact") => "exact",
+                Some("warm") => "warm",
+                _ => "error",
+            };
+        }
+    }
+    "error"
 }
 
 /// Re-runs everything pending on a dead shard on the remaining live ones.
@@ -665,6 +804,10 @@ fn fail_over(shared: &Arc<RouterShared>, dead_shard: usize, generation: u64) {
             .collect()
     };
     let n = shared.backends.len();
+    shared
+        .series
+        .failovers
+        .fetch_add(stranded.len() as u64, Ordering::Relaxed);
     for backend_id in stranded {
         dispatch(shared, backend_id, (dead_shard + 1) % n);
     }
@@ -684,6 +827,7 @@ fn demux_loop(shared: &Arc<RouterShared>, shard: usize, generation: u64, stream:
         // An unknown id can only be a duplicate from a raced failover
         // re-run; the first answer already won.
         if let Some(entry) = entry {
+            journal_route(shared, &entry, reply_source_token(&raw), shard as i32);
             let text = raw.encode_with_id(entry.client_id);
             entry.finish(text);
         }
@@ -691,62 +835,217 @@ fn demux_loop(shared: &Arc<RouterShared>, shard: usize, generation: u64, stream:
     fail_over(shared, shard, generation);
 }
 
-/// Aggregates `STATS` across every live shard (fresh control connections;
-/// the multiplexed backend connections carry only id-tagged frames).
-/// Counters are summed; latency quantiles report the per-shard maximum.
-fn aggregate_stats(shared: &RouterShared) -> Result<ServiceStats, ServeError> {
-    let mut agg = ServiceStats::default();
-    let mut any = false;
+/// Scrapes the `METRICS` exposition of every live shard over fresh control
+/// connections (the multiplexed backend connections carry only id-tagged
+/// frames).  A live shard that fails to answer makes the scrape an error,
+/// never a silently partial aggregate a dashboard would misread as a
+/// traffic drop.  Connects and reads are bounded so a wedged shard cannot
+/// hang the client connection's reader inside this fan-out.
+fn scrape_shards(shared: &RouterShared) -> Result<Vec<(usize, MetricsSnapshot)>, ServeError> {
+    let mut snaps = Vec::new();
     for (i, backend) in shared.backends.iter().enumerate() {
         if !backend.is_live() {
             continue;
         }
-        // A live shard that fails to answer makes the aggregate an error,
-        // never a silently partial sum a dashboard would misread as a
-        // traffic drop.  Connect and reads are bounded so a wedged shard
-        // cannot hang the client connection's reader inside this fan-out.
-        let stats = Client::connect_with_timeout(backend.addr, shared.config.idle_timeout)
+        let text = Client::connect_with_timeout(backend.addr, shared.config.idle_timeout)
             .ok()
-            .and_then(|mut client| client.stats().ok());
-        let Some(stats) = stats else {
+            .and_then(|mut client| client.metrics().ok());
+        let Some(text) = text else {
             return Err(ServeError::Io(format!(
-                "live shard {i} did not answer STATS; refusing a partial aggregate"
+                "live shard {i} did not answer METRICS; refusing a partial aggregate"
             )));
         };
-        any = true;
-        agg.requests += stats.requests;
-        agg.cache.hits += stats.cache.hits;
-        agg.cache.misses += stats.cache.misses;
-        agg.cache.warm_hits += stats.cache.warm_hits;
-        agg.cache.warm_fallbacks += stats.cache.warm_fallbacks;
-        agg.cache.insertions += stats.cache.insertions;
-        agg.cache.evictions += stats.cache.evictions;
-        agg.cache.bytes_used += stats.cache.bytes_used;
-        agg.cache.entries += stats.cache.entries;
-        agg.store.loaded += stats.store.loaded;
-        agg.store.recovered_bytes += stats.store.recovered_bytes;
-        agg.store.dropped_corrupt += stats.store.dropped_corrupt;
-        agg.store.compactions += stats.store.compactions;
-        agg.store.write_errors += stats.store.write_errors;
-        agg.store.appended += stats.store.appended;
-        agg.cold_us = (
-            agg.cold_us.0.max(stats.cold_us.0),
-            agg.cold_us.1.max(stats.cold_us.1),
-        );
-        agg.exact_us = (
-            agg.exact_us.0.max(stats.exact_us.0),
-            agg.exact_us.1.max(stats.exact_us.1),
-        );
-        agg.warm_us = (
-            agg.warm_us.0.max(stats.warm_us.0),
-            agg.warm_us.1.max(stats.warm_us.1),
+        let snap = MetricsSnapshot::parse(&text)
+            .map_err(|e| ServeError::Io(format!("shard {i} exposition: {e}")))?;
+        snaps.push((i, snap));
+    }
+    if snaps.is_empty() {
+        return Err(ServeError::Io("no live shard answered METRICS".into()));
+    }
+    Ok(snaps)
+}
+
+/// Merges per-shard snapshots into one (counters and gauges sum, histogram
+/// buckets pool).
+fn merge_snapshots(snaps: &[(usize, MetricsSnapshot)]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for (_, snap) in snaps {
+        merged.merge_from(snap);
+    }
+    merged
+}
+
+/// Rebuilds the `STATS` wire view from a merged exposition.  The payoff over
+/// the old scalar aggregation: the quantiles are computed from the *pooled*
+/// histogram buckets of every shard, not the per-shard maximum — a p50 over
+/// the union of observations, exactly what a single unsharded server would
+/// report.
+fn stats_from_snapshot(merged: &MetricsSnapshot) -> ServiceStats {
+    let c = |key: &str| merged.counter(key).unwrap_or(0);
+    let g = |key: &str| merged.gauges.get(key).copied().unwrap_or(0);
+    let q = |source: &str| {
+        merged
+            .histogram(&format!(
+                "bsp_request_latency_micros{{source=\"{source}\"}}"
+            ))
+            .map_or((0, 0), |h| {
+                (h.quantile_micros(0.5), h.quantile_micros(0.99))
+            })
+    };
+    ServiceStats {
+        requests: merged.counter_sum("bsp_requests_total"),
+        cache: CacheStats {
+            hits: c("bsp_cache_ops_total{op=\"hit\"}"),
+            misses: c("bsp_cache_ops_total{op=\"miss\"}"),
+            warm_hits: c("bsp_cache_ops_total{op=\"warm_hit\"}"),
+            warm_fallbacks: c("bsp_cache_ops_total{op=\"warm_fallback\"}"),
+            insertions: c("bsp_cache_ops_total{op=\"insertion\"}"),
+            evictions: c("bsp_cache_ops_total{op=\"eviction\"}"),
+            bytes_used: g("bsp_cache_bytes") as usize,
+            entries: g("bsp_cache_entries") as usize,
+        },
+        cold_us: q("cold"),
+        exact_us: q("exact"),
+        warm_us: q("warm"),
+        store: StoreStats {
+            loaded: c("bsp_store_events_total{event=\"loaded\"}"),
+            recovered_bytes: c("bsp_store_recovered_bytes_total"),
+            dropped_corrupt: c("bsp_store_events_total{event=\"dropped_corrupt\"}"),
+            compactions: c("bsp_store_events_total{event=\"compaction\"}"),
+            write_errors: c("bsp_store_events_total{event=\"write_error\"}"),
+            appended: c("bsp_store_events_total{event=\"appended\"}"),
+        },
+    }
+}
+
+/// Builds the router's `STATS` reply: the aggregate line (pooled-histogram
+/// quantiles), then per-shard store counters (`s<i>_store_*` — a shard-local
+/// write-error burst must not hide inside the fleet sum), then the probe's
+/// view of every backend (`s<i>_up`, `s<i>_probe_failures`,
+/// `s<i>_backoff_ms`).  All additions ride the wire line's
+/// unknown-keys-ignored forward compatibility.
+fn router_stats_line(shared: &RouterShared) -> Result<String, ServeError> {
+    use std::fmt::Write as _;
+    let snaps = scrape_shards(shared)?;
+    let merged = merge_snapshots(&snaps);
+    let mut line = stats_from_snapshot(&merged).to_wire();
+    for (i, snap) in &snaps {
+        let c = |key: &str| snap.counter(key).unwrap_or(0);
+        for (suffix, value) in [
+            (
+                "store_loaded",
+                c("bsp_store_events_total{event=\"loaded\"}"),
+            ),
+            (
+                "store_recovered_bytes",
+                c("bsp_store_recovered_bytes_total"),
+            ),
+            (
+                "store_dropped_corrupt",
+                c("bsp_store_events_total{event=\"dropped_corrupt\"}"),
+            ),
+            (
+                "store_compactions",
+                c("bsp_store_events_total{event=\"compaction\"}"),
+            ),
+            (
+                "store_write_errors",
+                c("bsp_store_events_total{event=\"write_error\"}"),
+            ),
+            (
+                "store_appended",
+                c("bsp_store_events_total{event=\"appended\"}"),
+            ),
+        ] {
+            let _ = write!(line, " s{i}_{suffix} {value}");
+        }
+    }
+    let now = Instant::now();
+    let probe = shared.probe_state.lock().unwrap_or_else(|e| e.into_inner());
+    for (i, backend) in shared.backends.iter().enumerate() {
+        let up = u64::from(backend.is_live());
+        let (failures, backoff_ms) = probe.get(i).map_or((0, 0), |p| {
+            (
+                u64::from(p.failures),
+                u64::try_from(p.next_attempt.saturating_duration_since(now).as_millis())
+                    .unwrap_or(u64::MAX),
+            )
+        });
+        let _ = write!(
+            line,
+            " s{i}_up {up} s{i}_probe_failures {failures} s{i}_backoff_ms {backoff_ms}"
         );
     }
-    if any {
-        Ok(agg)
-    } else {
-        Err(ServeError::Io("no live shard answered STATS".into()))
+    line.push('\n');
+    Ok(line)
+}
+
+/// Builds the router's `METRICS` exposition: the pooled shard series, the
+/// router's own registry, and a `bsp_backend_up` gauge per backend.
+fn router_metrics(shared: &RouterShared) -> Result<String, ServeError> {
+    let snaps = scrape_shards(shared)?;
+    let merged = merge_snapshots(&snaps);
+    let mut out = String::new();
+    merged.render(&mut out);
+    shared.registry.render(&mut out);
+    write_type(&mut out, "bsp_backend_up", "gauge");
+    for (i, backend) in shared.backends.iter().enumerate() {
+        write_sample(
+            &mut out,
+            "bsp_backend_up",
+            &format!("backend=\"{i}\""),
+            u64::from(backend.is_live()),
+        );
     }
+    Ok(out)
+}
+
+/// Fetches `trace_id`'s span tree from one shard over a control connection.
+fn fetch_shard_trace(shared: &RouterShared, shard: usize, trace_id: u64) -> Option<WireTrace> {
+    let backend = shared.backends.get(shard)?;
+    if !backend.is_live() {
+        return None;
+    }
+    let mut client = Client::connect_with_timeout(backend.addr, shared.config.idle_timeout).ok()?;
+    client.trace(trace_id).ok()
+}
+
+/// Answers `TRACE <id>`: the router's own journal record with the owning
+/// shard's span tree grafted one depth level down.  The shard's clock starts
+/// at its own admission, so the residual between the router total and the
+/// shard total — network and demux time — is split evenly before and after
+/// the grafted subtree.  A trace the router has aged out is still looked up
+/// on every live shard before reporting unknown.
+fn router_trace(shared: &RouterShared, trace_id: u64, out: &mut String) {
+    if let Some(rec) = shared.journal.lookup(trace_id) {
+        let mut wire = WireTrace::from_record(&rec);
+        if rec.shard >= 0 {
+            if let Some(shard_trace) = fetch_shard_trace(shared, rec.shard as usize, trace_id) {
+                let offset = rec.total_us.saturating_sub(shard_trace.total_us) / 2;
+                wire.truncated |= shard_trace.truncated;
+                for span in &shard_trace.spans {
+                    wire.spans.push(WireSpan {
+                        name: span.name.clone(),
+                        depth: span.depth.saturating_add(1),
+                        start_us: span.start_us.saturating_add(offset),
+                        dur_us: span.dur_us,
+                    });
+                }
+            }
+        }
+        encode_trace_reply(out, &wire);
+        return;
+    }
+    for (i, backend) in shared.backends.iter().enumerate() {
+        if !backend.is_live() {
+            continue;
+        }
+        if let Some(wire) = fetch_shard_trace(shared, i, trace_id) {
+            encode_trace_reply(out, &wire);
+            return;
+        }
+    }
+    encode_error(out, 0, &ServeError::UnknownTrace);
 }
 
 /// The per-client-connection reader: fingerprints requests, registers them
@@ -800,12 +1099,8 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
                 }
             }
             Ok(Some(Incoming::Stats)) => {
-                let out = match aggregate_stats(shared) {
-                    Ok(stats) => {
-                        let mut line = stats.to_wire();
-                        line.push('\n');
-                        line
-                    }
+                let out = match router_stats_line(shared) {
+                    Ok(line) => line,
                     Err(err) => {
                         let mut line = String::new();
                         encode_error(&mut line, 0, &err);
@@ -816,9 +1111,42 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
                     break;
                 }
             }
-            Ok(Some(Incoming::Request(request))) => {
+            Ok(Some(Incoming::SlowStats)) => {
+                let mut out = String::new();
+                encode_slow_reply(&mut out, &shared.journal.snapshot_slow());
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Metrics)) => {
+                let mut out = String::new();
+                match router_metrics(shared) {
+                    Ok(exposition) => encode_metrics_reply(&mut out, &exposition),
+                    Err(err) => encode_error(&mut out, 0, &err),
+                }
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Trace(trace_id))) => {
+                let mut out = String::new();
+                router_trace(shared, trace_id, &mut out);
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Request(mut request))) => {
                 let key = request_key(&request.dag, &request.machine);
                 let backend_id = shared.next_backend_id.fetch_add(1, Ordering::Relaxed);
+                // Mint (or adopt) the trace id *before* encoding, so the
+                // forwarded payload carries it and the shard journals under
+                // the same id the client is told.
+                let trace = request
+                    .options
+                    .trace
+                    .unwrap_or_else(|| shared.trace_ids.mint());
+                request.options.trace = Some(trace);
+                shared.series.full.fetch_add(1, Ordering::Relaxed);
                 let mut payload = String::new();
                 if let Err(err) = encode_request(
                     &mut payload,
@@ -845,13 +1173,21 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
                             client_id: request.id,
                             payload: Payload::Full(Arc::new(payload)),
                             shard,
+                            trace,
+                            accepted: Instant::now(),
                             in_flight: Arc::clone(&in_flight),
                         },
                     );
                 dispatch(shared, backend_id, shard);
             }
-            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
+            Ok(Some(Incoming::FingerprintRequest {
+                id,
+                fingerprint,
+                trace,
+            })) => {
                 let backend_id = shared.next_backend_id.fetch_add(1, Ordering::Relaxed);
+                let trace = trace.unwrap_or_else(|| shared.trace_ids.mint());
+                shared.series.fp.fetch_add(1, Ordering::Relaxed);
                 let shard = owner_shard(fingerprint, n);
                 in_flight.fetch_add(1, Ordering::SeqCst);
                 shared
@@ -865,6 +1201,8 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
                             client_id: id,
                             payload: Payload::Fp(fingerprint),
                             shard,
+                            trace,
+                            accepted: Instant::now(),
                             in_flight: Arc::clone(&in_flight),
                         },
                     );

@@ -34,8 +34,11 @@
 //! unblock their readers, lets the workers drain the remaining jobs (refused
 //! with `shutting-down`), and joins every thread.
 
+use crate::metrics::LatencyHistogram;
+use crate::obs::{SpanSet, TraceIdGen, TraceJournal, TraceRecord};
 use crate::protocol::{
-    encode_error, encode_response_parts, read_incoming, Incoming, ScheduleRequest, ServeError,
+    encode_error, encode_metrics_reply, encode_response_parts, encode_slow_reply,
+    encode_trace_reply, read_incoming, Incoming, ScheduleRequest, ServeError, WireTrace,
 };
 use crate::service::{ScheduleService, ServiceConfig, ServiceStats};
 use crate::store::StoreConfig;
@@ -47,7 +50,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Capacity of the recent-trace ring ([`TraceJournal`]): every request is
+/// traced, so this bounds how far back `TRACE <id>` can look.
+const TRACE_RING_CAP: usize = 256;
+
+/// Worst-N slow-log capacity (`STATS SLOW`).
+const SLOW_LOG_CAP: usize = 16;
 
 /// Configuration of the TCP serving layer.
 #[derive(Debug, Clone)]
@@ -121,6 +131,12 @@ impl ServerConfig {
 /// that must carry its response.
 struct Job {
     kind: JobKind,
+    /// The request's trace id: carried in on `OPTION trace` (the router
+    /// assigns one when sharded), minted here otherwise.  Never 0.
+    trace: u64,
+    /// When the job entered the queue; the worker derives the queue-wait
+    /// span and the `bsp_queue_wait_micros` histogram sample from it.
+    enqueued: Instant,
     reply: Sender<String>,
     /// The owning connection's in-flight counter; decremented once the
     /// response (or error) has been handed to the writer, so the reader can
@@ -144,6 +160,12 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     next_conn_id: AtomicU64,
+    /// Finished-request traces (`TRACE <id>`, `STATS SLOW`).
+    journal: TraceJournal,
+    /// Ids for requests that arrive without one.
+    trace_ids: TraceIdGen,
+    /// `bsp_queue_wait_micros`, registered in the service's registry.
+    queue_wait: Arc<LatencyHistogram>,
 }
 
 /// A bound-but-not-yet-running server.
@@ -164,6 +186,11 @@ impl Server {
             }
         }
         let service = ScheduleService::try_new(service_config)?;
+        let queue_wait = service.registry().histogram(
+            "bsp_queue_wait_micros",
+            "time from request admission to a worker picking the job up",
+            &[],
+        );
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -175,6 +202,9 @@ impl Server {
                 conns: Mutex::new(HashMap::new()),
                 conn_threads: Mutex::new(Vec::new()),
                 next_conn_id: AtomicU64::new(0),
+                journal: TraceJournal::new(TRACE_RING_CAP, SLOW_LOG_CAP),
+                trace_ids: TraceIdGen::new(),
+                queue_wait,
             }),
         })
     }
@@ -347,12 +377,21 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Enqueues one job for the worker pool, refusing with a per-request `busy`
-/// error when the queue is at capacity.
-fn submit_job(shared: &Shared, kind: JobKind, reply: &Sender<String>, in_flight: &Arc<AtomicU64>) {
+/// error when the queue is at capacity.  `trace` is the caller-supplied
+/// trace id; a fresh one is minted when absent, so every admitted request is
+/// traceable.
+fn submit_job(
+    shared: &Shared,
+    kind: JobKind,
+    trace: Option<u64>,
+    reply: &Sender<String>,
+    in_flight: &Arc<AtomicU64>,
+) {
     let id = match &kind {
         JobKind::Full(request) => request.id,
         JobKind::Fingerprint { id, .. } => *id,
     };
+    let trace = trace.unwrap_or_else(|| shared.trace_ids.mint());
     let mut jobs = shared.jobs.lock().unwrap_or_else(|e| e.into_inner());
     // The shutdown check must happen under the jobs lock: workers only exit
     // after observing the flag with an empty queue (also under the lock), so
@@ -374,6 +413,8 @@ fn submit_job(shared: &Shared, kind: JobKind, reply: &Sender<String>, in_flight:
     in_flight.fetch_add(1, Ordering::SeqCst);
     jobs.push_back(Job {
         kind,
+        trace,
+        enqueued: Instant::now(),
         reply: reply.clone(),
         in_flight: Arc::clone(in_flight),
     });
@@ -437,13 +478,45 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
                     break;
                 }
             }
-            Ok(Some(Incoming::Request(request))) => {
-                submit_job(shared, JobKind::Full(request), &tx, &in_flight);
+            Ok(Some(Incoming::SlowStats)) => {
+                let mut out = String::new();
+                encode_slow_reply(&mut out, &shared.journal.snapshot_slow());
+                if tx.send(out).is_err() {
+                    break;
+                }
             }
-            Ok(Some(Incoming::FingerprintRequest { id, fingerprint })) => {
+            Ok(Some(Incoming::Metrics)) => {
+                let mut exposition = String::new();
+                shared.service.render_metrics(&mut exposition);
+                let mut out = String::new();
+                encode_metrics_reply(&mut out, &exposition);
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Trace(trace_id))) => {
+                let mut out = String::new();
+                match shared.journal.lookup(trace_id) {
+                    Some(rec) => encode_trace_reply(&mut out, &WireTrace::from_record(&rec)),
+                    None => encode_error(&mut out, 0, &ServeError::UnknownTrace),
+                }
+                if tx.send(out).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Incoming::Request(request))) => {
+                let trace = request.options.trace;
+                submit_job(shared, JobKind::Full(request), trace, &tx, &in_flight);
+            }
+            Ok(Some(Incoming::FingerprintRequest {
+                id,
+                fingerprint,
+                trace,
+            })) => {
                 submit_job(
                     shared,
                     JobKind::Fingerprint { id, fingerprint },
+                    trace,
                     &tx,
                     &in_flight,
                 );
@@ -520,32 +593,58 @@ fn worker_loop(shared: &Shared) {
         }
         for job in batch.drain(..) {
             let mut out = String::new();
-            match job.kind {
-                JobKind::Full(request) => match shared.service.handle(&request) {
-                    Ok(reply) => encode_response_parts(
+            let queue_wait = job.enqueued.elapsed();
+            shared.queue_wait.record(queue_wait);
+            let qw_us = queue_wait.as_micros().min(u128::from(u64::MAX)) as u64;
+            // Spans are offsets from admission: queue wait first, then the
+            // service's handling spans shifted past it.  All `Copy`-only —
+            // the exact-hit path stays allocation-free with tracing on.
+            let mut spans = SpanSet::new();
+            spans.push("queue_wait", 0, 0, qw_us);
+            let mut svc_spans = SpanSet::new();
+            let (id, result) = match &job.kind {
+                JobKind::Full(request) => (
+                    request.id,
+                    shared.service.handle_traced(request, Some(&mut svc_spans)),
+                ),
+                JobKind::Fingerprint { id, fingerprint } => (
+                    *id,
+                    shared
+                        .service
+                        .handle_fingerprint_traced(*fingerprint, Some(&mut svc_spans)),
+                ),
+            };
+            spans.extend_offset(&svc_spans, 0, qw_us);
+            let (source, total_us) = match &result {
+                Ok(reply) => {
+                    let handled_us = reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+                    let respond_start = job.enqueued.elapsed().as_micros() as u64;
+                    encode_response_parts(
                         &mut out,
-                        request.id,
+                        id,
                         reply.cost,
                         reply.source,
-                        reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        handled_us,
+                        job.trace,
                         &reply.schedule,
-                    ),
-                    Err(err) => encode_error(&mut out, request.id, &err),
-                },
-                JobKind::Fingerprint { id, fingerprint } => {
-                    match shared.service.handle_fingerprint(fingerprint) {
-                        Ok(reply) => encode_response_parts(
-                            &mut out,
-                            id,
-                            reply.cost,
-                            reply.source,
-                            reply.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-                            &reply.schedule,
-                        ),
-                        Err(err) => encode_error(&mut out, id, &err),
-                    }
+                    );
+                    let respond_dur =
+                        (job.enqueued.elapsed().as_micros() as u64).saturating_sub(respond_start);
+                    spans.push("respond", 0, respond_start, respond_dur);
+                    (reply.source.as_str(), qw_us.saturating_add(handled_us))
                 }
-            }
+                Err(err) => {
+                    encode_error(&mut out, id, err);
+                    ("error", job.enqueued.elapsed().as_micros() as u64)
+                }
+            };
+            shared.journal.record(TraceRecord {
+                trace_id: job.trace,
+                source,
+                shard: -1,
+                total_us,
+                spans,
+            });
             // A send error just means the connection is gone.
             let _ = job.reply.send(out);
             job.in_flight.fetch_sub(1, Ordering::SeqCst);

@@ -23,16 +23,18 @@
 
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::metrics::{LatencyHistogram, StoreStats};
+use crate::obs::{write_sample, write_type, MetricsRegistry, SpanSet};
 use crate::protocol::{Mode, ScheduleRequest, ScheduleSource, ServeError};
 use crate::store::{Store, StoreConfig};
 use bsp_model::record::{encode_record, RecordError, StoreRecord};
 use bsp_model::{request_key, BspSchedule, RequestKey};
 use bsp_sched::cancel::CancelToken;
 use bsp_sched::hill_climb::{hc_improve, hccs_improve, HillClimbConfig};
+use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler, PhaseTimings};
 use bsp_sched::pipeline::{Pipeline, PipelineConfig};
 use dag_gen::hyperdag::{read_hyperdag, write_hyperdag};
 use std::io;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,23 +80,62 @@ impl Default for ServiceConfig {
 }
 
 /// Latency histograms per schedule source, plus the total request count.
-#[derive(Debug, Default)]
+/// The histograms are shared with the service's [`MetricsRegistry`] (series
+/// `bsp_request_latency_micros{source=…}`), so `STATS` quantiles and the
+/// `METRICS` exposition read the same data.
+#[derive(Debug)]
 pub struct ServiceMetrics {
     /// Cold (full pipeline) requests.
-    pub cold: LatencyHistogram,
+    pub cold: Arc<LatencyHistogram>,
     /// Exact cache hits.
-    pub exact: LatencyHistogram,
+    pub exact: Arc<LatencyHistogram>,
     /// Warm-started requests.
-    pub warm: LatencyHistogram,
+    pub warm: Arc<LatencyHistogram>,
+    /// `bsp_requests_total{source=…}` counters, same order of sources.
+    requests: [Arc<AtomicU64>; 3],
 }
 
+const LATENCY_HELP: &str = "request handling latency in microseconds";
+const REQUESTS_HELP: &str = "requests answered";
+
 impl ServiceMetrics {
+    /// Registers the per-source series in `registry` and returns the shared
+    /// handles.  Recording through them is lock- and allocation-free.
+    fn register(registry: &MetricsRegistry) -> Self {
+        let hist = |source| {
+            registry.histogram(
+                "bsp_request_latency_micros",
+                LATENCY_HELP,
+                &[("source", source)],
+            )
+        };
+        let counter =
+            |source| registry.counter("bsp_requests_total", REQUESTS_HELP, &[("source", source)]);
+        ServiceMetrics {
+            cold: hist("cold"),
+            exact: hist("exact"),
+            warm: hist("warm"),
+            requests: [counter("cold"), counter("exact"), counter("warm")],
+        }
+    }
+
     fn histogram(&self, source: ScheduleSource) -> &LatencyHistogram {
         match source {
             ScheduleSource::Cold => &self.cold,
             ScheduleSource::CacheExact => &self.exact,
             ScheduleSource::CacheWarm => &self.warm,
         }
+    }
+
+    /// Records one answered request: latency histogram + request counter.
+    fn observe(&self, source: ScheduleSource, elapsed: Duration) {
+        self.histogram(source).record(elapsed);
+        let idx = match source {
+            ScheduleSource::Cold => 0,
+            ScheduleSource::CacheExact => 1,
+            ScheduleSource::CacheWarm => 2,
+        };
+        self.requests[idx].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -217,6 +258,7 @@ pub struct ScheduleService {
     config: ServiceConfig,
     cache: Mutex<ScheduleCache>,
     shutdown: CancelToken,
+    registry: Arc<MetricsRegistry>,
     metrics: ServiceMetrics,
     store: Option<Store>,
 }
@@ -263,11 +305,14 @@ impl ScheduleService {
             }
             None => None,
         };
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServiceMetrics::register(&registry);
         Ok(ScheduleService {
             config,
             cache: Mutex::new(cache),
             shutdown: CancelToken::new(),
-            metrics: ServiceMetrics::default(),
+            registry,
+            metrics,
             store,
         })
     }
@@ -286,6 +331,64 @@ impl ScheduleService {
     /// The per-outcome latency histograms.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
+    }
+
+    /// The unified metrics registry.  The wire layers register their own
+    /// series (queue wait, connection counters) here so one `METRICS` render
+    /// covers the whole process.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Renders the full Prometheus-style text exposition: every registry
+    /// series plus the cache and store counters sampled at call time.
+    pub fn render_metrics(&self, out: &mut String) {
+        self.registry.render(out);
+        let cache = self.lock_cache().stats();
+        out.push_str("# HELP bsp_cache_ops_total cache operations by kind\n");
+        write_type(out, "bsp_cache_ops_total", "counter");
+        for (op, value) in [
+            ("eviction", cache.evictions),
+            ("hit", cache.hits),
+            ("insertion", cache.insertions),
+            ("miss", cache.misses),
+            ("warm_fallback", cache.warm_fallbacks),
+            ("warm_hit", cache.warm_hits),
+        ] {
+            write_sample(out, "bsp_cache_ops_total", &format!("op=\"{op}\""), value);
+        }
+        write_type(out, "bsp_cache_bytes", "gauge");
+        write_sample(out, "bsp_cache_bytes", "", cache.bytes_used as u64);
+        write_type(out, "bsp_cache_entries", "gauge");
+        write_sample(out, "bsp_cache_entries", "", cache.entries as u64);
+        let store = self
+            .store
+            .as_ref()
+            .map(|s| s.counters().snapshot())
+            .unwrap_or_default();
+        out.push_str("# HELP bsp_store_events_total durable-store events by kind\n");
+        write_type(out, "bsp_store_events_total", "counter");
+        for (event, value) in [
+            ("appended", store.appended),
+            ("compaction", store.compactions),
+            ("dropped_corrupt", store.dropped_corrupt),
+            ("loaded", store.loaded),
+            ("write_error", store.write_errors),
+        ] {
+            write_sample(
+                out,
+                "bsp_store_events_total",
+                &format!("event=\"{event}\""),
+                value,
+            );
+        }
+        write_type(out, "bsp_store_recovered_bytes_total", "counter");
+        write_sample(
+            out,
+            "bsp_store_recovered_bytes_total",
+            "",
+            store.recovered_bytes,
+        );
     }
 
     /// A statistics snapshot (cache counters + latency quantiles).
@@ -330,6 +433,20 @@ impl ScheduleService {
 
     /// Handles one request end to end (see the module docs).
     pub fn handle(&self, request: &ScheduleRequest) -> Result<ServeReply, ServeError> {
+        self.handle_traced(request, None)
+    }
+
+    /// [`ScheduleService::handle`] with request tracing: when `spans` is
+    /// given, the handling phases (cache-lookup outcome, warm start, every
+    /// solver phase) are recorded into it, microsecond offsets relative to
+    /// the start of handling.  Recording is `Copy`-only — the exact-hit path
+    /// stays allocation-free with tracing enabled, certified by the repo's
+    /// counting-allocator test.
+    pub fn handle_traced(
+        &self,
+        request: &ScheduleRequest,
+        mut spans: Option<&mut SpanSet>,
+    ) -> Result<ServeReply, ServeError> {
         let start = Instant::now();
         if self.shutdown.is_cancelled() {
             return Err(ServeError::ShuttingDown);
@@ -342,7 +459,11 @@ impl ScheduleService {
             if let Some((schedule, cost)) = cache.lookup_exact(key.full) {
                 drop(cache);
                 let elapsed = start.elapsed();
-                self.metrics.exact.record(elapsed);
+                if let Some(spans) = spans.as_deref_mut() {
+                    // No extra clock read: the exact hit *is* the lookup.
+                    spans.push("cache_exact_hit", 0, 0, elapsed.as_micros() as u64);
+                }
+                self.metrics.observe(ScheduleSource::CacheExact, elapsed);
                 return Ok(ServeReply {
                     schedule,
                     cost,
@@ -351,6 +472,14 @@ impl ScheduleService {
                 });
             }
             warm_seed = cache.lookup_warm(key.structure);
+        }
+        if let Some(spans) = spans.as_deref_mut() {
+            let name = if warm_seed.is_some() {
+                "cache_warm_hit"
+            } else {
+                "cache_miss"
+            };
+            spans.push(name, 0, 0, start.elapsed().as_micros() as u64);
         }
 
         let cancel = match request.options.deadline.or(self.config.default_deadline) {
@@ -364,16 +493,33 @@ impl ScheduleService {
         // always equals the warm histogram's population.
         let mut warm_fallback = false;
         let (schedule, source) = match &warm_seed {
-            Some(seed) => match self.solve_warm(request, seed, &cancel) {
-                Some(schedule) => (schedule, ScheduleSource::CacheWarm),
-                // Structural-fingerprint collision or stale seed: fall back
-                // to a cold run rather than serving anything unchecked.
-                None => {
-                    warm_fallback = true;
-                    (self.solve_cold(request, &cancel), ScheduleSource::Cold)
+            Some(seed) => {
+                let warm_start = start.elapsed().as_micros() as u64;
+                match self.solve_warm(request, seed, &cancel) {
+                    Some(schedule) => {
+                        if let Some(spans) = spans.as_deref_mut() {
+                            let dur =
+                                (start.elapsed().as_micros() as u64).saturating_sub(warm_start);
+                            spans.push("warm_start", 0, warm_start, dur);
+                        }
+                        (schedule, ScheduleSource::CacheWarm)
+                    }
+                    // Structural-fingerprint collision or stale seed: fall
+                    // back to a cold run rather than serving anything
+                    // unchecked.
+                    None => {
+                        warm_fallback = true;
+                        (
+                            self.solve_cold(request, &cancel, &start, &mut spans),
+                            ScheduleSource::Cold,
+                        )
+                    }
                 }
-            },
-            None => (self.solve_cold(request, &cancel), ScheduleSource::Cold),
+            }
+            None => (
+                self.solve_cold(request, &cancel, &start, &mut spans),
+                ScheduleSource::Cold,
+            ),
         };
 
         // The solvers uphold validity by construction; this is the service
@@ -387,6 +533,7 @@ impl ScheduleService {
         let cost = schedule.cost(&request.dag, &request.machine);
         let schedule = Arc::new(schedule);
         if request.options.use_cache {
+            let insert_start = start.elapsed().as_micros() as u64;
             let mut cache = self.lock_cache();
             if warm_seed.is_some() {
                 if warm_fallback {
@@ -401,9 +548,13 @@ impl ScheduleService {
             // path (which already allocates); the exact-hit and FP-replay
             // paths stay allocation-free and never touch the store.
             self.offer_to_store(request, &schedule, cost, key);
+            if let Some(spans) = spans {
+                let dur = (start.elapsed().as_micros() as u64).saturating_sub(insert_start);
+                spans.push("cache_insert", 0, insert_start, dur);
+            }
         }
         let elapsed = start.elapsed();
-        self.metrics.histogram(source).record(elapsed);
+        self.metrics.observe(source, elapsed);
         Ok(ServeReply {
             schedule,
             cost,
@@ -418,6 +569,16 @@ impl ScheduleService {
     /// [`ServeError::UnknownFingerprint`] so the client resends the full
     /// payload.
     pub fn handle_fingerprint(&self, fingerprint: u128) -> Result<ServeReply, ServeError> {
+        self.handle_fingerprint_traced(fingerprint, None)
+    }
+
+    /// [`ScheduleService::handle_fingerprint`] with tracing; like
+    /// [`ScheduleService::handle_traced`], recording stays allocation-free.
+    pub fn handle_fingerprint_traced(
+        &self,
+        fingerprint: u128,
+        spans: Option<&mut SpanSet>,
+    ) -> Result<ServeReply, ServeError> {
         let start = Instant::now();
         if self.shutdown.is_cancelled() {
             return Err(ServeError::ShuttingDown);
@@ -427,7 +588,10 @@ impl ScheduleService {
             Some((schedule, cost)) => {
                 drop(cache);
                 let elapsed = start.elapsed();
-                self.metrics.exact.record(elapsed);
+                if let Some(spans) = spans {
+                    spans.push("cache_exact_hit", 0, 0, elapsed.as_micros() as u64);
+                }
+                self.metrics.observe(ScheduleSource::CacheExact, elapsed);
                 Ok(ServeReply {
                     schedule,
                     cost,
@@ -510,13 +674,72 @@ impl ScheduleService {
         Some(schedule)
     }
 
+    /// Adds `micros` to the `bsp_solve_phase_micros_total{phase=…}` counter.
+    /// Registration locks and may allocate — only ever called on the solve
+    /// path, which allocates anyway.
+    fn note_phase_micros(&self, phase: &'static str, micros: u64) {
+        self.registry
+            .counter(
+                "bsp_solve_phase_micros_total",
+                "cumulative solver time by phase in microseconds",
+                &[("phase", phase)],
+            )
+            .fetch_add(micros, Ordering::Relaxed);
+    }
+
     /// Cold path: the pipeline under the request's mode, deadline-aware and
     /// constrained to this worker's per-request thread budget (a budget of
     /// one runs the branch fan-out sequentially too, so `workers ×
-    /// solve-threads` bounds the server's total parallelism).
-    fn solve_cold(&self, request: &ScheduleRequest, cancel: &CancelToken) -> BspSchedule {
+    /// solve-threads` bounds the server's total parallelism).  Per-phase
+    /// durations always feed the `bsp_solve_phase_micros_total` counters;
+    /// with `spans` given they are also recorded under a `solve` span.
+    fn solve_cold(
+        &self,
+        request: &ScheduleRequest,
+        cancel: &CancelToken,
+        start: &Instant,
+        spans: &mut Option<&mut SpanSet>,
+    ) -> BspSchedule {
+        let solve_start = start.elapsed().as_micros() as u64;
+        if request.options.mode == Mode::Multilevel {
+            // The fast profile, re-budgeted from the service's knobs: serving
+            // is latency-bounded, so the base solves get the same local-search
+            // budget a heuristics-only request would, not the offline
+            // pipeline's ILP budgets.
+            let mut config = MultilevelConfig::fast().with_threads(self.config.solve_threads);
+            config.base.hill_climb.time_limit = self.config.local_search_budget;
+            config.base.cancel = cancel.clone();
+            let report =
+                MultilevelScheduler::new(config).run_report(&request.dag, &request.machine);
+            let timings = report.total_timings();
+            let solve_dur = (start.elapsed().as_micros() as u64).saturating_sub(solve_start);
+            if let Some(spans) = spans.as_deref_mut() {
+                spans.push("solve", 0, solve_start, solve_dur);
+            }
+            if report.used_base_only {
+                // Too small to coarsen: the whole solve was one base run, and
+                // the report carries no per-ratio timings to break down.
+                self.note_phase_micros("ml_base_solve", solve_dur);
+                if let Some(spans) = spans.as_deref_mut() {
+                    spans.push("ml_base_solve", 1, solve_start, solve_dur);
+                }
+                return report.schedule;
+            }
+            // Ratio runs may overlap in wall-clock; the per-phase offsets
+            // below are synthesized as if sequential, which preserves every
+            // duration and the phase order.
+            let mut offset = solve_start;
+            for (name, dur_us) in ml_phase_durations(&timings) {
+                self.note_phase_micros(name, dur_us);
+                if let Some(spans) = spans.as_deref_mut() {
+                    spans.push(name, 1, offset, dur_us);
+                }
+                offset = offset.saturating_add(dur_us);
+            }
+            return report.schedule;
+        }
         let mut config = match request.options.mode {
-            Mode::Default => PipelineConfig::default(),
+            Mode::Default | Mode::Multilevel => PipelineConfig::default(),
             Mode::Fast => PipelineConfig::fast(),
             Mode::HeuristicsOnly => PipelineConfig::heuristics_only(),
         };
@@ -525,8 +748,39 @@ impl ScheduleService {
         }
         config = config.with_thread_budget(self.config.solve_threads);
         config.cancel = cancel.clone();
-        Pipeline::new(config).run(&request.dag, &request.machine)
+        config.collect_phases = true;
+        let report = Pipeline::new(config).run_report(&request.dag, &request.machine);
+        let solve_dur = (start.elapsed().as_micros() as u64).saturating_sub(solve_start);
+        if let Some(spans) = spans.as_deref_mut() {
+            spans.push("solve", 0, solve_start, solve_dur);
+        }
+        for sample in &report.phases {
+            self.note_phase_micros(sample.name, sample.dur_us);
+            if let Some(spans) = spans.as_deref_mut() {
+                spans.push(
+                    sample.name,
+                    sample.depth.saturating_add(1),
+                    solve_start.saturating_add(sample.start_us),
+                    sample.dur_us,
+                );
+            }
+        }
+        report.schedule
     }
+}
+
+/// Flattens a multilevel [`PhaseTimings`] into `(phase, µs)` pairs, in
+/// pipeline order.
+fn ml_phase_durations(timings: &PhaseTimings) -> [(&'static str, u64); 6] {
+    let us = |seconds: f64| (seconds * 1e6) as u64;
+    [
+        ("ml_coarsen", us(timings.coarsen_seconds)),
+        ("ml_base_solve", us(timings.base_solve_seconds)),
+        ("ml_uncontract", us(timings.uncontract_seconds)),
+        ("ml_refine", us(timings.refine_seconds)),
+        ("ml_final_sweep", us(timings.final_sweep_seconds)),
+        ("ml_final_comm", us(timings.final_comm_seconds)),
+    ]
 }
 
 /// Turns a checksum-valid recovered record into a cache entry — or `None`,

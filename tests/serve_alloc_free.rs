@@ -8,7 +8,7 @@
 
 use bsp_model::Machine;
 use bsp_serve::{
-    Mode, RequestOptions, ScheduleRequest, ScheduleService, ScheduleSource, ServiceConfig,
+    Mode, RequestOptions, ScheduleRequest, ScheduleService, ScheduleSource, ServiceConfig, SpanSet,
 };
 use dag_gen::fine::{spmv, SpmvConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -89,5 +89,38 @@ fn exact_cache_hit_response_path_is_allocation_free() {
         (0, 0),
         "exact cache hits touched the allocator: {allocs} allocs / {deallocs} deallocs \
          over 200 hits"
+    );
+
+    // The same property must hold with tracing enabled: span recording is
+    // `Copy`-only writes into a caller-owned fixed array, so an exact hit
+    // that produces a full span tree still never touches the allocator.
+    let mut spans = SpanSet::new();
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let deallocs_before = DEALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        spans.clear();
+        let reply = service
+            .handle_traced(&request, Some(&mut spans))
+            .expect("traced hit succeeds");
+        std::hint::black_box(reply.cost);
+        drop(reply);
+        spans.clear();
+        let reply = service
+            .handle_fingerprint_traced(fingerprint, Some(&mut spans))
+            .expect("traced fingerprint hit succeeds");
+        std::hint::black_box(reply.cost);
+        drop(reply);
+    }
+    assert!(
+        !spans.spans().is_empty(),
+        "tracing actually recorded spans on the hit path"
+    );
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let deallocs = DEALLOCATIONS.load(Ordering::SeqCst) - deallocs_before;
+    assert_eq!(
+        (allocs, deallocs),
+        (0, 0),
+        "traced exact cache hits touched the allocator: {allocs} allocs / {deallocs} \
+         deallocs over 200 traced hits"
     );
 }

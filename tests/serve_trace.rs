@@ -1,0 +1,278 @@
+//! End-to-end observability tests: request tracing through the service, the
+//! server, and the router, plus the `METRICS` / `TRACE` / `STATS SLOW` wire
+//! verbs.
+//!
+//! The headline scenario is the ISSUE's acceptance criterion: a cold
+//! multilevel request sent **through the router** yields a trace whose span
+//! tree shows the router dispatch, the shard's queue wait, the cache miss,
+//! and every multilevel phase.
+
+use bsp_model::{Dag, Machine};
+use bsp_serve::{
+    Client, MetricsSnapshot, Mode, RequestOptions, Router, RouterConfig, ScheduleRequest,
+    ScheduleService, ScheduleSource, Server, ServerConfig, ServerHandle, ServiceConfig, SpanSet,
+};
+use dag_gen::fine::{spmv, SpmvConfig};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn test_dag(seed: u64) -> Dag {
+    Dag::from_edges(
+        8,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 7),
+        ],
+        vec![seed + 1; 8],
+        vec![2; 8],
+    )
+    .unwrap()
+}
+
+/// A DAG big enough for the multilevel scheduler to actually coarsen
+/// (`min_nodes_to_coarsen` is 30), so traces carry the full phase breakdown.
+fn coarsenable_dag(seed: u64) -> Dag {
+    let dag = spmv(&SpmvConfig {
+        n: 48,
+        density: 0.2,
+        seed,
+    });
+    assert!(dag.n() >= 30, "spmv instance must be coarsenable");
+    dag
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        local_search_budget: Duration::from_millis(40),
+        warm_budget: Duration::from_millis(40),
+        ..Default::default()
+    }
+}
+
+fn shard_server() -> ServerHandle {
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_connections: 16,
+        admission_batch: 4,
+        idle_timeout: Duration::from_secs(5),
+        solve_threads: 0,
+        service: service_config(),
+        store_dir: None,
+    };
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind shard")
+        .spawn()
+        .expect("spawn shard")
+}
+
+/// Property: with a sequential solve (`solve_threads == 1`), the spans a
+/// traced request records are consistent — every span fits inside the
+/// measured wall-clock, and the solver's child phases sum to no more than
+/// their parent `solve` span.
+#[test]
+fn traced_phase_durations_fit_inside_the_wall_clock() {
+    let machine = Machine::uniform(4, 1, 2);
+    for (seed, mode) in [(1u64, Mode::HeuristicsOnly), (2, Mode::Multilevel)] {
+        // Fresh service per mode: a shared cache would turn the second
+        // request into a warm structural hit instead of a cold solve.
+        let service = ScheduleService::new(service_config());
+        let request = ScheduleRequest {
+            id: seed,
+            dag: coarsenable_dag(seed),
+            machine: machine.clone(),
+            options: RequestOptions::new().with_mode(mode),
+        };
+        let mut spans = SpanSet::new();
+        let wall = Instant::now();
+        let reply = service
+            .handle_traced(&request, Some(&mut spans))
+            .expect("cold solve succeeds");
+        let wall_us = wall.elapsed().as_micros() as u64;
+        assert_eq!(reply.source, ScheduleSource::Cold);
+        assert!(!spans.is_empty(), "a cold solve records spans");
+        let solve = spans
+            .spans()
+            .iter()
+            .find(|s| s.name == "solve")
+            .copied()
+            .unwrap_or_else(|| panic!("mode {mode:?} records a solve span"));
+        let mut child_sum = 0u64;
+        for span in spans.spans() {
+            assert!(
+                span.start_us.saturating_add(span.dur_us) <= wall_us,
+                "span {} [{} +{}µs] overruns the measured wall clock ({wall_us}µs)",
+                span.name,
+                span.start_us,
+                span.dur_us
+            );
+            if span.depth == 1 {
+                child_sum += span.dur_us;
+            }
+        }
+        assert!(
+            child_sum <= solve.dur_us.max(1),
+            "sequential solver phases ({child_sum}µs) exceed their parent solve span \
+             ({}µs) in mode {mode:?}",
+            solve.dur_us
+        );
+        if mode == Mode::Multilevel {
+            for phase in ["ml_coarsen", "ml_base_solve", "ml_uncontract", "ml_refine"] {
+                assert!(
+                    spans.spans().iter().any(|s| s.name == phase),
+                    "multilevel trace is missing the {phase} span"
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: a cold multilevel request through the router,
+/// traced end to end, plus the `METRICS` and `STATS SLOW` verbs answered by
+/// the router from pooled shard scrapes.
+#[test]
+fn router_trace_shows_dispatch_queue_wait_and_every_multilevel_phase() {
+    let shards = vec![shard_server(), shard_server()];
+    let addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    let router = Router::bind("127.0.0.1:0", &addrs, RouterConfig::default())
+        .expect("bind router")
+        .spawn()
+        .expect("spawn router");
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::Multilevel);
+    let mut client = Client::connect(router.addr()).expect("connect via router");
+
+    let dag = coarsenable_dag(3);
+    let cold = client.schedule(&dag, &machine, &options).expect("cold");
+    assert_eq!(cold.source, ScheduleSource::Cold);
+    assert_ne!(cold.trace_id, 0, "the router mints a trace id");
+
+    let trace = client.trace(cold.trace_id).expect("TRACE answers");
+    assert_eq!(trace.trace_id, cold.trace_id);
+    assert_eq!(trace.source, "cold");
+    assert!(trace.shard >= 0, "the router journal records the shard");
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "router_dispatch",
+        "queue_wait",
+        "cache_miss",
+        "solve",
+        "ml_coarsen",
+        "ml_base_solve",
+        "ml_uncontract",
+        "ml_refine",
+        "respond",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "router trace is missing the {expected} span; got {names:?}"
+        );
+    }
+    // The shard subtree is grafted under the router dispatch span.
+    let dispatch = &trace.spans[0];
+    assert_eq!(dispatch.name, "router_dispatch");
+    assert!(trace.spans.iter().skip(1).all(|s| s.depth >= 1));
+
+    // An exact replay is traced too, without the solve subtree.
+    let replay = client.schedule(&dag, &machine, &options).expect("replay");
+    assert_eq!(replay.source, ScheduleSource::CacheExact);
+    assert_ne!(replay.trace_id, 0);
+    assert_ne!(
+        replay.trace_id, cold.trace_id,
+        "each request gets its own id"
+    );
+    let replay_trace = client.trace(replay.trace_id).expect("replay TRACE");
+    assert_eq!(replay_trace.source, "exact");
+    assert!(replay_trace
+        .spans
+        .iter()
+        .any(|s| s.name == "cache_exact_hit"));
+
+    // METRICS through the router: pooled shard series plus router-side ones.
+    let exposition = client.metrics().expect("router METRICS");
+    let snap = MetricsSnapshot::parse(&exposition).expect("exposition parses");
+    assert!(snap.counter_sum("bsp_requests_total") >= 2);
+    assert!(snap.counter_sum("bsp_solve_phase_micros_total") > 0);
+    assert_eq!(snap.counter("bsp_cache_ops_total{op=\"hit\"}"), Some(1));
+    assert!(
+        snap.histograms
+            .contains_key("bsp_request_latency_micros{source=\"cold\"}"),
+        "pooled latency histogram is present"
+    );
+    assert_eq!(
+        snap.counter_sum("bsp_router_requests_total"),
+        2,
+        "the router counts both admitted requests (full + fp replay)"
+    );
+    assert_eq!(snap.gauges.get("bsp_backend_up{backend=\"0\"}"), Some(&1));
+    assert_eq!(snap.gauges.get("bsp_backend_up{backend=\"1\"}"), Some(&1));
+
+    // The router's slow log knows both requests.
+    let slow = client.slow_stats().expect("STATS SLOW");
+    assert!(slow.iter().any(|e| e.trace_id == cold.trace_id));
+    assert!(
+        slow.windows(2).all(|w| w[0].total_us >= w[1].total_us),
+        "slow log is sorted worst-first"
+    );
+
+    // The STATS line still parses (pooled quantiles + per-shard keys ride
+    // the forward-compatible tail).
+    let agg = client.stats().expect("aggregated stats");
+    assert!(agg.requests >= 2);
+    assert_eq!(agg.cache.hits, 1);
+    assert!(agg.cold_us.0 > 0, "pooled cold p50 is non-zero");
+
+    drop(client);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+/// Unsharded deployments answer the same verbs directly: the server mints
+/// trace ids, `TRACE` returns the span tree, and `METRICS` exposes the
+/// phase-timing counters.
+#[test]
+fn single_server_metrics_and_trace_verbs_work_without_a_router() {
+    let server = shard_server();
+    let machine = Machine::uniform(4, 1, 2);
+    let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let dag = test_dag(9);
+    let cold = client.schedule(&dag, &machine, &options).expect("cold");
+    assert_ne!(
+        cold.trace_id, 0,
+        "the server mints a trace id when unrouted"
+    );
+    let trace = client.trace(cold.trace_id).expect("TRACE answers");
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in ["queue_wait", "cache_miss", "solve", "respond"] {
+        assert!(
+            names.contains(&expected),
+            "server trace is missing the {expected} span; got {names:?}"
+        );
+    }
+    assert!(
+        client.trace(0xdead_beef).is_err(),
+        "an unknown trace id is an error, not an empty tree"
+    );
+
+    let exposition = client.metrics().expect("METRICS");
+    let snap = MetricsSnapshot::parse(&exposition).expect("exposition parses");
+    assert_eq!(snap.counter("bsp_requests_total{source=\"cold\"}"), Some(1));
+    assert!(snap.counter_sum("bsp_solve_phase_micros_total") > 0);
+    assert!(
+        snap.histograms.contains_key("bsp_queue_wait_micros"),
+        "queue-wait histogram is registered"
+    );
+
+    drop(client);
+    server.shutdown();
+}
