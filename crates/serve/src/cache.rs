@@ -16,6 +16,14 @@
 //! least-recently-used entries until it fits, and an entry larger than the
 //! whole budget is simply not cached.  The cache is a plain (non-`Sync`)
 //! structure; the service wraps it in a `Mutex`.
+//!
+//! The cache itself is placement-agnostic: it caches whatever its shard is
+//! asked to solve, including entries the [`crate::placement`] policy steered
+//! or failed over from another shard's range (the service counts those as
+//! `adopted_foreign`).  The warm alias keyed by the structure fingerprint is
+//! exactly what structure-affinity routing exists to exploit — co-locating a
+//! structural family on one shard makes the alias fire for every reweighted
+//! variant, where full-key range routing scattered them.
 
 use bsp_model::BspSchedule;
 use std::collections::HashMap;

@@ -98,12 +98,21 @@ impl Client {
         machine: &Machine,
         options: &RequestOptions,
     ) -> Result<ScheduleResponse, ServeError> {
-        let fingerprint = bsp_model::request_key(dag, machine).full;
+        let key = bsp_model::request_key(dag, machine);
+        let fingerprint = key.full;
         if options.use_cache && self.known_fingerprints.contains(&fingerprint) {
             let id = self.next_id;
             self.next_id += 1;
             self.scratch.clear();
-            encode_fingerprint_request(&mut self.scratch, id, fingerprint, options.trace);
+            // The structure key rides along so a sharded deployment routes
+            // the replay to the structural family's home shard.
+            encode_fingerprint_request(
+                &mut self.scratch,
+                id,
+                fingerprint,
+                Some(key.structure),
+                options.trace,
+            );
             self.writer.write_all(self.scratch.as_bytes())?;
             self.writer.flush()?;
             match self.read_matching_response(id) {
@@ -277,13 +286,20 @@ impl PipelinedClient {
         machine: &Machine,
         options: &RequestOptions,
     ) -> Result<u64, ServeError> {
-        let fingerprint = bsp_model::request_key(dag, machine).full;
+        let key = bsp_model::request_key(dag, machine);
+        let fingerprint = key.full;
         let id = self.next_id;
         self.next_id += 1;
         let fp_only = options.use_cache && self.known_fingerprints.contains(&fingerprint);
         self.scratch.clear();
         if fp_only {
-            encode_fingerprint_request(&mut self.scratch, id, fingerprint, options.trace);
+            encode_fingerprint_request(
+                &mut self.scratch,
+                id,
+                fingerprint,
+                Some(key.structure),
+                options.trace,
+            );
         } else {
             encode_request(&mut self.scratch, id, dag, machine, options)?;
         }

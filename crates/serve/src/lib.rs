@@ -30,12 +30,20 @@
 //! * [`client`] — the blocking serial [`Client`] and the windowed
 //!   [`PipelinedClient`] (`submit`/`recv`), both with the transparent
 //!   `FP <hex>` content-addressed replay fast path.
-//! * [`router`] — `bsp_router`: a fingerprint-range router fronting N
-//!   `bsp_serve` shard processes.  Requests and `FP` replays route by
-//!   [`bsp_model::RequestKey::full`] range onto multiplexed per-shard
-//!   backend connections; a dead shard's pending requests are re-run on a
-//!   live one (content addressing makes the re-run safe), and `STATS` /
-//!   `METRICS` aggregate across shards by merging histogram buckets.
+//! * [`placement`] — the ownership policy: the **only** code that maps a
+//!   request key to a shard.  A structure-key range map with a sticky
+//!   affinity directory keeps warm structural families on one shard, a
+//!   load-aware cold path steers first sightings to the least-loaded shard
+//!   (hysteretic, falls back to range ownership on stale scrapes), and
+//!   [`placement::PlacementScope`] lets each shard's store and adoption
+//!   path answer "do I own this key?" with the same map.
+//! * [`router`] — `bsp_router`: a placement-driven router fronting N
+//!   `bsp_serve` shard processes.  Requests and `FP` replays consult the
+//!   shared [`placement::Placement`] policy and dispatch onto multiplexed
+//!   per-shard backend connections; a dead shard's pending requests are
+//!   re-run on its placement successor (content addressing makes the
+//!   re-run safe), and `STATS` / `METRICS` aggregate across shards by
+//!   merging histogram buckets.
 //! * [`obs`] — the observability layer: a [`obs::MetricsRegistry`] of
 //!   named, labeled series rendered as Prometheus-style text (`METRICS`
 //!   verb), mergeable [`obs::MetricsSnapshot`]s for router aggregation, and
@@ -69,6 +77,7 @@ pub mod cache;
 pub mod client;
 pub mod metrics;
 pub mod obs;
+pub mod placement;
 pub mod protocol;
 pub mod router;
 pub mod server;
@@ -81,6 +90,7 @@ pub use metrics::{LatencyHistogram, StoreCounters, StoreStats};
 pub use obs::{
     MetricsRegistry, MetricsSnapshot, SpanRec, SpanSet, TraceIdGen, TraceJournal, TraceRecord,
 };
+pub use placement::{Decision, LoadView, Placement, PlacementScope};
 pub use protocol::{
     Mode, Reply, RequestOptions, ScheduleRequest, ScheduleResponse, ScheduleSource, ServeError,
     SlowEntry, WireSpan, WireTrace,

@@ -41,11 +41,22 @@
 //!   `TRACESUM <hex> <source> <shard> <total_us>` lines + `END` (fetch full
 //!   span trees via `TRACE`).
 //!
+//! The content-addressed replay is `REQ <id>` + `FP <full_hex>
+//! [<structure_hex>]` + `END`: the optional second token is the request's
+//! 64-bit structure key, which the router's placement policy uses to route
+//! the replay to the shard owning the structural family.  Parsers ignore
+//! tokens beyond the ones they know, so the one-token legacy form and
+//! new-form requests against old servers both keep working.
+//!
 //! The `STATS` line includes the durable-store counters
 //! (`store_loaded`, `store_recovered_bytes`, `store_dropped_corrupt`,
-//! `store_compactions`, `store_write_errors`, `store_appended`; all zero on
+//! `store_compactions`, `store_write_errors`, `store_appended`,
+//! `store_dropped_foreign`, `store_adopted_foreign`; all zero on
 //! a memory-only server), and readers ignore unknown keys so the set can
-//! keep growing without a protocol rev.  Malformed input of any shape — bad verbs, hostile header
+//! keep growing without a protocol rev.  When sharded, the router appends
+//! placement-decision counters (`placement_<decision>`) and the load-view
+//! scrape age (`placement_scrape_age_ms`) to its aggregated `STATS` line.
+//! Malformed input of any shape — bad verbs, hostile header
 //! counts, cyclic DAGs, out-of-range machine parameters — is answered with a
 //! typed [`ServeError`], never a panic: the parsing layer is the service's
 //! trust boundary.
@@ -311,6 +322,11 @@ pub enum Incoming {
         id: u64,
         /// The full request key ([`bsp_model::RequestKey::full`]).
         fingerprint: u128,
+        /// The structure key ([`bsp_model::RequestKey::structure`]), when
+        /// the client sent one — lets the router route the replay to the
+        /// structural family's home shard.  `None` on the legacy one-token
+        /// wire form.
+        structure: Option<u64>,
         /// Trace id the replay runs under (`None` = untraced).
         trace: Option<u64>,
     },
@@ -533,6 +549,7 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
     let mut options = RequestOptions::new();
     let mut dag: Option<Dag> = None;
     let mut fingerprint: Option<u128> = None;
+    let mut structure: Option<u64> = None;
     loop {
         let mut line = String::new();
         if read_request_line(reader, &mut line)? == 0 {
@@ -553,6 +570,14 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
                     u128::from_str_radix(hex, 16)
                         .map_err(|_| malformed(&line, "fingerprint is not hex"))?,
                 );
+                // Optional second token: the structure key.  Tokens beyond
+                // it are ignored for forward compatibility.
+                if let Some(hex) = it.next() {
+                    structure = Some(
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|_| malformed(&line, "structure key is not hex"))?,
+                    );
+                }
             }
             Some("MACHINE") => machine = Some(parse_machine_line(&line)?),
             Some("OPTION") => match it.next() {
@@ -615,6 +640,7 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
         return Ok(Incoming::FingerprintRequest {
             id,
             fingerprint,
+            structure,
             trace: options.trace,
         });
     }
@@ -628,16 +654,27 @@ fn read_request_body<R: BufRead>(reader: &mut R, id: u64) -> Result<Incoming, Se
     })))
 }
 
-/// Writes a fingerprint-only replay request in wire form into `out`.
+/// Writes a fingerprint-only replay request in wire form into `out`.  With
+/// `structure` the `FP` line carries the structure key as a second token
+/// (routed by structural family when sharded); without it the legacy
+/// one-token form is emitted.
 pub fn encode_fingerprint_request(
     out: &mut String,
     id: u64,
     fingerprint: u128,
+    structure: Option<u64>,
     trace: Option<u64>,
 ) {
     use std::fmt::Write as _;
     let _ = writeln!(out, "REQ {id}");
-    let _ = writeln!(out, "FP {fingerprint:032x}");
+    match structure {
+        Some(s) => {
+            let _ = writeln!(out, "FP {fingerprint:032x} {s:016x}");
+        }
+        None => {
+            let _ = writeln!(out, "FP {fingerprint:032x}");
+        }
+    }
     if let Some(trace_id) = trace {
         let _ = writeln!(out, "OPTION trace {trace_id:x}");
     }
@@ -1353,7 +1390,13 @@ mod tests {
     #[test]
     fn fingerprint_requests_roundtrip() {
         let mut wire = String::new();
-        encode_fingerprint_request(&mut wire, 9, 0xdead_beef_0123_4567, Some(0x77));
+        encode_fingerprint_request(
+            &mut wire,
+            9,
+            0xdead_beef_0123_4567,
+            Some(0xfeed),
+            Some(0x77),
+        );
         let parsed = read_incoming(&mut BufReader::new(wire.as_bytes()))
             .unwrap()
             .unwrap();
@@ -1361,14 +1404,38 @@ mod tests {
             Incoming::FingerprintRequest {
                 id,
                 fingerprint,
+                structure,
                 trace,
             } => {
                 assert_eq!(id, 9);
                 assert_eq!(fingerprint, 0xdead_beef_0123_4567);
+                assert_eq!(structure, Some(0xfeed));
                 assert_eq!(trace, Some(0x77));
             }
             other => panic!("expected a fingerprint request, got {other:?}"),
         }
+        // The legacy one-token form still parses, with no structure key.
+        let legacy = "REQ 3\nFP 00ff\nEND\n";
+        match read_incoming(&mut BufReader::new(legacy.as_bytes()))
+            .unwrap()
+            .unwrap()
+        {
+            Incoming::FingerprintRequest {
+                id,
+                fingerprint,
+                structure,
+                trace,
+            } => {
+                assert_eq!(id, 3);
+                assert_eq!(fingerprint, 0xff);
+                assert_eq!(structure, None);
+                assert_eq!(trace, None);
+            }
+            other => panic!("expected a legacy fingerprint request, got {other:?}"),
+        }
+        // A garbled structure token is malformed, not silently dropped.
+        let bad = "REQ 4\nFP 00ff zz\nEND\n";
+        assert!(read_incoming(&mut BufReader::new(bad.as_bytes())).is_err());
         // Mixing FP with a payload is malformed.
         let mixed = "REQ 1\nFP 00ff\nMACHINE uniform 2 1 1\nEND\n";
         assert!(read_incoming(&mut BufReader::new(mixed.as_bytes())).is_err());

@@ -3,12 +3,18 @@
 //!
 //! The router speaks the same wire protocol as a single server, so clients
 //! (serial or pipelined) do not know it is there.  Every scheduling request
-//! is routed by its **full request key** ([`bsp_model::RequestKey::full`]):
-//! the 128-bit key space is split into `N` equal contiguous ranges, shard
-//! `i` owning range `i`.  Content addressing is what makes this work —
-//! a full payload and the `FP <hex>` replay of the same request hash to the
-//! same key, so replays always land on the shard whose cache holds the
-//! schedule, with no routing table and no coordination.
+//! is placed by the [`crate::placement`] policy — the single ownership site
+//! shared with the shards' stores: requests route by their **structure
+//! key** ([`bsp_model::RequestKey::structure`]), so reweighted instances of
+//! the same DAG co-locate and the owning shard's warm alias fires for the
+//! whole family.  A bounded affinity directory pins each structure to the
+//! home shard chosen at its first sighting; that first (cold) placement may
+//! be steered to the least-loaded shard when the health probe's pooled
+//! queue-wait view is fresh.  `FP <hex> [<structure-hex>]` replays follow
+//! the same directory via the structure token; legacy one-token replays
+//! fall back to the full-key range map, the pre-placement routing.
+//! Content addressing is what makes any of this safe — re-running a
+//! request on any shard yields a valid schedule for the same key.
 //!
 //! ## Threading model
 //!
@@ -26,8 +32,11 @@
 //! ## Failover
 //!
 //! When a shard connection dies, every request pending on it is **re-run on
-//! the next live shard** (the router keeps each full payload until its
-//! response arrives, so re-running is a resend).  Replayed `FP` requests
+//! the placement policy's failover successor**
+//! ([`crate::placement::Placement::failover_successor`]; the router keeps
+//! each full payload until its response arrives, so re-running is a
+//! resend).  The affinity directory is deliberately not rewritten, so a
+//! structure family re-homes automatically when its owner rejoins.  Replayed `FP` requests
 //! fail over too; the stand-in shard typically answers `unknown-fp`, which
 //! the client's fingerprint fallback turns into a full resend — degraded to
 //! one extra round trip, never an error.  This is safe *because* requests
@@ -45,10 +54,12 @@
 //! ([`crate::obs::MetricsSnapshot`]): counters and gauges sum, and an
 //! aggregated quantile is computed over the pooled observations — not
 //! approximated from per-shard quantiles.  The `STATS` line additionally
-//! carries per-shard store counters (`s<i>_store_*`) and the health probe's
+//! carries per-shard store counters (`s<i>_store_*`), the health probe's
 //! current view of every backend (`s<i>_up`, `s<i>_probe_failures`,
-//! `s<i>_backoff_ms`), so one line shows both the aggregate and which shard
-//! is misbehaving.  A *live* shard that fails to answer turns the whole
+//! `s<i>_backoff_ms`), and the placement policy's decision counts
+//! (`placement_<decision>`, plus `placement_scrape_age_ms` — the age of the
+//! load view steering decisions consult), so one line shows the aggregate,
+//! which shard is misbehaving, and why traffic went where it went.  A *live* shard that fails to answer turns the whole
 //! aggregate into an error rather than a silently partial sum.  `PING` is
 //! answered locally.
 //!
@@ -66,6 +77,7 @@ use crate::obs::{
     write_sample, write_type, MetricsRegistry, MetricsSnapshot, SpanSet, TraceIdGen, TraceJournal,
     TraceRecord,
 };
+use crate::placement::{Decision, LoadView, Placement};
 use crate::protocol::{
     encode_error, encode_fingerprint_request, encode_metrics_reply, encode_request,
     encode_slow_reply, encode_trace_reply, read_incoming, read_raw_reply, Incoming, RawReply,
@@ -128,15 +140,6 @@ impl Default for RouterConfig {
     }
 }
 
-/// The shard owning `full_fp` under an `N`-way equal split of the key space
-/// (by the key's top 64 bits; the fingerprint lanes are uniform, so shards
-/// receive balanced traffic).
-pub fn owner_shard(full_fp: u128, shards: usize) -> usize {
-    debug_assert!(shards > 0);
-    let hi = (full_fp >> 64) as u64;
-    ((u128::from(hi) * shards as u128) >> 64) as usize
-}
-
 /// What the router must remember to finish (or re-run) one request.
 struct PendingRoute {
     /// Writer channel of the client connection that asked.
@@ -182,7 +185,9 @@ impl Payload {
             Payload::Full(bytes) => Arc::clone(bytes),
             Payload::Fp(fp) => {
                 let mut out = String::new();
-                encode_fingerprint_request(&mut out, backend_id, *fp, Some(trace));
+                // No structure token on the forwarded frame: routing already
+                // happened here, and the shard serves from whatever it holds.
+                encode_fingerprint_request(&mut out, backend_id, *fp, None, Some(trace));
                 Arc::new(out)
             }
         }
@@ -235,11 +240,24 @@ struct ProbeStatus {
 }
 
 /// The router's own registry series (shard registries are scraped, these are
-/// router-side): routed-request counters by kind, and failover re-runs.
+/// router-side): routed-request counters by kind, failover re-runs, and the
+/// placement policy's decision counters.
 struct RouterSeries {
     full: Arc<AtomicU64>,
     fp: Arc<AtomicU64>,
     failovers: Arc<AtomicU64>,
+    /// `bsp_placement_total{decision=...}`, indexed like [`Decision::ALL`].
+    placement: [Arc<AtomicU64>; Decision::ALL.len()],
+    /// `bsp_placement_scrape_age_ms` gauge: age of the load view the policy
+    /// consults (`u64::MAX` before the first scrape).
+    scrape_age_ms: Arc<AtomicU64>,
+}
+
+/// The router's view of per-shard load, written by the health-probe thread
+/// each tick, read (and staleness-judged) by placement on the request path.
+struct LoadState {
+    view: LoadView,
+    refreshed_at: Option<Instant>,
 }
 
 struct RouterShared {
@@ -263,6 +281,11 @@ struct RouterShared {
     trace_ids: TraceIdGen,
     registry: Arc<MetricsRegistry>,
     series: RouterSeries,
+    /// The single ownership site: every dispatch, replay, and failover
+    /// target comes from here.
+    placement: Placement,
+    /// Latest per-shard queue-wait view for load-aware cold placement.
+    load: Mutex<LoadState>,
 }
 
 /// A bound-but-not-yet-running router.
@@ -333,6 +356,18 @@ impl Router {
                 "pending requests re-dispatched after a shard connection died",
                 &[],
             ),
+            placement: Decision::ALL.map(|d| {
+                registry.counter(
+                    "bsp_placement_total",
+                    "placement-policy routing decisions, by decision",
+                    &[("decision", d.as_str())],
+                )
+            }),
+            scrape_age_ms: registry.gauge(
+                "bsp_placement_scrape_age_ms",
+                "age of the load view consulted by load-aware placement",
+                &[],
+            ),
         };
         let probe_state = (0..backends.len())
             .map(|_| ProbeStatus {
@@ -340,6 +375,7 @@ impl Router {
                 next_attempt: Instant::now(),
             })
             .collect();
+        let shards = backends.len();
         Ok(Router {
             listener,
             shared: Arc::new(RouterShared {
@@ -358,6 +394,11 @@ impl Router {
                 trace_ids: TraceIdGen::new(),
                 registry,
                 series,
+                placement: Placement::new(shards),
+                load: Mutex::new(LoadState {
+                    view: LoadView::default(),
+                    refreshed_at: None,
+                }),
             }),
         })
     }
@@ -683,6 +724,12 @@ fn probe_loop(shared: &Arc<RouterShared>, interval: Duration) {
                 set_probe_status(shared, shard, failures, next);
             }
         }
+        // Same tick, second duty: refresh the queue-wait view that feeds
+        // load-aware cold placement.  Skipped when shutdown has begun so the
+        // probe joins without paying a scrape round.
+        if !shared.shutting_down.load(Ordering::SeqCst) {
+            refresh_load_view(shared);
+        }
     }
 }
 
@@ -692,6 +739,75 @@ fn set_probe_status(shared: &RouterShared, shard: usize, failures: u32, next_att
     if let Some(slot) = state.get_mut(shard) {
         slot.failures = failures;
         slot.next_attempt = next_attempt;
+    }
+}
+
+/// Bound on each per-shard load scrape; a wedged shard costs one slot of the
+/// probe tick, never the request path (placement just sees a `None` p50).
+const LOAD_SCRAPE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Refreshes the load view from every live shard's `METRICS` exposition.
+/// Unlike [`scrape_shards`], this is deliberately *partial-tolerant*: a
+/// shard that is dead or does not answer gets a `None` slot (placement
+/// never steers *to* an unknown shard and never steers *away* from an
+/// unknown owner), because a mostly-fresh view beats no view for load
+/// balancing, while an aggregate stat line must never be silently partial.
+fn refresh_load_view(shared: &RouterShared) {
+    let p50s: Vec<Option<u64>> = shared
+        .backends
+        .iter()
+        .map(|backend| {
+            if !backend.is_live() {
+                return None;
+            }
+            Client::connect_with_timeout(backend.addr, LOAD_SCRAPE_TIMEOUT)
+                .ok()
+                .and_then(|mut client| client.metrics().ok())
+                .and_then(|text| MetricsSnapshot::parse(&text).ok())
+                .and_then(|snap| {
+                    snap.histogram("bsp_queue_wait_micros")
+                        .map(|h| h.quantile_micros(0.5))
+                })
+        })
+        .collect();
+    let mut load = shared.load.lock().unwrap_or_else(|e| e.into_inner());
+    load.view = LoadView {
+        queue_wait_p50_us: p50s,
+    };
+    load.refreshed_at = Some(Instant::now());
+}
+
+/// The load view, iff it is *fresh*: refreshed within three base probe
+/// intervals and carrying at least one known p50.  With probing disabled
+/// there is never a fresh view, so placement degrades to pure (and fully
+/// deterministic) range ownership — exactly the behaviour a test or a
+/// single-box deployment wants.
+fn fresh_load_view(shared: &RouterShared) -> Option<LoadView> {
+    let interval = shared.config.health_probe_interval?;
+    let load = shared.load.lock().unwrap_or_else(|e| e.into_inner());
+    let refreshed = load.refreshed_at?;
+    if refreshed.elapsed() > interval * 3 {
+        return None;
+    }
+    if load.view.queue_wait_p50_us.iter().all(Option::is_none) {
+        return None;
+    }
+    Some(load.view.clone())
+}
+
+/// Milliseconds since the last load scrape; `u64::MAX` before the first
+/// (rendered as-is — "never" must not read as "perfectly fresh").
+fn load_scrape_age_ms(shared: &RouterShared) -> u64 {
+    let load = shared.load.lock().unwrap_or_else(|e| e.into_inner());
+    load.refreshed_at.map_or(u64::MAX, |at| {
+        u64::try_from(at.elapsed().as_millis()).unwrap_or(u64::MAX)
+    })
+}
+
+/// Counts one placement decision on `bsp_placement_total`.
+fn count_decision(shared: &RouterShared, decision: Decision) {
+    if let Some(idx) = Decision::ALL.iter().position(|&d| d == decision) {
+        shared.series.placement[idx].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -803,13 +919,14 @@ fn fail_over(shared: &Arc<RouterShared>, dead_shard: usize, generation: u64) {
             .map(|(&id, _)| id)
             .collect()
     };
-    let n = shared.backends.len();
     shared
         .series
         .failovers
         .fetch_add(stranded.len() as u64, Ordering::Relaxed);
+    let successor = shared.placement.failover_successor(dead_shard);
     for backend_id in stranded {
-        dispatch(shared, backend_id, (dead_shard + 1) % n);
+        count_decision(shared, Decision::Failover);
+        dispatch(shared, backend_id, successor);
     }
 }
 
@@ -914,6 +1031,8 @@ fn stats_from_snapshot(merged: &MetricsSnapshot) -> ServiceStats {
             compactions: c("bsp_store_events_total{event=\"compaction\"}"),
             write_errors: c("bsp_store_events_total{event=\"write_error\"}"),
             appended: c("bsp_store_events_total{event=\"appended\"}"),
+            dropped_foreign: c("bsp_store_events_total{event=\"dropped_foreign\"}"),
+            adopted_foreign: c("bsp_store_events_total{event=\"adopted_foreign\"}"),
         },
     }
 }
@@ -922,8 +1041,11 @@ fn stats_from_snapshot(merged: &MetricsSnapshot) -> ServiceStats {
 /// quantiles), then per-shard store counters (`s<i>_store_*` — a shard-local
 /// write-error burst must not hide inside the fleet sum), then the probe's
 /// view of every backend (`s<i>_up`, `s<i>_probe_failures`,
-/// `s<i>_backoff_ms`).  All additions ride the wire line's
-/// unknown-keys-ignored forward compatibility.
+/// `s<i>_backoff_ms`), then the placement tail: one `placement_<decision>`
+/// count per [`Decision`] and `placement_scrape_age_ms`, the age of the
+/// load view steering consults (`u64::MAX` before the first scrape).  All
+/// additions ride the wire line's unknown-keys-ignored forward
+/// compatibility.
 fn router_stats_line(shared: &RouterShared) -> Result<String, ServeError> {
     use std::fmt::Write as _;
     let snaps = scrape_shards(shared)?;
@@ -956,6 +1078,14 @@ fn router_stats_line(shared: &RouterShared) -> Result<String, ServeError> {
                 "store_appended",
                 c("bsp_store_events_total{event=\"appended\"}"),
             ),
+            (
+                "store_dropped_foreign",
+                c("bsp_store_events_total{event=\"dropped_foreign\"}"),
+            ),
+            (
+                "store_adopted_foreign",
+                c("bsp_store_events_total{event=\"adopted_foreign\"}"),
+            ),
         ] {
             let _ = write!(line, " s{i}_{suffix} {value}");
         }
@@ -976,6 +1106,20 @@ fn router_stats_line(shared: &RouterShared) -> Result<String, ServeError> {
             " s{i}_up {up} s{i}_probe_failures {failures} s{i}_backoff_ms {backoff_ms}"
         );
     }
+    drop(probe);
+    for (idx, decision) in Decision::ALL.iter().enumerate() {
+        let _ = write!(
+            line,
+            " placement_{} {}",
+            decision.as_str(),
+            shared.series.placement[idx].load(Ordering::Relaxed)
+        );
+    }
+    let _ = write!(
+        line,
+        " placement_scrape_age_ms {}",
+        load_scrape_age_ms(shared)
+    );
     line.push('\n');
     Ok(line)
 }
@@ -987,6 +1131,10 @@ fn router_metrics(shared: &RouterShared) -> Result<String, ServeError> {
     let merged = merge_snapshots(&snaps);
     let mut out = String::new();
     merged.render(&mut out);
+    shared
+        .series
+        .scrape_age_ms
+        .store(load_scrape_age_ms(shared), Ordering::Relaxed);
     shared.registry.render(&mut out);
     write_type(&mut out, "bsp_backend_up", "gauge");
     for (i, backend) in shared.backends.iter().enumerate() {
@@ -1062,7 +1210,6 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
     // flight, so it is joined by shutdown, not by the reader.
     register_conn_thread(&shared.conn_threads, writer);
     let in_flight = Arc::new(AtomicU64::new(0));
-    let n = shared.backends.len();
     let mut reader = BufReader::new(stream);
     loop {
         // Same idle-vs-working distinction as the server's reader: a read
@@ -1160,7 +1307,10 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
                     let _ = tx.send(out);
                     continue;
                 }
-                let shard = owner_shard(key.full, n);
+                let load = fresh_load_view(shared);
+                let (shard, decision) =
+                    shared.placement.place_request(key.structure, load.as_ref());
+                count_decision(shared, decision);
                 in_flight.fetch_add(1, Ordering::SeqCst);
                 shared
                     .pending
@@ -1183,12 +1333,14 @@ fn route_connection(shared: &Arc<RouterShared>, stream: TcpStream) -> io::Result
             Ok(Some(Incoming::FingerprintRequest {
                 id,
                 fingerprint,
+                structure,
                 trace,
             })) => {
                 let backend_id = shared.next_backend_id.fetch_add(1, Ordering::Relaxed);
                 let trace = trace.unwrap_or_else(|| shared.trace_ids.mint());
                 shared.series.fp.fetch_add(1, Ordering::Relaxed);
-                let shard = owner_shard(fingerprint, n);
+                let (shard, decision) = shared.placement.place_replay(fingerprint, structure);
+                count_decision(shared, decision);
                 in_flight.fetch_add(1, Ordering::SeqCst);
                 shared
                     .pending
@@ -1227,19 +1379,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn owner_shard_partitions_the_key_space_evenly_and_totally() {
+    fn placement_range_maps_partition_the_key_space_evenly_and_totally() {
         for shards in 1..=5usize {
-            // Every key maps to a valid shard.
+            let placement = Placement::new(shards);
+            // Every key maps to a valid shard, under both range maps.
             for fp in [0u128, 1, u128::MAX, u128::MAX / 2, 0xdead_beef << 64] {
-                assert!(owner_shard(fp, shards) < shards);
+                assert!(placement.full_owner(fp) < shards);
+                assert!(placement.structure_owner(fp as u64) < shards);
             }
             // Range boundaries are monotone: a larger key never maps to a
             // smaller shard.
             let mut last = 0;
             for i in 0..64u32 {
-                let fp = (u128::MAX / 64) * u128::from(i);
-                let s = owner_shard(fp, shards);
+                let structure = (u64::MAX / 64) * u64::from(i);
+                let s = placement.structure_owner(structure);
                 assert!(s >= last, "owner map must be monotone in the key");
+                assert_eq!(
+                    s,
+                    Placement::new(shards).structure_owner(structure),
+                    "the range map is deterministic across router restarts"
+                );
                 last = s;
             }
             assert_eq!(last, shards - 1, "top of the range reaches the last shard");

@@ -511,6 +511,9 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
             Ok(Some(Incoming::FingerprintRequest {
                 id,
                 fingerprint,
+                // Routing is the router's job; a shard serves the replay
+                // from whatever its cache holds, structure key or not.
+                structure: _,
                 trace,
             })) => {
                 submit_job(

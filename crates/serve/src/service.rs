@@ -24,6 +24,7 @@
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::metrics::{LatencyHistogram, StoreStats};
 use crate::obs::{write_sample, write_type, MetricsRegistry, SpanSet};
+use crate::placement::PlacementScope;
 use crate::protocol::{Mode, ScheduleRequest, ScheduleSource, ServeError};
 use crate::store::{Store, StoreConfig};
 use bsp_model::record::{encode_record, RecordError, StoreRecord};
@@ -64,6 +65,12 @@ pub struct ServiceConfig {
     /// asynchronously, evictions drop only the RAM copy, and startup replays
     /// the segments to pre-warm the cache.
     pub store: Option<StoreConfig>,
+    /// This shard's view of the placement policy ([`crate::placement`]).
+    /// `None` (the default) is the single-server deployment: no ownership
+    /// to assert.  When set it is forwarded to the store (placement-epoch
+    /// marker) and the adoption path counts recovered entries this shard is
+    /// not the range owner of (`adopted_foreign`).
+    pub placement: Option<PlacementScope>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +82,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             solve_threads: 1,
             store: None,
+            placement: None,
         }
     }
 }
@@ -165,7 +173,8 @@ impl ServiceStats {
              evictions {} bytes {} entries {} cold_p50_us {} cold_p99_us {} exact_p50_us {} \
              exact_p99_us {} warm_p50_us {} warm_p99_us {} store_loaded {} \
              store_recovered_bytes {} store_dropped_corrupt {} store_compactions {} \
-             store_write_errors {} store_appended {}",
+             store_write_errors {} store_appended {} store_dropped_foreign {} \
+             store_adopted_foreign {}",
             self.requests,
             self.cache.hits,
             self.cache.misses,
@@ -187,6 +196,8 @@ impl ServiceStats {
             self.store.compactions,
             self.store.write_errors,
             self.store.appended,
+            self.store.dropped_foreign,
+            self.store.adopted_foreign,
         )
     }
 
@@ -230,6 +241,8 @@ impl ServiceStats {
                 "store_compactions" => stats.store.compactions = value,
                 "store_write_errors" => stats.store.write_errors = value,
                 "store_appended" => stats.store.appended = value,
+                "store_dropped_foreign" => stats.store.dropped_foreign = value,
+                "store_adopted_foreign" => stats.store.adopted_foreign = value,
                 _ => {} // forward-compatible
             }
         }
@@ -282,7 +295,13 @@ impl ScheduleService {
         let mut cache = ScheduleCache::new(config.cache_bytes);
         let store = match &config.store {
             Some(store_config) => {
-                let (store, recovered) = Store::open(store_config.clone())?;
+                let mut store_config = store_config.clone();
+                // The service's placement scope wins: the store's epoch
+                // marker and the router's routing must agree on ownership.
+                if store_config.placement.is_none() {
+                    store_config.placement = config.placement;
+                }
+                let (store, recovered) = Store::open(store_config)?;
                 for record in &recovered {
                     // Recovery trusts nothing: a checksum-valid record is
                     // re-validated end to end (fingerprints recomputed from
@@ -292,6 +311,17 @@ impl ScheduleService {
                         Some((key, schedule, cost)) => {
                             cache.repopulate(key.full, key.structure, schedule, cost);
                             store.counters().loaded.fetch_add(1, Ordering::Relaxed);
+                            // Within an epoch, foreign-structure residents
+                            // (load-steered or failed-over families) are
+                            // adopted — counted, never dropped.
+                            if let Some(scope) = config.placement {
+                                if !scope.owns_structure(key.structure) {
+                                    store
+                                        .counters()
+                                        .adopted_foreign
+                                        .fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
                         }
                         None => {
                             store
@@ -369,9 +399,11 @@ impl ScheduleService {
         out.push_str("# HELP bsp_store_events_total durable-store events by kind\n");
         write_type(out, "bsp_store_events_total", "counter");
         for (event, value) in [
+            ("adopted_foreign", store.adopted_foreign),
             ("appended", store.appended),
             ("compaction", store.compactions),
             ("dropped_corrupt", store.dropped_corrupt),
+            ("dropped_foreign", store.dropped_foreign),
             ("loaded", store.loaded),
             ("write_error", store.write_errors),
         ] {
@@ -991,6 +1023,8 @@ mod tests {
                 compactions: 2,
                 write_errors: 5,
                 appended: 9,
+                dropped_foreign: 7,
+                adopted_foreign: 3,
             },
         };
         let parsed = ServiceStats::from_wire(&stats.to_wire()).unwrap();

@@ -15,9 +15,9 @@
 #![cfg(unix)]
 
 use bsp_model::{Dag, Machine};
-use bsp_serve::router::owner_shard;
 use bsp_serve::{
-    Client, Mode, RequestOptions, Router, RouterConfig, ScheduleSource, Server, ServerConfig,
+    Client, Mode, Placement, RequestOptions, Router, RouterConfig, ScheduleSource, Server,
+    ServerConfig,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::SocketAddr;
@@ -89,13 +89,11 @@ impl Shard {
 }
 
 fn dag_with_seed(seed: u64) -> Dag {
-    Dag::from_edges(
-        6,
-        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
-        vec![seed + 1; 6],
-        vec![2; 6],
-    )
-    .unwrap()
+    // The chain's length varies with the seed: placement routes by structure
+    // key, so distinct seeds need distinct DAG shapes to spread over shards.
+    let n = 4 + (seed as usize % 32);
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Dag::from_edges(n, &edges, vec![seed + 1; n], vec![2; n]).unwrap()
 }
 
 /// Polls the server's `STATS` until `store_appended` reaches `want`.
@@ -199,12 +197,13 @@ fn a_router_fronted_shard_killed_mid_burst_recovers_and_rejoins() {
         .spawn()
         .expect("spawn router");
 
-    // A burst of requests all owned by shard 0, so the kill lands on keys
-    // whose durability is shard 0's job.
+    // A burst of requests all homed on shard 0 by the placement policy, so
+    // the kill lands on keys whose durability is shard 0's job.
+    let placement = Placement::new(2);
     let owned: Vec<Dag> = (0..64)
         .filter(|&seed| {
             let key = bsp_model::request_key(&dag_with_seed(seed), &machine);
-            owner_shard(key.full, 2) == 0
+            placement.structure_owner(key.structure) == 0
         })
         .take(6)
         .map(dag_with_seed)

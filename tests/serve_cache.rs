@@ -25,6 +25,7 @@ fn service(cache_bytes: usize) -> ScheduleService {
         default_deadline: None,
         solve_threads: 1,
         store: None,
+        placement: None,
     })
 }
 

@@ -2,19 +2,19 @@
 //! fronting two `bsp_serve` shard servers over loopback TCP.
 //!
 //! Covers the four routing guarantees:
-//! * full payloads and their `FP` replays land on the **owning shard**
-//!   (same key range), so replays are exact cache hits with zero fallbacks;
+//! * full payloads and their `FP` replays land on the shard the **placement
+//!   policy** homes their structure on, so replays are exact cache hits
+//!   with zero fallbacks;
 //! * **pipelined** clients work through the router unchanged — many
 //!   requests in flight on one connection, completions out of order;
-//! * a dead shard **fails over**: its key range is re-run on the survivor
-//!   and clients keep getting valid schedules (content addressing makes the
-//!   re-run safe);
+//! * a dead shard **fails over**: its structure families degrade to the
+//!   survivor (content addressing makes the re-run safe) and **re-home**
+//!   once the owner rejoins;
 //! * `STATS` aggregates across shards (counters summed).
 
 use bsp_model::{Dag, Machine};
-use bsp_serve::router::owner_shard;
 use bsp_serve::{
-    Client, Completion, Mode, PipelinedClient, RequestOptions, Router, RouterConfig,
+    Client, Completion, Mode, PipelinedClient, Placement, RequestOptions, Router, RouterConfig,
     ScheduleSource, Server, ServerConfig, ServerHandle, ServiceConfig,
 };
 use std::net::SocketAddr;
@@ -53,23 +53,30 @@ fn two_shard_deployment() -> (Vec<ServerHandle>, bsp_serve::RouterHandle) {
 }
 
 fn dag_with_seed(seed: u64) -> Dag {
-    // Distinct weights => distinct full fingerprints => both shards get
-    // traffic across a handful of seeds.
-    Dag::from_edges(
-        6,
-        &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5)],
-        vec![seed + 1; 6],
-        vec![2; 6],
-    )
-    .unwrap()
+    // A chain whose *length* varies with the seed: the placement policy
+    // routes by structure key, so the seeds must produce distinct DAG
+    // shapes (not just distinct weights) to spread across shards.
+    let n = 4 + (seed as usize % 32);
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Dag::from_edges(n, &edges, vec![seed + 1; n], vec![2; n]).unwrap()
 }
 
-/// A seed whose request routes to `shard` under a 2-way split.
+/// A re-weighted copy of `dag`: same structure key, different full key — a
+/// warm request for whatever shard the family is homed on.
+fn reweighted(dag: &Dag, bump: u64) -> Dag {
+    let edges: Vec<_> = dag.edges().collect();
+    let work: Vec<u64> = dag.work_weights().iter().map(|&w| w + bump).collect();
+    Dag::from_edges(dag.n(), &edges, work, dag.comm_weights().to_vec()).unwrap()
+}
+
+/// A seed whose request's structure the placement policy homes on `shard`
+/// under a 2-way split.
 fn seed_owned_by(shard: usize, machine: &Machine) -> u64 {
+    let placement = Placement::new(2);
     (0u64..64)
         .find(|&seed| {
             let key = bsp_model::request_key(&dag_with_seed(seed), machine);
-            owner_shard(key.full, 2) == shard
+            placement.structure_owner(key.structure) == shard
         })
         .expect("some seed routes to every shard within 64 tries")
 }
@@ -233,13 +240,13 @@ fn idle_closed_backend_connections_revive_on_next_request() {
 }
 
 #[test]
-fn a_dead_shard_fails_over_to_the_survivor() {
+fn a_dead_shard_fails_over_to_the_survivor_and_the_family_rehomes_on_rejoin() {
     let (mut shards, router) = two_shard_deployment();
     let machine = Machine::uniform(4, 1, 2);
     let options = RequestOptions::new().with_mode(Mode::HeuristicsOnly);
     let mut client = Client::connect(router.addr()).expect("connect");
 
-    // Warm both shards up with one owned request each.
+    // Home one structure family on each shard.
     let seed0 = seed_owned_by(0, &machine);
     let seed1 = seed_owned_by(1, &machine);
     for seed in [seed0, seed1] {
@@ -247,28 +254,64 @@ fn a_dead_shard_fails_over_to_the_survivor() {
         client.schedule(&dag, &machine, &options).expect("cold");
     }
 
-    // Kill shard 0; requests owned by its key range must now be re-run on
-    // shard 1, transparently.
+    // Kill the owner of seed0's family mid-burst.
+    let dead_addr = shards[0].addr();
     shards.remove(0).shutdown();
     std::thread::sleep(Duration::from_millis(50)); // let the demux notice
 
-    let dag = dag_with_seed(seed0);
-    let failed_over = client
-        .schedule(&dag, &machine, &options)
-        .expect("request owned by the dead shard still succeeds");
-    assert!(failed_over.schedule.validate(&dag, &machine).is_ok());
+    // A burst of re-weighted variants of the dead owner's family: each is a
+    // warm request that must degrade to the survivor — valid schedules,
+    // zero FP fallbacks (full payloads never pay the unknown-fp round trip).
+    let base = dag_with_seed(seed0);
+    for bump in 1..=3u64 {
+        let variant = reweighted(&base, bump);
+        let degraded = client
+            .schedule(&variant, &machine, &options)
+            .expect("a warm request degrades to the survivor");
+        assert!(degraded.schedule.validate(&variant, &machine).is_ok());
+    }
+    assert_eq!(
+        client.fp_fallbacks(),
+        0,
+        "degraded warm traffic never fell back"
+    );
     // The survivor really did the work: its own warm-up request plus the
-    // failed-over re-run (the FP replay that bounced off it is an error,
-    // not a recorded request).
-    assert!(shards[0].stats().requests >= 2);
+    // three failed-over variants.
+    assert!(shards[0].stats().requests >= 4);
     assert_eq!(router.live_shards(), vec![1]);
 
     // Aggregated stats still answer with one live shard.
     let agg = client.stats().expect("stats with a dead shard");
     assert!(agg.requests >= 2);
 
+    // Restart a shard on the freed address.  The affinity directory was
+    // never rewritten during failover, so the family's next variant re-homes
+    // on the rejoined owner (the lazy request-path revival reconnects).
+    let mut restarted = None;
+    for _ in 0..50 {
+        match Server::bind(dead_addr, ServerConfig::default()) {
+            Ok(server) => {
+                restarted = Some(server.spawn().expect("spawn restarted shard"));
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    let restarted = restarted.expect("rebind the freed shard address");
+    let variant = reweighted(&base, 9);
+    let rehomed = client
+        .schedule(&variant, &machine, &options)
+        .expect("the family's traffic flows again after the rejoin");
+    assert!(rehomed.schedule.validate(&variant, &machine).is_ok());
+    assert_eq!(
+        restarted.stats().requests,
+        1,
+        "the re-homed request ran on the rejoined owner, not the survivor"
+    );
+
     drop(client);
     router.shutdown();
+    restarted.shutdown();
     for shard in shards {
         shard.shutdown();
     }
