@@ -2,7 +2,8 @@
 //! search vs the pre-refactor baseline, and (with `--parallel`) the serial
 //! driver vs the batch-speculative parallel driver.
 //!
-//! For each instance (≈10k-node `spmv`, `cg` and `exp` fine-grained DAGs) and
+//! For each instance (≈10k-node `spmv`, `cg` and `exp` fine-grained DAGs,
+//! plus the `cg_coarse` and `labelprop` coarse-grained GraphBLAS programs) and
 //! machine (4 and 8 processors, uniform and binary-tree NUMA), the measured
 //! implementations start from the same deterministic `Source` schedule and
 //! run to a local minimum.  Reported per run: wall-clock seconds, accepted
@@ -41,6 +42,7 @@ use bsp_sched::hill_climb::{
 };
 use bsp_sched::init::SourceScheduler;
 use bsp_sched::Scheduler;
+use dag_gen::coarse::{coarse, CoarseAlgorithm, CoarseConfig};
 use dag_gen::fine::{cg, exp, spmv, IterConfig, SpmvConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -279,8 +281,31 @@ fn main() {
             seed: 42,
         })
     });
-    let instances: Vec<(&str, &Dag)> =
-        vec![("spmv", &spmv_dag), ("cg", &cg_dag), ("exp", &exp_dag)];
+    // Two of the paper's coarse-grained GraphBLAS programs (Appendix B.1),
+    // sized by iteration count: cg_coarse is the per-iteration dataflow of
+    // the same solver the fine-grained `cg` instance unrolls per nonzero,
+    // labelprop the narrowest (4 nodes per iteration, nearly a chain).
+    eprintln!("sizing cg_coarse instance...");
+    let cg_coarse_dag = size_to_target(target, |iters| {
+        coarse(&CoarseConfig {
+            algorithm: CoarseAlgorithm::ConjugateGradient,
+            iterations: iters,
+        })
+    });
+    eprintln!("sizing labelprop instance...");
+    let labelprop_dag = size_to_target(target, |iters| {
+        coarse(&CoarseConfig {
+            algorithm: CoarseAlgorithm::LabelPropagation,
+            iterations: iters,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> = vec![
+        ("spmv", &spmv_dag),
+        ("cg", &cg_dag),
+        ("exp", &exp_dag),
+        ("cg_coarse", &cg_coarse_dag),
+        ("labelprop", &labelprop_dag),
+    ];
 
     let machines: Vec<(String, Machine)> = vec![
         ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),

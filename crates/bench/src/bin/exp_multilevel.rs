@@ -15,13 +15,26 @@
 //! With `--speedup` the binary instead benchmarks the incremental multilevel
 //! engine against the pre-rearchitecture baseline
 //! (`bsp_bench::legacy_multilevel`): ≈10k-node `spmv` / `cg` / `exp`
-//! instances on 4- and 8-processor uniform and NUMA machines, identical
-//! configurations, wall-clock of `run_report` plus final-cost parity and a
-//! per-phase timing breakdown (coarsen / base solve / uncontract / refine /
-//! final sweep), written as JSON in the same schema as `BENCH_hc.json`
-//! (default `BENCH_multilevel.json`).  `--huge` switches to ≈100k-node
-//! instances (incremental engine only; the legacy rebuild flow would take
-//! hours there).
+//! fine-grained instances plus the `pagerank` / `bicgstab` coarse-grained
+//! GraphBLAS instances, on 4- and 8-processor uniform and NUMA machines,
+//! identical configurations, wall-clock of `run_report` plus final-cost
+//! parity and a per-phase timing breakdown (coarsen / base solve /
+//! uncontract / refine / final sweep, with the batch coarsener's round
+//! stats), written as JSON in the same schema as `BENCH_hc.json` (default
+//! `BENCH_multilevel.json`).  `--huge` switches to ≈100k-node instances
+//! (incremental engine only; the legacy rebuild flow would take hours
+//! there).
+//!
+//! `--smoke` turns the run into a CI gate: every incremental schedule is
+//! validated (zero invalid), and legacy cost parity must stay ≤ 1.05 when
+//! the legacy engine ran at the recorded (full) scale — at `--quick` scale
+//! the bound is a gross-regression backstop of 2.5, because the chaotic
+//! instances land the two engines in different schedule basins there even
+//! with bit-identical coarsening.  With `--huge` the coarsen phase must
+//! additionally take < 50 % of wall-clock on the `spmv`/p4-class rows and
+//! the batch coarsener must produce bit-identical contraction sequences
+//! across lane counts with full-run cost parity ≤ 1.05 between thread
+//! budgets.
 //!
 //! Usage:
 //!
@@ -31,7 +44,7 @@
 //!
 //! cargo run -p bsp_bench --release --bin exp_multilevel -- --speedup
 //!     [--out PATH] [--target N] [--reps N] [--nnz-per-row K] [--quick]
-//!     [--huge] [--skip-legacy] [--refine-scale N]
+//!     [--huge] [--skip-legacy] [--refine-scale N] [--smoke]
 //! ```
 
 use bsp_bench::legacy_multilevel::LegacyMultilevelScheduler;
@@ -44,6 +57,7 @@ use bsp_sched::hill_climb::HillClimbConfig;
 use bsp_sched::multilevel::{MultilevelConfig, MultilevelScheduler};
 use bsp_sched::pipeline::{Pipeline, PipelineConfig};
 use bsp_sched::Scheduler;
+use dag_gen::coarse::{coarse, CoarseAlgorithm, CoarseConfig as CoarseGenConfig};
 use dag_gen::dataset::DatasetKind;
 use dag_gen::fine::{cg, exp, spmv, IterConfig, SpmvConfig};
 use rayon::prelude::*;
@@ -229,11 +243,18 @@ struct RunStats {
 impl RunStats {
     fn to_json(&self) -> String {
         let t = &self.timings;
+        let c = &t.coarsen_stats;
         format!(
             "{{\"seconds\": {:.6}, \"final_cost\": {}, \"coarse_nodes\": {:?}, \
              \"phases\": {{\"coarsen\": {:.6}, \"base_solve\": {:.6}, \
              \"uncontract\": {:.6}, \"refine\": {:.6}, \"refine_phases\": {}, \
-             \"final_sweep\": {:.6}, \"final_comm\": {:.6}}}}}",
+             \"final_sweep\": {:.6}, \"final_comm\": {:.6}}}, \
+             \"coarsen_stats\": {{\"rounds\": {}, \"contractions\": {}, \
+             \"max_batch\": {}, \"avg_batch\": {:.1}, \
+             \"endpoint_conflicts\": {}, \"window_crossings\": {}, \
+             \"tail_contractions\": {}, \
+             \"scan_seconds\": {:.6}, \"select_seconds\": {:.6}, \
+             \"apply_seconds\": {:.6}}}}}",
             self.seconds,
             self.final_cost,
             self.coarse_nodes,
@@ -243,15 +264,31 @@ impl RunStats {
             t.refine_seconds,
             t.refine_phases,
             t.final_sweep_seconds,
-            t.final_comm_seconds
+            t.final_comm_seconds,
+            c.rounds,
+            c.contractions,
+            c.max_batch,
+            c.avg_batch(),
+            c.endpoint_conflicts,
+            c.window_crossings,
+            c.tail_contractions,
+            c.scan_seconds,
+            c.select_seconds,
+            c.apply_seconds
         )
     }
 }
 
 /// Runs `f` `reps` times and keeps the fastest wall-clock (the runs are
 /// deterministic up to thread scheduling, so the minimum isolates OS noise).
-fn measure(reps: usize, f: impl Fn() -> bsp_sched::multilevel::MultilevelReport) -> RunStats {
+/// Also returns the last repetition's report so smoke mode can validate the
+/// schedule without paying for an extra run.
+fn measure(
+    reps: usize,
+    f: impl Fn() -> bsp_sched::multilevel::MultilevelReport,
+) -> (RunStats, bsp_sched::multilevel::MultilevelReport) {
     let mut best: Option<RunStats> = None;
+    let mut last_report = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         let report = f();
@@ -269,8 +306,12 @@ fn measure(reps: usize, f: impl Fn() -> bsp_sched::multilevel::MultilevelReport)
         if best.as_ref().is_none_or(|b| stats.seconds < b.seconds) {
             best = Some(stats);
         }
+        last_report = Some(report);
     }
-    best.expect("at least one repetition runs")
+    (
+        best.expect("at least one repetition runs"),
+        last_report.expect("at least one repetition runs"),
+    )
 }
 
 /// The shared configuration of the speedup comparison: the paper's `C_opt`
@@ -299,6 +340,7 @@ fn speedup_config() -> MultilevelConfig {
 
 fn run_speedup(args: &CliArgs) {
     let quick = args.flag("quick");
+    let smoke = args.flag("smoke");
     let out_path = args
         .value("out")
         .unwrap_or("BENCH_multilevel.json")
@@ -348,8 +390,30 @@ fn run_speedup(args: &CliArgs) {
             seed: 42,
         })
     });
-    let instances: Vec<(&str, &Dag)> =
-        vec![("spmv", &spmv_dag), ("cg", &cg_dag), ("exp", &exp_dag)];
+    // The paper's coarse-grained GraphBLAS programs (Appendix B.1), sized by
+    // iteration count: pagerank is the long-chain extreme (6 nodes per
+    // iteration, depth ≈ n/2), bicgstab the widest of the solvers.
+    eprintln!("sizing pagerank instance...");
+    let pagerank_dag = size_to_target(target, |iters| {
+        coarse(&CoarseGenConfig {
+            algorithm: CoarseAlgorithm::PageRank,
+            iterations: iters,
+        })
+    });
+    eprintln!("sizing bicgstab instance...");
+    let bicgstab_dag = size_to_target(target, |iters| {
+        coarse(&CoarseGenConfig {
+            algorithm: CoarseAlgorithm::BiCgStab,
+            iterations: iters,
+        })
+    });
+    let instances: Vec<(&str, &Dag)> = vec![
+        ("spmv", &spmv_dag),
+        ("cg", &cg_dag),
+        ("exp", &exp_dag),
+        ("pagerank", &pagerank_dag),
+        ("bicgstab", &bicgstab_dag),
+    ];
 
     let machines: Vec<(String, Machine)> = vec![
         ("uniform_p4_g3_l5".into(), Machine::uniform(4, 3, 5)),
@@ -374,15 +438,33 @@ fn run_speedup(args: &CliArgs) {
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut worst_cost_ratio = 1.0f64;
+    let mut invalid_schedules = 0usize;
     for (inst_name, dag) in &instances {
         for (machine_name, machine) in &machines {
             eprintln!("== {inst_name} ({} nodes) on {machine_name}", dag.n());
 
-            let inc = measure(reps, || incremental.run_report(dag, machine));
+            let (inc, inc_report) = measure(reps, || incremental.run_report(dag, machine));
+            if let Err(e) = inc_report.schedule.validate(dag, machine) {
+                eprintln!("   INVALID schedule on {inst_name}/{machine_name}: {e:?}");
+                invalid_schedules += 1;
+            }
             eprintln!(
                 "   incremental: {:.3}s, cost {}",
                 inc.seconds, inc.final_cost
             );
+            if smoke && huge && *inst_name == "spmv" && machine_name.contains("p4") {
+                // Huge-only gate: above the tail width the batch rounds must
+                // keep coarsening a minority phase.  At quick scale the whole
+                // run sits inside the sequential quality tail (by design), so
+                // the share there reflects the pool, not the batch engine.
+                let share = inc.timings.coarsen_seconds / inc.seconds.max(1e-9);
+                eprintln!("   coarsen share {share:.2} (huge smoke gate < 0.5)");
+                assert!(
+                    share < 0.5,
+                    "coarsen phase still dominates {inst_name}/{machine_name}: \
+                     {share:.2} of wall-clock"
+                );
+            }
             let t = &inc.timings;
             eprintln!(
                 "     phases: coarsen {:.3}s, base {:.3}s, uncontract {:.3}s, \
@@ -408,7 +490,7 @@ fn run_speedup(args: &CliArgs) {
             .unwrap();
 
             if !skip_legacy {
-                let leg = measure(reps, || legacy.run_report(dag, machine));
+                let (leg, _) = measure(reps, || legacy.run_report(dag, machine));
                 let speedup = leg.seconds / inc.seconds.max(1e-9);
                 let cost_ratio = inc.final_cost as f64 / leg.final_cost.max(1) as f64;
                 worst_cost_ratio = worst_cost_ratio.max(cost_ratio);
@@ -428,6 +510,30 @@ fn run_speedup(args: &CliArgs) {
             row.push('}');
             rows.push(row);
         }
+    }
+
+    if smoke {
+        assert_eq!(
+            invalid_schedules, 0,
+            "{invalid_schedules} invalid schedules produced"
+        );
+        if !speedups.is_empty() {
+            // Strict parity is a property of the recorded scale: at --quick
+            // size the chaotic instances (exp especially) land the engine and
+            // the legacy baseline in different schedule basins even with
+            // bit-identical coarsening trajectories, so quick smoke only
+            // backstops gross regressions while the full-size run (the one
+            // that records BENCH_multilevel.json) enforces parity.
+            let bound = if quick { 2.5 } else { 1.05 };
+            assert!(
+                worst_cost_ratio <= bound,
+                "cost parity broken: worst ratio {worst_cost_ratio:.4} > {bound}"
+            );
+        }
+        if huge {
+            smoke_lane_checks(&spmv_dag, &machines[0].1, &config);
+        }
+        eprintln!("smoke gates passed");
     }
 
     let mut report = BenchReport::new("multilevel_throughput");
@@ -467,4 +573,64 @@ fn run_speedup(args: &CliArgs) {
         .write(&out_path)
         .expect("failed to write the benchmark JSON");
     eprintln!("wrote {out_path}");
+}
+
+/// The `--huge --smoke` lane gates: batch coarsening must be bit-identical
+/// across lane counts (the acceptance criterion — the scan writes to
+/// positional slots, so the contraction sequence cannot depend on the
+/// schedule), and a full multilevel run's final cost must stay within 1.05×
+/// between thread budgets (full runs are *not* bit-identical — the
+/// time-limited refinement phases are timer-dependent — so this is a parity
+/// bound, not an equality).
+fn smoke_lane_checks(dag: &Dag, machine: &Machine, config: &MultilevelConfig) {
+    use bsp_sched::multilevel::{coarsen_with, CoarsenConfig};
+
+    eprintln!("-- huge smoke: lane-count determinism of batch coarsening");
+    let coarse_target = (dag.n() as f64 * 0.3).round() as usize;
+    // `tail_width: 0`: the determinism gate targets the batch scan (the
+    // sequential tail is trivially lane-independent).
+    let narrow_config = CoarsenConfig {
+        threads: 2,
+        tail_width: 0,
+    };
+    let wide_config = CoarsenConfig {
+        threads: 5,
+        tail_width: 0,
+    };
+    let mut narrow = coarsen_with(dag, coarse_target, &narrow_config);
+    let mut wide = coarsen_with(dag, coarse_target, &wide_config);
+    assert_eq!(
+        narrow.num_clusters(),
+        wide.num_clusters(),
+        "lane counts coarsened to different depths"
+    );
+    loop {
+        match (narrow.uncontract_one(), wide.uncontract_one()) {
+            (None, None) => break,
+            (a, b) => assert_eq!(a, b, "contraction sequences diverged across lane counts"),
+        }
+    }
+
+    eprintln!("-- huge smoke: full-run cost parity across thread budgets");
+    let run = |threads: usize| {
+        MultilevelScheduler::new(config.clone().with_threads(threads)).run_report(dag, machine)
+    };
+    let two = run(2);
+    let five = run(5);
+    two.schedule
+        .validate(dag, machine)
+        .expect("threads=2 run produced an invalid schedule");
+    five.schedule
+        .validate(dag, machine)
+        .expect("threads=5 run produced an invalid schedule");
+    let ratio = (two.final_cost.max(five.final_cost) as f64)
+        / (two.final_cost.min(five.final_cost).max(1) as f64);
+    eprintln!(
+        "   cost threads=2 {} vs threads=5 {} (ratio {ratio:.4})",
+        two.final_cost, five.final_cost
+    );
+    assert!(
+        ratio <= 1.05,
+        "thread budgets disagree on final cost: ratio {ratio:.4} > 1.05"
+    );
 }

@@ -22,6 +22,13 @@
 //! recovered cache.  The JSON gains pre- vs post-restart exact-hit
 //! latencies and the `store_*` counters.
 //!
+//! A fourth **huge** phase (skipped under `--smoke`) submits one ~10⁵-node
+//! `spmv` request in `Mode::Multilevel` under a realistic deadline against
+//! a server whose `min_coarse_nodes` floor is raised to 2048, reads the
+//! request's trace back over the wire, and records the per-phase solve
+//! breakdown (`ml_coarsen` … `ml_final_comm`) as a `huge` row plus a
+//! `huge` summary object.
+//!
 //! Flags:
 //!   --out PATH         output JSON path (default BENCH_serve.json)
 //!   --target N         approximate DAG size in nodes (default 4000)
@@ -34,6 +41,8 @@
 //!   --cache-mb MB      schedule-cache byte budget per shard (default 64)
 //!   --depth N          pipeline depth per client, sharded phase (default 8)
 //!   --shards N         shard servers behind the router (default 2)
+//!   --huge-target N    huge-phase DAG size in nodes (default 100000)
+//!   --huge-deadline-ms huge-phase request deadline (default 15000)
 //!   --smoke            tiny workload + hard assertions (CI gate: 2-shard
 //!                      router, depth-4 pipelined clients, zero invalid
 //!                      schedules, every FP replay on its owning shard,
@@ -413,7 +422,8 @@ fn server_config(
             default_deadline: Some(deadline),
             solve_threads: 1, // overwritten by the server's derived budget
             store: None,
-            placement: None, // per-shard scopes are set in spawn_deployment
+            placement: None,     // per-shard scopes are set in spawn_deployment
+            min_coarse_nodes: 0, // raised in the huge phase only
         },
         store_dir: None,
     }
@@ -557,6 +567,84 @@ fn spawn_deployment(shards: usize, config: &ServerConfig) -> (Vec<ServerHandle>,
     (shard_handles, router)
 }
 
+/// Outcome of the huge-instance phase: one ~10⁵-node cold request in
+/// `Mode::Multilevel` under a realistic deadline, plus the server-side trace
+/// spans that break the solve down per multilevel phase.
+struct HugeOutcome {
+    nodes: usize,
+    latency: Duration,
+    valid: bool,
+    source: ScheduleSource,
+    /// `solve` + `ml_*` span durations (µs), in recording order.
+    spans: Vec<(String, u64)>,
+}
+
+/// Phase 4: a single huge request against a dedicated server.  The service
+/// gets a coarsen-depth floor (`min_coarse_nodes`): at 10⁵ nodes the ratio
+/// ladder's deepest target is far past the point where further coarsening
+/// pays for itself, and the floor is exactly the knob a deadline-bound
+/// deployment would set.  The request carries a trace id, so the span
+/// breakdown comes back over the wire (`TRACE <hex>`) — the same telemetry
+/// an operator would pull from a live deployment.
+fn run_huge_phase(base: &ServerConfig, target: usize, deadline: Duration) -> HugeOutcome {
+    let dag = size_to_target(target, |n| {
+        spmv(&SpmvConfig {
+            n,
+            density: 8.0 / n as f64,
+            seed: 21,
+        })
+    });
+    let machine = Machine::numa_binary_tree(8, 1, 5, 3);
+    eprintln!("  huge instance: {} nodes, deadline {deadline:?}", dag.n());
+    let mut config = base.clone();
+    config.service.default_deadline = Some(deadline);
+    config.service.local_search_budget = deadline.mul_f64(0.8);
+    config.service.warm_budget = deadline / 4;
+    config.service.min_coarse_nodes = 2048;
+    let server = Server::bind("127.0.0.1:0", config)
+        .expect("bind the huge-phase server")
+        .spawn()
+        .expect("spawn the huge-phase server");
+    let mut client = Client::connect(server.addr()).expect("connect to the huge-phase server");
+    // Any non-zero id works: the trace is read back on the same connection.
+    let trace_id = 0xb16u64;
+    let options = RequestOptions::new()
+        .with_mode(Mode::Multilevel)
+        .with_deadline(deadline)
+        .with_trace(trace_id);
+    let start = Instant::now();
+    let response = client
+        .schedule(&dag, &machine, &options)
+        .expect("the huge request completes");
+    let latency = start.elapsed();
+    let valid = response.schedule.validate(&dag, &machine).is_ok();
+    let trace = client
+        .trace(trace_id)
+        .expect("read the huge request's trace");
+    server.shutdown();
+    let spans = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "solve" || s.name.starts_with("ml_"))
+        .map(|s| (s.name.clone(), s.dur_us))
+        .collect();
+    HugeOutcome {
+        nodes: dag.n(),
+        latency,
+        valid,
+        source: response.source,
+        spans,
+    }
+}
+
+fn source_name(source: ScheduleSource) -> &'static str {
+    match source {
+        ScheduleSource::Cold => "cold",
+        ScheduleSource::CacheExact => "exact",
+        ScheduleSource::CacheWarm => "warm",
+    }
+}
+
 fn main() {
     let args = CliArgs::from_env();
     let smoke = args.flag("smoke");
@@ -674,6 +762,41 @@ fn main() {
         restart.post_non_exact,
     );
 
+    // ---- Phase 4: huge-instance multilevel request ----------------------
+    // Skipped under --smoke: a 10⁵-node cold solve is minutes of CI time.
+    let huge = if smoke {
+        None
+    } else {
+        let huge_target = args.usize_or("huge-target", 100_000);
+        let huge_deadline = Duration::from_millis(args.u64_or("huge-deadline-ms", 15_000));
+        eprintln!("huge phase: one cold Mode::Multilevel request with a trace");
+        let outcome = run_huge_phase(&config, huge_target, huge_deadline);
+        let span_us = |name: &str| {
+            outcome
+                .spans
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |(_, d)| *d)
+        };
+        let solve_us = span_us("solve");
+        let coarsen_us = span_us("ml_coarsen");
+        let coarsen_share = if solve_us > 0 {
+            coarsen_us as f64 / solve_us as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "huge: {} nodes in {:.2?} ({}, valid: {}) | solve {solve_us}us, \
+             ml_coarsen {coarsen_us}us ({:.1}% of solve)",
+            outcome.nodes,
+            outcome.latency,
+            source_name(outcome.source),
+            outcome.valid,
+            coarsen_share * 100.0,
+        );
+        Some((outcome, huge_deadline))
+    };
+
     let speedup = if serial.throughput_rps > 0.0 {
         sharded.throughput_rps / serial.throughput_rps
     } else {
@@ -761,6 +884,14 @@ fn main() {
             hist.quantile_micros(0.99),
         ));
     }
+    if let Some((outcome, _)) = &huge {
+        let lat_us = outcome.latency.as_micros();
+        report.push_result_json(format!(
+            "    {{\"phase\": \"huge\", \"source\": \"{}\", \"count\": 1, \
+             \"p50_us\": {lat_us}, \"p99_us\": {lat_us}}}",
+            source_name(outcome.source),
+        ));
+    }
     let shard_requests: Vec<String> = shard_stats.iter().map(|s| s.requests.to_string()).collect();
     let agg_hits: u64 = shard_stats.iter().map(|s| s.cache.hits).sum();
     let agg_warm: u64 = shard_stats.iter().map(|s| s.cache.warm_hits).sum();
@@ -795,6 +926,28 @@ fn main() {
     eprintln!(
         "warm locality: {agg_warm} sharded vs {serial_warm} serial warm hits ({warm_ratio:.2}x)"
     );
+    // The huge phase's summary entry: latency against its own deadline plus
+    // the per-phase solve breakdown recovered from the wire trace.
+    let huge_json = match &huge {
+        None => "null".to_string(),
+        Some((outcome, huge_deadline)) => {
+            let spans: Vec<String> = outcome
+                .spans
+                .iter()
+                .map(|(name, dur)| format!("\"{name}\": {dur}"))
+                .collect();
+            format!(
+                "{{\"nodes\": {}, \"latency_ms\": {:.1}, \"deadline_ms\": {}, \
+                 \"valid\": {}, \"source\": \"{}\", \"span_us\": {{{}}}}}",
+                outcome.nodes,
+                outcome.latency.as_secs_f64() * 1e3,
+                huge_deadline.as_millis(),
+                outcome.valid,
+                source_name(outcome.source),
+                spans.join(", "),
+            )
+        }
+    };
     report.set_summary_json(format!(
         "{{\"serial_throughput_rps\": {:.1}, \"sharded_throughput_rps\": {:.1}, \
          \"serial_wall_secs\": {:.3}, \"sharded_wall_secs\": {:.3}, \
@@ -811,6 +964,7 @@ fn main() {
          \"dropped_corrupt\": {}, \"fp_fallbacks\": {}, \"non_exact_replays\": {}}}, \
          \"router_metrics\": {{\"requests_total\": {}, \"queue_wait_p50_us\": {qw_p50}, \
          \"queue_wait_p99_us\": {qw_p99}, \"solve_phase_micros\": {solve_phase_micros}}}, \
+         \"huge\": {huge_json}, \
          \"warm_locality\": {warm_locality}}}",
         serial.throughput_rps,
         sharded.throughput_rps,

@@ -1,29 +1,102 @@
-//! Acyclicity-preserving DAG coarsening by iterative edge contraction
-//! (§4.5 and Appendix A.5 of the paper), incrementally.
+//! Acyclicity-preserving DAG coarsening by **round-based batch contraction**
+//! (§4.5 and Appendix A.5 of the paper).
 //!
-//! Each contraction step merges the endpoints of one edge `(u, v)` into a
-//! single cluster.  An edge can only be contracted when there is no *other*
-//! directed path from `u` to `v`, otherwise the quotient graph would acquire a
-//! cycle.  We use the sufficient criterion the paper points out: for every
-//! non-sink cluster `u`, the out-neighbour with the smallest topological rank
-//! is always safely contractable.  Among these candidate edges we prefer small
-//! merged work weight `w(u) + w(v)` (the first third of the candidates sorted
-//! by it) and, within that prefix, the largest communication weight `c(u)` —
-//! the paper's selection rule.
+//! Each contraction merges the endpoints of one edge `(u, v)` into a single
+//! cluster.  An edge can only be contracted when there is no *other* directed
+//! path from `u` to `v`, otherwise the quotient graph would acquire a cycle.
+//! We use the sufficient criterion the paper points out: for every non-sink
+//! cluster `u`, the out-neighbour with the smallest topological rank is always
+//! safely contractable.  Among these candidate edges we prefer small merged
+//! work weight `w(u) + w(v)` (the first third of the candidates sorted by it)
+//! and, within that prefix, the largest communication weight `c(u)` — the
+//! paper's selection rule.
 //!
-//! Unlike the original implementation — `BTreeSet` adjacency, a full Kahn
-//! rank recomputation and an `O(k log k)` candidate sort *per contraction* —
-//! this coarsener runs on the persistent [`QuotientDag`] (flat sorted-vec
-//! adjacency, `O(1)` incremental ranks) and keeps the candidate pool in
-//! [`CandidatePool`]: two ordered buckets (the first-third *prefix* by merged
-//! work weight, and the rest) plus a max-comm index over the prefix.  A
-//! contraction therefore costs `O((deg(u) + deg(v)) · log n)` instead of
-//! `O(n + m + k log k)`, and the quotient it leaves behind is reused verbatim
-//! by the refinement loop — no rebuild between coarsening and uncoarsening.
+//! # Rounds and batches
+//!
+//! The previous implementation contracted **one edge at a time**, repairing a
+//! `BTreeSet`-backed candidate pool after every contraction
+//! (`O((deg u + deg v) · log n)` churn) and rebuilding the whole pool every 32
+//! contractions when ranks were re-anchored.  [`BatchCoarsener`] replaces that
+//! with a per-round schedule that touches every structure **once per round**:
+//!
+//! 1. **Scan** — one fresh Kahn sweep re-anchors the topological ranks
+//!    (reusable buffers, no allocation), then every active cluster is scanned
+//!    for its minimum-rank contractable out-edge.  The scan is embarrassingly
+//!    parallel: with a thread budget `> 1` it fans out over compat-rayon
+//!    lanes, each lane writing into its own pre-chunked slice of a flat
+//!    positional output array — results are **identical for every lane
+//!    count** by construction.
+//! 2. **Select** — candidates are compacted into a flat array and the paper's
+//!    rule is applied batch-wide: an `O(k)` partition (`select_nth_unstable`)
+//!    isolates the first third by merged work weight, which is then ordered
+//!    by descending comm weight.  Walking that canonical order, a greedy pass
+//!    claims an **endpoint-disjoint** batch (the same discipline as
+//!    `ParallelHc`'s cell claiming), capped so the round never overshoots the
+//!    cluster target.  A final *rank-window* sweep classifies the claimed
+//!    windows `[rank(u), rank(v)]` as nested/disjoint/crossing — see the
+//!    lemma below for why all three are safe here — and counts the crossing
+//!    pairs into [`CoarsenStats::window_crossings`].
+//! 3. **Apply** — the batch is contracted against the persistent
+//!    [`QuotientDag`] in canonical order.  Each edge is its source's
+//!    minimum-rank successor and batch members are endpoint-disjoint, and a
+//!    contraction can only *raise* the rank a neighbour observes (the merged
+//!    cluster adopts the absorbed endpoint's rank), so every edge still
+//!    satisfies the contraction precondition when its turn comes — checked by
+//!    `QuotientDag::contract`'s debug assertions.
+//!
+//! # Why an endpoint-disjoint batch cannot create a cycle
+//!
+//! The worry for batch contraction is two selected edges closing a path
+//! through each other (the classic counterexample: contract `u→v` and `x→y`
+//! with paths `v→…→x` and `y→…→u`).  The paper's criterion rules this out
+//! unconditionally — a *rank-monotonicity lemma*: ranks are a strict
+//! topological numbering (re-anchored each round), and each selected `v` is
+//! its source's *minimum-rank* successor, so every other out-edge of `u` and
+//! every out-edge of `v` targets a rank **above** `rank(v)`.  The cluster
+//! merged from `(u, v)` therefore exits only above its merge point
+//! `rank(v)`, while it can be entered at a rank at most `rank(v)`: any path
+//! between merged clusters strictly increases the merge ranks it visits and
+//! can never return to where it started.  The same monotonicity keeps the
+//! contraction precondition intact during sequential application: a batch
+//! contraction only raises the ranks a neighbour observes and batch members
+//! share no endpoints, so each member's target is still its source's
+//! min-rank successor when its turn comes.  Batch safety needs
+//! endpoint-disjointness and nothing else — crossing rank windows included.
+//!
+//! # The sequential quality tail
+//!
+//! Batch rounds buy their throughput by freezing the selection keys for a
+//! whole round: every contraction of a batch is chosen against the *same*
+//! snapshot, whereas the sequential rule repairs the pool after every single
+//! merge.  On wide levels the two walks are statistically indistinguishable
+//! (cluster counts, quotient edge counts, depth, and weight profiles agree to
+//! within a percent), but the last few thousand clusters are exactly where
+//! the coarse solve's search basin is decided, and there the snapshot drift
+//! measurably perturbs final schedule costs on basin-sensitive instances.
+//! [`CoarsenConfig::tail_width`] therefore bounds the batch engine from
+//! below: rounds run while more than `max(target, tail_width)` clusters are
+//! active, and the remaining gap down to the target is closed by the exact
+//! pool-based sequential coarsener this module used to be — the
+//! `BTreeSet`-backed [`CandidatePool`](self) with per-contraction repair and
+//! rank re-anchoring every 32 contractions.  A run that starts at or below
+//! the tail width reproduces the sequential coarsener bit for bit; a huge
+//! run whose target sits above the tail width never leaves the batch engine.
+//! Tail steps are accounted as width-1 rounds and additionally counted in
+//! [`CoarsenStats::tail_contractions`].
+//!
+//! The contraction history is the same LIFO [`Contraction`] sequence either
+//! engine emits, so uncoarsening and the warm incremental refiner are
+//! untouched.  Per batch round the cost is `O(n + m)` for the sweep and scan
+//! plus `O(k log k)` for ordering the prefix, and the number of rounds
+//! shrinks geometrically with the batch widths (tracked in
+//! [`CoarsenStats`]).
 
 use bsp_model::{Dag, DagBuilder, DagView, NodeId, QuotientDag};
+use rayon::prelude::*;
+use std::cmp::Reverse;
 use std::collections::BTreeSet;
 use std::ops::Bound::{Excluded, Unbounded};
+use std::time::Instant;
 
 /// One contraction step: the cluster represented by `removed` was merged into
 /// the cluster represented by `kept`.  `moved` lists the original nodes that
@@ -210,6 +283,8 @@ pub struct Coarsening {
     pub clustering: Clustering,
     /// The cluster-level graph, positioned at the coarsest level.
     pub quotient: QuotientDag,
+    /// Batch-round counters and phase timings of the run that produced this.
+    pub stats: CoarsenStats,
 }
 
 impl Coarsening {
@@ -234,8 +309,143 @@ impl Coarsening {
     }
 }
 
-/// One registered candidate edge: `u`'s minimum-rank successor `v`, with the
-/// selection keys frozen at registration time (so index removals match).
+/// Knobs of the batch coarsener.
+#[derive(Debug, Clone)]
+pub struct CoarsenConfig {
+    /// Scan-lane budget: `1` scans serially, `0` uses one lane per available
+    /// core, anything else that many lanes.  The result is identical for
+    /// every value — lanes write to disjoint positional slots.
+    pub threads: usize,
+    /// Active-cluster count at (and below) which coarsening switches from
+    /// batch rounds to the exact sequential pool tail (see the module docs).
+    /// `0` disables the tail — pure batch rounds all the way to the target.
+    pub tail_width: usize,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        CoarsenConfig {
+            threads: 1,
+            tail_width: 4096,
+        }
+    }
+}
+
+/// Counters and phase timings of one coarsening run, reported per round.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoarsenStats {
+    /// Rounds that applied at least one contraction.
+    pub rounds: usize,
+    /// Total contractions applied (equals the history length).
+    pub contractions: usize,
+    /// Largest batch applied in a single round.
+    pub max_batch: usize,
+    /// Canonical-order candidates skipped because an endpoint was already
+    /// claimed by an earlier candidate of the same round.
+    pub endpoint_conflicts: usize,
+    /// Crossing rank-window pairs detected by the window sweep.  Crossing
+    /// windows are the configuration that would be unsafe for arbitrary edge
+    /// contractions; for min-rank-successor candidates the rank-monotonicity
+    /// lemma (see the module docs) proves them benign, so the sweep counts
+    /// them for observability instead of deferring.
+    pub window_crossings: usize,
+    /// Contractions applied by the sequential quality tail (each also counts
+    /// as a width-1 round in `rounds` / `contractions`).
+    pub tail_contractions: usize,
+    /// Wall-clock of the rank sweeps + min-rank-successor scans.
+    pub scan_seconds: f64,
+    /// Wall-clock of candidate ordering + batch selection.
+    pub select_seconds: f64,
+    /// Wall-clock of applying batches to the quotient and clustering.
+    pub apply_seconds: f64,
+}
+
+impl CoarsenStats {
+    /// Aggregates another run's stats into this one (sums; `max_batch` takes
+    /// the maximum), for portfolio-level reporting.
+    pub fn add(&mut self, other: &CoarsenStats) {
+        self.rounds += other.rounds;
+        self.contractions += other.contractions;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.endpoint_conflicts += other.endpoint_conflicts;
+        self.window_crossings += other.window_crossings;
+        self.tail_contractions += other.tail_contractions;
+        self.scan_seconds += other.scan_seconds;
+        self.select_seconds += other.select_seconds;
+        self.apply_seconds += other.apply_seconds;
+    }
+
+    /// Mean batch width over the productive rounds.
+    pub fn avg_batch(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.contractions as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// A scanned candidate edge: `u`'s minimum-rank successor `v` with the
+/// selection keys (merged work, source comm) frozen at scan time.  The
+/// sentinel [`NO_CAND`] marks sinks.
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    u: NodeId,
+    v: NodeId,
+    /// Merged work weight `w(u) + w(v)`.
+    key: u64,
+    /// Source communication weight `c(u)`.
+    comm: u64,
+}
+
+/// Scan output for a sink (no contractable out-edge).
+const NO_CAND: Cand = Cand {
+    u: usize::MAX,
+    v: usize::MAX,
+    key: u64::MAX,
+    comm: 0,
+};
+
+/// A claimed batch member, with both endpoint ranks frozen at selection time
+/// for the rank-window guard.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    u: NodeId,
+    v: NodeId,
+    rank_u: usize,
+    rank_v: usize,
+}
+
+/// Below this many active clusters a parallel scan costs more in lane
+/// bring-up than it saves; the scan stays serial.
+const PAR_SCAN_MIN_NODES: usize = 2048;
+
+/// `u`'s candidate edge under the current ranks: the minimum-rank successor,
+/// or [`NO_CAND`] for sinks.
+#[inline]
+fn scan_one(quotient: &QuotientDag, u: NodeId) -> Cand {
+    let mut best = usize::MAX;
+    let mut best_rank = usize::MAX;
+    for &w in quotient.successors(u) {
+        let r = quotient.rank(w);
+        if r < best_rank {
+            best_rank = r;
+            best = w;
+        }
+    }
+    if best == usize::MAX {
+        return NO_CAND;
+    }
+    Cand {
+        u,
+        v: best,
+        key: quotient.work(u) + quotient.work(best),
+        comm: quotient.comm(u),
+    }
+}
+
+/// One registered tail candidate edge: `u`'s minimum-rank successor `v`, with
+/// the selection keys frozen at registration time (so index removals match).
 #[derive(Debug, Clone, Copy)]
 struct CandEntry {
     v: NodeId,
@@ -245,10 +455,11 @@ struct CandEntry {
     comm: u64,
 }
 
-/// The candidate pool of the paper's selection rule, maintained
-/// incrementally: the candidates are split into two ordered buckets by merged
-/// work weight — the `prefix` bucket holds exactly the `⌈k/3⌉` smallest — and
-/// the prefix additionally carries a max-comm index, so selection is an
+/// The sequential tail's candidate pool — the paper's selection rule
+/// maintained incrementally, reinstated verbatim from the pre-batch
+/// coarsener: candidates are split into two ordered buckets by merged work
+/// weight — the `prefix` bucket holds exactly the `⌈k/3⌉` smallest — and the
+/// prefix additionally carries a max-comm index, so selection is an
 /// `O(log n)` lookup instead of a fresh `O(k log k)` sort per contraction.
 #[derive(Debug, Default)]
 struct CandidatePool {
@@ -352,61 +563,379 @@ fn refresh_candidate(quotient: &QuotientDag, pool: &mut CandidatePool, u: NodeId
     }
 }
 
-/// Coarsens `dag` down to (at most) `target_clusters` clusters, or until no
-/// contractable edge remains.  Returns the [`Coarsening`] — the member-level
-/// clustering (with its full contraction history) plus the persistent
-/// [`QuotientDag`] positioned at the coarsest level, ready to be uncoarsened
-/// step by step.
-pub fn coarsen(dag: &Dag, target_clusters: usize) -> Coarsening {
-    let n = dag.n();
-    let mut clustering = Clustering::identity(n);
-    let mut quotient = QuotientDag::from_dag(dag);
-    if n == 0 {
-        return Coarsening {
-            clustering,
-            quotient,
-        };
+/// Tail contractions between rank re-anchorings.  The incrementally
+/// maintained ranks stay *valid* forever, but their gaps drift away from the
+/// evolving quotient; re-anchoring every so many contractions keeps the
+/// min-rank-successor candidates structurally meaningful.  A refresh
+/// invalidates every candidate, so the pool is rebuilt afterwards.
+const RANK_REFRESH_INTERVAL: usize = 32;
+
+/// The round-based batch coarsener (see the module docs for the three-step
+/// round schedule).  Drive it with [`BatchCoarsener::round`] until it returns
+/// `0`, or step [`BatchCoarsener::scan_and_select`] /
+/// [`BatchCoarsener::apply_pending`] separately (the tests do, to check
+/// per-round invariants and that steady-state scans allocate nothing), then
+/// take the result with [`BatchCoarsener::finish`].
+#[derive(Debug)]
+pub struct BatchCoarsener {
+    clustering: Clustering,
+    quotient: QuotientDag,
+    target: usize,
+    threads: usize,
+    tail_width: usize,
+    /// The sequential tail's candidate pool, built lazily on the first tail
+    /// step (never, when the target sits above the tail width).
+    pool: Option<CandidatePool>,
+    /// Tail contractions since the last rank re-anchoring.
+    since_refresh: usize,
+    /// Active cluster ids, ascending; pruned in place after each apply.
+    actives: Vec<NodeId>,
+    /// Positional scan output: slot `i` belongs to `actives[i]`.
+    slots: Vec<Cand>,
+    /// Compacted candidates of the current round.
+    cands: Vec<Cand>,
+    /// The selected batch, in canonical application order.
+    pending: Vec<Pending>,
+    /// Rank windows `(rank_u, rank_v)` of the selected batch, sorted for the
+    /// crossing-classification sweep.
+    windows: Vec<(usize, usize)>,
+    /// Open window stack (closing ranks) for the sweep.
+    win_stack: Vec<usize>,
+    /// Endpoint-claim flags, cleared via `pending` after every selection.
+    used: Vec<bool>,
+    /// Scratch for the per-round Kahn rank sweep.
+    indeg: Vec<usize>,
+    kahn_queue: Vec<NodeId>,
+    stats: CoarsenStats,
+}
+
+impl BatchCoarsener {
+    /// Positions the coarsener at the discrete clustering of `dag`, aiming
+    /// for (at most) `target_clusters` clusters.
+    pub fn new(dag: &Dag, target_clusters: usize, config: &CoarsenConfig) -> Self {
+        let n = dag.n();
+        BatchCoarsener {
+            clustering: Clustering::identity(n),
+            quotient: QuotientDag::from_dag(dag),
+            target: target_clusters.max(1),
+            threads: crate::resolve_threads(config.threads),
+            tail_width: config.tail_width,
+            pool: None,
+            since_refresh: 0,
+            actives: (0..n).collect(),
+            slots: vec![NO_CAND; n],
+            cands: Vec::with_capacity(n),
+            pending: Vec::with_capacity(n),
+            windows: Vec::with_capacity(n),
+            win_stack: Vec::with_capacity(n),
+            used: vec![false; n],
+            indeg: Vec::with_capacity(n),
+            kahn_queue: Vec::with_capacity(n),
+            stats: CoarsenStats::default(),
+        }
     }
-    let target = target_clusters.max(1);
-    let mut pool = CandidatePool::new(n);
-    for u in 0..n {
-        refresh_candidate(&quotient, &mut pool, u);
+
+    /// The current quotient graph.
+    pub fn quotient(&self) -> &QuotientDag {
+        &self.quotient
     }
-    // The incrementally maintained ranks stay *valid* forever, but their gaps
-    // drift away from the evolving quotient; re-anchoring them every so many
-    // contractions keeps the min-rank-successor candidates structurally
-    // meaningful at ~1/RANK_REFRESH_INTERVAL of the old per-contraction
-    // sweep's cost.  A refresh invalidates every candidate, so the pool is
-    // rebuilt from scratch afterwards.
-    const RANK_REFRESH_INTERVAL: usize = 32;
-    let mut since_refresh = 0usize;
-    while quotient.num_active() > target {
-        if since_refresh >= RANK_REFRESH_INTERVAL {
-            since_refresh = 0;
-            quotient.recompute_ranks();
-            for u in 0..n {
-                refresh_candidate(&quotient, &mut pool, u);
+
+    /// The current clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> CoarsenStats {
+        self.stats
+    }
+
+    /// Number of clusters at the current level.
+    pub fn num_clusters(&self) -> usize {
+        self.clustering.num_clusters()
+    }
+
+    /// Steps 1–2 of a round: re-anchor ranks, scan every active cluster for
+    /// its candidate edge, and select the conflict-free batch in canonical
+    /// order.  Returns the batch size; `0` means the coarsener is done (the
+    /// target is reached or no contractable edge remains).
+    ///
+    /// With warm buffers this performs no heap allocation when the scan-lane
+    /// budget is `1` (the counting-allocator test holds it to that); a
+    /// parallel scan builds one `threads`-element chunk list per round.
+    pub fn scan_and_select(&mut self) -> usize {
+        debug_assert!(self.pending.is_empty(), "apply the previous batch first");
+        let active = self.quotient.num_active();
+        // Batch rounds stop at the tail floor; [`BatchCoarsener::round`]
+        // closes the remaining gap with sequential tail steps.
+        let floor = self.target.max(self.tail_width);
+        if active <= floor {
+            return 0;
+        }
+        let budget = active - floor;
+
+        let scan_start = Instant::now();
+        self.quotient
+            .recompute_ranks_into(&mut self.indeg, &mut self.kahn_queue);
+        let k = self.actives.len();
+        debug_assert_eq!(k, active);
+        {
+            let quotient = &self.quotient;
+            let actives = &self.actives;
+            let slots = &mut self.slots;
+            if self.threads > 1 && k >= PAR_SCAN_MIN_NODES {
+                // Static pre-chunking by the *configured* lane budget with
+                // positional writes: however the runtime schedules the
+                // chunks, slot `i` always receives `scan_one(actives[i])`,
+                // so the round's output is lane-count independent.
+                let chunk = k.div_ceil(self.threads);
+                let mut jobs: Vec<(&[NodeId], &mut [Cand])> = actives
+                    .chunks(chunk)
+                    .zip(slots[..k].chunks_mut(chunk))
+                    .collect();
+                jobs.par_iter_mut().for_each(|job| {
+                    for (slot, &u) in job.0.iter().enumerate() {
+                        job.1[slot] = scan_one(quotient, u);
+                    }
+                });
+            } else {
+                for (slot, &u) in actives.iter().enumerate() {
+                    slots[slot] = scan_one(quotient, u);
+                }
             }
         }
+        self.stats.scan_seconds += scan_start.elapsed().as_secs_f64();
+
+        let select_start = Instant::now();
+        self.cands.clear();
+        self.cands
+            .extend(self.slots[..k].iter().filter(|c| c.v != usize::MAX));
+        let kc = self.cands.len();
+        if kc == 0 {
+            self.stats.select_seconds += select_start.elapsed().as_secs_f64();
+            return 0;
+        }
+
+        // The paper's rule, batch-wide: the first third by merged work
+        // weight, walked by descending comm weight.  `(key, u)` and
+        // `(comm, key, u)` are total orders (each `u` appears once), so the
+        // partition and the walk order are deterministic.
+        let prefix = kc.div_ceil(3);
+        if prefix < kc {
+            self.cands
+                .select_nth_unstable_by(prefix - 1, |a, b| (a.key, a.u).cmp(&(b.key, b.u)));
+        }
+        self.cands[..prefix].sort_unstable_by(|a, b| {
+            (Reverse(a.comm), a.key, a.u).cmp(&(Reverse(b.comm), b.key, b.u))
+        });
+
+        // Greedy endpoint-disjoint claiming in canonical order, capped so the
+        // round cannot overshoot the target.
+        {
+            let Self {
+                quotient,
+                cands,
+                pending,
+                windows,
+                win_stack,
+                used,
+                stats,
+                ..
+            } = self;
+            for c in &cands[..prefix] {
+                if pending.len() >= budget {
+                    break;
+                }
+                if used[c.u] || used[c.v] {
+                    stats.endpoint_conflicts += 1;
+                    continue;
+                }
+                used[c.u] = true;
+                used[c.v] = true;
+                pending.push(Pending {
+                    u: c.u,
+                    v: c.v,
+                    rank_u: quotient.rank(c.u),
+                    rank_v: quotient.rank(c.v),
+                });
+            }
+            for p in pending.iter() {
+                used[p.u] = false;
+                used[p.v] = false;
+            }
+
+            // Rank-window sweep: contracting `(u, v)` merges the rank window
+            // `[rank_u, rank_v]`.  Two selected windows that *cross*
+            // (partially overlap) are the configuration that could close a
+            // path through another selected contraction for an *arbitrary*
+            // edge batch — but every candidate here is its source's
+            // minimum-rank successor, and the rank-monotonicity lemma (see
+            // the module docs) makes even crossing windows safe: any path
+            // between merged clusters exits each one strictly above its
+            // merge point, so it can never return.  The sweep therefore
+            // only classifies the batch — one sort plus a stack of open
+            // windows counts the crossing pairs into
+            // [`CoarsenStats::window_crossings`] — while safety is enforced
+            // where it is provable: `QuotientDag::contract` debug-asserts
+            // the min-rank-successor precondition for every batch member as
+            // it applies.  All window endpoints are distinct ranks of
+            // distinct nodes (the batch is endpoint-disjoint), so the sweep
+            // order is total and the count lane-count independent.
+            windows.clear();
+            windows.extend(pending.iter().map(|p| (p.rank_u, p.rank_v)));
+            windows.sort_unstable();
+            win_stack.clear();
+            for &(ru, rv) in windows.iter() {
+                while win_stack.last().is_some_and(|&open_rv| open_rv < ru) {
+                    win_stack.pop();
+                }
+                match win_stack.last() {
+                    // `ru` lies inside the open window but `rv` does not:
+                    // the two windows cross.
+                    Some(&open_rv) if rv > open_rv => stats.window_crossings += 1,
+                    _ => win_stack.push(rv),
+                }
+            }
+            debug_assert!(!pending.is_empty(), "claiming emptied a batch");
+        }
+        self.stats.select_seconds += select_start.elapsed().as_secs_f64();
+        self.pending.len()
+    }
+
+    /// Step 3 of a round: contracts the selected batch, in canonical order,
+    /// against both the quotient and the clustering.  Returns the number of
+    /// contractions applied.
+    pub fn apply_pending(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let apply_start = Instant::now();
+        let mut pending = std::mem::take(&mut self.pending);
+        for p in &pending {
+            // Endpoint-disjointness keeps every batch member's target its
+            // source's minimum-rank successor while earlier members apply
+            // (a contraction only raises the ranks a neighbour observes);
+            // `QuotientDag::contract` debug-asserts exactly that.
+            self.quotient.contract(p.u, p.v);
+            self.clustering.contract(p.u, p.v);
+        }
+        let applied = pending.len();
+        pending.clear();
+        self.pending = pending;
+        {
+            let quotient = &self.quotient;
+            self.actives.retain(|&u| quotient.is_active(u));
+        }
+        self.stats.rounds += 1;
+        self.stats.contractions += applied;
+        self.stats.max_batch = self.stats.max_batch.max(applied);
+        self.stats.apply_seconds += apply_start.elapsed().as_secs_f64();
+        applied
+    }
+
+    /// One sequential tail step: the exact pool-based coarsener the batch
+    /// engine replaced on wide levels, reinstated for the basin-sensitive
+    /// final stretch (see the module docs).  Selects the pool's pick,
+    /// contracts it, and repairs the pool; re-anchors ranks (and rebuilds the
+    /// pool) every [`RANK_REFRESH_INTERVAL`] contractions.  Returns `1`, or
+    /// `0` when the target is reached or no contractable edge remains.
+    fn tail_step(&mut self) -> usize {
+        if self.quotient.num_active() <= self.target {
+            return 0;
+        }
+        let n = self.used.len();
+        let scan_start = Instant::now();
+        if self.pool.is_none() {
+            // First tail step: register every cluster's candidate under the
+            // current ranks.  For a run that never batched these are the
+            // construction-time ranks, so the whole run is bit-identical to
+            // the sequential coarsener this tail reinstates; after batch
+            // rounds they are the last round's re-anchoring plus rank
+            // adoptions — exactly the mid-interval state the sequential loop
+            // tolerates between its own refreshes.
+            let mut pool = CandidatePool::new(n);
+            for u in 0..n {
+                refresh_candidate(&self.quotient, &mut pool, u);
+            }
+            self.pool = Some(pool);
+            self.since_refresh = 0;
+        }
+        let pool = self.pool.as_mut().expect("pool built above");
+        if self.since_refresh >= RANK_REFRESH_INTERVAL {
+            self.since_refresh = 0;
+            self.quotient
+                .recompute_ranks_into(&mut self.indeg, &mut self.kahn_queue);
+            for u in 0..n {
+                refresh_candidate(&self.quotient, pool, u);
+            }
+        }
+        self.stats.scan_seconds += scan_start.elapsed().as_secs_f64();
+
+        let select_start = Instant::now();
         let Some((u, v)) = pool.select() else {
-            break;
+            self.stats.select_seconds += select_start.elapsed().as_secs_f64();
+            return 0;
         };
-        quotient.contract(u, v);
-        clustering.contract(u, v);
-        since_refresh += 1;
+        self.stats.select_seconds += select_start.elapsed().as_secs_f64();
+
+        let apply_start = Instant::now();
+        self.quotient.contract(u, v);
+        self.clustering.contract(u, v);
+        self.since_refresh += 1;
         // The absorbed cluster can no longer be a candidate source; the
         // merged cluster and everything pointing at either endpoint may have
         // a new minimum-rank successor, merged work key, or comm weight.
         pool.remove(v);
-        refresh_candidate(&quotient, &mut pool, u);
-        for &w in quotient.predecessors(u) {
-            refresh_candidate(&quotient, &mut pool, w);
+        refresh_candidate(&self.quotient, pool, u);
+        for &w in self.quotient.predecessors(u) {
+            refresh_candidate(&self.quotient, pool, w);
+        }
+        self.stats.rounds += 1;
+        self.stats.contractions += 1;
+        self.stats.tail_contractions += 1;
+        self.stats.max_batch = self.stats.max_batch.max(1);
+        self.stats.apply_seconds += apply_start.elapsed().as_secs_f64();
+        1
+    }
+
+    /// One full round — a batch round above the tail floor
+    /// `max(target, tail_width)`, a sequential tail step below it.  Returns
+    /// the number of contractions applied; `0` means coarsening is complete.
+    pub fn round(&mut self) -> usize {
+        if self.quotient.num_active() > self.target.max(self.tail_width) {
+            // No batch candidate means no active cluster has an out-edge at
+            // all, so the tail cannot contract anything either: done.
+            if self.scan_and_select() == 0 {
+                return 0;
+            }
+            return self.apply_pending();
+        }
+        self.tail_step()
+    }
+
+    /// Runs any remaining rounds and returns the [`Coarsening`].
+    pub fn finish(mut self) -> Coarsening {
+        while self.round() > 0 {}
+        Coarsening {
+            clustering: self.clustering,
+            quotient: self.quotient,
+            stats: self.stats,
         }
     }
-    Coarsening {
-        clustering,
-        quotient,
-    }
+}
+
+/// Coarsens `dag` down to (at most) `target_clusters` clusters, or until no
+/// contractable edge remains, with explicit [`CoarsenConfig`] knobs.  Returns
+/// the [`Coarsening`] — the member-level clustering (with its full
+/// contraction history) plus the persistent [`QuotientDag`] positioned at the
+/// coarsest level, ready to be uncoarsened step by step.
+pub fn coarsen_with(dag: &Dag, target_clusters: usize, config: &CoarsenConfig) -> Coarsening {
+    BatchCoarsener::new(dag, target_clusters, config).finish()
+}
+
+/// [`coarsen_with`] under the default configuration (serial scan).
+pub fn coarsen(dag: &Dag, target_clusters: usize) -> Coarsening {
+    coarsen_with(dag, target_clusters, &CoarsenConfig::default())
 }
 
 #[cfg(test)]
@@ -538,6 +1067,7 @@ mod tests {
         let dag = Dag::from_edge_list_unit_weights(4, &[]).unwrap();
         let coarsening = coarsen(&dag, 1);
         assert_eq!(coarsening.num_clusters(), 4);
+        assert_eq!(coarsening.stats.contractions, 0);
     }
 
     #[test]
@@ -571,6 +1101,125 @@ mod tests {
             assert_eq!(incr, refr);
             if coarsening.uncontract_one().is_none() {
                 break;
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rounds_never_overshoot_the_target() {
+        let dag = spmv(&SpmvConfig {
+            n: 60,
+            density: 0.15,
+            seed: 5,
+        });
+        for target in [1, 2, 7, 20, 45] {
+            // `tail_width: 0` so the overshoot guard under test is the batch
+            // budget cap, not the one-at-a-time tail.
+            let mut c = BatchCoarsener::new(
+                &dag,
+                target,
+                &CoarsenConfig {
+                    threads: 1,
+                    tail_width: 0,
+                },
+            );
+            while c.round() > 0 {
+                assert!(c.num_clusters() >= target, "target {target} overshot");
+            }
+            let stats = c.stats();
+            let done = c.finish();
+            assert!(done.num_clusters() >= target.max(1));
+            assert_eq!(stats.contractions, dag.n() - done.num_clusters());
+        }
+    }
+
+    #[test]
+    fn stats_count_rounds_and_batches_consistently() {
+        let dag = spmv(&SpmvConfig {
+            n: 50,
+            density: 0.2,
+            seed: 9,
+        });
+        let coarsening = coarsen(&dag, 10);
+        let s = coarsening.stats;
+        assert_eq!(s.contractions, coarsening.clustering.num_contractions());
+        assert!(s.rounds >= 1);
+        assert!(s.max_batch >= 1);
+        assert!(s.max_batch <= s.contractions);
+        assert!(s.avg_batch() >= 1.0);
+    }
+
+    #[test]
+    fn hybrid_tail_engages_below_the_tail_width_and_the_stats_account_for_it() {
+        let dag = spmv(&SpmvConfig {
+            n: 300,
+            density: 0.05,
+            seed: 23,
+        });
+        let (target, tail_width) = (40, 120);
+        let mut c = coarsen_with(
+            &dag,
+            target,
+            &CoarsenConfig {
+                threads: 1,
+                tail_width,
+            },
+        );
+        assert_eq!(c.num_clusters(), target, "instance must reach the target");
+        let s = c.stats;
+        // Batch rounds stop exactly at the tail floor; the sequential tail
+        // closes the remaining gap one contraction at a time.
+        assert_eq!(s.tail_contractions, tail_width - target);
+        assert_eq!(s.contractions, dag.n() - target);
+        assert!(s.max_batch > 1, "batch phase never ran");
+        // The mixed history unwinds cleanly back to the identity clustering.
+        while c.uncontract_one().is_some() {}
+        assert_eq!(c.num_clusters(), dag.n());
+        assert_eq!(c.clustering.num_contractions(), 0);
+
+        let pure_batch = coarsen_with(
+            &dag,
+            target,
+            &CoarsenConfig {
+                threads: 1,
+                tail_width: 0,
+            },
+        );
+        assert_eq!(pure_batch.stats.tail_contractions, 0);
+    }
+
+    #[test]
+    fn coarsen_with_is_lane_count_independent() {
+        let dag = cg(&IterConfig {
+            n: 40,
+            density: 0.2,
+            iterations: 3,
+            seed: 11,
+        });
+        // `tail_width: 0` keeps the whole run in batch rounds — the lane
+        // independence under test is the batch scan's.
+        let serial = coarsen_with(
+            &dag,
+            25,
+            &CoarsenConfig {
+                threads: 1,
+                tail_width: 0,
+            },
+        );
+        let wide = coarsen_with(
+            &dag,
+            25,
+            &CoarsenConfig {
+                threads: 5,
+                tail_width: 0,
+            },
+        );
+        let mut a = serial;
+        let mut b = wide;
+        loop {
+            match (a.uncontract_one(), b.uncontract_one()) {
+                (None, None) => break,
+                (pa, pb) => assert_eq!(pa, pb, "contraction histories diverged"),
             }
         }
     }

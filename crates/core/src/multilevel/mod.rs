@@ -18,12 +18,16 @@
 //!
 //! Both halves of the outer loop are incremental:
 //!
-//! * **Coarsening** ([`coarsen`]) runs on the persistent
-//!   [`bsp_model::QuotientDag`] — flat sorted-vec adjacency, `O(1)`
-//!   incrementally-maintained topological ranks, and a bucketed candidate
-//!   pool — so one contraction costs `O(deg · log n)` instead of the full
-//!   Kahn sweep plus `O(k log k)` candidate sort per contraction the previous
-//!   `BTreeSet`-based implementation paid.
+//! * **Coarsening** ([`coarsen`] / [`coarsen_with`]) is *round-based batch
+//!   contraction* on the persistent [`bsp_model::QuotientDag`]: each round
+//!   scans every active cluster for its minimum-rank contractable out-edge
+//!   (in parallel lanes when the thread budget allows — the result is
+//!   lane-count independent by construction), selects an endpoint-disjoint
+//!   batch in the paper's canonical order, and applies the whole batch with
+//!   one rank re-anchoring — flat candidate arrays, no `BTreeSet`, no
+//!   per-contraction pool repair.  [`CoarsenStats`] (rounds, batch widths,
+//!   conflicts, phase times) surfaces through [`PhaseTimings`] into the
+//!   bench reports.
 //! * **Uncoarsening** hands the same `QuotientDag` to the
 //!   [`IncrementalRefiner`], which keeps one warm
 //!   [`crate::hill_climb::HcState`] across all refinement phases: every
@@ -41,7 +45,10 @@
 mod coarsen;
 mod engine;
 
-pub use coarsen::{coarsen, Clustering, Coarsening, Contraction};
+pub use coarsen::{
+    coarsen, coarsen_with, BatchCoarsener, Clustering, CoarsenConfig, CoarsenStats, Coarsening,
+    Contraction,
+};
 pub use engine::IncrementalRefiner;
 
 use crate::hill_climb::{hccs_improve, HillClimbConfig};
@@ -159,6 +166,14 @@ impl MultilevelConfig {
         self
     }
 
+    /// Sets the coarsen-depth floor (see [`MultilevelConfig::min_coarse_nodes`])
+    /// and returns the configuration.  Deadline-bound serving requests use
+    /// this to cap how deep — and therefore how long — coarsening runs.
+    pub fn with_min_coarse_nodes(mut self, min_coarse_nodes: usize) -> Self {
+        self.min_coarse_nodes = min_coarse_nodes;
+        self
+    }
+
     /// The concrete thread budget: `threads`, or one per available core when
     /// `0`.
     pub fn effective_threads(&self) -> usize {
@@ -195,6 +210,8 @@ pub struct PhaseTimings {
     /// The final communication-schedule optimization (`HCcs` + optional
     /// `ILPcs`).
     pub final_comm_seconds: f64,
+    /// Round/batch counters of the batch coarsener (see [`CoarsenStats`]).
+    pub coarsen_stats: CoarsenStats,
 }
 
 impl PhaseTimings {
@@ -207,6 +224,7 @@ impl PhaseTimings {
         self.refine_phases += other.refine_phases;
         self.final_sweep_seconds += other.final_sweep_seconds;
         self.final_comm_seconds += other.final_comm_seconds;
+        self.coarsen_stats.add(&other.coarsen_stats);
     }
 }
 
@@ -371,8 +389,17 @@ impl MultilevelScheduler {
             .max(self.config.min_coarse_nodes)
             .clamp(2, dag.n().saturating_sub(1).max(2));
         let clock = std::time::Instant::now();
-        let (clustering, quotient) = coarsen(dag, target).into_parts();
+        let coarsening = coarsen_with(
+            dag,
+            target,
+            &CoarsenConfig {
+                threads: self.config.threads_per_ratio(),
+                ..CoarsenConfig::default()
+            },
+        );
         timings.coarsen_seconds = clock.elapsed().as_secs_f64();
+        timings.coarsen_stats = coarsening.stats;
+        let (clustering, quotient) = coarsening.into_parts();
         let coarse_nodes = clustering.num_clusters();
 
         // Solve on the coarse DAG (the one from-scratch quotient build of the

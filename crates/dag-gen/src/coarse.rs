@@ -74,10 +74,14 @@ impl Assembler {
     fn node(&mut self, preds: &[NodeId]) -> NodeId {
         let id = self.next;
         self.next += 1;
+        // The same operand may appear twice (e.g. a dot product of a vector
+        // with itself); the dependency edge exists only once.  Duplicates can
+        // only come from this call's own operand list (the target id is
+        // fresh), so only the edges appended here need checking — the
+        // generator stays linear in the iteration count.
+        let start = self.edges.len();
         for &p in preds {
-            // The same operand may appear twice (e.g. a dot product of a
-            // vector with itself); the dependency edge exists only once.
-            if !self.edges.contains(&(p, id)) {
+            if !self.edges[start..].contains(&(p, id)) {
                 self.edges.push((p, id));
             }
         }

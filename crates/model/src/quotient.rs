@@ -173,19 +173,28 @@ impl QuotientDag {
     /// systems: treat ranks as coarsening-time data and do not rely on them
     /// once uncoarsening begins.
     pub fn recompute_ranks(&mut self) {
+        let mut indeg = Vec::new();
+        let mut queue = Vec::new();
+        self.recompute_ranks_into(&mut indeg, &mut queue);
+    }
+
+    /// [`QuotientDag::recompute_ranks`] with caller-owned scratch buffers, so
+    /// a caller that re-anchors ranks repeatedly (the batch coarsener runs
+    /// one sweep per round) allocates nothing once the buffers are warm.
+    /// The buffers' contents are irrelevant on entry and unspecified on exit.
+    pub fn recompute_ranks_into(&mut self, indeg: &mut Vec<usize>, queue: &mut Vec<NodeId>) {
         let n = self.n();
-        let mut indeg: Vec<usize> = (0..n)
-            .map(|v| {
-                if self.active[v] {
-                    self.pred[v].len()
-                } else {
-                    0
+        indeg.clear();
+        indeg.resize(n, 0);
+        queue.clear();
+        for v in 0..n {
+            if self.active[v] {
+                indeg[v] = self.pred[v].len();
+                if indeg[v] == 0 {
+                    queue.push(v);
                 }
-            })
-            .collect();
-        let mut queue: Vec<NodeId> = (0..n)
-            .filter(|&v| self.active[v] && indeg[v] == 0)
-            .collect();
+            }
+        }
         let mut next_rank = 0usize;
         let mut head = 0usize;
         while head < queue.len() {

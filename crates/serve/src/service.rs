@@ -71,6 +71,13 @@ pub struct ServiceConfig {
     /// marker) and the adoption path counts recovered entries this shard is
     /// not the range owner of (`adopted_foreign`).
     pub placement: Option<PlacementScope>,
+    /// Coarsen-depth floor for multilevel solves
+    /// (`MultilevelConfig::min_coarse_nodes`): never coarsen a request's DAG
+    /// below this many clusters.  `0` (the default) keeps the ratio targets.
+    /// Deadline-bound deployments raise this so huge DAGs stop coarsening
+    /// once the coarse solve is already cheap, instead of spending the
+    /// deadline contracting further for marginal gain.
+    pub min_coarse_nodes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +90,7 @@ impl Default for ServiceConfig {
             solve_threads: 1,
             store: None,
             placement: None,
+            min_coarse_nodes: 0,
         }
     }
 }
@@ -738,7 +746,9 @@ impl ScheduleService {
             // is latency-bounded, so the base solves get the same local-search
             // budget a heuristics-only request would, not the offline
             // pipeline's ILP budgets.
-            let mut config = MultilevelConfig::fast().with_threads(self.config.solve_threads);
+            let mut config = MultilevelConfig::fast()
+                .with_threads(self.config.solve_threads)
+                .with_min_coarse_nodes(self.config.min_coarse_nodes);
             config.base.hill_climb.time_limit = self.config.local_search_budget;
             config.base.cancel = cancel.clone();
             let report =
